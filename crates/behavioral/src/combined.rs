@@ -1,0 +1,494 @@
+//! The combined performance + variation behavioural model (paper §3.5, §4.4).
+//!
+//! This is the artifact the whole flow exists to produce. It packages:
+//!
+//! * the **performance model**: the Pareto-optimal (gain, phase-margin) points
+//!   and the designable parameters that produce them (§3.3),
+//! * the **variation model**: the relative performance variation (ΔGain %,
+//!   ΔPM %) measured by Monte Carlo at every Pareto point (§3.4),
+//! * the **table models** used to interpolate between the sampled points with
+//!   cubic splines and no extrapolation (§3.5),
+//!
+//! and implements the model-use step of §4.4 / Table 3: given a required
+//! specification, look up the variation, *retarget* the nominal performance so
+//! the specification still holds at the process extremes, and interpolate the
+//! designable parameters that deliver the retargeted performance.
+
+use crate::spec::OtaSpec;
+use ayb_circuit::DesignPoint;
+use ayb_table::{DimensionControl, Table1d, Table2d, TableError, TableFile};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One Pareto-optimal design point annotated with its Monte Carlo variation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPointData {
+    /// Nominal open-loop gain in dB.
+    pub gain_db: f64,
+    /// Nominal phase margin in degrees.
+    pub phase_margin_deg: f64,
+    /// Relative gain variation in percent (±, at the chosen k·σ level).
+    pub gain_delta_percent: f64,
+    /// Relative phase-margin variation in percent.
+    pub pm_delta_percent: f64,
+    /// Nominal unity-gain frequency in hertz.
+    pub unity_gain_hz: f64,
+    /// Designable parameters (physical values) of this candidate.
+    pub parameters: DesignPoint,
+}
+
+/// Result of the retargeting step (paper Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetargetedPerformance {
+    /// Specification the retargeting was computed for.
+    pub required_gain_db: f64,
+    /// Required phase margin of the specification.
+    pub required_pm_deg: f64,
+    /// Interpolated gain variation (%) at the required gain.
+    pub gain_variation_percent: f64,
+    /// Interpolated phase-margin variation (%) at the required phase margin.
+    pub pm_variation_percent: f64,
+    /// New (retargeted) nominal gain that guarantees the spec at the process extremes.
+    pub new_gain_db: f64,
+    /// New (retargeted) nominal phase margin.
+    pub new_pm_deg: f64,
+}
+
+/// Error type for model construction and use.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Fewer Pareto points than needed to build spline tables.
+    NotEnoughData(usize),
+    /// A required designable parameter is missing from some Pareto point.
+    MissingParameter(String),
+    /// A table lookup failed (typically an out-of-range request).
+    Table(TableError),
+    /// The requested specification cannot be met by any point of the model.
+    SpecNotAchievable {
+        /// Human-readable description of the failure.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::NotEnoughData(n) => {
+                write!(f, "need at least 3 Pareto points to build the model, got {n}")
+            }
+            ModelError::MissingParameter(name) => {
+                write!(f, "pareto point is missing designable parameter `{name}`")
+            }
+            ModelError::Table(e) => write!(f, "table lookup failed: {e}"),
+            ModelError::SpecNotAchievable { reason } => {
+                write!(f, "specification not achievable by the model: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<TableError> for ModelError {
+    fn from(e: TableError) -> Self {
+        ModelError::Table(e)
+    }
+}
+
+/// The combined performance and variation behavioural model of the OTA.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CombinedOtaModel {
+    points: Vec<ParetoPointData>,
+    parameter_names: Vec<String>,
+    /// k·σ level the variation percentages correspond to.
+    pub sigma_level: f64,
+    gain_delta_table: Table1d,
+    pm_delta_table: Table1d,
+    pm_of_gain_table: Table1d,
+    unity_gain_table: Table1d,
+    parameter_tables: BTreeMap<String, Table2d>,
+}
+
+impl CombinedOtaModel {
+    /// Builds the model from annotated Pareto points.
+    ///
+    /// `sigma_level` records the k·σ level at which the variation percentages
+    /// were computed (3.0 for the conventional ±3 σ process extremes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than three points are supplied or the points
+    /// do not all carry the same designable parameters.
+    pub fn from_pareto_data(
+        mut points: Vec<ParetoPointData>,
+        sigma_level: f64,
+    ) -> Result<Self, ModelError> {
+        if points.len() < 3 {
+            return Err(ModelError::NotEnoughData(points.len()));
+        }
+        points.sort_by(|a, b| {
+            a.gain_db
+                .partial_cmp(&b.gain_db)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let parameter_names: Vec<String> =
+            points[0].parameters.iter().map(|(n, _)| n.to_string()).collect();
+        for p in &points {
+            for name in &parameter_names {
+                if p.parameters.get(name).is_none() {
+                    return Err(ModelError::MissingParameter(name.clone()));
+                }
+            }
+        }
+
+        let gains: Vec<f64> = points.iter().map(|p| p.gain_db).collect();
+        let pms: Vec<f64> = points.iter().map(|p| p.phase_margin_deg).collect();
+        let gain_deltas: Vec<f64> = points.iter().map(|p| p.gain_delta_percent).collect();
+        let pm_deltas: Vec<f64> = points.iter().map(|p| p.pm_delta_percent).collect();
+        let unity: Vec<f64> = points.iter().map(|p| p.unity_gain_hz).collect();
+
+        // The variation tables are keyed the way the paper's Verilog-A module
+        // queries them: gain_delta(gain) and pm_delta(pm).
+        let control = DimensionControl::paper_default();
+        let gain_delta_table = Table1d::new(&gains, &gain_deltas, control)?;
+        let mut pm_sorted: Vec<(f64, f64)> = pms.iter().copied().zip(pm_deltas.iter().copied()).collect();
+        pm_sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let pm_x: Vec<f64> = pm_sorted.iter().map(|p| p.0).collect();
+        let pm_y: Vec<f64> = pm_sorted.iter().map(|p| p.1).collect();
+        let pm_delta_table = Table1d::new(&pm_x, &pm_y, control)?;
+        let pm_of_gain_table = Table1d::new(&gains, &pms, control)?;
+        let unity_gain_table = Table1d::new(&gains, &unity, control)?;
+
+        let mut parameter_tables = BTreeMap::new();
+        for name in &parameter_names {
+            let values: Vec<f64> = points
+                .iter()
+                .map(|p| p.parameters.get(name).expect("validated above"))
+                .collect();
+            parameter_tables.insert(
+                name.clone(),
+                Table2d::new(&gains, &pms, &values)?.with_neighbours(4),
+            );
+        }
+
+        Ok(CombinedOtaModel {
+            points,
+            parameter_names,
+            sigma_level,
+            gain_delta_table,
+            pm_delta_table,
+            pm_of_gain_table,
+            unity_gain_table,
+            parameter_tables,
+        })
+    }
+
+    /// The annotated Pareto points the model was built from, sorted by gain.
+    pub fn points(&self) -> &[ParetoPointData] {
+        &self.points
+    }
+
+    /// Names of the designable parameters carried by the model.
+    pub fn parameter_names(&self) -> &[String] {
+        &self.parameter_names
+    }
+
+    /// Range of gains covered by the model in dB.
+    pub fn gain_range_db(&self) -> (f64, f64) {
+        self.gain_delta_table.domain()
+    }
+
+    /// Range of phase margins covered by the model in degrees.
+    pub fn pm_range_deg(&self) -> (f64, f64) {
+        self.pm_delta_table.domain()
+    }
+
+    /// Interpolated gain variation (%) at a nominal gain (the
+    /// `$table_model(gain, "gain_delta.tbl", "3E")` call of §4.4).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the gain lies outside the modelled range.
+    pub fn gain_variation_percent(&self, gain_db: f64) -> Result<f64, ModelError> {
+        Ok(self.gain_delta_table.lookup(gain_db)?)
+    }
+
+    /// Interpolated phase-margin variation (%) at a nominal phase margin.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the phase margin lies outside the modelled range.
+    pub fn pm_variation_percent(&self, pm_deg: f64) -> Result<f64, ModelError> {
+        Ok(self.pm_delta_table.lookup(pm_deg)?)
+    }
+
+    /// Nominal phase margin delivered by the Pareto front at a given gain
+    /// (the front trades the two off monotonically).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the gain lies outside the modelled range.
+    pub fn pm_at_gain(&self, gain_db: f64) -> Result<f64, ModelError> {
+        Ok(self.pm_of_gain_table.lookup(gain_db)?)
+    }
+
+    /// Nominal unity-gain frequency at a given gain.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the gain lies outside the modelled range.
+    pub fn unity_gain_at(&self, gain_db: f64) -> Result<f64, ModelError> {
+        Ok(self.unity_gain_table.lookup(gain_db)?)
+    }
+
+    /// The retargeting step of §4.4 / Table 3.
+    ///
+    /// The required performance is increased by the interpolated variation so
+    /// that the worst-case (process-extreme) performance still meets the
+    /// specification: `new = required · (1 + Δ/100)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the required values fall outside the modelled range.
+    pub fn retarget(&self, spec: &OtaSpec) -> Result<RetargetedPerformance, ModelError> {
+        let gain_variation = self.gain_variation_percent(spec.min_gain_db)?;
+        let pm_variation = self.pm_variation_percent(spec.min_phase_margin_deg.max(self.pm_range_deg().0))?;
+        Ok(RetargetedPerformance {
+            required_gain_db: spec.min_gain_db,
+            required_pm_deg: spec.min_phase_margin_deg,
+            gain_variation_percent: gain_variation,
+            pm_variation_percent: pm_variation,
+            new_gain_db: spec.min_gain_db * (1.0 + gain_variation / 100.0),
+            new_pm_deg: spec.min_phase_margin_deg * (1.0 + pm_variation / 100.0),
+        })
+    }
+
+    /// Interpolates the designable parameters that deliver a given nominal
+    /// (gain, phase-margin) performance — the `lp1..lp4 = $table_model(...)`
+    /// step of the paper's Verilog-A module.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query lies outside the modelled performance region.
+    pub fn parameters_for(&self, gain_db: f64, pm_deg: f64) -> Result<DesignPoint, ModelError> {
+        let mut point = DesignPoint::new();
+        for name in &self.parameter_names {
+            let table = &self.parameter_tables[name];
+            point.set(name.clone(), table.lookup(gain_db, pm_deg)?);
+        }
+        Ok(point)
+    }
+
+    /// Full model-use flow: retarget the specification, pick the phase margin
+    /// the front actually offers at the retargeted gain, and interpolate the
+    /// designable parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::SpecNotAchievable`] when the retargeted
+    /// performance lies outside the Pareto front stored in the model.
+    pub fn design_for_spec(&self, spec: &OtaSpec) -> Result<ModelDesign, ModelError> {
+        let retarget = self.retarget(spec)?;
+        let (gain_lo, gain_hi) = self.gain_range_db();
+        if retarget.new_gain_db < gain_lo || retarget.new_gain_db > gain_hi {
+            return Err(ModelError::SpecNotAchievable {
+                reason: format!(
+                    "retargeted gain {:.2} dB outside modelled range [{gain_lo:.2}, {gain_hi:.2}] dB",
+                    retarget.new_gain_db
+                ),
+            });
+        }
+        // The front offers a specific phase margin at this gain; the achieved
+        // PM must (after its own retargeting margin) still meet the spec.
+        // The cubic spline can overshoot slightly beyond the sampled PM range,
+        // so clamp back into the modelled region before the 2-D lookups.
+        let (pm_lo, pm_hi) = self.pm_range_deg();
+        let front_pm = self.pm_at_gain(retarget.new_gain_db)?.clamp(pm_lo, pm_hi);
+        let worst_case_pm = front_pm * (1.0 - retarget.pm_variation_percent / 100.0);
+        if worst_case_pm < spec.min_phase_margin_deg {
+            return Err(ModelError::SpecNotAchievable {
+                reason: format!(
+                    "front offers {front_pm:.2}° at {:.2} dB; worst case {worst_case_pm:.2}° < required {:.2}°",
+                    retarget.new_gain_db, spec.min_phase_margin_deg
+                ),
+            });
+        }
+        let parameters = self.parameters_for(retarget.new_gain_db, front_pm)?;
+        Ok(ModelDesign {
+            retarget,
+            nominal_pm_deg: front_pm,
+            worst_case_pm_deg: worst_case_pm,
+            predicted_unity_gain_hz: self.unity_gain_at(retarget.new_gain_db)?,
+            parameters,
+        })
+    }
+
+    /// Exports the model's lookup tables in the paper's `.tbl` format:
+    /// `gain_delta.tbl`, `pm_delta.tbl` and one `<param>_data.tbl` per
+    /// designable parameter.
+    pub fn export_table_files(&self) -> BTreeMap<String, TableFile> {
+        let mut files = BTreeMap::new();
+        let mut gain_delta = TableFile::new(1);
+        let mut pm_delta = TableFile::new(1);
+        for p in &self.points {
+            gain_delta
+                .push_row(vec![p.gain_db, p.gain_delta_percent])
+                .expect("row width is fixed");
+            pm_delta
+                .push_row(vec![p.phase_margin_deg, p.pm_delta_percent])
+                .expect("row width is fixed");
+        }
+        files.insert("gain_delta.tbl".to_string(), gain_delta);
+        files.insert("pm_delta.tbl".to_string(), pm_delta);
+        for name in &self.parameter_names {
+            let mut file = TableFile::new(2);
+            for p in &self.points {
+                file.push_row(vec![
+                    p.gain_db,
+                    p.phase_margin_deg,
+                    p.parameters.get(name).expect("validated"),
+                ])
+                .expect("row width is fixed");
+            }
+            files.insert(format!("{name}_data.tbl"), file);
+        }
+        files
+    }
+}
+
+/// Outcome of [`CombinedOtaModel::design_for_spec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelDesign {
+    /// The retargeted performance values (Table 3).
+    pub retarget: RetargetedPerformance,
+    /// Nominal phase margin the front offers at the retargeted gain.
+    pub nominal_pm_deg: f64,
+    /// Worst-case phase margin after variation.
+    pub worst_case_pm_deg: f64,
+    /// Predicted unity-gain frequency of the selected design.
+    pub predicted_unity_gain_hz: f64,
+    /// Interpolated designable parameters.
+    pub parameters: DesignPoint,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic Pareto data resembling the paper's Table 2: gain 49.7–51.7 dB
+    /// trading off against PM 73–76.5°, variation shrinking as gain grows.
+    fn synthetic_points() -> Vec<ParetoPointData> {
+        (0..20)
+            .map(|i| {
+                let gain = 49.7 + i as f64 * 0.1;
+                let pm = 76.5 - i as f64 * 0.17;
+                ParetoPointData {
+                    gain_db: gain,
+                    phase_margin_deg: pm,
+                    gain_delta_percent: 0.55 - i as f64 * 0.006,
+                    pm_delta_percent: 1.45 + i as f64 * 0.015,
+                    unity_gain_hz: 8e6 + i as f64 * 2e5,
+                    parameters: DesignPoint::new()
+                        .with("w1", 20e-6 + i as f64 * 1.5e-6)
+                        .with("l1", 1.2e-6 - i as f64 * 0.02e-6),
+                }
+            })
+            .collect()
+    }
+
+    fn model() -> CombinedOtaModel {
+        CombinedOtaModel::from_pareto_data(synthetic_points(), 3.0).unwrap()
+    }
+
+    #[test]
+    fn construction_requires_consistent_points() {
+        assert!(matches!(
+            CombinedOtaModel::from_pareto_data(synthetic_points()[..2].to_vec(), 3.0),
+            Err(ModelError::NotEnoughData(2))
+        ));
+        let mut bad = synthetic_points();
+        bad[5].parameters = DesignPoint::new().with("w1", 1e-6); // missing l1
+        assert!(matches!(
+            CombinedOtaModel::from_pareto_data(bad, 3.0),
+            Err(ModelError::MissingParameter(_))
+        ));
+    }
+
+    #[test]
+    fn variation_lookup_matches_paper_style_values() {
+        let m = model();
+        let delta = m.gain_variation_percent(50.0).unwrap();
+        assert!((0.4..0.6).contains(&delta), "delta = {delta}");
+        // Higher gain designs have lower gain variation in the synthetic set.
+        assert!(m.gain_variation_percent(51.5).unwrap() < delta);
+        // Out of range is rejected (no extrapolation, as in the paper).
+        assert!(m.gain_variation_percent(60.0).is_err());
+    }
+
+    #[test]
+    fn retarget_reproduces_table3_arithmetic() {
+        let m = model();
+        let spec = OtaSpec::new(50.0, 74.0);
+        let r = m.retarget(&spec).unwrap();
+        let expected_gain = 50.0 * (1.0 + r.gain_variation_percent / 100.0);
+        assert!((r.new_gain_db - expected_gain).abs() < 1e-12);
+        assert!(r.new_gain_db > 50.0 && r.new_gain_db < 50.6);
+        assert!(r.new_pm_deg > 74.0);
+    }
+
+    #[test]
+    fn design_for_spec_returns_parameters_inside_model_range() {
+        let m = model();
+        let design = m.design_for_spec(&OtaSpec::new(50.0, 74.0)).unwrap();
+        let w1 = design.parameters.require("w1");
+        let l1 = design.parameters.require("l1");
+        assert!((20e-6..50e-6).contains(&w1));
+        assert!((0.7e-6..1.3e-6).contains(&l1));
+        assert!(design.worst_case_pm_deg >= 74.0);
+        assert!(design.predicted_unity_gain_hz > 1e6);
+    }
+
+    #[test]
+    fn unreachable_spec_is_reported() {
+        let m = model();
+        let err = m.design_for_spec(&OtaSpec::new(51.69, 76.0)).unwrap_err();
+        assert!(matches!(err, ModelError::SpecNotAchievable { .. } | ModelError::Table(_)));
+        let err2 = m.design_for_spec(&OtaSpec::new(55.0, 60.0)).unwrap_err();
+        assert!(matches!(err2, ModelError::SpecNotAchievable { .. } | ModelError::Table(_)));
+    }
+
+    #[test]
+    fn exported_tables_match_paper_file_set() {
+        let m = model();
+        let files = m.export_table_files();
+        assert!(files.contains_key("gain_delta.tbl"));
+        assert!(files.contains_key("pm_delta.tbl"));
+        assert!(files.contains_key("w1_data.tbl"));
+        assert!(files.contains_key("l1_data.tbl"));
+        assert_eq!(files["gain_delta.tbl"].len(), 20);
+        assert_eq!(files["w1_data.tbl"].inputs, 2);
+    }
+
+    #[test]
+    fn model_serializes_and_reloads() {
+        let m = model();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: CombinedOtaModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.points().len(), 20);
+        assert!(
+            (back.gain_variation_percent(50.0).unwrap() - m.gain_variation_percent(50.0).unwrap())
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn points_are_sorted_by_gain() {
+        let mut pts = synthetic_points();
+        pts.reverse();
+        let m = CombinedOtaModel::from_pareto_data(pts, 3.0).unwrap();
+        assert!(m.points().windows(2).all(|w| w[0].gain_db <= w[1].gain_db));
+        assert_eq!(m.parameter_names().len(), 2);
+        assert_eq!(m.sigma_level, 3.0);
+    }
+}

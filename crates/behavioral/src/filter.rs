@@ -1,0 +1,161 @@
+//! Behavioural gm-C filter evaluation (paper §5).
+//!
+//! The hierarchical design step of the paper builds a 2nd-order low-pass
+//! filter out of the modelled OTA. This module evaluates the filter using the
+//! behavioural OTA macromodel: the netlist from
+//! [`ayb_circuit::filter::build_filter_with_macromodels`] is simulated with
+//! the AC engine of `ayb-sim`, which is orders of magnitude cheaper than
+//! simulating forty transistors and is exactly what makes the hierarchical
+//! flow fast.
+
+use crate::ota::OtaBehavior;
+use crate::spec::{FilterSpec, FilterSpecReport};
+use ayb_circuit::filter::{
+    build_filter_with_macromodels, FilterParameters, OtaMacroSpec, FILTER_OUTPUT,
+};
+use ayb_sim::{ac_analysis, dc_operating_point, Complex, DcOptions, FrequencySweep, SimError};
+use serde::{Deserialize, Serialize};
+
+/// Swept response of the behavioural filter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FilterResponse {
+    /// Sweep frequencies in hertz.
+    pub frequencies: Vec<f64>,
+    /// Output-node phasors (unit input).
+    pub response: Vec<Complex>,
+}
+
+impl FilterResponse {
+    /// Gain in dB at every sweep point.
+    pub fn gain_db(&self) -> Vec<f64> {
+        self.response.iter().map(|z| z.abs_db()).collect()
+    }
+
+    /// −3 dB cut-off frequency, if inside the sweep.
+    pub fn cutoff_hz(&self) -> Option<f64> {
+        ayb_sim::measure::bandwidth_3db(&self.frequencies, &self.response)
+    }
+
+    /// Checks the response against a filter template.
+    pub fn check(&self, spec: &FilterSpec) -> FilterSpecReport {
+        spec.evaluate(&self.frequencies, &self.response)
+    }
+}
+
+/// Default sweep used for filter characterisation: 1 kHz – 100 MHz.
+pub fn filter_sweep() -> FrequencySweep {
+    FrequencySweep::logarithmic(1e3, 100e6, 15)
+}
+
+/// Simulates the behavioural (macromodel) filter.
+///
+/// # Errors
+///
+/// Propagates circuit-construction and simulation errors.
+pub fn simulate_macromodel_filter(
+    params: &FilterParameters,
+    ota: &OtaMacroSpec,
+    sweep: &FrequencySweep,
+) -> Result<FilterResponse, SimError> {
+    let circuit = build_filter_with_macromodels(params, ota)?;
+    let op = dc_operating_point(&circuit, &DcOptions::new())?;
+    let ac = ac_analysis(&circuit, &op, sweep)?;
+    let response = ac
+        .response_by_name(&circuit, FILTER_OUTPUT)
+        .ok_or_else(|| SimError::Measurement("filter output node missing".into()))?;
+    Ok(FilterResponse {
+        frequencies: ac.frequencies().to_vec(),
+        response,
+    })
+}
+
+/// Simulates the behavioural filter directly from an [`OtaBehavior`]
+/// (gain / PM / unity-gain frequency triple) by first converting it to a
+/// macromodel with the given load capacitance.
+///
+/// # Errors
+///
+/// Propagates circuit-construction and simulation errors.
+pub fn simulate_filter_from_behavior(
+    params: &FilterParameters,
+    behavior: &OtaBehavior,
+    c_load: f64,
+    sweep: &FrequencySweep,
+) -> Result<FilterResponse, SimError> {
+    simulate_macromodel_filter(params, &behavior.to_macro_spec(c_load), sweep)
+}
+
+/// Analytic design helper: capacitor values that centre the biquad at
+/// `f0` with quality factor `q`, given the OTA transconductance.
+///
+/// Derived from the ideal design equations `ω0 = gm/√(C1·C2)`, `Q = √(C1/C2)`.
+pub fn size_capacitors_for(f0_hz: f64, q: f64, gm: f64) -> FilterParameters {
+    let w0 = 2.0 * std::f64::consts::PI * f0_hz;
+    // C1 = Q·gm/ω0, C2 = gm/(Q·ω0).
+    FilterParameters {
+        c1: q * gm / w0,
+        c2: gm / (q * w0),
+        c3: 0.02 * gm / w0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn behavior() -> OtaBehavior {
+        OtaBehavior::new(52.0, 70.0, 12e6)
+    }
+
+    #[test]
+    fn macromodel_filter_is_low_pass_with_unity_dc_gain() {
+        let ota = behavior().to_macro_spec(5e-12);
+        let params = size_capacitors_for(1.6e6, std::f64::consts::FRAC_1_SQRT_2, ota.gm);
+        let resp = simulate_macromodel_filter(&params, &ota, &filter_sweep()).unwrap();
+        let gains = resp.gain_db();
+        // DC gain of the two-integrator biquad is ~0 dB (unity).
+        assert!(gains[0].abs() < 1.0, "dc gain {} dB", gains[0]);
+        // High-frequency attenuation is strong.
+        assert!(*gains.last().unwrap() < -25.0);
+        // Monotone region check: response at 100 kHz is higher than at 30 MHz.
+        let g_100k = ayb_sim::measure::gain_db_at(&resp.frequencies, &resp.response, 1e5);
+        let g_30m = ayb_sim::measure::gain_db_at(&resp.frequencies, &resp.response, 30e6);
+        assert!(g_100k > g_30m + 20.0);
+    }
+
+    #[test]
+    fn sized_capacitors_place_the_cutoff_close_to_target() {
+        let ota = behavior().to_macro_spec(5e-12);
+        let params = size_capacitors_for(1.6e6, std::f64::consts::FRAC_1_SQRT_2, ota.gm);
+        let resp = simulate_macromodel_filter(&params, &ota, &filter_sweep()).unwrap();
+        let cutoff = resp.cutoff_hz().expect("cutoff inside sweep");
+        assert!(
+            (cutoff - 1.6e6).abs() / 1.6e6 < 0.35,
+            "cutoff {cutoff} too far from 1.6 MHz"
+        );
+    }
+
+    #[test]
+    fn well_sized_filter_meets_the_anti_aliasing_spec() {
+        let spec = FilterSpec::anti_aliasing_1mhz();
+        let resp = simulate_filter_from_behavior(
+            &size_capacitors_for(1.8e6, std::f64::consts::FRAC_1_SQRT_2, behavior().to_macro_spec(5e-12).gm),
+            &behavior(),
+            5e-12,
+            &filter_sweep(),
+        )
+        .unwrap();
+        let report = resp.check(&spec);
+        assert!(report.all_met(), "report: {report:?}");
+        assert!(report.margin_db(&spec) > 0.0);
+    }
+
+    #[test]
+    fn badly_sized_filter_fails_the_spec() {
+        let ota = behavior().to_macro_spec(5e-12);
+        // Cut-off far too low: passband droop at 1 MHz will violate the template.
+        let params = size_capacitors_for(150e3, std::f64::consts::FRAC_1_SQRT_2, ota.gm);
+        let resp = simulate_macromodel_filter(&params, &ota, &filter_sweep()).unwrap();
+        assert!(!resp.check(&FilterSpec::anti_aliasing_1mhz()).all_met());
+    }
+}

@@ -1,0 +1,59 @@
+//! # ayb-behavioral — combined performance and variation behavioural models
+//!
+//! The behavioural layer of the AYB workspace, reproducing the artifact at the
+//! heart of the paper:
+//!
+//! * [`CombinedOtaModel`] — the combined performance + statistical-variation
+//!   model built from the Pareto front and per-point Monte Carlo results
+//!   (§3.5), including the yield-retargeting model-use step (§4.4, Table 3),
+//! * [`OtaBehavior`] — a two-pole behavioural OTA reconstructed from gain,
+//!   phase margin and unity-gain frequency (Figure 8 comparison),
+//! * [`OtaSpec`] / [`FilterSpec`] — the OTA and anti-aliasing filter
+//!   specifications (Table 3, Figure 10),
+//! * [`filter`] — behavioural gm-C biquad evaluation for the hierarchical
+//!   filter design of §5,
+//! * [`verilog_a`] — a generator for the Verilog-A module listed in §4.4 plus
+//!   its `.tbl` data files.
+//!
+//! # Examples
+//!
+//! Retargeting a 50 dB / 74° specification with a (synthetic) model:
+//!
+//! ```
+//! use ayb_behavioral::{CombinedOtaModel, OtaSpec, ParetoPointData};
+//! use ayb_circuit::DesignPoint;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let points: Vec<ParetoPointData> = (0..10)
+//!     .map(|i| ParetoPointData {
+//!         gain_db: 49.5 + i as f64 * 0.25,
+//!         phase_margin_deg: 76.5 - i as f64 * 0.3,
+//!         gain_delta_percent: 0.5,
+//!         pm_delta_percent: 1.5,
+//!         unity_gain_hz: 9.0e6,
+//!         parameters: DesignPoint::new().with("w1", 20e-6 + i as f64 * 1e-6),
+//!     })
+//!     .collect();
+//! let model = CombinedOtaModel::from_pareto_data(points, 3.0)?;
+//! let design = model.design_for_spec(&OtaSpec::new(50.0, 74.0))?;
+//! assert!(design.retarget.new_gain_db > 50.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod combined;
+pub mod filter;
+pub mod ota;
+pub mod spec;
+pub mod verilog_a;
+
+pub use combined::{
+    CombinedOtaModel, ModelDesign, ModelError, ParetoPointData, RetargetedPerformance,
+};
+pub use filter::{filter_sweep, simulate_macromodel_filter, FilterResponse};
+pub use ota::OtaBehavior;
+pub use spec::{FilterSpec, FilterSpecReport, OtaSpec};
+pub use verilog_a::{generate_module, VerilogAPackage};

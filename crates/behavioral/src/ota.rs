@@ -1,0 +1,143 @@
+//! Behavioural OTA macromodel.
+//!
+//! The behavioural view of the OTA used throughout the paper: an amplifier
+//! described only by its measured open-loop gain, unity-gain bandwidth and
+//! phase margin. A two-pole transfer function is reconstructed from those
+//! three numbers so the model can reproduce the frequency response the paper
+//! compares against transistor-level simulation in Figure 8.
+
+use ayb_circuit::filter::OtaMacroSpec;
+use ayb_sim::Complex;
+use serde::{Deserialize, Serialize};
+
+/// Behavioural description of one OTA design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OtaBehavior {
+    /// Open-loop (low-frequency) gain in dB.
+    pub gain_db: f64,
+    /// Phase margin in degrees.
+    pub phase_margin_deg: f64,
+    /// Unity-gain frequency in hertz.
+    pub unity_gain_hz: f64,
+}
+
+impl OtaBehavior {
+    /// Creates a behavioural description from measured figures of merit.
+    pub fn new(gain_db: f64, phase_margin_deg: f64, unity_gain_hz: f64) -> Self {
+        OtaBehavior {
+            gain_db,
+            phase_margin_deg,
+            unity_gain_hz,
+        }
+    }
+
+    /// Linear (not dB) low-frequency gain.
+    pub fn gain_linear(&self) -> f64 {
+        10f64.powf(self.gain_db / 20.0)
+    }
+
+    /// Dominant-pole frequency implied by the gain and unity-gain frequency
+    /// (`f_p1 = f_u / A_0` for a single-pole roll-off).
+    pub fn dominant_pole_hz(&self) -> f64 {
+        self.unity_gain_hz / self.gain_linear()
+    }
+
+    /// Non-dominant pole frequency implied by the phase margin.
+    ///
+    /// With a two-pole model, the phase at the unity-gain frequency is
+    /// `−90° − atan(f_u / f_p2)`, so `f_p2 = f_u / tan(90° − PM)`. Returns
+    /// `None` when the phase margin is 90° or more (no second pole needed).
+    pub fn second_pole_hz(&self) -> Option<f64> {
+        if self.phase_margin_deg >= 90.0 {
+            return None;
+        }
+        let excess = (90.0 - self.phase_margin_deg).to_radians();
+        Some(self.unity_gain_hz / excess.tan())
+    }
+
+    /// Complex transfer function of the reconstructed two-pole model at `frequency`.
+    pub fn transfer(&self, frequency: f64) -> Complex {
+        let a0 = Complex::from_real(self.gain_linear());
+        let p1 = Complex::ONE + Complex::new(0.0, frequency / self.dominant_pole_hz());
+        let denom = match self.second_pole_hz() {
+            Some(f_p2) => p1 * (Complex::ONE + Complex::new(0.0, frequency / f_p2)),
+            None => p1,
+        };
+        a0 / denom
+    }
+
+    /// Frequency response over a list of frequencies.
+    pub fn frequency_response(&self, frequencies: &[f64]) -> Vec<Complex> {
+        frequencies.iter().map(|&f| self.transfer(f)).collect()
+    }
+
+    /// Gain of the behavioural model in dB at one frequency.
+    pub fn gain_db_at(&self, frequency: f64) -> f64 {
+        self.transfer(frequency).abs_db()
+    }
+
+    /// Converts the behaviour into the small-signal macromodel (gm / rout /
+    /// cout) used to instantiate the OTA inside a gm-C filter netlist.
+    ///
+    /// `c_load` is the load capacitance assumed to set the dominant pole.
+    pub fn to_macro_spec(&self, c_load: f64) -> OtaMacroSpec {
+        OtaMacroSpec::from_gain_and_bandwidth(self.gain_db, self.unity_gain_hz, c_load)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ayb_sim::measure;
+
+    fn behavior() -> OtaBehavior {
+        OtaBehavior::new(50.0, 75.0, 10e6)
+    }
+
+    #[test]
+    fn gain_conversions() {
+        let b = behavior();
+        assert!((b.gain_linear() - 316.227766).abs() < 1e-4);
+        assert!((b.gain_db_at(1.0) - 50.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn pole_reconstruction_matches_definitions() {
+        let b = behavior();
+        let p1 = b.dominant_pole_hz();
+        assert!((p1 - 10e6 / b.gain_linear()).abs() < 1e-6);
+        let p2 = b.second_pole_hz().unwrap();
+        // PM 75° -> excess phase 15° at f_u -> p2 = f_u / tan(15°) ≈ 3.73 f_u.
+        assert!((p2 - 10e6 / 15f64.to_radians().tan()).abs() / p2 < 1e-9);
+        // A 90°-PM behaviour has no second pole.
+        assert!(OtaBehavior::new(50.0, 90.0, 10e6).second_pole_hz().is_none());
+    }
+
+    #[test]
+    fn measured_response_reproduces_the_declared_figures_of_merit() {
+        let b = behavior();
+        let freqs: Vec<f64> = ayb_sim::FrequencySweep::logarithmic(1.0, 1e9, 40).frequencies();
+        let resp = b.frequency_response(&freqs);
+        let m = measure::measure(&freqs, &resp).unwrap();
+        assert!((m.dc_gain_db - 50.0).abs() < 0.05);
+        let pm = m.phase_margin_deg.unwrap();
+        assert!((pm - 75.0).abs() < 2.0, "pm = {pm}");
+        let fu = m.unity_gain_hz.unwrap();
+        assert!((fu - 10e6).abs() / 10e6 < 0.1, "fu = {fu}");
+    }
+
+    #[test]
+    fn macro_spec_preserves_gain() {
+        let b = behavior();
+        let spec = b.to_macro_spec(5e-12);
+        assert!((spec.gain_db() - 50.0).abs() < 1e-9);
+        assert!(spec.gm > 0.0);
+    }
+
+    #[test]
+    fn lower_phase_margin_means_lower_second_pole() {
+        let high_pm = OtaBehavior::new(50.0, 80.0, 10e6).second_pole_hz().unwrap();
+        let low_pm = OtaBehavior::new(50.0, 55.0, 10e6).second_pole_hz().unwrap();
+        assert!(low_pm < high_pm);
+    }
+}

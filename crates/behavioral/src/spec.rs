@@ -1,0 +1,216 @@
+//! Performance specifications.
+//!
+//! Two specification types appear in the paper: the OTA specification used in
+//! the model-use example of Table 3 (gain > 50 dB, phase margin > 74°) and the
+//! anti-aliasing filter template of Figure 10.
+
+use ayb_sim::Complex;
+use serde::{Deserialize, Serialize};
+
+/// Minimum-performance specification for the OTA (paper Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OtaSpec {
+    /// Required minimum open-loop gain in dB.
+    pub min_gain_db: f64,
+    /// Required minimum phase margin in degrees.
+    pub min_phase_margin_deg: f64,
+}
+
+impl OtaSpec {
+    /// Creates an OTA specification.
+    pub fn new(min_gain_db: f64, min_phase_margin_deg: f64) -> Self {
+        OtaSpec {
+            min_gain_db,
+            min_phase_margin_deg,
+        }
+    }
+
+    /// The paper's Table 3 example: gain > 50 dB, phase margin > 74°.
+    pub fn paper_table3() -> Self {
+        OtaSpec::new(50.0, 74.0)
+    }
+
+    /// The paper's filter application (§5): gain ≥ 50 dB, phase margin ≥ 60°.
+    pub fn paper_filter_application() -> Self {
+        OtaSpec::new(50.0, 60.0)
+    }
+
+    /// Returns `true` if a measured (gain, phase-margin) pair meets the spec.
+    pub fn is_met(&self, gain_db: f64, phase_margin_deg: f64) -> bool {
+        gain_db >= self.min_gain_db && phase_margin_deg >= self.min_phase_margin_deg
+    }
+}
+
+/// Anti-aliasing low-pass filter template (paper Figure 10).
+///
+/// The gain must stay above `passband_min_gain_db` up to `passband_edge_hz`
+/// and fall below `stopband_max_gain_db` beyond `stopband_edge_hz`, both
+/// relative to the DC gain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FilterSpec {
+    /// Passband edge frequency in hertz.
+    pub passband_edge_hz: f64,
+    /// Minimum gain (relative to DC, in dB) allowed inside the passband.
+    pub passband_min_gain_db: f64,
+    /// Stopband edge frequency in hertz.
+    pub stopband_edge_hz: f64,
+    /// Maximum gain (relative to DC, in dB) allowed beyond the stopband edge.
+    pub stopband_max_gain_db: f64,
+    /// Maximum allowed passband peaking relative to DC in dB.
+    pub max_peaking_db: f64,
+}
+
+impl FilterSpec {
+    /// A typical anti-aliasing specification for the paper's 2nd-order filter:
+    /// ≤ 3 dB droop up to 1 MHz, ≥ 30 dB attenuation beyond 10 MHz, ≤ 1 dB
+    /// peaking. (The paper states the template graphically in Figure 10; these
+    /// numbers are a representative instantiation achievable by a 2nd-order
+    /// response.)
+    pub fn anti_aliasing_1mhz() -> Self {
+        FilterSpec {
+            passband_edge_hz: 1e6,
+            passband_min_gain_db: -3.0,
+            stopband_edge_hz: 10e6,
+            stopband_max_gain_db: -30.0,
+            max_peaking_db: 1.0,
+        }
+    }
+
+    /// Evaluates a swept filter response against the template.
+    ///
+    /// `frequencies` and `response` describe the output node phasor of the
+    /// filter for a unit input. Gains are referred to the response at the
+    /// lowest frequency.
+    pub fn evaluate(&self, frequencies: &[f64], response: &[Complex]) -> FilterSpecReport {
+        let reference_db = response.first().map(|z| z.abs_db()).unwrap_or(0.0);
+        let mut worst_passband = f64::INFINITY;
+        let mut worst_stopband = f64::NEG_INFINITY;
+        let mut peak = f64::NEG_INFINITY;
+        for (&f, z) in frequencies.iter().zip(response.iter()) {
+            let rel_db = z.abs_db() - reference_db;
+            if f <= self.passband_edge_hz {
+                worst_passband = worst_passband.min(rel_db);
+                peak = peak.max(rel_db);
+            }
+            if f >= self.stopband_edge_hz {
+                worst_stopband = worst_stopband.max(rel_db);
+            }
+        }
+        FilterSpecReport {
+            passband_worst_db: worst_passband,
+            stopband_worst_db: worst_stopband,
+            peaking_db: peak.max(0.0),
+            passband_ok: worst_passband >= self.passband_min_gain_db,
+            stopband_ok: worst_stopband <= self.stopband_max_gain_db,
+            peaking_ok: peak <= self.max_peaking_db,
+        }
+    }
+
+    /// Convenience: `true` when all template sections are met.
+    pub fn is_met(&self, frequencies: &[f64], response: &[Complex]) -> bool {
+        self.evaluate(frequencies, response).all_met()
+    }
+}
+
+/// Result of checking a response against a [`FilterSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FilterSpecReport {
+    /// Worst (most negative) relative gain inside the passband, in dB.
+    pub passband_worst_db: f64,
+    /// Worst (least negative) relative gain inside the stopband, in dB.
+    pub stopband_worst_db: f64,
+    /// Maximum passband peaking above DC, in dB.
+    pub peaking_db: f64,
+    /// Passband section met.
+    pub passband_ok: bool,
+    /// Stopband section met.
+    pub stopband_ok: bool,
+    /// Peaking limit met.
+    pub peaking_ok: bool,
+}
+
+impl FilterSpecReport {
+    /// All three template sections met.
+    pub fn all_met(&self) -> bool {
+        self.passband_ok && self.stopband_ok && self.peaking_ok
+    }
+
+    /// A scalar "margin" figure used by the filter optimiser: positive when
+    /// the spec is met with margin, negative proportional to the worst
+    /// violation otherwise.
+    pub fn margin_db(&self, spec: &FilterSpec) -> f64 {
+        let passband_margin = self.passband_worst_db - spec.passband_min_gain_db;
+        let stopband_margin = spec.stopband_max_gain_db - self.stopband_worst_db;
+        let peaking_margin = spec.max_peaking_db - self.peaking_db;
+        passband_margin.min(stopband_margin).min(peaking_margin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn biquad_response(f0: f64, q: f64, freqs: &[f64]) -> Vec<Complex> {
+        freqs
+            .iter()
+            .map(|&f| {
+                let s = Complex::new(0.0, f / f0);
+                let denom = Complex::ONE + s * (1.0 / q) + s * s;
+                Complex::ONE / denom
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ota_spec_checks_both_axes() {
+        let spec = OtaSpec::paper_table3();
+        assert!(spec.is_met(50.3, 75.0));
+        assert!(!spec.is_met(49.9, 75.0));
+        assert!(!spec.is_met(50.3, 73.0));
+        assert_eq!(spec.min_gain_db, 50.0);
+        assert_eq!(OtaSpec::paper_filter_application().min_phase_margin_deg, 60.0);
+    }
+
+    #[test]
+    fn well_placed_biquad_meets_anti_aliasing_template() {
+        let spec = FilterSpec::anti_aliasing_1mhz();
+        let freqs: Vec<f64> = ayb_sim::FrequencySweep::logarithmic(1e3, 100e6, 20).frequencies();
+        // f0 at 1.6 MHz with Butterworth-like Q meets 3 dB at 1 MHz and 30 dB at 10 MHz.
+        let resp = biquad_response(1.6e6, std::f64::consts::FRAC_1_SQRT_2, &freqs);
+        let report = spec.evaluate(&freqs, &resp);
+        assert!(report.passband_ok, "passband worst {}", report.passband_worst_db);
+        assert!(report.stopband_ok, "stopband worst {}", report.stopband_worst_db);
+        assert!(report.peaking_ok);
+        assert!(report.all_met());
+        assert!(report.margin_db(&spec) > 0.0);
+        assert!(spec.is_met(&freqs, &resp));
+    }
+
+    #[test]
+    fn too_low_cutoff_fails_passband() {
+        let spec = FilterSpec::anti_aliasing_1mhz();
+        let freqs: Vec<f64> = ayb_sim::FrequencySweep::logarithmic(1e3, 100e6, 20).frequencies();
+        let resp = biquad_response(300e3, std::f64::consts::FRAC_1_SQRT_2, &freqs);
+        let report = spec.evaluate(&freqs, &resp);
+        assert!(!report.passband_ok);
+        assert!(report.margin_db(&spec) < 0.0);
+    }
+
+    #[test]
+    fn too_high_cutoff_fails_stopband() {
+        let spec = FilterSpec::anti_aliasing_1mhz();
+        let freqs: Vec<f64> = ayb_sim::FrequencySweep::logarithmic(1e3, 100e6, 20).frequencies();
+        let resp = biquad_response(8e6, std::f64::consts::FRAC_1_SQRT_2, &freqs);
+        let report = spec.evaluate(&freqs, &resp);
+        assert!(!report.stopband_ok);
+    }
+
+    #[test]
+    fn high_q_fails_peaking() {
+        let spec = FilterSpec::anti_aliasing_1mhz();
+        let freqs: Vec<f64> = ayb_sim::FrequencySweep::logarithmic(1e3, 100e6, 30).frequencies();
+        let resp = biquad_response(1.6e6, 5.0, &freqs);
+        let report = spec.evaluate(&freqs, &resp);
+        assert!(!report.peaking_ok, "peaking {}", report.peaking_db);
+    }
+}

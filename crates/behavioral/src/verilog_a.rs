@@ -1,0 +1,165 @@
+//! Verilog-A code generation.
+//!
+//! The original flow delivers its combined model as a Verilog-A module whose
+//! body is the listing in §4.4 of the paper (a chain of `$table_model()`
+//! calls followed by a behavioural output expression). Since this workspace
+//! evaluates the model natively in Rust, the generator exists to document the
+//! equivalence and to let the produced model be dropped into a Spectre /
+//! Verilog-A flow unchanged: it emits the module text plus the `.tbl` data
+//! files the module references.
+
+use crate::combined::CombinedOtaModel;
+use ayb_table::TableFile;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A generated Verilog-A deliverable: module source plus its data files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerilogAPackage {
+    /// The Verilog-A module source text.
+    pub module_source: String,
+    /// The `.tbl` data files referenced by the module, keyed by file name.
+    pub table_files: BTreeMap<String, TableFile>,
+}
+
+impl VerilogAPackage {
+    /// Writes the module and every data file into `directory`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error message if any file cannot be written.
+    pub fn write_to(&self, directory: &std::path::Path) -> Result<(), String> {
+        std::fs::create_dir_all(directory).map_err(|e| e.to_string())?;
+        std::fs::write(directory.join("ota_yield_model.va"), &self.module_source)
+            .map_err(|e| e.to_string())?;
+        for (name, file) in &self.table_files {
+            file.write_to(&directory.join(name)).map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    }
+}
+
+/// Generates the Verilog-A behavioural module for a combined model.
+///
+/// The emitted module follows the structure of the listing in §4.4:
+/// variation lookup, performance retargeting, designable-parameter lookup,
+/// parameter file output and the behavioural `V(out)` contribution.
+pub fn generate_module(model: &CombinedOtaModel, module_name: &str) -> VerilogAPackage {
+    let mut src = String::new();
+    let w = &mut src;
+    let _ = writeln!(w, "// Auto-generated combined performance and variation model.");
+    let _ = writeln!(
+        w,
+        "// Built from {} Pareto-optimal design points ({}-sigma variation).",
+        model.points().len(),
+        model.sigma_level
+    );
+    let _ = writeln!(w, "`include \"constants.vams\"");
+    let _ = writeln!(w, "`include \"disciplines.vams\"");
+    let _ = writeln!(w);
+    let _ = writeln!(w, "module {module_name}(inp, inn, out);");
+    let _ = writeln!(w, "  inout inp, inn, out;");
+    let _ = writeln!(w, "  electrical inp, inn, out;");
+    let _ = writeln!(w, "  parameter real gain = 50.0;        // required open-loop gain [dB]");
+    let _ = writeln!(w, "  parameter real pm = 74.0;          // required phase margin [deg]");
+    let _ = writeln!(w, "  parameter real ro = 1.0e6;         // output resistance [ohm]");
+    let _ = writeln!(w, "  real gain_delta, pm_delta, gain_prop, pm_prop, gain_in_v;");
+    let param_names: Vec<&str> = model.parameter_names().iter().map(String::as_str).collect();
+    let _ = writeln!(w, "  real {};", param_names.join(", "));
+    let _ = writeln!(w, "  integer fptr;");
+    let _ = writeln!(w);
+    let _ = writeln!(w, "  analog begin");
+    let _ = writeln!(
+        w,
+        "    gain_delta = $table_model (gain, \"gain_delta.tbl\", \"3E\");"
+    );
+    let _ = writeln!(w, "    pm_delta = $table_model (pm, \"pm_delta.tbl\", \"3E\");");
+    let _ = writeln!(w, "    gain_prop = ((gain_delta/100)*gain)+gain;");
+    let _ = writeln!(w, "    pm_prop = ((pm_delta/100)*pm)+pm;");
+    let _ = writeln!(w, "    $display (\"Propose Gain : %e\", gain_prop);");
+    let _ = writeln!(w, "    $display (\"propose PM : %e\", pm_prop);");
+    for name in &param_names {
+        let _ = writeln!(
+            w,
+            "    {name} = $table_model (gain_prop, pm_prop, \"{name}_data.tbl\", \"3E,3E\");"
+        );
+    }
+    let _ = writeln!(w, "    fptr = $fopen(\"params.dat\");");
+    let _ = writeln!(w, "    $fwrite(fptr, \"\\n Generated Design Parameters\\n \");");
+    let fmt: Vec<&str> = param_names.iter().map(|_| "%e").collect();
+    let _ = writeln!(
+        w,
+        "    $fwrite(fptr, \"{}\", {});",
+        fmt.join(" "),
+        param_names.join(", ")
+    );
+    let _ = writeln!(w, "    $fclose(fptr);");
+    let _ = writeln!(w, "    gain_in_v = pow(10, gain_prop/20);");
+    let _ = writeln!(w, "    V(out) <+ V(inp, inn)*(-gain_in_v) - I(out)*ro;");
+    let _ = writeln!(w, "  end");
+    let _ = writeln!(w, "endmodule");
+
+    VerilogAPackage {
+        module_source: src,
+        table_files: model.export_table_files(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combined::ParetoPointData;
+    use ayb_circuit::DesignPoint;
+
+    fn model() -> CombinedOtaModel {
+        let points: Vec<ParetoPointData> = (0..10)
+            .map(|i| ParetoPointData {
+                gain_db: 49.5 + i as f64 * 0.2,
+                phase_margin_deg: 76.0 - i as f64 * 0.3,
+                gain_delta_percent: 0.5,
+                pm_delta_percent: 1.5,
+                unity_gain_hz: 9e6,
+                parameters: DesignPoint::new()
+                    .with("w1", 20e-6 + i as f64 * 1e-6)
+                    .with("l1", 1e-6),
+            })
+            .collect();
+        CombinedOtaModel::from_pareto_data(points, 3.0).unwrap()
+    }
+
+    #[test]
+    fn module_contains_paper_structure() {
+        let pkg = generate_module(&model(), "ota_yield_model");
+        let src = &pkg.module_source;
+        assert!(src.contains("module ota_yield_model"));
+        assert!(src.contains("$table_model (gain, \"gain_delta.tbl\", \"3E\")"));
+        assert!(src.contains("$table_model (pm, \"pm_delta.tbl\", \"3E\")"));
+        assert!(src.contains("gain_prop = ((gain_delta/100)*gain)+gain;"));
+        assert!(src.contains("w1 = $table_model (gain_prop, pm_prop, \"w1_data.tbl\", \"3E,3E\");"));
+        assert!(src.contains("V(out) <+"));
+        assert!(src.contains("endmodule"));
+    }
+
+    #[test]
+    fn package_bundles_every_table_file() {
+        let pkg = generate_module(&model(), "ota_yield_model");
+        assert!(pkg.table_files.contains_key("gain_delta.tbl"));
+        assert!(pkg.table_files.contains_key("pm_delta.tbl"));
+        assert!(pkg.table_files.contains_key("w1_data.tbl"));
+        assert!(pkg.table_files.contains_key("l1_data.tbl"));
+        // Every file referenced from the module source exists in the bundle.
+        for name in pkg.table_files.keys() {
+            assert!(pkg.module_source.contains(name.as_str()), "{name} not referenced");
+        }
+    }
+
+    #[test]
+    fn package_writes_to_disk() {
+        let dir = std::env::temp_dir().join("ayb_verilog_a_test");
+        let pkg = generate_module(&model(), "ota_yield_model");
+        pkg.write_to(&dir).unwrap();
+        assert!(dir.join("ota_yield_model.va").exists());
+        assert!(dir.join("gain_delta.tbl").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,96 @@
+//! Ablation of the table-model interpolation order (paper §2.2): cubic spline
+//! (the paper's choice, "3E") versus quadratic and linear interpolation.
+//! Criterion measures lookup cost; the accuracy comparison is printed once to
+//! stderr so it lands in the bench log.
+
+use ayb_table::{DimensionControl, Extrapolation, Interpolation, Table1d};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Pareto-front-like data: gain variation versus gain, smooth but curved.
+fn sample_data() -> (Vec<f64>, Vec<f64>) {
+    let x: Vec<f64> = (0..24).map(|i| 49.0 + i as f64 * 0.125).collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|g| 0.55 - 0.04 * (g - 49.0) + 0.01 * ((g - 49.0) * 1.3).sin())
+        .collect();
+    (x, y)
+}
+
+fn table_with(interpolation: Interpolation) -> Table1d {
+    let (x, y) = sample_data();
+    Table1d::new(
+        &x,
+        &y,
+        DimensionControl {
+            interpolation,
+            extrapolation: Extrapolation::Clamp,
+        },
+    )
+    .expect("table builds")
+}
+
+fn report_accuracy() {
+    // Hold out every other point and measure reconstruction error.
+    let (x, y) = sample_data();
+    let train_x: Vec<f64> = x.iter().copied().step_by(2).collect();
+    let train_y: Vec<f64> = y.iter().copied().step_by(2).collect();
+    for (name, interpolation) in [
+        ("linear", Interpolation::Linear),
+        ("quadratic", Interpolation::Quadratic),
+        ("cubic_spline", Interpolation::CubicSpline),
+    ] {
+        let table = Table1d::new(
+            &train_x,
+            &train_y,
+            DimensionControl {
+                interpolation,
+                extrapolation: Extrapolation::Clamp,
+            },
+        )
+        .expect("table builds");
+        let mut max_err = 0.0f64;
+        for (xi, yi) in x.iter().zip(y.iter()).skip(1).step_by(2) {
+            max_err = max_err.max((table.lookup(*xi).unwrap() - yi).abs());
+        }
+        eprintln!("[ablation_interpolation] {name:<13} held-out max error = {max_err:.3e}");
+    }
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    report_accuracy();
+    let queries: Vec<f64> = (0..100).map(|i| 49.05 + i as f64 * 0.028).collect();
+    let mut group = c.benchmark_group("table_lookup_100_queries");
+    for (name, interpolation) in [
+        ("linear", Interpolation::Linear),
+        ("quadratic", Interpolation::Quadratic),
+        ("cubic_spline", Interpolation::CubicSpline),
+    ] {
+        let table = table_with(interpolation);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &q in &queries {
+                    acc += table.lookup(black_box(q)).unwrap();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_lookup
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Ablation of the Monte Carlo sample count used per Pareto point (the paper
+//! uses 200): cost scales linearly while the variation estimate converges as
+//! 1/√N. Criterion measures the cost; the convergence of the ΔGain estimate is
+//! printed to stderr.
+
+use ayb_circuit::ota::{build_open_loop_testbench, OtaParameters, OtaTestbenchConfig};
+use ayb_core::measure_testbench;
+use ayb_process::{montecarlo, MonteCarloConfig, ProcessVariation, Summary};
+use ayb_sim::FrequencySweep;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn report_convergence() {
+    let tb = build_open_loop_testbench(&OtaParameters::nominal(), &OtaTestbenchConfig::new())
+        .expect("test bench builds");
+    let variation = ProcessVariation::generic_035um();
+    let sweep = FrequencySweep::logarithmic(10.0, 1e9, 4);
+    for samples in [8usize, 16, 32, 64] {
+        let run = montecarlo::run_parallel(
+            &tb,
+            &variation,
+            &MonteCarloConfig::new(samples, 42),
+            4,
+            |sample| measure_testbench(sample, &sweep).map(|p| p.gain_db),
+        );
+        if let Some(stats) = Summary::of(&run.values) {
+            eprintln!(
+                "[ablation_mc_samples] N = {samples:>3}: dGain(3-sigma) = {:.3}% (sigma {:.4} dB)",
+                stats.variation_percent(3.0),
+                stats.std_dev
+            );
+        }
+    }
+}
+
+fn bench_mc_sample_counts(c: &mut Criterion) {
+    report_convergence();
+    let tb = build_open_loop_testbench(&OtaParameters::nominal(), &OtaTestbenchConfig::new())
+        .expect("test bench builds");
+    let variation = ProcessVariation::generic_035um();
+    let sweep = FrequencySweep::logarithmic(10.0, 1e9, 4);
+
+    let mut group = c.benchmark_group("mc_variation_per_pareto_point");
+    for samples in [4usize, 8, 16] {
+        group.bench_function(format!("{samples}_samples"), |b| {
+            b.iter(|| {
+                montecarlo::run(
+                    black_box(&tb),
+                    &variation,
+                    &MonteCarloConfig::new(samples, 7),
+                    |sample| measure_testbench(sample, &sweep).map(|p| p.gain_db),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_mc_sample_counts
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ablation of the optimiser choice: the paper's weight-based GA versus the
+//! NSGA-II baseline at the same evaluation budget. Criterion measures runtime;
+//! the front-quality comparison (hypervolume, front size) is printed to stderr.
+
+use ayb_moo::{hypervolume_2d, FnProblem, GaConfig, Nsga2, ObjectiveSpec, Wbga};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// A cheap analytic stand-in for the OTA trade-off: maximise both objectives,
+/// concave front, two nuisance dimensions.
+fn surrogate_problem() -> FnProblem<impl Fn(&[f64]) -> Option<Vec<f64>>> {
+    FnProblem::new(
+        4,
+        vec![
+            ObjectiveSpec::maximize("gain_like"),
+            ObjectiveSpec::maximize("pm_like"),
+        ],
+        |x: &[f64]| {
+            let spread = 1.0 - 0.3 * ((x[2] - 0.5).abs() + (x[3] - 0.5).abs());
+            let gain = 49.0 + 3.0 * x[0] * spread;
+            let pm = 72.0 + 6.0 * (1.0 - x[0] * x[0]).sqrt() * spread - 2.0 * x[1];
+            Some(vec![gain, pm])
+        },
+    )
+}
+
+fn ga_config() -> GaConfig {
+    GaConfig {
+        population_size: 40,
+        generations: 25,
+        ..GaConfig::small_test()
+    }
+}
+
+fn report_front_quality() {
+    let problem = surrogate_problem();
+    let cfg = ga_config();
+    let wbga = Wbga::new(cfg).run(&problem);
+    let nsga2 = Nsga2::new(cfg).run(&problem);
+    let reference = [48.0, 65.0];
+    let hv_wbga = hypervolume_2d(&wbga.pareto_front(), reference, &wbga.senses);
+    let hv_nsga2 = hypervolume_2d(&nsga2.pareto_front(), reference, &nsga2.senses);
+    eprintln!(
+        "[ablation_wbga_vs_nsga2] WBGA : front {} points, hypervolume {hv_wbga:.2}",
+        wbga.pareto_front().len()
+    );
+    eprintln!(
+        "[ablation_wbga_vs_nsga2] NSGA2: front {} points, hypervolume {hv_nsga2:.2}",
+        nsga2.pareto_front().len()
+    );
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    report_front_quality();
+    let problem = surrogate_problem();
+    let cfg = ga_config();
+    let mut group = c.benchmark_group("optimizer_1000_evaluations");
+    group.bench_function("wbga", |b| {
+        b.iter(|| Wbga::new(cfg).run(black_box(&problem)))
+    });
+    group.bench_function("nsga2", |b| {
+        b.iter(|| Nsga2::new(cfg).run(black_box(&problem)))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_optimizers
+}
+criterion_main!(benches);

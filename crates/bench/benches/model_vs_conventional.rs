@@ -1,0 +1,91 @@
+//! The headline comparison of the paper: answering yield / sizing questions
+//! through the behavioural model versus the conventional transistor-in-the-
+//! loop Monte Carlo approach.
+
+use ayb_behavioral::filter::{filter_sweep, simulate_macromodel_filter, size_capacitors_for};
+use ayb_behavioral::{CombinedOtaModel, FilterSpec, OtaBehavior, OtaSpec, ParetoPointData};
+use ayb_circuit::ota::OtaParameters;
+use ayb_core::{conventional, filter_design, FlowConfig};
+use ayb_sim::FrequencySweep;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn synthetic_model() -> CombinedOtaModel {
+    let points: Vec<ParetoPointData> = (0..30)
+        .map(|i| ParetoPointData {
+            gain_db: 47.0 + i as f64 * 0.2,
+            phase_margin_deg: 80.0 - i as f64 * 0.3,
+            gain_delta_percent: 0.5,
+            pm_delta_percent: 1.5,
+            unity_gain_hz: 9e6,
+            parameters: OtaParameters::nominal().to_design_point(),
+        })
+        .collect();
+    CombinedOtaModel::from_pareto_data(points, 3.0).expect("model builds")
+}
+
+fn bench_ota_yield_query(c: &mut Criterion) {
+    let mut config = FlowConfig::reduced();
+    config.sweep = FrequencySweep::logarithmic(10.0, 1e9, 4);
+    let model = synthetic_model();
+    let spec = OtaSpec::new(50.0, 70.0);
+    let nominal = OtaParameters::nominal();
+
+    let mut group = c.benchmark_group("ota_yield_query");
+    group.bench_function("model_based_lookup", |b| {
+        b.iter(|| conventional::model_based_ota_yield(black_box(&model), black_box(&spec)))
+    });
+    group.bench_function("conventional_transistor_mc_16_samples", |b| {
+        b.iter(|| {
+            conventional::conventional_ota_yield(black_box(&nominal), &spec, &config, 16, 3)
+                .expect("yield runs")
+        })
+    });
+    group.finish();
+}
+
+fn bench_filter_candidate_evaluation(c: &mut Criterion) {
+    let mut config = FlowConfig::reduced();
+    config.sweep = FrequencySweep::logarithmic(10.0, 1e9, 4);
+    let behavior = OtaBehavior::new(50.3, 75.0, 9.5e6);
+    let macro_spec = behavior.to_macro_spec(config.testbench.cload);
+    let caps = size_capacitors_for(1.6e6, std::f64::consts::FRAC_1_SQRT_2, macro_spec.gm);
+    let ota_params = OtaParameters::nominal();
+    let spec = FilterSpec::anti_aliasing_1mhz();
+
+    let mut group = c.benchmark_group("filter_candidate_evaluation");
+    group.bench_function("behavioural_macromodel_filter", |b| {
+        b.iter(|| {
+            simulate_macromodel_filter(black_box(&caps), &macro_spec, &filter_sweep())
+                .expect("behavioural filter simulates")
+        })
+    });
+    group.bench_function("transistor_level_filter_40_mosfets", |b| {
+        b.iter(|| {
+            filter_design::simulate_transistor_filter(
+                black_box(&caps),
+                &ota_params,
+                &spec,
+                &config,
+                &filter_sweep(),
+            )
+            .expect("transistor filter simulates")
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ota_yield_query, bench_filter_candidate_evaluation
+}
+criterion_main!(benches);

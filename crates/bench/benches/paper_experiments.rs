@@ -1,0 +1,151 @@
+//! One benchmark group per table / figure of the paper's evaluation section,
+//! measuring the cost of regenerating that artefact (at a scaled-down
+//! workload; the report binaries in `src/bin/` produce the artefacts
+//! themselves).
+
+use ayb_behavioral::{CombinedOtaModel, OtaBehavior, OtaSpec, ParetoPointData};
+use ayb_circuit::ota::{OtaParameters, OtaTestbenchConfig};
+use ayb_circuit::DesignPoint;
+use ayb_core::ota_problem::{evaluate_ota, OtaSizingProblem};
+use ayb_core::{flow, FlowConfig};
+use ayb_moo::{pareto_front, Evaluation, Sense, Wbga};
+use ayb_sim::FrequencySweep;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn tiny_config() -> FlowConfig {
+    let mut config = FlowConfig::reduced();
+    config.ga.population_size = 8;
+    config.ga.generations = 4;
+    config.monte_carlo.samples = 4;
+    config.max_pareto_points = 4;
+    config.sweep = FrequencySweep::logarithmic(10.0, 1e9, 4);
+    config
+}
+
+/// A synthetic but realistic combined model (avoids running the flow in
+/// benches that only exercise the model-use path).
+fn synthetic_model() -> CombinedOtaModel {
+    let points: Vec<ParetoPointData> = (0..40)
+        .map(|i| ParetoPointData {
+            gain_db: 48.0 + i as f64 * 0.1,
+            phase_margin_deg: 78.0 - i as f64 * 0.12,
+            gain_delta_percent: 0.6 - i as f64 * 0.003,
+            pm_delta_percent: 1.4 + i as f64 * 0.008,
+            unity_gain_hz: 8e6 + i as f64 * 1e5,
+            parameters: DesignPoint::new()
+                .with("w1", 20e-6 + i as f64 * 0.8e-6)
+                .with("l1", 1.2e-6 - i as f64 * 0.01e-6)
+                .with("w2", 25e-6)
+                .with("l2", 1.0e-6)
+                .with("w3", 20e-6)
+                .with("l3", 1.0e-6)
+                .with("w4", 14e-6)
+                .with("l4", 1.0e-6),
+        })
+        .collect();
+    CombinedOtaModel::from_pareto_data(points, 3.0).expect("synthetic model builds")
+}
+
+/// Figure 7: WBGA exploration plus Pareto extraction (scaled-down budget).
+fn bench_fig7(c: &mut Criterion) {
+    let config = tiny_config();
+    let problem = OtaSizingProblem::new(OtaTestbenchConfig::new(), config.sweep.clone());
+    c.bench_function("fig7/wbga_exploration_32_simulations", |b| {
+        b.iter(|| Wbga::new(config.ga).run(black_box(&problem)))
+    });
+
+    // Pareto extraction alone over a large synthetic archive (the paper
+    // filters 10 000 points down to 1022).
+    let mut seed = 1u64;
+    let mut next = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((seed >> 33) as f64) / (1u64 << 31) as f64
+    };
+    let archive: Vec<Evaluation> = (0..10_000)
+        .map(|_| {
+            let g = 45.0 + 10.0 * next();
+            let pm = 60.0 + 25.0 * next();
+            Evaluation::new(vec![0.0], vec![g, pm])
+        })
+        .collect();
+    let senses = [Sense::Maximize, Sense::Maximize];
+    c.bench_function("fig7/pareto_extraction_10000_points", |b| {
+        b.iter(|| pareto_front(black_box(&archive), &senses))
+    });
+}
+
+/// Table 2: Monte Carlo variation analysis of a single Pareto point.
+fn bench_table2(c: &mut Criterion) {
+    let config = tiny_config();
+    let problem = OtaSizingProblem::new(OtaTestbenchConfig::new(), config.sweep.clone());
+    let point = Evaluation::new(vec![0.5; 8], vec![0.0, 0.0]);
+    c.bench_function("table2/mc_variation_one_point_4_samples", |b| {
+        b.iter(|| flow::analyse_pareto_point(black_box(&problem), black_box(&point), &config))
+    });
+}
+
+/// Table 3: retargeting lookups on the combined model.
+fn bench_table3(c: &mut Criterion) {
+    let model = synthetic_model();
+    let spec = OtaSpec::new(50.0, 74.0);
+    c.bench_function("table3/model_retarget_and_parameter_lookup", |b| {
+        b.iter(|| model.design_for_spec(black_box(&spec)).expect("achievable"))
+    });
+}
+
+/// Table 4: one transistor-level verification simulation.
+fn bench_table4(c: &mut Criterion) {
+    let config = tiny_config();
+    let params = OtaParameters::nominal();
+    c.bench_function("table4/transistor_verification_simulation", |b| {
+        b.iter(|| evaluate_ota(black_box(&params), &config.testbench, &config.sweep).expect("simulates"))
+    });
+}
+
+/// Figure 8: behavioural-model frequency response reconstruction.
+fn bench_fig8(c: &mut Criterion) {
+    let behavior = OtaBehavior::new(50.3, 75.3, 9.5e6);
+    let freqs = FrequencySweep::logarithmic(10.0, 1e9, 10).frequencies();
+    c.bench_function("fig8/behavioural_frequency_response", |b| {
+        b.iter(|| behavior.frequency_response(black_box(&freqs)))
+    });
+}
+
+/// Figures 9–11: behavioural filter evaluation (the §5 inner loop).
+fn bench_fig10_11(c: &mut Criterion) {
+    use ayb_behavioral::filter::{filter_sweep, simulate_macromodel_filter, size_capacitors_for};
+    let behavior = OtaBehavior::new(50.3, 75.3, 9.5e6);
+    let macro_spec = behavior.to_macro_spec(5e-12);
+    let caps = size_capacitors_for(1.6e6, std::f64::consts::FRAC_1_SQRT_2, macro_spec.gm);
+    c.bench_function("fig11/behavioural_filter_evaluation", |b| {
+        b.iter(|| {
+            simulate_macromodel_filter(black_box(&caps), &macro_spec, &filter_sweep())
+                .expect("filter simulates")
+        })
+    });
+}
+
+/// Table 5: the whole flow at a very small scale (cost scales linearly with
+/// the evaluation budget, so the full-scale time can be extrapolated).
+fn bench_table5(c: &mut Criterion) {
+    let config = tiny_config();
+    c.bench_function("table5/full_flow_tiny_scale", |b| {
+        b.iter(|| flow::generate_model(black_box(&config)).expect("flow completes"))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig7, bench_table2, bench_table3, bench_table4, bench_fig8, bench_fig10_11, bench_table5
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Benchmarks of the simulation kernel that every experiment in the paper
+//! rests on: MOSFET evaluation, DC operating point and AC sweep of the
+//! ten-transistor OTA test bench.
+
+use ayb_circuit::ota::{build_open_loop_testbench, OtaParameters, OtaTestbenchConfig};
+use ayb_circuit::{Mosfet, MosfetModelCard, NodeId};
+use ayb_sim::{ac_analysis, dc_operating_point, mosfet, DcOptions, FrequencySweep};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_mosfet_eval(c: &mut Criterion) {
+    let card = MosfetModelCard::nmos_035um();
+    let device = Mosfet::new(
+        NodeId::GROUND,
+        NodeId::GROUND,
+        NodeId::GROUND,
+        NodeId::GROUND,
+        "nmos",
+        20e-6,
+        1e-6,
+    );
+    c.bench_function("sim_kernel/mosfet_evaluate", |b| {
+        b.iter(|| mosfet::evaluate(black_box(&card), black_box(&device), 1.3, 1.0, 0.0, 0.0))
+    });
+}
+
+fn bench_dc_operating_point(c: &mut Criterion) {
+    let tb = build_open_loop_testbench(&OtaParameters::nominal(), &OtaTestbenchConfig::new())
+        .expect("test bench builds");
+    c.bench_function("sim_kernel/ota_dc_operating_point", |b| {
+        b.iter(|| dc_operating_point(black_box(&tb), &DcOptions::new()).expect("converges"))
+    });
+}
+
+fn bench_ac_sweep(c: &mut Criterion) {
+    let tb = build_open_loop_testbench(&OtaParameters::nominal(), &OtaTestbenchConfig::new())
+        .expect("test bench builds");
+    let op = dc_operating_point(&tb, &DcOptions::new()).expect("converges");
+    let sweep = FrequencySweep::logarithmic(10.0, 1e9, 8);
+    c.bench_function("sim_kernel/ota_ac_sweep_65_points", |b| {
+        b.iter(|| ac_analysis(black_box(&tb), black_box(&op), &sweep).expect("ac runs"))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_mosfet_eval, bench_dc_operating_point, bench_ac_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates **Figures 9/10**: the 2nd-order gm-C low-pass filter netlist
+//! and the anti-aliasing specification template it is designed against.
+
+use ayb_behavioral::FilterSpec;
+use ayb_circuit::filter::{build_filter_with_macromodels, FilterParameters, OtaMacroSpec};
+use ayb_circuit::spice::to_spice;
+
+fn main() {
+    let spec = FilterSpec::anti_aliasing_1mhz();
+    println!("Figure 10: anti-aliasing filter specification template");
+    println!(
+        "  passband: gain >= {:.1} dB (relative to DC) up to {:.2} MHz",
+        spec.passband_min_gain_db,
+        spec.passband_edge_hz / 1e6
+    );
+    println!(
+        "  stopband: gain <= {:.1} dB beyond {:.2} MHz",
+        spec.stopband_max_gain_db,
+        spec.stopband_edge_hz / 1e6
+    );
+    println!("  peaking : <= {:.1} dB", spec.max_peaking_db);
+    println!();
+    println!("Figure 9: 2nd-order gm-C biquad built from four behavioural OTAs");
+    let ota = OtaMacroSpec::from_gain_and_bandwidth(50.0, 10e6, 5e-12);
+    let filter = build_filter_with_macromodels(&FilterParameters::nominal(), &ota)
+        .expect("filter builds");
+    println!("{}", to_spice(&filter));
+}

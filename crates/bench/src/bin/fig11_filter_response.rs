@@ -1,0 +1,106 @@
+//! Regenerates **Figure 11**: the frequency response of the completed filter
+//! design (behavioural and transistor-level), plus the Monte Carlo yield
+//! verification of §5. Output is CSV.
+
+use ayb_behavioral::{FilterSpec, OtaSpec};
+use ayb_bench::{run_flow, Scale};
+use ayb_circuit::ota::OtaParameters;
+use ayb_core::{design_filter, filter_design};
+use ayb_moo::GaConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let config = scale.flow_config();
+    let result = run_flow(scale);
+    let model = &result.model;
+
+    let (gain_lo, gain_hi) = model.gain_range_db();
+    let spec_gain = if (gain_lo..gain_hi).contains(&50.0) {
+        50.0
+    } else {
+        gain_lo + 0.3 * (gain_hi - gain_lo)
+    };
+    let ota_spec = OtaSpec::new(
+        spec_gain,
+        (model.pm_at_gain(spec_gain).expect("pm lookup") - 10.0).max(30.0),
+    );
+    let filter_spec = FilterSpec::anti_aliasing_1mhz();
+
+    let ga = match scale {
+        Scale::Full => GaConfig::paper_filter(),
+        Scale::Demo => GaConfig {
+            population_size: 24,
+            generations: 20,
+            ..GaConfig::paper_filter()
+        },
+        Scale::Reduced => GaConfig {
+            population_size: 14,
+            generations: 10,
+            ..GaConfig::paper_filter()
+        },
+    };
+    let design = design_filter(model, &ota_spec, &filter_spec, ga, config.testbench.cload)
+        .expect("filter design succeeds");
+    eprintln!(
+        "[fig11] capacitors: C1 {:.2} pF, C2 {:.2} pF, C3 {:.2} pF; behavioural spec margin {:.2} dB",
+        design.capacitors.c1 * 1e12,
+        design.capacitors.c2 * 1e12,
+        design.capacitors.c3 * 1e12,
+        design.margin_db
+    );
+
+    // Transistor-level response of the same sizing.
+    let ota_params = OtaParameters::from_design_point(&design.ota_design.parameters);
+    let transistor = filter_design::simulate_transistor_filter(
+        &design.capacitors,
+        &ota_params,
+        &filter_spec,
+        &config,
+        &ayb_behavioral::filter::filter_sweep(),
+    );
+
+    let behavioural_db = design.response.gain_db();
+    match transistor {
+        Some((t_response, report)) => {
+            eprintln!(
+                "[fig11] transistor-level: passband worst {:.2} dB, stopband worst {:.2} dB, spec met = {}",
+                report.passband_worst_db,
+                report.stopband_worst_db,
+                report.all_met()
+            );
+            let t_db = t_response.gain_db();
+            print!(
+                "{}",
+                ayb_core::report::render_response_csv(
+                    "Figure 11: filter response (behavioural vs transistor level)",
+                    &design.response.frequencies,
+                    &[("behavioural_db", behavioural_db), ("transistor_db", t_db)],
+                )
+            );
+        }
+        None => {
+            eprintln!("[fig11] transistor-level filter failed to simulate; emitting behavioural response only");
+            print!(
+                "{}",
+                ayb_core::report::render_response_csv(
+                    "Figure 11: filter response (behavioural)",
+                    &design.response.frequencies,
+                    &[("behavioural_db", behavioural_db)],
+                )
+            );
+        }
+    }
+
+    // Final Monte Carlo yield verification (500 samples at full scale).
+    let samples = scale.verification_samples();
+    if let Some(yield_report) =
+        filter_design::verify_filter_yield(&design, &filter_spec, &config, samples, 2008)
+    {
+        eprintln!(
+            "[fig11] Monte Carlo yield: {:.1}% over {} samples ({} failed simulations)",
+            yield_report.yield_percent(),
+            yield_report.samples,
+            yield_report.failed_samples
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerates **Figure 7**: the gain / phase-margin scatter of every GA
+//! individual together with the extracted Pareto front.
+//!
+//! Output is CSV on stdout (`gain_db,phase_margin_deg,on_pareto_front`);
+//! summary statistics go to stderr.
+
+use ayb_bench::{run_flow, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let result = run_flow(scale);
+    eprintln!(
+        "[fig7] {} individuals evaluated, {} Pareto-optimal ({} analysed with Monte Carlo)",
+        result.archive.len(),
+        result.pareto.len(),
+        result.pareto_data.len()
+    );
+    if let (Some(first), Some(last)) = (result.pareto.first(), result.pareto.last()) {
+        eprintln!(
+            "[fig7] front spans gain {:.2}..{:.2} dB, phase margin {:.2}..{:.2} deg",
+            first.objectives[0], last.objectives[0], last.objectives[1], first.objectives[1]
+        );
+    }
+    print!(
+        "{}",
+        ayb_core::report::render_fig7_data(&result.archive, &result.pareto)
+    );
+}

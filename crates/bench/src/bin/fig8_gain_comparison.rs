@@ -1,0 +1,57 @@
+//! Regenerates **Figure 8**: open-loop gain versus frequency for the
+//! behavioural model and the transistor-level OTA at the same design point.
+//! Output is CSV (`frequency_hz, transistor_db, behavioural_db`).
+
+use ayb_behavioral::{OtaBehavior, OtaSpec};
+use ayb_bench::{run_flow, Scale};
+use ayb_circuit::ota::{build_open_loop_testbench, OtaParameters, OPEN_LOOP_OUTPUT};
+use ayb_sim::{ac_analysis, dc_operating_point, DcOptions, FrequencySweep};
+
+fn main() {
+    let scale = Scale::from_args();
+    let config = scale.flow_config();
+    let result = run_flow(scale);
+    let model = &result.model;
+
+    let (gain_lo, gain_hi) = model.gain_range_db();
+    let spec_gain = if (gain_lo..gain_hi).contains(&50.0) {
+        50.0
+    } else {
+        gain_lo + 0.3 * (gain_hi - gain_lo)
+    };
+    let pm = model.pm_at_gain(spec_gain).expect("pm lookup");
+    let design = model
+        .design_for_spec(&OtaSpec::new(spec_gain, pm - 3.0))
+        .expect("design achievable");
+
+    // Transistor-level response of the interpolated design parameters.
+    let params = OtaParameters::from_design_point(&design.parameters);
+    let tb = build_open_loop_testbench(&params, &config.testbench).expect("test bench builds");
+    let op = dc_operating_point(&tb, &DcOptions::new()).expect("dc converges");
+    let sweep = FrequencySweep::logarithmic(10.0, 1e9, 10);
+    let ac = ac_analysis(&tb, &op, &sweep).expect("ac runs");
+    let transistor = ac.response_by_name(&tb, OPEN_LOOP_OUTPUT).expect("output node");
+
+    // Behavioural (two-pole) model reconstructed from the model's prediction.
+    let behavior = OtaBehavior::new(
+        design.retarget.new_gain_db,
+        design.nominal_pm_deg,
+        design.predicted_unity_gain_hz,
+    );
+    let behavioural = behavior.frequency_response(ac.frequencies());
+
+    let transistor_db: Vec<f64> = transistor.iter().map(|z| z.abs_db()).collect();
+    let behavioural_db: Vec<f64> = behavioural.iter().map(|z| z.abs_db()).collect();
+    eprintln!(
+        "[fig8] low-frequency gains: transistor {:.2} dB vs behavioural {:.2} dB",
+        transistor_db[0], behavioural_db[0]
+    );
+    print!(
+        "{}",
+        ayb_core::report::render_response_csv(
+            "Figure 8: open-loop gain comparison (transistor vs behavioural model)",
+            ac.frequencies(),
+            &[("transistor_db", transistor_db), ("behavioural_db", behavioural_db)],
+        )
+    );
+}

@@ -1,0 +1,6 @@
+//! Regenerates **Table 1**: the designable parameter ranges of the
+//! symmetrical OTA (widths 10–60 µm, lengths 0.35–4 µm, normalised weights).
+
+fn main() {
+    println!("{}", ayb_core::report::render_table1());
+}

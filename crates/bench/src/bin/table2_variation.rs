@@ -1,0 +1,31 @@
+//! Regenerates **Table 2**: performance and variation values of the
+//! Pareto-optimal designs (gain, ΔGain %, phase margin, ΔPM %).
+
+use ayb_bench::{run_flow, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let result = run_flow(scale);
+    println!("{}", ayb_core::report::render_table2(&result.pareto_data));
+    // The paper's qualitative observation: variation changes monotonically
+    // along the front (higher-gain designs trade phase margin and shift
+    // their sensitivity). Report the correlation for the reproduction.
+    let n = result.pareto_data.len() as f64;
+    if n >= 3.0 {
+        let mean_gain: f64 =
+            result.pareto_data.iter().map(|p| p.gain_db).sum::<f64>() / n;
+        let mean_delta: f64 = result
+            .pareto_data
+            .iter()
+            .map(|p| p.gain_delta_percent)
+            .sum::<f64>()
+            / n;
+        let cov: f64 = result
+            .pareto_data
+            .iter()
+            .map(|p| (p.gain_db - mean_gain) * (p.gain_delta_percent - mean_delta))
+            .sum::<f64>()
+            / n;
+        println!("covariance(gain, dGain%) = {cov:.4} (paper Table 2 trends negative)");
+    }
+}

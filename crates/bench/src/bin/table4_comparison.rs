@@ -1,0 +1,41 @@
+//! Regenerates **Table 4**: comparison between the behavioural (Verilog-A
+//! equivalent) model prediction and a transistor-level simulation of the
+//! design parameters the model interpolated (≈1 % error in the paper).
+
+use ayb_behavioral::OtaSpec;
+use ayb_bench::{run_flow, Scale};
+use ayb_core::verify_accuracy;
+
+fn main() {
+    let scale = Scale::from_args();
+    let config = scale.flow_config();
+    let result = run_flow(scale);
+    let model = &result.model;
+
+    let (gain_lo, gain_hi) = model.gain_range_db();
+    let spec = if (gain_lo..gain_hi).contains(&50.0) {
+        OtaSpec::paper_table3()
+    } else {
+        let gain = gain_lo + 0.3 * (gain_hi - gain_lo);
+        OtaSpec::new(gain, model.pm_at_gain(gain).expect("pm lookup") - 3.0)
+    };
+
+    let design = match model.design_for_spec(&spec) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("[table4] specification not achievable: {e}");
+            return;
+        }
+    };
+    match verify_accuracy(&design, &config) {
+        Some((report, transistor)) => {
+            println!("{}", ayb_core::report::render_table4(&report));
+            println!(
+                "Transistor-level unity-gain frequency: {:.2} MHz (model predicted {:.2} MHz)",
+                transistor.unity_gain_hz / 1e6,
+                design.predicted_unity_gain_hz / 1e6
+            );
+        }
+        None => eprintln!("[table4] transistor-level simulation failed for the selected design"),
+    }
+}

@@ -1,0 +1,358 @@
+//! Circuit devices.
+//!
+//! Every device variant carries its terminal [`NodeId`]s and element values.
+//! The simulator in `ayb-sim` pattern-matches on [`Device`] to stamp the MNA
+//! matrices; the process-variation engine mutates the mismatch fields of
+//! [`Mosfet`] instances.
+
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Small-signal (AC) source specification shared by voltage and current sources.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcSpec {
+    /// AC magnitude (volts or amps).
+    pub magnitude: f64,
+    /// AC phase in degrees.
+    pub phase_deg: f64,
+}
+
+impl AcSpec {
+    /// Unit-magnitude, zero-phase AC stimulus.
+    pub fn unit() -> Self {
+        AcSpec {
+            magnitude: 1.0,
+            phase_deg: 0.0,
+        }
+    }
+
+    /// No AC stimulus.
+    pub fn none() -> Self {
+        AcSpec {
+            magnitude: 0.0,
+            phase_deg: 0.0,
+        }
+    }
+}
+
+impl Default for AcSpec {
+    fn default() -> Self {
+        AcSpec::none()
+    }
+}
+
+/// Linear resistor between `plus` and `minus`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Resistor {
+    /// Positive terminal.
+    pub plus: NodeId,
+    /// Negative terminal.
+    pub minus: NodeId,
+    /// Resistance in ohms (must be positive).
+    pub resistance: f64,
+}
+
+/// Linear capacitor between `plus` and `minus`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Capacitor {
+    /// Positive terminal.
+    pub plus: NodeId,
+    /// Negative terminal.
+    pub minus: NodeId,
+    /// Capacitance in farads (must be positive).
+    pub capacitance: f64,
+}
+
+/// Independent voltage source from `plus` to `minus`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoltageSource {
+    /// Positive terminal.
+    pub plus: NodeId,
+    /// Negative terminal.
+    pub minus: NodeId,
+    /// DC value in volts.
+    pub dc: f64,
+    /// Small-signal stimulus.
+    pub ac: AcSpec,
+}
+
+/// Independent current source pushing current from `plus` to `minus`
+/// (conventional SPICE direction: current flows out of the `plus` node
+/// through the source into the `minus` node).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurrentSource {
+    /// Positive terminal.
+    pub plus: NodeId,
+    /// Negative terminal.
+    pub minus: NodeId,
+    /// DC value in amps.
+    pub dc: f64,
+    /// Small-signal stimulus.
+    pub ac: AcSpec,
+}
+
+/// Linear voltage-controlled current source: `i(out) = gm * v(cp, cn)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Vccs {
+    /// Current output positive terminal (current flows into this node for positive gm and control voltage).
+    pub out_plus: NodeId,
+    /// Current output negative terminal.
+    pub out_minus: NodeId,
+    /// Positive control node.
+    pub ctrl_plus: NodeId,
+    /// Negative control node.
+    pub ctrl_minus: NodeId,
+    /// Transconductance in siemens.
+    pub gm: f64,
+}
+
+/// Linear voltage-controlled voltage source: `v(out) = gain * v(cp, cn)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Vcvs {
+    /// Output positive terminal.
+    pub out_plus: NodeId,
+    /// Output negative terminal.
+    pub out_minus: NodeId,
+    /// Positive control node.
+    pub ctrl_plus: NodeId,
+    /// Negative control node.
+    pub ctrl_minus: NodeId,
+    /// Voltage gain (dimensionless).
+    pub gain: f64,
+}
+
+/// Four-terminal MOSFET instance referencing a model card by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mosfet {
+    /// Drain terminal.
+    pub drain: NodeId,
+    /// Gate terminal.
+    pub gate: NodeId,
+    /// Source terminal.
+    pub source: NodeId,
+    /// Bulk terminal.
+    pub bulk: NodeId,
+    /// Model card name (must exist in the circuit's model table).
+    pub model: String,
+    /// Channel width in metres.
+    pub w: f64,
+    /// Channel length in metres.
+    pub l: f64,
+    /// Parallel multiplicity.
+    pub m: f64,
+    /// Local-mismatch threshold-voltage offset in volts (added to the card's VTO
+    /// with the polarity sign handled by the process engine).
+    pub delta_vto: f64,
+    /// Local-mismatch current-factor multiplier (1.0 = nominal).
+    pub beta_mult: f64,
+}
+
+impl Mosfet {
+    /// Creates a nominal (mismatch-free) MOSFET instance.
+    pub fn new(
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        bulk: NodeId,
+        model: impl Into<String>,
+        w: f64,
+        l: f64,
+    ) -> Self {
+        Mosfet {
+            drain,
+            gate,
+            source,
+            bulk,
+            model: model.into(),
+            w,
+            l,
+            m: 1.0,
+            delta_vto: 0.0,
+            beta_mult: 1.0,
+        }
+    }
+
+    /// Gate area `W·L·m` in m², used by Pelgrom-law mismatch models.
+    pub fn gate_area(&self) -> f64 {
+        self.w * self.l * self.m
+    }
+}
+
+/// Idealised behavioural OTA element used for hierarchical (filter-level)
+/// simulation: a single-pole voltage-controlled current source with finite
+/// output resistance.
+///
+/// This is the Rust-side equivalent of the Verilog-A behavioural module in the
+/// paper: `V(out) <+ V(in)·(-A) − I(out)·ro`, augmented with an explicit output
+/// capacitance so that a dominant pole and hence a phase response exists.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BehavioralOta {
+    /// Non-inverting input node.
+    pub in_plus: NodeId,
+    /// Inverting input node.
+    pub in_minus: NodeId,
+    /// Output node.
+    pub out: NodeId,
+    /// Low-frequency open-loop voltage gain (linear, not dB).
+    pub gain: f64,
+    /// Output resistance in ohms.
+    pub rout: f64,
+    /// Output capacitance in farads (sets the dominant pole together with `rout`).
+    pub cout: f64,
+    /// Transconductance in siemens; `gain = gm * rout`.
+    pub gm: f64,
+}
+
+impl BehavioralOta {
+    /// Builds a behavioural OTA from transconductance / output-resistance values.
+    pub fn from_gm_rout(
+        in_plus: NodeId,
+        in_minus: NodeId,
+        out: NodeId,
+        gm: f64,
+        rout: f64,
+        cout: f64,
+    ) -> Self {
+        BehavioralOta {
+            in_plus,
+            in_minus,
+            out,
+            gain: gm * rout,
+            rout,
+            cout,
+            gm,
+        }
+    }
+}
+
+/// Any element that can appear in a [`Circuit`](crate::Circuit).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Device {
+    /// Linear resistor.
+    Resistor(Resistor),
+    /// Linear capacitor.
+    Capacitor(Capacitor),
+    /// Independent voltage source.
+    VoltageSource(VoltageSource),
+    /// Independent current source.
+    CurrentSource(CurrentSource),
+    /// Voltage-controlled current source.
+    Vccs(Vccs),
+    /// Voltage-controlled voltage source.
+    Vcvs(Vcvs),
+    /// MOSFET transistor.
+    Mosfet(Mosfet),
+    /// Behavioural OTA macromodel.
+    BehavioralOta(BehavioralOta),
+}
+
+impl Device {
+    /// Terminal nodes of the device in declaration order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        match self {
+            Device::Resistor(r) => vec![r.plus, r.minus],
+            Device::Capacitor(c) => vec![c.plus, c.minus],
+            Device::VoltageSource(v) => vec![v.plus, v.minus],
+            Device::CurrentSource(i) => vec![i.plus, i.minus],
+            Device::Vccs(g) => vec![g.out_plus, g.out_minus, g.ctrl_plus, g.ctrl_minus],
+            Device::Vcvs(e) => vec![e.out_plus, e.out_minus, e.ctrl_plus, e.ctrl_minus],
+            Device::Mosfet(m) => vec![m.drain, m.gate, m.source, m.bulk],
+            Device::BehavioralOta(o) => vec![o.in_plus, o.in_minus, o.out],
+        }
+    }
+
+    /// Returns `true` if the device introduces an extra MNA branch-current
+    /// unknown (voltage sources and VCVS elements do).
+    pub fn needs_branch_current(&self) -> bool {
+        matches!(self, Device::VoltageSource(_) | Device::Vcvs(_))
+    }
+
+    /// Returns `true` for nonlinear devices that require Newton iteration.
+    pub fn is_nonlinear(&self) -> bool {
+        matches!(self, Device::Mosfet(_))
+    }
+
+    /// Short human-readable kind tag (used in reports and netlist output).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Device::Resistor(_) => "resistor",
+            Device::Capacitor(_) => "capacitor",
+            Device::VoltageSource(_) => "vsource",
+            Device::CurrentSource(_) => "isource",
+            Device::Vccs(_) => "vccs",
+            Device::Vcvs(_) => "vcvs",
+            Device::Mosfet(_) => "mosfet",
+            Device::BehavioralOta(_) => "ota",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn device_nodes_follow_declaration_order() {
+        let r = Device::Resistor(Resistor {
+            plus: n(1),
+            minus: n(2),
+            resistance: 1e3,
+        });
+        assert_eq!(r.nodes(), vec![n(1), n(2)]);
+
+        let m = Device::Mosfet(Mosfet::new(n(3), n(4), n(5), n(0), "nmos", 1e-6, 1e-6));
+        assert_eq!(m.nodes(), vec![n(3), n(4), n(5), n(0)]);
+    }
+
+    #[test]
+    fn branch_current_devices_are_identified() {
+        let v = Device::VoltageSource(VoltageSource {
+            plus: n(1),
+            minus: n(0),
+            dc: 1.0,
+            ac: AcSpec::none(),
+        });
+        assert!(v.needs_branch_current());
+        let i = Device::CurrentSource(CurrentSource {
+            plus: n(1),
+            minus: n(0),
+            dc: 1.0,
+            ac: AcSpec::none(),
+        });
+        assert!(!i.needs_branch_current());
+    }
+
+    #[test]
+    fn only_mosfets_are_nonlinear() {
+        let m = Device::Mosfet(Mosfet::new(n(1), n(2), n(0), n(0), "nmos", 1e-6, 1e-6));
+        assert!(m.is_nonlinear());
+        let o = Device::BehavioralOta(BehavioralOta::from_gm_rout(
+            n(1),
+            n(2),
+            n(3),
+            1e-3,
+            1e6,
+            1e-12,
+        ));
+        assert!(!o.is_nonlinear());
+        assert_eq!(o.kind(), "ota");
+    }
+
+    #[test]
+    fn behavioral_ota_gain_is_gm_times_rout() {
+        let o = BehavioralOta::from_gm_rout(n(1), n(2), n(3), 2e-3, 5e5, 1e-12);
+        assert!((o.gain - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mosfet_gate_area_scales_with_multiplicity() {
+        let mut m = Mosfet::new(n(1), n(2), n(0), n(0), "nmos", 10e-6, 1e-6);
+        let a1 = m.gate_area();
+        m.m = 4.0;
+        assert!((m.gate_area() - 4.0 * a1).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types for circuit construction and netlist parsing.
+
+use std::fmt;
+
+/// Errors produced while building, validating or parsing a [`Circuit`](crate::Circuit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// An instance with the same name already exists in the circuit.
+    DuplicateInstance(String),
+    /// A referenced node name is empty or otherwise invalid.
+    InvalidNode(String),
+    /// A referenced MOSFET model card was not registered in the circuit.
+    UnknownModel(String),
+    /// A device value (resistance, capacitance, width, ...) is non-physical.
+    InvalidValue {
+        /// Instance the value belongs to.
+        instance: String,
+        /// Human readable description of the violated constraint.
+        reason: String,
+    },
+    /// The circuit failed a structural validation check.
+    Validation(String),
+    /// A SPICE-like netlist line could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the parse failure.
+        reason: String,
+    },
+    /// A designable parameter was outside its declared bounds.
+    ParameterOutOfBounds {
+        /// Name of the parameter.
+        name: String,
+        /// Offending value.
+        value: f64,
+        /// Lower bound.
+        lower: f64,
+        /// Upper bound.
+        upper: f64,
+    },
+    /// A parameter name was not found in a [`ParameterSet`](crate::ParameterSet).
+    UnknownParameter(String),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::DuplicateInstance(name) => {
+                write!(f, "duplicate instance name `{name}`")
+            }
+            CircuitError::InvalidNode(name) => write!(f, "invalid node name `{name}`"),
+            CircuitError::UnknownModel(name) => write!(f, "unknown MOSFET model `{name}`"),
+            CircuitError::InvalidValue { instance, reason } => {
+                write!(f, "invalid value on instance `{instance}`: {reason}")
+            }
+            CircuitError::Validation(reason) => write!(f, "circuit validation failed: {reason}"),
+            CircuitError::Parse { line, reason } => {
+                write!(f, "netlist parse error at line {line}: {reason}")
+            }
+            CircuitError::ParameterOutOfBounds {
+                name,
+                value,
+                lower,
+                upper,
+            } => write!(
+                f,
+                "parameter `{name}` value {value} outside bounds [{lower}, {upper}]"
+            ),
+            CircuitError::UnknownParameter(name) => write!(f, "unknown parameter `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CircuitError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = CircuitError::DuplicateInstance("m1".into());
+        assert!(err.to_string().contains("m1"));
+        let err = CircuitError::ParameterOutOfBounds {
+            name: "w1".into(),
+            value: 99.0,
+            lower: 1.0,
+            upper: 10.0,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("w1") && msg.contains("99"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<CircuitError>();
+    }
+}

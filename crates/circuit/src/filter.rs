@@ -1,0 +1,303 @@
+//! Second-order gm-C low-pass filter topology (paper §5, Figure 9).
+//!
+//! The application example of the paper builds a 2nd-order low-pass
+//! (anti-aliasing) filter out of the modelled OTA plus three capacitors
+//! C1–C3. We use the standard two-integrator-loop gm-C biquad:
+//!
+//! * `ota_in`  : transconducts the input into the bandpass node `v1`,
+//! * `ota_fb`  : feeds the low-pass output back into `v1` (sets ω₀ with C1/C2),
+//! * `ota_int` : integrates `v1` onto the low-pass output node `v2`,
+//! * `ota_q`   : damping transconductor at `v1` (sets Q),
+//! * `C1` at `v1`, `C2` at `v2`, `C3` bridging `v1`–`v2` (an additional
+//!   designable degree of freedom, as in the paper's three-capacitor sizing).
+//!
+//! Two construction paths are provided: one instantiating behavioural OTA
+//! macromodels (the paper's hierarchical flow) and one expanding each OTA to
+//! the full ten-transistor symmetrical OTA for verification.
+
+use crate::device::BehavioralOta;
+use crate::error::Result;
+use crate::netlist::Circuit;
+use crate::ota::{add_symmetrical_ota, OtaParameters};
+use crate::params::{DesignPoint, Parameter, ParameterSet};
+use crate::device::AcSpec;
+use serde::{Deserialize, Serialize};
+
+/// Capacitor sizing of the biquad.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FilterParameters {
+    /// Integrating capacitor at the bandpass node in farads.
+    pub c1: f64,
+    /// Integrating capacitor at the low-pass output node in farads.
+    pub c2: f64,
+    /// Bridging capacitor between the two integrator nodes in farads.
+    pub c3: f64,
+}
+
+impl FilterParameters {
+    /// A reasonable starting sizing for a ~1 MHz cut-off with a 100 µS OTA.
+    pub fn nominal() -> Self {
+        FilterParameters {
+            c1: 20e-12,
+            c2: 20e-12,
+            c3: 1e-12,
+        }
+    }
+
+    /// Designable capacitor space used by the filter optimisation of §5
+    /// (logarithmic scaling because capacitors span decades).
+    pub fn parameter_set() -> ParameterSet {
+        ParameterSet::new()
+            .with(Parameter::new_log("c1", 1e-12, 200e-12, "F"))
+            .with(Parameter::new_log("c2", 1e-12, 200e-12, "F"))
+            .with(Parameter::new_log("c3", 0.1e-12, 50e-12, "F"))
+    }
+
+    /// Builds capacitor sizing from a named design point (keys `c1`, `c2`, `c3`).
+    pub fn from_design_point(point: &DesignPoint) -> Self {
+        let mut p = FilterParameters::nominal();
+        if let Some(v) = point.get("c1") {
+            p.c1 = v;
+        }
+        if let Some(v) = point.get("c2") {
+            p.c2 = v;
+        }
+        if let Some(v) = point.get("c3") {
+            p.c3 = v;
+        }
+        p
+    }
+
+    /// Converts the sizing into a named design point.
+    pub fn to_design_point(&self) -> DesignPoint {
+        DesignPoint::new()
+            .with("c1", self.c1)
+            .with("c2", self.c2)
+            .with("c3", self.c3)
+    }
+}
+
+impl Default for FilterParameters {
+    fn default() -> Self {
+        FilterParameters::nominal()
+    }
+}
+
+/// Small-signal description of an OTA used as a filter building block.
+///
+/// The behavioural model flow produces these numbers (gain, transconductance,
+/// output resistance, output capacitance) from the combined performance /
+/// variation tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OtaMacroSpec {
+    /// Transconductance in siemens.
+    pub gm: f64,
+    /// Output resistance in ohms.
+    pub rout: f64,
+    /// Output capacitance in farads.
+    pub cout: f64,
+}
+
+impl OtaMacroSpec {
+    /// Builds a macromodel spec from an open-loop gain (dB) and unity-gain
+    /// bandwidth, assuming the given load capacitance dominated the response.
+    ///
+    /// `gain_db = 20·log10(gm·rout)` and `f_unity ≈ gm / (2π·c_load)`.
+    pub fn from_gain_and_bandwidth(gain_db: f64, f_unity_hz: f64, c_load: f64) -> Self {
+        let gain = 10f64.powf(gain_db / 20.0);
+        let gm = 2.0 * std::f64::consts::PI * f_unity_hz * c_load;
+        let rout = gain / gm;
+        OtaMacroSpec {
+            gm,
+            rout,
+            cout: c_load * 0.1,
+        }
+    }
+
+    /// Low-frequency voltage gain (linear).
+    pub fn gain(&self) -> f64 {
+        self.gm * self.rout
+    }
+
+    /// Low-frequency voltage gain in dB.
+    pub fn gain_db(&self) -> f64 {
+        20.0 * self.gain().log10()
+    }
+}
+
+/// Node names used by the generated filter circuits.
+pub const FILTER_INPUT: &str = "vin";
+/// Bandpass (first integrator) node name.
+pub const FILTER_BANDPASS: &str = "v1";
+/// Low-pass output node name.
+pub const FILTER_OUTPUT: &str = "vout";
+/// Name of the AC input source.
+pub const FILTER_INPUT_SOURCE: &str = "vsig";
+
+fn add_filter_passives(ckt: &mut Circuit, params: &FilterParameters) -> Result<()> {
+    let gnd = ckt.gnd();
+    let v1 = ckt.node(FILTER_BANDPASS);
+    let vout = ckt.node(FILTER_OUTPUT);
+    ckt.add_capacitor("c1", v1, gnd, params.c1)?;
+    ckt.add_capacitor("c2", vout, gnd, params.c2)?;
+    ckt.add_capacitor("c3", v1, vout, params.c3)?;
+    Ok(())
+}
+
+/// Builds the biquad using behavioural OTA macromodels (the hierarchical
+/// design path of the paper).
+///
+/// # Errors
+///
+/// Propagates netlist construction errors.
+pub fn build_filter_with_macromodels(
+    params: &FilterParameters,
+    ota: &OtaMacroSpec,
+) -> Result<Circuit> {
+    let mut ckt = Circuit::new("gmc_biquad_behavioral");
+    let gnd = ckt.gnd();
+    let vin = ckt.node(FILTER_INPUT);
+    let v1 = ckt.node(FILTER_BANDPASS);
+    let vout = ckt.node(FILTER_OUTPUT);
+
+    ckt.add_vsource_ac(FILTER_INPUT_SOURCE, vin, gnd, 0.0, AcSpec::unit())?;
+
+    let make = |in_plus, in_minus, out| BehavioralOta {
+        in_plus,
+        in_minus,
+        out,
+        gain: ota.gain(),
+        rout: ota.rout,
+        cout: ota.cout,
+        gm: ota.gm,
+    };
+    // Input transconductor into v1.
+    ckt.add_behavioral_ota("ota_in", make(vin, gnd, v1))?;
+    // Feedback transconductor from vout into v1 (inverting).
+    ckt.add_behavioral_ota("ota_fb", make(gnd, vout, v1))?;
+    // Integrator from v1 to vout.
+    ckt.add_behavioral_ota("ota_int", make(v1, gnd, vout))?;
+    // Damping transconductor at v1 (unity-feedback resistor of value 1/gm).
+    ckt.add_behavioral_ota("ota_q", make(gnd, v1, v1))?;
+
+    add_filter_passives(&mut ckt, params)?;
+    Ok(ckt)
+}
+
+/// Builds the biquad with every OTA expanded to the ten-transistor
+/// symmetrical OTA (the verification path of the paper, §5 final Monte Carlo).
+///
+/// `supply` is the supply voltage and `vcm` the common-mode bias applied to
+/// the signal path through the input source DC value.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors.
+pub fn build_filter_with_transistor_otas(
+    params: &FilterParameters,
+    ota_params: &OtaParameters,
+    supply: f64,
+    vcm: f64,
+) -> Result<Circuit> {
+    let mut ckt = Circuit::new("gmc_biquad_transistor");
+    ckt.add_default_models();
+    let gnd = ckt.gnd();
+    let vdd = ckt.node("vdd");
+    let vin = ckt.node(FILTER_INPUT);
+    let vcm_node = ckt.node("vcm");
+
+    ckt.add_vsource("vsupply", vdd, gnd, supply)?;
+    ckt.add_vsource_ac(FILTER_INPUT_SOURCE, vin, gnd, vcm, AcSpec::unit())?;
+    // Common-mode reference for the grounded OTA inputs.
+    ckt.add_vsource("vcmref", vcm_node, gnd, vcm)?;
+
+    add_symmetrical_ota(&mut ckt, "xin.", ota_params, FILTER_INPUT, "vcm", FILTER_BANDPASS, "vdd")?;
+    add_symmetrical_ota(&mut ckt, "xfb.", ota_params, "vcm", FILTER_OUTPUT, FILTER_BANDPASS, "vdd")?;
+    add_symmetrical_ota(
+        &mut ckt,
+        "xint.",
+        ota_params,
+        FILTER_BANDPASS,
+        "vcm",
+        FILTER_OUTPUT,
+        "vdd",
+    )?;
+    add_symmetrical_ota(&mut ckt, "xq.", ota_params, "vcm", FILTER_BANDPASS, FILTER_BANDPASS, "vdd")?;
+
+    add_filter_passives(&mut ckt, params)?;
+    Ok(ckt)
+}
+
+/// Ideal (infinite output-resistance) biquad design equations.
+///
+/// With equal transconductances `gm` and `c3 = 0` the transfer function is
+/// `H(s) = gm²/(C1·C2) / (s² + s·gm/C1 + gm²/(C1·C2))`, giving
+/// `ω0 = gm/√(C1·C2)` and `Q = √(C1/C2)`.
+pub fn ideal_biquad_characteristics(params: &FilterParameters, gm: f64) -> (f64, f64) {
+    let w0 = gm / (params.c1 * params.c2).sqrt();
+    let q = (params.c1 / params.c2).sqrt();
+    (w0 / (2.0 * std::f64::consts::PI), q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behavioral_filter_validates() {
+        let ckt = build_filter_with_macromodels(
+            &FilterParameters::nominal(),
+            &OtaMacroSpec::from_gain_and_bandwidth(50.0, 10e6, 5e-12),
+        )
+        .unwrap();
+        assert!(ckt.validate().is_ok());
+        let stats = ckt.stats();
+        assert_eq!(stats.otas, 4);
+        assert_eq!(stats.capacitors, 3);
+        assert!(ckt.find_node(FILTER_OUTPUT).is_some());
+    }
+
+    #[test]
+    fn transistor_filter_has_forty_transistors() {
+        let ckt = build_filter_with_transistor_otas(
+            &FilterParameters::nominal(),
+            &OtaParameters::nominal(),
+            3.3,
+            1.5,
+        )
+        .unwrap();
+        assert_eq!(ckt.mosfet_count(), 40);
+        assert!(ckt.validate().is_ok());
+    }
+
+    #[test]
+    fn macrospec_gain_roundtrip() {
+        let spec = OtaMacroSpec::from_gain_and_bandwidth(50.0, 10e6, 5e-12);
+        assert!((spec.gain_db() - 50.0).abs() < 1e-9);
+        assert!(spec.gm > 0.0 && spec.rout > 0.0);
+    }
+
+    #[test]
+    fn ideal_characteristics_follow_design_equations() {
+        let p = FilterParameters {
+            c1: 10e-12,
+            c2: 10e-12,
+            c3: 0.0,
+        };
+        let gm = 2.0 * std::f64::consts::PI * 1e6 * 10e-12; // puts f0 at 1 MHz
+        let (f0, q) = ideal_biquad_characteristics(&p, gm);
+        assert!((f0 - 1e6).abs() / 1e6 < 1e-9);
+        assert!((q - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_parameters_design_point_roundtrip() {
+        let p = FilterParameters::nominal();
+        let point = p.to_design_point();
+        let back = FilterParameters::from_design_point(&point);
+        assert_eq!(back, p);
+        let set = FilterParameters::parameter_set();
+        assert_eq!(set.len(), 3);
+        assert!(set.normalize(&point).is_ok());
+    }
+}

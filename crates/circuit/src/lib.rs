@@ -1,0 +1,54 @@
+//! # ayb-circuit — analogue circuit and netlist representation
+//!
+//! This crate provides the structural substrate of the AYB (Analogue Yield
+//! Behavioural modelling) workspace, which reproduces *"A New Approach for
+//! Combining Yield and Performance in Behavioural Models for Analogue
+//! Integrated Circuits"* (Ali et al., DATE 2008):
+//!
+//! * [`Circuit`] — a flat netlist of named device [`Instance`]s over interned
+//!   nodes, with MOSFET [`MosfetModelCard`]s attached,
+//! * [`Parameter`] / [`ParameterSet`] / [`DesignPoint`] — designable-parameter
+//!   spaces with normalised `[0, 1]` coordinates used by the GA string,
+//! * [`ota`] — the symmetrical OTA benchmark topology and its open-loop
+//!   test bench (paper §4),
+//! * [`filter`] — the 2nd-order gm-C low-pass filter application (paper §5),
+//! * [`spice`] — SPICE-like netlist text output and parsing.
+//!
+//! # Examples
+//!
+//! Building the paper's OTA test bench and printing its netlist:
+//!
+//! ```
+//! use ayb_circuit::ota::{build_open_loop_testbench, OtaParameters, OtaTestbenchConfig};
+//!
+//! # fn main() -> Result<(), ayb_circuit::CircuitError> {
+//! let tb = build_open_loop_testbench(&OtaParameters::nominal(), &OtaTestbenchConfig::new())?;
+//! assert_eq!(tb.mosfet_count(), 10);
+//! let netlist_text = ayb_circuit::spice::to_spice(&tb);
+//! assert!(netlist_text.contains("mxota.m1"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod device;
+pub mod error;
+pub mod filter;
+pub mod model;
+pub mod netlist;
+pub mod node;
+pub mod ota;
+pub mod params;
+pub mod spice;
+
+pub use device::{
+    AcSpec, BehavioralOta, Capacitor, CurrentSource, Device, Mosfet, Resistor, Vccs, Vcvs,
+    VoltageSource,
+};
+pub use error::{CircuitError, Result};
+pub use model::{MosfetModelCard, MosfetPolarity};
+pub use netlist::{Circuit, CircuitStats, Instance};
+pub use node::{NodeId, NodeTable};
+pub use params::{DesignPoint, Parameter, ParameterSet, Scaling};

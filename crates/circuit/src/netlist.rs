@@ -1,0 +1,579 @@
+//! The [`Circuit`] container: named device instances, node table and model cards.
+
+use crate::device::{
+    AcSpec, BehavioralOta, Capacitor, CurrentSource, Device, Mosfet, Resistor, Vccs, Vcvs,
+    VoltageSource,
+};
+use crate::error::{CircuitError, Result};
+use crate::model::MosfetModelCard;
+use crate::node::{NodeId, NodeTable};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// A named device instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Unique instance name (e.g. `"m1"`, `"xota.m3"`).
+    pub name: String,
+    /// The device element.
+    pub device: Device,
+}
+
+/// A flat analogue circuit: node table, device instances and MOSFET model cards.
+///
+/// # Examples
+///
+/// ```
+/// use ayb_circuit::{Circuit, MosfetModelCard};
+///
+/// let mut ckt = Circuit::new("divider");
+/// let vin = ckt.node("in");
+/// let out = ckt.node("out");
+/// let gnd = ckt.gnd();
+/// ckt.add_vsource("v1", vin, gnd, 1.0).unwrap();
+/// ckt.add_resistor("r1", vin, out, 1e3).unwrap();
+/// ckt.add_resistor("r2", out, gnd, 1e3).unwrap();
+/// assert_eq!(ckt.instances().len(), 3);
+/// assert!(ckt.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Circuit {
+    name: String,
+    nodes: NodeTable,
+    instances: Vec<Instance>,
+    models: BTreeMap<String, MosfetModelCard>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit with the given title.
+    pub fn new(name: impl Into<String>) -> Self {
+        Circuit {
+            name: name.into(),
+            nodes: NodeTable::new(),
+            instances: Vec::new(),
+            models: BTreeMap::new(),
+        }
+    }
+
+    /// Circuit title.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ground node.
+    pub fn gnd(&self) -> NodeId {
+        NodeId::GROUND
+    }
+
+    /// Returns (interning if necessary) the node with the given name.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        self.nodes.intern(name)
+    }
+
+    /// Looks up an existing node without creating it.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.nodes.get(name)
+    }
+
+    /// Human readable name of a node.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        self.nodes.name(id)
+    }
+
+    /// Node table accessor.
+    pub fn nodes(&self) -> &NodeTable {
+        &self.nodes
+    }
+
+    /// All device instances in insertion order.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Mutable access to the device instances (used by the Monte Carlo engine
+    /// to apply per-instance mismatch).
+    pub fn instances_mut(&mut self) -> &mut [Instance] {
+        &mut self.instances
+    }
+
+    /// Registered MOSFET model cards keyed by name.
+    pub fn models(&self) -> &BTreeMap<String, MosfetModelCard> {
+        &self.models
+    }
+
+    /// Mutable access to the model cards (used to apply global process variation).
+    pub fn models_mut(&mut self) -> &mut BTreeMap<String, MosfetModelCard> {
+        &mut self.models
+    }
+
+    /// Looks up an instance by name.
+    pub fn instance(&self, name: &str) -> Option<&Instance> {
+        self.instances.iter().find(|i| i.name == name)
+    }
+
+    /// Mutable lookup of an instance by name.
+    pub fn instance_mut(&mut self, name: &str) -> Option<&mut Instance> {
+        self.instances.iter_mut().find(|i| i.name == name)
+    }
+
+    /// Registers (or replaces) a MOSFET model card.
+    pub fn add_model(&mut self, card: MosfetModelCard) {
+        self.models.insert(card.name.clone(), card);
+    }
+
+    /// Adds both generic 0.35 µm model cards (`nmos`, `pmos`).
+    pub fn add_default_models(&mut self) {
+        self.add_model(MosfetModelCard::nmos_035um());
+        self.add_model(MosfetModelCard::pmos_035um());
+    }
+
+    fn push(&mut self, name: impl Into<String>, device: Device) -> Result<()> {
+        let name = name.into().to_ascii_lowercase();
+        if name.is_empty() {
+            return Err(CircuitError::InvalidNode("instance name is empty".into()));
+        }
+        if self.instances.iter().any(|i| i.name == name) {
+            return Err(CircuitError::DuplicateInstance(name));
+        }
+        self.instances.push(Instance { name, device });
+        Ok(())
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is duplicated or the resistance is not
+    /// strictly positive and finite.
+    pub fn add_resistor(
+        &mut self,
+        name: impl Into<String>,
+        plus: NodeId,
+        minus: NodeId,
+        resistance: f64,
+    ) -> Result<()> {
+        let name = name.into();
+        if !(resistance.is_finite() && resistance > 0.0) {
+            return Err(CircuitError::InvalidValue {
+                instance: name,
+                reason: format!("resistance must be positive and finite, got {resistance}"),
+            });
+        }
+        self.push(
+            name,
+            Device::Resistor(Resistor {
+                plus,
+                minus,
+                resistance,
+            }),
+        )
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is duplicated or the capacitance is not
+    /// strictly positive and finite.
+    pub fn add_capacitor(
+        &mut self,
+        name: impl Into<String>,
+        plus: NodeId,
+        minus: NodeId,
+        capacitance: f64,
+    ) -> Result<()> {
+        let name = name.into();
+        if !(capacitance.is_finite() && capacitance > 0.0) {
+            return Err(CircuitError::InvalidValue {
+                instance: name,
+                reason: format!("capacitance must be positive and finite, got {capacitance}"),
+            });
+        }
+        self.push(
+            name,
+            Device::Capacitor(Capacitor {
+                plus,
+                minus,
+                capacitance,
+            }),
+        )
+    }
+
+    /// Adds an independent DC voltage source.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the instance name is duplicated.
+    pub fn add_vsource(
+        &mut self,
+        name: impl Into<String>,
+        plus: NodeId,
+        minus: NodeId,
+        dc: f64,
+    ) -> Result<()> {
+        self.push(
+            name,
+            Device::VoltageSource(VoltageSource {
+                plus,
+                minus,
+                dc,
+                ac: AcSpec::none(),
+            }),
+        )
+    }
+
+    /// Adds an independent voltage source with both DC and AC values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the instance name is duplicated.
+    pub fn add_vsource_ac(
+        &mut self,
+        name: impl Into<String>,
+        plus: NodeId,
+        minus: NodeId,
+        dc: f64,
+        ac: AcSpec,
+    ) -> Result<()> {
+        self.push(
+            name,
+            Device::VoltageSource(VoltageSource { plus, minus, dc, ac }),
+        )
+    }
+
+    /// Adds an independent DC current source (current flows from `plus` to `minus`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the instance name is duplicated.
+    pub fn add_isource(
+        &mut self,
+        name: impl Into<String>,
+        plus: NodeId,
+        minus: NodeId,
+        dc: f64,
+    ) -> Result<()> {
+        self.push(
+            name,
+            Device::CurrentSource(CurrentSource {
+                plus,
+                minus,
+                dc,
+                ac: AcSpec::none(),
+            }),
+        )
+    }
+
+    /// Adds a voltage-controlled current source.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the instance name is duplicated.
+    pub fn add_vccs(
+        &mut self,
+        name: impl Into<String>,
+        out_plus: NodeId,
+        out_minus: NodeId,
+        ctrl_plus: NodeId,
+        ctrl_minus: NodeId,
+        gm: f64,
+    ) -> Result<()> {
+        self.push(
+            name,
+            Device::Vccs(Vccs {
+                out_plus,
+                out_minus,
+                ctrl_plus,
+                ctrl_minus,
+                gm,
+            }),
+        )
+    }
+
+    /// Adds a voltage-controlled voltage source.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the instance name is duplicated.
+    pub fn add_vcvs(
+        &mut self,
+        name: impl Into<String>,
+        out_plus: NodeId,
+        out_minus: NodeId,
+        ctrl_plus: NodeId,
+        ctrl_minus: NodeId,
+        gain: f64,
+    ) -> Result<()> {
+        self.push(
+            name,
+            Device::Vcvs(Vcvs {
+                out_plus,
+                out_minus,
+                ctrl_plus,
+                ctrl_minus,
+                gain,
+            }),
+        )
+    }
+
+    /// Adds a MOSFET instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is duplicated, the referenced model card is
+    /// not registered, or W/L are non-physical.
+    pub fn add_mosfet(&mut self, name: impl Into<String>, mosfet: Mosfet) -> Result<()> {
+        let name = name.into();
+        if !self.models.contains_key(&mosfet.model) {
+            return Err(CircuitError::UnknownModel(mosfet.model));
+        }
+        if !(mosfet.w.is_finite() && mosfet.w > 0.0 && mosfet.l.is_finite() && mosfet.l > 0.0) {
+            return Err(CircuitError::InvalidValue {
+                instance: name,
+                reason: format!(
+                    "width and length must be positive, got w={} l={}",
+                    mosfet.w, mosfet.l
+                ),
+            });
+        }
+        self.push(name, Device::Mosfet(mosfet))
+    }
+
+    /// Adds a behavioural OTA macromodel element.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the instance name is duplicated or `rout`/`cout`
+    /// are non-physical.
+    pub fn add_behavioral_ota(
+        &mut self,
+        name: impl Into<String>,
+        ota: BehavioralOta,
+    ) -> Result<()> {
+        let name = name.into();
+        if !(ota.rout > 0.0 && ota.cout >= 0.0) {
+            return Err(CircuitError::InvalidValue {
+                instance: name,
+                reason: "behavioural OTA requires rout > 0 and cout >= 0".into(),
+            });
+        }
+        self.push(name, Device::BehavioralOta(ota))
+    }
+
+    /// Number of MOSFET instances.
+    pub fn mosfet_count(&self) -> usize {
+        self.instances
+            .iter()
+            .filter(|i| matches!(i.device, Device::Mosfet(_)))
+            .count()
+    }
+
+    /// Number of extra branch-current unknowns required by MNA.
+    pub fn branch_count(&self) -> usize {
+        self.instances
+            .iter()
+            .filter(|i| i.device.needs_branch_current())
+            .count()
+    }
+
+    /// Total number of MNA unknowns: non-ground nodes plus branch currents.
+    pub fn unknown_count(&self) -> usize {
+        self.nodes.unknown_count() + self.branch_count()
+    }
+
+    /// Structural validation: every referenced model exists, every node is
+    /// attached to at least two terminals (or one terminal plus ground usage),
+    /// and at least one source or nonlinear element exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::Validation`] describing the first problem found.
+    pub fn validate(&self) -> Result<()> {
+        if self.instances.is_empty() {
+            return Err(CircuitError::Validation("circuit has no devices".into()));
+        }
+        let mut touch_counts = vec![0usize; self.nodes.len()];
+        for inst in &self.instances {
+            if let Device::Mosfet(m) = &inst.device {
+                if !self.models.contains_key(&m.model) {
+                    return Err(CircuitError::UnknownModel(m.model.clone()));
+                }
+            }
+            for node in inst.device.nodes() {
+                touch_counts[node.index()] += 1;
+            }
+        }
+        for id in self.nodes.iter() {
+            if id.is_ground() {
+                continue;
+            }
+            if touch_counts[id.index()] == 0 {
+                return Err(CircuitError::Validation(format!(
+                    "node `{}` is not connected to any device",
+                    self.nodes.name(id)
+                )));
+            }
+            if touch_counts[id.index()] == 1 {
+                return Err(CircuitError::Validation(format!(
+                    "node `{}` is connected to only one device terminal (floating)",
+                    self.nodes.name(id)
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Set of distinct model names referenced by MOSFET instances.
+    pub fn referenced_models(&self) -> HashSet<&str> {
+        self.instances
+            .iter()
+            .filter_map(|i| match &i.device {
+                Device::Mosfet(m) => Some(m.model.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Summary statistics used in reports.
+    pub fn stats(&self) -> CircuitStats {
+        let mut stats = CircuitStats {
+            nodes: self.nodes.unknown_count(),
+            ..CircuitStats::default()
+        };
+        for inst in &self.instances {
+            match inst.device {
+                Device::Resistor(_) => stats.resistors += 1,
+                Device::Capacitor(_) => stats.capacitors += 1,
+                Device::VoltageSource(_) => stats.vsources += 1,
+                Device::CurrentSource(_) => stats.isources += 1,
+                Device::Vccs(_) | Device::Vcvs(_) => stats.controlled_sources += 1,
+                Device::Mosfet(_) => stats.mosfets += 1,
+                Device::BehavioralOta(_) => stats.otas += 1,
+            }
+        }
+        stats
+    }
+}
+
+/// Device-count summary of a circuit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CircuitStats {
+    /// Non-ground node count.
+    pub nodes: usize,
+    /// Resistor count.
+    pub resistors: usize,
+    /// Capacitor count.
+    pub capacitors: usize,
+    /// Independent voltage-source count.
+    pub vsources: usize,
+    /// Independent current-source count.
+    pub isources: usize,
+    /// Controlled-source count (VCCS + VCVS).
+    pub controlled_sources: usize,
+    /// MOSFET count.
+    pub mosfets: usize,
+    /// Behavioural OTA count.
+    pub otas: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn divider() -> Circuit {
+        let mut ckt = Circuit::new("divider");
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        let gnd = ckt.gnd();
+        ckt.add_vsource("v1", vin, gnd, 1.0).unwrap();
+        ckt.add_resistor("r1", vin, out, 1e3).unwrap();
+        ckt.add_resistor("r2", out, gnd, 1e3).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn divider_validates_and_counts_unknowns() {
+        let ckt = divider();
+        assert!(ckt.validate().is_ok());
+        // Two nodes plus one branch current for the voltage source.
+        assert_eq!(ckt.unknown_count(), 3);
+        assert_eq!(ckt.branch_count(), 1);
+        let stats = ckt.stats();
+        assert_eq!(stats.resistors, 2);
+        assert_eq!(stats.vsources, 1);
+        assert_eq!(stats.nodes, 2);
+    }
+
+    #[test]
+    fn duplicate_instance_names_are_rejected() {
+        let mut ckt = divider();
+        let a = ckt.node("a");
+        let gnd = ckt.gnd();
+        // Names are case-insensitive.
+        let err = ckt.add_resistor("R1", a, gnd, 1.0).unwrap_err();
+        assert_eq!(err, CircuitError::DuplicateInstance("r1".into()));
+    }
+
+    #[test]
+    fn negative_element_values_are_rejected() {
+        let mut ckt = Circuit::new("bad");
+        let a = ckt.node("a");
+        let gnd = ckt.gnd();
+        assert!(ckt.add_resistor("r1", a, gnd, -5.0).is_err());
+        assert!(ckt.add_capacitor("c1", a, gnd, 0.0).is_err());
+        assert!(ckt.add_capacitor("c1", a, gnd, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn mosfet_requires_registered_model() {
+        let mut ckt = Circuit::new("m");
+        let d = ckt.node("d");
+        let g = ckt.node("g");
+        let gnd = ckt.gnd();
+        let m = Mosfet::new(d, g, gnd, gnd, "nmos", 10e-6, 1e-6);
+        assert!(matches!(
+            ckt.add_mosfet("m1", m.clone()),
+            Err(CircuitError::UnknownModel(_))
+        ));
+        ckt.add_default_models();
+        assert!(ckt.add_mosfet("m1", m).is_ok());
+        assert_eq!(ckt.mosfet_count(), 1);
+        assert!(ckt.referenced_models().contains("nmos"));
+    }
+
+    #[test]
+    fn floating_node_fails_validation() {
+        let mut ckt = divider();
+        let fl = ckt.node("floating");
+        let gnd = ckt.gnd();
+        ckt.add_resistor("r3", fl, gnd, 1e3).unwrap();
+        let err = ckt.validate().unwrap_err();
+        assert!(matches!(err, CircuitError::Validation(_)));
+    }
+
+    #[test]
+    fn instance_lookup_and_mutation() {
+        let mut ckt = divider();
+        assert!(ckt.instance("r1").is_some());
+        assert!(ckt.instance("zz").is_none());
+        if let Some(inst) = ckt.instance_mut("r1") {
+            if let Device::Resistor(r) = &mut inst.device {
+                r.resistance = 2e3;
+            }
+        }
+        match &ckt.instance("r1").unwrap().device {
+            Device::Resistor(r) => assert_eq!(r.resistance, 2e3),
+            _ => panic!("expected resistor"),
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_circuit() {
+        let ckt = divider();
+        let json = serde_json::to_string(&ckt).unwrap();
+        let back: Circuit = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.instances().len(), ckt.instances().len());
+        assert_eq!(back.unknown_count(), ckt.unknown_count());
+        assert_eq!(back.name(), "divider");
+    }
+}

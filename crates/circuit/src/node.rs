@@ -1,0 +1,157 @@
+//! Circuit nodes and the node table.
+//!
+//! Nodes are interned: the circuit stores each distinct node name once and
+//! hands out copyable [`NodeId`] handles. The ground node (`"0"` or `"gnd"`)
+//! always maps to [`NodeId::GROUND`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Opaque handle to a circuit node.
+///
+/// `NodeId::GROUND` is the reference node; every other node receives a dense
+/// index starting at 1, which the MNA assembler in `ayb-sim` maps directly to
+/// matrix rows (`index - 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The global reference (ground) node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Returns `true` if this is the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Dense index of the node (ground is 0).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Interning table mapping node names to [`NodeId`]s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NodeTable {
+    names: Vec<String>,
+    by_name: HashMap<String, NodeId>,
+}
+
+impl NodeTable {
+    /// Creates a table containing only the ground node.
+    pub fn new() -> Self {
+        let mut table = NodeTable {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+        };
+        table.names.push("0".to_string());
+        table.by_name.insert("0".to_string(), NodeId::GROUND);
+        table.by_name.insert("gnd".to_string(), NodeId::GROUND);
+        table
+    }
+
+    /// Returns the id for `name`, interning it if necessary.
+    ///
+    /// The names `"0"`, `"gnd"` and `"vss!"` alias the ground node.
+    pub fn intern(&mut self, name: &str) -> NodeId {
+        let key = Self::canonical(name);
+        if let Some(&id) = self.by_name.get(&key) {
+            return id;
+        }
+        let id = NodeId(self.names.len() as u32);
+        self.names.push(key.clone());
+        self.by_name.insert(key, id);
+        id
+    }
+
+    /// Looks up an existing node by name without interning.
+    pub fn get(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(&Self::canonical(name)).copied()
+    }
+
+    /// Name of a node id. Ground is reported as `"0"`.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of nodes including ground.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` when only the ground node exists.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() <= 1
+    }
+
+    /// Number of non-ground nodes (the MNA unknown count before sources).
+    pub fn unknown_count(&self) -> usize {
+        self.names.len() - 1
+    }
+
+    /// Iterates over all node ids including ground.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.names.len() as u32).map(NodeId)
+    }
+
+    fn canonical(name: &str) -> String {
+        let lower = name.trim().to_ascii_lowercase();
+        if lower == "gnd" || lower == "vss!" || lower == "0" {
+            "0".to_string()
+        } else {
+            lower
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_aliases_map_to_node_zero() {
+        let mut table = NodeTable::new();
+        assert_eq!(table.intern("0"), NodeId::GROUND);
+        assert_eq!(table.intern("gnd"), NodeId::GROUND);
+        assert_eq!(table.intern("GND"), NodeId::GROUND);
+        assert!(table.intern("gnd").is_ground());
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_case_insensitive() {
+        let mut table = NodeTable::new();
+        let a = table.intern("OUT");
+        let b = table.intern("out");
+        assert_eq!(a, b);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.unknown_count(), 1);
+        assert_eq!(table.name(a), "out");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_dense_indices() {
+        let mut table = NodeTable::new();
+        let a = table.intern("a");
+        let b = table.intern("b");
+        let c = table.intern("c");
+        assert_eq!(a.index(), 1);
+        assert_eq!(b.index(), 2);
+        assert_eq!(c.index(), 3);
+        assert_eq!(table.unknown_count(), 3);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut table = NodeTable::new();
+        assert!(table.get("x").is_none());
+        table.intern("x");
+        assert!(table.get("X").is_some());
+    }
+}

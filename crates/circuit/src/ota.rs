@@ -1,0 +1,398 @@
+//! Symmetrical OTA topology generator and open-loop test bench.
+//!
+//! This reproduces the benchmark circuit of the paper (§4, Figure 5): a
+//! symmetrical (three-current-mirror) operational transconductance amplifier
+//! in a generic 0.35 µm process. The designable parameters follow Table 1 of
+//! the paper:
+//!
+//! | Parameter | Devices   | Range          |
+//! |-----------|-----------|----------------|
+//! | `w1`/`l1` | M5, M4    | 10–60 µm / 0.35–4 µm |
+//! | `w2`/`l2` | M7, M9    | 10–60 µm / 0.35–4 µm |
+//! | `w3`/`l3` | M10, M8   | 10–60 µm / 0.35–4 µm |
+//! | `w4`/`l4` | M3, M6    | 10–60 µm / 0.35–4 µm |
+//!
+//! M1/M2 (the input differential pair) are fixed, as in the paper.
+
+use crate::device::{AcSpec, Mosfet};
+use crate::error::Result;
+use crate::netlist::Circuit;
+use crate::params::{DesignPoint, Parameter, ParameterSet};
+use serde::{Deserialize, Serialize};
+
+/// Micrometre helper.
+const UM: f64 = 1e-6;
+
+/// Sized dimensions of the symmetrical OTA (paper Table 1 parameters plus the
+/// fixed input pair and bias current).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OtaParameters {
+    /// Width of mirror output devices M4/M5 in metres.
+    pub w1: f64,
+    /// Length of mirror output devices M4/M5 in metres.
+    pub l1: f64,
+    /// Width of NMOS output-mirror devices M7/M9 in metres.
+    pub w2: f64,
+    /// Length of NMOS output-mirror devices M7/M9 in metres.
+    pub l2: f64,
+    /// Width of bias-mirror devices M8/M10 in metres.
+    pub w3: f64,
+    /// Length of bias-mirror devices M8/M10 in metres.
+    pub l3: f64,
+    /// Width of PMOS diode-load devices M3/M6 in metres.
+    pub w4: f64,
+    /// Length of PMOS diode-load devices M3/M6 in metres.
+    pub l4: f64,
+    /// Width of the fixed input pair M1/M2 in metres.
+    pub input_w: f64,
+    /// Length of the fixed input pair M1/M2 in metres.
+    pub input_l: f64,
+    /// Reference bias current in amps.
+    pub ibias: f64,
+}
+
+impl OtaParameters {
+    /// Nominal sizing roughly in the middle of the paper's design space.
+    pub fn nominal() -> Self {
+        OtaParameters {
+            w1: 30.0 * UM,
+            l1: 1.0 * UM,
+            w2: 30.0 * UM,
+            l2: 1.0 * UM,
+            w3: 20.0 * UM,
+            l3: 1.0 * UM,
+            w4: 15.0 * UM,
+            l4: 1.0 * UM,
+            input_w: 20.0 * UM,
+            input_l: 1.0 * UM,
+            ibias: 20e-6,
+        }
+    }
+
+    /// The paper's designable parameter space (Table 1): 8 parameters, widths
+    /// 10–60 µm and lengths 0.35–4 µm.
+    pub fn parameter_set() -> ParameterSet {
+        let mut set = ParameterSet::new();
+        for i in 1..=4 {
+            set.push(Parameter::new(format!("w{i}"), 10.0 * UM, 60.0 * UM, "m"));
+            set.push(Parameter::new(format!("l{i}"), 0.35 * UM, 4.0 * UM, "m"));
+        }
+        set
+    }
+
+    /// Builds sized parameters from a named design point (keys `w1..w4`, `l1..l4`).
+    ///
+    /// Missing keys keep their nominal values, so partial points (e.g. from a
+    /// reduced optimisation) remain usable.
+    pub fn from_design_point(point: &DesignPoint) -> Self {
+        let mut p = OtaParameters::nominal();
+        if let Some(v) = point.get("w1") {
+            p.w1 = v;
+        }
+        if let Some(v) = point.get("l1") {
+            p.l1 = v;
+        }
+        if let Some(v) = point.get("w2") {
+            p.w2 = v;
+        }
+        if let Some(v) = point.get("l2") {
+            p.l2 = v;
+        }
+        if let Some(v) = point.get("w3") {
+            p.w3 = v;
+        }
+        if let Some(v) = point.get("l3") {
+            p.l3 = v;
+        }
+        if let Some(v) = point.get("w4") {
+            p.w4 = v;
+        }
+        if let Some(v) = point.get("l4") {
+            p.l4 = v;
+        }
+        p
+    }
+
+    /// Converts the sized parameters into a named design point.
+    pub fn to_design_point(&self) -> DesignPoint {
+        DesignPoint::new()
+            .with("w1", self.w1)
+            .with("l1", self.l1)
+            .with("w2", self.w2)
+            .with("l2", self.l2)
+            .with("w3", self.w3)
+            .with("l3", self.l3)
+            .with("w4", self.w4)
+            .with("l4", self.l4)
+    }
+
+    /// Approximate current-mirror gain factor B (ratio of the output PMOS
+    /// mirror to the diode load), a useful sanity metric: the OTA's
+    /// transconductance is `B · gm1`.
+    pub fn mirror_ratio(&self) -> f64 {
+        (self.w1 / self.l1) / (self.w4 / self.l4)
+    }
+}
+
+impl Default for OtaParameters {
+    fn default() -> Self {
+        OtaParameters::nominal()
+    }
+}
+
+/// Supply / bias conditions for the OTA test benches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OtaTestbenchConfig {
+    /// Positive supply voltage in volts.
+    pub vdd: f64,
+    /// Input common-mode voltage in volts.
+    pub vcm: f64,
+    /// Load capacitance at the OTA output in farads.
+    pub cload: f64,
+    /// Servo-loop feedback resistance in ohms (very large; opens the loop at AC).
+    pub servo_resistance: f64,
+    /// Servo-loop decoupling capacitance in farads (very large; closes the loop at DC).
+    pub servo_capacitance: f64,
+}
+
+impl OtaTestbenchConfig {
+    /// Default 3.3 V supply conditions matching a 0.35 µm process.
+    pub fn new() -> Self {
+        OtaTestbenchConfig {
+            vdd: 3.3,
+            vcm: 1.5,
+            cload: 5e-12,
+            servo_resistance: 1e9,
+            servo_capacitance: 10.0,
+        }
+    }
+}
+
+impl Default for OtaTestbenchConfig {
+    fn default() -> Self {
+        OtaTestbenchConfig::new()
+    }
+}
+
+/// Names of the OTA terminal nodes inside a generated circuit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OtaNodes {
+    /// Non-inverting input node name.
+    pub inp: String,
+    /// Inverting input node name.
+    pub inn: String,
+    /// Output node name.
+    pub out: String,
+    /// Positive supply node name.
+    pub vdd: String,
+}
+
+/// Adds the ten-transistor symmetrical OTA to `circuit` with instance names
+/// prefixed by `prefix` (e.g. `"x1."`), connecting to existing node names.
+///
+/// The topology is the classic three-current-mirror OTA:
+///
+/// * M1/M2 — NMOS input differential pair (fixed size),
+/// * M3/M6 — PMOS diode loads (`w4`/`l4`),
+/// * M4/M5 — PMOS mirror outputs (`w1`/`l1`),
+/// * M7/M9 — NMOS output mirror (`w2`/`l2`),
+/// * M8/M10 — NMOS bias mirror (`w3`/`l3`), M10 sourcing the tail current.
+///
+/// # Errors
+///
+/// Returns an error if any generated instance name collides with an existing
+/// one or the model cards are missing (call
+/// [`Circuit::add_default_models`](crate::Circuit::add_default_models) first).
+pub fn add_symmetrical_ota(
+    circuit: &mut Circuit,
+    prefix: &str,
+    params: &OtaParameters,
+    inp: &str,
+    inn: &str,
+    out: &str,
+    vdd: &str,
+) -> Result<OtaNodes> {
+    let p = params;
+    let gnd = circuit.gnd();
+    let vdd_n = circuit.node(vdd);
+    let inp_n = circuit.node(inp);
+    let inn_n = circuit.node(inn);
+    let out_n = circuit.node(out);
+    // Internal nodes are namespaced by the prefix so multiple OTA instances
+    // can coexist in one flat circuit.
+    let n1 = circuit.node(&format!("{prefix}n1"));
+    let n2 = circuit.node(&format!("{prefix}n2"));
+    let n3 = circuit.node(&format!("{prefix}n3"));
+    let tail = circuit.node(&format!("{prefix}tail"));
+    let nbias = circuit.node(&format!("{prefix}nbias"));
+
+    // Input differential pair (fixed dimensions).
+    circuit.add_mosfet(
+        format!("{prefix}m1"),
+        Mosfet::new(n1, inn_n, tail, gnd, "nmos", p.input_w, p.input_l),
+    )?;
+    circuit.add_mosfet(
+        format!("{prefix}m2"),
+        Mosfet::new(n2, inp_n, tail, gnd, "nmos", p.input_w, p.input_l),
+    )?;
+    // PMOS diode loads M3 (left) and M6 (right): w4/l4.
+    circuit.add_mosfet(
+        format!("{prefix}m3"),
+        Mosfet::new(n1, n1, vdd_n, vdd_n, "pmos", p.w4, p.l4),
+    )?;
+    circuit.add_mosfet(
+        format!("{prefix}m6"),
+        Mosfet::new(n2, n2, vdd_n, vdd_n, "pmos", p.w4, p.l4),
+    )?;
+    // PMOS mirror outputs M4 (left, drives n3) and M5 (right, drives out): w1/l1.
+    circuit.add_mosfet(
+        format!("{prefix}m4"),
+        Mosfet::new(n3, n1, vdd_n, vdd_n, "pmos", p.w1, p.l1),
+    )?;
+    circuit.add_mosfet(
+        format!("{prefix}m5"),
+        Mosfet::new(out_n, n2, vdd_n, vdd_n, "pmos", p.w1, p.l1),
+    )?;
+    // NMOS output mirror M7 (diode at n3) and M9 (output device): w2/l2.
+    circuit.add_mosfet(
+        format!("{prefix}m7"),
+        Mosfet::new(n3, n3, gnd, gnd, "nmos", p.w2, p.l2),
+    )?;
+    circuit.add_mosfet(
+        format!("{prefix}m9"),
+        Mosfet::new(out_n, n3, gnd, gnd, "nmos", p.w2, p.l2),
+    )?;
+    // Bias mirror M8 (diode) and M10 (tail current source): w3/l3.
+    circuit.add_mosfet(
+        format!("{prefix}m8"),
+        Mosfet::new(nbias, nbias, gnd, gnd, "nmos", p.w3, p.l3),
+    )?;
+    circuit.add_mosfet(
+        format!("{prefix}m10"),
+        Mosfet::new(tail, nbias, gnd, gnd, "nmos", p.w3, p.l3),
+    )?;
+    // Bias current reference into the diode-connected M8.
+    circuit.add_isource(format!("{prefix}ibias"), vdd_n, nbias, p.ibias)?;
+
+    Ok(OtaNodes {
+        inp: inp.to_string(),
+        inn: inn.to_string(),
+        out: out.to_string(),
+        vdd: vdd.to_string(),
+    })
+}
+
+/// Builds the open-loop gain / phase-margin test bench of §4.2.
+///
+/// The inverting input is servo-biased from the output through a very large RC
+/// so the DC operating point is well defined while the loop is effectively open
+/// at all frequencies of interest; the non-inverting input carries the AC
+/// stimulus. The output is loaded with `cload`.
+///
+/// Returns the circuit plus the names of the input source and output node used
+/// by the measurement code in `ayb-sim`.
+///
+/// # Errors
+///
+/// Propagates any netlist construction error.
+pub fn build_open_loop_testbench(
+    params: &OtaParameters,
+    config: &OtaTestbenchConfig,
+) -> Result<Circuit> {
+    let mut ckt = Circuit::new("ota_open_loop_tb");
+    ckt.add_default_models();
+    let gnd = ckt.gnd();
+    let vdd = ckt.node("vdd");
+    let inp = ckt.node("inp");
+    let inn = ckt.node("inn");
+    let out = ckt.node("out");
+
+    ckt.add_vsource("vsupply", vdd, gnd, config.vdd)?;
+    // Common-mode bias with unit AC stimulus on the non-inverting input.
+    ckt.add_vsource_ac("vin", inp, gnd, config.vcm, AcSpec::unit())?;
+    add_symmetrical_ota(&mut ckt, "xota.", params, "inp", "inn", "out", "vdd")?;
+    // Servo loop: huge R from out to inn, huge C from inn to ground.
+    ckt.add_resistor("rservo", out, inn, config.servo_resistance)?;
+    ckt.add_capacitor("cservo", inn, gnd, config.servo_capacitance)?;
+    // Load capacitance.
+    ckt.add_capacitor("cload", out, gnd, config.cload)?;
+    Ok(ckt)
+}
+
+/// Name of the OTA output node in the open-loop test bench.
+pub const OPEN_LOOP_OUTPUT: &str = "out";
+/// Name of the AC input source in the open-loop test bench.
+pub const OPEN_LOOP_INPUT_SOURCE: &str = "vin";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_parameters_are_inside_the_paper_ranges() {
+        let p = OtaParameters::nominal();
+        let set = OtaParameters::parameter_set();
+        let point = p.to_design_point();
+        // normalize() errors if out of bounds.
+        assert!(set.normalize(&point).is_ok());
+        assert_eq!(set.len(), 8);
+    }
+
+    #[test]
+    fn design_point_roundtrip() {
+        let p = OtaParameters::nominal();
+        let point = p.to_design_point();
+        let back = OtaParameters::from_design_point(&point);
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn partial_design_point_keeps_nominal_values() {
+        let point = DesignPoint::new().with("w1", 50e-6);
+        let p = OtaParameters::from_design_point(&point);
+        assert!((p.w1 - 50e-6).abs() < 1e-15);
+        assert!((p.l1 - OtaParameters::nominal().l1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ota_testbench_has_ten_transistors_and_validates() {
+        let ckt =
+            build_open_loop_testbench(&OtaParameters::nominal(), &OtaTestbenchConfig::new())
+                .unwrap();
+        assert_eq!(ckt.mosfet_count(), 10);
+        assert!(ckt.validate().is_ok());
+        let stats = ckt.stats();
+        assert_eq!(stats.vsources, 2);
+        assert_eq!(stats.isources, 1);
+        assert_eq!(stats.capacitors, 2);
+        assert_eq!(stats.resistors, 1);
+        assert!(ckt.find_node(OPEN_LOOP_OUTPUT).is_some());
+        assert!(ckt.instance(OPEN_LOOP_INPUT_SOURCE).is_some());
+    }
+
+    #[test]
+    fn two_otas_can_share_one_circuit() {
+        let mut ckt = Circuit::new("two_otas");
+        ckt.add_default_models();
+        let gnd = ckt.gnd();
+        let vdd = ckt.node("vdd");
+        ckt.add_vsource("vsupply", vdd, gnd, 3.3).unwrap();
+        let p = OtaParameters::nominal();
+        add_symmetrical_ota(&mut ckt, "x1.", &p, "a", "b", "o1", "vdd").unwrap();
+        add_symmetrical_ota(&mut ckt, "x2.", &p, "o1", "c", "o2", "vdd").unwrap();
+        assert_eq!(ckt.mosfet_count(), 20);
+        // Internal nodes do not collide thanks to the prefix.
+        assert!(ckt.find_node("x1.n1").is_some());
+        assert!(ckt.find_node("x2.n1").is_some());
+    }
+
+    #[test]
+    fn mirror_ratio_reflects_w_over_l() {
+        let mut p = OtaParameters::nominal();
+        p.w1 = 40e-6;
+        p.l1 = 1e-6;
+        p.w4 = 10e-6;
+        p.l4 = 1e-6;
+        assert!((p.mirror_ratio() - 4.0).abs() < 1e-12);
+    }
+}

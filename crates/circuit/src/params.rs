@@ -1,0 +1,419 @@
+//! Designable parameters and parameter spaces.
+//!
+//! The optimisation flow works on *normalised* parameter vectors in `[0, 1]`
+//! (as the paper does for the GA string, Figure 6) and converts to physical
+//! values only when a circuit is instantiated.
+
+use crate::error::{CircuitError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Scaling law used when mapping a normalised value in `[0, 1]` to the
+/// physical range of a parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scaling {
+    /// Linear interpolation between the bounds.
+    Linear,
+    /// Logarithmic interpolation between the bounds (both bounds must be positive).
+    Logarithmic,
+}
+
+/// A single designable parameter with physical bounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Parameter {
+    /// Parameter name (e.g. `"w1"`, `"l3"`, `"c2"`).
+    pub name: String,
+    /// Lower physical bound.
+    pub lower: f64,
+    /// Upper physical bound.
+    pub upper: f64,
+    /// Unit string for reports (e.g. `"m"`, `"F"`).
+    pub unit: String,
+    /// Normalisation scaling law.
+    pub scaling: Scaling,
+}
+
+impl Parameter {
+    /// Creates a linearly scaled parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower >= upper` or either bound is not finite.
+    pub fn new(name: impl Into<String>, lower: f64, upper: f64, unit: impl Into<String>) -> Self {
+        assert!(
+            lower.is_finite() && upper.is_finite() && lower < upper,
+            "parameter bounds must be finite with lower < upper"
+        );
+        Parameter {
+            name: name.into(),
+            lower,
+            upper,
+            unit: unit.into(),
+            scaling: Scaling::Linear,
+        }
+    }
+
+    /// Creates a logarithmically scaled parameter (both bounds must be positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not positive or `lower >= upper`.
+    pub fn new_log(
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        unit: impl Into<String>,
+    ) -> Self {
+        assert!(
+            lower > 0.0 && upper > lower,
+            "logarithmic parameter bounds must be positive with lower < upper"
+        );
+        Parameter {
+            name: name.into(),
+            lower,
+            upper,
+            unit: unit.into(),
+            scaling: Scaling::Logarithmic,
+        }
+    }
+
+    /// Maps a normalised value in `[0, 1]` to the physical range.
+    ///
+    /// Values outside `[0, 1]` are clamped.
+    pub fn denormalize(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        match self.scaling {
+            Scaling::Linear => self.lower + x * (self.upper - self.lower),
+            Scaling::Logarithmic => {
+                let (ll, lu) = (self.lower.ln(), self.upper.ln());
+                (ll + x * (lu - ll)).exp()
+            }
+        }
+    }
+
+    /// Maps a physical value to its normalised position in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::ParameterOutOfBounds`] if the value lies outside
+    /// the physical bounds (beyond a small tolerance).
+    pub fn normalize(&self, value: f64) -> Result<f64> {
+        let tol = 1e-9 * (self.upper - self.lower).abs();
+        if value < self.lower - tol || value > self.upper + tol {
+            return Err(CircuitError::ParameterOutOfBounds {
+                name: self.name.clone(),
+                value,
+                lower: self.lower,
+                upper: self.upper,
+            });
+        }
+        let x = match self.scaling {
+            Scaling::Linear => (value - self.lower) / (self.upper - self.lower),
+            Scaling::Logarithmic => {
+                (value.max(self.lower).ln() - self.lower.ln()) / (self.upper.ln() - self.lower.ln())
+            }
+        };
+        Ok(x.clamp(0.0, 1.0))
+    }
+
+    /// Midpoint of the physical range (in normalised coordinates 0.5).
+    pub fn midpoint(&self) -> f64 {
+        self.denormalize(0.5)
+    }
+
+    /// Width of the physical range.
+    pub fn span(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+impl fmt::Display for Parameter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{:.4e}, {:.4e}] {}",
+            self.name, self.lower, self.upper, self.unit
+        )
+    }
+}
+
+/// An ordered collection of designable parameters defining a parameter space.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ParameterSet {
+    parameters: Vec<Parameter>,
+}
+
+impl ParameterSet {
+    /// Creates an empty parameter set.
+    pub fn new() -> Self {
+        ParameterSet {
+            parameters: Vec::new(),
+        }
+    }
+
+    /// Adds a parameter, returning `self` for chaining.
+    pub fn with(mut self, parameter: Parameter) -> Self {
+        self.parameters.push(parameter);
+        self
+    }
+
+    /// Adds a parameter in place.
+    pub fn push(&mut self, parameter: Parameter) {
+        self.parameters.push(parameter);
+    }
+
+    /// Number of parameters (the dimensionality of the design space).
+    pub fn len(&self) -> usize {
+        self.parameters.len()
+    }
+
+    /// Returns `true` if the set holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.parameters.is_empty()
+    }
+
+    /// Iterates over the parameters in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Parameter> {
+        self.parameters.iter()
+    }
+
+    /// Parameter by index.
+    pub fn get(&self, index: usize) -> Option<&Parameter> {
+        self.parameters.get(index)
+    }
+
+    /// Parameter by name.
+    pub fn by_name(&self, name: &str) -> Option<&Parameter> {
+        self.parameters.iter().find(|p| p.name == name)
+    }
+
+    /// Index of a parameter by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.parameters.iter().position(|p| p.name == name)
+    }
+
+    /// Converts a normalised vector into a named [`DesignPoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::Validation`] if the vector length does not match
+    /// the number of parameters.
+    pub fn denormalize(&self, normalized: &[f64]) -> Result<DesignPoint> {
+        if normalized.len() != self.parameters.len() {
+            return Err(CircuitError::Validation(format!(
+                "expected {} normalised values, got {}",
+                self.parameters.len(),
+                normalized.len()
+            )));
+        }
+        let values = self
+            .parameters
+            .iter()
+            .zip(normalized)
+            .map(|(p, &x)| (p.name.clone(), p.denormalize(x)))
+            .collect();
+        Ok(DesignPoint { values })
+    }
+
+    /// Converts a named design point back to a normalised vector in parameter order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a parameter is missing from the point or out of bounds.
+    pub fn normalize(&self, point: &DesignPoint) -> Result<Vec<f64>> {
+        self.parameters
+            .iter()
+            .map(|p| {
+                let value = point
+                    .get(&p.name)
+                    .ok_or_else(|| CircuitError::UnknownParameter(p.name.clone()))?;
+                p.normalize(value)
+            })
+            .collect()
+    }
+
+    /// The centre of the design space in physical coordinates.
+    pub fn midpoint(&self) -> DesignPoint {
+        DesignPoint {
+            values: self
+                .parameters
+                .iter()
+                .map(|p| (p.name.clone(), p.midpoint()))
+                .collect(),
+        }
+    }
+}
+
+impl FromIterator<Parameter> for ParameterSet {
+    fn from_iter<T: IntoIterator<Item = Parameter>>(iter: T) -> Self {
+        ParameterSet {
+            parameters: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Parameter> for ParameterSet {
+    fn extend<T: IntoIterator<Item = Parameter>>(&mut self, iter: T) {
+        self.parameters.extend(iter);
+    }
+}
+
+/// A concrete assignment of physical values to named parameters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    values: Vec<(String, f64)>,
+}
+
+impl DesignPoint {
+    /// Creates an empty design point.
+    pub fn new() -> Self {
+        DesignPoint { values: Vec::new() }
+    }
+
+    /// Sets (or replaces) a named value, returning `self` for chaining.
+    pub fn with(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Sets (or replaces) a named value.
+    pub fn set(&mut self, name: impl Into<String>, value: f64) {
+        let name = name.into();
+        if let Some(entry) = self.values.iter_mut().find(|(n, _)| *n == name) {
+            entry.1 = value;
+        } else {
+            self.values.push((name, value));
+        }
+    }
+
+    /// Value of a named parameter, if present.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Value of a named parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter is missing; use [`DesignPoint::get`] for a
+    /// fallible lookup.
+    pub fn require(&self, name: &str) -> f64 {
+        self.get(name)
+            .unwrap_or_else(|| panic!("design point is missing parameter `{name}`"))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the point has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (name, value) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}={value:.4e}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_denormalize_maps_bounds_and_midpoint() {
+        let p = Parameter::new("w1", 10e-6, 60e-6, "m");
+        assert!((p.denormalize(0.0) - 10e-6).abs() < 1e-18);
+        assert!((p.denormalize(1.0) - 60e-6).abs() < 1e-18);
+        assert!((p.denormalize(0.5) - 35e-6).abs() < 1e-12);
+        // Clamping.
+        assert!((p.denormalize(2.0) - 60e-6).abs() < 1e-18);
+        assert!((p.denormalize(-1.0) - 10e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn normalize_is_inverse_of_denormalize() {
+        let p = Parameter::new("l1", 0.35e-6, 4e-6, "m");
+        for i in 0..=10 {
+            let x = i as f64 / 10.0;
+            let v = p.denormalize(x);
+            let back = p.normalize(v).unwrap();
+            assert!((back - x).abs() < 1e-9, "x={x} back={back}");
+        }
+    }
+
+    #[test]
+    fn log_scaling_hits_geometric_midpoint() {
+        let p = Parameter::new_log("c1", 1e-12, 100e-12, "F");
+        let mid = p.denormalize(0.5);
+        assert!((mid - 10e-12).abs() / 10e-12 < 1e-9);
+    }
+
+    #[test]
+    fn out_of_bounds_normalization_errors() {
+        let p = Parameter::new("w1", 10e-6, 60e-6, "m");
+        assert!(p.normalize(5e-6).is_err());
+        assert!(p.normalize(70e-6).is_err());
+    }
+
+    #[test]
+    fn parameter_set_roundtrip() {
+        let set: ParameterSet = vec![
+            Parameter::new("w1", 10e-6, 60e-6, "m"),
+            Parameter::new("l1", 0.35e-6, 4e-6, "m"),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.len(), 2);
+        let point = set.denormalize(&[0.2, 0.8]).unwrap();
+        let norm = set.normalize(&point).unwrap();
+        assert!((norm[0] - 0.2).abs() < 1e-9);
+        assert!((norm[1] - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parameter_set_rejects_wrong_length() {
+        let set: ParameterSet =
+            vec![Parameter::new("w1", 10e-6, 60e-6, "m")].into_iter().collect();
+        assert!(set.denormalize(&[0.1, 0.2]).is_err());
+    }
+
+    #[test]
+    fn design_point_set_replaces_existing() {
+        let mut point = DesignPoint::new().with("w1", 1.0);
+        point.set("w1", 2.0);
+        assert_eq!(point.get("w1"), Some(2.0));
+        assert_eq!(point.len(), 1);
+        assert!(point.get("zz").is_none());
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let set: ParameterSet = vec![
+            Parameter::new("w1", 10e-6, 60e-6, "m"),
+            Parameter::new("l1", 0.35e-6, 4e-6, "m"),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.index_of("l1"), Some(1));
+        assert!(set.by_name("w1").is_some());
+        assert!(set.by_name("zz").is_none());
+        assert_eq!(set.midpoint().len(), 2);
+    }
+}

@@ -1,0 +1,441 @@
+//! SPICE-like netlist text output and a small parser.
+//!
+//! The paper's flow starts from "a transistor level netlist for the chosen
+//! circuit topology" (§3.1). This module provides a human-readable text form
+//! of a [`Circuit`] so generated candidates can be inspected, archived and
+//! re-imported, mirroring the data files that the original flow passed to
+//! Spectre.
+//!
+//! The format is deliberately a small, line-oriented subset of SPICE:
+//!
+//! ```text
+//! * title line
+//! .model nmos nmos vto=0.5 kp=1.7e-4 lambda=0.06 gamma=0.58 phi=0.84 cox=4.54e-3
+//! m1 d g s b nmos w=10u l=1u
+//! r1 a b 1k
+//! c1 out 0 5p
+//! v1 in 0 dc 1.5 ac 1
+//! i1 vdd nb dc 20u
+//! g1 out 0 inp inn 1m
+//! e1 out 0 inp inn 10
+//! .end
+//! ```
+
+use crate::device::{AcSpec, Device, Mosfet};
+use crate::error::{CircuitError, Result};
+use crate::model::{MosfetModelCard, MosfetPolarity};
+use crate::netlist::Circuit;
+use std::fmt::Write as _;
+
+/// Formats an engineering value using SPICE suffixes where convenient.
+fn format_value(value: f64) -> String {
+    let abs = value.abs();
+    if abs == 0.0 {
+        return "0".to_string();
+    }
+    let (scaled, suffix) = if abs >= 1e6 {
+        (value / 1e6, "meg")
+    } else if abs >= 1e3 {
+        (value / 1e3, "k")
+    } else if abs >= 1.0 {
+        (value, "")
+    } else if abs >= 1e-3 {
+        (value * 1e3, "m")
+    } else if abs >= 1e-6 {
+        (value * 1e6, "u")
+    } else if abs >= 1e-9 {
+        (value * 1e9, "n")
+    } else if abs >= 1e-12 {
+        (value * 1e12, "p")
+    } else {
+        (value * 1e15, "f")
+    };
+    let mut s = format!("{scaled:.6}");
+    while s.contains('.') && (s.ends_with('0') || s.ends_with('.')) {
+        s.pop();
+    }
+    format!("{s}{suffix}")
+}
+
+/// Parses a SPICE number with optional engineering suffix (`10u`, `1.5k`, `5p`, `2meg`).
+fn parse_value(token: &str) -> Option<f64> {
+    let lower = token.trim().to_ascii_lowercase();
+    let (mult, digits) = if let Some(stripped) = lower.strip_suffix("meg") {
+        (1e6, stripped)
+    } else if let Some(stripped) = lower.strip_suffix('t') {
+        (1e12, stripped)
+    } else if let Some(stripped) = lower.strip_suffix('g') {
+        (1e9, stripped)
+    } else if let Some(stripped) = lower.strip_suffix('k') {
+        (1e3, stripped)
+    } else if let Some(stripped) = lower.strip_suffix('m') {
+        (1e-3, stripped)
+    } else if let Some(stripped) = lower.strip_suffix('u') {
+        (1e-6, stripped)
+    } else if let Some(stripped) = lower.strip_suffix('n') {
+        (1e-9, stripped)
+    } else if let Some(stripped) = lower.strip_suffix('p') {
+        (1e-12, stripped)
+    } else if let Some(stripped) = lower.strip_suffix('f') {
+        (1e-15, stripped)
+    } else {
+        (1.0, lower.as_str())
+    };
+    digits.parse::<f64>().ok().map(|v| v * mult)
+}
+
+/// Writes a circuit as SPICE-like netlist text.
+pub fn to_spice(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "* {}", circuit.name());
+    for card in circuit.models().values() {
+        let _ = writeln!(
+            out,
+            ".model {} {} vto={} kp={} lambda={} gamma={} phi={} cox={} cgdo={} cgso={} cj={} ld={}",
+            card.name,
+            card.polarity,
+            card.vto,
+            card.kp,
+            card.lambda,
+            card.gamma,
+            card.phi,
+            card.cox,
+            card.cgdo,
+            card.cgso,
+            card.cj,
+            card.ld
+        );
+    }
+    let node = |id| circuit.node_name(id).to_string();
+    for inst in circuit.instances() {
+        let name = &inst.name;
+        match &inst.device {
+            Device::Resistor(r) => {
+                let _ = writeln!(
+                    out,
+                    "r{name} {} {} {}",
+                    node(r.plus),
+                    node(r.minus),
+                    format_value(r.resistance)
+                );
+            }
+            Device::Capacitor(c) => {
+                let _ = writeln!(
+                    out,
+                    "c{name} {} {} {}",
+                    node(c.plus),
+                    node(c.minus),
+                    format_value(c.capacitance)
+                );
+            }
+            Device::VoltageSource(v) => {
+                let mut line = format!("v{name} {} {} dc {}", node(v.plus), node(v.minus), v.dc);
+                if v.ac.magnitude != 0.0 {
+                    let _ = write!(line, " ac {}", v.ac.magnitude);
+                }
+                let _ = writeln!(out, "{line}");
+            }
+            Device::CurrentSource(i) => {
+                let mut line = format!(
+                    "i{name} {} {} dc {}",
+                    node(i.plus),
+                    node(i.minus),
+                    format_value(i.dc)
+                );
+                if i.ac.magnitude != 0.0 {
+                    let _ = write!(line, " ac {}", i.ac.magnitude);
+                }
+                let _ = writeln!(out, "{line}");
+            }
+            Device::Vccs(g) => {
+                let _ = writeln!(
+                    out,
+                    "g{name} {} {} {} {} {}",
+                    node(g.out_plus),
+                    node(g.out_minus),
+                    node(g.ctrl_plus),
+                    node(g.ctrl_minus),
+                    format_value(g.gm)
+                );
+            }
+            Device::Vcvs(e) => {
+                let _ = writeln!(
+                    out,
+                    "e{name} {} {} {} {} {}",
+                    node(e.out_plus),
+                    node(e.out_minus),
+                    node(e.ctrl_plus),
+                    node(e.ctrl_minus),
+                    e.gain
+                );
+            }
+            Device::Mosfet(m) => {
+                let _ = writeln!(
+                    out,
+                    "m{name} {} {} {} {} {} w={} l={} m={}",
+                    node(m.drain),
+                    node(m.gate),
+                    node(m.source),
+                    node(m.bulk),
+                    m.model,
+                    format_value(m.w),
+                    format_value(m.l),
+                    m.m
+                );
+            }
+            Device::BehavioralOta(o) => {
+                let _ = writeln!(
+                    out,
+                    "* behavioural ota {name}: gain={:.3} rout={} cout={}",
+                    o.gain,
+                    format_value(o.rout),
+                    format_value(o.cout)
+                );
+                let _ = writeln!(
+                    out,
+                    "gota_{name} {} 0 {} {} {}",
+                    node(o.out),
+                    node(o.in_plus),
+                    node(o.in_minus),
+                    format_value(o.gm)
+                );
+                let _ = writeln!(out, "rota_{name} {} 0 {}", node(o.out), format_value(o.rout));
+                if o.cout > 0.0 {
+                    let _ = writeln!(out, "cota_{name} {} 0 {}", node(o.out), format_value(o.cout));
+                }
+            }
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+fn parse_named(tokens: &[&str], key: &str) -> Option<f64> {
+    tokens.iter().find_map(|t| {
+        let (k, v) = t.split_once('=')?;
+        if k.eq_ignore_ascii_case(key) {
+            parse_value(v)
+        } else {
+            None
+        }
+    })
+}
+
+/// Parses a SPICE-like netlist produced by [`to_spice`] (plus hand-written
+/// netlists using the same subset) back into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Parse`] describing the first offending line.
+pub fn from_spice(text: &str) -> Result<Circuit> {
+    let mut circuit = Circuit::new("imported");
+    let mut pending_mosfets: Vec<(String, Mosfet)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('*') {
+            if line_no == 1 && line.starts_with('*') {
+                circuit = Circuit::new(line.trim_start_matches('*').trim());
+            }
+            continue;
+        }
+        let lower = line.to_ascii_lowercase();
+        let tokens: Vec<&str> = lower.split_whitespace().collect();
+        let err = |reason: &str| CircuitError::Parse {
+            line: line_no,
+            reason: reason.to_string(),
+        };
+        if tokens[0] == ".end" {
+            break;
+        }
+        if tokens[0] == ".model" {
+            if tokens.len() < 3 {
+                return Err(err("expected `.model <name> <nmos|pmos> key=value...`"));
+            }
+            let polarity = match tokens[2] {
+                "nmos" => MosfetPolarity::Nmos,
+                "pmos" => MosfetPolarity::Pmos,
+                other => return Err(err(&format!("unknown model polarity `{other}`"))),
+            };
+            let base = match polarity {
+                MosfetPolarity::Nmos => MosfetModelCard::nmos_035um(),
+                MosfetPolarity::Pmos => MosfetModelCard::pmos_035um(),
+            };
+            let card = MosfetModelCard {
+                name: tokens[1].to_string(),
+                polarity,
+                vto: parse_named(&tokens, "vto").unwrap_or(base.vto),
+                kp: parse_named(&tokens, "kp").unwrap_or(base.kp),
+                lambda: parse_named(&tokens, "lambda").unwrap_or(base.lambda),
+                gamma: parse_named(&tokens, "gamma").unwrap_or(base.gamma),
+                phi: parse_named(&tokens, "phi").unwrap_or(base.phi),
+                cox: parse_named(&tokens, "cox").unwrap_or(base.cox),
+                cgdo: parse_named(&tokens, "cgdo").unwrap_or(base.cgdo),
+                cgso: parse_named(&tokens, "cgso").unwrap_or(base.cgso),
+                cj: parse_named(&tokens, "cj").unwrap_or(base.cj),
+                ld: parse_named(&tokens, "ld").unwrap_or(base.ld),
+            };
+            circuit.add_model(card);
+            continue;
+        }
+        let kind = tokens[0].chars().next().unwrap_or(' ');
+        // The full element token (including the type letter) is used as the
+        // instance name so hand-written netlists like `v1` + `r1` do not collide.
+        let name = tokens[0].to_string();
+        match kind {
+            'r' => {
+                if tokens.len() < 4 {
+                    return Err(err("resistor needs `r<name> n+ n- value`"));
+                }
+                let plus = circuit.node(tokens[1]);
+                let minus = circuit.node(tokens[2]);
+                let value = parse_value(tokens[3]).ok_or_else(|| err("bad resistance value"))?;
+                circuit.add_resistor(name, plus, minus, value)?;
+            }
+            'c' => {
+                if tokens.len() < 4 {
+                    return Err(err("capacitor needs `c<name> n+ n- value`"));
+                }
+                let plus = circuit.node(tokens[1]);
+                let minus = circuit.node(tokens[2]);
+                let value = parse_value(tokens[3]).ok_or_else(|| err("bad capacitance value"))?;
+                circuit.add_capacitor(name, plus, minus, value)?;
+            }
+            'v' | 'i' => {
+                if tokens.len() < 3 {
+                    return Err(err("source needs at least `x<name> n+ n-`"));
+                }
+                let plus = circuit.node(tokens[1]);
+                let minus = circuit.node(tokens[2]);
+                let mut dc = 0.0;
+                let mut ac = AcSpec::none();
+                let mut i = 3;
+                while i < tokens.len() {
+                    match tokens[i] {
+                        "dc" if i + 1 < tokens.len() => {
+                            dc = parse_value(tokens[i + 1]).ok_or_else(|| err("bad dc value"))?;
+                            i += 2;
+                        }
+                        "ac" if i + 1 < tokens.len() => {
+                            ac.magnitude =
+                                parse_value(tokens[i + 1]).ok_or_else(|| err("bad ac value"))?;
+                            i += 2;
+                        }
+                        other => {
+                            // Bare value means DC.
+                            dc = parse_value(other).ok_or_else(|| err("bad source value"))?;
+                            i += 1;
+                        }
+                    }
+                }
+                if kind == 'v' {
+                    circuit.add_vsource_ac(name, plus, minus, dc, ac)?;
+                } else {
+                    circuit.add_isource(name, plus, minus, dc)?;
+                }
+            }
+            'g' | 'e' => {
+                if tokens.len() < 6 {
+                    return Err(err("controlled source needs 4 nodes and a value"));
+                }
+                let op = circuit.node(tokens[1]);
+                let om = circuit.node(tokens[2]);
+                let cp = circuit.node(tokens[3]);
+                let cm = circuit.node(tokens[4]);
+                let value = parse_value(tokens[5]).ok_or_else(|| err("bad controlled-source value"))?;
+                if kind == 'g' {
+                    circuit.add_vccs(name, op, om, cp, cm, value)?;
+                } else {
+                    circuit.add_vcvs(name, op, om, cp, cm, value)?;
+                }
+            }
+            'm' => {
+                if tokens.len() < 6 {
+                    return Err(err("mosfet needs `m<name> d g s b model w=.. l=..`"));
+                }
+                let d = circuit.node(tokens[1]);
+                let g = circuit.node(tokens[2]);
+                let s = circuit.node(tokens[3]);
+                let b = circuit.node(tokens[4]);
+                let model = tokens[5].to_string();
+                let w = parse_named(&tokens, "w").ok_or_else(|| err("mosfet missing w="))?;
+                let l = parse_named(&tokens, "l").ok_or_else(|| err("mosfet missing l="))?;
+                let mut mosfet = Mosfet::new(d, g, s, b, model, w, l);
+                if let Some(m) = parse_named(&tokens, "m") {
+                    mosfet.m = m;
+                }
+                // Model cards may appear after instances; defer registration checks.
+                pending_mosfets.push((name, mosfet));
+            }
+            other => {
+                return Err(err(&format!("unsupported element type `{other}`")));
+            }
+        }
+    }
+    for (name, mosfet) in pending_mosfets {
+        circuit.add_mosfet(name, mosfet)?;
+    }
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ota::{build_open_loop_testbench, OtaParameters, OtaTestbenchConfig};
+
+    #[test]
+    fn format_and_parse_values_roundtrip() {
+        for &v in &[1.0, 1e3, 4.7e-12, 20e-6, 2.2e6, 0.35e-6, 1e9] {
+            let text = format_value(v);
+            let back = parse_value(&text).unwrap();
+            assert!((back - v).abs() / v < 1e-6, "{v} -> {text} -> {back}");
+        }
+        assert_eq!(parse_value("2meg"), Some(2e6));
+        assert_eq!(parse_value("abc"), None);
+    }
+
+    #[test]
+    fn ota_testbench_survives_spice_roundtrip() {
+        let ckt =
+            build_open_loop_testbench(&OtaParameters::nominal(), &OtaTestbenchConfig::new())
+                .unwrap();
+        let text = to_spice(&ckt);
+        assert!(text.contains(".model nmos"));
+        assert!(text.contains(".model pmos"));
+        let back = from_spice(&text).unwrap();
+        assert_eq!(back.mosfet_count(), ckt.mosfet_count());
+        assert_eq!(back.stats().capacitors, ckt.stats().capacitors);
+        assert_eq!(back.stats().vsources, ckt.stats().vsources);
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let text = "* test\nr1 a b 1k\nqq bogus line\n";
+        let err = from_spice(text).unwrap_err();
+        match err {
+            CircuitError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_handles_dc_and_ac_specs() {
+        let text = "* src\nv1 in 0 dc 1.5 ac 1\nr1 in 0 1k\n.end\n";
+        let ckt = from_spice(text).unwrap();
+        match &ckt.instance("v1").unwrap().device {
+            Device::VoltageSource(v) => {
+                assert!((v.dc - 1.5).abs() < 1e-12);
+                assert!((v.ac.magnitude - 1.0).abs() < 1e-12);
+            }
+            _ => panic!("expected voltage source"),
+        }
+    }
+
+    #[test]
+    fn mosfet_lines_can_precede_model_cards() {
+        let text = "* order\nm1 d g 0 0 nmos w=10u l=1u\nv1 d 0 dc 1\nv2 g 0 dc 1\n.model nmos nmos vto=0.5\n.end\n";
+        let ckt = from_spice(text).unwrap();
+        assert_eq!(ckt.mosfet_count(), 1);
+    }
+}

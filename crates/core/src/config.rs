@@ -1,0 +1,130 @@
+//! Flow configuration.
+
+use ayb_circuit::ota::OtaTestbenchConfig;
+use ayb_moo::GaConfig;
+use ayb_process::{MonteCarloConfig, ProcessVariation};
+use ayb_sim::FrequencySweep;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the complete model-generation flow (paper §3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowConfig {
+    /// Genetic-algorithm settings for the OTA sizing optimisation (§3.2).
+    pub ga: GaConfig,
+    /// Monte Carlo settings applied to every Pareto point (§3.4).
+    pub monte_carlo: MonteCarloConfig,
+    /// Statistical process model.
+    pub variation: ProcessVariation,
+    /// Test-bench conditions (supply, common mode, load, servo loop).
+    pub testbench: OtaTestbenchConfig,
+    /// Frequency sweep used for every AC characterisation.
+    pub sweep: FrequencySweep,
+    /// k·σ level used to convert Monte Carlo spreads into the ±Δ% columns of
+    /// Table 2 (3.0 = conventional process extremes).
+    pub sigma_level: f64,
+    /// Upper bound on the number of Pareto points taken through Monte Carlo
+    /// analysis (the paper analyses all 1022; scaled-down runs cap this).
+    pub max_pareto_points: usize,
+    /// Number of worker threads for the per-point Monte Carlo stage.
+    pub threads: usize,
+}
+
+impl FlowConfig {
+    /// Full paper-scale settings: 100 × 100 WBGA (10 000 simulations),
+    /// 200-sample Monte Carlo on every Pareto point (§4, Table 5).
+    pub fn paper_scale() -> Self {
+        FlowConfig {
+            ga: GaConfig::paper_ota(),
+            monte_carlo: MonteCarloConfig::new(200, 2008),
+            variation: ProcessVariation::generic_035um(),
+            testbench: OtaTestbenchConfig::new(),
+            sweep: FrequencySweep::logarithmic(10.0, 1e9, 8),
+            sigma_level: 3.0,
+            max_pareto_points: usize::MAX,
+            threads: 4,
+        }
+    }
+
+    /// Reduced settings for unit tests and examples: small population, few
+    /// Monte Carlo samples, capped Pareto set. Produces the same artefacts in
+    /// seconds instead of hours.
+    pub fn reduced() -> Self {
+        FlowConfig {
+            ga: GaConfig {
+                population_size: 14,
+                generations: 8,
+                crossover_rate: 0.9,
+                mutation_rate: 0.12,
+                mutation_sigma: 0.12,
+                tournament_size: 2,
+                elitism: 1,
+                seed: 2008,
+            },
+            monte_carlo: MonteCarloConfig::new(16, 77),
+            variation: ProcessVariation::generic_035um(),
+            testbench: OtaTestbenchConfig::new(),
+            sweep: FrequencySweep::logarithmic(10.0, 1e9, 5),
+            sigma_level: 3.0,
+            max_pareto_points: 12,
+            threads: 2,
+        }
+    }
+
+    /// Intermediate settings used by the report binaries when `--full` is not
+    /// requested: large enough to show the paper's trends, small enough to run
+    /// in a couple of minutes.
+    pub fn demo_scale() -> Self {
+        FlowConfig {
+            ga: GaConfig {
+                population_size: 40,
+                generations: 25,
+                ..GaConfig::paper_ota()
+            },
+            monte_carlo: MonteCarloConfig::new(50, 0xa5a5),
+            max_pareto_points: 60,
+            threads: 4,
+            ..FlowConfig::reduced()
+        }
+    }
+
+    /// Returns a copy with a different optimisation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.ga.seed = seed;
+        self
+    }
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig::paper_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_reported_budget() {
+        let cfg = FlowConfig::paper_scale();
+        assert_eq!(cfg.ga.evaluation_budget(), 10_000);
+        assert_eq!(cfg.monte_carlo.samples, 200);
+        assert_eq!(cfg.sigma_level, 3.0);
+    }
+
+    #[test]
+    fn reduced_is_small() {
+        let cfg = FlowConfig::reduced();
+        assert!(cfg.ga.evaluation_budget() <= 200);
+        assert!(cfg.monte_carlo.samples <= 32);
+        assert!(cfg.max_pareto_points <= 16);
+    }
+
+    #[test]
+    fn with_seed_changes_ga_seed_only() {
+        let a = FlowConfig::reduced();
+        let b = a.clone().with_seed(99);
+        assert_ne!(a.ga.seed, b.ga.seed);
+        assert_eq!(a.monte_carlo.seed, b.monte_carlo.seed);
+    }
+}

@@ -1,0 +1,257 @@
+//! The end-to-end model-generation flow (paper §3, Figure 3).
+//!
+//! The five steps of the proposed algorithm are executed in order:
+//!
+//! 1. netlist / objective generation ([`OtaSizingProblem`]),
+//! 2. multi-objective optimisation with the WBGA (§3.2),
+//! 3. Pareto-front extraction (§3.3),
+//! 4. Monte Carlo variation analysis of every Pareto point (§3.4),
+//! 5. table-model / combined-model generation (§3.5).
+//!
+//! The output is a [`CombinedOtaModel`] plus everything needed to regenerate
+//! Figure 7 and Tables 2/5 of the paper.
+
+use crate::config::FlowConfig;
+use crate::ota_problem::{measure_testbench, OtaSizingProblem};
+use ayb_behavioral::{CombinedOtaModel, ModelError, ParetoPointData};
+use ayb_circuit::ota::{build_open_loop_testbench, OtaParameters};
+use ayb_moo::{Evaluation, Wbga, WbgaResult};
+use ayb_process::{montecarlo, Summary};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Errors produced by the flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// The optimisation produced no feasible candidates at all.
+    NoFeasibleCandidates,
+    /// Too few Pareto points survived Monte Carlo analysis to build a model.
+    InsufficientParetoData(usize),
+    /// Building the combined model failed.
+    Model(ModelError),
+    /// A circuit could not be constructed.
+    Circuit(String),
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::NoFeasibleCandidates => {
+                write!(f, "the optimisation produced no feasible candidates")
+            }
+            FlowError::InsufficientParetoData(n) => write!(
+                f,
+                "only {n} Pareto points completed Monte Carlo analysis; at least 3 are required"
+            ),
+            FlowError::Model(e) => write!(f, "model construction failed: {e}"),
+            FlowError::Circuit(e) => write!(f, "circuit construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<ModelError> for FlowError {
+    fn from(e: ModelError) -> Self {
+        FlowError::Model(e)
+    }
+}
+
+/// Wall-clock timings of the flow stages (Table 5's CPU-time column).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowTimings {
+    /// Multi-objective optimisation time.
+    pub optimization: Duration,
+    /// Monte Carlo variation-analysis time.
+    pub monte_carlo: Duration,
+    /// Model construction time.
+    pub model_build: Duration,
+}
+
+impl FlowTimings {
+    /// Total flow time.
+    pub fn total(&self) -> Duration {
+        self.optimization + self.monte_carlo + self.model_build
+    }
+}
+
+/// Summary of the flow, mirroring Table 5 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowSummary {
+    /// Number of GA generations.
+    pub generations: usize,
+    /// Number of evaluation samples (circuit simulations in the GA).
+    pub evaluation_samples: usize,
+    /// Number of Pareto-optimal points found.
+    pub pareto_points: usize,
+    /// Number of Pareto points carried through Monte Carlo analysis.
+    pub analysed_pareto_points: usize,
+    /// Monte Carlo samples per analysed point.
+    pub mc_samples_per_point: usize,
+    /// Total CPU (wall-clock) time of the flow in seconds.
+    pub cpu_time_seconds: f64,
+}
+
+/// Complete output of the model-generation flow.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// Every evaluation the GA performed (the scatter of Figure 7).
+    pub archive: Vec<Evaluation>,
+    /// The Pareto front extracted from the archive (the front of Figure 7).
+    pub pareto: Vec<Evaluation>,
+    /// Pareto points annotated with Monte Carlo variation (Table 2 data).
+    pub pareto_data: Vec<ParetoPointData>,
+    /// The combined performance + variation behavioural model.
+    pub model: CombinedOtaModel,
+    /// Stage timings.
+    pub timings: FlowTimings,
+    /// Raw WBGA result (history, evaluation counters).
+    pub optimization: WbgaResult,
+}
+
+impl FlowResult {
+    /// Builds the Table 5 style summary for a given configuration.
+    pub fn summary(&self, config: &FlowConfig) -> FlowSummary {
+        FlowSummary {
+            generations: config.ga.generations,
+            evaluation_samples: self.optimization.evaluations,
+            pareto_points: self.pareto.len(),
+            analysed_pareto_points: self.pareto_data.len(),
+            mc_samples_per_point: config.monte_carlo.samples,
+            cpu_time_seconds: self.timings.total().as_secs_f64(),
+        }
+    }
+}
+
+/// Selects at most `limit` points spread evenly along a front.
+pub fn subsample_front(front: &[Evaluation], limit: usize) -> Vec<Evaluation> {
+    if front.len() <= limit || limit == 0 {
+        return front.to_vec();
+    }
+    (0..limit)
+        .map(|i| {
+            let idx = i * (front.len() - 1) / (limit - 1).max(1);
+            front[idx].clone()
+        })
+        .collect()
+}
+
+/// Runs the Monte Carlo variation analysis (§3.4) for one Pareto point.
+///
+/// Returns `None` when the nominal candidate cannot be re-simulated or every
+/// Monte Carlo sample fails.
+pub fn analyse_pareto_point(
+    problem: &OtaSizingProblem,
+    point: &Evaluation,
+    config: &FlowConfig,
+) -> Option<ParetoPointData> {
+    let design_point = problem.design_point(&point.parameters)?;
+    let ota_params = OtaParameters::from_design_point(&design_point);
+    let nominal = problem.performance(&point.parameters)?;
+    let circuit = build_open_loop_testbench(&ota_params, &config.testbench).ok()?;
+
+    let sweep = config.sweep.clone();
+    let run = montecarlo::run_parallel(
+        &circuit,
+        &config.variation,
+        &config.monte_carlo,
+        config.threads,
+        move |sample| {
+            measure_testbench(sample, &sweep).map(|perf| (perf.gain_db, perf.phase_margin_deg))
+        },
+    );
+    if run.values.len() < 2 {
+        return None;
+    }
+    let gains: Vec<f64> = run.values.iter().map(|v| v.0).collect();
+    let pms: Vec<f64> = run.values.iter().map(|v| v.1).collect();
+    let gain_summary = Summary::of(&gains)?;
+    let pm_summary = Summary::of(&pms)?;
+    Some(ParetoPointData {
+        gain_db: nominal.gain_db,
+        phase_margin_deg: nominal.phase_margin_deg,
+        gain_delta_percent: gain_summary.variation_percent(config.sigma_level),
+        pm_delta_percent: pm_summary.variation_percent(config.sigma_level),
+        unity_gain_hz: nominal.unity_gain_hz,
+        parameters: design_point,
+    })
+}
+
+/// Runs the complete model-generation flow.
+///
+/// # Errors
+///
+/// Returns an error if the optimisation finds no feasible candidates, too few
+/// Pareto points survive the variation analysis, or model construction fails.
+pub fn generate_model(config: &FlowConfig) -> Result<FlowResult, FlowError> {
+    let problem = OtaSizingProblem::new(config.testbench, config.sweep.clone());
+
+    // Steps 1–2: netlist/objective generation + WBGA optimisation.
+    let t0 = Instant::now();
+    let optimization = Wbga::new(config.ga).run(&problem);
+    let optimization_time = t0.elapsed();
+    if optimization.archive.is_empty() {
+        return Err(FlowError::NoFeasibleCandidates);
+    }
+
+    // Step 3: Pareto front extraction.
+    let pareto = optimization.pareto_front();
+    let selected = subsample_front(&pareto, config.max_pareto_points);
+
+    // Step 4: Monte Carlo variation analysis per Pareto point.
+    let t1 = Instant::now();
+    let pareto_data: Vec<ParetoPointData> = selected
+        .iter()
+        .filter_map(|point| analyse_pareto_point(&problem, point, config))
+        .collect();
+    let monte_carlo_time = t1.elapsed();
+    if pareto_data.len() < 3 {
+        return Err(FlowError::InsufficientParetoData(pareto_data.len()));
+    }
+
+    // Step 5: combined table-model generation.
+    let t2 = Instant::now();
+    let model = CombinedOtaModel::from_pareto_data(pareto_data.clone(), config.sigma_level)?;
+    let model_build_time = t2.elapsed();
+
+    Ok(FlowResult {
+        archive: optimization.archive.clone(),
+        pareto,
+        pareto_data,
+        model,
+        timings: FlowTimings {
+            optimization: optimization_time,
+            monte_carlo: monte_carlo_time,
+            model_build: model_build_time,
+        },
+        optimization,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsample_preserves_ends_and_order() {
+        let front: Vec<Evaluation> = (0..50)
+            .map(|i| Evaluation::new(vec![i as f64], vec![i as f64, 50.0 - i as f64]))
+            .collect();
+        let sub = subsample_front(&front, 10);
+        assert_eq!(sub.len(), 10);
+        assert_eq!(sub[0].objectives[0], 0.0);
+        assert_eq!(sub[9].objectives[0], 49.0);
+        assert!(sub.windows(2).all(|w| w[0].objectives[0] < w[1].objectives[0]));
+        // Limits larger than the front return it unchanged.
+        assert_eq!(subsample_front(&front, 100).len(), 50);
+    }
+
+    // The full reduced-scale flow is exercised by the workspace-level
+    // integration tests (tests/full_flow.rs); unit tests here stay cheap.
+    #[test]
+    fn flow_error_display() {
+        let e = FlowError::InsufficientParetoData(1);
+        assert!(e.to_string().contains('1'));
+        assert!(FlowError::NoFeasibleCandidates.to_string().contains("no feasible"));
+    }
+}

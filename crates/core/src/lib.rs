@@ -1,0 +1,51 @@
+//! # ayb-core — the combined yield / performance modelling flow
+//!
+//! End-to-end implementation of *"A New Approach for Combining Yield and
+//! Performance in Behavioural Models for Analogue Integrated Circuits"*
+//! (Ali, Wilcock, Wilson, Brown — DATE 2008) on top of the AYB substrate
+//! crates:
+//!
+//! * [`OtaSizingProblem`] — the paper's benchmark problem: size the
+//!   symmetrical OTA for open-loop gain and phase margin (§3.1, §4.1),
+//! * [`generate_model`] — the five-step flow of Figure 3: WBGA optimisation,
+//!   Pareto extraction, per-point Monte Carlo, table-model generation,
+//! * [`verify`] — transistor-level accuracy (Table 4) and yield verification,
+//! * [`filter_design`] — the hierarchical 2nd-order anti-aliasing filter
+//!   application of §5,
+//! * [`conventional`] — the simulation-in-the-loop baseline used for the
+//!   speed/efficiency comparison,
+//! * [`report`] — text renderers for every table and figure of the paper.
+//!
+//! # Examples
+//!
+//! Running the whole flow at reduced scale (seconds, not hours):
+//!
+//! ```no_run
+//! use ayb_core::{generate_model, FlowConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = FlowConfig::reduced();
+//! let result = generate_model(&config)?;
+//! println!("{} Pareto points", result.pareto.len());
+//! println!("{}", ayb_core::report::render_table2(&result.pareto_data));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod conventional;
+pub mod filter_design;
+pub mod flow;
+pub mod ota_problem;
+pub mod report;
+pub mod verify;
+
+pub use config::FlowConfig;
+pub use conventional::{compare_approaches, conventional_ota_yield, ApproachComparison};
+pub use filter_design::{design_filter, verify_filter_yield, FilterDesignResult};
+pub use flow::{generate_model, FlowError, FlowResult, FlowSummary, FlowTimings};
+pub use ota_problem::{evaluate_ota, measure_testbench, OtaPerformance, OtaSizingProblem};
+pub use verify::{verify_accuracy, verify_ota_yield, AccuracyReport, YieldReport};

@@ -1,0 +1,301 @@
+//! Text rendering of the paper's tables and figure data.
+//!
+//! Every table of the evaluation section (and the data series behind every
+//! figure) can be rendered as plain text so the report binaries in
+//! `ayb-bench` regenerate the same artefacts the paper presents.
+
+use crate::config::FlowConfig;
+use crate::flow::{FlowResult, FlowSummary};
+use crate::verify::AccuracyReport;
+use ayb_behavioral::{ParetoPointData, RetargetedPerformance};
+use ayb_circuit::ota::OtaParameters;
+use ayb_moo::Evaluation;
+use std::fmt::Write as _;
+
+/// Renders Table 1: the designable parameter ranges.
+pub fn render_table1() -> String {
+    let set = OtaParameters::parameter_set();
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1. Design parameters");
+    let _ = writeln!(out, "{:<22} {:>12} {:>12}", "Design Parameter", "Min", "Max");
+    let devices = [
+        ("w1 (M5,M4)", "l1 (M5,M4)"),
+        ("w2 (M7,M9)", "l2 (M7,M9)"),
+        ("w3 (M10,M8)", "l3 (M10,M8)"),
+        ("w4 (M3,M6)", "l4 (M3,M6)"),
+    ];
+    for (i, (wname, lname)) in devices.iter().enumerate() {
+        let w = set.get(2 * i).expect("parameter exists");
+        let l = set.get(2 * i + 1).expect("parameter exists");
+        let _ = writeln!(
+            out,
+            "{:<22} {:>10.2}um {:>10.2}um",
+            wname,
+            w.lower * 1e6,
+            w.upper * 1e6
+        );
+        let _ = writeln!(
+            out,
+            "{:<22} {:>10.2}um {:>10.2}um",
+            lname,
+            l.lower * 1e6,
+            l.upper * 1e6
+        );
+    }
+    let _ = writeln!(out, "{:<22} {:>12} {:>12}", "Wg1 (Gain weight)", "0", "1");
+    let _ = writeln!(out, "{:<22} {:>12} {:>12}", "Wg2 (Phase weight)", "0", "1");
+    out
+}
+
+/// Renders the data behind Figure 7: every evaluated individual plus the
+/// Pareto front, as two CSV blocks (gain dB, phase margin deg).
+pub fn render_fig7_data(archive: &[Evaluation], front: &[Evaluation]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Figure 7: gain/phase-margin of all GA individuals");
+    let _ = writeln!(out, "# individuals: {}", archive.len());
+    let _ = writeln!(out, "gain_db,phase_margin_deg,on_pareto_front");
+    for e in archive {
+        let on_front = front.iter().any(|f| f.objectives == e.objectives);
+        let _ = writeln!(
+            out,
+            "{:.4},{:.4},{}",
+            e.objectives[0],
+            e.objectives[1],
+            if on_front { 1 } else { 0 }
+        );
+    }
+    out
+}
+
+/// Renders Table 2: performance and variation values of selected Pareto designs.
+pub fn render_table2(points: &[ParetoPointData]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2. Performance and variation values");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "Design", "Gain(dB)", "dGain(%)", "PM(deg)", "dPM(%)"
+    );
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>10.2} {:>10.2} {:>10.1} {:>10.2}",
+            i + 1,
+            p.gain_db,
+            p.gain_delta_percent,
+            p.phase_margin_deg,
+            p.pm_delta_percent
+        );
+    }
+    out
+}
+
+/// Renders Table 3: the interpolation / retargeting example.
+pub fn render_table3(retarget: &RetargetedPerformance) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3. Interpolation example");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>20} {:>12} {:>18}",
+        "Performance", "Required Performance", "Variation", "New Performance"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>17} dB {:>10.2}% {:>15.2} dB",
+        "Gain", format!("> {:.0}", retarget.required_gain_db), retarget.gain_variation_percent,
+        retarget.new_gain_db
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>16} deg {:>10.2}% {:>14.2} deg",
+        "Phase Margin",
+        format!("> {:.0}", retarget.required_pm_deg),
+        retarget.pm_variation_percent,
+        retarget.new_pm_deg
+    );
+    out
+}
+
+/// Renders Table 4: transistor-level vs behavioural-model comparison.
+pub fn render_table4(report: &AccuracyReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 4. Performance comparison");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>16} {:>16} {:>10}",
+        "Performance", "Transistor Model", "Verilog-A Model", "% error"
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:>16.2} {:>16.2} {:>9.2}%",
+        "Gain",
+        report.transistor_gain_db,
+        report.model_gain_db,
+        report.gain_error_percent()
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:>16.2} {:>16.2} {:>9.2}%",
+        "Phase Margin",
+        report.transistor_pm_deg,
+        report.model_pm_deg,
+        report.pm_error_percent()
+    );
+    out
+}
+
+/// Renders Table 5: the model-development parameter summary.
+pub fn render_table5(summary: &FlowSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 5. Design parameter summary");
+    let _ = writeln!(out, "{:<36} {:>14}", "Parameters:", "Values:");
+    let _ = writeln!(out, "{:<36} {:>14}", "No. Generations", summary.generations);
+    let _ = writeln!(out, "{:<36} {:>14}", "Evaluation Samples", summary.evaluation_samples);
+    let _ = writeln!(out, "{:<36} {:>14}", "Pareto Points", summary.pareto_points);
+    let _ = writeln!(
+        out,
+        "{:<36} {:>14}",
+        "Pareto Points analysed (MC)", summary.analysed_pareto_points
+    );
+    let _ = writeln!(
+        out,
+        "{:<36} {:>14}",
+        "MC samples per point", summary.mc_samples_per_point
+    );
+    let _ = writeln!(
+        out,
+        "{:<36} {:>13.1}s",
+        "CPU Time (this machine)", summary.cpu_time_seconds
+    );
+    out
+}
+
+/// Renders the frequency/response series behind Figure 8 or Figure 11 as CSV.
+pub fn render_response_csv(
+    header: &str,
+    frequencies: &[f64],
+    series: &[(&str, Vec<f64>)],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {header}");
+    let names: Vec<&str> = series.iter().map(|(n, _)| *n).collect();
+    let _ = writeln!(out, "frequency_hz,{}", names.join(","));
+    for (i, &f) in frequencies.iter().enumerate() {
+        let values: Vec<String> = series.iter().map(|(_, v)| format!("{:.4}", v[i])).collect();
+        let _ = writeln!(out, "{:.4e},{}", f, values.join(","));
+    }
+    out
+}
+
+/// Renders a complete run report (used by `table5_summary` and the quickstart
+/// example).
+pub fn render_flow_report(result: &FlowResult, config: &FlowConfig) -> String {
+    let mut out = String::new();
+    out.push_str(&render_table1());
+    out.push('\n');
+    out.push_str(&render_table2(&result.pareto_data));
+    out.push('\n');
+    out.push_str(&render_table5(&result.summary(config)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ayb_circuit::DesignPoint;
+
+    fn points() -> Vec<ParetoPointData> {
+        vec![
+            ParetoPointData {
+                gain_db: 49.78,
+                phase_margin_deg: 76.3,
+                gain_delta_percent: 0.52,
+                pm_delta_percent: 1.50,
+                unity_gain_hz: 9e6,
+                parameters: DesignPoint::new().with("w1", 20e-6),
+            },
+            ParetoPointData {
+                gain_db: 51.62,
+                phase_margin_deg: 73.2,
+                gain_delta_percent: 0.42,
+                pm_delta_percent: 1.68,
+                unity_gain_hz: 11e6,
+                parameters: DesignPoint::new().with("w1", 40e-6),
+            },
+        ]
+    }
+
+    #[test]
+    fn table1_lists_all_eight_parameters_and_weights() {
+        let text = render_table1();
+        for name in ["w1", "l1", "w2", "l2", "w3", "l3", "w4", "l4", "Wg1", "Wg2"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        assert!(text.contains("0.35"));
+        assert!(text.contains("60.00"));
+    }
+
+    #[test]
+    fn table2_contains_paper_style_rows() {
+        let text = render_table2(&points());
+        assert!(text.contains("49.78"));
+        assert!(text.contains("0.52"));
+        assert!(text.contains("73.2"));
+    }
+
+    #[test]
+    fn table3_reproduces_retargeting_layout() {
+        let text = render_table3(&RetargetedPerformance {
+            required_gain_db: 50.0,
+            required_pm_deg: 74.0,
+            gain_variation_percent: 0.51,
+            pm_variation_percent: 1.71,
+            new_gain_db: 50.26,
+            new_pm_deg: 75.27,
+        });
+        assert!(text.contains("50.26"));
+        assert!(text.contains("75.27"));
+        assert!(text.contains("> 50"));
+    }
+
+    #[test]
+    fn table4_and_5_render() {
+        let t4 = render_table4(&AccuracyReport {
+            model_gain_db: 50.26,
+            model_pm_deg: 75.27,
+            transistor_gain_db: 50.73,
+            transistor_pm_deg: 76.06,
+        });
+        assert!(t4.contains("0.93%") || t4.contains("0.92%"));
+        let t5 = render_table5(&FlowSummary {
+            generations: 100,
+            evaluation_samples: 10_000,
+            pareto_points: 1022,
+            analysed_pareto_points: 1022,
+            mc_samples_per_point: 200,
+            cpu_time_seconds: 14_400.0,
+        });
+        assert!(t5.contains("10000"));
+        assert!(t5.contains("1022"));
+    }
+
+    #[test]
+    fn figure_data_renderers_produce_csv() {
+        let archive = vec![
+            Evaluation::new(vec![0.1], vec![50.0, 75.0]),
+            Evaluation::new(vec![0.2], vec![51.0, 74.0]),
+        ];
+        let front = vec![archive[1].clone()];
+        let text = render_fig7_data(&archive, &front);
+        assert!(text.lines().count() >= 5);
+        assert!(text.contains("51.0000,74.0000,1"));
+
+        let csv = render_response_csv(
+            "Figure 8",
+            &[1.0, 10.0],
+            &[("transistor_db", vec![50.0, 49.9]), ("model_db", vec![50.1, 50.0])],
+        );
+        assert!(csv.contains("frequency_hz,transistor_db,model_db"));
+        assert!(csv.lines().count() == 4);
+    }
+}

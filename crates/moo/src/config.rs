@@ -1,0 +1,134 @@
+//! Genetic-algorithm configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by the WBGA and NSGA-II optimisers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Number of individuals per generation (paper: 100 for the OTA, 30 for the filter).
+    pub population_size: usize,
+    /// Number of generations (paper: 100 for the OTA, 40 for the filter).
+    pub generations: usize,
+    /// Probability that a selected pair undergoes crossover.
+    pub crossover_rate: f64,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Standard deviation of Gaussian mutation (in normalised units).
+    pub mutation_sigma: f64,
+    /// Tournament size used for selection.
+    pub tournament_size: usize,
+    /// Number of elite individuals copied unchanged into the next generation.
+    pub elitism: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl GaConfig {
+    /// The paper's OTA optimisation settings: 100 generations × 100
+    /// individuals = 10 000 evaluation samples (§4.2, Table 5).
+    ///
+    /// Elitism is disabled so that exactly `population_size × generations`
+    /// circuit simulations are performed, matching the sample count the paper
+    /// reports for Figure 7 and Table 5.
+    pub fn paper_ota() -> Self {
+        GaConfig {
+            population_size: 100,
+            generations: 100,
+            crossover_rate: 0.9,
+            mutation_rate: 0.08,
+            mutation_sigma: 0.1,
+            tournament_size: 2,
+            elitism: 0,
+            seed: 2008,
+        }
+    }
+
+    /// The paper's filter optimisation settings: 30 individuals × 40 generations (§5).
+    pub fn paper_filter() -> Self {
+        GaConfig {
+            population_size: 30,
+            generations: 40,
+            ..GaConfig::paper_ota()
+        }
+    }
+
+    /// A small configuration for fast unit tests.
+    pub fn small_test() -> Self {
+        GaConfig {
+            population_size: 16,
+            generations: 12,
+            crossover_rate: 0.9,
+            mutation_rate: 0.15,
+            mutation_sigma: 0.15,
+            tournament_size: 2,
+            elitism: 1,
+            seed: 7,
+        }
+    }
+
+    /// Returns a copy with a different seed (useful for repeatability studies).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Upper bound on the number of objective evaluations this configuration
+    /// implies (`population_size × generations`). With elitism enabled, the
+    /// elite individuals carried over between generations are not re-simulated,
+    /// so the actual evaluation count is lower by `elitism × (generations − 1)`.
+    pub fn evaluation_budget(&self) -> usize {
+        self.population_size * self.generations
+    }
+
+    /// Exact number of problem evaluations a WBGA run with this configuration
+    /// performs (accounts for elites that are carried over unchanged).
+    pub fn exact_evaluations(&self) -> usize {
+        self.evaluation_budget() - self.elitism * self.generations.saturating_sub(1)
+    }
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig::paper_ota()
+    }
+}
+
+/// Per-generation statistics recorded during optimisation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerationStats {
+    /// Generation index (0-based).
+    pub generation: usize,
+    /// Best scalar fitness in the generation (WBGA) or hypervolume proxy (NSGA-II).
+    pub best_fitness: f64,
+    /// Mean scalar fitness across the generation.
+    pub mean_fitness: f64,
+    /// Number of feasible (successfully evaluated) individuals.
+    pub feasible: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations_match_reported_budgets() {
+        let ota = GaConfig::paper_ota();
+        assert_eq!(ota.evaluation_budget(), 10_000);
+        let filter = GaConfig::paper_filter();
+        assert_eq!(filter.evaluation_budget(), 1_200);
+        assert_eq!(filter.crossover_rate, ota.crossover_rate);
+    }
+
+    #[test]
+    fn with_seed_changes_only_the_seed() {
+        let a = GaConfig::paper_ota();
+        let b = a.with_seed(123);
+        assert_eq!(a.population_size, b.population_size);
+        assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn default_is_paper_ota() {
+        assert_eq!(GaConfig::default(), GaConfig::paper_ota());
+    }
+}

@@ -1,0 +1,52 @@
+//! # ayb-moo — multi-objective optimisation for analogue sizing
+//!
+//! This crate implements the optimisation machinery of the paper's flow
+//! (§2.1, §3.2, §3.3):
+//!
+//! * [`Wbga`] — the weight-based genetic algorithm the paper uses, where the
+//!   GA string carries designable parameters *and* objective weights
+//!   (normalised per eq. 4) and fitness is the normalised weighted sum (eq. 5),
+//! * [`Nsga2`] — the NSGA-II baseline used in the ablation benchmarks,
+//! * [`random_search`] — a uniform-sampling baseline,
+//! * [`pareto`] — dominance tests, Pareto-front extraction (§3.3), fast
+//!   non-dominated sorting, crowding distance and 2-D hypervolume,
+//! * [`MultiObjectiveProblem`] — the problem abstraction over normalised
+//!   `[0, 1]` parameter vectors.
+//!
+//! # Examples
+//!
+//! Optimising a two-objective toy trade-off with the paper's algorithm:
+//!
+//! ```
+//! use ayb_moo::{FnProblem, GaConfig, ObjectiveSpec, Wbga};
+//!
+//! let problem = FnProblem::new(
+//!     1,
+//!     vec![ObjectiveSpec::maximize("f1"), ObjectiveSpec::maximize("f2")],
+//!     |x: &[f64]| Some(vec![x[0], 1.0 - x[0] * x[0]]),
+//! );
+//! let result = Wbga::new(GaConfig::small_test()).run(&problem);
+//! let front = result.pareto_front();
+//! assert!(!front.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod nsga2;
+pub mod operators;
+pub mod pareto;
+pub mod problem;
+pub mod random_search;
+pub mod wbga;
+
+pub use config::{GaConfig, GenerationStats};
+pub use nsga2::{Nsga2, Nsga2Result};
+pub use pareto::{
+    crowding_distance, dominates, fast_non_dominated_sort, hypervolume_2d, non_dominated_indices,
+    pareto_front,
+};
+pub use problem::{Evaluation, FnProblem, MultiObjectiveProblem, ObjectiveSpec, Sense};
+pub use random_search::{random_search, RandomSearchResult};
+pub use wbga::{normalize_weights, Wbga, WbgaIndividual, WbgaResult};

@@ -1,0 +1,318 @@
+//! NSGA-II baseline optimiser.
+//!
+//! The paper chooses the WBGA; NSGA-II (Deb, paper ref. [8]) is the standard
+//! alternative for multi-objective analogue sizing and is provided here as the
+//! comparison baseline for the `ablation_wbga_vs_nsga2` benchmark: same
+//! evaluation budget, front quality compared via hypervolume.
+
+use crate::config::{GaConfig, GenerationStats};
+use crate::operators::{blend_crossover, gaussian_mutation, random_genes};
+use crate::pareto::{crowding_distance, fast_non_dominated_sort, pareto_front};
+use crate::problem::{Evaluation, MultiObjectiveProblem, Sense};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Result of an NSGA-II run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Nsga2Result {
+    /// Every successful evaluation performed during the run.
+    pub archive: Vec<Evaluation>,
+    /// The final population (after the last environmental selection).
+    pub final_population: Vec<Evaluation>,
+    /// Per-generation statistics (best/mean of the first objective).
+    pub history: Vec<GenerationStats>,
+    /// Number of evaluation attempts, including failures.
+    pub evaluations: usize,
+    /// Number of failed evaluations.
+    pub failed_evaluations: usize,
+    /// Objective senses copied from the problem.
+    pub senses: Vec<Sense>,
+}
+
+impl Nsga2Result {
+    /// Pareto front over the complete evaluation archive.
+    pub fn pareto_front(&self) -> Vec<Evaluation> {
+        pareto_front(&self.archive, &self.senses)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    genes: Vec<f64>,
+    objectives: Option<Vec<f64>>,
+}
+
+/// The NSGA-II optimiser.
+#[derive(Debug, Clone)]
+pub struct Nsga2 {
+    config: GaConfig,
+}
+
+impl Nsga2 {
+    /// Creates an optimiser with the given configuration.
+    pub fn new(config: GaConfig) -> Self {
+        Nsga2 { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GaConfig {
+        &self.config
+    }
+
+    /// Runs the optimisation.
+    pub fn run<P: MultiObjectiveProblem>(&self, problem: &P) -> Nsga2Result {
+        let cfg = &self.config;
+        let n_params = problem.parameter_count();
+        let senses: Vec<Sense> = problem.objectives().iter().map(|o| o.sense).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let mut archive = Vec::new();
+        let mut history = Vec::new();
+        let mut evaluations = 0usize;
+        let mut failed = 0usize;
+
+        let evaluate = |genes: Vec<f64>,
+                            archive: &mut Vec<Evaluation>,
+                            evaluations: &mut usize,
+                            failed: &mut usize| {
+            *evaluations += 1;
+            let objectives = problem.evaluate(&genes);
+            match &objectives {
+                Some(obj) => archive.push(Evaluation::new(genes.clone(), obj.clone())),
+                None => *failed += 1,
+            }
+            Candidate { genes, objectives }
+        };
+
+        let mut population: Vec<Candidate> = (0..cfg.population_size)
+            .map(|_| {
+                let genes = random_genes(&mut rng, n_params);
+                evaluate(genes, &mut archive, &mut evaluations, &mut failed)
+            })
+            .collect();
+
+        for generation in 0..cfg.generations {
+            history.push(stats(generation, &population, &senses));
+            if generation + 1 == cfg.generations {
+                break;
+            }
+            // Rank the current population to drive mating selection.
+            let (ranks, crowding) = rank_population(&population, &senses);
+
+            // Generate offspring.
+            let mut offspring = Vec::with_capacity(cfg.population_size);
+            while offspring.len() < cfg.population_size {
+                let pa = binary_tournament(&mut rng, &ranks, &crowding);
+                let pb = binary_tournament(&mut rng, &ranks, &crowding);
+                let (mut child_a, mut child_b) = if rng.gen::<f64>() < cfg.crossover_rate {
+                    blend_crossover(&mut rng, &population[pa].genes, &population[pb].genes, 0.3)
+                } else {
+                    (population[pa].genes.clone(), population[pb].genes.clone())
+                };
+                gaussian_mutation(&mut rng, &mut child_a, cfg.mutation_rate, cfg.mutation_sigma);
+                gaussian_mutation(&mut rng, &mut child_b, cfg.mutation_rate, cfg.mutation_sigma);
+                for child in [child_a, child_b] {
+                    if offspring.len() >= cfg.population_size {
+                        break;
+                    }
+                    offspring.push(evaluate(child, &mut archive, &mut evaluations, &mut failed));
+                }
+            }
+
+            // Environmental selection over parents + offspring.
+            let mut combined = population;
+            combined.extend(offspring);
+            population = environmental_selection(combined, cfg.population_size, &senses);
+        }
+
+        let final_population = population
+            .iter()
+            .filter_map(|c| {
+                c.objectives
+                    .as_ref()
+                    .map(|obj| Evaluation::new(c.genes.clone(), obj.clone()))
+            })
+            .collect();
+
+        Nsga2Result {
+            archive,
+            final_population,
+            history,
+            evaluations,
+            failed_evaluations: failed,
+            senses,
+        }
+    }
+}
+
+/// Worst-possible objective vector used to park infeasible candidates at the
+/// bottom of the ranking without special cases.
+fn penalty_objectives(senses: &[Sense]) -> Vec<f64> {
+    senses
+        .iter()
+        .map(|s| match s {
+            Sense::Maximize => -1e300,
+            Sense::Minimize => 1e300,
+        })
+        .collect()
+}
+
+fn rank_population(population: &[Candidate], senses: &[Sense]) -> (Vec<usize>, Vec<f64>) {
+    let objectives: Vec<Vec<f64>> = population
+        .iter()
+        .map(|c| c.objectives.clone().unwrap_or_else(|| penalty_objectives(senses)))
+        .collect();
+    let fronts = fast_non_dominated_sort(&objectives, senses);
+    let mut ranks = vec![0usize; population.len()];
+    let mut crowding = vec![0.0f64; population.len()];
+    for (rank, front) in fronts.iter().enumerate() {
+        let distances = crowding_distance(&objectives, front);
+        for (&idx, &dist) in front.iter().zip(distances.iter()) {
+            ranks[idx] = rank;
+            crowding[idx] = dist;
+        }
+    }
+    (ranks, crowding)
+}
+
+fn binary_tournament<R: Rng + ?Sized>(rng: &mut R, ranks: &[usize], crowding: &[f64]) -> usize {
+    let a = rng.gen_range(0..ranks.len());
+    let b = rng.gen_range(0..ranks.len());
+    if ranks[a] < ranks[b] {
+        a
+    } else if ranks[b] < ranks[a] {
+        b
+    } else if crowding[a] >= crowding[b] {
+        a
+    } else {
+        b
+    }
+}
+
+fn environmental_selection(
+    combined: Vec<Candidate>,
+    target: usize,
+    senses: &[Sense],
+) -> Vec<Candidate> {
+    let objectives: Vec<Vec<f64>> = combined
+        .iter()
+        .map(|c| c.objectives.clone().unwrap_or_else(|| penalty_objectives(senses)))
+        .collect();
+    let fronts = fast_non_dominated_sort(&objectives, senses);
+    let mut selected: Vec<usize> = Vec::with_capacity(target);
+    for front in fronts {
+        if selected.len() + front.len() <= target {
+            selected.extend_from_slice(&front);
+        } else {
+            let distances = crowding_distance(&objectives, &front);
+            let mut order: Vec<usize> = (0..front.len()).collect();
+            order.sort_by(|&a, &b| {
+                distances[b]
+                    .partial_cmp(&distances[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for &k in order.iter().take(target - selected.len()) {
+                selected.push(front[k]);
+            }
+        }
+        if selected.len() >= target {
+            break;
+        }
+    }
+    selected.into_iter().map(|i| combined[i].clone()).collect()
+}
+
+fn stats(generation: usize, population: &[Candidate], senses: &[Sense]) -> GenerationStats {
+    let values: Vec<f64> = population
+        .iter()
+        .filter_map(|c| c.objectives.as_ref().map(|o| o[0]))
+        .collect();
+    let best = match senses[0] {
+        Sense::Maximize => values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        Sense::Minimize => values.iter().cloned().fold(f64::INFINITY, f64::min),
+    };
+    let mean = if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    };
+    GenerationStats {
+        generation,
+        best_fitness: best,
+        mean_fitness: mean,
+        feasible: values.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{FnProblem, ObjectiveSpec};
+
+    /// ZDT1-like problem with three variables (both objectives minimised).
+    fn zdt1() -> FnProblem<impl Fn(&[f64]) -> Option<Vec<f64>>> {
+        FnProblem::new(
+            3,
+            vec![ObjectiveSpec::minimize("f1"), ObjectiveSpec::minimize("f2")],
+            |x: &[f64]| {
+                let f1 = x[0];
+                let g = 1.0 + 9.0 * (x[1] + x[2]) / 2.0;
+                let f2 = g * (1.0 - (f1 / g).sqrt());
+                Some(vec![f1, f2])
+            },
+        )
+    }
+
+    #[test]
+    fn nsga2_converges_towards_zdt1_front() {
+        let mut cfg = GaConfig::small_test();
+        cfg.population_size = 24;
+        cfg.generations = 30;
+        let result = Nsga2::new(cfg).run(&zdt1());
+        assert_eq!(result.evaluations, cfg.evaluation_budget());
+        let front = pareto_front(&result.final_population, &result.senses);
+        assert!(!front.is_empty());
+        // On the true front g = 1, i.e. f2 = 1 − sqrt(f1). Check proximity.
+        let mean_violation: f64 = front
+            .iter()
+            .map(|e| (e.objectives[1] - (1.0 - e.objectives[0].sqrt())).abs())
+            .sum::<f64>()
+            / front.len() as f64;
+        assert!(mean_violation < 0.6, "front too far from optimum: {mean_violation}");
+    }
+
+    #[test]
+    fn final_population_size_is_bounded() {
+        let cfg = GaConfig::small_test();
+        let result = Nsga2::new(cfg).run(&zdt1());
+        assert!(result.final_population.len() <= cfg.population_size);
+        assert_eq!(result.history.len(), cfg.generations);
+    }
+
+    #[test]
+    fn infeasible_points_never_reach_the_front() {
+        let problem = FnProblem::new(
+            2,
+            vec![ObjectiveSpec::minimize("f1"), ObjectiveSpec::minimize("f2")],
+            |x: &[f64]| {
+                if x[0] > 0.8 {
+                    None
+                } else {
+                    Some(vec![x[0], 1.0 - x[0] + x[1]])
+                }
+            },
+        );
+        let result = Nsga2::new(GaConfig::small_test()).run(&problem);
+        assert!(result.failed_evaluations > 0);
+        assert!(result.pareto_front().iter().all(|e| e.parameters[0] <= 0.8));
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let cfg = GaConfig::small_test();
+        let a = Nsga2::new(cfg).run(&zdt1());
+        let b = Nsga2::new(cfg).run(&zdt1());
+        assert_eq!(a.archive, b.archive);
+    }
+}

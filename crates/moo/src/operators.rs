@@ -1,0 +1,187 @@
+//! Genetic operators on normalised `[0, 1]` gene vectors.
+//!
+//! The paper's WBGA uses the classic crossover / mutation / selection loop of
+//! Goldberg-style genetic algorithms (§3.2, ref. [10]); the operators here are
+//! the standard real-coded versions: tournament selection, single-point and
+//! blend (BLX-α) crossover, and Gaussian or uniform mutation, all clamped back
+//! into `[0, 1]`.
+
+use rand::Rng;
+
+/// Tournament selection: picks `tournament_size` random candidates and
+/// returns the index of the one with the highest fitness.
+///
+/// # Panics
+///
+/// Panics if `fitness` is empty or `tournament_size` is zero.
+pub fn tournament_select<R: Rng + ?Sized>(
+    rng: &mut R,
+    fitness: &[f64],
+    tournament_size: usize,
+) -> usize {
+    assert!(!fitness.is_empty(), "fitness slice must not be empty");
+    assert!(tournament_size > 0, "tournament size must be positive");
+    let mut best = rng.gen_range(0..fitness.len());
+    for _ in 1..tournament_size {
+        let challenger = rng.gen_range(0..fitness.len());
+        if fitness[challenger] > fitness[best] {
+            best = challenger;
+        }
+    }
+    best
+}
+
+/// Single-point crossover: children swap tails after a random cut point.
+///
+/// With gene vectors of length 1 the operation degenerates to swapping the
+/// whole gene with probability ½, which is still meaningful.
+pub fn single_point_crossover<R: Rng + ?Sized>(
+    rng: &mut R,
+    a: &[f64],
+    b: &[f64],
+) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(a.len(), b.len(), "parents must have equal length");
+    let n = a.len();
+    if n < 2 {
+        return if rng.gen_bool(0.5) {
+            (b.to_vec(), a.to_vec())
+        } else {
+            (a.to_vec(), b.to_vec())
+        };
+    }
+    let cut = rng.gen_range(1..n);
+    let mut child_a = a[..cut].to_vec();
+    child_a.extend_from_slice(&b[cut..]);
+    let mut child_b = b[..cut].to_vec();
+    child_b.extend_from_slice(&a[cut..]);
+    (child_a, child_b)
+}
+
+/// Blend (BLX-α) crossover: each child gene is drawn uniformly from the
+/// interval spanned by the parents, extended by a fraction `alpha` on both
+/// sides, then clamped to `[0, 1]`.
+pub fn blend_crossover<R: Rng + ?Sized>(
+    rng: &mut R,
+    a: &[f64],
+    b: &[f64],
+    alpha: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(a.len(), b.len(), "parents must have equal length");
+    let mut child_a = Vec::with_capacity(a.len());
+    let mut child_b = Vec::with_capacity(a.len());
+    for (&ga, &gb) in a.iter().zip(b.iter()) {
+        let lo = ga.min(gb);
+        let hi = ga.max(gb);
+        let span = (hi - lo).max(1e-12);
+        let lower = (lo - alpha * span).max(0.0);
+        let upper = (hi + alpha * span).min(1.0);
+        child_a.push(rng.gen_range(lower..=upper));
+        child_b.push(rng.gen_range(lower..=upper));
+    }
+    (child_a, child_b)
+}
+
+/// Gaussian mutation: each gene is perturbed with probability `rate` by a
+/// normal draw of standard deviation `sigma` and clamped to `[0, 1]`.
+pub fn gaussian_mutation<R: Rng + ?Sized>(rng: &mut R, genes: &mut [f64], rate: f64, sigma: f64) {
+    for gene in genes.iter_mut() {
+        if rng.gen::<f64>() < rate {
+            // Box–Muller draw (kept local to avoid a dependency on ayb-process).
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen::<f64>();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            *gene = (*gene + sigma * z).clamp(0.0, 1.0);
+        }
+    }
+}
+
+/// Uniform (reset) mutation: each gene is replaced with probability `rate` by
+/// a fresh uniform draw in `[0, 1]`.
+pub fn uniform_mutation<R: Rng + ?Sized>(rng: &mut R, genes: &mut [f64], rate: f64) {
+    for gene in genes.iter_mut() {
+        if rng.gen::<f64>() < rate {
+            *gene = rng.gen::<f64>();
+        }
+    }
+}
+
+/// Draws a random gene vector in `[0, 1]^n`.
+pub fn random_genes<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.gen::<f64>()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tournament_prefers_high_fitness() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let fitness = vec![0.1, 0.9, 0.2, 0.05];
+        let mut wins = vec![0usize; fitness.len()];
+        for _ in 0..2000 {
+            wins[tournament_select(&mut rng, &fitness, 3)] += 1;
+        }
+        assert!(wins[1] > wins[0]);
+        assert!(wins[1] > wins[2]);
+        assert!(wins[1] > 1000, "best individual should win most tournaments");
+    }
+
+    #[test]
+    fn single_point_crossover_preserves_genes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = vec![0.0, 0.0, 0.0, 0.0];
+        let b = vec![1.0, 1.0, 1.0, 1.0];
+        let (ca, cb) = single_point_crossover(&mut rng, &a, &b);
+        assert_eq!(ca.len(), 4);
+        // Each child position holds a gene from one of the parents.
+        for (i, (&ga, &gb)) in ca.iter().zip(cb.iter()).enumerate() {
+            assert!(ga == 0.0 || ga == 1.0);
+            assert!(gb == 0.0 || gb == 1.0);
+            assert_ne!(ga, gb, "children complement each other at position {i}");
+        }
+        // Single-gene parents do not panic.
+        let (x, y) = single_point_crossover(&mut rng, &[0.3], &[0.7]);
+        assert_eq!(x.len(), 1);
+        assert_eq!(y.len(), 1);
+    }
+
+    #[test]
+    fn blend_crossover_stays_in_unit_cube() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = vec![0.05, 0.95, 0.5];
+        let b = vec![0.0, 1.0, 0.6];
+        for _ in 0..100 {
+            let (ca, cb) = blend_crossover(&mut rng, &a, &b, 0.5);
+            for &g in ca.iter().chain(cb.iter()) {
+                assert!((0.0..=1.0).contains(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_respect_bounds_and_rate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut genes = vec![0.5; 1000];
+        gaussian_mutation(&mut rng, &mut genes, 0.3, 0.1);
+        let changed = genes.iter().filter(|&&g| g != 0.5).count();
+        assert!((200..400).contains(&changed), "changed = {changed}");
+        assert!(genes.iter().all(|g| (0.0..=1.0).contains(g)));
+
+        let mut genes = vec![0.5; 1000];
+        uniform_mutation(&mut rng, &mut genes, 0.0);
+        assert!(genes.iter().all(|&g| g == 0.5), "zero rate mutates nothing");
+        uniform_mutation(&mut rng, &mut genes, 1.0);
+        assert!(genes.iter().any(|&g| g != 0.5), "full rate mutates");
+    }
+
+    #[test]
+    fn random_genes_have_correct_length_and_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = random_genes(&mut rng, 10);
+        assert_eq!(g.len(), 10);
+        assert!(g.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+}

@@ -1,0 +1,299 @@
+//! Pareto dominance utilities (paper §3.3).
+//!
+//! The paper extracts the set of non-dominated solutions from all points the
+//! GA evaluated; conditions (a)/(b) in §3.3 are exactly the definition of a
+//! non-dominated (Pareto-optimal) set implemented here.
+
+use crate::problem::{Evaluation, Sense};
+
+/// Returns `true` if objective vector `a` dominates `b` under the given senses:
+/// `a` is at least as good in every objective and strictly better in at least one.
+///
+/// # Panics
+///
+/// Panics if the vectors and senses have different lengths.
+pub fn dominates(a: &[f64], b: &[f64], senses: &[Sense]) -> bool {
+    assert_eq!(a.len(), senses.len(), "objective/sense length mismatch");
+    assert_eq!(b.len(), senses.len(), "objective/sense length mismatch");
+    let mut strictly_better = false;
+    for ((&va, &vb), &sense) in a.iter().zip(b.iter()).zip(senses.iter()) {
+        if !sense.at_least_as_good(va, vb) {
+            return false;
+        }
+        if sense.strictly_better(va, vb) {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Indices of the non-dominated points within `objectives`.
+pub fn non_dominated_indices(objectives: &[Vec<f64>], senses: &[Sense]) -> Vec<usize> {
+    let mut result = Vec::new();
+    'outer: for (i, a) in objectives.iter().enumerate() {
+        for (j, b) in objectives.iter().enumerate() {
+            if i != j && dominates(b, a, senses) {
+                continue 'outer;
+            }
+        }
+        result.push(i);
+    }
+    result
+}
+
+/// Extracts the Pareto front from a set of evaluations, sorted by the first
+/// objective for reproducible output ordering.
+pub fn pareto_front(evaluations: &[Evaluation], senses: &[Sense]) -> Vec<Evaluation> {
+    let objectives: Vec<Vec<f64>> = evaluations.iter().map(|e| e.objectives.clone()).collect();
+    let mut front: Vec<Evaluation> = non_dominated_indices(&objectives, senses)
+        .into_iter()
+        .map(|i| evaluations[i].clone())
+        .collect();
+    front.sort_by(|a, b| {
+        a.objectives[0]
+            .partial_cmp(&b.objectives[0])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    front.dedup_by(|a, b| a.objectives == b.objectives);
+    front
+}
+
+/// Fast non-dominated sorting (NSGA-II): partitions the points into fronts,
+/// front 0 being the Pareto-optimal set.
+pub fn fast_non_dominated_sort(objectives: &[Vec<f64>], senses: &[Sense]) -> Vec<Vec<usize>> {
+    let n = objectives.len();
+    let mut domination_count = vec![0usize; n];
+    let mut dominated_sets: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut fronts: Vec<Vec<usize>> = vec![Vec::new()];
+
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if dominates(&objectives[i], &objectives[j], senses) {
+                dominated_sets[i].push(j);
+            } else if dominates(&objectives[j], &objectives[i], senses) {
+                domination_count[i] += 1;
+            }
+        }
+        if domination_count[i] == 0 {
+            fronts[0].push(i);
+        }
+    }
+    let mut current = 0;
+    while !fronts[current].is_empty() {
+        let mut next = Vec::new();
+        for &i in &fronts[current] {
+            for &j in &dominated_sets[i] {
+                domination_count[j] -= 1;
+                if domination_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        current += 1;
+        fronts.push(next);
+    }
+    fronts.pop();
+    fronts
+}
+
+/// Crowding distance of each point within one front (NSGA-II diversity metric).
+pub fn crowding_distance(objectives: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
+    let mut distance = vec![0.0; front.len()];
+    if front.len() <= 2 {
+        return vec![f64::INFINITY; front.len()];
+    }
+    let m = objectives[front[0]].len();
+    for obj in 0..m {
+        let mut order: Vec<usize> = (0..front.len()).collect();
+        order.sort_by(|&a, &b| {
+            objectives[front[a]][obj]
+                .partial_cmp(&objectives[front[b]][obj])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let min = objectives[front[order[0]]][obj];
+        let max = objectives[front[order[front.len() - 1]]][obj];
+        let span = (max - min).abs().max(1e-30);
+        distance[order[0]] = f64::INFINITY;
+        distance[order[front.len() - 1]] = f64::INFINITY;
+        for k in 1..front.len() - 1 {
+            let lower = objectives[front[order[k - 1]]][obj];
+            let upper = objectives[front[order[k + 1]]][obj];
+            distance[order[k]] += (upper - lower) / span;
+        }
+    }
+    distance
+}
+
+/// Two-objective hypervolume with respect to a reference point.
+///
+/// Both objectives are first oriented so that larger is better; the reference
+/// point must be dominated by every front member for a meaningful result.
+/// Used as the front-quality metric in the WBGA-vs-NSGA-II ablation.
+pub fn hypervolume_2d(front: &[Evaluation], reference: [f64; 2], senses: &[Sense]) -> f64 {
+    assert_eq!(senses.len(), 2, "hypervolume_2d requires exactly two objectives");
+    let orient = |value: f64, sense: Sense, reference: f64| match sense {
+        Sense::Maximize => value - reference,
+        Sense::Minimize => reference - value,
+    };
+    let mut points: Vec<(f64, f64)> = front
+        .iter()
+        .map(|e| {
+            (
+                orient(e.objectives[0], senses[0], reference[0]),
+                orient(e.objectives[1], senses[1], reference[1]),
+            )
+        })
+        .filter(|&(a, b)| a > 0.0 && b > 0.0)
+        .collect();
+    points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut volume = 0.0;
+    let mut previous_x = 0.0;
+    let mut best_y: f64 = 0.0;
+    // Sweep in increasing x (oriented objective 1); accumulate rectangles under
+    // the staircase of maximal y values.
+    let mut staircase: Vec<(f64, f64)> = Vec::new();
+    for &(x, y) in points.iter().rev() {
+        // iterate from largest x downwards, keep track of running max y
+        if y > best_y {
+            staircase.push((x, y));
+            best_y = y;
+        }
+    }
+    staircase.reverse(); // ascending x, descending y
+    for &(x, y) in &staircase {
+        volume += (x - previous_x) * y;
+        previous_x = x;
+    }
+    volume
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAX2: [Sense; 2] = [Sense::Maximize, Sense::Maximize];
+
+    #[test]
+    fn dominance_definition() {
+        assert!(dominates(&[2.0, 2.0], &[1.0, 1.0], &MAX2));
+        assert!(dominates(&[2.0, 1.0], &[1.0, 1.0], &MAX2));
+        assert!(!dominates(&[2.0, 0.5], &[1.0, 1.0], &MAX2));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0], &MAX2));
+        let min2 = [Sense::Minimize, Sense::Minimize];
+        assert!(dominates(&[0.5, 0.5], &[1.0, 1.0], &min2));
+    }
+
+    #[test]
+    fn non_dominated_set_matches_hand_computation() {
+        // Point B from the paper's Figure 2 discussion: dominated by A.
+        let points = vec![
+            vec![3.0, 1.0], // A'
+            vec![2.0, 2.0], // A
+            vec![1.5, 1.5], // B (dominated by A)
+            vec![1.0, 3.0], // C
+            vec![0.5, 0.5], // dominated by everything
+        ];
+        let idx = non_dominated_indices(&points, &MAX2);
+        assert_eq!(idx, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn pareto_front_is_sorted_and_deduplicated() {
+        let evals = vec![
+            Evaluation::new(vec![0.1], vec![1.0, 3.0]),
+            Evaluation::new(vec![0.2], vec![3.0, 1.0]),
+            Evaluation::new(vec![0.3], vec![2.0, 2.0]),
+            Evaluation::new(vec![0.4], vec![2.0, 2.0]), // duplicate objectives
+            Evaluation::new(vec![0.5], vec![1.0, 1.0]), // dominated
+        ];
+        let front = pareto_front(&evals, &MAX2);
+        assert_eq!(front.len(), 3);
+        assert!(front.windows(2).all(|w| w[0].objectives[0] <= w[1].objectives[0]));
+    }
+
+    #[test]
+    fn every_front_member_is_mutually_non_dominated() {
+        // Property-style check on a deterministic pseudo-random cloud.
+        let mut seed = 7u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64) / (1u64 << 31) as f64
+        };
+        let evals: Vec<Evaluation> = (0..200)
+            .map(|_| Evaluation::new(vec![0.0], vec![next(), next()]))
+            .collect();
+        let front = pareto_front(&evals, &MAX2);
+        for a in &front {
+            for b in &front {
+                assert!(!dominates(&a.objectives, &b.objectives, &MAX2) || a.objectives == b.objectives);
+            }
+        }
+        // Condition (b): every non-front point is dominated by a front member.
+        for e in &evals {
+            let on_front = front.iter().any(|f| f.objectives == e.objectives);
+            if !on_front {
+                assert!(front.iter().any(|f| dominates(&f.objectives, &e.objectives, &MAX2)));
+            }
+        }
+    }
+
+    #[test]
+    fn fast_sort_layers_fronts() {
+        let points = vec![
+            vec![3.0, 3.0], // front 0
+            vec![2.0, 2.0], // front 1
+            vec![1.0, 1.0], // front 2
+            vec![3.5, 1.0], // front 0
+        ];
+        let fronts = fast_non_dominated_sort(&points, &MAX2);
+        assert_eq!(fronts.len(), 3);
+        assert!(fronts[0].contains(&0) && fronts[0].contains(&3));
+        assert_eq!(fronts[1], vec![1]);
+        assert_eq!(fronts[2], vec![2]);
+    }
+
+    #[test]
+    fn crowding_distance_rewards_spread() {
+        let points = vec![
+            vec![0.0, 10.0],
+            vec![1.0, 9.0],
+            vec![5.0, 5.0],
+            vec![9.0, 1.0],
+            vec![10.0, 0.0],
+        ];
+        let front: Vec<usize> = (0..5).collect();
+        let d = crowding_distance(&points, &front);
+        assert!(d[0].is_infinite() && d[4].is_infinite());
+        // The middle point has the widest gap to its neighbours.
+        assert!(d[2] > d[1] && d[2] > d[3]);
+    }
+
+    #[test]
+    fn hypervolume_of_single_point_is_rectangle_area() {
+        let front = vec![Evaluation::new(vec![], vec![3.0, 4.0])];
+        let hv = hypervolume_2d(&front, [0.0, 0.0], &MAX2);
+        assert!((hv - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_grows_with_better_fronts() {
+        let weak = vec![
+            Evaluation::new(vec![], vec![1.0, 3.0]),
+            Evaluation::new(vec![], vec![3.0, 1.0]),
+        ];
+        let strong = vec![
+            Evaluation::new(vec![], vec![2.0, 4.0]),
+            Evaluation::new(vec![], vec![4.0, 2.0]),
+        ];
+        let hv_weak = hypervolume_2d(&weak, [0.0, 0.0], &MAX2);
+        let hv_strong = hypervolume_2d(&strong, [0.0, 0.0], &MAX2);
+        assert!(hv_strong > hv_weak);
+        // Minimisation orientation also works.
+        let min2 = [Sense::Minimize, Sense::Minimize];
+        let front = vec![Evaluation::new(vec![], vec![1.0, 1.0])];
+        assert!((hypervolume_2d(&front, [2.0, 2.0], &min2) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,173 @@
+//! The multi-objective problem abstraction.
+
+use serde::{Deserialize, Serialize};
+
+/// Optimisation direction of one objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sense {
+    /// Larger values are better (e.g. open-loop gain).
+    Maximize,
+    /// Smaller values are better (e.g. power, area).
+    Minimize,
+}
+
+impl Sense {
+    /// Returns `true` if `a` is at least as good as `b` under this sense.
+    pub fn at_least_as_good(self, a: f64, b: f64) -> bool {
+        match self {
+            Sense::Maximize => a >= b,
+            Sense::Minimize => a <= b,
+        }
+    }
+
+    /// Returns `true` if `a` is strictly better than `b` under this sense.
+    pub fn strictly_better(self, a: f64, b: f64) -> bool {
+        match self {
+            Sense::Maximize => a > b,
+            Sense::Minimize => a < b,
+        }
+    }
+}
+
+/// Name and direction of one objective function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveSpec {
+    /// Human-readable name (e.g. `"gain_db"`).
+    pub name: String,
+    /// Optimisation direction.
+    pub sense: Sense,
+}
+
+impl ObjectiveSpec {
+    /// Creates a maximisation objective.
+    pub fn maximize(name: impl Into<String>) -> Self {
+        ObjectiveSpec {
+            name: name.into(),
+            sense: Sense::Maximize,
+        }
+    }
+
+    /// Creates a minimisation objective.
+    pub fn minimize(name: impl Into<String>) -> Self {
+        ObjectiveSpec {
+            name: name.into(),
+            sense: Sense::Minimize,
+        }
+    }
+}
+
+/// A multi-objective optimisation problem over normalised parameters.
+///
+/// Parameters are presented to the optimiser as a vector in `[0, 1]^n`
+/// (mirroring the paper's normalised GA string, Figure 6); the problem
+/// implementation is responsible for mapping them to physical values.
+///
+/// `evaluate` returns `None` for infeasible points (for example a bias point
+/// that does not converge); the optimisers treat these as worst-possible
+/// candidates rather than aborting.
+pub trait MultiObjectiveProblem {
+    /// Number of designable parameters (dimension of the normalised vector).
+    fn parameter_count(&self) -> usize;
+
+    /// Objective specifications, fixing the number and direction of objectives.
+    fn objectives(&self) -> &[ObjectiveSpec];
+
+    /// Evaluates the raw objective values at a normalised parameter vector.
+    fn evaluate(&self, parameters: &[f64]) -> Option<Vec<f64>>;
+
+    /// Number of objectives (derived from [`MultiObjectiveProblem::objectives`]).
+    fn objective_count(&self) -> usize {
+        self.objectives().len()
+    }
+}
+
+/// A point that has been evaluated: normalised parameters plus raw objective values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Normalised parameter vector in `[0, 1]^n`.
+    pub parameters: Vec<f64>,
+    /// Raw objective values in the order declared by the problem.
+    pub objectives: Vec<f64>,
+}
+
+impl Evaluation {
+    /// Creates an evaluation record.
+    pub fn new(parameters: Vec<f64>, objectives: Vec<f64>) -> Self {
+        Evaluation {
+            parameters,
+            objectives,
+        }
+    }
+}
+
+/// A closure-backed problem, convenient for tests and small studies.
+pub struct FnProblem<F> {
+    parameter_count: usize,
+    objectives: Vec<ObjectiveSpec>,
+    function: F,
+}
+
+impl<F> FnProblem<F>
+where
+    F: Fn(&[f64]) -> Option<Vec<f64>>,
+{
+    /// Wraps a closure as a [`MultiObjectiveProblem`].
+    pub fn new(parameter_count: usize, objectives: Vec<ObjectiveSpec>, function: F) -> Self {
+        FnProblem {
+            parameter_count,
+            objectives,
+            function,
+        }
+    }
+}
+
+impl<F> MultiObjectiveProblem for FnProblem<F>
+where
+    F: Fn(&[f64]) -> Option<Vec<f64>>,
+{
+    fn parameter_count(&self) -> usize {
+        self.parameter_count
+    }
+
+    fn objectives(&self) -> &[ObjectiveSpec] {
+        &self.objectives
+    }
+
+    fn evaluate(&self, parameters: &[f64]) -> Option<Vec<f64>> {
+        (self.function)(parameters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sense_comparisons() {
+        assert!(Sense::Maximize.strictly_better(2.0, 1.0));
+        assert!(!Sense::Maximize.strictly_better(1.0, 1.0));
+        assert!(Sense::Maximize.at_least_as_good(1.0, 1.0));
+        assert!(Sense::Minimize.strictly_better(1.0, 2.0));
+        assert!(Sense::Minimize.at_least_as_good(1.0, 1.0));
+    }
+
+    #[test]
+    fn fn_problem_delegates() {
+        let p = FnProblem::new(
+            2,
+            vec![ObjectiveSpec::maximize("f1"), ObjectiveSpec::minimize("f2")],
+            |x: &[f64]| Some(vec![x[0] + x[1], x[0] - x[1]]),
+        );
+        assert_eq!(p.parameter_count(), 2);
+        assert_eq!(p.objective_count(), 2);
+        assert_eq!(p.objectives()[0].name, "f1");
+        assert_eq!(p.evaluate(&[0.25, 0.5]), Some(vec![0.75, -0.25]));
+    }
+
+    #[test]
+    fn evaluation_holds_both_vectors() {
+        let e = Evaluation::new(vec![0.1, 0.2], vec![50.0, 75.0]);
+        assert_eq!(e.parameters.len(), 2);
+        assert_eq!(e.objectives[1], 75.0);
+    }
+}

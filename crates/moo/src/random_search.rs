@@ -1,0 +1,109 @@
+//! Uniform random search baseline.
+//!
+//! The simplest "conventional simulation-based approach": sample the design
+//! space uniformly and keep the non-dominated points. Used to show what the
+//! same evaluation budget buys without an evolutionary search.
+
+use crate::pareto::pareto_front;
+use crate::problem::{Evaluation, MultiObjectiveProblem, Sense};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Result of a random-search run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomSearchResult {
+    /// All successful evaluations.
+    pub archive: Vec<Evaluation>,
+    /// Number of evaluation attempts including failures.
+    pub evaluations: usize,
+    /// Number of failed evaluations.
+    pub failed_evaluations: usize,
+    /// Objective senses copied from the problem.
+    pub senses: Vec<Sense>,
+}
+
+impl RandomSearchResult {
+    /// Pareto front over the archive.
+    pub fn pareto_front(&self) -> Vec<Evaluation> {
+        pareto_front(&self.archive, &self.senses)
+    }
+}
+
+/// Runs uniform random search with the given evaluation budget and seed.
+pub fn random_search<P: MultiObjectiveProblem>(
+    problem: &P,
+    budget: usize,
+    seed: u64,
+) -> RandomSearchResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let senses: Vec<Sense> = problem.objectives().iter().map(|o| o.sense).collect();
+    let mut archive = Vec::with_capacity(budget);
+    let mut failed = 0usize;
+    for _ in 0..budget {
+        let genes: Vec<f64> = (0..problem.parameter_count())
+            .map(|_| rng.gen::<f64>())
+            .collect();
+        match problem.evaluate(&genes) {
+            Some(objectives) => archive.push(Evaluation::new(genes, objectives)),
+            None => failed += 1,
+        }
+    }
+    RandomSearchResult {
+        archive,
+        evaluations: budget,
+        failed_evaluations: failed,
+        senses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GaConfig;
+    use crate::pareto::hypervolume_2d;
+    use crate::problem::{FnProblem, ObjectiveSpec};
+    use crate::wbga::Wbga;
+
+    fn tradeoff() -> FnProblem<impl Fn(&[f64]) -> Option<Vec<f64>>> {
+        FnProblem::new(
+            3,
+            vec![ObjectiveSpec::maximize("f1"), ObjectiveSpec::maximize("f2")],
+            |x: &[f64]| {
+                // Only the first variable matters for the front; the others
+                // penalise f2, making blind sampling inefficient.
+                let penalty = (x[1] + x[2]) / 2.0;
+                Some(vec![x[0], (1.0 - x[0] * x[0]) * (1.0 - 0.8 * penalty)])
+            },
+        )
+    }
+
+    #[test]
+    fn budget_and_reproducibility() {
+        let a = random_search(&tradeoff(), 100, 5);
+        let b = random_search(&tradeoff(), 100, 5);
+        assert_eq!(a.archive, b.archive);
+        assert_eq!(a.evaluations, 100);
+        assert_eq!(a.failed_evaluations, 0);
+        assert!(!a.pareto_front().is_empty());
+    }
+
+    #[test]
+    fn wbga_front_dominates_random_search_front_on_equal_budget() {
+        let problem = tradeoff();
+        let cfg = GaConfig {
+            population_size: 20,
+            generations: 20,
+            ..GaConfig::small_test()
+        };
+        let wbga = Wbga::new(cfg).run(&problem);
+        let random = random_search(&problem, cfg.evaluation_budget(), cfg.seed);
+        let senses = wbga.senses.clone();
+        let hv_wbga = hypervolume_2d(&wbga.pareto_front(), [0.0, -1.0], &senses);
+        let hv_rand = hypervolume_2d(&random.pareto_front(), [0.0, -1.0], &senses);
+        assert!(
+            hv_wbga >= hv_rand * 0.98,
+            "WBGA should not be clearly worse: {hv_wbga} vs {hv_rand}"
+        );
+    }
+}

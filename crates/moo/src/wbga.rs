@@ -1,0 +1,397 @@
+//! Weight-based genetic algorithm (WBGA), the optimiser of the paper (§3.2).
+//!
+//! The defining feature of the WBGA (Hajela & Lin, paper ref. [9]) is that the
+//! objective weights are part of the chromosome itself: the GA string carries
+//! the normalised designable parameters *and* the weight vector (Figure 4/6).
+//! Each individual therefore scalarises the objectives with its own weights
+//! (normalised by eq. 4) and the population explores many weightings at once,
+//! which is what spreads the evaluated points along the trade-off curve and
+//! avoids the manual weight-selection problem of classical weighted sums.
+//!
+//! Fitness is the normalised weighted sum of eq. 5:
+//!
+//! ```text
+//! O_w(x_i) = Σ_j w_j^(i) · (f_j(x_i) − f_j^min) / (f_j^max − f_j^min)
+//! ```
+//!
+//! with the min/max taken over the feasible individuals of the current
+//! generation and the normalisation flipped for minimisation objectives.
+
+use crate::config::{GaConfig, GenerationStats};
+use crate::operators::{blend_crossover, gaussian_mutation, random_genes, tournament_select};
+use crate::pareto::pareto_front;
+use crate::problem::{Evaluation, MultiObjectiveProblem, Sense};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One WBGA individual: designable parameters plus objective weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WbgaIndividual {
+    /// Normalised designable parameters (the `P` part of the GA string).
+    pub parameters: Vec<f64>,
+    /// Raw (un-normalised) weight genes (the `W` part of the GA string).
+    pub weight_genes: Vec<f64>,
+    /// Raw objective values, `None` if the evaluation failed.
+    pub objectives: Option<Vec<f64>>,
+    /// Scalar fitness of eq. 5 (set during fitness assignment).
+    pub fitness: f64,
+}
+
+impl WbgaIndividual {
+    /// Weights normalised per eq. 4 (`w_i ← w_i / Σ_j w_j`).
+    pub fn normalized_weights(&self) -> Vec<f64> {
+        normalize_weights(&self.weight_genes)
+    }
+}
+
+/// Normalises a weight vector so its entries sum to one (paper eq. 4).
+///
+/// A uniform weighting is returned when every gene is (numerically) zero.
+pub fn normalize_weights(weight_genes: &[f64]) -> Vec<f64> {
+    let sum: f64 = weight_genes.iter().map(|w| w.max(0.0)).sum();
+    if sum < 1e-12 {
+        return vec![1.0 / weight_genes.len() as f64; weight_genes.len()];
+    }
+    weight_genes.iter().map(|w| w.max(0.0) / sum).collect()
+}
+
+/// Result of a WBGA run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WbgaResult {
+    /// Every successful evaluation performed during the run (the "10 000
+    /// individuals" of Figure 7).
+    pub archive: Vec<Evaluation>,
+    /// Per-generation statistics.
+    pub history: Vec<GenerationStats>,
+    /// Number of evaluation attempts (including failed ones).
+    pub evaluations: usize,
+    /// Number of failed (infeasible) evaluations.
+    pub failed_evaluations: usize,
+    /// Objective senses copied from the problem, for downstream Pareto extraction.
+    pub senses: Vec<Sense>,
+}
+
+impl WbgaResult {
+    /// Extracts the Pareto front (§3.3) from the evaluation archive.
+    pub fn pareto_front(&self) -> Vec<Evaluation> {
+        pareto_front(&self.archive, &self.senses)
+    }
+
+    /// The archived evaluation with the best value of objective `index`.
+    pub fn best_by_objective(&self, index: usize) -> Option<&Evaluation> {
+        let sense = *self.senses.get(index)?;
+        self.archive.iter().max_by(|a, b| {
+            let (va, vb) = (a.objectives[index], b.objectives[index]);
+            let ord = va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal);
+            match sense {
+                Sense::Maximize => ord,
+                Sense::Minimize => ord.reverse(),
+            }
+        })
+    }
+}
+
+/// The weight-based genetic algorithm.
+#[derive(Debug, Clone)]
+pub struct Wbga {
+    config: GaConfig,
+}
+
+impl Wbga {
+    /// Creates a WBGA with the given configuration.
+    pub fn new(config: GaConfig) -> Self {
+        Wbga { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GaConfig {
+        &self.config
+    }
+
+    /// Runs the optimisation against a problem.
+    pub fn run<P: MultiObjectiveProblem>(&self, problem: &P) -> WbgaResult {
+        let cfg = &self.config;
+        let n_params = problem.parameter_count();
+        let n_obj = problem.objective_count();
+        let senses: Vec<Sense> = problem.objectives().iter().map(|o| o.sense).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let mut archive: Vec<Evaluation> = Vec::with_capacity(cfg.evaluation_budget());
+        let mut history = Vec::with_capacity(cfg.generations);
+        let mut evaluations = 0usize;
+        let mut failed = 0usize;
+
+        let evaluate = |individual: &mut WbgaIndividual,
+                        archive: &mut Vec<Evaluation>,
+                        evaluations: &mut usize,
+                        failed: &mut usize| {
+            *evaluations += 1;
+            match problem.evaluate(&individual.parameters) {
+                Some(objectives) => {
+                    archive.push(Evaluation::new(
+                        individual.parameters.clone(),
+                        objectives.clone(),
+                    ));
+                    individual.objectives = Some(objectives);
+                }
+                None => {
+                    *failed += 1;
+                    individual.objectives = None;
+                }
+            }
+        };
+
+        // Initial population: random parameters and random weight genes.
+        let mut population: Vec<WbgaIndividual> = (0..cfg.population_size)
+            .map(|_| WbgaIndividual {
+                parameters: random_genes(&mut rng, n_params),
+                weight_genes: random_genes(&mut rng, n_obj),
+                objectives: None,
+                fitness: f64::NEG_INFINITY,
+            })
+            .collect();
+        for individual in &mut population {
+            evaluate(individual, &mut archive, &mut evaluations, &mut failed);
+        }
+
+        for generation in 0..cfg.generations {
+            assign_fitness(&mut population, &senses);
+            history.push(generation_stats(generation, &population));
+
+            if generation + 1 == cfg.generations {
+                break;
+            }
+
+            // Selection / crossover / mutation to build the next generation.
+            let fitness: Vec<f64> = population.iter().map(|i| i.fitness).collect();
+            let mut next: Vec<WbgaIndividual> = Vec::with_capacity(cfg.population_size);
+
+            // Elitism: carry over the best individuals unchanged.
+            let mut order: Vec<usize> = (0..population.len()).collect();
+            order.sort_by(|&a, &b| {
+                population[b]
+                    .fitness
+                    .partial_cmp(&population[a].fitness)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for &idx in order.iter().take(cfg.elitism.min(population.len())) {
+                next.push(population[idx].clone());
+            }
+
+            while next.len() < cfg.population_size {
+                let pa = &population[tournament_select(&mut rng, &fitness, cfg.tournament_size)];
+                let pb = &population[tournament_select(&mut rng, &fitness, cfg.tournament_size)];
+                // Crossover acts on the full GA string (parameters + weights),
+                // exactly as in Figure 4 of the paper.
+                let genome_a: Vec<f64> = pa
+                    .parameters
+                    .iter()
+                    .chain(pa.weight_genes.iter())
+                    .copied()
+                    .collect();
+                let genome_b: Vec<f64> = pb
+                    .parameters
+                    .iter()
+                    .chain(pb.weight_genes.iter())
+                    .copied()
+                    .collect();
+                let (mut child_a, mut child_b) = if rng.gen::<f64>() < cfg.crossover_rate {
+                    blend_crossover(&mut rng, &genome_a, &genome_b, 0.3)
+                } else {
+                    (genome_a.clone(), genome_b.clone())
+                };
+                gaussian_mutation(&mut rng, &mut child_a, cfg.mutation_rate, cfg.mutation_sigma);
+                gaussian_mutation(&mut rng, &mut child_b, cfg.mutation_rate, cfg.mutation_sigma);
+                for child in [child_a, child_b] {
+                    if next.len() >= cfg.population_size {
+                        break;
+                    }
+                    let mut individual = WbgaIndividual {
+                        parameters: child[..n_params].to_vec(),
+                        weight_genes: child[n_params..].to_vec(),
+                        objectives: None,
+                        fitness: f64::NEG_INFINITY,
+                    };
+                    evaluate(&mut individual, &mut archive, &mut evaluations, &mut failed);
+                    next.push(individual);
+                }
+            }
+            population = next;
+        }
+
+        WbgaResult {
+            archive,
+            history,
+            evaluations,
+            failed_evaluations: failed,
+            senses,
+        }
+    }
+}
+
+/// Assigns eq.-5 fitness values to a population in place.
+fn assign_fitness(population: &mut [WbgaIndividual], senses: &[Sense]) {
+    let n_obj = senses.len();
+    // Objective ranges over the feasible part of the population.
+    let mut min = vec![f64::INFINITY; n_obj];
+    let mut max = vec![f64::NEG_INFINITY; n_obj];
+    for individual in population.iter() {
+        if let Some(objectives) = &individual.objectives {
+            for (j, &value) in objectives.iter().enumerate() {
+                min[j] = min[j].min(value);
+                max[j] = max[j].max(value);
+            }
+        }
+    }
+    for individual in population.iter_mut() {
+        individual.fitness = match &individual.objectives {
+            None => f64::NEG_INFINITY,
+            Some(objectives) => {
+                let weights = normalize_weights(&individual.weight_genes);
+                objectives
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &value)| {
+                        let span = (max[j] - min[j]).max(1e-30);
+                        let normalized = match senses[j] {
+                            Sense::Maximize => (value - min[j]) / span,
+                            Sense::Minimize => (max[j] - value) / span,
+                        };
+                        weights[j] * normalized
+                    })
+                    .sum()
+            }
+        };
+    }
+}
+
+fn generation_stats(generation: usize, population: &[WbgaIndividual]) -> GenerationStats {
+    let feasible: Vec<f64> = population
+        .iter()
+        .filter(|i| i.objectives.is_some())
+        .map(|i| i.fitness)
+        .collect();
+    let best = feasible.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mean = if feasible.is_empty() {
+        0.0
+    } else {
+        feasible.iter().sum::<f64>() / feasible.len() as f64
+    };
+    GenerationStats {
+        generation,
+        best_fitness: best,
+        mean_fitness: mean,
+        feasible: feasible.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{FnProblem, ObjectiveSpec};
+
+    /// A two-objective problem with a known concave trade-off:
+    /// maximise f1 = x and f2 = 1 − x² over x ∈ [0, 1].
+    fn tradeoff_problem() -> FnProblem<impl Fn(&[f64]) -> Option<Vec<f64>>> {
+        FnProblem::new(
+            1,
+            vec![ObjectiveSpec::maximize("f1"), ObjectiveSpec::maximize("f2")],
+            |x: &[f64]| Some(vec![x[0], 1.0 - x[0] * x[0]]),
+        )
+    }
+
+    #[test]
+    fn weight_normalization_follows_equation_four() {
+        let w = normalize_weights(&[0.2, 0.6]);
+        assert!((w[0] - 0.25).abs() < 1e-12);
+        assert!((w[1] - 0.75).abs() < 1e-12);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Degenerate all-zero weights fall back to uniform.
+        let w = normalize_weights(&[0.0, 0.0, 0.0]);
+        assert!(w.iter().all(|&x| (x - 1.0 / 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn archive_size_matches_evaluation_budget() {
+        let config = GaConfig::small_test();
+        let result = Wbga::new(config).run(&tradeoff_problem());
+        assert_eq!(result.evaluations, config.exact_evaluations());
+        assert_eq!(result.archive.len(), result.evaluations);
+        assert_eq!(result.failed_evaluations, 0);
+        assert_eq!(result.history.len(), config.generations);
+
+        // With elitism disabled (the paper configuration) the evaluation count
+        // equals population × generations exactly.
+        let mut no_elite = config;
+        no_elite.elitism = 0;
+        no_elite.population_size = 10;
+        no_elite.generations = 5;
+        let result = Wbga::new(no_elite).run(&tradeoff_problem());
+        assert_eq!(result.evaluations, 50);
+    }
+
+    #[test]
+    fn run_is_reproducible_with_fixed_seed() {
+        let config = GaConfig::small_test();
+        let a = Wbga::new(config).run(&tradeoff_problem());
+        let b = Wbga::new(config).run(&tradeoff_problem());
+        assert_eq!(a.archive, b.archive);
+        let c = Wbga::new(config.with_seed(99)).run(&tradeoff_problem());
+        assert_ne!(a.archive, c.archive);
+    }
+
+    #[test]
+    fn pareto_front_approaches_known_tradeoff_curve() {
+        let result = Wbga::new(GaConfig::small_test()).run(&tradeoff_problem());
+        let front = result.pareto_front();
+        assert!(!front.is_empty());
+        // Every front point satisfies f2 = 1 − f1² by construction; the front
+        // should span a reasonable part of the trade-off.
+        for point in &front {
+            let (f1, f2) = (point.objectives[0], point.objectives[1]);
+            assert!((f2 - (1.0 - f1 * f1)).abs() < 1e-9);
+        }
+        let span = front.last().unwrap().objectives[0] - front[0].objectives[0];
+        assert!(span > 0.3, "front should spread along the trade-off, span = {span}");
+    }
+
+    #[test]
+    fn fitness_improves_over_generations() {
+        let result = Wbga::new(GaConfig::small_test()).run(&tradeoff_problem());
+        let first = result.history.first().unwrap().best_fitness;
+        let last = result.history.last().unwrap().best_fitness;
+        assert!(last >= first - 1e-9, "best fitness degraded: {first} -> {last}");
+    }
+
+    #[test]
+    fn infeasible_evaluations_are_counted_and_skipped() {
+        let problem = FnProblem::new(
+            1,
+            vec![ObjectiveSpec::maximize("f1"), ObjectiveSpec::maximize("f2")],
+            |x: &[f64]| {
+                if x[0] < 0.5 {
+                    None
+                } else {
+                    Some(vec![x[0], 1.0 - x[0]])
+                }
+            },
+        );
+        let result = Wbga::new(GaConfig::small_test()).run(&problem);
+        assert!(result.failed_evaluations > 0);
+        assert_eq!(
+            result.archive.len() + result.failed_evaluations,
+            result.evaluations
+        );
+        // Archived points are all feasible.
+        assert!(result.archive.iter().all(|e| e.parameters[0] >= 0.5));
+    }
+
+    #[test]
+    fn best_by_objective_respects_sense() {
+        let result = Wbga::new(GaConfig::small_test()).run(&tradeoff_problem());
+        let best_f1 = result.best_by_objective(0).unwrap().objectives[0];
+        assert!(result.archive.iter().all(|e| e.objectives[0] <= best_f1 + 1e-12));
+        assert!(result.best_by_objective(5).is_none());
+    }
+}

@@ -1,0 +1,146 @@
+//! Deterministic process corners.
+//!
+//! Corners express the global component of the statistical model as fixed
+//! worst-case shifts: each polarity is pushed `k·σ` slow or fast. They are
+//! useful as cheap sanity checks alongside Monte Carlo analysis.
+
+use crate::variation::ProcessVariation;
+use ayb_circuit::{Circuit, MosfetPolarity};
+use serde::{Deserialize, Serialize};
+
+/// Standard five-corner set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Corner {
+    /// Typical NMOS, typical PMOS.
+    Tt,
+    /// Fast NMOS, fast PMOS.
+    Ff,
+    /// Slow NMOS, slow PMOS.
+    Ss,
+    /// Fast NMOS, slow PMOS.
+    Fs,
+    /// Slow NMOS, fast PMOS.
+    Sf,
+}
+
+impl Corner {
+    /// All five corners in conventional order.
+    pub fn all() -> [Corner; 5] {
+        [Corner::Tt, Corner::Ff, Corner::Ss, Corner::Fs, Corner::Sf]
+    }
+
+    /// Speed signs for (NMOS, PMOS): +1 = fast (lower |V_T|, higher KP),
+    /// −1 = slow, 0 = typical.
+    pub fn speed_signs(self) -> (f64, f64) {
+        match self {
+            Corner::Tt => (0.0, 0.0),
+            Corner::Ff => (1.0, 1.0),
+            Corner::Ss => (-1.0, -1.0),
+            Corner::Fs => (1.0, -1.0),
+            Corner::Sf => (-1.0, 1.0),
+        }
+    }
+}
+
+impl std::fmt::Display for Corner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Corner::Tt => "TT",
+            Corner::Ff => "FF",
+            Corner::Ss => "SS",
+            Corner::Fs => "FS",
+            Corner::Sf => "SF",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Applies a `sigma_count`-sigma corner to every MOSFET model card of a
+/// circuit, returning the modified copy.
+///
+/// A *fast* device has a lower threshold magnitude and a higher current
+/// factor; a *slow* device the opposite. The sign of the VTO shift is applied
+/// with the correct polarity (NMOS thresholds are positive, PMOS negative).
+pub fn apply_corner(
+    circuit: &Circuit,
+    variation: &ProcessVariation,
+    corner: Corner,
+    sigma_count: f64,
+) -> Circuit {
+    let mut varied = circuit.clone();
+    let (n_sign, p_sign) = corner.speed_signs();
+    for card in varied.models_mut().values_mut() {
+        let (speed, spread) = match card.polarity {
+            MosfetPolarity::Nmos => (n_sign, variation.global(MosfetPolarity::Nmos)),
+            MosfetPolarity::Pmos => (p_sign, variation.global(MosfetPolarity::Pmos)),
+        };
+        // Fast = threshold magnitude decreases. For NMOS (vto > 0) that is a
+        // negative shift; for PMOS (vto < 0) a positive shift.
+        let vto_shift = -speed * sigma_count * spread.sigma_vto * card.polarity.sign();
+        let kp_mult = 1.0 + speed * sigma_count * spread.sigma_kp_rel;
+        *card = card.perturbed(vto_shift, kp_mult.max(0.05));
+    }
+    varied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ayb_circuit::Circuit;
+
+    fn circuit_with_models() -> Circuit {
+        let mut ckt = Circuit::new("corners");
+        ckt.add_default_models();
+        let a = ckt.node("a");
+        let gnd = ckt.gnd();
+        ckt.add_resistor("r1", a, gnd, 1.0).unwrap();
+        ckt.add_vsource("v1", a, gnd, 1.0).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn tt_corner_is_identity() {
+        let ckt = circuit_with_models();
+        let varied = apply_corner(&ckt, &ProcessVariation::generic_035um(), Corner::Tt, 3.0);
+        assert_eq!(varied.models()["nmos"], ckt.models()["nmos"]);
+        assert_eq!(varied.models()["pmos"], ckt.models()["pmos"]);
+    }
+
+    #[test]
+    fn ff_corner_lowers_threshold_magnitude_and_raises_kp() {
+        let ckt = circuit_with_models();
+        let varied = apply_corner(&ckt, &ProcessVariation::generic_035um(), Corner::Ff, 3.0);
+        let n0 = &ckt.models()["nmos"];
+        let n1 = &varied.models()["nmos"];
+        let p0 = &ckt.models()["pmos"];
+        let p1 = &varied.models()["pmos"];
+        assert!(n1.vto < n0.vto, "fast NMOS should have lower VTO");
+        assert!(n1.kp > n0.kp);
+        assert!(p1.vto > p0.vto, "fast PMOS threshold magnitude shrinks (less negative)");
+        assert!(p1.vth_magnitude() < p0.vth_magnitude());
+        assert!(p1.kp > p0.kp);
+    }
+
+    #[test]
+    fn ss_corner_is_mirror_of_ff() {
+        let ckt = circuit_with_models();
+        let var = ProcessVariation::generic_035um();
+        let ff = apply_corner(&ckt, &var, Corner::Ff, 3.0);
+        let ss = apply_corner(&ckt, &var, Corner::Ss, 3.0);
+        let nominal = ckt.models()["nmos"].vto;
+        let up = ss.models()["nmos"].vto - nominal;
+        let down = nominal - ff.models()["nmos"].vto;
+        assert!((up - down).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_corners_move_polarities_in_opposite_directions() {
+        let ckt = circuit_with_models();
+        let var = ProcessVariation::generic_035um();
+        let fs = apply_corner(&ckt, &var, Corner::Fs, 3.0);
+        assert!(fs.models()["nmos"].vth_magnitude() < ckt.models()["nmos"].vth_magnitude());
+        assert!(fs.models()["pmos"].vth_magnitude() > ckt.models()["pmos"].vth_magnitude());
+        assert_eq!(Corner::all().len(), 5);
+        assert_eq!(Corner::Fs.to_string(), "FS");
+    }
+}

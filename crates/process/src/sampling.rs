@@ -1,0 +1,90 @@
+//! Random sampling utilities.
+//!
+//! Standard-normal samples are generated with the Box–Muller transform on top
+//! of [`rand`]'s uniform generator, so no additional distribution crate is
+//! required. All Monte Carlo work in this workspace is seeded explicitly for
+//! reproducibility.
+
+use rand::Rng;
+
+/// Draws one standard-normal (`N(0, 1)`) sample using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal sample with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Draws a normal sample truncated to ±`clip` standard deviations.
+///
+/// Foundry statistical decks commonly truncate global variation at ±3 σ to
+/// avoid non-physical model parameters; the same convention is used here.
+pub fn truncated_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64, clip: f64) -> f64 {
+    if std_dev == 0.0 {
+        return mean;
+    }
+    loop {
+        let z = standard_normal(rng);
+        if z.abs() <= clip {
+            return mean + std_dev * z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_has_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance = {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 5.0).abs() < 0.08);
+        assert!((var.sqrt() - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn truncated_normal_respects_clip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5_000 {
+            let x = truncated_normal(&mut rng, 0.0, 1.0, 2.0);
+            assert!(x.abs() <= 2.0 + 1e-12);
+        }
+        // Zero sigma returns the mean exactly.
+        assert_eq!(truncated_normal(&mut rng, 1.5, 0.0, 3.0), 1.5);
+    }
+
+    #[test]
+    fn seeded_sequences_are_reproducible() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..10).map(|_| standard_normal(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..10).map(|_| standard_normal(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

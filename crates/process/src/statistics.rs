@@ -1,0 +1,195 @@
+//! Descriptive statistics and yield estimation.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator).
+    pub std_dev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of a slice.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn of(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Some(Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        })
+    }
+
+    /// Relative variation in percent: `100·k·σ / |mean|`.
+    ///
+    /// The paper's ΔGain / ΔPM columns (Table 2) express how far the
+    /// performance may wander from its nominal value at the process extremes;
+    /// with `k = 3` this is the conventional ±3 σ band.
+    pub fn variation_percent(&self, k_sigma: f64) -> f64 {
+        if self.mean.abs() < 1e-30 {
+            return 0.0;
+        }
+        100.0 * k_sigma * self.std_dev / self.mean.abs()
+    }
+
+    /// Coefficient of variation in percent (`100·σ/|mean|`).
+    pub fn cv_percent(&self) -> f64 {
+        self.variation_percent(1.0)
+    }
+}
+
+/// Quantile of a sample set using linear interpolation between order statistics.
+///
+/// `q` must be in `[0, 1]`. Returns `None` for an empty slice.
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let t = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - t) + sorted[hi] * t)
+    }
+}
+
+/// Fixed-width histogram of a sample set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Lower edge of the first bin.
+    pub start: f64,
+    /// Width of each bin.
+    pub bin_width: f64,
+    /// Sample counts per bin.
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width bins spanning the sample range.
+    ///
+    /// Returns `None` for an empty slice or zero bin count.
+    pub fn of(samples: &[f64], bins: usize) -> Option<Self> {
+        if samples.is_empty() || bins == 0 {
+            return None;
+        }
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let width = ((max - min) / bins as f64).max(1e-300);
+        let mut counts = vec![0usize; bins];
+        for &x in samples {
+            let idx = (((x - min) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        Some(Histogram {
+            start: min,
+            bin_width: width,
+            counts,
+        })
+    }
+
+    /// Total number of samples in the histogram.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+/// Parametric-yield estimate: fraction of samples for which `passes` is true.
+///
+/// Returns a value in `[0, 1]`, or `None` for an empty sample set.
+pub fn yield_estimate<T>(samples: &[T], mut passes: impl FnMut(&T) -> bool) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let pass_count = samples.iter().filter(|&s| passes(s)).count();
+    Some(pass_count as f64 / samples.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_data() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic data set is ~2.138.
+        assert!((s.std_dev - 2.13809).abs() < 1e-4);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+        let single = Summary::of(&[3.0]).unwrap();
+        assert_eq!(single.std_dev, 0.0);
+    }
+
+    #[test]
+    fn variation_percent_uses_k_sigma() {
+        let s = Summary::of(&[49.0, 50.0, 51.0]).unwrap();
+        let one_sigma = s.variation_percent(1.0);
+        let three_sigma = s.variation_percent(3.0);
+        assert!((three_sigma / one_sigma - 3.0).abs() < 1e-9);
+        assert!((s.cv_percent() - one_sigma).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&data, 0.0), Some(1.0));
+        assert_eq!(quantile(&data, 1.0), Some(5.0));
+        assert_eq!(quantile(&data, 0.5), Some(3.0));
+        assert_eq!(quantile(&data, 0.25), Some(2.0));
+        assert!(quantile(&data, 1.5).is_none());
+        assert!(quantile(&[], 0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_bins_cover_all_samples() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::of(&data, 10).unwrap();
+        assert_eq!(h.counts.len(), 10);
+        assert_eq!(h.total(), 100);
+        assert!(h.counts.iter().all(|&c| c == 10));
+        assert!(Histogram::of(&[], 10).is_none());
+        assert!(Histogram::of(&data, 0).is_none());
+    }
+
+    #[test]
+    fn yield_estimate_counts_passing_fraction() {
+        let gains = [49.0, 50.5, 51.0, 48.0];
+        let y = yield_estimate(&gains, |g| *g >= 50.0).unwrap();
+        assert!((y - 0.5).abs() < 1e-12);
+        assert!(yield_estimate::<f64>(&[], |_| true).is_none());
+    }
+}

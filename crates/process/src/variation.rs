@@ -1,0 +1,181 @@
+//! Statistical process-variation models.
+//!
+//! Two variation mechanisms are modelled, mirroring what foundry statistical
+//! model decks provide (paper §3.4 "process variation and mismatch models"):
+//!
+//! * **Global (die-to-die) variation** — every device of a given polarity on
+//!   the die shares the same shift of threshold voltage and current factor.
+//! * **Local mismatch** — each device additionally receives an independent
+//!   threshold/current-factor perturbation whose standard deviation follows
+//!   the Pelgrom law, `σ = A / √(W·L)`.
+
+use ayb_circuit::MosfetPolarity;
+use serde::{Deserialize, Serialize};
+
+/// Global (die-to-die) 1-σ spreads for one device polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GlobalSpread {
+    /// Threshold-voltage standard deviation in volts.
+    pub sigma_vto: f64,
+    /// Relative current-factor (KP) standard deviation (e.g. 0.03 = 3 %).
+    pub sigma_kp_rel: f64,
+}
+
+/// Pelgrom mismatch coefficients for one device polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MismatchCoefficients {
+    /// Threshold-voltage area coefficient `A_VT` in V·m (typically quoted in mV·µm).
+    pub a_vt: f64,
+    /// Current-factor area coefficient `A_β` in m (relative variation · metre).
+    pub a_beta: f64,
+}
+
+impl MismatchCoefficients {
+    /// 1-σ threshold mismatch in volts for a device of gate area `area` (m²).
+    pub fn sigma_vt(&self, area: f64) -> f64 {
+        self.a_vt / area.max(1e-18).sqrt()
+    }
+
+    /// 1-σ relative current-factor mismatch for a device of gate area `area` (m²).
+    pub fn sigma_beta(&self, area: f64) -> f64 {
+        self.a_beta / area.max(1e-18).sqrt()
+    }
+}
+
+/// Complete statistical description of a CMOS process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessVariation {
+    /// Global spread of NMOS devices.
+    pub nmos_global: GlobalSpread,
+    /// Global spread of PMOS devices.
+    pub pmos_global: GlobalSpread,
+    /// Mismatch coefficients of NMOS devices.
+    pub nmos_mismatch: MismatchCoefficients,
+    /// Mismatch coefficients of PMOS devices.
+    pub pmos_mismatch: MismatchCoefficients,
+}
+
+impl ProcessVariation {
+    /// Representative statistical model for a generic 0.35 µm CMOS process.
+    ///
+    /// Numbers are typical textbook values for this node: ~15 mV global V_T
+    /// spread, ~4 % KP spread, `A_VT ≈ 9.5 mV·µm` (NMOS) / `14.5 mV·µm`
+    /// (PMOS), `A_β ≈ 1.9 %·µm`.
+    pub fn generic_035um() -> Self {
+        ProcessVariation {
+            nmos_global: GlobalSpread {
+                sigma_vto: 0.015,
+                sigma_kp_rel: 0.04,
+            },
+            pmos_global: GlobalSpread {
+                sigma_vto: 0.020,
+                sigma_kp_rel: 0.04,
+            },
+            nmos_mismatch: MismatchCoefficients {
+                a_vt: 9.5e-3 * 1e-6,
+                a_beta: 0.019 * 1e-6,
+            },
+            pmos_mismatch: MismatchCoefficients {
+                a_vt: 14.5e-3 * 1e-6,
+                a_beta: 0.022 * 1e-6,
+            },
+        }
+    }
+
+    /// A variation model with every spread set to zero (useful to isolate the
+    /// effect of mismatch or as a null baseline in tests).
+    pub fn none() -> Self {
+        let zero_global = GlobalSpread {
+            sigma_vto: 0.0,
+            sigma_kp_rel: 0.0,
+        };
+        let zero_mismatch = MismatchCoefficients { a_vt: 0.0, a_beta: 0.0 };
+        ProcessVariation {
+            nmos_global: zero_global,
+            pmos_global: zero_global,
+            nmos_mismatch: zero_mismatch,
+            pmos_mismatch: zero_mismatch,
+        }
+    }
+
+    /// Returns a copy with every spread scaled by `factor` (used for
+    /// sensitivity/ablation studies).
+    pub fn scaled(&self, factor: f64) -> Self {
+        let scale_global = |g: GlobalSpread| GlobalSpread {
+            sigma_vto: g.sigma_vto * factor,
+            sigma_kp_rel: g.sigma_kp_rel * factor,
+        };
+        let scale_mismatch = |m: MismatchCoefficients| MismatchCoefficients {
+            a_vt: m.a_vt * factor,
+            a_beta: m.a_beta * factor,
+        };
+        ProcessVariation {
+            nmos_global: scale_global(self.nmos_global),
+            pmos_global: scale_global(self.pmos_global),
+            nmos_mismatch: scale_mismatch(self.nmos_mismatch),
+            pmos_mismatch: scale_mismatch(self.pmos_mismatch),
+        }
+    }
+
+    /// Global spread for a given polarity.
+    pub fn global(&self, polarity: MosfetPolarity) -> GlobalSpread {
+        match polarity {
+            MosfetPolarity::Nmos => self.nmos_global,
+            MosfetPolarity::Pmos => self.pmos_global,
+        }
+    }
+
+    /// Mismatch coefficients for a given polarity.
+    pub fn mismatch(&self, polarity: MosfetPolarity) -> MismatchCoefficients {
+        match polarity {
+            MosfetPolarity::Nmos => self.nmos_mismatch,
+            MosfetPolarity::Pmos => self.pmos_mismatch,
+        }
+    }
+}
+
+impl Default for ProcessVariation {
+    fn default() -> Self {
+        ProcessVariation::generic_035um()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pelgrom_law_scales_with_inverse_sqrt_area() {
+        let m = MismatchCoefficients {
+            a_vt: 10e-3 * 1e-6,
+            a_beta: 0.02 * 1e-6,
+        };
+        let small = m.sigma_vt(1e-12); // 1 µm²
+        let large = m.sigma_vt(4e-12); // 4 µm²
+        assert!((small / large - 2.0).abs() < 1e-9);
+        // A 1 µm² device has σ_VT = A_VT numerically (in volts).
+        assert!((small - 10e-3).abs() < 1e-12);
+        assert!((m.sigma_beta(1e-12) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generic_process_has_positive_spreads() {
+        let p = ProcessVariation::generic_035um();
+        assert!(p.nmos_global.sigma_vto > 0.0);
+        assert!(p.pmos_global.sigma_vto > 0.0);
+        assert!(p.nmos_mismatch.a_vt > 0.0);
+        assert!(p.global(MosfetPolarity::Pmos).sigma_vto > p.global(MosfetPolarity::Nmos).sigma_vto);
+    }
+
+    #[test]
+    fn none_and_scaled_behave() {
+        let none = ProcessVariation::none();
+        assert_eq!(none.nmos_global.sigma_vto, 0.0);
+        let doubled = ProcessVariation::generic_035um().scaled(2.0);
+        assert!(
+            (doubled.nmos_global.sigma_vto - 2.0 * ProcessVariation::generic_035um().nmos_global.sigma_vto)
+                .abs()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,359 @@
+//! Small-signal AC analysis.
+//!
+//! The circuit is linearised around a previously computed DC operating point
+//! ([`DcSolution`]); the complex MNA system `(G + jωC)·x = b` is then solved
+//! at every frequency of a sweep.
+
+use crate::dc::DcSolution;
+use crate::error::{Result, SimError};
+use crate::linalg::{solve_in_place, Complex, DenseMatrix};
+use crate::mna::MnaLayout;
+use crate::sweep::FrequencySweep;
+use ayb_circuit::{Circuit, Device, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Result of an AC sweep: node phasors at every analysed frequency.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AcSolution {
+    frequencies: Vec<f64>,
+    /// `phasors[f][node_index]` — node phasors per frequency, ground included as index 0.
+    phasors: Vec<Vec<Complex>>,
+}
+
+impl AcSolution {
+    /// Frequencies of the sweep in hertz.
+    pub fn frequencies(&self) -> &[f64] {
+        &self.frequencies
+    }
+
+    /// Number of frequency points.
+    pub fn len(&self) -> usize {
+        self.frequencies.len()
+    }
+
+    /// Returns `true` if the sweep contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.frequencies.is_empty()
+    }
+
+    /// Phasor of `node` across the sweep.
+    pub fn node_response(&self, node: NodeId) -> Vec<Complex> {
+        self.phasors.iter().map(|row| row[node.index()]).collect()
+    }
+
+    /// Phasor of a named node across the sweep.
+    pub fn response_by_name(&self, circuit: &Circuit, name: &str) -> Option<Vec<Complex>> {
+        circuit.find_node(name).map(|id| self.node_response(id))
+    }
+
+    /// Phasor of `node` at sweep index `idx`.
+    pub fn phasor_at(&self, idx: usize, node: NodeId) -> Complex {
+        self.phasors[idx][node.index()]
+    }
+}
+
+/// Runs an AC analysis over the given frequency sweep.
+///
+/// # Errors
+///
+/// Returns an error for an empty sweep, a singular linearised matrix, or an
+/// inconsistent operating point.
+pub fn ac_analysis(
+    circuit: &Circuit,
+    operating_point: &DcSolution,
+    sweep: &FrequencySweep,
+) -> Result<AcSolution> {
+    let frequencies = sweep.frequencies();
+    if frequencies.is_empty() {
+        return Err(SimError::InvalidAnalysis(
+            "AC sweep contains no frequency points".into(),
+        ));
+    }
+    let layout = MnaLayout::new(circuit);
+    let n = layout.size();
+    let mut phasors = Vec::with_capacity(frequencies.len());
+    let mut matrix: DenseMatrix<Complex> = DenseMatrix::zeros(n, n);
+    let mut rhs = vec![Complex::ZERO; n];
+
+    for &freq in &frequencies {
+        let omega = 2.0 * std::f64::consts::PI * freq;
+        stamp_ac(circuit, &layout, operating_point, omega, &mut matrix, &mut rhs)?;
+        let mut solution = rhs.clone();
+        solve_in_place(&mut matrix, &mut solution)?;
+        let mut row = vec![Complex::ZERO; circuit.nodes().len()];
+        for node in circuit.nodes().iter() {
+            if let Some(idx) = layout.node_row(node) {
+                row[node.index()] = solution[idx];
+            }
+        }
+        phasors.push(row);
+    }
+    Ok(AcSolution {
+        frequencies,
+        phasors,
+    })
+}
+
+fn add_admittance(
+    matrix: &mut DenseMatrix<Complex>,
+    layout: &MnaLayout,
+    plus: NodeId,
+    minus: NodeId,
+    admittance: Complex,
+) {
+    let p = layout.node_row(plus);
+    let m = layout.node_row(minus);
+    if let Some(p) = p {
+        matrix.add(p, p, admittance);
+    }
+    if let Some(m) = m {
+        matrix.add(m, m, admittance);
+    }
+    if let (Some(p), Some(m)) = (p, m) {
+        matrix.add(p, m, -admittance);
+        matrix.add(m, p, -admittance);
+    }
+}
+
+fn add_transconductance(
+    matrix: &mut DenseMatrix<Complex>,
+    out_plus: Option<usize>,
+    out_minus: Option<usize>,
+    ctrl_plus: Option<usize>,
+    ctrl_minus: Option<usize>,
+    gm: f64,
+) {
+    let gm = Complex::from_real(gm);
+    if let Some(op) = out_plus {
+        if let Some(cp) = ctrl_plus {
+            matrix.add(op, cp, gm);
+        }
+        if let Some(cm) = ctrl_minus {
+            matrix.add(op, cm, -gm);
+        }
+    }
+    if let Some(om) = out_minus {
+        if let Some(cp) = ctrl_plus {
+            matrix.add(om, cp, -gm);
+        }
+        if let Some(cm) = ctrl_minus {
+            matrix.add(om, cm, gm);
+        }
+    }
+}
+
+fn stamp_ac(
+    circuit: &Circuit,
+    layout: &MnaLayout,
+    op: &DcSolution,
+    omega: f64,
+    matrix: &mut DenseMatrix<Complex>,
+    rhs: &mut [Complex],
+) -> Result<()> {
+    matrix.clear();
+    rhs.iter_mut().for_each(|v| *v = Complex::ZERO);
+    // Small conductance to ground keeps purely capacitive nodes well conditioned.
+    for row in 0..layout.node_count() {
+        matrix.add(row, row, Complex::from_real(1e-12));
+    }
+    let node_row = |node: NodeId| layout.node_row(node);
+
+    for inst in circuit.instances() {
+        match &inst.device {
+            Device::Resistor(r) => {
+                add_admittance(
+                    matrix,
+                    layout,
+                    r.plus,
+                    r.minus,
+                    Complex::from_real(1.0 / r.resistance),
+                );
+            }
+            Device::Capacitor(c) => {
+                add_admittance(
+                    matrix,
+                    layout,
+                    c.plus,
+                    c.minus,
+                    Complex::new(0.0, omega * c.capacitance),
+                );
+            }
+            Device::VoltageSource(v) => {
+                let br = layout
+                    .branch_row(&inst.name)
+                    .expect("voltage source has a branch row");
+                if let Some(p) = node_row(v.plus) {
+                    matrix.add(p, br, Complex::ONE);
+                    matrix.add(br, p, Complex::ONE);
+                }
+                if let Some(m) = node_row(v.minus) {
+                    matrix.add(m, br, -Complex::ONE);
+                    matrix.add(br, m, -Complex::ONE);
+                }
+                rhs[br] += Complex::from_polar(v.ac.magnitude, v.ac.phase_deg.to_radians());
+            }
+            Device::CurrentSource(i) => {
+                let value = Complex::from_polar(i.ac.magnitude, i.ac.phase_deg.to_radians());
+                if let Some(p) = node_row(i.plus) {
+                    rhs[p] -= value;
+                }
+                if let Some(m) = node_row(i.minus) {
+                    rhs[m] += value;
+                }
+            }
+            Device::Vccs(g) => {
+                add_transconductance(
+                    matrix,
+                    node_row(g.out_plus),
+                    node_row(g.out_minus),
+                    node_row(g.ctrl_plus),
+                    node_row(g.ctrl_minus),
+                    g.gm,
+                );
+            }
+            Device::Vcvs(e) => {
+                let br = layout.branch_row(&inst.name).expect("vcvs has a branch row");
+                if let Some(p) = node_row(e.out_plus) {
+                    matrix.add(p, br, Complex::ONE);
+                    matrix.add(br, p, Complex::ONE);
+                }
+                if let Some(m) = node_row(e.out_minus) {
+                    matrix.add(m, br, -Complex::ONE);
+                    matrix.add(br, m, -Complex::ONE);
+                }
+                if let Some(cp) = node_row(e.ctrl_plus) {
+                    matrix.add(br, cp, Complex::from_real(-e.gain));
+                }
+                if let Some(cm) = node_row(e.ctrl_minus) {
+                    matrix.add(br, cm, Complex::from_real(e.gain));
+                }
+            }
+            Device::Mosfet(m) => {
+                let eval = op.mosfet_op(&inst.name).ok_or_else(|| {
+                    SimError::InvalidAnalysis(format!(
+                        "operating point is missing MOSFET `{}` (was it computed on the same circuit?)",
+                        inst.name
+                    ))
+                })?;
+                // Conductive small-signal model: stamp the exact Jacobian of the
+                // drain current (same values the final DC iteration used).
+                let derivs = [
+                    (m.drain, eval.did_dvd),
+                    (m.gate, eval.did_dvg),
+                    (m.source, eval.did_dvs),
+                    (m.bulk, eval.did_dvb),
+                ];
+                if let Some(d) = node_row(m.drain) {
+                    for (node, g) in derivs {
+                        if let Some(col) = node_row(node) {
+                            matrix.add(d, col, Complex::from_real(g));
+                        }
+                    }
+                }
+                if let Some(s) = node_row(m.source) {
+                    for (node, g) in derivs {
+                        if let Some(col) = node_row(node) {
+                            matrix.add(s, col, Complex::from_real(-g));
+                        }
+                    }
+                }
+                // Capacitive elements.
+                let jw = |c: f64| Complex::new(0.0, omega * c);
+                add_admittance(matrix, layout, m.gate, m.source, jw(eval.cgs));
+                add_admittance(matrix, layout, m.gate, m.drain, jw(eval.cgd));
+                add_admittance(matrix, layout, m.gate, m.bulk, jw(eval.cgb));
+                add_admittance(matrix, layout, m.drain, m.bulk, jw(eval.cdb));
+                add_admittance(matrix, layout, m.source, m.bulk, jw(eval.csb));
+            }
+            Device::BehavioralOta(o) => {
+                if let Some(out) = node_row(o.out) {
+                    if let Some(p) = node_row(o.in_plus) {
+                        matrix.add(out, p, Complex::from_real(-o.gm));
+                    }
+                    if let Some(m) = node_row(o.in_minus) {
+                        matrix.add(out, m, Complex::from_real(o.gm));
+                    }
+                }
+                add_admittance(
+                    matrix,
+                    layout,
+                    o.out,
+                    NodeId::GROUND,
+                    Complex::new(1.0 / o.rout, omega * o.cout),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::{dc_operating_point, DcOptions};
+    use crate::sweep::FrequencySweep;
+    use ayb_circuit::{AcSpec, Circuit};
+
+    fn rc_lowpass(r: f64, c: f64) -> Circuit {
+        let mut ckt = Circuit::new("rc");
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        let gnd = ckt.gnd();
+        ckt.add_vsource_ac("v1", vin, gnd, 0.0, AcSpec::unit()).unwrap();
+        ckt.add_resistor("r1", vin, out, r).unwrap();
+        ckt.add_capacitor("c1", out, gnd, c).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn rc_lowpass_has_minus_three_db_at_corner() {
+        let r = 1e3;
+        let c = 1e-9;
+        let f_corner = 1.0 / (2.0 * std::f64::consts::PI * r * c);
+        let ckt = rc_lowpass(r, c);
+        let op = dc_operating_point(&ckt, &DcOptions::new()).unwrap();
+        let sweep = FrequencySweep::single(f_corner);
+        let ac = ac_analysis(&ckt, &op, &sweep).unwrap();
+        let out = ac.response_by_name(&ckt, "out").unwrap();
+        assert!((out[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+        assert!((out[0].arg_deg() + 45.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn rc_lowpass_passes_dc_and_attenuates_high_frequencies() {
+        let ckt = rc_lowpass(1e3, 1e-9);
+        let op = dc_operating_point(&ckt, &DcOptions::new()).unwrap();
+        let sweep = FrequencySweep::logarithmic(1.0, 1e9, 10);
+        let ac = ac_analysis(&ckt, &op, &sweep).unwrap();
+        let out = ac.response_by_name(&ckt, "out").unwrap();
+        assert!((out.first().unwrap().abs() - 1.0).abs() < 1e-6);
+        assert!(out.last().unwrap().abs() < 1e-2);
+        assert_eq!(ac.len(), ac.frequencies().len());
+    }
+
+    #[test]
+    fn vccs_with_load_resistor_gives_expected_gain() {
+        let mut ckt = Circuit::new("gmr");
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        let gnd = ckt.gnd();
+        ckt.add_vsource_ac("v1", vin, gnd, 0.0, AcSpec::unit()).unwrap();
+        // i(out -> gnd) = gm * v(in); with the SPICE convention the output
+        // current is pulled out of `out`, so the small-signal gain is −gm·R.
+        ckt.add_vccs("g1", out, gnd, vin, gnd, 1e-3).unwrap();
+        ckt.add_resistor("rl", out, gnd, 10e3).unwrap();
+        let op = dc_operating_point(&ckt, &DcOptions::new()).unwrap();
+        let ac = ac_analysis(&ckt, &op, &FrequencySweep::single(1e3)).unwrap();
+        let out_ph = ac.response_by_name(&ckt, "out").unwrap()[0];
+        assert!((out_ph.abs() - 10.0).abs() < 1e-6);
+        assert!((out_ph.arg_deg().abs() - 180.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_sweep_is_rejected() {
+        let ckt = rc_lowpass(1e3, 1e-9);
+        let op = dc_operating_point(&ckt, &DcOptions::new()).unwrap();
+        let sweep = FrequencySweep::list(Vec::new());
+        assert!(ac_analysis(&ckt, &op, &sweep).is_err());
+    }
+}

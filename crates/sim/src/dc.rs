@@ -1,0 +1,558 @@
+//! DC operating-point analysis.
+//!
+//! Nonlinear circuits are solved with damped Newton–Raphson iteration. Two
+//! classic continuation strategies are applied automatically when a plain
+//! Newton run fails to converge: *gmin stepping* (a conductance from every
+//! node to ground is swept from a large value down to the target) and *source
+//! stepping* (all independent sources are ramped from a small fraction to
+//! 100 %).
+
+use crate::error::{Result, SimError};
+use crate::linalg::{solve_in_place, DenseMatrix};
+use crate::mna::MnaLayout;
+use crate::mosfet::{evaluate, MosfetEval};
+use ayb_circuit::{Circuit, Device, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Options controlling the DC operating-point solver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DcOptions {
+    /// Maximum Newton iterations per continuation rung.
+    pub max_iterations: usize,
+    /// Absolute voltage convergence tolerance in volts.
+    pub voltage_tolerance: f64,
+    /// Maximum per-iteration voltage step in volts (Newton damping).
+    pub max_step: f64,
+    /// Final (target) gmin conductance from every node to ground, in siemens.
+    pub gmin: f64,
+}
+
+impl DcOptions {
+    /// Default solver options suitable for the circuits in this workspace.
+    pub fn new() -> Self {
+        DcOptions {
+            max_iterations: 150,
+            voltage_tolerance: 1e-6,
+            max_step: 0.5,
+            gmin: 1e-12,
+        }
+    }
+}
+
+impl Default for DcOptions {
+    fn default() -> Self {
+        DcOptions::new()
+    }
+}
+
+/// Result of a DC operating-point analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DcSolution {
+    node_voltages: Vec<f64>,
+    branch_currents: BTreeMap<String, f64>,
+    mosfet_ops: BTreeMap<String, MosfetEval>,
+    /// Total Newton iterations spent (across all continuation rungs).
+    pub iterations: usize,
+}
+
+impl DcSolution {
+    /// Voltage of a node (0.0 for ground).
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        self.node_voltages[node.index()]
+    }
+
+    /// Voltage of a node looked up by name.
+    pub fn voltage_by_name(&self, circuit: &Circuit, name: &str) -> Option<f64> {
+        circuit.find_node(name).map(|id| self.voltage(id))
+    }
+
+    /// Branch current through a named voltage source / VCVS, if present.
+    pub fn branch_current(&self, instance: &str) -> Option<f64> {
+        self.branch_currents.get(instance).copied()
+    }
+
+    /// Small-signal operating point of a named MOSFET.
+    pub fn mosfet_op(&self, instance: &str) -> Option<&MosfetEval> {
+        self.mosfet_ops.get(instance)
+    }
+
+    /// All MOSFET operating points, keyed by instance name.
+    pub fn mosfet_ops(&self) -> &BTreeMap<String, MosfetEval> {
+        &self.mosfet_ops
+    }
+
+    /// All node voltages indexed by node id (entry 0 is ground).
+    pub fn node_voltages(&self) -> &[f64] {
+        &self.node_voltages
+    }
+}
+
+/// Computes the DC operating point of a circuit.
+///
+/// # Errors
+///
+/// Returns an error if the circuit fails validation, the MNA matrix is
+/// singular, or Newton iteration fails to converge even with gmin and source
+/// stepping.
+pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> Result<DcSolution> {
+    circuit.validate()?;
+    let layout = MnaLayout::new(circuit);
+    let mut x = vec![0.0; layout.size()];
+    let mut total_iterations = 0usize;
+
+    // 1. Plain Newton from a zero initial guess.
+    let direct = newton(circuit, &layout, &mut x, options.gmin, 1.0, options, 60);
+    match direct {
+        Ok(iters) => total_iterations += iters,
+        Err(_) => {
+            // 2. gmin stepping.
+            x.iter_mut().for_each(|v| *v = 0.0);
+            let mut ladder_ok = true;
+            for &gmin in &[1e-2, 1e-3, 1e-4, 1e-6, 1e-8, 1e-10] {
+                match newton(circuit, &layout, &mut x, gmin, 1.0, options, options.max_iterations)
+                {
+                    Ok(iters) => total_iterations += iters,
+                    Err(_) => {
+                        ladder_ok = false;
+                        break;
+                    }
+                }
+            }
+            if ladder_ok {
+                total_iterations += newton(
+                    circuit,
+                    &layout,
+                    &mut x,
+                    options.gmin,
+                    1.0,
+                    options,
+                    options.max_iterations,
+                )?;
+            } else {
+                // 3. Source stepping.
+                x.iter_mut().for_each(|v| *v = 0.0);
+                for step in 1..=20 {
+                    let scale = step as f64 / 20.0;
+                    total_iterations += newton(
+                        circuit,
+                        &layout,
+                        &mut x,
+                        1e-9,
+                        scale,
+                        options,
+                        options.max_iterations,
+                    )
+                    .map_err(|_| SimError::NoConvergence {
+                        analysis: format!("dc operating point (source stepping at {scale:.2})"),
+                        iterations: total_iterations,
+                        residual: f64::NAN,
+                    })?;
+                }
+                total_iterations += newton(
+                    circuit,
+                    &layout,
+                    &mut x,
+                    options.gmin,
+                    1.0,
+                    options,
+                    options.max_iterations,
+                )?;
+            }
+        }
+    }
+
+    Ok(assemble_solution(circuit, &layout, &x, total_iterations))
+}
+
+fn assemble_solution(
+    circuit: &Circuit,
+    layout: &MnaLayout,
+    x: &[f64],
+    iterations: usize,
+) -> DcSolution {
+    let mut node_voltages = vec![0.0; circuit.nodes().len()];
+    for node in circuit.nodes().iter() {
+        node_voltages[node.index()] = layout.voltage_of(x, node);
+    }
+    let mut branch_currents = BTreeMap::new();
+    let mut mosfet_ops = BTreeMap::new();
+    for inst in circuit.instances() {
+        if let Some(row) = layout.branch_row(&inst.name) {
+            branch_currents.insert(inst.name.clone(), x[row]);
+        }
+        if let Device::Mosfet(m) = &inst.device {
+            let card = &circuit.models()[&m.model];
+            let eval = evaluate(
+                card,
+                m,
+                layout.voltage_of(x, m.drain),
+                layout.voltage_of(x, m.gate),
+                layout.voltage_of(x, m.source),
+                layout.voltage_of(x, m.bulk),
+            );
+            mosfet_ops.insert(inst.name.clone(), eval);
+        }
+    }
+    DcSolution {
+        node_voltages,
+        branch_currents,
+        mosfet_ops,
+        iterations,
+    }
+}
+
+/// Runs damped Newton iteration at fixed `gmin` and source scaling,
+/// updating `x` in place. Returns the number of iterations used.
+fn newton(
+    circuit: &Circuit,
+    layout: &MnaLayout,
+    x: &mut [f64],
+    gmin: f64,
+    source_scale: f64,
+    options: &DcOptions,
+    max_iterations: usize,
+) -> Result<usize> {
+    let n = layout.size();
+    let mut matrix = DenseMatrix::zeros(n, n);
+    let mut rhs = vec![0.0; n];
+    let mut last_delta = f64::INFINITY;
+
+    for iteration in 1..=max_iterations {
+        stamp_dc(circuit, layout, x, gmin, source_scale, &mut matrix, &mut rhs);
+        let mut solution = rhs.clone();
+        solve_in_place(&mut matrix, &mut solution)?;
+        if solution.iter().any(|v| !v.is_finite()) {
+            return Err(SimError::NoConvergence {
+                analysis: "dc operating point (non-finite update)".into(),
+                iterations: iteration,
+                residual: f64::NAN,
+            });
+        }
+
+        let mut max_delta = 0.0f64;
+        for i in 0..n {
+            let delta = solution[i] - x[i];
+            max_delta = max_delta.max(delta.abs());
+            let limited = if i < layout.node_count() {
+                delta.clamp(-options.max_step, options.max_step)
+            } else {
+                delta
+            };
+            x[i] += limited;
+        }
+        last_delta = max_delta;
+        if max_delta < options.voltage_tolerance {
+            return Ok(iteration);
+        }
+    }
+    Err(SimError::NoConvergence {
+        analysis: "dc operating point".into(),
+        iterations: max_iterations,
+        residual: last_delta,
+    })
+}
+
+/// Stamps the linearised DC system `A·x = b` at the operating point `x`.
+pub(crate) fn stamp_dc(
+    circuit: &Circuit,
+    layout: &MnaLayout,
+    x: &[f64],
+    gmin: f64,
+    source_scale: f64,
+    matrix: &mut DenseMatrix<f64>,
+    rhs: &mut [f64],
+) {
+    matrix.clear();
+    rhs.iter_mut().for_each(|v| *v = 0.0);
+
+    // gmin from every node to ground keeps the matrix non-singular while
+    // devices are cut off.
+    for row in 0..layout.node_count() {
+        matrix.add(row, row, gmin);
+    }
+
+    let node_row = |node: NodeId| layout.node_row(node);
+    for inst in circuit.instances() {
+        match &inst.device {
+            Device::Resistor(r) => {
+                stamp_conductance(matrix, layout, r.plus, r.minus, 1.0 / r.resistance);
+            }
+            Device::Capacitor(_) => {
+                // Open circuit at DC.
+            }
+            Device::VoltageSource(v) => {
+                let br = layout
+                    .branch_row(&inst.name)
+                    .expect("voltage source has a branch row");
+                if let Some(p) = node_row(v.plus) {
+                    matrix.add(p, br, 1.0);
+                    matrix.add(br, p, 1.0);
+                }
+                if let Some(m) = node_row(v.minus) {
+                    matrix.add(m, br, -1.0);
+                    matrix.add(br, m, -1.0);
+                }
+                rhs[br] += v.dc * source_scale;
+            }
+            Device::CurrentSource(i) => {
+                let value = i.dc * source_scale;
+                if let Some(p) = node_row(i.plus) {
+                    rhs[p] -= value;
+                }
+                if let Some(m) = node_row(i.minus) {
+                    rhs[m] += value;
+                }
+            }
+            Device::Vccs(g) => {
+                stamp_vccs(
+                    matrix,
+                    layout,
+                    g.out_plus,
+                    g.out_minus,
+                    g.ctrl_plus,
+                    g.ctrl_minus,
+                    g.gm,
+                );
+            }
+            Device::Vcvs(e) => {
+                let br = layout
+                    .branch_row(&inst.name)
+                    .expect("vcvs has a branch row");
+                if let Some(p) = node_row(e.out_plus) {
+                    matrix.add(p, br, 1.0);
+                    matrix.add(br, p, 1.0);
+                }
+                if let Some(m) = node_row(e.out_minus) {
+                    matrix.add(m, br, -1.0);
+                    matrix.add(br, m, -1.0);
+                }
+                if let Some(cp) = node_row(e.ctrl_plus) {
+                    matrix.add(br, cp, -e.gain);
+                }
+                if let Some(cm) = node_row(e.ctrl_minus) {
+                    matrix.add(br, cm, e.gain);
+                }
+            }
+            Device::Mosfet(m) => {
+                let card = &circuit.models()[&m.model];
+                let vd = layout.voltage_of(x, m.drain);
+                let vg = layout.voltage_of(x, m.gate);
+                let vs = layout.voltage_of(x, m.source);
+                let vb = layout.voltage_of(x, m.bulk);
+                let eval = evaluate(card, m, vd, vg, vs, vb);
+                let derivs = [
+                    (m.drain, eval.did_dvd),
+                    (m.gate, eval.did_dvg),
+                    (m.source, eval.did_dvs),
+                    (m.bulk, eval.did_dvb),
+                ];
+                let ieq = eval.id
+                    - (eval.did_dvd * vd + eval.did_dvg * vg + eval.did_dvs * vs + eval.did_dvb * vb);
+                if let Some(d) = node_row(m.drain) {
+                    for (node, g) in derivs {
+                        if let Some(col) = node_row(node) {
+                            matrix.add(d, col, g);
+                        }
+                    }
+                    rhs[d] -= ieq;
+                }
+                if let Some(s) = node_row(m.source) {
+                    for (node, g) in derivs {
+                        if let Some(col) = node_row(node) {
+                            matrix.add(s, col, -g);
+                        }
+                    }
+                    rhs[s] += ieq;
+                }
+                // Weak drain-source leakage aids convergence deep in cutoff.
+                stamp_conductance(matrix, layout, m.drain, m.source, gmin);
+            }
+            Device::BehavioralOta(o) => {
+                // Current *into* the output node is gm·(v+ − v−); in the
+                // "currents leaving the node" formulation this contributes
+                // −gm·(v+ − v−) to the output row.
+                if let Some(out) = node_row(o.out) {
+                    if let Some(p) = node_row(o.in_plus) {
+                        matrix.add(out, p, -o.gm);
+                    }
+                    if let Some(m) = node_row(o.in_minus) {
+                        matrix.add(out, m, o.gm);
+                    }
+                }
+                stamp_conductance(matrix, layout, o.out, NodeId::GROUND, 1.0 / o.rout);
+            }
+        }
+    }
+}
+
+/// Stamps a two-terminal conductance between `plus` and `minus`.
+pub(crate) fn stamp_conductance(
+    matrix: &mut DenseMatrix<f64>,
+    layout: &MnaLayout,
+    plus: NodeId,
+    minus: NodeId,
+    conductance: f64,
+) {
+    let p = layout.node_row(plus);
+    let m = layout.node_row(minus);
+    if let Some(p) = p {
+        matrix.add(p, p, conductance);
+    }
+    if let Some(m) = m {
+        matrix.add(m, m, conductance);
+    }
+    if let (Some(p), Some(m)) = (p, m) {
+        matrix.add(p, m, -conductance);
+        matrix.add(m, p, -conductance);
+    }
+}
+
+/// Stamps a voltage-controlled current source (`i(out+ → out−) = gm·v(cp, cm)`).
+pub(crate) fn stamp_vccs(
+    matrix: &mut DenseMatrix<f64>,
+    layout: &MnaLayout,
+    out_plus: NodeId,
+    out_minus: NodeId,
+    ctrl_plus: NodeId,
+    ctrl_minus: NodeId,
+    gm: f64,
+) {
+    let op = layout.node_row(out_plus);
+    let om = layout.node_row(out_minus);
+    let cp = layout.node_row(ctrl_plus);
+    let cm = layout.node_row(ctrl_minus);
+    if let Some(op) = op {
+        if let Some(cp) = cp {
+            matrix.add(op, cp, gm);
+        }
+        if let Some(cm) = cm {
+            matrix.add(op, cm, -gm);
+        }
+    }
+    if let Some(om) = om {
+        if let Some(cp) = cp {
+            matrix.add(om, cp, -gm);
+        }
+        if let Some(cm) = cm {
+            matrix.add(om, cm, gm);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ayb_circuit::{Circuit, Mosfet};
+
+    #[test]
+    fn resistive_divider_hits_half_supply() {
+        let mut ckt = Circuit::new("divider");
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        let gnd = ckt.gnd();
+        ckt.add_vsource("v1", vin, gnd, 2.0).unwrap();
+        ckt.add_resistor("r1", vin, out, 1e3).unwrap();
+        ckt.add_resistor("r2", out, gnd, 1e3).unwrap();
+        let sol = dc_operating_point(&ckt, &DcOptions::new()).unwrap();
+        assert!((sol.voltage_by_name(&ckt, "out").unwrap() - 1.0).abs() < 1e-6);
+        assert!((sol.voltage_by_name(&ckt, "in").unwrap() - 2.0).abs() < 1e-9);
+        // Branch current through the source: 2 V across 2 kΩ = 1 mA (sign per MNA convention).
+        let i = sol.branch_current("v1").unwrap();
+        assert!((i.abs() - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut ckt = Circuit::new("ir");
+        let a = ckt.node("a");
+        let gnd = ckt.gnd();
+        // 1 mA pushed into node a through the source (plus = gnd, minus = a).
+        ckt.add_isource("i1", gnd, a, 1e-3).unwrap();
+        ckt.add_resistor("r1", a, gnd, 2e3).unwrap();
+        let sol = dc_operating_point(&ckt, &DcOptions::new()).unwrap();
+        assert!((sol.voltage_by_name(&ckt, "a").unwrap() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vcvs_amplifies_dc() {
+        let mut ckt = Circuit::new("vcvs");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        let gnd = ckt.gnd();
+        ckt.add_vsource("v1", inp, gnd, 0.1).unwrap();
+        ckt.add_vcvs("e1", out, gnd, inp, gnd, 10.0).unwrap();
+        ckt.add_resistor("rl", out, gnd, 1e3).unwrap();
+        let sol = dc_operating_point(&ckt, &DcOptions::new()).unwrap();
+        assert!((sol.voltage_by_name(&ckt, "out").unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diode_connected_nmos_settles_above_threshold() {
+        let mut ckt = Circuit::new("diode");
+        ckt.add_default_models();
+        let d = ckt.node("d");
+        let vdd = ckt.node("vdd");
+        let gnd = ckt.gnd();
+        ckt.add_vsource("vdd", vdd, gnd, 3.3).unwrap();
+        ckt.add_resistor("r1", vdd, d, 100e3).unwrap();
+        ckt.add_mosfet("m1", Mosfet::new(d, d, gnd, gnd, "nmos", 10e-6, 1e-6))
+            .unwrap();
+        let sol = dc_operating_point(&ckt, &DcOptions::new()).unwrap();
+        let vgs = sol.voltage_by_name(&ckt, "d").unwrap();
+        // The gate-source voltage must sit above threshold but well below VDD.
+        assert!(vgs > 0.5 && vgs < 1.5, "vgs = {vgs}");
+        let op = sol.mosfet_op("m1").unwrap();
+        assert_eq!(op.region, crate::mosfet::Region::Saturation);
+        // KCL: drain current equals resistor current.
+        let ir = (3.3 - vgs) / 100e3;
+        assert!((op.id - ir).abs() / ir < 1e-3);
+    }
+
+    #[test]
+    fn nmos_common_source_amplifier_bias() {
+        let mut ckt = Circuit::new("cs");
+        ckt.add_default_models();
+        let vdd = ckt.node("vdd");
+        let g = ckt.node("g");
+        let d = ckt.node("d");
+        let gnd = ckt.gnd();
+        ckt.add_vsource("vdd", vdd, gnd, 3.3).unwrap();
+        ckt.add_vsource("vg", g, gnd, 0.9).unwrap();
+        ckt.add_resistor("rd", vdd, d, 10e3).unwrap();
+        ckt.add_mosfet("m1", Mosfet::new(d, g, gnd, gnd, "nmos", 20e-6, 1e-6))
+            .unwrap();
+        let sol = dc_operating_point(&ckt, &DcOptions::new()).unwrap();
+        let vd = sol.voltage_by_name(&ckt, "d").unwrap();
+        // Device should be conducting, dropping some voltage across RD.
+        assert!(vd < 3.3 && vd > 0.0, "vd = {vd}");
+        let op = sol.mosfet_op("m1").unwrap();
+        assert!(op.id > 0.0);
+    }
+
+    #[test]
+    fn behavioral_ota_unity_follower() {
+        // OTA with feedback from output to inverting input approximates a follower.
+        let mut ckt = Circuit::new("follower");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        let gnd = ckt.gnd();
+        ckt.add_vsource("vin", inp, gnd, 0.5).unwrap();
+        ckt.add_behavioral_ota(
+            "ota1",
+            ayb_circuit::BehavioralOta::from_gm_rout(inp, out, out, 1e-3, 1e7, 1e-12),
+        )
+        .unwrap();
+        ckt.add_resistor("rl", out, gnd, 1e6).unwrap();
+        let sol = dc_operating_point(&ckt, &DcOptions::new()).unwrap();
+        let vout = sol.voltage_by_name(&ckt, "out").unwrap();
+        // Gain of 1e4 -> follower error ~ 1e-4 relative.
+        assert!((vout - 0.5).abs() < 1e-3, "vout = {vout}");
+    }
+
+    #[test]
+    fn unconnected_circuit_is_rejected() {
+        let ckt = Circuit::new("empty");
+        assert!(dc_operating_point(&ckt, &DcOptions::new()).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Simulator error types.
+
+use std::fmt;
+
+/// Errors produced by the analogue simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The circuit failed structural validation before simulation.
+    Circuit(String),
+    /// The linear solver found a (numerically) singular matrix.
+    SingularMatrix {
+        /// Row/column at which elimination failed.
+        pivot: usize,
+    },
+    /// The Newton-Raphson iteration failed to converge.
+    NoConvergence {
+        /// Analysis that failed (e.g. `"dc operating point"`).
+        analysis: String,
+        /// Number of iterations attempted.
+        iterations: usize,
+        /// Final residual norm.
+        residual: f64,
+    },
+    /// An analysis was requested with invalid configuration.
+    InvalidAnalysis(String),
+    /// A measurement could not be extracted from simulation results.
+    Measurement(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Circuit(reason) => write!(f, "circuit error: {reason}"),
+            SimError::SingularMatrix { pivot } => {
+                write!(f, "singular MNA matrix at pivot {pivot}")
+            }
+            SimError::NoConvergence {
+                analysis,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{analysis} failed to converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            SimError::InvalidAnalysis(reason) => write!(f, "invalid analysis: {reason}"),
+            SimError::Measurement(reason) => write!(f, "measurement error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ayb_circuit::CircuitError> for SimError {
+    fn from(err: ayb_circuit::CircuitError) -> Self {
+        SimError::Circuit(err.to_string())
+    }
+}
+
+/// Convenience result alias for simulator operations.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_key_information() {
+        let err = SimError::NoConvergence {
+            analysis: "dc operating point".into(),
+            iterations: 150,
+            residual: 1.5e-3,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("150") && msg.contains("dc operating point"));
+    }
+
+    #[test]
+    fn circuit_errors_convert() {
+        let cerr = ayb_circuit::CircuitError::Validation("no devices".into());
+        let serr: SimError = cerr.into();
+        assert!(matches!(serr, SimError::Circuit(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<SimError>();
+    }
+}

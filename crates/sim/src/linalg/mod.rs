@@ -1,0 +1,71 @@
+//! Dense linear algebra used by the MNA solver.
+//!
+//! Circuits in this workspace are small (tens of nodes), so a dense LU
+//! factorisation with partial pivoting is both simpler and faster than a
+//! sparse solver would be at this scale.
+
+pub mod complex;
+pub mod lu;
+pub mod matrix;
+
+pub use complex::Complex;
+pub use lu::solve_in_place;
+pub use matrix::DenseMatrix;
+
+/// Scalar field abstraction letting the same LU routine factor real (DC) and
+/// complex (AC) MNA systems.
+pub trait Scalar:
+    Copy
+    + PartialEq
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::Neg<Output = Self>
+    + std::fmt::Debug
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Magnitude used for pivot selection and convergence checks.
+    fn norm(self) -> f64;
+}
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn norm(self) -> f64 {
+        self.abs()
+    }
+}
+
+impl Scalar for Complex {
+    fn zero() -> Self {
+        Complex::ZERO
+    }
+    fn one() -> Self {
+        Complex::ONE
+    }
+    fn norm(self) -> f64 {
+        self.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_impls_agree_with_arithmetic() {
+        assert_eq!(<f64 as Scalar>::zero(), 0.0);
+        assert_eq!(<f64 as Scalar>::one(), 1.0);
+        assert_eq!((-3.0f64).norm(), 3.0);
+        assert_eq!(Complex::zero(), Complex::ZERO);
+        assert!((Complex::new(3.0, 4.0).norm() - 5.0).abs() < 1e-12);
+    }
+}

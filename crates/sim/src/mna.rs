@@ -1,0 +1,109 @@
+//! Modified nodal analysis (MNA) unknown layout.
+//!
+//! The MNA unknown vector is `[v_1 … v_N, i_b1 … i_bM]` where `v_k` are the
+//! non-ground node voltages (node index `k` maps to row `k − 1`) and `i_bj`
+//! are branch currents of devices that need them (voltage sources and VCVS
+//! elements).
+
+use ayb_circuit::{Circuit, NodeId};
+use std::collections::HashMap;
+
+/// Mapping from circuit nodes / branches to MNA matrix rows.
+#[derive(Debug, Clone)]
+pub struct MnaLayout {
+    node_count: usize,
+    branch_rows: HashMap<String, usize>,
+    size: usize,
+}
+
+impl MnaLayout {
+    /// Builds the layout for a circuit.
+    pub fn new(circuit: &Circuit) -> Self {
+        let node_count = circuit.nodes().unknown_count();
+        let mut branch_rows = HashMap::new();
+        let mut next = node_count;
+        for inst in circuit.instances() {
+            if inst.device.needs_branch_current() {
+                branch_rows.insert(inst.name.clone(), next);
+                next += 1;
+            }
+        }
+        MnaLayout {
+            node_count,
+            branch_rows,
+            size: next,
+        }
+    }
+
+    /// Total number of unknowns.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of non-ground nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Matrix row of a node, or `None` for ground.
+    pub fn node_row(&self, node: NodeId) -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    }
+
+    /// Matrix row of the branch current belonging to a named instance.
+    pub fn branch_row(&self, instance: &str) -> Option<usize> {
+        self.branch_rows.get(instance).copied()
+    }
+
+    /// Node voltage from an MNA solution vector (0.0 for ground).
+    pub fn voltage_of(&self, solution: &[f64], node: NodeId) -> f64 {
+        match self.node_row(node) {
+            Some(row) => solution[row],
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ayb_circuit::Circuit;
+
+    #[test]
+    fn layout_assigns_rows_for_nodes_then_branches() {
+        let mut ckt = Circuit::new("t");
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let gnd = ckt.gnd();
+        ckt.add_vsource("v1", a, gnd, 1.0).unwrap();
+        ckt.add_resistor("r1", a, b, 1e3).unwrap();
+        ckt.add_resistor("r2", b, gnd, 1e3).unwrap();
+        ckt.add_vcvs("e1", b, gnd, a, gnd, 2.0).unwrap();
+        let layout = MnaLayout::new(&ckt);
+        assert_eq!(layout.node_count(), 2);
+        assert_eq!(layout.size(), 4);
+        assert_eq!(layout.node_row(a), Some(0));
+        assert_eq!(layout.node_row(b), Some(1));
+        assert_eq!(layout.node_row(gnd), None);
+        assert_eq!(layout.branch_row("v1"), Some(2));
+        assert_eq!(layout.branch_row("e1"), Some(3));
+        assert_eq!(layout.branch_row("r1"), None);
+    }
+
+    #[test]
+    fn voltage_of_returns_zero_for_ground() {
+        let mut ckt = Circuit::new("t");
+        let a = ckt.node("a");
+        let gnd = ckt.gnd();
+        ckt.add_vsource("v1", a, gnd, 1.0).unwrap();
+        ckt.add_resistor("r1", a, gnd, 1e3).unwrap();
+        let layout = MnaLayout::new(&ckt);
+        let x = vec![2.5, 0.0];
+        assert_eq!(layout.voltage_of(&x, a), 2.5);
+        assert_eq!(layout.voltage_of(&x, gnd), 0.0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Level-1 (square-law) MOSFET evaluation.
+//!
+//! The evaluator maps both polarities and both channel orientations onto a
+//! single NMOS-like "primed" space, computes the drain current and its
+//! partial derivatives there, then maps the results back to the physical
+//! terminals. The returned derivatives are with respect to the *actual*
+//! terminal voltages, so the MNA stamping code never needs to know about
+//! polarity or drain/source swapping.
+
+use ayb_circuit::{Mosfet, MosfetModelCard};
+use serde::{Deserialize, Serialize};
+
+/// Operating region of a MOSFET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Region {
+    /// `V_GS` below threshold: no channel.
+    Cutoff,
+    /// Linear / ohmic operation (`V_DS < V_GS - V_TH`).
+    Triode,
+    /// Saturation (`V_DS ≥ V_GS - V_TH`).
+    Saturation,
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Region::Cutoff => write!(f, "cutoff"),
+            Region::Triode => write!(f, "triode"),
+            Region::Saturation => write!(f, "saturation"),
+        }
+    }
+}
+
+/// Full large- and small-signal evaluation of a MOSFET at a bias point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MosfetEval {
+    /// Current flowing into the drain terminal in amps (negative for PMOS in
+    /// normal operation).
+    pub id: f64,
+    /// Partial derivative of the drain current w.r.t. the drain voltage.
+    pub did_dvd: f64,
+    /// Partial derivative w.r.t. the gate voltage.
+    pub did_dvg: f64,
+    /// Partial derivative w.r.t. the source voltage.
+    pub did_dvs: f64,
+    /// Partial derivative w.r.t. the bulk voltage.
+    pub did_dvb: f64,
+    /// Transconductance magnitude `gm` in the device's own (primed) space.
+    pub gm: f64,
+    /// Output conductance magnitude `gds`.
+    pub gds: f64,
+    /// Bulk transconductance magnitude `gmbs`.
+    pub gmbs: f64,
+    /// Threshold voltage magnitude including body effect and mismatch.
+    pub vth: f64,
+    /// Effective gate overdrive `V_GS - V_TH` in the primed space.
+    pub vov: f64,
+    /// Operating region.
+    pub region: Region,
+    /// Gate-source capacitance in farads.
+    pub cgs: f64,
+    /// Gate-drain capacitance in farads.
+    pub cgd: f64,
+    /// Gate-bulk capacitance in farads.
+    pub cgb: f64,
+    /// Drain-bulk junction capacitance in farads.
+    pub cdb: f64,
+    /// Source-bulk junction capacitance in farads.
+    pub csb: f64,
+}
+
+/// Effective drain/source junction extension used for junction-capacitance
+/// area estimates (metres). A fixed 0.85 µm diffusion strip is assumed.
+const JUNCTION_EXTENSION: f64 = 0.85e-6;
+
+/// Evaluates a MOSFET given the actual terminal voltages (volts).
+///
+/// `delta_vto` and `beta_mult` on the instance model local mismatch: the
+/// threshold magnitude is shifted by `delta_vto` and the current factor is
+/// multiplied by `beta_mult`.
+pub fn evaluate(
+    card: &MosfetModelCard,
+    device: &Mosfet,
+    vd: f64,
+    vg: f64,
+    vs: f64,
+    vb: f64,
+) -> MosfetEval {
+    let sgn = card.polarity.sign();
+
+    // Map to the NMOS-like primed space.
+    let vds_raw = sgn * (vd - vs);
+    let reversed = vds_raw < 0.0;
+    // Primed source is the terminal at the lower (primed) potential.
+    let (vref, vother) = if reversed { (vd, vs) } else { (vs, vd) };
+    let vgs = sgn * (vg - vref);
+    let vds = sgn * (vother - vref);
+    let vbs = sgn * (vb - vref);
+
+    // Body effect (primed space): V_SB >= 0 increases the threshold.
+    let vsb = (-vbs).max(0.0);
+    let sqrt_phi = card.phi.max(1e-6).sqrt();
+    let sqrt_term = (card.phi + vsb).max(1e-6).sqrt();
+    let vth = card.vto.abs() + card.gamma * (sqrt_term - sqrt_phi) + device.delta_vto;
+
+    let beta = card.kp * device.beta_mult * device.m * device.w / device.l.max(1e-9);
+    // Channel-length modulation referenced to a 1 µm channel.
+    let lambda = card.lambda * 1e-6 / device.l.max(1e-9);
+    let vov = vgs - vth;
+
+    let (id_p, gm, gds, region) = if vov <= 0.0 {
+        (0.0, 0.0, 0.0, Region::Cutoff)
+    } else if vds < vov {
+        let fac = 1.0 + lambda * vds;
+        let core = vov * vds - 0.5 * vds * vds;
+        (
+            beta * core * fac,
+            beta * vds * fac,
+            beta * (vov - vds) * fac + beta * core * lambda,
+            Region::Triode,
+        )
+    } else {
+        let fac = 1.0 + lambda * vds;
+        let core = 0.5 * vov * vov;
+        (
+            beta * core * fac,
+            beta * vov * fac,
+            beta * core * lambda,
+            Region::Saturation,
+        )
+    };
+    let gmbs = gm * card.gamma / (2.0 * sqrt_term);
+
+    // Map the current and derivatives back to actual terminals.
+    //
+    // In the primed space the channel current id_p flows from the primed drain
+    // to the primed source. The current into the *actual* drain terminal is
+    // `sgn·id_p` when not reversed and `-sgn·id_p` when reversed.
+    let id = if reversed { -sgn * id_p } else { sgn * id_p };
+
+    // Derivatives of id_p w.r.t. actual node voltages:
+    //   vgs' = sgn (vg − v_ref), vds' = sgn (v_other − v_ref), vbs' = sgn (vb − v_ref)
+    // so did_p/dvg = sgn·gm, did_p/dv_other = sgn·gds, did_p/dvb = sgn·gmbs,
+    // did_p/dv_ref = −sgn·(gm + gds + gmbs).
+    let sum = gm + gds + gmbs;
+    let (did_dvd, did_dvg, did_dvs, did_dvb) = if !reversed {
+        // id = sgn·id_p, v_other = vd, v_ref = vs.
+        (gds, gm, -sum, gmbs)
+    } else {
+        // id = −sgn·id_p, v_other = vs, v_ref = vd.
+        (sum, -gm, -gds, -gmbs)
+    };
+
+    // Capacitances.
+    let w = device.w * device.m;
+    let cox_total = card.cox * w * device.l;
+    let c_ov_gd = card.cgdo * w;
+    let c_ov_gs = card.cgso * w;
+    let (mut cgs, mut cgd, cgb) = match region {
+        Region::Cutoff => (c_ov_gs, c_ov_gd, cox_total),
+        Region::Triode => (0.5 * cox_total + c_ov_gs, 0.5 * cox_total + c_ov_gd, 0.0),
+        Region::Saturation => ((2.0 / 3.0) * cox_total + c_ov_gs, c_ov_gd, 0.0),
+    };
+    if reversed {
+        std::mem::swap(&mut cgs, &mut cgd);
+    }
+    let cj_area = card.cj * w * JUNCTION_EXTENSION;
+
+    MosfetEval {
+        id,
+        did_dvd,
+        did_dvg,
+        did_dvs,
+        did_dvb,
+        gm,
+        gds,
+        gmbs,
+        vth,
+        vov,
+        region,
+        cgs,
+        cgd,
+        cgb,
+        cdb: cj_area,
+        csb: cj_area,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ayb_circuit::{Mosfet, MosfetModelCard, NodeId};
+
+    fn nmos_instance(w: f64, l: f64) -> Mosfet {
+        Mosfet::new(
+            NodeId::GROUND,
+            NodeId::GROUND,
+            NodeId::GROUND,
+            NodeId::GROUND,
+            "nmos",
+            w,
+            l,
+        )
+    }
+
+    #[test]
+    fn nmos_saturation_current_matches_square_law() {
+        let card = MosfetModelCard::nmos_035um();
+        let dev = nmos_instance(10e-6, 1e-6);
+        // vgs = 1.0, vds = 2.0 (saturation), vbs = 0.
+        let eval = evaluate(&card, &dev, 2.0, 1.0, 0.0, 0.0);
+        assert_eq!(eval.region, Region::Saturation);
+        let beta = card.kp * 10.0;
+        let lambda = card.lambda * 1e-6 / 1e-6;
+        let vov: f64 = 1.0 - card.vto;
+        let expected = 0.5 * beta * vov.powi(2) * (1.0 + lambda * 2.0);
+        assert!((eval.id - expected).abs() / expected < 1e-12);
+        assert!(eval.gm > 0.0 && eval.gds > 0.0);
+    }
+
+    #[test]
+    fn cutoff_has_zero_current() {
+        let card = MosfetModelCard::nmos_035um();
+        let dev = nmos_instance(10e-6, 1e-6);
+        let eval = evaluate(&card, &dev, 1.0, 0.2, 0.0, 0.0);
+        assert_eq!(eval.region, Region::Cutoff);
+        assert_eq!(eval.id, 0.0);
+        assert_eq!(eval.gm, 0.0);
+    }
+
+    #[test]
+    fn triode_region_detected_and_continuous_with_saturation() {
+        let card = MosfetModelCard::nmos_035um();
+        let dev = nmos_instance(10e-6, 1e-6);
+        let vov = 1.0 - card.vto;
+        let just_below = evaluate(&card, &dev, vov - 1e-6, 1.0, 0.0, 0.0);
+        let just_above = evaluate(&card, &dev, vov + 1e-6, 1.0, 0.0, 0.0);
+        assert_eq!(just_below.region, Region::Triode);
+        assert_eq!(just_above.region, Region::Saturation);
+        assert!((just_below.id - just_above.id).abs() / just_above.id < 1e-3);
+    }
+
+    #[test]
+    fn pmos_conducts_with_negative_voltages() {
+        let card = MosfetModelCard::pmos_035um();
+        let mut dev = nmos_instance(20e-6, 1e-6);
+        dev.model = "pmos".to_string();
+        // Source at 3.3 V (VDD), gate at 2.0 V, drain at 1.0 V: |VGS| = 1.3 > |VTO|.
+        let eval = evaluate(&card, &dev, 1.0, 2.0, 3.3, 3.3);
+        assert_eq!(eval.region, Region::Saturation);
+        // Current flows out of the drain terminal (into the node), so id < 0.
+        assert!(eval.id < 0.0);
+        assert!(eval.gm > 0.0);
+    }
+
+    #[test]
+    fn drain_source_swap_gives_antisymmetric_current() {
+        let card = MosfetModelCard::nmos_035um();
+        let dev = nmos_instance(10e-6, 1e-6);
+        // Gate high enough that both orientations conduct in triode.
+        let fwd = evaluate(&card, &dev, 0.2, 2.0, 0.0, 0.0);
+        let rev = evaluate(&card, &dev, 0.0, 2.0, 0.2, 0.0);
+        assert!((fwd.id + rev.id).abs() < 1e-12, "fwd {} rev {}", fwd.id, rev.id);
+    }
+
+    #[test]
+    fn body_effect_raises_threshold() {
+        let card = MosfetModelCard::nmos_035um();
+        let dev = nmos_instance(10e-6, 1e-6);
+        let no_body = evaluate(&card, &dev, 2.0, 1.0, 0.0, 0.0);
+        let with_body = evaluate(&card, &dev, 3.0, 2.0, 1.0, 0.0);
+        assert!(with_body.vth > no_body.vth);
+        assert!(with_body.gmbs > 0.0);
+    }
+
+    #[test]
+    fn mismatch_fields_shift_current() {
+        let card = MosfetModelCard::nmos_035um();
+        let mut dev = nmos_instance(10e-6, 1e-6);
+        let nominal = evaluate(&card, &dev, 2.0, 1.0, 0.0, 0.0);
+        dev.delta_vto = 0.05;
+        let slow = evaluate(&card, &dev, 2.0, 1.0, 0.0, 0.0);
+        assert!(slow.id < nominal.id);
+        dev.delta_vto = 0.0;
+        dev.beta_mult = 1.1;
+        let fast = evaluate(&card, &dev, 2.0, 1.0, 0.0, 0.0);
+        assert!(fast.id > nominal.id);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let card = MosfetModelCard::nmos_035um();
+        let dev = nmos_instance(25e-6, 0.7e-6);
+        let (vd, vg, vs, vb) = (1.3, 1.1, 0.2, 0.0);
+        let base = evaluate(&card, &dev, vd, vg, vs, vb);
+        let h = 1e-7;
+        let num_dvd = (evaluate(&card, &dev, vd + h, vg, vs, vb).id - base.id) / h;
+        let num_dvg = (evaluate(&card, &dev, vd, vg + h, vs, vb).id - base.id) / h;
+        let num_dvs = (evaluate(&card, &dev, vd, vg, vs + h, vb).id - base.id) / h;
+        let num_dvb = (evaluate(&card, &dev, vd, vg, vs, vb + h).id - base.id) / h;
+        let check = |analytic: f64, numeric: f64| {
+            let scale = analytic.abs().max(numeric.abs()).max(1e-12);
+            assert!(
+                (analytic - numeric).abs() / scale < 1e-3,
+                "analytic {analytic} vs numeric {numeric}"
+            );
+        };
+        check(base.did_dvd, num_dvd);
+        check(base.did_dvg, num_dvg);
+        check(base.did_dvs, num_dvs);
+        check(base.did_dvb, num_dvb);
+    }
+
+    #[test]
+    fn saturation_capacitances_follow_two_thirds_rule() {
+        let card = MosfetModelCard::nmos_035um();
+        let dev = nmos_instance(10e-6, 1e-6);
+        let eval = evaluate(&card, &dev, 2.0, 1.0, 0.0, 0.0);
+        let cox_total = card.cox * 10e-6 * 1e-6;
+        assert!((eval.cgs - (2.0 / 3.0) * cox_total - card.cgso * 10e-6).abs() < 1e-18);
+        assert!((eval.cgd - card.cgdo * 10e-6).abs() < 1e-20);
+        assert!(eval.cdb > 0.0 && eval.csb > 0.0);
+    }
+}

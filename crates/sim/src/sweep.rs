@@ -1,0 +1,140 @@
+//! Frequency sweep specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// A frequency sweep for AC analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FrequencySweep {
+    /// Logarithmically spaced points between `start` and `stop` (inclusive)
+    /// with `points_per_decade` samples per decade.
+    Logarithmic {
+        /// Start frequency in hertz (must be positive).
+        start: f64,
+        /// Stop frequency in hertz (must exceed `start`).
+        stop: f64,
+        /// Points per decade (at least 1).
+        points_per_decade: usize,
+    },
+    /// Linearly spaced points between `start` and `stop` (inclusive).
+    Linear {
+        /// Start frequency in hertz.
+        start: f64,
+        /// Stop frequency in hertz.
+        stop: f64,
+        /// Total number of points (at least 2).
+        points: usize,
+    },
+    /// An explicit list of frequencies in hertz.
+    List(Vec<f64>),
+}
+
+impl FrequencySweep {
+    /// Convenience constructor for a logarithmic (decade) sweep.
+    pub fn logarithmic(start: f64, stop: f64, points_per_decade: usize) -> Self {
+        FrequencySweep::Logarithmic {
+            start,
+            stop,
+            points_per_decade,
+        }
+    }
+
+    /// Convenience constructor for a linear sweep.
+    pub fn linear(start: f64, stop: f64, points: usize) -> Self {
+        FrequencySweep::Linear { start, stop, points }
+    }
+
+    /// A single-frequency "sweep".
+    pub fn single(frequency: f64) -> Self {
+        FrequencySweep::List(vec![frequency])
+    }
+
+    /// An explicit list of frequencies.
+    pub fn list(frequencies: Vec<f64>) -> Self {
+        FrequencySweep::List(frequencies)
+    }
+
+    /// The default sweep used for OTA open-loop characterisation:
+    /// 1 Hz – 1 GHz at 10 points per decade.
+    pub fn ota_default() -> Self {
+        FrequencySweep::logarithmic(1.0, 1e9, 10)
+    }
+
+    /// Materialises the sweep into a list of frequencies in hertz.
+    ///
+    /// Invalid specifications (non-positive bounds for logarithmic sweeps,
+    /// reversed bounds, zero point counts) produce an empty list, which the
+    /// analysis code rejects with a descriptive error.
+    pub fn frequencies(&self) -> Vec<f64> {
+        match self {
+            FrequencySweep::Logarithmic {
+                start,
+                stop,
+                points_per_decade,
+            } => {
+                if *start <= 0.0 || *stop <= *start || *points_per_decade == 0 {
+                    return Vec::new();
+                }
+                let decades = (stop / start).log10();
+                let total = (decades * *points_per_decade as f64).ceil() as usize + 1;
+                (0..total)
+                    .map(|i| {
+                        let frac = i as f64 / (total - 1).max(1) as f64;
+                        start * 10f64.powf(frac * decades)
+                    })
+                    .collect()
+            }
+            FrequencySweep::Linear { start, stop, points } => {
+                if *points < 2 || stop <= start {
+                    return Vec::new();
+                }
+                (0..*points)
+                    .map(|i| start + (stop - start) * i as f64 / (*points - 1) as f64)
+                    .collect()
+            }
+            FrequencySweep::List(list) => list.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logarithmic_sweep_covers_range_inclusively() {
+        let freqs = FrequencySweep::logarithmic(1.0, 1e3, 10).frequencies();
+        assert!((freqs[0] - 1.0).abs() < 1e-12);
+        assert!((freqs.last().unwrap() - 1e3).abs() / 1e3 < 1e-9);
+        assert_eq!(freqs.len(), 31);
+        assert!(freqs.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn linear_sweep_is_evenly_spaced() {
+        let freqs = FrequencySweep::linear(0.0, 10.0, 11).frequencies();
+        assert_eq!(freqs.len(), 11);
+        assert!((freqs[5] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_specifications_yield_empty_lists() {
+        assert!(FrequencySweep::logarithmic(-1.0, 10.0, 5).frequencies().is_empty());
+        assert!(FrequencySweep::logarithmic(10.0, 1.0, 5).frequencies().is_empty());
+        assert!(FrequencySweep::linear(5.0, 1.0, 10).frequencies().is_empty());
+        assert!(FrequencySweep::linear(0.0, 1.0, 1).frequencies().is_empty());
+    }
+
+    #[test]
+    fn single_and_list_sweeps() {
+        assert_eq!(FrequencySweep::single(42.0).frequencies(), vec![42.0]);
+        let list = FrequencySweep::list(vec![1.0, 10.0]);
+        assert_eq!(list.frequencies().len(), 2);
+    }
+
+    #[test]
+    fn ota_default_spans_one_hertz_to_one_gigahertz() {
+        let freqs = FrequencySweep::ota_default().frequencies();
+        assert!((freqs[0] - 1.0).abs() < 1e-12);
+        assert!((freqs.last().unwrap() - 1e9).abs() / 1e9 < 1e-9);
+    }
+}

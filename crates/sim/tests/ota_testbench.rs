@@ -1,0 +1,73 @@
+//! Integration test: the paper's symmetrical OTA test bench simulates end to
+//! end (DC operating point + AC sweep) and produces performance numbers in the
+//! range the paper reports (gain around 50 dB, phase margin around 70–80°).
+
+use ayb_circuit::ota::{build_open_loop_testbench, OtaParameters, OtaTestbenchConfig};
+use ayb_sim::{ac_analysis, dc_operating_point, measure, DcOptions, FrequencySweep, Region};
+
+#[test]
+fn nominal_ota_biases_with_all_devices_saturated_or_triode() {
+    let tb = build_open_loop_testbench(&OtaParameters::nominal(), &OtaTestbenchConfig::new())
+        .expect("test bench builds");
+    let op = dc_operating_point(&tb, &DcOptions::new()).expect("dc converges");
+    // The servo loop must place the output near the input common mode.
+    let vout = op.voltage_by_name(&tb, "out").unwrap();
+    assert!(
+        (0.3..3.0).contains(&vout),
+        "output common mode {vout} outside supply range"
+    );
+    // All mirror devices should carry current.
+    for name in ["xota.m3", "xota.m4", "xota.m5", "xota.m6", "xota.m9", "xota.m10"] {
+        let dev = op.mosfet_op(name).unwrap_or_else(|| panic!("missing {name}"));
+        assert_ne!(dev.region, Region::Cutoff, "{name} is cut off");
+        assert!(dev.id.abs() > 1e-7, "{name} carries no current: {}", dev.id);
+    }
+}
+
+#[test]
+fn nominal_ota_gain_and_phase_margin_are_in_paper_range() {
+    let tb = build_open_loop_testbench(&OtaParameters::nominal(), &OtaTestbenchConfig::new())
+        .expect("test bench builds");
+    let op = dc_operating_point(&tb, &DcOptions::new()).expect("dc converges");
+    let ac = ac_analysis(&tb, &op, &FrequencySweep::ota_default()).expect("ac runs");
+    let response = ac.response_by_name(&tb, "out").unwrap();
+    let m = measure::measure(ac.frequencies(), &response).expect("measurable");
+    // The paper's OTA candidates span roughly 49–52 dB gain and 73–77° phase
+    // margin; our Level-1 substrate should land in a broadly similar region.
+    assert!(
+        (30.0..80.0).contains(&m.dc_gain_db),
+        "open-loop gain {} dB out of range",
+        m.dc_gain_db
+    );
+    let pm = m.phase_margin_deg.expect("gain crosses 0 dB inside sweep");
+    assert!((20.0..120.0).contains(&pm), "phase margin {pm} deg out of range");
+    assert!(m.unity_gain_hz.unwrap() > 1e5, "unity-gain frequency too low");
+}
+
+#[test]
+fn longer_output_devices_increase_gain() {
+    // In the symmetrical OTA the open-loop gain is B·gm1/(gds_M5 + gds_M9);
+    // the output conductances scale as 1/L, so lengthening the output devices
+    // (l1 for the PMOS mirror, l2 for the NMOS mirror) must raise the gain.
+    let config = OtaTestbenchConfig::new();
+    let mut short = OtaParameters::nominal();
+    short.l1 = 0.5e-6;
+    short.l2 = 0.5e-6;
+    let mut long = OtaParameters::nominal();
+    long.l1 = 2.0e-6;
+    long.l2 = 2.0e-6;
+
+    let gain_of = |params: &OtaParameters| {
+        let tb = build_open_loop_testbench(params, &config).unwrap();
+        let op = dc_operating_point(&tb, &DcOptions::new()).unwrap();
+        let ac = ac_analysis(&tb, &op, &FrequencySweep::logarithmic(1.0, 1e4, 5)).unwrap();
+        let response = ac.response_by_name(&tb, "out").unwrap();
+        measure::dc_gain_db(&response)
+    };
+    let g_short = gain_of(&short);
+    let g_long = gain_of(&long);
+    assert!(
+        g_long > g_short + 3.0,
+        "expected gain to grow with output device length: {g_short} dB vs {g_long} dB"
+    );
+}

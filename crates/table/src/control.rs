@@ -1,0 +1,219 @@
+//! `$table_model()` control strings.
+//!
+//! Verilog-A encodes the interpolation and extrapolation behaviour of each
+//! table dimension in a compact control string such as `"3E"` (cubic spline,
+//! error on extrapolation) or `"1L,1L"` (two dimensions, both linear with
+//! linear extrapolation). The paper uses `"3E"` / `"3E,3E"` throughout: cubic
+//! spline interpolation with **no** extrapolation so the model never guesses
+//! beyond its sampled data (§3.5).
+
+use crate::error::{Result, TableError};
+use serde::{Deserialize, Serialize};
+
+/// Interpolation degree of one table dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Interpolation {
+    /// Degree-1 (piecewise linear).
+    Linear,
+    /// Degree-2 (piecewise quadratic).
+    Quadratic,
+    /// Degree-3 (cubic spline) — the paper's choice.
+    CubicSpline,
+}
+
+impl Interpolation {
+    /// Numeric degree (1, 2 or 3).
+    pub fn degree(self) -> u8 {
+        match self {
+            Interpolation::Linear => 1,
+            Interpolation::Quadratic => 2,
+            Interpolation::CubicSpline => 3,
+        }
+    }
+
+    /// Minimum number of samples required along a dimension.
+    pub fn min_points(self) -> usize {
+        match self {
+            Interpolation::Linear => 2,
+            Interpolation::Quadratic => 3,
+            Interpolation::CubicSpline => 3,
+        }
+    }
+}
+
+/// Extrapolation behaviour of one table dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Extrapolation {
+    /// `E` — out-of-range queries are an error (no extrapolation). Paper default.
+    Error,
+    /// `C` — clamp to the nearest table value (constant extrapolation).
+    Clamp,
+    /// `L` — extend the boundary segment linearly.
+    Linear,
+}
+
+/// Per-dimension control: interpolation degree plus extrapolation behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DimensionControl {
+    /// Interpolation method along this dimension.
+    pub interpolation: Interpolation,
+    /// Extrapolation behaviour along this dimension.
+    pub extrapolation: Extrapolation,
+}
+
+impl DimensionControl {
+    /// The paper's default: cubic spline, no extrapolation (`"3E"`).
+    pub fn paper_default() -> Self {
+        DimensionControl {
+            interpolation: Interpolation::CubicSpline,
+            extrapolation: Extrapolation::Error,
+        }
+    }
+}
+
+impl Default for DimensionControl {
+    fn default() -> Self {
+        DimensionControl::paper_default()
+    }
+}
+
+/// Parsed control string: one [`DimensionControl`] per table dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControlString {
+    dimensions: Vec<DimensionControl>,
+}
+
+impl ControlString {
+    /// Parses a control string such as `"3E"`, `"1L,2C"` or `"3E,3E"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::ControlString`] for empty strings, unknown degree
+    /// digits or unknown extrapolation letters.
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut dimensions = Vec::new();
+        for part in text.split(',') {
+            let token = part.trim();
+            if token.is_empty() {
+                return Err(TableError::ControlString(text.to_string()));
+            }
+            let mut chars = token.chars();
+            let degree = chars.next().unwrap();
+            let interpolation = match degree {
+                '1' => Interpolation::Linear,
+                '2' => Interpolation::Quadratic,
+                '3' => Interpolation::CubicSpline,
+                _ => return Err(TableError::ControlString(text.to_string())),
+            };
+            let extrapolation = match chars.next() {
+                None | Some('E') | Some('e') => Extrapolation::Error,
+                Some('C') | Some('c') => Extrapolation::Clamp,
+                Some('L') | Some('l') => Extrapolation::Linear,
+                Some(_) => return Err(TableError::ControlString(text.to_string())),
+            };
+            if chars.next().is_some() {
+                return Err(TableError::ControlString(text.to_string()));
+            }
+            dimensions.push(DimensionControl {
+                interpolation,
+                extrapolation,
+            });
+        }
+        if dimensions.is_empty() {
+            return Err(TableError::ControlString(text.to_string()));
+        }
+        Ok(ControlString { dimensions })
+    }
+
+    /// Number of dimensions described by the control string.
+    pub fn len(&self) -> usize {
+        self.dimensions.len()
+    }
+
+    /// Returns `true` when the control string has no dimensions (never true
+    /// for successfully parsed strings).
+    pub fn is_empty(&self) -> bool {
+        self.dimensions.is_empty()
+    }
+
+    /// Control of dimension `index`.
+    pub fn dimension(&self, index: usize) -> Option<DimensionControl> {
+        self.dimensions.get(index).copied()
+    }
+
+    /// Iterates over the per-dimension controls.
+    pub fn iter(&self) -> impl Iterator<Item = &DimensionControl> {
+        self.dimensions.iter()
+    }
+}
+
+impl std::fmt::Display for ControlString {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> = self
+            .dimensions
+            .iter()
+            .map(|d| {
+                let e = match d.extrapolation {
+                    Extrapolation::Error => "E",
+                    Extrapolation::Clamp => "C",
+                    Extrapolation::Linear => "L",
+                };
+                format!("{}{}", d.interpolation.degree(), e)
+            })
+            .collect();
+        write!(f, "{}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_control_strings() {
+        let c = ControlString::parse("3E").unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.dimension(0).unwrap(), DimensionControl::paper_default());
+
+        let c = ControlString::parse("3E,3E").unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.iter().all(|d| d.interpolation == Interpolation::CubicSpline));
+    }
+
+    #[test]
+    fn parses_mixed_degrees_and_extrapolation() {
+        let c = ControlString::parse("1L,2C").unwrap();
+        assert_eq!(c.dimension(0).unwrap().interpolation, Interpolation::Linear);
+        assert_eq!(c.dimension(0).unwrap().extrapolation, Extrapolation::Linear);
+        assert_eq!(c.dimension(1).unwrap().interpolation, Interpolation::Quadratic);
+        assert_eq!(c.dimension(1).unwrap().extrapolation, Extrapolation::Clamp);
+        // Degree alone defaults to no extrapolation.
+        let c = ControlString::parse("2").unwrap();
+        assert_eq!(c.dimension(0).unwrap().extrapolation, Extrapolation::Error);
+    }
+
+    #[test]
+    fn rejects_invalid_strings() {
+        assert!(ControlString::parse("").is_err());
+        assert!(ControlString::parse("4E").is_err());
+        assert!(ControlString::parse("3X").is_err());
+        assert!(ControlString::parse("3EE").is_err());
+        assert!(ControlString::parse("3E,,3E").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for text in ["3E", "1L,2C", "3C,3E"] {
+            let c = ControlString::parse(text).unwrap();
+            assert_eq!(c.to_string(), text);
+            assert!(!c.is_empty());
+        }
+    }
+
+    #[test]
+    fn interpolation_metadata() {
+        assert_eq!(Interpolation::Linear.min_points(), 2);
+        assert_eq!(Interpolation::CubicSpline.min_points(), 3);
+        assert_eq!(Interpolation::Quadratic.degree(), 2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types for table models.
+
+use std::fmt;
+
+/// Errors produced while building or evaluating table models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableError {
+    /// Fewer data points than the interpolation order requires.
+    NotEnoughPoints {
+        /// Points supplied.
+        got: usize,
+        /// Minimum required.
+        needed: usize,
+    },
+    /// The abscissa values are not strictly increasing.
+    NotMonotonic {
+        /// Index at which monotonicity is violated.
+        index: usize,
+    },
+    /// A query point lies outside the table and extrapolation is disabled.
+    OutOfRange {
+        /// Query value.
+        value: f64,
+        /// Table lower bound.
+        lower: f64,
+        /// Table upper bound.
+        upper: f64,
+    },
+    /// A `$table_model` control string could not be parsed.
+    ControlString(String),
+    /// A `.tbl` data file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// Mismatched column counts or dimensions.
+    Dimension(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::NotEnoughPoints { got, needed } => {
+                write!(f, "need at least {needed} data points, got {got}")
+            }
+            TableError::NotMonotonic { index } => {
+                write!(f, "abscissa values must be strictly increasing (violation at index {index})")
+            }
+            TableError::OutOfRange { value, lower, upper } => write!(
+                f,
+                "query {value} outside table range [{lower}, {upper}] and extrapolation is disabled"
+            ),
+            TableError::ControlString(s) => write!(f, "invalid control string `{s}`"),
+            TableError::Parse { line, reason } => {
+                write!(f, "table file parse error at line {line}: {reason}")
+            }
+            TableError::Dimension(reason) => write!(f, "dimension mismatch: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// Convenience result alias for table operations.
+pub type Result<T> = std::result::Result<T, TableError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_values() {
+        let err = TableError::OutOfRange {
+            value: 5.0,
+            lower: 0.0,
+            upper: 1.0,
+        };
+        assert!(err.to_string().contains('5'));
+        let err = TableError::NotEnoughPoints { got: 1, needed: 4 };
+        assert!(err.to_string().contains('4'));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<TableError>();
+    }
+}

@@ -1,0 +1,200 @@
+//! `.tbl` data-file format.
+//!
+//! The paper's flow stores the performance and variation models in plain text
+//! data files that the Verilog-A `$table_model()` function reads
+//! (`"gain_delta.tbl"`, `"lp1_data.tbl"`, ...). The format implemented here is
+//! the same whitespace-separated layout: one sample per line, the final column
+//! is the output, preceding columns are the inputs; `#` and `*` start comments.
+
+use crate::error::{Result, TableError};
+use serde::{Deserialize, Serialize};
+
+/// In-memory representation of a `.tbl` data file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableFile {
+    /// Number of input columns (1 or more).
+    pub inputs: usize,
+    /// Rows of `inputs + 1` values each.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl TableFile {
+    /// Creates a table file with the given number of input columns.
+    pub fn new(inputs: usize) -> Self {
+        TableFile {
+            inputs,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error if the row does not have `inputs + 1` entries.
+    pub fn push_row(&mut self, row: Vec<f64>) -> Result<()> {
+        if row.len() != self.inputs + 1 {
+            return Err(TableError::Dimension(format!(
+                "expected {} columns, got {}",
+                self.inputs + 1,
+                row.len()
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when no rows are present.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Extracts column `index` (0-based, spanning inputs then output).
+    pub fn column(&self, index: usize) -> Vec<f64> {
+        self.rows.iter().map(|r| r[index]).collect()
+    }
+
+    /// The output (last) column.
+    pub fn output_column(&self) -> Vec<f64> {
+        self.column(self.inputs)
+    }
+
+    /// Serialises to `.tbl` text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# ayb table file: {} input column(s), {} row(s)\n",
+            self.inputs,
+            self.rows.len()
+        ));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:.12e}")).collect();
+            out.push_str(&cells.join(" "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses `.tbl` text with `inputs` input columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error naming the offending line for malformed numbers
+    /// or wrong column counts.
+    pub fn from_text(text: &str, inputs: usize) -> Result<Self> {
+        let mut file = TableFile::new(inputs);
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with('*') {
+                continue;
+            }
+            let cells: std::result::Result<Vec<f64>, _> =
+                line.split_whitespace().map(str::parse::<f64>).collect();
+            let cells = cells.map_err(|e| TableError::Parse {
+                line: idx + 1,
+                reason: format!("invalid number: {e}"),
+            })?;
+            file.push_row(cells).map_err(|e| TableError::Parse {
+                line: idx + 1,
+                reason: e.to_string(),
+            })?;
+        }
+        Ok(file)
+    }
+
+    /// Writes the table to a file on disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error wrapping the underlying I/O failure.
+    pub fn write_to(&self, path: &std::path::Path) -> Result<()> {
+        std::fs::write(path, self.to_text()).map_err(|e| TableError::Parse {
+            line: 0,
+            reason: format!("failed to write {}: {e}", path.display()),
+        })
+    }
+
+    /// Reads a table file from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error for I/O failures or malformed content.
+    pub fn read_from(path: &std::path::Path, inputs: usize) -> Result<Self> {
+        let text = std::fs::read_to_string(path).map_err(|e| TableError::Parse {
+            line: 0,
+            reason: format!("failed to read {}: {e}", path.display()),
+        })?;
+        TableFile::from_text(&text, inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_text() {
+        let mut f = TableFile::new(2);
+        f.push_row(vec![50.0, 76.0, 0.51]).unwrap();
+        f.push_row(vec![51.0, 74.0, 0.42]).unwrap();
+        let text = f.to_text();
+        let back = TableFile::from_text(&text, 2).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!((back.rows[0][2] - 0.51).abs() < 1e-12);
+        assert_eq!(back.output_column(), vec![0.51, 0.42]);
+        assert_eq!(back.column(0), vec![50.0, 51.0]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# comment\n\n* another comment\n1.0 2.0\n3.0 4.0\n";
+        let f = TableFile::from_text(text, 1).unwrap();
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn wrong_column_count_is_reported_with_line_number() {
+        let text = "1.0 2.0 3.0\n1.0 2.0\n";
+        let err = TableFile::from_text(text, 2).unwrap_err();
+        match err {
+            TableError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn malformed_numbers_are_reported() {
+        let text = "1.0 abc\n";
+        assert!(matches!(
+            TableFile::from_text(text, 1),
+            Err(TableError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn push_row_validates_width() {
+        let mut f = TableFile::new(1);
+        assert!(f.push_row(vec![1.0]).is_err());
+        assert!(f.push_row(vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn disk_roundtrip() {
+        let dir = std::env::temp_dir().join("ayb_table_file_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gain_delta.tbl");
+        let mut f = TableFile::new(1);
+        f.push_row(vec![49.78, 0.52]).unwrap();
+        f.push_row(vec![50.17, 0.51]).unwrap();
+        f.write_to(&path).unwrap();
+        let back = TableFile::read_from(&path, 1).unwrap();
+        assert_eq!(back.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

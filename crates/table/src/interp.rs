@@ -1,0 +1,135 @@
+//! Piecewise linear and quadratic interpolation.
+//!
+//! Verilog-A's `$table_model()` supports three interpolation degrees (linear,
+//! quadratic, cubic spline — paper §2.2). Cubic splines live in
+//! [`crate::spline`]; this module provides the two lower-order methods so the
+//! accuracy/complexity trade-off the paper mentions can be reproduced in the
+//! ablation benchmarks.
+
+use crate::error::{Result, TableError};
+
+fn validate(x: &[f64], y: &[f64], needed: usize) -> Result<()> {
+    if x.len() != y.len() {
+        return Err(TableError::Dimension(format!(
+            "x has {} samples but y has {}",
+            x.len(),
+            y.len()
+        )));
+    }
+    if x.len() < needed {
+        return Err(TableError::NotEnoughPoints {
+            got: x.len(),
+            needed,
+        });
+    }
+    for i in 1..x.len() {
+        if x[i] <= x[i - 1] {
+            return Err(TableError::NotMonotonic { index: i });
+        }
+    }
+    Ok(())
+}
+
+/// Index of the interval `[x_i, x_{i+1}]` containing `q` (clamped to valid intervals).
+fn interval_index(x: &[f64], q: f64) -> usize {
+    if q <= x[0] {
+        return 0;
+    }
+    if q >= x[x.len() - 1] {
+        return x.len() - 2;
+    }
+    match x.binary_search_by(|k| k.partial_cmp(&q).unwrap_or(std::cmp::Ordering::Less)) {
+        Ok(i) => i.min(x.len() - 2),
+        Err(i) => (i - 1).min(x.len() - 2),
+    }
+}
+
+/// Piecewise-linear interpolation of `(x, y)` at `q`.
+///
+/// Outside the data range the end segments are extended (linear extrapolation).
+///
+/// # Errors
+///
+/// Returns an error if fewer than two points are supplied or `x` is not
+/// strictly increasing.
+pub fn linear(x: &[f64], y: &[f64], q: f64) -> Result<f64> {
+    validate(x, y, 2)?;
+    let i = interval_index(x, q);
+    let t = (q - x[i]) / (x[i + 1] - x[i]);
+    Ok(y[i] + t * (y[i + 1] - y[i]))
+}
+
+/// Piecewise-quadratic interpolation of `(x, y)` at `q`.
+///
+/// Each query uses the Lagrange parabola through the three nearest samples.
+///
+/// # Errors
+///
+/// Returns an error if fewer than three points are supplied or `x` is not
+/// strictly increasing.
+pub fn quadratic(x: &[f64], y: &[f64], q: f64) -> Result<f64> {
+    validate(x, y, 3)?;
+    let i = interval_index(x, q);
+    // Choose a centred three-point stencil.
+    let start = if i == 0 {
+        0
+    } else if i + 2 >= x.len() {
+        x.len() - 3
+    } else if (q - x[i]).abs() < (x[i + 1] - q).abs() {
+        i - 1
+    } else {
+        i
+    };
+    let (x0, x1, x2) = (x[start], x[start + 1], x[start + 2]);
+    let (y0, y1, y2) = (y[start], y[start + 1], y[start + 2]);
+    let l0 = (q - x1) * (q - x2) / ((x0 - x1) * (x0 - x2));
+    let l1 = (q - x0) * (q - x2) / ((x1 - x0) * (x1 - x2));
+    let l2 = (q - x0) * (q - x1) / ((x2 - x0) * (x2 - x1));
+    Ok(y0 * l0 + y1 * l1 + y2 * l2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_hits_samples_and_midpoints() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [0.0, 10.0, 20.0];
+        assert_eq!(linear(&x, &y, 1.0).unwrap(), 10.0);
+        assert_eq!(linear(&x, &y, 0.5).unwrap(), 5.0);
+        assert_eq!(linear(&x, &y, 1.75).unwrap(), 17.5);
+        // Linear extrapolation beyond the ends.
+        assert_eq!(linear(&x, &y, 3.0).unwrap(), 30.0);
+        assert_eq!(linear(&x, &y, -1.0).unwrap(), -10.0);
+    }
+
+    #[test]
+    fn quadratic_reproduces_parabola_exactly() {
+        let x: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v * v - 3.0 * v + 1.0).collect();
+        for q in [0.3, 1.7, 2.5, 4.9] {
+            let expected = 2.0 * q * q - 3.0 * q + 1.0;
+            assert!((quadratic(&x, &y, q).unwrap() - expected).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn quadratic_is_more_accurate_than_linear_on_curved_data() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64 * 0.5).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+        let q: f64 = 2.26;
+        let exact = q.exp();
+        let lin_err = (linear(&x, &y, q).unwrap() - exact).abs();
+        let quad_err = (quadratic(&x, &y, q).unwrap() - exact).abs();
+        assert!(quad_err < lin_err);
+    }
+
+    #[test]
+    fn errors_for_bad_input() {
+        assert!(linear(&[1.0], &[1.0], 0.5).is_err());
+        assert!(quadratic(&[1.0, 2.0], &[1.0, 2.0], 1.5).is_err());
+        assert!(linear(&[0.0, 0.0, 1.0], &[1.0, 2.0, 3.0], 0.5).is_err());
+        assert!(linear(&[0.0, 1.0], &[1.0], 0.5).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! # ayb-table — spline interpolation and Verilog-A style table models
+//!
+//! This crate reproduces the table-model machinery the paper builds its
+//! behavioural models on (§2.2, §3.5):
+//!
+//! * [`CubicSpline`] — natural cubic splines (paper eq. 3),
+//! * [`interp`] — the lower-order (linear / quadratic) alternatives,
+//! * [`Table1d`] / [`Table2d`] — one- and two-input lookup tables with
+//!   configurable interpolation and extrapolation,
+//! * [`ControlString`] — `$table_model()` control strings such as `"3E"`,
+//! * [`TableFile`] — the plain-text `.tbl` data-file format,
+//! * [`TableModel`] — the `$table_model()` equivalent tying all of it together.
+//!
+//! # Examples
+//!
+//! Building the paper's `gain_delta` lookup:
+//!
+//! ```
+//! use ayb_table::{TableFile, TableModel};
+//!
+//! # fn main() -> Result<(), ayb_table::TableError> {
+//! let mut file = TableFile::new(1);
+//! // (gain [dB], delta gain [%]) pairs, like Table 2 of the paper.
+//! file.push_row(vec![49.78, 0.52])?;
+//! file.push_row(vec![49.98, 0.51])?;
+//! file.push_row(vec![50.35, 0.50])?;
+//! file.push_row(vec![51.06, 0.44])?;
+//! file.push_row(vec![51.62, 0.42])?;
+//!
+//! let gain_delta = TableModel::from_file_with_control(&file, "3E")?;
+//! let delta_at_50db = gain_delta.lookup(&[50.0])?;
+//! assert!(delta_at_50db > 0.4 && delta_at_50db < 0.6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod control;
+pub mod error;
+pub mod file;
+pub mod interp;
+pub mod spline;
+pub mod table1d;
+pub mod table2d;
+pub mod tablemodel;
+
+pub use control::{ControlString, DimensionControl, Extrapolation, Interpolation};
+pub use error::{Result, TableError};
+pub use file::TableFile;
+pub use spline::{CubicSpline, Segment};
+pub use table1d::Table1d;
+pub use table2d::Table2d;
+pub use tablemodel::TableModel;

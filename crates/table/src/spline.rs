@@ -1,0 +1,263 @@
+//! Natural cubic spline interpolation.
+//!
+//! The paper's behavioural model uses cubic-spline `$table_model()` lookups
+//! ("3E" control strings, §2.2/§3.5): each interval `[x_i, x_{i+1}]` carries a
+//! third-degree polynomial
+//!
+//! ```text
+//! S_i(x) = a_i (x − x_i)³ + b_i (x − x_i)² + c_i (x − x_i) + d_i      (paper eq. 3)
+//! ```
+//!
+//! with coefficients chosen so the curve passes through every data point with
+//! continuous first and second derivatives, and zero second derivative at the
+//! end points (the "natural" boundary condition).
+
+use crate::error::{Result, TableError};
+use serde::{Deserialize, Serialize};
+
+/// Coefficients of one cubic segment (paper eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Cubic coefficient `a_i`.
+    pub a: f64,
+    /// Quadratic coefficient `b_i`.
+    pub b: f64,
+    /// Linear coefficient `c_i`.
+    pub c: f64,
+    /// Constant coefficient `d_i` (the sample value at `x_i`).
+    pub d: f64,
+    /// Left knot `x_i`.
+    pub x: f64,
+}
+
+impl Segment {
+    /// Evaluates the segment polynomial at `x`.
+    pub fn value(&self, x: f64) -> f64 {
+        let dx = x - self.x;
+        ((self.a * dx + self.b) * dx + self.c) * dx + self.d
+    }
+
+    /// Evaluates the segment derivative at `x`.
+    pub fn derivative(&self, x: f64) -> f64 {
+        let dx = x - self.x;
+        (3.0 * self.a * dx + 2.0 * self.b) * dx + self.c
+    }
+}
+
+/// A natural cubic spline through a set of strictly increasing knots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CubicSpline {
+    knots: Vec<f64>,
+    values: Vec<f64>,
+    segments: Vec<Segment>,
+}
+
+impl CubicSpline {
+    /// Fits a natural cubic spline to `(x, y)` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than three samples are given, the lengths
+    /// differ, or `x` is not strictly increasing.
+    pub fn fit(x: &[f64], y: &[f64]) -> Result<Self> {
+        if x.len() != y.len() {
+            return Err(TableError::Dimension(format!(
+                "x has {} samples but y has {}",
+                x.len(),
+                y.len()
+            )));
+        }
+        if x.len() < 3 {
+            return Err(TableError::NotEnoughPoints {
+                got: x.len(),
+                needed: 3,
+            });
+        }
+        for i in 1..x.len() {
+            if x[i] <= x[i - 1] {
+                return Err(TableError::NotMonotonic { index: i });
+            }
+        }
+        let n = x.len();
+        let h: Vec<f64> = (0..n - 1).map(|i| x[i + 1] - x[i]).collect();
+
+        // Solve the tridiagonal system for the second derivatives m_i
+        // (natural boundary: m_0 = m_{n-1} = 0) using the Thomas algorithm.
+        let mut sub = vec![0.0; n];
+        let mut diag = vec![1.0; n];
+        let mut sup = vec![0.0; n];
+        let mut rhs = vec![0.0; n];
+        for i in 1..n - 1 {
+            sub[i] = h[i - 1];
+            diag[i] = 2.0 * (h[i - 1] + h[i]);
+            sup[i] = h[i];
+            rhs[i] = 6.0 * ((y[i + 1] - y[i]) / h[i] - (y[i] - y[i - 1]) / h[i - 1]);
+        }
+        // Forward elimination.
+        for i in 1..n {
+            let w = sub[i] / diag[i - 1];
+            diag[i] -= w * sup[i - 1];
+            rhs[i] -= w * rhs[i - 1];
+        }
+        // Back substitution.
+        let mut m = vec![0.0; n];
+        m[n - 1] = rhs[n - 1] / diag[n - 1];
+        for i in (0..n - 1).rev() {
+            m[i] = (rhs[i] - sup[i] * m[i + 1]) / diag[i];
+        }
+
+        let segments = (0..n - 1)
+            .map(|i| Segment {
+                a: (m[i + 1] - m[i]) / (6.0 * h[i]),
+                b: m[i] / 2.0,
+                c: (y[i + 1] - y[i]) / h[i] - h[i] * (2.0 * m[i] + m[i + 1]) / 6.0,
+                d: y[i],
+                x: x[i],
+            })
+            .collect();
+        Ok(CubicSpline {
+            knots: x.to_vec(),
+            values: y.to_vec(),
+            segments,
+        })
+    }
+
+    /// Domain of the spline `[x_first, x_last]`.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.knots[0], *self.knots.last().unwrap())
+    }
+
+    /// The fitted segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    fn segment_index(&self, x: f64) -> usize {
+        match self
+            .knots
+            .binary_search_by(|k| k.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Less))
+        {
+            Ok(i) => i.min(self.segments.len() - 1),
+            Err(i) => i.saturating_sub(1).min(self.segments.len() - 1),
+        }
+    }
+
+    /// Evaluates the spline at `x` (clamping to the end segments outside the domain).
+    pub fn value(&self, x: f64) -> f64 {
+        self.segments[self.segment_index(x)].value(x)
+    }
+
+    /// Evaluates the spline derivative at `x`.
+    pub fn derivative(&self, x: f64) -> f64 {
+        self.segments[self.segment_index(x)].derivative(x)
+    }
+
+    /// Evaluates the spline only inside its domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::OutOfRange`] outside the knot span; this is the
+    /// behaviour of the paper's "no extrapolation" control strings.
+    pub fn value_strict(&self, x: f64) -> Result<f64> {
+        let (lo, hi) = self.domain();
+        if x < lo || x > hi {
+            return Err(TableError::OutOfRange {
+                value: x,
+                lower: lo,
+                upper: hi,
+            });
+        }
+        Ok(self.value(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_knots_exactly() {
+        let x = [0.0, 1.0, 2.5, 4.0, 5.0];
+        let y = [1.0, 2.0, 0.5, 3.0, 2.0];
+        let s = CubicSpline::fit(&x, &y).unwrap();
+        for (xi, yi) in x.iter().zip(y.iter()) {
+            assert!((s.value(*xi) - yi).abs() < 1e-12);
+        }
+        assert_eq!(s.segments().len(), 4);
+    }
+
+    #[test]
+    fn reproduces_smooth_function_between_knots() {
+        // sin(x) sampled coarsely: spline error should be well under 1e-2.
+        let x: Vec<f64> = (0..=20).map(|i| i as f64 * 0.25).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.sin()).collect();
+        let s = CubicSpline::fit(&x, &y).unwrap();
+        for i in 0..200 {
+            let q = 0.05 + i as f64 * 0.024;
+            assert!((s.value(q) - q.sin()).abs() < 2e-3, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn derivative_approximates_cosine() {
+        let x: Vec<f64> = (0..=40).map(|i| i as f64 * 0.125).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.sin()).collect();
+        let s = CubicSpline::fit(&x, &y).unwrap();
+        for i in 1..39 {
+            let q = i as f64 * 0.125 + 0.06;
+            assert!((s.derivative(q) - q.cos()).abs() < 5e-3);
+        }
+    }
+
+    #[test]
+    fn continuity_of_value_and_first_derivative_at_knots() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let y = [0.0, 1.0, 0.0, -1.0, 0.0];
+        let s = CubicSpline::fit(&x, &y).unwrap();
+        for i in 1..4 {
+            let left = s.segments()[i - 1];
+            let right = s.segments()[i];
+            let xk = x[i];
+            assert!((left.value(xk) - right.value(xk)).abs() < 1e-10);
+            assert!((left.derivative(xk) - right.derivative(xk)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn strict_evaluation_rejects_out_of_range() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [0.0, 1.0, 4.0];
+        let s = CubicSpline::fit(&x, &y).unwrap();
+        assert!(s.value_strict(1.5).is_ok());
+        assert!(matches!(
+            s.value_strict(2.5),
+            Err(TableError::OutOfRange { .. })
+        ));
+        assert!(s.value_strict(-0.1).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            CubicSpline::fit(&[0.0, 1.0], &[0.0, 1.0]),
+            Err(TableError::NotEnoughPoints { .. })
+        ));
+        assert!(matches!(
+            CubicSpline::fit(&[0.0, 1.0, 1.0], &[0.0, 1.0, 2.0]),
+            Err(TableError::NotMonotonic { .. })
+        ));
+        assert!(matches!(
+            CubicSpline::fit(&[0.0, 1.0, 2.0], &[0.0, 1.0]),
+            Err(TableError::Dimension(_))
+        ));
+    }
+
+    #[test]
+    fn natural_boundary_has_zero_second_derivative_at_ends() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [0.0, 2.0, 1.0, 3.0];
+        let s = CubicSpline::fit(&x, &y).unwrap();
+        // Second derivative of the first segment at x=0 is 2·b_0, which must be 0.
+        assert!(s.segments()[0].b.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,286 @@
+//! One-dimensional table models.
+
+use crate::control::{DimensionControl, Extrapolation, Interpolation};
+use crate::error::{Result, TableError};
+use crate::interp;
+use crate::spline::CubicSpline;
+use serde::{Deserialize, Serialize};
+
+/// A one-dimensional lookup table with configurable interpolation and
+/// extrapolation, equivalent to a single-input Verilog-A `$table_model()`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1d {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    control: DimensionControl,
+    #[serde(skip)]
+    spline: Option<CubicSpline>,
+}
+
+impl Table1d {
+    /// Builds a table from `(x, y)` samples.
+    ///
+    /// The samples are sorted by `x`; duplicate abscissae are collapsed by
+    /// keeping the mean of their ordinates (measurement data from Monte Carlo
+    /// sweeps frequently contains repeated performance values).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer points remain than the interpolation method
+    /// requires.
+    pub fn new(x: &[f64], y: &[f64], control: DimensionControl) -> Result<Self> {
+        if x.len() != y.len() {
+            return Err(TableError::Dimension(format!(
+                "x has {} samples but y has {}",
+                x.len(),
+                y.len()
+            )));
+        }
+        let mut pairs: Vec<(f64, f64)> = x.iter().copied().zip(y.iter().copied()).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        // Collapse duplicates (within a tight relative tolerance).
+        let mut xs: Vec<f64> = Vec::with_capacity(pairs.len());
+        let mut ys: Vec<f64> = Vec::with_capacity(pairs.len());
+        let mut counts: Vec<usize> = Vec::with_capacity(pairs.len());
+        for (px, py) in pairs {
+            if let Some(last) = xs.last() {
+                let tol = 1e-12 * last.abs().max(1.0);
+                if (px - last).abs() <= tol {
+                    let idx = ys.len() - 1;
+                    let n = counts[idx] as f64;
+                    ys[idx] = (ys[idx] * n + py) / (n + 1.0);
+                    counts[idx] += 1;
+                    continue;
+                }
+            }
+            xs.push(px);
+            ys.push(py);
+            counts.push(1);
+        }
+        if xs.len() < control.interpolation.min_points() {
+            return Err(TableError::NotEnoughPoints {
+                got: xs.len(),
+                needed: control.interpolation.min_points(),
+            });
+        }
+        let spline = if control.interpolation == Interpolation::CubicSpline {
+            Some(CubicSpline::fit(&xs, &ys)?)
+        } else {
+            None
+        };
+        Ok(Table1d {
+            x: xs,
+            y: ys,
+            control,
+            spline,
+        })
+    }
+
+    /// Builds a cubic-spline table with the paper's default `"3E"` control.
+    pub fn cubic(x: &[f64], y: &[f64]) -> Result<Self> {
+        Table1d::new(x, y, DimensionControl::paper_default())
+    }
+
+    /// Number of (distinct) samples in the table.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Returns `true` if the table holds no samples (never true after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Table domain `[x_min, x_max]`.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.x[0], *self.x.last().unwrap())
+    }
+
+    /// Sampled abscissae.
+    pub fn x(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Sampled ordinates.
+    pub fn y(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// The control (interpolation + extrapolation) of this table.
+    pub fn control(&self) -> DimensionControl {
+        self.control
+    }
+
+    fn ensure_spline(&self) -> Result<CubicSpline> {
+        match &self.spline {
+            Some(s) => Ok(s.clone()),
+            None => CubicSpline::fit(&self.x, &self.y),
+        }
+    }
+
+    /// Looks the table up at `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::OutOfRange`] when `q` lies outside the table and
+    /// the extrapolation policy is [`Extrapolation::Error`].
+    pub fn lookup(&self, q: f64) -> Result<f64> {
+        let (lo, hi) = self.domain();
+        let inside = (lo..=hi).contains(&q);
+        let query = match self.control.extrapolation {
+            Extrapolation::Error if !inside => {
+                return Err(TableError::OutOfRange {
+                    value: q,
+                    lower: lo,
+                    upper: hi,
+                });
+            }
+            Extrapolation::Clamp => q.clamp(lo, hi),
+            _ => q,
+        };
+        match self.control.interpolation {
+            Interpolation::Linear => interp::linear(&self.x, &self.y, query),
+            Interpolation::Quadratic => interp::quadratic(&self.x, &self.y, query),
+            Interpolation::CubicSpline => {
+                let spline = self.ensure_spline()?;
+                Ok(spline.value(query))
+            }
+        }
+    }
+
+    /// Inverse lookup: finds `x` such that `lookup(x) ≈ target`.
+    ///
+    /// The table ordinates must be monotonic for the result to be unique; a
+    /// bisection search over the table domain is used. This supports the
+    /// paper's model-use step, where a *performance* value is used to recover
+    /// the *designable parameters* that produce it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::OutOfRange`] if `target` lies outside the range
+    /// of tabulated ordinates.
+    pub fn inverse_lookup(&self, target: f64) -> Result<f64> {
+        let (lo, hi) = self.domain();
+        let y_lo = self.lookup(lo)?;
+        let y_hi = self.lookup(hi)?;
+        let (min_y, max_y) = (y_lo.min(y_hi), y_lo.max(y_hi));
+        if target < min_y - 1e-12 || target > max_y + 1e-12 {
+            return Err(TableError::OutOfRange {
+                value: target,
+                lower: min_y,
+                upper: max_y,
+            });
+        }
+        let increasing = y_hi >= y_lo;
+        let (mut a, mut b) = (lo, hi);
+        for _ in 0..200 {
+            let mid = 0.5 * (a + b);
+            let val = self.lookup(mid)?;
+            let below = if increasing { val < target } else { val > target };
+            if below {
+                a = mid;
+            } else {
+                b = mid;
+            }
+        }
+        Ok(0.5 * (a + b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::{DimensionControl, Extrapolation, Interpolation};
+
+    fn quadratic_table(control: DimensionControl) -> Table1d {
+        let x: Vec<f64> = (0..11).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+        Table1d::new(&x, &y, control).unwrap()
+    }
+
+    #[test]
+    fn cubic_lookup_reproduces_samples_and_interior() {
+        let t = quadratic_table(DimensionControl::paper_default());
+        assert!((t.lookup(4.0).unwrap() - 16.0).abs() < 1e-9);
+        assert!((t.lookup(4.5).unwrap() - 20.25).abs() < 0.05);
+        assert_eq!(t.len(), 11);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn extrapolation_error_policy_rejects_out_of_range() {
+        let t = quadratic_table(DimensionControl::paper_default());
+        assert!(matches!(t.lookup(11.0), Err(TableError::OutOfRange { .. })));
+        assert!(t.lookup(10.0).is_ok());
+    }
+
+    #[test]
+    fn clamp_policy_returns_boundary_values() {
+        let t = quadratic_table(DimensionControl {
+            interpolation: Interpolation::Linear,
+            extrapolation: Extrapolation::Clamp,
+        });
+        assert_eq!(t.lookup(20.0).unwrap(), 100.0);
+        assert_eq!(t.lookup(-5.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn linear_extrapolation_extends_end_segment() {
+        let t = quadratic_table(DimensionControl {
+            interpolation: Interpolation::Linear,
+            extrapolation: Extrapolation::Linear,
+        });
+        // Last segment slope is 100 - 81 = 19.
+        assert!((t.lookup(11.0).unwrap() - 119.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsorted_and_duplicate_inputs_are_normalised() {
+        let x = [2.0, 0.0, 1.0, 1.0, 3.0];
+        let y = [4.0, 0.0, 1.0, 3.0, 9.0];
+        let t = Table1d::cubic(&x, &y).unwrap();
+        assert_eq!(t.len(), 4);
+        // Duplicate x=1.0 collapses to the mean of 1.0 and 3.0.
+        assert!((t.lookup(1.0).unwrap() - 2.0).abs() < 1e-9);
+        assert_eq!(t.domain(), (0.0, 3.0));
+    }
+
+    #[test]
+    fn inverse_lookup_recovers_abscissa() {
+        let t = quadratic_table(DimensionControl::paper_default());
+        let x = t.inverse_lookup(36.0).unwrap();
+        assert!((x - 6.0).abs() < 1e-3, "x = {x}");
+        assert!(t.inverse_lookup(150.0).is_err());
+    }
+
+    #[test]
+    fn inverse_lookup_handles_decreasing_tables() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 100.0 - 5.0 * v).collect();
+        let t = Table1d::cubic(&x, &y).unwrap();
+        let q = t.inverse_lookup(72.5).unwrap();
+        assert!((q - 5.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn too_few_points_is_an_error() {
+        assert!(Table1d::cubic(&[1.0, 2.0], &[1.0, 2.0]).is_err());
+        assert!(Table1d::new(
+            &[1.0],
+            &[1.0],
+            DimensionControl {
+                interpolation: Interpolation::Linear,
+                extrapolation: Extrapolation::Error
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_spline_lazily() {
+        let t = quadratic_table(DimensionControl::paper_default());
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Table1d = serde_json::from_str(&json).unwrap();
+        assert!((back.lookup(4.5).unwrap() - t.lookup(4.5).unwrap()).abs() < 1e-12);
+    }
+}

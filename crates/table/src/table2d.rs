@@ -1,0 +1,226 @@
+//! Two-dimensional scattered-data table models.
+//!
+//! The paper's behavioural module looks designable parameters up from *two*
+//! performance inputs: `lp1 = $table_model(gain_prop, pm_prop, "lp1_data.tbl",
+//! "3E,3E")`. The underlying data — the Pareto front — is *scattered* in the
+//! (gain, phase-margin) plane rather than gridded, so this implementation uses
+//! modified Shepard (inverse-distance-weighted) interpolation with per-axis
+//! normalisation, which degrades gracefully for curve-like data sets.
+
+use crate::error::{Result, TableError};
+use serde::{Deserialize, Serialize};
+
+/// A scattered-data two-input lookup table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2d {
+    x1: Vec<f64>,
+    x2: Vec<f64>,
+    y: Vec<f64>,
+    /// Inverse-distance power (2.0 is the classic Shepard weighting).
+    power: f64,
+    /// Number of nearest neighbours used per query.
+    neighbours: usize,
+    /// Allow queries outside the convex hull's bounding box.
+    allow_extrapolation: bool,
+}
+
+impl Table2d {
+    /// Builds a table from scattered `(x1, x2) → y` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the slices have different lengths or fewer than
+    /// three samples are provided.
+    pub fn new(x1: &[f64], x2: &[f64], y: &[f64]) -> Result<Self> {
+        if x1.len() != x2.len() || x1.len() != y.len() {
+            return Err(TableError::Dimension(format!(
+                "inconsistent column lengths: {} / {} / {}",
+                x1.len(),
+                x2.len(),
+                y.len()
+            )));
+        }
+        if x1.len() < 3 {
+            return Err(TableError::NotEnoughPoints {
+                got: x1.len(),
+                needed: 3,
+            });
+        }
+        Ok(Table2d {
+            x1: x1.to_vec(),
+            x2: x2.to_vec(),
+            y: y.to_vec(),
+            power: 2.0,
+            neighbours: 8,
+            allow_extrapolation: false,
+        })
+    }
+
+    /// Sets the number of nearest neighbours blended per query (minimum 1).
+    pub fn with_neighbours(mut self, neighbours: usize) -> Self {
+        self.neighbours = neighbours.max(1);
+        self
+    }
+
+    /// Enables bounding-box extrapolation (queries outside the data range are
+    /// answered by the same weighted blend instead of an error).
+    pub fn with_extrapolation(mut self, allow: bool) -> Self {
+        self.allow_extrapolation = allow;
+        self
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Returns `true` if the table holds no samples (never true after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Bounding box of the sampled inputs: `((x1_min, x1_max), (x2_min, x2_max))`.
+    pub fn bounds(&self) -> ((f64, f64), (f64, f64)) {
+        let min_max = |v: &[f64]| {
+            (
+                v.iter().cloned().fold(f64::INFINITY, f64::min),
+                v.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            )
+        };
+        (min_max(&self.x1), min_max(&self.x2))
+    }
+
+    /// Looks the table up at `(q1, q2)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::OutOfRange`] when the query lies outside the
+    /// bounding box of the samples and extrapolation is disabled.
+    pub fn lookup(&self, q1: f64, q2: f64) -> Result<f64> {
+        let ((x1_lo, x1_hi), (x2_lo, x2_hi)) = self.bounds();
+        if !self.allow_extrapolation {
+            let tol1 = 1e-9 * (x1_hi - x1_lo).abs().max(1.0);
+            let tol2 = 1e-9 * (x2_hi - x2_lo).abs().max(1.0);
+            if q1 < x1_lo - tol1 || q1 > x1_hi + tol1 {
+                return Err(TableError::OutOfRange {
+                    value: q1,
+                    lower: x1_lo,
+                    upper: x1_hi,
+                });
+            }
+            if q2 < x2_lo - tol2 || q2 > x2_hi + tol2 {
+                return Err(TableError::OutOfRange {
+                    value: q2,
+                    lower: x2_lo,
+                    upper: x2_hi,
+                });
+            }
+        }
+        // Normalise each axis to [0, 1] so gain (dB) and phase margin
+        // (degrees) contribute comparably to the distance metric.
+        let s1 = (x1_hi - x1_lo).max(1e-30);
+        let s2 = (x2_hi - x2_lo).max(1e-30);
+        let mut distances: Vec<(f64, f64)> = self
+            .x1
+            .iter()
+            .zip(self.x2.iter())
+            .zip(self.y.iter())
+            .map(|((&a, &b), &value)| {
+                let d1 = (q1 - a) / s1;
+                let d2 = (q2 - b) / s2;
+                ((d1 * d1 + d2 * d2).sqrt(), value)
+            })
+            .collect();
+        distances.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        // Exact (or numerically exact) hit.
+        if distances[0].0 < 1e-12 {
+            return Ok(distances[0].1);
+        }
+        let k = self.neighbours.min(distances.len());
+        let mut weight_sum = 0.0;
+        let mut value_sum = 0.0;
+        for &(d, v) in distances.iter().take(k) {
+            let w = 1.0 / d.powf(self.power);
+            weight_sum += w;
+            value_sum += w * v;
+        }
+        Ok(value_sum / weight_sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane_table() -> Table2d {
+        // y = 2·x1 + 3·x2 sampled on a 6×6 grid.
+        let mut x1 = Vec::new();
+        let mut x2 = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                let a = i as f64;
+                let b = j as f64;
+                x1.push(a);
+                x2.push(b);
+                y.push(2.0 * a + 3.0 * b);
+            }
+        }
+        Table2d::new(&x1, &x2, &y).unwrap()
+    }
+
+    #[test]
+    fn exact_sample_points_are_returned_exactly() {
+        let t = plane_table();
+        assert_eq!(t.lookup(2.0, 3.0).unwrap(), 13.0);
+        assert_eq!(t.lookup(0.0, 0.0).unwrap(), 0.0);
+        assert_eq!(t.len(), 36);
+    }
+
+    #[test]
+    fn interior_queries_are_close_to_the_underlying_plane() {
+        let t = plane_table().with_neighbours(6);
+        let got = t.lookup(2.5, 2.5).unwrap();
+        let expected = 2.0 * 2.5 + 3.0 * 2.5;
+        assert!((got - expected).abs() < 0.8, "got {got}, expected {expected}");
+    }
+
+    #[test]
+    fn out_of_range_is_rejected_without_extrapolation() {
+        let t = plane_table();
+        assert!(matches!(t.lookup(7.0, 1.0), Err(TableError::OutOfRange { .. })));
+        assert!(matches!(t.lookup(1.0, -1.0), Err(TableError::OutOfRange { .. })));
+        let t = plane_table().with_extrapolation(true);
+        assert!(t.lookup(7.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn curve_like_data_interpolates_along_the_curve() {
+        // Points along a Pareto-like curve: x2 = 100 - x1², y = parameter = x1.
+        let x1: Vec<f64> = (0..30).map(|i| 1.0 + i as f64 * 0.1).collect();
+        let x2: Vec<f64> = x1.iter().map(|v| 100.0 - v * v).collect();
+        let y: Vec<f64> = x1.clone();
+        let t = Table2d::new(&x1, &x2, &y).unwrap().with_neighbours(4);
+        // Query a point on the curve between samples.
+        let q1 = 2.05;
+        let q2 = 100.0 - q1 * q1;
+        let got = t.lookup(q1, q2).unwrap();
+        assert!((got - q1).abs() < 0.05, "got {got}");
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(Table2d::new(&[1.0, 2.0], &[1.0, 2.0], &[1.0]).is_err());
+        assert!(Table2d::new(&[1.0, 2.0], &[1.0, 2.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn bounds_report_data_extent() {
+        let t = plane_table();
+        let ((a, b), (c, d)) = t.bounds();
+        assert_eq!((a, b), (0.0, 5.0));
+        assert_eq!((c, d), (0.0, 5.0));
+        assert!(!t.is_empty());
+    }
+}

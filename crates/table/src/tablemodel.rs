@@ -1,0 +1,163 @@
+//! A Verilog-A style `$table_model()` equivalent.
+//!
+//! [`TableModel`] ties together the data file ([`TableFile`]), the control
+//! string ([`ControlString`]) and the interpolators, exactly mirroring the
+//! call sites in the paper's behavioural module:
+//!
+//! ```text
+//! gain_delta = $table_model(gain, "gain_delta.tbl", "3E");
+//! lp1        = $table_model(gain_prop, pm_prop, "lp1_data.tbl", "3E,3E");
+//! ```
+
+use crate::control::ControlString;
+use crate::error::{Result, TableError};
+use crate::file::TableFile;
+use crate::table1d::Table1d;
+use crate::table2d::Table2d;
+use serde::{Deserialize, Serialize};
+
+/// A one- or two-input lookup model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TableModel {
+    /// Single-input table.
+    One(Table1d),
+    /// Two-input (scattered) table.
+    Two(Table2d),
+}
+
+impl TableModel {
+    /// Builds a model from a data file and a control string, the same
+    /// arguments `$table_model()` takes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the control-string dimensionality does not match
+    /// the file's input-column count, or the data is insufficient.
+    pub fn from_file(file: &TableFile, control: &ControlString) -> Result<Self> {
+        if control.len() != file.inputs {
+            return Err(TableError::Dimension(format!(
+                "control string has {} dimension(s) but the data file has {} input column(s)",
+                control.len(),
+                file.inputs
+            )));
+        }
+        match file.inputs {
+            1 => {
+                let x = file.column(0);
+                let y = file.output_column();
+                let table = Table1d::new(&x, &y, control.dimension(0).expect("dimension 0"))?;
+                Ok(TableModel::One(table))
+            }
+            2 => {
+                let x1 = file.column(0);
+                let x2 = file.column(1);
+                let y = file.output_column();
+                Ok(TableModel::Two(Table2d::new(&x1, &x2, &y)?))
+            }
+            n => Err(TableError::Dimension(format!(
+                "only 1- and 2-input tables are supported, got {n}"
+            ))),
+        }
+    }
+
+    /// Convenience constructor parsing the control string from text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates control-string and data errors.
+    pub fn from_file_with_control(file: &TableFile, control: &str) -> Result<Self> {
+        TableModel::from_file(file, &ControlString::parse(control)?)
+    }
+
+    /// Number of inputs (1 or 2).
+    pub fn inputs(&self) -> usize {
+        match self {
+            TableModel::One(_) => 1,
+            TableModel::Two(_) => 2,
+        }
+    }
+
+    /// Evaluates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error if the number of query values does not match
+    /// [`TableModel::inputs`], or an out-of-range error according to the
+    /// table's extrapolation policy.
+    pub fn lookup(&self, query: &[f64]) -> Result<f64> {
+        match (self, query) {
+            (TableModel::One(t), [q]) => t.lookup(*q),
+            (TableModel::Two(t), [q1, q2]) => t.lookup(*q1, *q2),
+            _ => Err(TableError::Dimension(format!(
+                "model takes {} input(s) but {} were supplied",
+                self.inputs(),
+                query.len()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_d_file() -> TableFile {
+        let mut f = TableFile::new(1);
+        for i in 0..10 {
+            let x = 49.0 + i as f64 * 0.3;
+            f.push_row(vec![x, 0.6 - i as f64 * 0.02]).unwrap();
+        }
+        f
+    }
+
+    fn two_d_file() -> TableFile {
+        let mut f = TableFile::new(2);
+        for i in 0..15 {
+            let gain = 49.0 + i as f64 * 0.2;
+            let pm = 77.0 - i as f64 * 0.3;
+            f.push_row(vec![gain, pm, 10.0 + i as f64]).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn one_input_model_matches_paper_call_signature() {
+        let model = TableModel::from_file_with_control(&one_d_file(), "3E").unwrap();
+        assert_eq!(model.inputs(), 1);
+        let v = model.lookup(&[50.0]).unwrap();
+        assert!(v > 0.5 && v < 0.6, "v = {v}");
+        // No extrapolation: queries beyond the data error out.
+        assert!(model.lookup(&[60.0]).is_err());
+    }
+
+    #[test]
+    fn two_input_model_handles_scattered_front() {
+        let model = TableModel::from_file_with_control(&two_d_file(), "3E,3E").unwrap();
+        assert_eq!(model.inputs(), 2);
+        let v = model.lookup(&[50.0, 75.5]).unwrap();
+        assert!(v > 10.0 && v < 25.0);
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let err = TableModel::from_file_with_control(&two_d_file(), "3E").unwrap_err();
+        assert!(matches!(err, TableError::Dimension(_)));
+        let model = TableModel::from_file_with_control(&one_d_file(), "3E").unwrap();
+        assert!(model.lookup(&[1.0, 2.0]).is_err());
+        let model2 = TableModel::from_file_with_control(&two_d_file(), "3E,3E").unwrap();
+        assert!(model2.lookup(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn invalid_control_strings_are_rejected() {
+        assert!(TableModel::from_file_with_control(&one_d_file(), "9E").is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let model = TableModel::from_file_with_control(&one_d_file(), "3E").unwrap();
+        let json = serde_json::to_string(&model).unwrap();
+        let back: TableModel = serde_json::from_str(&json).unwrap();
+        assert!((back.lookup(&[50.0]).unwrap() - model.lookup(&[50.0]).unwrap()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,63 @@
+//! Hierarchical design of the 2nd-order anti-aliasing filter (paper §5):
+//! select an OTA through the combined model, size the filter capacitors with
+//! the behavioural model only, then verify the final design at transistor
+//! level with Monte Carlo.
+//!
+//! ```bash
+//! cargo run --release --example filter_design
+//! ```
+
+use ayb::behavioral::{FilterSpec, OtaSpec};
+use ayb::core::{design_filter, filter_design, generate_model, FlowConfig};
+use ayb_moo::GaConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = FlowConfig::demo_scale();
+    println!("Step 1: generate the combined OTA model...");
+    let flow = generate_model(&config)?;
+    let model = &flow.model;
+
+    // Step 2: specification-driven OTA selection. The paper asks for 50 dB and
+    // 60 degrees; anchor the requirement inside the modelled range so the
+    // demo-scale model can always serve it.
+    let (gain_lo, gain_hi) = model.gain_range_db();
+    let spec_gain = (gain_lo + 0.3 * (gain_hi - gain_lo)).min(50.0).max(gain_lo + 0.1);
+    let pm_floor = model.pm_at_gain(spec_gain)? - 8.0;
+    let ota_spec = OtaSpec::new(spec_gain, pm_floor.max(30.0));
+    let filter_spec = FilterSpec::anti_aliasing_1mhz();
+    println!(
+        "Step 2: OTA spec gain > {:.1} dB, PM > {:.1} deg; filter template: -3 dB @ 1 MHz, -30 dB @ 10 MHz",
+        ota_spec.min_gain_db, ota_spec.min_phase_margin_deg
+    );
+
+    // Step 3: size C1-C3 against the behavioural filter (30 x 40 in the paper).
+    let mut ga = GaConfig::paper_filter();
+    ga.population_size = 20;
+    ga.generations = 15;
+    let design = design_filter(model, &ota_spec, &filter_spec, ga, config.testbench.cload)?;
+    println!(
+        "Step 3: capacitors C1 = {:.2} pF, C2 = {:.2} pF, C3 = {:.2} pF (margin {:.2} dB, {} behavioural evaluations)",
+        design.capacitors.c1 * 1e12,
+        design.capacitors.c2 * 1e12,
+        design.capacitors.c3 * 1e12,
+        design.margin_db,
+        design.evaluations
+    );
+    if let Some(cutoff) = design.response.cutoff_hz() {
+        println!("         behavioural -3 dB cut-off: {:.2} MHz", cutoff / 1e6);
+    }
+
+    // Step 4: transistor-level verification (Figure 11 + 500-sample MC in the paper).
+    println!("Step 4: transistor-level verification (reduced Monte Carlo)...");
+    if let Some(report) = filter_design::verify_filter_yield(&design, &filter_spec, &config, 20, 42) {
+        println!(
+            "         yield {:.1}% over {} samples ({} failed to simulate)",
+            report.yield_percent(),
+            report.samples,
+            report.failed_samples
+        );
+    } else {
+        println!("         transistor-level verification could not run on this sizing");
+    }
+    Ok(())
+}

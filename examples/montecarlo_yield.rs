@@ -1,0 +1,76 @@
+//! Direct Monte Carlo yield analysis of a single OTA sizing — the
+//! "conventional" building block the paper's model-based flow replaces.
+//! Useful for exploring how the process/mismatch models behave.
+//!
+//! ```bash
+//! cargo run --release --example montecarlo_yield -- 200
+//! ```
+
+use ayb::circuit::ota::{build_open_loop_testbench, OtaParameters, OtaTestbenchConfig};
+use ayb::core::measure_testbench;
+use ayb::process::{montecarlo, Histogram, MonteCarloConfig, ProcessVariation, Summary};
+use ayb_behavioral::OtaSpec;
+use ayb_sim::FrequencySweep;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+
+    let params = OtaParameters::nominal();
+    let testbench = OtaTestbenchConfig::new();
+    let sweep = FrequencySweep::logarithmic(10.0, 1e9, 6);
+    let circuit = build_open_loop_testbench(&params, &testbench)?;
+
+    println!("Monte Carlo analysis of the nominal symmetrical OTA ({samples} samples)...");
+    let run = montecarlo::run_parallel(
+        &circuit,
+        &ProcessVariation::generic_035um(),
+        &MonteCarloConfig::new(samples, 0xCAFE),
+        4,
+        |sample| measure_testbench(sample, &sweep).map(|p| (p.gain_db, p.phase_margin_deg)),
+    );
+
+    let gains: Vec<f64> = run.values.iter().map(|v| v.0).collect();
+    let pms: Vec<f64> = run.values.iter().map(|v| v.1).collect();
+    let gain_stats = Summary::of(&gains).ok_or("no samples simulated")?;
+    let pm_stats = Summary::of(&pms).ok_or("no samples simulated")?;
+
+    println!(
+        "  gain: mean {:.2} dB, sigma {:.3} dB, 3-sigma variation {:.2}%",
+        gain_stats.mean,
+        gain_stats.std_dev,
+        gain_stats.variation_percent(3.0)
+    );
+    println!(
+        "  PM:   mean {:.2} deg, sigma {:.3} deg, 3-sigma variation {:.2}%",
+        pm_stats.mean,
+        pm_stats.std_dev,
+        pm_stats.variation_percent(3.0)
+    );
+
+    if let Some(hist) = Histogram::of(&gains, 10) {
+        println!("  gain histogram ({} bins of {:.3} dB):", hist.counts.len(), hist.bin_width);
+        for (i, count) in hist.counts.iter().enumerate() {
+            let lo = hist.start + i as f64 * hist.bin_width;
+            println!("    {:>7.2} dB | {}", lo, "#".repeat(*count));
+        }
+    }
+
+    let spec = OtaSpec::new(gain_stats.mean - 3.0 * gain_stats.std_dev, 0.0);
+    let passing = run
+        .values
+        .iter()
+        .filter(|(g, pm)| spec.is_met(*g, *pm))
+        .count();
+    println!(
+        "  yield against gain > {:.2} dB: {:.1}% ({} of {} samples, {} failed sims)",
+        spec.min_gain_db,
+        100.0 * passing as f64 / run.values.len().max(1) as f64,
+        passing,
+        run.values.len(),
+        run.failed_samples
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Builds the combined OTA model and exports the behavioural deliverables:
+//! the `.tbl` lookup tables and the Verilog-A module of §4.4.
+//!
+//! ```bash
+//! cargo run --release --example ota_yield_model -- /tmp/ota_model
+//! ```
+
+use ayb::behavioral::{generate_module, OtaSpec};
+use ayb::core::{generate_model, report, FlowConfig};
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/ota_yield_model".to_string())
+        .into();
+
+    let config = FlowConfig::demo_scale();
+    println!("Generating the combined performance + variation model...");
+    let result = generate_model(&config)?;
+    let model = &result.model;
+
+    println!(
+        "Model covers gain {:.2}..{:.2} dB, phase margin {:.2}..{:.2} deg ({} points)",
+        model.gain_range_db().0,
+        model.gain_range_db().1,
+        model.pm_range_deg().0,
+        model.pm_range_deg().1,
+        model.points().len()
+    );
+    println!("{}", report::render_table2(&result.pareto_data));
+
+    // Export the Verilog-A package (module + .tbl data files).
+    let package = generate_module(model, "ota_yield_model");
+    package
+        .write_to(&out_dir)
+        .map_err(|e| format!("failed to write Verilog-A package: {e}"))?;
+    println!("Wrote Verilog-A module and {} table files to {}", package.table_files.len(), out_dir.display());
+
+    // Also serialise the model itself for later reuse without re-running the flow.
+    let model_json = serde_json_string(model)?;
+    std::fs::write(out_dir.join("combined_model.json"), model_json)?;
+    println!("Wrote combined_model.json");
+
+    // Demonstrate a lookup against the exported model.
+    let (gain_lo, gain_hi) = model.gain_range_db();
+    let spec_gain = gain_lo + 0.5 * (gain_hi - gain_lo);
+    let spec = OtaSpec::new(spec_gain, model.pm_at_gain(spec_gain)? - 2.0);
+    let design = model.design_for_spec(&spec)?;
+    println!(
+        "Spec gain > {:.2} dB retargeted to {:.2} dB; parameters: {}",
+        spec.min_gain_db, design.retarget.new_gain_db, design.parameters
+    );
+    Ok(())
+}
+
+fn serde_json_string<T: serde::Serialize>(value: &T) -> Result<String, Box<dyn std::error::Error>> {
+    Ok(serde_json::to_string_pretty(value)?)
+}

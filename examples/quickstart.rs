@@ -1,0 +1,52 @@
+//! Quickstart: run the complete combined yield/performance modelling flow at a
+//! reduced scale and use the resulting model to pick a design for a
+//! specification.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use ayb::core::{generate_model, report, verify_accuracy, FlowConfig};
+use ayb_behavioral::OtaSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A reduced-scale configuration keeps this example under a minute; switch
+    // to `FlowConfig::paper_scale()` for the full 100×100 / 200-sample run.
+    let config = FlowConfig::demo_scale();
+    println!("Running the model-generation flow (§3 of the paper)...");
+    println!(
+        "  WBGA: {} individuals x {} generations, MC: {} samples per Pareto point",
+        config.ga.population_size, config.ga.generations, config.monte_carlo.samples
+    );
+
+    let result = generate_model(&config)?;
+    println!(
+        "  {} candidates evaluated, {} on the Pareto front, {} analysed with Monte Carlo",
+        result.archive.len(),
+        result.pareto.len(),
+        result.pareto_data.len()
+    );
+    println!();
+    println!("{}", report::render_table2(&result.pareto_data));
+    println!("{}", report::render_table5(&result.summary(&config)));
+
+    // Model use (§4.4): pick a spec inside the modelled range and retarget it.
+    let (gain_lo, gain_hi) = result.model.gain_range_db();
+    let spec_gain = gain_lo + 0.4 * (gain_hi - gain_lo);
+    let pm = result.model.pm_at_gain(spec_gain)?;
+    let spec = OtaSpec::new(spec_gain, pm - 3.0);
+    println!(
+        "Specification: gain > {:.2} dB, phase margin > {:.2} deg",
+        spec.min_gain_db, spec.min_phase_margin_deg
+    );
+
+    let design = result.model.design_for_spec(&spec)?;
+    println!("{}", report::render_table3(&design.retarget));
+    println!("Interpolated design parameters: {}", design.parameters);
+
+    // Close the loop against the transistor level (Table 4).
+    if let Some((accuracy, _)) = verify_accuracy(&design, &config) {
+        println!("{}", report::render_table4(&accuracy));
+    }
+    Ok(())
+}

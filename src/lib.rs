@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the AYB workspace.
+pub use ayb_behavioral as behavioral;
+pub use ayb_circuit as circuit;
+pub use ayb_core as core;
+pub use ayb_moo as moo;
+pub use ayb_process as process;
+pub use ayb_sim as sim;
+pub use ayb_table as table;

@@ -1,0 +1,107 @@
+//! End-to-end integration test of the paper's flow at reduced scale:
+//! WBGA optimisation → Pareto front → Monte Carlo variation → combined model
+//! → retargeting → transistor-level verification.
+
+use ayb_core::{generate_model, report, verify_accuracy, verify_ota_yield, FlowConfig};
+use ayb_moo::{dominates, Sense};
+
+fn reduced_config() -> FlowConfig {
+    let mut config = FlowConfig::reduced();
+    // Keep the integration test fast: tiny sweep, few MC samples.
+    config.sweep = ayb_sim::FrequencySweep::logarithmic(10.0, 1e9, 4);
+    config.monte_carlo.samples = 10;
+    config.max_pareto_points = 8;
+    config
+}
+
+#[test]
+fn flow_produces_model_with_paper_shaped_artifacts() {
+    let config = reduced_config();
+    let result = generate_model(&config).expect("flow completes at reduced scale");
+
+    // Figure 7: archive of evaluated candidates plus a non-empty Pareto front.
+    assert!(result.archive.len() >= 80, "archive = {}", result.archive.len());
+    assert!(!result.pareto.is_empty());
+    // The front must consist of mutually non-dominated points.
+    let senses = [Sense::Maximize, Sense::Maximize];
+    for a in &result.pareto {
+        for b in &result.pareto {
+            assert!(
+                !dominates(&a.objectives, &b.objectives, &senses) || a.objectives == b.objectives,
+                "pareto front contains a dominated point"
+            );
+        }
+    }
+    // Performance values must lie in a physically sensible range.
+    for e in &result.archive {
+        assert!((0.0..120.0).contains(&e.objectives[0]), "gain {}", e.objectives[0]);
+        assert!((0.0..180.0).contains(&e.objectives[1]), "pm {}", e.objectives[1]);
+    }
+
+    // Table 2: every analysed Pareto point carries positive variation figures.
+    assert!(result.pareto_data.len() >= 3);
+    for p in &result.pareto_data {
+        assert!(p.gain_delta_percent >= 0.0 && p.gain_delta_percent < 50.0);
+        assert!(p.pm_delta_percent >= 0.0 && p.pm_delta_percent < 50.0);
+        assert!(p.parameters.len() == 8, "8 designable parameters per point");
+    }
+
+    // Table 5: the summary is consistent with the configuration.
+    let summary = result.summary(&config);
+    assert_eq!(summary.generations, config.ga.generations);
+    assert_eq!(summary.mc_samples_per_point, config.monte_carlo.samples);
+    assert!(summary.cpu_time_seconds > 0.0);
+
+    // The report renderers accept the real flow output.
+    let table2 = report::render_table2(&result.pareto_data);
+    assert!(table2.lines().count() >= result.pareto_data.len());
+    let fig7 = report::render_fig7_data(&result.archive, &result.pareto);
+    assert!(fig7.lines().count() > result.archive.len());
+}
+
+#[test]
+fn model_use_retargets_and_verifies_against_transistor_level() {
+    let config = reduced_config();
+    let result = generate_model(&config).expect("flow completes");
+    let model = &result.model;
+
+    // Pick a specification safely inside the modelled performance region so
+    // the reduced-scale model can serve it.
+    let (gain_lo, gain_hi) = model.gain_range_db();
+    let spec_gain = gain_lo + 0.3 * (gain_hi - gain_lo);
+    let pm_at = model.pm_at_gain(spec_gain).expect("pm lookup");
+    let spec = ayb_behavioral::OtaSpec::new(spec_gain, (pm_at - 8.0).max(1.0));
+
+    let design = model.design_for_spec(&spec).expect("spec achievable");
+    // Retargeting always moves the nominal performance above the requirement.
+    assert!(design.retarget.new_gain_db >= spec.min_gain_db);
+    assert!(design.worst_case_pm_deg >= spec.min_phase_margin_deg);
+
+    // Table 4: transistor-level simulation of the interpolated parameters
+    // agrees with the model prediction to within a few percent.
+    let (accuracy, transistor) = verify_accuracy(&design, &config).expect("transistor sim runs");
+    assert!(
+        accuracy.gain_error_percent() < 10.0,
+        "gain error {}% (model {} dB vs transistor {} dB)",
+        accuracy.gain_error_percent(),
+        accuracy.model_gain_db,
+        accuracy.transistor_gain_db
+    );
+    assert!(
+        accuracy.pm_error_percent() < 15.0,
+        "pm error {}%",
+        accuracy.pm_error_percent()
+    );
+    assert!(transistor.unity_gain_hz > 1e5);
+
+    // Yield verification: the retargeted design meets the spec for most
+    // process samples (the paper reports 100 %; at reduced MC size we accept
+    // a small shortfall from sampling noise).
+    let yield_report =
+        verify_ota_yield(&design.parameters, &spec, &config, 12, 99).expect("yield runs");
+    assert!(
+        yield_report.yield_fraction >= 0.75,
+        "yield only {}",
+        yield_report.yield_fraction
+    );
+}

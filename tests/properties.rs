@@ -1,0 +1,137 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning several workspace crates.
+
+use ayb_circuit::{DesignPoint, Parameter, ParameterSet};
+use ayb_moo::{dominates, normalize_weights, pareto_front, Evaluation, Sense};
+use ayb_sim::linalg::{solve_in_place, DenseMatrix};
+use ayb_table::{CubicSpline, Table1d};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Parameter normalisation and denormalisation are inverse operations for
+    /// any bounds and any normalised coordinate.
+    #[test]
+    fn parameter_normalize_roundtrip(
+        lower in -1.0e-3f64..1.0e-3,
+        span in 1.0e-6f64..1.0e3,
+        x in 0.0f64..1.0,
+    ) {
+        let p = Parameter::new("p", lower, lower + span, "u");
+        let value = p.denormalize(x);
+        let back = p.normalize(value).unwrap();
+        prop_assert!((back - x).abs() < 1e-6);
+        prop_assert!(value >= lower - 1e-12 && value <= lower + span + 1e-12);
+    }
+
+    /// Design points built from a parameter set always stay inside the bounds.
+    #[test]
+    fn parameter_set_denormalize_respects_bounds(values in proptest::collection::vec(0.0f64..1.0, 8)) {
+        let set: ParameterSet = (0..8)
+            .map(|i| Parameter::new(format!("p{i}"), 1.0 + i as f64, 2.0 + i as f64, "u"))
+            .collect();
+        let point: DesignPoint = set.denormalize(&values).unwrap();
+        for (i, (_, v)) in point.iter().enumerate() {
+            prop_assert!(v >= 1.0 + i as f64 - 1e-12);
+            prop_assert!(v <= 2.0 + i as f64 + 1e-12);
+        }
+    }
+
+    /// Normalised WBGA weights always sum to one and stay non-negative (eq. 4).
+    #[test]
+    fn weights_normalize_to_unit_sum(genes in proptest::collection::vec(0.0f64..1.0, 1..6)) {
+        let w = normalize_weights(&genes);
+        prop_assert_eq!(w.len(), genes.len());
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(w.iter().all(|&x| x >= 0.0));
+    }
+
+    /// The Pareto front never contains a point dominated by another archive point
+    /// and every archive point is dominated by (or equal to) some front member.
+    #[test]
+    fn pareto_front_conditions_hold(points in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 3..60)) {
+        let senses = [Sense::Maximize, Sense::Maximize];
+        let evals: Vec<Evaluation> = points
+            .iter()
+            .map(|&(a, b)| Evaluation::new(vec![a, b], vec![a, b]))
+            .collect();
+        let front = pareto_front(&evals, &senses);
+        prop_assert!(!front.is_empty());
+        // Condition (a) of §3.3: mutual non-domination.
+        for a in &front {
+            for b in &front {
+                prop_assert!(!dominates(&a.objectives, &b.objectives, &senses)
+                    || a.objectives == b.objectives);
+            }
+        }
+        // Condition (b): every non-member is dominated by some member.
+        for e in &evals {
+            let on_front = front.iter().any(|f| f.objectives == e.objectives);
+            if !on_front {
+                prop_assert!(front.iter().any(|f| dominates(&f.objectives, &e.objectives, &senses)));
+            }
+        }
+    }
+
+    /// Cubic splines interpolate their knots exactly and stay finite between them.
+    #[test]
+    fn spline_interpolates_knots(ys in proptest::collection::vec(-100.0f64..100.0, 4..20)) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let spline = CubicSpline::fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            prop_assert!((spline.value(*x) - y).abs() < 1e-8);
+        }
+        for i in 0..(xs.len() - 1) * 4 {
+            let q = i as f64 * 0.25;
+            prop_assert!(spline.value(q).is_finite());
+        }
+    }
+
+    /// Cubic table lookups never extrapolate when built with the paper's "3E"
+    /// control: out-of-range queries are always errors, in-range queries never are.
+    #[test]
+    fn table_respects_no_extrapolation(
+        ys in proptest::collection::vec(0.0f64..10.0, 4..16),
+        q in -2.0f64..20.0,
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let table = Table1d::cubic(&xs, &ys).unwrap();
+        let (lo, hi) = table.domain();
+        let result = table.lookup(q);
+        if q < lo || q > hi {
+            prop_assert!(result.is_err());
+        } else {
+            prop_assert!(result.is_ok());
+        }
+    }
+
+    /// LU solve produces residuals near machine precision for well-conditioned
+    /// (diagonally dominant) systems of any size up to 20.
+    #[test]
+    fn lu_solve_small_residual(
+        n in 2usize..20,
+        seed in 0u64..10_000,
+    ) {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut a: DenseMatrix<f64> = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += n as f64;
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| next() * (i as f64 + 1.0)).collect();
+        let b = a.mul_vec(&x_true);
+        let mut lu = a.clone();
+        let mut x = b.clone();
+        solve_in_place(&mut lu, &mut x).unwrap();
+        for (got, want) in x.iter().zip(x_true.iter()) {
+            prop_assert!((got - want).abs() < 1e-7, "{} vs {}", got, want);
+        }
+    }
+}

@@ -74,7 +74,10 @@ impl std::fmt::Display for ModelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ModelError::NotEnoughData(n) => {
-                write!(f, "need at least 3 Pareto points to build the model, got {n}")
+                write!(
+                    f,
+                    "need at least 3 Pareto points to build the model, got {n}"
+                )
             }
             ModelError::MissingParameter(name) => {
                 write!(f, "pareto point is missing designable parameter `{name}`")
@@ -131,8 +134,11 @@ impl CombinedOtaModel {
                 .partial_cmp(&b.gain_db)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        let parameter_names: Vec<String> =
-            points[0].parameters.iter().map(|(n, _)| n.to_string()).collect();
+        let parameter_names: Vec<String> = points[0]
+            .parameters
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .collect();
         for p in &points {
             for name in &parameter_names {
                 if p.parameters.get(name).is_none() {
@@ -151,7 +157,8 @@ impl CombinedOtaModel {
         // queries them: gain_delta(gain) and pm_delta(pm).
         let control = DimensionControl::paper_default();
         let gain_delta_table = Table1d::new(&gains, &gain_deltas, control)?;
-        let mut pm_sorted: Vec<(f64, f64)> = pms.iter().copied().zip(pm_deltas.iter().copied()).collect();
+        let mut pm_sorted: Vec<(f64, f64)> =
+            pms.iter().copied().zip(pm_deltas.iter().copied()).collect();
         pm_sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         let pm_x: Vec<f64> = pm_sorted.iter().map(|p| p.0).collect();
         let pm_y: Vec<f64> = pm_sorted.iter().map(|p| p.1).collect();
@@ -252,7 +259,8 @@ impl CombinedOtaModel {
     /// Returns an error if the required values fall outside the modelled range.
     pub fn retarget(&self, spec: &OtaSpec) -> Result<RetargetedPerformance, ModelError> {
         let gain_variation = self.gain_variation_percent(spec.min_gain_db)?;
-        let pm_variation = self.pm_variation_percent(spec.min_phase_margin_deg.max(self.pm_range_deg().0))?;
+        let pm_variation =
+            self.pm_variation_percent(spec.min_phase_margin_deg.max(self.pm_range_deg().0))?;
         Ok(RetargetedPerformance {
             required_gain_db: spec.min_gain_db,
             required_pm_deg: spec.min_phase_margin_deg,
@@ -452,9 +460,15 @@ mod tests {
     fn unreachable_spec_is_reported() {
         let m = model();
         let err = m.design_for_spec(&OtaSpec::new(51.69, 76.0)).unwrap_err();
-        assert!(matches!(err, ModelError::SpecNotAchievable { .. } | ModelError::Table(_)));
+        assert!(matches!(
+            err,
+            ModelError::SpecNotAchievable { .. } | ModelError::Table(_)
+        ));
         let err2 = m.design_for_spec(&OtaSpec::new(55.0, 60.0)).unwrap_err();
-        assert!(matches!(err2, ModelError::SpecNotAchievable { .. } | ModelError::Table(_)));
+        assert!(matches!(
+            err2,
+            ModelError::SpecNotAchievable { .. } | ModelError::Table(_)
+        ));
     }
 
     #[test]

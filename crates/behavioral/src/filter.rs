@@ -139,7 +139,11 @@ mod tests {
     fn well_sized_filter_meets_the_anti_aliasing_spec() {
         let spec = FilterSpec::anti_aliasing_1mhz();
         let resp = simulate_filter_from_behavior(
-            &size_capacitors_for(1.8e6, std::f64::consts::FRAC_1_SQRT_2, behavior().to_macro_spec(5e-12).gm),
+            &size_capacitors_for(
+                1.8e6,
+                std::f64::consts::FRAC_1_SQRT_2,
+                behavior().to_macro_spec(5e-12).gm,
+            ),
             &behavior(),
             5e-12,
             &filter_sweep(),

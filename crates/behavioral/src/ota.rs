@@ -110,7 +110,9 @@ mod tests {
         // PM 75° -> excess phase 15° at f_u -> p2 = f_u / tan(15°) ≈ 3.73 f_u.
         assert!((p2 - 10e6 / 15f64.to_radians().tan()).abs() / p2 < 1e-9);
         // A 90°-PM behaviour has no second pole.
-        assert!(OtaBehavior::new(50.0, 90.0, 10e6).second_pole_hz().is_none());
+        assert!(OtaBehavior::new(50.0, 90.0, 10e6)
+            .second_pole_hz()
+            .is_none());
     }
 
     #[test]

@@ -168,7 +168,10 @@ mod tests {
         assert!(!spec.is_met(49.9, 75.0));
         assert!(!spec.is_met(50.3, 73.0));
         assert_eq!(spec.min_gain_db, 50.0);
-        assert_eq!(OtaSpec::paper_filter_application().min_phase_margin_deg, 60.0);
+        assert_eq!(
+            OtaSpec::paper_filter_application().min_phase_margin_deg,
+            60.0
+        );
     }
 
     #[test]
@@ -178,8 +181,16 @@ mod tests {
         // f0 at 1.6 MHz with Butterworth-like Q meets 3 dB at 1 MHz and 30 dB at 10 MHz.
         let resp = biquad_response(1.6e6, std::f64::consts::FRAC_1_SQRT_2, &freqs);
         let report = spec.evaluate(&freqs, &resp);
-        assert!(report.passband_ok, "passband worst {}", report.passband_worst_db);
-        assert!(report.stopband_ok, "stopband worst {}", report.stopband_worst_db);
+        assert!(
+            report.passband_ok,
+            "passband worst {}",
+            report.passband_worst_db
+        );
+        assert!(
+            report.stopband_ok,
+            "stopband worst {}",
+            report.stopband_worst_db
+        );
         assert!(report.peaking_ok);
         assert!(report.all_met());
         assert!(report.margin_db(&spec) > 0.0);

@@ -33,7 +33,8 @@ impl VerilogAPackage {
         std::fs::write(directory.join("ota_yield_model.va"), &self.module_source)
             .map_err(|e| e.to_string())?;
         for (name, file) in &self.table_files {
-            file.write_to(&directory.join(name)).map_err(|e| e.to_string())?;
+            file.write_to(&directory.join(name))
+                .map_err(|e| e.to_string())?;
         }
         Ok(())
     }
@@ -47,7 +48,10 @@ impl VerilogAPackage {
 pub fn generate_module(model: &CombinedOtaModel, module_name: &str) -> VerilogAPackage {
     let mut src = String::new();
     let w = &mut src;
-    let _ = writeln!(w, "// Auto-generated combined performance and variation model.");
+    let _ = writeln!(
+        w,
+        "// Auto-generated combined performance and variation model."
+    );
     let _ = writeln!(
         w,
         "// Built from {} Pareto-optimal design points ({}-sigma variation).",
@@ -60,10 +64,22 @@ pub fn generate_module(model: &CombinedOtaModel, module_name: &str) -> VerilogAP
     let _ = writeln!(w, "module {module_name}(inp, inn, out);");
     let _ = writeln!(w, "  inout inp, inn, out;");
     let _ = writeln!(w, "  electrical inp, inn, out;");
-    let _ = writeln!(w, "  parameter real gain = 50.0;        // required open-loop gain [dB]");
-    let _ = writeln!(w, "  parameter real pm = 74.0;          // required phase margin [deg]");
-    let _ = writeln!(w, "  parameter real ro = 1.0e6;         // output resistance [ohm]");
-    let _ = writeln!(w, "  real gain_delta, pm_delta, gain_prop, pm_prop, gain_in_v;");
+    let _ = writeln!(
+        w,
+        "  parameter real gain = 50.0;        // required open-loop gain [dB]"
+    );
+    let _ = writeln!(
+        w,
+        "  parameter real pm = 74.0;          // required phase margin [deg]"
+    );
+    let _ = writeln!(
+        w,
+        "  parameter real ro = 1.0e6;         // output resistance [ohm]"
+    );
+    let _ = writeln!(
+        w,
+        "  real gain_delta, pm_delta, gain_prop, pm_prop, gain_in_v;"
+    );
     let param_names: Vec<&str> = model.parameter_names().iter().map(String::as_str).collect();
     let _ = writeln!(w, "  real {};", param_names.join(", "));
     let _ = writeln!(w, "  integer fptr;");
@@ -73,7 +89,10 @@ pub fn generate_module(model: &CombinedOtaModel, module_name: &str) -> VerilogAP
         w,
         "    gain_delta = $table_model (gain, \"gain_delta.tbl\", \"3E\");"
     );
-    let _ = writeln!(w, "    pm_delta = $table_model (pm, \"pm_delta.tbl\", \"3E\");");
+    let _ = writeln!(
+        w,
+        "    pm_delta = $table_model (pm, \"pm_delta.tbl\", \"3E\");"
+    );
     let _ = writeln!(w, "    gain_prop = ((gain_delta/100)*gain)+gain;");
     let _ = writeln!(w, "    pm_prop = ((pm_delta/100)*pm)+pm;");
     let _ = writeln!(w, "    $display (\"Propose Gain : %e\", gain_prop);");
@@ -85,7 +104,10 @@ pub fn generate_module(model: &CombinedOtaModel, module_name: &str) -> VerilogAP
         );
     }
     let _ = writeln!(w, "    fptr = $fopen(\"params.dat\");");
-    let _ = writeln!(w, "    $fwrite(fptr, \"\\n Generated Design Parameters\\n \");");
+    let _ = writeln!(
+        w,
+        "    $fwrite(fptr, \"\\n Generated Design Parameters\\n \");"
+    );
     let fmt: Vec<&str> = param_names.iter().map(|_| "%e").collect();
     let _ = writeln!(
         w,
@@ -149,7 +171,10 @@ mod tests {
         assert!(pkg.table_files.contains_key("l1_data.tbl"));
         // Every file referenced from the module source exists in the bundle.
         for name in pkg.table_files.keys() {
-            assert!(pkg.module_source.contains(name.as_str()), "{name} not referenced");
+            assert!(
+                pkg.module_source.contains(name.as_str()),
+                "{name} not referenced"
+            );
         }
     }
 

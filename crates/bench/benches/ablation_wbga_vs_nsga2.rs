@@ -1,15 +1,19 @@
 //! Ablation of the optimiser choice: the paper's weight-based GA versus the
-//! NSGA-II baseline at the same evaluation budget. Criterion measures runtime;
-//! the front-quality comparison (hypervolume, front size) is printed to stderr.
+//! NSGA-II baseline (and uniform random search) at the same evaluation
+//! budget. Every algorithm runs through the same `ayb_moo::Optimizer` trait
+//! object — the exact code path the model-generation flow uses — so the
+//! comparison measures the algorithms, not divergent plumbing. Criterion
+//! measures runtime; the front-quality comparison (hypervolume, front size)
+//! is printed to stderr.
 
-use ayb_moo::{hypervolume_2d, FnProblem, GaConfig, Nsga2, ObjectiveSpec, Wbga};
+use ayb_moo::{hypervolume_2d, FnProblem, GaConfig, ObjectiveSpec, Optimizer, OptimizerConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
 /// A cheap analytic stand-in for the OTA trade-off: maximise both objectives,
 /// concave front, two nuisance dimensions.
-fn surrogate_problem() -> FnProblem<impl Fn(&[f64]) -> Option<Vec<f64>>> {
+fn surrogate_problem() -> FnProblem<impl Fn(&[f64]) -> Option<Vec<f64>> + Sync> {
     FnProblem::new(
         4,
         vec![
@@ -33,35 +37,45 @@ fn ga_config() -> GaConfig {
     }
 }
 
+/// Every optimiser variant at the same evaluation budget.
+fn contenders() -> Vec<OptimizerConfig> {
+    let cfg = ga_config();
+    vec![
+        OptimizerConfig::Wbga(cfg),
+        OptimizerConfig::Nsga2(cfg),
+        OptimizerConfig::RandomSearch {
+            budget: cfg.evaluation_budget(),
+            seed: cfg.seed,
+        },
+    ]
+}
+
 fn report_front_quality() {
     let problem = surrogate_problem();
-    let cfg = ga_config();
-    let wbga = Wbga::new(cfg).run(&problem);
-    let nsga2 = Nsga2::new(cfg).run(&problem);
     let reference = [48.0, 65.0];
-    let hv_wbga = hypervolume_2d(&wbga.pareto_front(), reference, &wbga.senses);
-    let hv_nsga2 = hypervolume_2d(&nsga2.pareto_front(), reference, &nsga2.senses);
-    eprintln!(
-        "[ablation_wbga_vs_nsga2] WBGA : front {} points, hypervolume {hv_wbga:.2}",
-        wbga.pareto_front().len()
-    );
-    eprintln!(
-        "[ablation_wbga_vs_nsga2] NSGA2: front {} points, hypervolume {hv_nsga2:.2}",
-        nsga2.pareto_front().len()
-    );
+    for config in contenders() {
+        let result = config.build().run(&problem);
+        let front = result.pareto_front();
+        let hv = hypervolume_2d(&front, reference, &result.senses);
+        eprintln!(
+            "[ablation_wbga_vs_nsga2] {:<13}: front {:>3} points, hypervolume {hv:.2}, {} evaluations",
+            config.name(),
+            front.len(),
+            result.evaluations
+        );
+    }
 }
 
 fn bench_optimizers(c: &mut Criterion) {
     report_front_quality();
     let problem = surrogate_problem();
-    let cfg = ga_config();
     let mut group = c.benchmark_group("optimizer_1000_evaluations");
-    group.bench_function("wbga", |b| {
-        b.iter(|| Wbga::new(cfg).run(black_box(&problem)))
-    });
-    group.bench_function("nsga2", |b| {
-        b.iter(|| Nsga2::new(cfg).run(black_box(&problem)))
-    });
+    for config in contenders() {
+        let optimizer: Box<dyn Optimizer> = config.build();
+        group.bench_function(config.name(), |b| {
+            b.iter(|| optimizer.run(black_box(&problem)))
+        });
+    }
     group.finish();
 }
 

@@ -100,7 +100,9 @@ fn bench_table4(c: &mut Criterion) {
     let config = tiny_config();
     let params = OtaParameters::nominal();
     c.bench_function("table4/transistor_verification_simulation", |b| {
-        b.iter(|| evaluate_ota(black_box(&params), &config.testbench, &config.sweep).expect("simulates"))
+        b.iter(|| {
+            evaluate_ota(black_box(&params), &config.testbench, &config.sweep).expect("simulates")
+        })
     });
 }
 

@@ -22,7 +22,7 @@ fn main() {
     println!();
     println!("Figure 9: 2nd-order gm-C biquad built from four behavioural OTAs");
     let ota = OtaMacroSpec::from_gain_and_bandwidth(50.0, 10e6, 5e-12);
-    let filter = build_filter_with_macromodels(&FilterParameters::nominal(), &ota)
-        .expect("filter builds");
+    let filter =
+        build_filter_with_macromodels(&FilterParameters::nominal(), &ota).expect("filter builds");
     println!("{}", to_spice(&filter));
 }

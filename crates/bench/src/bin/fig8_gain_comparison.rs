@@ -30,7 +30,9 @@ fn main() {
     let op = dc_operating_point(&tb, &DcOptions::new()).expect("dc converges");
     let sweep = FrequencySweep::logarithmic(10.0, 1e9, 10);
     let ac = ac_analysis(&tb, &op, &sweep).expect("ac runs");
-    let transistor = ac.response_by_name(&tb, OPEN_LOOP_OUTPUT).expect("output node");
+    let transistor = ac
+        .response_by_name(&tb, OPEN_LOOP_OUTPUT)
+        .expect("output node");
 
     // Behavioural (two-pole) model reconstructed from the model's prediction.
     let behavior = OtaBehavior::new(
@@ -51,7 +53,10 @@ fn main() {
         ayb_core::report::render_response_csv(
             "Figure 8: open-loop gain comparison (transistor vs behavioural model)",
             ac.frequencies(),
-            &[("transistor_db", transistor_db), ("behavioural_db", behavioural_db)],
+            &[
+                ("transistor_db", transistor_db),
+                ("behavioural_db", behavioural_db)
+            ],
         )
     );
 }

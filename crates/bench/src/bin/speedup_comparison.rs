@@ -39,7 +39,10 @@ fn main() {
     let mc_samples = scale.verification_samples();
     match conventional::compare_approaches(model, &nominal, &spec, &config, mc_samples, 7) {
         Some(cmp) => {
-            println!("OTA yield query (spec: gain > {:.2} dB, PM > {:.2} deg)", spec.min_gain_db, spec.min_phase_margin_deg);
+            println!(
+                "OTA yield query (spec: gain > {:.2} dB, PM > {:.2} deg)",
+                spec.min_gain_db, spec.min_phase_margin_deg
+            );
             println!(
                 "  conventional (transistor MC, {} samples): {:>10.3} s  -> yield {:.1}%",
                 mc_samples,

@@ -12,8 +12,7 @@ fn main() {
     // their sensitivity). Report the correlation for the reproduction.
     let n = result.pareto_data.len() as f64;
     if n >= 3.0 {
-        let mean_gain: f64 =
-            result.pareto_data.iter().map(|p| p.gain_db).sum::<f64>() / n;
+        let mean_gain: f64 = result.pareto_data.iter().map(|p| p.gain_db).sum::<f64>() / n;
         let mean_delta: f64 = result
             .pareto_data
             .iter()

@@ -75,14 +75,28 @@ impl Scale {
 
 /// Runs the model-generation flow at the selected scale, printing progress.
 pub fn run_flow(scale: Scale) -> ayb_core::FlowResult {
+    run_flow_with(
+        scale,
+        ayb_moo::OptimizerConfig::Wbga(scale.flow_config().ga),
+    )
+}
+
+/// Runs the flow at the selected scale with an explicit optimiser choice,
+/// reporting stage progress on stderr.
+pub fn run_flow_with(scale: Scale, optimizer: ayb_moo::OptimizerConfig) -> ayb_core::FlowResult {
     let config = scale.flow_config();
     eprintln!(
-        "[ayb-bench] running model-generation flow at {} ({} GA evaluations, {} MC samples/point)",
+        "[ayb-bench] running model-generation flow at {} ({}: {} evaluations, {} MC samples/point)",
         scale.banner(),
-        config.ga.evaluation_budget(),
+        optimizer.name(),
+        optimizer.evaluation_budget(),
         config.monte_carlo.samples
     );
-    ayb_core::generate_model(&config).expect("model-generation flow failed")
+    ayb_core::FlowBuilder::new(config)
+        .with_optimizer(optimizer)
+        .with_observer(ayb_core::StderrObserver)
+        .run()
+        .expect("model-generation flow failed")
 }
 
 #[cfg(test)]

@@ -15,12 +15,12 @@
 //! macromodels (the paper's hierarchical flow) and one expanding each OTA to
 //! the full ten-transistor symmetrical OTA for verification.
 
+use crate::device::AcSpec;
 use crate::device::BehavioralOta;
 use crate::error::Result;
 use crate::netlist::Circuit;
 use crate::ota::{add_symmetrical_ota, OtaParameters};
 use crate::params::{DesignPoint, Parameter, ParameterSet};
-use crate::device::AcSpec;
 use serde::{Deserialize, Serialize};
 
 /// Capacitor sizing of the biquad.
@@ -211,8 +211,24 @@ pub fn build_filter_with_transistor_otas(
     // Common-mode reference for the grounded OTA inputs.
     ckt.add_vsource("vcmref", vcm_node, gnd, vcm)?;
 
-    add_symmetrical_ota(&mut ckt, "xin.", ota_params, FILTER_INPUT, "vcm", FILTER_BANDPASS, "vdd")?;
-    add_symmetrical_ota(&mut ckt, "xfb.", ota_params, "vcm", FILTER_OUTPUT, FILTER_BANDPASS, "vdd")?;
+    add_symmetrical_ota(
+        &mut ckt,
+        "xin.",
+        ota_params,
+        FILTER_INPUT,
+        "vcm",
+        FILTER_BANDPASS,
+        "vdd",
+    )?;
+    add_symmetrical_ota(
+        &mut ckt,
+        "xfb.",
+        ota_params,
+        "vcm",
+        FILTER_OUTPUT,
+        FILTER_BANDPASS,
+        "vdd",
+    )?;
     add_symmetrical_ota(
         &mut ckt,
         "xint.",
@@ -222,7 +238,15 @@ pub fn build_filter_with_transistor_otas(
         FILTER_OUTPUT,
         "vdd",
     )?;
-    add_symmetrical_ota(&mut ckt, "xq.", ota_params, "vcm", FILTER_BANDPASS, FILTER_BANDPASS, "vdd")?;
+    add_symmetrical_ota(
+        &mut ckt,
+        "xq.",
+        ota_params,
+        "vcm",
+        FILTER_BANDPASS,
+        FILTER_BANDPASS,
+        "vdd",
+    )?;
 
     add_filter_passives(&mut ckt, params)?;
     Ok(ckt)

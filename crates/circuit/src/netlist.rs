@@ -237,7 +237,12 @@ impl Circuit {
     ) -> Result<()> {
         self.push(
             name,
-            Device::VoltageSource(VoltageSource { plus, minus, dc, ac }),
+            Device::VoltageSource(VoltageSource {
+                plus,
+                minus,
+                dc,
+                ac,
+            }),
         )
     }
 

@@ -356,9 +356,8 @@ mod tests {
 
     #[test]
     fn ota_testbench_has_ten_transistors_and_validates() {
-        let ckt =
-            build_open_loop_testbench(&OtaParameters::nominal(), &OtaTestbenchConfig::new())
-                .unwrap();
+        let ckt = build_open_loop_testbench(&OtaParameters::nominal(), &OtaTestbenchConfig::new())
+            .unwrap();
         assert_eq!(ckt.mosfet_count(), 10);
         assert!(ckt.validate().is_ok());
         let stats = ckt.stats();

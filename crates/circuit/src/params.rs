@@ -389,8 +389,9 @@ mod tests {
 
     #[test]
     fn parameter_set_rejects_wrong_length() {
-        let set: ParameterSet =
-            vec![Parameter::new("w1", 10e-6, 60e-6, "m")].into_iter().collect();
+        let set: ParameterSet = vec![Parameter::new("w1", 10e-6, 60e-6, "m")]
+            .into_iter()
+            .collect();
         assert!(set.denormalize(&[0.1, 0.2]).is_err());
     }
 

@@ -199,9 +199,19 @@ pub fn to_spice(circuit: &Circuit) -> String {
                     node(o.in_minus),
                     format_value(o.gm)
                 );
-                let _ = writeln!(out, "rota_{name} {} 0 {}", node(o.out), format_value(o.rout));
+                let _ = writeln!(
+                    out,
+                    "rota_{name} {} 0 {}",
+                    node(o.out),
+                    format_value(o.rout)
+                );
                 if o.cout > 0.0 {
-                    let _ = writeln!(out, "cota_{name} {} 0 {}", node(o.out), format_value(o.cout));
+                    let _ = writeln!(
+                        out,
+                        "cota_{name} {} 0 {}",
+                        node(o.out),
+                        format_value(o.cout)
+                    );
                 }
             }
         }
@@ -342,7 +352,8 @@ pub fn from_spice(text: &str) -> Result<Circuit> {
                 let om = circuit.node(tokens[2]);
                 let cp = circuit.node(tokens[3]);
                 let cm = circuit.node(tokens[4]);
-                let value = parse_value(tokens[5]).ok_or_else(|| err("bad controlled-source value"))?;
+                let value =
+                    parse_value(tokens[5]).ok_or_else(|| err("bad controlled-source value"))?;
                 if kind == 'g' {
                     circuit.add_vccs(name, op, om, cp, cm, value)?;
                 } else {
@@ -396,9 +407,8 @@ mod tests {
 
     #[test]
     fn ota_testbench_survives_spice_roundtrip() {
-        let ckt =
-            build_open_loop_testbench(&OtaParameters::nominal(), &OtaTestbenchConfig::new())
-                .unwrap();
+        let ckt = build_open_loop_testbench(&OtaParameters::nominal(), &OtaTestbenchConfig::new())
+            .unwrap();
         let text = to_spice(&ckt);
         assert!(text.contains(".model nmos"));
         assert!(text.contains(".model pmos"));

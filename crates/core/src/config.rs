@@ -25,7 +25,10 @@ pub struct FlowConfig {
     /// Upper bound on the number of Pareto points taken through Monte Carlo
     /// analysis (the paper analyses all 1022; scaled-down runs cap this).
     pub max_pareto_points: usize,
-    /// Number of worker threads for the per-point Monte Carlo stage.
+    /// Number of worker threads for circuit evaluation: used both by the
+    /// optimiser's batch candidate evaluation (via
+    /// `OtaSizingProblem::with_threads`) and by the per-point Monte Carlo
+    /// stage. Thread count never changes results, only wall-clock time.
     pub threads: usize,
 }
 

@@ -16,7 +16,7 @@ use ayb_circuit::filter::{
     build_filter_with_transistor_otas, FilterParameters, OtaMacroSpec, FILTER_OUTPUT,
 };
 use ayb_circuit::ota::OtaParameters;
-use ayb_moo::{FnProblem, GaConfig, ObjectiveSpec, Wbga};
+use ayb_moo::{FnProblem, GaConfig, ObjectiveSpec, OptimizerConfig};
 use ayb_process::{montecarlo, yield_estimate, MonteCarloConfig};
 use ayb_sim::{ac_analysis, dc_operating_point, DcOptions, FrequencySweep};
 use serde::{Deserialize, Serialize};
@@ -94,7 +94,9 @@ pub fn design_filter(
             Some(vec![report.margin_db(&spec), total_c])
         },
     );
-    let result = Wbga::new(ga).run(&problem);
+    // The capacitor sizing runs through the same `Optimizer` abstraction as
+    // the OTA flow, so the two optimisation stages share one code path.
+    let result = OptimizerConfig::Wbga(ga).build().run(&problem);
 
     // Candidate pool: every GA evaluation plus a family of analytically sized
     // Butterworth-style seeds (ideal design equations, §5). The analytic seeds

@@ -3,19 +3,39 @@
 //! The five steps of the proposed algorithm are executed in order:
 //!
 //! 1. netlist / objective generation ([`OtaSizingProblem`]),
-//! 2. multi-objective optimisation with the WBGA (§3.2),
+//! 2. multi-objective optimisation (§3.2) behind the
+//!    [`Optimizer`](ayb_moo::Optimizer) trait — the paper's WBGA by default,
+//!    NSGA-II or random search via [`OptimizerConfig`],
 //! 3. Pareto-front extraction (§3.3),
 //! 4. Monte Carlo variation analysis of every Pareto point (§3.4),
 //! 5. table-model / combined-model generation (§3.5).
 //!
-//! The output is a [`CombinedOtaModel`] plus everything needed to regenerate
-//! Figure 7 and Tables 2/5 of the paper.
+//! The public entry point is [`FlowBuilder`], which executes the steps as
+//! explicit stages with progress callbacks:
+//!
+//! ```no_run
+//! use ayb_core::{FlowBuilder, FlowConfig};
+//!
+//! # fn main() -> Result<(), ayb_core::AybError> {
+//! let result = FlowBuilder::new(FlowConfig::reduced())
+//!     .with_seed(2008)
+//!     .optimize()?          // steps 1-3: problem + optimiser + Pareto front
+//!     .analyze_variation()? // step 4: per-point Monte Carlo
+//!     .build_model()?;      // step 5: combined behavioural model
+//! println!("{} Pareto points", result.pareto.len());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`generate_model`] remains as a thin compatibility wrapper that runs all
+//! stages with the default (WBGA) optimiser.
 
 use crate::config::FlowConfig;
+use crate::error::AybError;
 use crate::ota_problem::{measure_testbench, OtaSizingProblem};
 use ayb_behavioral::{CombinedOtaModel, ModelError, ParetoPointData};
 use ayb_circuit::ota::{build_open_loop_testbench, OtaParameters};
-use ayb_moo::{Evaluation, Wbga, WbgaResult};
+use ayb_moo::{Evaluation, OptimizationResult, OptimizerConfig};
 use ayb_process::{montecarlo, Summary};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -92,10 +112,20 @@ pub struct FlowSummary {
     pub cpu_time_seconds: f64,
 }
 
+impl FlowSummary {
+    /// Copy with the wall-clock column zeroed, for comparing the
+    /// deterministic part of two summaries.
+    #[must_use]
+    pub fn without_timing(mut self) -> Self {
+        self.cpu_time_seconds = 0.0;
+        self
+    }
+}
+
 /// Complete output of the model-generation flow.
 #[derive(Debug, Clone)]
 pub struct FlowResult {
-    /// Every evaluation the GA performed (the scatter of Figure 7).
+    /// Every evaluation the optimiser performed (the scatter of Figure 7).
     pub archive: Vec<Evaluation>,
     /// The Pareto front extracted from the archive (the front of Figure 7).
     pub pareto: Vec<Evaluation>,
@@ -105,8 +135,8 @@ pub struct FlowResult {
     pub model: CombinedOtaModel,
     /// Stage timings.
     pub timings: FlowTimings,
-    /// Raw WBGA result (history, evaluation counters).
-    pub optimization: WbgaResult,
+    /// Raw optimiser result (history, evaluation counters, algorithm name).
+    pub optimization: OptimizationResult,
 }
 
 impl FlowResult {
@@ -124,13 +154,21 @@ impl FlowResult {
 }
 
 /// Selects at most `limit` points spread evenly along a front.
+///
+/// The first and last front points are always kept (`limit >= 2`); a `limit`
+/// of exactly one selects the *middle* (knee-region) point rather than an
+/// arbitrary endpoint, so a single analysed point is representative of the
+/// trade-off rather than an extreme.
 pub fn subsample_front(front: &[Evaluation], limit: usize) -> Vec<Evaluation> {
     if front.len() <= limit || limit == 0 {
         return front.to_vec();
     }
+    if limit == 1 {
+        return vec![front[front.len() / 2].clone()];
+    }
     (0..limit)
         .map(|i| {
-            let idx = i * (front.len() - 1) / (limit - 1).max(1);
+            let idx = i * (front.len() - 1) / (limit - 1);
             front[idx].clone()
         })
         .collect()
@@ -177,73 +215,387 @@ pub fn analyse_pareto_point(
     })
 }
 
-/// Runs the complete model-generation flow.
+// ---------------------------------------------------------------------------
+// Observers
+// ---------------------------------------------------------------------------
+
+/// The stages a [`FlowBuilder`] run passes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowStage {
+    /// Steps 1–3: problem construction, optimisation, Pareto extraction.
+    Optimize,
+    /// Step 4: per-Pareto-point Monte Carlo variation analysis.
+    AnalyzeVariation,
+    /// Step 5: combined table-model generation.
+    BuildModel,
+}
+
+impl FlowStage {
+    /// Human-readable stage name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowStage::Optimize => "optimize",
+            FlowStage::AnalyzeVariation => "analyze_variation",
+            FlowStage::BuildModel => "build_model",
+        }
+    }
+}
+
+/// Per-stage progress callbacks for a [`FlowBuilder`] run.
+///
+/// All methods have empty defaults, so an observer only implements what it
+/// cares about.
+pub trait FlowObserver {
+    /// Called when a stage begins.
+    fn on_stage_start(&mut self, stage: FlowStage) {
+        let _ = stage;
+    }
+
+    /// Called when a stage completes successfully.
+    fn on_stage_complete(&mut self, stage: FlowStage, elapsed: Duration) {
+        let _ = (stage, elapsed);
+    }
+
+    /// Called as work progresses inside a stage (`done` out of `total`; the
+    /// variation stage reports one tick per analysed Pareto point).
+    fn on_progress(&mut self, stage: FlowStage, done: usize, total: usize) {
+        let _ = (stage, done, total);
+    }
+}
+
+/// A [`FlowObserver`] that logs stage transitions to stderr.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StderrObserver;
+
+impl FlowObserver for StderrObserver {
+    fn on_stage_start(&mut self, stage: FlowStage) {
+        eprintln!("[ayb] stage {} started", stage.name());
+    }
+
+    fn on_stage_complete(&mut self, stage: FlowStage, elapsed: Duration) {
+        eprintln!(
+            "[ayb] stage {} completed in {:.2}s",
+            stage.name(),
+            elapsed.as_secs_f64()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FlowBuilder and its staged execution types
+// ---------------------------------------------------------------------------
+
+/// Builder for the model-generation flow with pluggable stages.
+///
+/// Construction selects the configuration, the optimiser and the observers;
+/// [`FlowBuilder::optimize`] then starts staged execution
+/// (`.optimize()?.analyze_variation()?.build_model()?`), or
+/// [`FlowBuilder::run`] executes all stages in one call.
+pub struct FlowBuilder {
+    config: FlowConfig,
+    optimizer: OptimizerConfig,
+    observers: Vec<Box<dyn FlowObserver>>,
+    seed: Option<u64>,
+}
+
+impl FlowBuilder {
+    /// Creates a builder running the paper's WBGA with `config.ga` settings.
+    pub fn new(config: FlowConfig) -> Self {
+        let optimizer = OptimizerConfig::Wbga(config.ga);
+        FlowBuilder {
+            config,
+            optimizer,
+            observers: Vec::new(),
+            seed: None,
+        }
+    }
+
+    /// Selects a different optimisation algorithm (step 2 of the flow).
+    ///
+    /// An explicit seed set via [`FlowBuilder::with_seed`] survives this call
+    /// regardless of ordering: the seed is re-applied to the incoming
+    /// optimiser configuration.
+    #[must_use]
+    pub fn with_optimizer(mut self, optimizer: OptimizerConfig) -> Self {
+        self.optimizer = match self.seed {
+            Some(seed) => optimizer.with_seed(seed),
+            None => optimizer,
+        };
+        self
+    }
+
+    /// Registers a progress observer (may be called multiple times).
+    #[must_use]
+    pub fn with_observer(mut self, observer: impl FlowObserver + 'static) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Seeds the optimiser *and* the Monte Carlo engine for end-to-end
+    /// determinism: two runs with the same configuration and seed produce
+    /// identical archives, fronts and variation data.
+    ///
+    /// Order-independent with respect to [`FlowBuilder::with_optimizer`]:
+    /// the seed applies to whichever optimiser ends up selected.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self.config.ga.seed = seed;
+        self.config.monte_carlo.seed = seed;
+        self.optimizer = self.optimizer.with_seed(seed);
+        self
+    }
+
+    /// The configuration this builder will run with.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// The optimiser selection this builder will run with.
+    pub fn optimizer(&self) -> &OptimizerConfig {
+        &self.optimizer
+    }
+
+    /// Stage 1–3: builds the sizing problem, runs the selected optimiser and
+    /// extracts the Pareto front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::NoFeasibleCandidates`] (wrapped in [`AybError`])
+    /// when not a single candidate evaluated successfully.
+    pub fn optimize(mut self) -> Result<OptimizedFlow, AybError> {
+        let problem = OtaSizingProblem::new(self.config.testbench, self.config.sweep.clone())
+            .with_threads(self.config.threads);
+
+        notify_start(&mut self.observers, FlowStage::Optimize);
+        let t0 = Instant::now();
+        let optimization = self.optimizer.build().run(&problem);
+        let optimization_time = t0.elapsed();
+        if optimization.archive.is_empty() {
+            return Err(AybError::Flow(FlowError::NoFeasibleCandidates));
+        }
+        let pareto = optimization.pareto_front();
+        let selected = subsample_front(&pareto, self.config.max_pareto_points);
+        notify_complete(&mut self.observers, FlowStage::Optimize, optimization_time);
+
+        Ok(OptimizedFlow {
+            config: self.config,
+            observers: self.observers,
+            problem,
+            optimization,
+            pareto,
+            selected,
+            timings: FlowTimings {
+                optimization: optimization_time,
+                ..FlowTimings::default()
+            },
+        })
+    }
+
+    /// Runs all stages (`optimize -> analyze_variation -> build_model`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing stage's [`AybError`].
+    pub fn run(self) -> Result<FlowResult, AybError> {
+        self.optimize()?.analyze_variation()?.build_model()
+    }
+}
+
+/// Flow state after the optimisation stage: archive and Pareto front exist,
+/// variation analysis has not run yet.
+pub struct OptimizedFlow {
+    config: FlowConfig,
+    observers: Vec<Box<dyn FlowObserver>>,
+    problem: OtaSizingProblem,
+    optimization: OptimizationResult,
+    pareto: Vec<Evaluation>,
+    selected: Vec<Evaluation>,
+    timings: FlowTimings,
+}
+
+impl OptimizedFlow {
+    /// Every successful evaluation the optimiser performed.
+    pub fn archive(&self) -> &[Evaluation] {
+        &self.optimization.archive
+    }
+
+    /// The Pareto front extracted from the archive.
+    pub fn pareto(&self) -> &[Evaluation] {
+        &self.pareto
+    }
+
+    /// The subset of Pareto points selected for Monte Carlo analysis.
+    pub fn selected(&self) -> &[Evaluation] {
+        &self.selected
+    }
+
+    /// Stage 4: Monte Carlo variation analysis of every selected Pareto
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InsufficientParetoData`] (wrapped in
+    /// [`AybError`]) when fewer than three points survive the analysis.
+    pub fn analyze_variation(mut self) -> Result<AnalyzedFlow, AybError> {
+        notify_start(&mut self.observers, FlowStage::AnalyzeVariation);
+        let t0 = Instant::now();
+        let total = self.selected.len();
+        let mut pareto_data = Vec::with_capacity(total);
+        for (index, point) in self.selected.iter().enumerate() {
+            if let Some(data) = analyse_pareto_point(&self.problem, point, &self.config) {
+                pareto_data.push(data);
+            }
+            for observer in &mut self.observers {
+                observer.on_progress(FlowStage::AnalyzeVariation, index + 1, total);
+            }
+        }
+        self.timings.monte_carlo = t0.elapsed();
+        notify_complete(
+            &mut self.observers,
+            FlowStage::AnalyzeVariation,
+            self.timings.monte_carlo,
+        );
+        if pareto_data.len() < 3 {
+            return Err(AybError::Flow(FlowError::InsufficientParetoData(
+                pareto_data.len(),
+            )));
+        }
+        Ok(AnalyzedFlow {
+            config: self.config,
+            observers: self.observers,
+            optimization: self.optimization,
+            pareto: self.pareto,
+            pareto_data,
+            timings: self.timings,
+        })
+    }
+}
+
+/// Flow state after variation analysis: per-point variation data exists, the
+/// combined model has not been built yet.
+pub struct AnalyzedFlow {
+    config: FlowConfig,
+    observers: Vec<Box<dyn FlowObserver>>,
+    optimization: OptimizationResult,
+    pareto: Vec<Evaluation>,
+    pareto_data: Vec<ParetoPointData>,
+    timings: FlowTimings,
+}
+
+impl AnalyzedFlow {
+    /// The Pareto points annotated with Monte Carlo variation (Table 2 data).
+    pub fn pareto_data(&self) -> &[ParetoPointData] {
+        &self.pareto_data
+    }
+
+    /// Stage 5: builds the combined performance + variation model and
+    /// finishes the flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ModelError`] (wrapped in [`AybError`]) when the model
+    /// cannot be constructed from the analysed points.
+    pub fn build_model(mut self) -> Result<FlowResult, AybError> {
+        notify_start(&mut self.observers, FlowStage::BuildModel);
+        let t0 = Instant::now();
+        let model =
+            CombinedOtaModel::from_pareto_data(self.pareto_data.clone(), self.config.sigma_level)?;
+        self.timings.model_build = t0.elapsed();
+        notify_complete(
+            &mut self.observers,
+            FlowStage::BuildModel,
+            self.timings.model_build,
+        );
+        Ok(FlowResult {
+            archive: self.optimization.archive.clone(),
+            pareto: self.pareto,
+            pareto_data: self.pareto_data,
+            model,
+            timings: self.timings,
+            optimization: self.optimization,
+        })
+    }
+}
+
+fn notify_start(observers: &mut [Box<dyn FlowObserver>], stage: FlowStage) {
+    for observer in observers {
+        observer.on_stage_start(stage);
+    }
+}
+
+fn notify_complete(observers: &mut [Box<dyn FlowObserver>], stage: FlowStage, elapsed: Duration) {
+    for observer in observers {
+        observer.on_stage_complete(stage, elapsed);
+    }
+}
+
+/// Runs the complete model-generation flow with the paper's WBGA.
+///
+/// Thin compatibility wrapper over [`FlowBuilder`]: `generate_model(&config)`
+/// is exactly `FlowBuilder::new(config.clone()).run()` with the error
+/// projected onto [`FlowError`], and produces an identical [`FlowResult`].
 ///
 /// # Errors
 ///
 /// Returns an error if the optimisation finds no feasible candidates, too few
 /// Pareto points survive the variation analysis, or model construction fails.
 pub fn generate_model(config: &FlowConfig) -> Result<FlowResult, FlowError> {
-    let problem = OtaSizingProblem::new(config.testbench, config.sweep.clone());
-
-    // Steps 1–2: netlist/objective generation + WBGA optimisation.
-    let t0 = Instant::now();
-    let optimization = Wbga::new(config.ga).run(&problem);
-    let optimization_time = t0.elapsed();
-    if optimization.archive.is_empty() {
-        return Err(FlowError::NoFeasibleCandidates);
-    }
-
-    // Step 3: Pareto front extraction.
-    let pareto = optimization.pareto_front();
-    let selected = subsample_front(&pareto, config.max_pareto_points);
-
-    // Step 4: Monte Carlo variation analysis per Pareto point.
-    let t1 = Instant::now();
-    let pareto_data: Vec<ParetoPointData> = selected
-        .iter()
-        .filter_map(|point| analyse_pareto_point(&problem, point, config))
-        .collect();
-    let monte_carlo_time = t1.elapsed();
-    if pareto_data.len() < 3 {
-        return Err(FlowError::InsufficientParetoData(pareto_data.len()));
-    }
-
-    // Step 5: combined table-model generation.
-    let t2 = Instant::now();
-    let model = CombinedOtaModel::from_pareto_data(pareto_data.clone(), config.sigma_level)?;
-    let model_build_time = t2.elapsed();
-
-    Ok(FlowResult {
-        archive: optimization.archive.clone(),
-        pareto,
-        pareto_data,
-        model,
-        timings: FlowTimings {
-            optimization: optimization_time,
-            monte_carlo: monte_carlo_time,
-            model_build: model_build_time,
-        },
-        optimization,
-    })
+    FlowBuilder::new(config.clone())
+        .run()
+        .map_err(AybError::into_flow_error)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn numbered_front(n: usize) -> Vec<Evaluation> {
+        (0..n)
+            .map(|i| Evaluation::new(vec![i as f64], vec![i as f64, n as f64 - i as f64]))
+            .collect()
+    }
+
     #[test]
     fn subsample_preserves_ends_and_order() {
-        let front: Vec<Evaluation> = (0..50)
-            .map(|i| Evaluation::new(vec![i as f64], vec![i as f64, 50.0 - i as f64]))
-            .collect();
+        let front = numbered_front(50);
         let sub = subsample_front(&front, 10);
         assert_eq!(sub.len(), 10);
         assert_eq!(sub[0].objectives[0], 0.0);
         assert_eq!(sub[9].objectives[0], 49.0);
-        assert!(sub.windows(2).all(|w| w[0].objectives[0] < w[1].objectives[0]));
+        assert!(sub
+            .windows(2)
+            .all(|w| w[0].objectives[0] < w[1].objectives[0]));
         // Limits larger than the front return it unchanged.
         assert_eq!(subsample_front(&front, 100).len(), 50);
+    }
+
+    #[test]
+    fn subsample_limit_one_selects_a_representative_middle_point() {
+        let front = numbered_front(9);
+        let sub = subsample_front(&front, 1);
+        assert_eq!(sub.len(), 1);
+        // The knee-region (middle) point, not the first point.
+        assert_eq!(sub[0].objectives[0], 4.0);
+        // Still well-defined for the smallest front that can be subsampled.
+        let pair = numbered_front(2);
+        assert_eq!(subsample_front(&pair, 1)[0].objectives[0], 1.0);
+    }
+
+    #[test]
+    fn subsample_limit_two_keeps_both_ends() {
+        let front = numbered_front(17);
+        let sub = subsample_front(&front, 2);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub[0].objectives[0], 0.0);
+        assert_eq!(sub[1].objectives[0], 16.0);
+    }
+
+    #[test]
+    fn subsample_limit_zero_and_empty_front_are_identity() {
+        let front = numbered_front(5);
+        assert_eq!(subsample_front(&front, 0).len(), 5);
+        assert!(subsample_front(&[], 3).is_empty());
     }
 
     // The full reduced-scale flow is exercised by the workspace-level
@@ -252,6 +604,66 @@ mod tests {
     fn flow_error_display() {
         let e = FlowError::InsufficientParetoData(1);
         assert!(e.to_string().contains('1'));
-        assert!(FlowError::NoFeasibleCandidates.to_string().contains("no feasible"));
+        assert!(FlowError::NoFeasibleCandidates
+            .to_string()
+            .contains("no feasible"));
+    }
+
+    #[test]
+    fn flow_summary_without_timing_zeroes_only_the_clock() {
+        let summary = FlowSummary {
+            generations: 8,
+            evaluation_samples: 100,
+            pareto_points: 12,
+            analysed_pareto_points: 8,
+            mc_samples_per_point: 16,
+            cpu_time_seconds: 3.25,
+        };
+        let stripped = summary.without_timing();
+        assert_eq!(stripped.cpu_time_seconds, 0.0);
+        assert_eq!(stripped.generations, summary.generations);
+        assert_eq!(stripped.evaluation_samples, summary.evaluation_samples);
+    }
+
+    #[test]
+    fn builder_records_configuration_and_optimizer() {
+        let config = FlowConfig::reduced();
+        let builder = FlowBuilder::new(config.clone());
+        assert_eq!(builder.optimizer().name(), "wbga");
+        assert_eq!(builder.config().ga.seed, config.ga.seed);
+
+        let reseeded = FlowBuilder::new(config)
+            .with_optimizer(OptimizerConfig::RandomSearch {
+                budget: 64,
+                seed: 1,
+            })
+            .with_seed(0xabcd);
+        assert_eq!(reseeded.optimizer().seed(), 0xabcd);
+        assert_eq!(reseeded.config().monte_carlo.seed, 0xabcd);
+        assert_eq!(reseeded.optimizer().name(), "random_search");
+    }
+
+    #[test]
+    fn with_seed_applies_regardless_of_call_order() {
+        let config = FlowConfig::reduced();
+        let optimizer = OptimizerConfig::RandomSearch {
+            budget: 64,
+            seed: 1,
+        };
+
+        let seed_first = FlowBuilder::new(config.clone())
+            .with_seed(0x5eed)
+            .with_optimizer(optimizer.clone());
+        let seed_last = FlowBuilder::new(config)
+            .with_optimizer(optimizer)
+            .with_seed(0x5eed);
+
+        assert_eq!(seed_first.optimizer().seed(), 0x5eed);
+        assert_eq!(seed_last.optimizer().seed(), 0x5eed);
+        assert_eq!(seed_first.optimizer(), seed_last.optimizer());
+        assert_eq!(
+            seed_first.config().monte_carlo.seed,
+            seed_last.config().monte_carlo.seed
+        );
     }
 }

@@ -3,12 +3,24 @@
 //! End-to-end implementation of *"A New Approach for Combining Yield and
 //! Performance in Behavioural Models for Analogue Integrated Circuits"*
 //! (Ali, Wilcock, Wilson, Brown — DATE 2008) on top of the AYB substrate
-//! crates:
+//! crates.
 //!
+//! The public API is engine-style: the *problem*
+//! ([`OtaSizingProblem`], an `ayb_moo::SizingProblem`), the *optimiser*
+//! (any `ayb_moo::Optimizer`, selected with `ayb_moo::OptimizerConfig`) and
+//! the *flow* ([`FlowBuilder`]) are decoupled layers:
+//!
+//! * [`FlowBuilder`] — staged execution of the five-step flow of Figure 3
+//!   (`.optimize()?.analyze_variation()?.build_model()?`), with pluggable
+//!   optimisers, per-stage [`FlowObserver`] progress callbacks and explicit
+//!   RNG seeding ([`FlowBuilder::with_seed`]) for end-to-end determinism,
+//! * [`generate_model`] — thin compatibility wrapper running all stages with
+//!   the paper's WBGA,
+//! * [`AybError`] — the unified error that wraps `FlowError`, `ModelError`,
+//!   `SimError`, `TableError` and `CircuitError` with `From` impls,
 //! * [`OtaSizingProblem`] — the paper's benchmark problem: size the
-//!   symmetrical OTA for open-loop gain and phase margin (§3.1, §4.1),
-//! * [`generate_model`] — the five-step flow of Figure 3: WBGA optimisation,
-//!   Pareto extraction, per-point Monte Carlo, table-model generation,
+//!   symmetrical OTA for open-loop gain and phase margin (§3.1, §4.1), with
+//!   multi-threaded batch evaluation for the optimiser populations,
 //! * [`verify`] — transistor-level accuracy (Table 4) and yield verification,
 //! * [`filter_design`] — the hierarchical 2nd-order anti-aliasing filter
 //!   application of §5,
@@ -21,13 +33,31 @@
 //! Running the whole flow at reduced scale (seconds, not hours):
 //!
 //! ```no_run
-//! use ayb_core::{generate_model, FlowConfig};
+//! use ayb_core::{FlowBuilder, FlowConfig};
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), ayb_core::AybError> {
 //! let config = FlowConfig::reduced();
-//! let result = generate_model(&config)?;
+//! let result = FlowBuilder::new(config.clone())
+//!     .optimize()?
+//!     .analyze_variation()?
+//!     .build_model()?;
 //! println!("{} Pareto points", result.pareto.len());
 //! println!("{}", ayb_core::report::render_table2(&result.pareto_data));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Swapping the optimiser while keeping every other stage identical:
+//!
+//! ```no_run
+//! use ayb_core::{FlowBuilder, FlowConfig};
+//! use ayb_moo::{GaConfig, OptimizerConfig};
+//!
+//! # fn main() -> Result<(), ayb_core::AybError> {
+//! let result = FlowBuilder::new(FlowConfig::reduced())
+//!     .with_optimizer(OptimizerConfig::Nsga2(GaConfig::small_test()))
+//!     .run()?;
+//! assert_eq!(result.optimization.optimizer, "nsga2");
 //! # Ok(())
 //! # }
 //! ```
@@ -37,6 +67,7 @@
 
 pub mod config;
 pub mod conventional;
+pub mod error;
 pub mod filter_design;
 pub mod flow;
 pub mod ota_problem;
@@ -45,7 +76,11 @@ pub mod verify;
 
 pub use config::FlowConfig;
 pub use conventional::{compare_approaches, conventional_ota_yield, ApproachComparison};
+pub use error::AybError;
 pub use filter_design::{design_filter, verify_filter_yield, FilterDesignResult};
-pub use flow::{generate_model, FlowError, FlowResult, FlowSummary, FlowTimings};
+pub use flow::{
+    generate_model, AnalyzedFlow, FlowBuilder, FlowError, FlowObserver, FlowResult, FlowStage,
+    FlowSummary, FlowTimings, OptimizedFlow, StderrObserver,
+};
 pub use ota_problem::{evaluate_ota, measure_testbench, OtaPerformance, OtaSizingProblem};
 pub use verify::{verify_accuracy, verify_ota_yield, AccuracyReport, YieldReport};

@@ -7,7 +7,7 @@
 
 use ayb_circuit::ota::{build_open_loop_testbench, OtaParameters, OtaTestbenchConfig};
 use ayb_circuit::{Circuit, DesignPoint, ParameterSet};
-use ayb_moo::{MultiObjectiveProblem, ObjectiveSpec};
+use ayb_moo::{evaluate_batch_parallel, Evaluation, ObjectiveSpec, SizingProblem};
 use ayb_sim::{ac_analysis, dc_operating_point, measure, DcOptions, FrequencySweep};
 use serde::{Deserialize, Serialize};
 
@@ -59,6 +59,7 @@ pub struct OtaSizingProblem {
     objectives: Vec<ObjectiveSpec>,
     testbench: OtaTestbenchConfig,
     sweep: FrequencySweep,
+    threads: usize,
 }
 
 impl OtaSizingProblem {
@@ -72,7 +73,24 @@ impl OtaSizingProblem {
             ],
             testbench,
             sweep,
+            threads: 1,
         }
+    }
+
+    /// Sets the number of worker threads batch evaluations may use.
+    ///
+    /// The optimisers evaluate whole populations through
+    /// [`SizingProblem::evaluate_batch`], so this is what spreads GA circuit
+    /// simulations — not just Monte Carlo samples — across cores.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The number of worker threads batch evaluations may use.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The designable parameter space (Table 1).
@@ -98,7 +116,7 @@ impl OtaSizingProblem {
     }
 }
 
-impl MultiObjectiveProblem for OtaSizingProblem {
+impl SizingProblem for OtaSizingProblem {
     fn parameter_count(&self) -> usize {
         self.parameter_set.len()
     }
@@ -110,6 +128,10 @@ impl MultiObjectiveProblem for OtaSizingProblem {
     fn evaluate(&self, parameters: &[f64]) -> Option<Vec<f64>> {
         let perf = self.performance(parameters)?;
         Some(vec![perf.gain_db, perf.phase_margin_deg])
+    }
+
+    fn evaluate_batch(&self, batch: &[Vec<f64>]) -> Vec<Option<Evaluation>> {
+        evaluate_batch_parallel(self, batch, self.threads)
     }
 }
 
@@ -150,12 +172,27 @@ mod tests {
     #[test]
     fn gene_mapping_respects_table1_bounds() {
         let p = problem();
-        let params = p.ota_parameters(&vec![0.0; 8]).unwrap();
+        let params = p.ota_parameters(&[0.0; 8]).unwrap();
         assert!((params.w1 - 10e-6).abs() < 1e-12);
         assert!((params.l1 - 0.35e-6).abs() < 1e-15);
-        let params = p.ota_parameters(&vec![1.0; 8]).unwrap();
+        let params = p.ota_parameters(&[1.0; 8]).unwrap();
         assert!((params.w1 - 60e-6).abs() < 1e-12);
         assert!((params.l1 - 4e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn parallel_batch_evaluation_matches_sequential() {
+        let sequential = problem();
+        let parallel = problem().with_threads(4);
+        assert_eq!(parallel.threads(), 4);
+        let batch: Vec<Vec<f64>> = (0..6)
+            .map(|i| vec![0.2 + 0.1 * (i % 4) as f64; 8])
+            .collect();
+        let a = sequential.evaluate_batch(&batch);
+        let b = parallel.evaluate_batch(&batch);
+        assert_eq!(a, b, "thread count must not change results");
+        assert_eq!(a.len(), batch.len());
+        assert!(a.iter().any(|r| r.is_some()));
     }
 
     #[test]
@@ -163,8 +200,7 @@ mod tests {
         let params = OtaParameters::nominal();
         let sweep = FrequencySweep::logarithmic(10.0, 1e9, 5);
         let direct = evaluate_ota(&params, &OtaTestbenchConfig::new(), &sweep).unwrap();
-        let circuit =
-            build_open_loop_testbench(&params, &OtaTestbenchConfig::new()).unwrap();
+        let circuit = build_open_loop_testbench(&params, &OtaTestbenchConfig::new()).unwrap();
         let via_circuit = measure_testbench(&circuit, &sweep).unwrap();
         assert!((direct.gain_db - via_circuit.gain_db).abs() < 1e-9);
         assert!((direct.phase_margin_deg - via_circuit.phase_margin_deg).abs() < 1e-9);

@@ -17,7 +17,11 @@ pub fn render_table1() -> String {
     let set = OtaParameters::parameter_set();
     let mut out = String::new();
     let _ = writeln!(out, "Table 1. Design parameters");
-    let _ = writeln!(out, "{:<22} {:>12} {:>12}", "Design Parameter", "Min", "Max");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>12} {:>12}",
+        "Design Parameter", "Min", "Max"
+    );
     let devices = [
         ("w1 (M5,M4)", "l1 (M5,M4)"),
         ("w2 (M7,M9)", "l2 (M7,M9)"),
@@ -102,7 +106,9 @@ pub fn render_table3(retarget: &RetargetedPerformance) -> String {
     let _ = writeln!(
         out,
         "{:<14} {:>17} dB {:>10.2}% {:>15.2} dB",
-        "Gain", format!("> {:.0}", retarget.required_gain_db), retarget.gain_variation_percent,
+        "Gain",
+        format!("> {:.0}", retarget.required_gain_db),
+        retarget.gain_variation_percent,
         retarget.new_gain_db
     );
     let _ = writeln!(
@@ -150,7 +156,11 @@ pub fn render_table5(summary: &FlowSummary) -> String {
     let _ = writeln!(out, "Table 5. Design parameter summary");
     let _ = writeln!(out, "{:<36} {:>14}", "Parameters:", "Values:");
     let _ = writeln!(out, "{:<36} {:>14}", "No. Generations", summary.generations);
-    let _ = writeln!(out, "{:<36} {:>14}", "Evaluation Samples", summary.evaluation_samples);
+    let _ = writeln!(
+        out,
+        "{:<36} {:>14}",
+        "Evaluation Samples", summary.evaluation_samples
+    );
     let _ = writeln!(out, "{:<36} {:>14}", "Pareto Points", summary.pareto_points);
     let _ = writeln!(
         out,
@@ -293,7 +303,10 @@ mod tests {
         let csv = render_response_csv(
             "Figure 8",
             &[1.0, 10.0],
-            &[("transistor_db", vec![50.0, 49.9]), ("model_db", vec![50.1, 50.0])],
+            &[
+                ("transistor_db", vec![50.0, 49.9]),
+                ("model_db", vec![50.1, 50.0]),
+            ],
         );
         assert!(csv.contains("frequency_hz,transistor_db,model_db"));
         assert!(csv.lines().count() == 4);

@@ -101,9 +101,7 @@ pub fn verify_ota_yield(
         &config.variation,
         &mc,
         config.threads,
-        move |sample| {
-            measure_testbench(sample, &sweep).map(|p| (p.gain_db, p.phase_margin_deg))
-        },
+        move |sample| measure_testbench(sample, &sweep).map(|p| (p.gain_db, p.phase_margin_deg)),
     );
     let yield_fraction = yield_estimate(&run.values, |&(gain, pm)| spec.is_met(gain, pm))?;
     Some(YieldReport {
@@ -149,7 +147,11 @@ mod tests {
         let spec = OtaSpec::new(30.0, 40.0);
         let report = verify_ota_yield(&point, &spec, &config, 8, 3).expect("yield computed");
         assert!(report.samples > 0);
-        assert!(report.yield_fraction > 0.5, "yield {}", report.yield_fraction);
+        assert!(
+            report.yield_fraction > 0.5,
+            "yield {}",
+            report.yield_fraction
+        );
         // An impossible spec gives zero yield.
         let impossible = OtaSpec::new(90.0, 89.0);
         let zero = verify_ota_yield(&point, &impossible, &config, 8, 3).unwrap();

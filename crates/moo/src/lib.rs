@@ -1,17 +1,22 @@
 //! # ayb-moo — multi-objective optimisation for analogue sizing
 //!
 //! This crate implements the optimisation machinery of the paper's flow
-//! (§2.1, §3.2, §3.3):
+//! (§2.1, §3.2, §3.3) behind an engine-style public API:
 //!
+//! * [`SizingProblem`] — the problem abstraction over normalised `[0, 1]`
+//!   parameter vectors, with a batch evaluation entry point
+//!   ([`SizingProblem::evaluate_batch`] / [`evaluate_batch_parallel`]) so
+//!   expensive evaluations use every core,
+//! * [`Optimizer`] — the common interface every search algorithm implements;
+//!   algorithms are interchangeable behind `&dyn Optimizer` and selected with
+//!   the serde-friendly [`OptimizerConfig`] enum,
 //! * [`Wbga`] — the weight-based genetic algorithm the paper uses, where the
 //!   GA string carries designable parameters *and* objective weights
 //!   (normalised per eq. 4) and fitness is the normalised weighted sum (eq. 5),
 //! * [`Nsga2`] — the NSGA-II baseline used in the ablation benchmarks,
-//! * [`random_search`] — a uniform-sampling baseline,
+//! * [`RandomSearch`] / [`random_search`] — a uniform-sampling baseline,
 //! * [`pareto`] — dominance tests, Pareto-front extraction (§3.3), fast
-//!   non-dominated sorting, crowding distance and 2-D hypervolume,
-//! * [`MultiObjectiveProblem`] — the problem abstraction over normalised
-//!   `[0, 1]` parameter vectors.
+//!   non-dominated sorting, crowding distance and 2-D hypervolume.
 //!
 //! # Examples
 //!
@@ -29,6 +34,22 @@
 //! let front = result.pareto_front();
 //! assert!(!front.is_empty());
 //! ```
+//!
+//! Selecting the algorithm at run time through the [`Optimizer`] trait:
+//!
+//! ```
+//! use ayb_moo::{FnProblem, GaConfig, ObjectiveSpec, OptimizerConfig};
+//!
+//! let problem = FnProblem::new(
+//!     1,
+//!     vec![ObjectiveSpec::maximize("f1"), ObjectiveSpec::maximize("f2")],
+//!     |x: &[f64]| Some(vec![x[0], 1.0 - x[0] * x[0]]),
+//! );
+//! let config = OptimizerConfig::Nsga2(GaConfig::small_test());
+//! let result = config.build().run(&problem);
+//! assert_eq!(result.optimizer, "nsga2");
+//! assert!(!result.pareto_front().is_empty());
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,6 +57,7 @@
 pub mod config;
 pub mod nsga2;
 pub mod operators;
+pub mod optimizer;
 pub mod pareto;
 pub mod problem;
 pub mod random_search;
@@ -43,10 +65,15 @@ pub mod wbga;
 
 pub use config::{GaConfig, GenerationStats};
 pub use nsga2::{Nsga2, Nsga2Result};
+pub use optimizer::{OptimizationResult, Optimizer, OptimizerConfig};
 pub use pareto::{
     crowding_distance, dominates, fast_non_dominated_sort, hypervolume_2d, non_dominated_indices,
     pareto_front,
 };
-pub use problem::{Evaluation, FnProblem, MultiObjectiveProblem, ObjectiveSpec, Sense};
-pub use random_search::{random_search, RandomSearchResult};
+/// Backwards-compatible alias for [`SizingProblem`] (the pre-redesign name).
+pub use problem::SizingProblem as MultiObjectiveProblem;
+pub use problem::{
+    evaluate_batch_parallel, Evaluation, FnProblem, ObjectiveSpec, Sense, SizingProblem,
+};
+pub use random_search::{random_search, RandomSearch, RandomSearchResult};
 pub use wbga::{normalize_weights, Wbga, WbgaIndividual, WbgaResult};

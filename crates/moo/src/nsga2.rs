@@ -7,8 +7,9 @@
 
 use crate::config::{GaConfig, GenerationStats};
 use crate::operators::{blend_crossover, gaussian_mutation, random_genes};
+use crate::optimizer::{OptimizationResult, Optimizer};
 use crate::pareto::{crowding_distance, fast_non_dominated_sort, pareto_front};
-use crate::problem::{Evaluation, MultiObjectiveProblem, Sense};
+use crate::problem::{Evaluation, Sense, SizingProblem};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -61,7 +62,10 @@ impl Nsga2 {
     }
 
     /// Runs the optimisation.
-    pub fn run<P: MultiObjectiveProblem>(&self, problem: &P) -> Nsga2Result {
+    ///
+    /// Populations are evaluated through [`SizingProblem::evaluate_batch`],
+    /// so problems with a parallel batch implementation use every core.
+    pub fn run<P: SizingProblem + ?Sized>(&self, problem: &P) -> Nsga2Result {
         let cfg = &self.config;
         let n_params = problem.parameter_count();
         let senses: Vec<Sense> = problem.objectives().iter().map(|o| o.sense).collect();
@@ -72,25 +76,36 @@ impl Nsga2 {
         let mut evaluations = 0usize;
         let mut failed = 0usize;
 
-        let evaluate = |genes: Vec<f64>,
-                            archive: &mut Vec<Evaluation>,
-                            evaluations: &mut usize,
-                            failed: &mut usize| {
-            *evaluations += 1;
-            let objectives = problem.evaluate(&genes);
-            match &objectives {
-                Some(obj) => archive.push(Evaluation::new(genes.clone(), obj.clone())),
-                None => *failed += 1,
-            }
-            Candidate { genes, objectives }
+        let evaluate_batch = |genomes: Vec<Vec<f64>>,
+                              archive: &mut Vec<Evaluation>,
+                              evaluations: &mut usize,
+                              failed: &mut usize| {
+            let results = problem.evaluate_batch(&genomes);
+            genomes
+                .into_iter()
+                .zip(results)
+                .map(|(genes, result)| {
+                    *evaluations += 1;
+                    let objectives = match result {
+                        Some(evaluation) => {
+                            let objectives = evaluation.objectives.clone();
+                            archive.push(evaluation);
+                            Some(objectives)
+                        }
+                        None => {
+                            *failed += 1;
+                            None
+                        }
+                    };
+                    Candidate { genes, objectives }
+                })
+                .collect::<Vec<Candidate>>()
         };
 
-        let mut population: Vec<Candidate> = (0..cfg.population_size)
-            .map(|_| {
-                let genes = random_genes(&mut rng, n_params);
-                evaluate(genes, &mut archive, &mut evaluations, &mut failed)
-            })
+        let genomes: Vec<Vec<f64>> = (0..cfg.population_size)
+            .map(|_| random_genes(&mut rng, n_params))
             .collect();
+        let mut population = evaluate_batch(genomes, &mut archive, &mut evaluations, &mut failed);
 
         for generation in 0..cfg.generations {
             history.push(stats(generation, &population, &senses));
@@ -100,9 +115,9 @@ impl Nsga2 {
             // Rank the current population to drive mating selection.
             let (ranks, crowding) = rank_population(&population, &senses);
 
-            // Generate offspring.
-            let mut offspring = Vec::with_capacity(cfg.population_size);
-            while offspring.len() < cfg.population_size {
+            // Generate the full offspring genome set, then evaluate one batch.
+            let mut offspring_genomes: Vec<Vec<f64>> = Vec::with_capacity(cfg.population_size);
+            while offspring_genomes.len() < cfg.population_size {
                 let pa = binary_tournament(&mut rng, &ranks, &crowding);
                 let pb = binary_tournament(&mut rng, &ranks, &crowding);
                 let (mut child_a, mut child_b) = if rng.gen::<f64>() < cfg.crossover_rate {
@@ -110,15 +125,31 @@ impl Nsga2 {
                 } else {
                     (population[pa].genes.clone(), population[pb].genes.clone())
                 };
-                gaussian_mutation(&mut rng, &mut child_a, cfg.mutation_rate, cfg.mutation_sigma);
-                gaussian_mutation(&mut rng, &mut child_b, cfg.mutation_rate, cfg.mutation_sigma);
+                gaussian_mutation(
+                    &mut rng,
+                    &mut child_a,
+                    cfg.mutation_rate,
+                    cfg.mutation_sigma,
+                );
+                gaussian_mutation(
+                    &mut rng,
+                    &mut child_b,
+                    cfg.mutation_rate,
+                    cfg.mutation_sigma,
+                );
                 for child in [child_a, child_b] {
-                    if offspring.len() >= cfg.population_size {
+                    if offspring_genomes.len() >= cfg.population_size {
                         break;
                     }
-                    offspring.push(evaluate(child, &mut archive, &mut evaluations, &mut failed));
+                    offspring_genomes.push(child);
                 }
             }
+            let offspring = evaluate_batch(
+                offspring_genomes,
+                &mut archive,
+                &mut evaluations,
+                &mut failed,
+            );
 
             // Environmental selection over parents + offspring.
             let mut combined = population;
@@ -146,6 +177,16 @@ impl Nsga2 {
     }
 }
 
+impl Optimizer for Nsga2 {
+    fn name(&self) -> &'static str {
+        "nsga2"
+    }
+
+    fn run(&self, problem: &dyn SizingProblem) -> OptimizationResult {
+        Nsga2::run(self, problem).into()
+    }
+}
+
 /// Worst-possible objective vector used to park infeasible candidates at the
 /// bottom of the ranking without special cases.
 fn penalty_objectives(senses: &[Sense]) -> Vec<f64> {
@@ -161,7 +202,11 @@ fn penalty_objectives(senses: &[Sense]) -> Vec<f64> {
 fn rank_population(population: &[Candidate], senses: &[Sense]) -> (Vec<usize>, Vec<f64>) {
     let objectives: Vec<Vec<f64>> = population
         .iter()
-        .map(|c| c.objectives.clone().unwrap_or_else(|| penalty_objectives(senses)))
+        .map(|c| {
+            c.objectives
+                .clone()
+                .unwrap_or_else(|| penalty_objectives(senses))
+        })
         .collect();
     let fronts = fast_non_dominated_sort(&objectives, senses);
     let mut ranks = vec![0usize; population.len()];
@@ -197,7 +242,11 @@ fn environmental_selection(
 ) -> Vec<Candidate> {
     let objectives: Vec<Vec<f64>> = combined
         .iter()
-        .map(|c| c.objectives.clone().unwrap_or_else(|| penalty_objectives(senses)))
+        .map(|c| {
+            c.objectives
+                .clone()
+                .unwrap_or_else(|| penalty_objectives(senses))
+        })
         .collect();
     let fronts = fast_non_dominated_sort(&objectives, senses);
     let mut selected: Vec<usize> = Vec::with_capacity(target);
@@ -279,7 +328,10 @@ mod tests {
             .map(|e| (e.objectives[1] - (1.0 - e.objectives[0].sqrt())).abs())
             .sum::<f64>()
             / front.len() as f64;
-        assert!(mean_violation < 0.6, "front too far from optimum: {mean_violation}");
+        assert!(
+            mean_violation < 0.6,
+            "front too far from optimum: {mean_violation}"
+        );
     }
 
     #[test]

@@ -126,7 +126,10 @@ mod tests {
         }
         assert!(wins[1] > wins[0]);
         assert!(wins[1] > wins[2]);
-        assert!(wins[1] > 1000, "best individual should win most tournaments");
+        assert!(
+            wins[1] > 1000,
+            "best individual should win most tournaments"
+        );
     }
 
     #[test]

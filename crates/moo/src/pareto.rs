@@ -106,6 +106,8 @@ pub fn crowding_distance(objectives: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
         return vec![f64::INFINITY; front.len()];
     }
     let m = objectives[front[0]].len();
+    // Index-based loop: `obj` addresses a column across several slices.
+    #[allow(clippy::needless_range_loop)]
     for obj in 0..m {
         let mut order: Vec<usize> = (0..front.len()).collect();
         order.sort_by(|&a, &b| {
@@ -133,7 +135,11 @@ pub fn crowding_distance(objectives: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
 /// point must be dominated by every front member for a meaningful result.
 /// Used as the front-quality metric in the WBGA-vs-NSGA-II ablation.
 pub fn hypervolume_2d(front: &[Evaluation], reference: [f64; 2], senses: &[Sense]) -> f64 {
-    assert_eq!(senses.len(), 2, "hypervolume_2d requires exactly two objectives");
+    assert_eq!(
+        senses.len(),
+        2,
+        "hypervolume_2d requires exactly two objectives"
+    );
     let orient = |value: f64, sense: Sense, reference: f64| match sense {
         Sense::Maximize => value - reference,
         Sense::Minimize => reference - value,
@@ -211,7 +217,9 @@ mod tests {
         ];
         let front = pareto_front(&evals, &MAX2);
         assert_eq!(front.len(), 3);
-        assert!(front.windows(2).all(|w| w[0].objectives[0] <= w[1].objectives[0]));
+        assert!(front
+            .windows(2)
+            .all(|w| w[0].objectives[0] <= w[1].objectives[0]));
     }
 
     #[test]
@@ -228,14 +236,18 @@ mod tests {
         let front = pareto_front(&evals, &MAX2);
         for a in &front {
             for b in &front {
-                assert!(!dominates(&a.objectives, &b.objectives, &MAX2) || a.objectives == b.objectives);
+                assert!(
+                    !dominates(&a.objectives, &b.objectives, &MAX2) || a.objectives == b.objectives
+                );
             }
         }
         // Condition (b): every non-front point is dominated by a front member.
         for e in &evals {
             let on_front = front.iter().any(|f| f.objectives == e.objectives);
             if !on_front {
-                assert!(front.iter().any(|f| dominates(&f.objectives, &e.objectives, &MAX2)));
+                assert!(front
+                    .iter()
+                    .any(|f| dominates(&f.objectives, &e.objectives, &MAX2)));
             }
         }
     }

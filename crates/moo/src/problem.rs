@@ -56,7 +56,8 @@ impl ObjectiveSpec {
     }
 }
 
-/// A multi-objective optimisation problem over normalised parameters.
+/// A sizing problem: a multi-objective optimisation problem over normalised
+/// parameters.
 ///
 /// Parameters are presented to the optimiser as a vector in `[0, 1]^n`
 /// (mirroring the paper's normalised GA string, Figure 6); the problem
@@ -65,7 +66,12 @@ impl ObjectiveSpec {
 /// `evaluate` returns `None` for infeasible points (for example a bias point
 /// that does not converge); the optimisers treat these as worst-possible
 /// candidates rather than aborting.
-pub trait MultiObjectiveProblem {
+///
+/// The trait is object safe — every [`Optimizer`](crate::Optimizer) consumes
+/// a `&dyn SizingProblem` — and requires [`Sync`] so that batches can be
+/// evaluated on worker threads (see [`SizingProblem::evaluate_batch`] and
+/// [`evaluate_batch_parallel`]).
+pub trait SizingProblem: Sync {
     /// Number of designable parameters (dimension of the normalised vector).
     fn parameter_count(&self) -> usize;
 
@@ -75,10 +81,66 @@ pub trait MultiObjectiveProblem {
     /// Evaluates the raw objective values at a normalised parameter vector.
     fn evaluate(&self, parameters: &[f64]) -> Option<Vec<f64>>;
 
-    /// Number of objectives (derived from [`MultiObjectiveProblem::objectives`]).
+    /// Number of objectives (derived from [`SizingProblem::objectives`]).
     fn objective_count(&self) -> usize {
         self.objectives().len()
     }
+
+    /// Evaluates a whole batch of candidates, returning one entry per input
+    /// in the same order (`None` marks an infeasible candidate).
+    ///
+    /// The default implementation loops over [`SizingProblem::evaluate`].
+    /// Problems with expensive evaluations (such as circuit simulation)
+    /// override this with [`evaluate_batch_parallel`] so that *optimiser*
+    /// populations — not just Monte Carlo samples — use every core.
+    fn evaluate_batch(&self, batch: &[Vec<f64>]) -> Vec<Option<Evaluation>> {
+        batch
+            .iter()
+            .map(|parameters| {
+                self.evaluate(parameters)
+                    .map(|objectives| Evaluation::new(parameters.clone(), objectives))
+            })
+            .collect()
+    }
+}
+
+/// Evaluates a batch on `threads` scoped worker threads, preserving order.
+///
+/// Results are identical to the sequential default (candidate evaluation is
+/// pure), so parallel batch evaluation never perturbs reproducibility. With
+/// `threads <= 1` — or batches too small to be worth splitting — the batch is
+/// evaluated inline.
+pub fn evaluate_batch_parallel<P: SizingProblem + ?Sized>(
+    problem: &P,
+    batch: &[Vec<f64>],
+    threads: usize,
+) -> Vec<Option<Evaluation>> {
+    let threads = threads.max(1).min(batch.len().max(1));
+    if threads == 1 {
+        return batch
+            .iter()
+            .map(|parameters| {
+                problem
+                    .evaluate(parameters)
+                    .map(|objectives| Evaluation::new(parameters.clone(), objectives))
+            })
+            .collect();
+    }
+    let chunk = batch.len().div_ceil(threads).max(1);
+    let mut slots: Vec<Option<Evaluation>> = Vec::with_capacity(batch.len());
+    slots.resize_with(batch.len(), || None);
+    std::thread::scope(|scope| {
+        for (batch_chunk, slot_chunk) in batch.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (parameters, slot) in batch_chunk.iter().zip(slot_chunk.iter_mut()) {
+                    *slot = problem
+                        .evaluate(parameters)
+                        .map(|objectives| Evaluation::new(parameters.clone(), objectives));
+                }
+            });
+        }
+    });
+    slots
 }
 
 /// A point that has been evaluated: normalised parameters plus raw objective values.
@@ -111,7 +173,7 @@ impl<F> FnProblem<F>
 where
     F: Fn(&[f64]) -> Option<Vec<f64>>,
 {
-    /// Wraps a closure as a [`MultiObjectiveProblem`].
+    /// Wraps a closure as a [`SizingProblem`].
     pub fn new(parameter_count: usize, objectives: Vec<ObjectiveSpec>, function: F) -> Self {
         FnProblem {
             parameter_count,
@@ -121,9 +183,9 @@ where
     }
 }
 
-impl<F> MultiObjectiveProblem for FnProblem<F>
+impl<F> SizingProblem for FnProblem<F>
 where
-    F: Fn(&[f64]) -> Option<Vec<f64>>,
+    F: Fn(&[f64]) -> Option<Vec<f64>> + Sync,
 {
     fn parameter_count(&self) -> usize {
         self.parameter_count
@@ -169,5 +231,55 @@ mod tests {
         let e = Evaluation::new(vec![0.1, 0.2], vec![50.0, 75.0]);
         assert_eq!(e.parameters.len(), 2);
         assert_eq!(e.objectives[1], 75.0);
+    }
+
+    fn batch_problem() -> FnProblem<impl Fn(&[f64]) -> Option<Vec<f64>> + Sync> {
+        FnProblem::new(
+            2,
+            vec![ObjectiveSpec::maximize("f1"), ObjectiveSpec::minimize("f2")],
+            |x: &[f64]| {
+                if x[0] > 0.9 {
+                    None
+                } else {
+                    Some(vec![x[0] + x[1], x[0] * x[1]])
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn default_batch_evaluation_preserves_order_and_failures() {
+        let p = batch_problem();
+        let batch = vec![vec![0.1, 0.2], vec![0.95, 0.0], vec![0.5, 0.5]];
+        let results = p.evaluate_batch(&batch);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().unwrap().parameters, batch[0]);
+        assert!(results[1].is_none(), "infeasible candidate maps to None");
+        assert_eq!(results[2].as_ref().unwrap().objectives, vec![1.0, 0.25]);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_for_any_thread_count() {
+        let p = batch_problem();
+        let batch: Vec<Vec<f64>> = (0..37)
+            .map(|i| vec![(i as f64) / 40.0, ((i * 7) % 40) as f64 / 40.0])
+            .collect();
+        let sequential = p.evaluate_batch(&batch);
+        for threads in [0, 1, 2, 3, 8, 64] {
+            let parallel = evaluate_batch_parallel(&p, &batch, threads);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+        // Empty batches are handled without panicking.
+        assert!(evaluate_batch_parallel(&p, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn sizing_problem_is_object_safe() {
+        let p = batch_problem();
+        let dynamic: &dyn SizingProblem = &p;
+        assert_eq!(dynamic.parameter_count(), 2);
+        assert_eq!(dynamic.objective_count(), 2);
+        assert!(dynamic.evaluate(&[0.2, 0.2]).is_some());
+        assert_eq!(dynamic.evaluate_batch(&[vec![0.2, 0.2]]).len(), 1);
     }
 }

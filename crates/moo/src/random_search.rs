@@ -4,8 +4,9 @@
 //! space uniformly and keep the non-dominated points. Used to show what the
 //! same evaluation budget buys without an evolutionary search.
 
+use crate::optimizer::{OptimizationResult, Optimizer};
 use crate::pareto::pareto_front;
-use crate::problem::{Evaluation, MultiObjectiveProblem, Sense};
+use crate::problem::{Evaluation, Sense, SizingProblem};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -30,22 +31,62 @@ impl RandomSearchResult {
     }
 }
 
+/// Uniform random search as an [`Optimizer`] (stateless apart from its
+/// budget and seed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RandomSearch {
+    /// Number of evaluation attempts.
+    pub budget: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomSearch {
+    /// Creates a random-search optimiser.
+    pub fn new(budget: usize, seed: u64) -> Self {
+        RandomSearch { budget, seed }
+    }
+
+    /// Runs the search (same result as the free [`random_search`] function).
+    pub fn run<P: SizingProblem + ?Sized>(&self, problem: &P) -> RandomSearchResult {
+        random_search(problem, self.budget, self.seed)
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random_search"
+    }
+
+    fn run(&self, problem: &dyn SizingProblem) -> OptimizationResult {
+        RandomSearch::run(self, problem).into()
+    }
+}
+
 /// Runs uniform random search with the given evaluation budget and seed.
-pub fn random_search<P: MultiObjectiveProblem>(
+///
+/// All candidates are drawn up front and evaluated as one batch through
+/// [`SizingProblem::evaluate_batch`], so problems with a parallel batch
+/// implementation use every core.
+pub fn random_search<P: SizingProblem + ?Sized>(
     problem: &P,
     budget: usize,
     seed: u64,
 ) -> RandomSearchResult {
     let mut rng = StdRng::seed_from_u64(seed);
     let senses: Vec<Sense> = problem.objectives().iter().map(|o| o.sense).collect();
+    let genomes: Vec<Vec<f64>> = (0..budget)
+        .map(|_| {
+            (0..problem.parameter_count())
+                .map(|_| rng.gen::<f64>())
+                .collect()
+        })
+        .collect();
     let mut archive = Vec::with_capacity(budget);
     let mut failed = 0usize;
-    for _ in 0..budget {
-        let genes: Vec<f64> = (0..problem.parameter_count())
-            .map(|_| rng.gen::<f64>())
-            .collect();
-        match problem.evaluate(&genes) {
-            Some(objectives) => archive.push(Evaluation::new(genes, objectives)),
+    for result in problem.evaluate_batch(&genomes) {
+        match result {
+            Some(evaluation) => archive.push(evaluation),
             None => failed += 1,
         }
     }

@@ -19,8 +19,9 @@
 
 use crate::config::{GaConfig, GenerationStats};
 use crate::operators::{blend_crossover, gaussian_mutation, random_genes, tournament_select};
+use crate::optimizer::{OptimizationResult, Optimizer};
 use crate::pareto::pareto_front;
-use crate::problem::{Evaluation, MultiObjectiveProblem, Sense};
+use crate::problem::{Evaluation, Sense, SizingProblem};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -110,7 +111,12 @@ impl Wbga {
     }
 
     /// Runs the optimisation against a problem.
-    pub fn run<P: MultiObjectiveProblem>(&self, problem: &P) -> WbgaResult {
+    ///
+    /// Candidate generations are evaluated through
+    /// [`SizingProblem::evaluate_batch`], so problems that override the batch
+    /// entry point (e.g. circuit simulation) spread GA evaluations across all
+    /// cores without affecting reproducibility.
+    pub fn run<P: SizingProblem + ?Sized>(&self, problem: &P) -> WbgaResult {
         let cfg = &self.config;
         let n_params = problem.parameter_count();
         let n_obj = problem.objective_count();
@@ -122,26 +128,6 @@ impl Wbga {
         let mut evaluations = 0usize;
         let mut failed = 0usize;
 
-        let evaluate = |individual: &mut WbgaIndividual,
-                        archive: &mut Vec<Evaluation>,
-                        evaluations: &mut usize,
-                        failed: &mut usize| {
-            *evaluations += 1;
-            match problem.evaluate(&individual.parameters) {
-                Some(objectives) => {
-                    archive.push(Evaluation::new(
-                        individual.parameters.clone(),
-                        objectives.clone(),
-                    ));
-                    individual.objectives = Some(objectives);
-                }
-                None => {
-                    *failed += 1;
-                    individual.objectives = None;
-                }
-            }
-        };
-
         // Initial population: random parameters and random weight genes.
         let mut population: Vec<WbgaIndividual> = (0..cfg.population_size)
             .map(|_| WbgaIndividual {
@@ -151,9 +137,13 @@ impl Wbga {
                 fitness: f64::NEG_INFINITY,
             })
             .collect();
-        for individual in &mut population {
-            evaluate(individual, &mut archive, &mut evaluations, &mut failed);
-        }
+        evaluate_population(
+            problem,
+            &mut population,
+            &mut archive,
+            &mut evaluations,
+            &mut failed,
+        );
 
         for generation in 0..cfg.generations {
             assign_fitness(&mut population, &senses);
@@ -167,7 +157,8 @@ impl Wbga {
             let fitness: Vec<f64> = population.iter().map(|i| i.fitness).collect();
             let mut next: Vec<WbgaIndividual> = Vec::with_capacity(cfg.population_size);
 
-            // Elitism: carry over the best individuals unchanged.
+            // Elitism: carry over the best individuals unchanged (they are
+            // not re-evaluated and not re-archived).
             let mut order: Vec<usize> = (0..population.len()).collect();
             order.sort_by(|&a, &b| {
                 population[b]
@@ -179,7 +170,10 @@ impl Wbga {
                 next.push(population[idx].clone());
             }
 
-            while next.len() < cfg.population_size {
+            // Generate the full set of offspring first, then evaluate them as
+            // one batch.
+            let mut offspring: Vec<WbgaIndividual> = Vec::with_capacity(cfg.population_size);
+            while next.len() + offspring.len() < cfg.population_size {
                 let pa = &population[tournament_select(&mut rng, &fitness, cfg.tournament_size)];
                 let pb = &population[tournament_select(&mut rng, &fitness, cfg.tournament_size)];
                 // Crossover acts on the full GA string (parameters + weights),
@@ -201,22 +195,38 @@ impl Wbga {
                 } else {
                     (genome_a.clone(), genome_b.clone())
                 };
-                gaussian_mutation(&mut rng, &mut child_a, cfg.mutation_rate, cfg.mutation_sigma);
-                gaussian_mutation(&mut rng, &mut child_b, cfg.mutation_rate, cfg.mutation_sigma);
+                gaussian_mutation(
+                    &mut rng,
+                    &mut child_a,
+                    cfg.mutation_rate,
+                    cfg.mutation_sigma,
+                );
+                gaussian_mutation(
+                    &mut rng,
+                    &mut child_b,
+                    cfg.mutation_rate,
+                    cfg.mutation_sigma,
+                );
                 for child in [child_a, child_b] {
-                    if next.len() >= cfg.population_size {
+                    if next.len() + offspring.len() >= cfg.population_size {
                         break;
                     }
-                    let mut individual = WbgaIndividual {
+                    offspring.push(WbgaIndividual {
                         parameters: child[..n_params].to_vec(),
                         weight_genes: child[n_params..].to_vec(),
                         objectives: None,
                         fitness: f64::NEG_INFINITY,
-                    };
-                    evaluate(&mut individual, &mut archive, &mut evaluations, &mut failed);
-                    next.push(individual);
+                    });
                 }
             }
+            evaluate_population(
+                problem,
+                &mut offspring,
+                &mut archive,
+                &mut evaluations,
+                &mut failed,
+            );
+            next.append(&mut offspring);
             population = next;
         }
 
@@ -226,6 +236,44 @@ impl Wbga {
             evaluations,
             failed_evaluations: failed,
             senses,
+        }
+    }
+}
+
+impl Optimizer for Wbga {
+    fn name(&self) -> &'static str {
+        "wbga"
+    }
+
+    fn run(&self, problem: &dyn SizingProblem) -> OptimizationResult {
+        Wbga::run(self, problem).into()
+    }
+}
+
+/// Evaluates `individuals` as one batch, recording results in the archive and
+/// the evaluation counters.
+fn evaluate_population<P: SizingProblem + ?Sized>(
+    problem: &P,
+    individuals: &mut [WbgaIndividual],
+    archive: &mut Vec<Evaluation>,
+    evaluations: &mut usize,
+    failed: &mut usize,
+) {
+    let batch: Vec<Vec<f64>> = individuals
+        .iter()
+        .map(|individual| individual.parameters.clone())
+        .collect();
+    for (individual, result) in individuals.iter_mut().zip(problem.evaluate_batch(&batch)) {
+        *evaluations += 1;
+        match result {
+            Some(evaluation) => {
+                individual.objectives = Some(evaluation.objectives.clone());
+                archive.push(evaluation);
+            }
+            None => {
+                *failed += 1;
+                individual.objectives = None;
+            }
         }
     }
 }
@@ -353,7 +401,10 @@ mod tests {
             assert!((f2 - (1.0 - f1 * f1)).abs() < 1e-9);
         }
         let span = front.last().unwrap().objectives[0] - front[0].objectives[0];
-        assert!(span > 0.3, "front should spread along the trade-off, span = {span}");
+        assert!(
+            span > 0.3,
+            "front should spread along the trade-off, span = {span}"
+        );
     }
 
     #[test]
@@ -361,7 +412,10 @@ mod tests {
         let result = Wbga::new(GaConfig::small_test()).run(&tradeoff_problem());
         let first = result.history.first().unwrap().best_fitness;
         let last = result.history.last().unwrap().best_fitness;
-        assert!(last >= first - 1e-9, "best fitness degraded: {first} -> {last}");
+        assert!(
+            last >= first - 1e-9,
+            "best fitness degraded: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -391,7 +445,10 @@ mod tests {
     fn best_by_objective_respects_sense() {
         let result = Wbga::new(GaConfig::small_test()).run(&tradeoff_problem());
         let best_f1 = result.best_by_objective(0).unwrap().objectives[0];
-        assert!(result.archive.iter().all(|e| e.objectives[0] <= best_f1 + 1e-12));
+        assert!(result
+            .archive
+            .iter()
+            .all(|e| e.objectives[0] <= best_f1 + 1e-12));
         assert!(result.best_by_objective(5).is_none());
     }
 }

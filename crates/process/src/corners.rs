@@ -116,7 +116,10 @@ mod tests {
         let p1 = &varied.models()["pmos"];
         assert!(n1.vto < n0.vto, "fast NMOS should have lower VTO");
         assert!(n1.kp > n0.kp);
-        assert!(p1.vto > p0.vto, "fast PMOS threshold magnitude shrinks (less negative)");
+        assert!(
+            p1.vto > p0.vto,
+            "fast PMOS threshold magnitude shrinks (less negative)"
+        );
         assert!(p1.vth_magnitude() < p0.vth_magnitude());
         assert!(p1.kp > p0.kp);
     }

@@ -115,8 +115,7 @@ pub fn perturb_circuit<R: Rng + ?Sized>(
             // Threshold shifts in the direction of increasing magnitude for a
             // positive draw, handled through the polarity sign.
             let dvto_mag = truncated_normal(rng, 0.0, spread.sigma_vto, config.sigma_clip);
-            let kp_mult = 1.0
-                + truncated_normal(rng, 0.0, spread.sigma_kp_rel, config.sigma_clip);
+            let kp_mult = 1.0 + truncated_normal(rng, 0.0, spread.sigma_kp_rel, config.sigma_clip);
             let signed_shift = dvto_mag * card.polarity.sign();
             *card = card.perturbed(signed_shift, kp_mult.max(0.05));
         }
@@ -125,9 +124,8 @@ pub fn perturb_circuit<R: Rng + ?Sized>(
     // Local mismatch: independent draw per MOSFET instance.
     if config.include_mismatch {
         // Collect polarity per model first to avoid borrowing issues.
-        let polarity_of = |sample: &Circuit, model: &str| -> MosfetPolarity {
-            sample.models()[model].polarity
-        };
+        let polarity_of =
+            |sample: &Circuit, model: &str| -> MosfetPolarity { sample.models()[model].polarity };
         let names: Vec<String> = sample
             .instances()
             .iter()
@@ -144,8 +142,8 @@ pub fn perturb_circuit<R: Rng + ?Sized>(
             };
             let coeff = variation.mismatch(polarity);
             let delta_vto = truncated_normal(rng, 0.0, coeff.sigma_vt(area), config.sigma_clip);
-            let beta_mult = 1.0
-                + truncated_normal(rng, 0.0, coeff.sigma_beta(area), config.sigma_clip);
+            let beta_mult =
+                1.0 + truncated_normal(rng, 0.0, coeff.sigma_beta(area), config.sigma_clip);
             if let Some(inst) = sample.instance_mut(&name) {
                 if let Device::Mosfet(m) = &mut inst.device {
                     m.delta_vto = delta_vto;
@@ -206,22 +204,16 @@ pub fn run_parallel<T: Send>(
     let mut slots: Vec<Option<T>> = Vec::with_capacity(samples.len());
     slots.resize_with(samples.len(), || None);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let evaluate = &evaluate;
-        for (chunk_index, (sample_chunk, slot_chunk)) in samples
-            .chunks(chunk)
-            .zip(slots.chunks_mut(chunk))
-            .enumerate()
-        {
-            let _ = chunk_index;
-            scope.spawn(move |_| {
+        for (sample_chunk, slot_chunk) in samples.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            scope.spawn(move || {
                 for (sample, slot) in sample_chunk.iter().zip(slot_chunk.iter_mut()) {
                     *slot = evaluate(sample);
                 }
             });
         }
-    })
-    .expect("monte carlo worker thread panicked");
+    });
 
     let mut values = Vec::with_capacity(samples.len());
     let mut failed = 0usize;
@@ -320,7 +312,7 @@ mod tests {
         let mut counter = 0usize;
         let result = run(&ckt, &var, &cfg, |_| {
             counter += 1;
-            if counter % 2 == 0 {
+            if counter.is_multiple_of(2) {
                 None
             } else {
                 Some(counter as f64)

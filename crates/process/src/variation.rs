@@ -89,7 +89,10 @@ impl ProcessVariation {
             sigma_vto: 0.0,
             sigma_kp_rel: 0.0,
         };
-        let zero_mismatch = MismatchCoefficients { a_vt: 0.0, a_beta: 0.0 };
+        let zero_mismatch = MismatchCoefficients {
+            a_vt: 0.0,
+            a_beta: 0.0,
+        };
         ProcessVariation {
             nmos_global: zero_global,
             pmos_global: zero_global,
@@ -164,7 +167,9 @@ mod tests {
         assert!(p.nmos_global.sigma_vto > 0.0);
         assert!(p.pmos_global.sigma_vto > 0.0);
         assert!(p.nmos_mismatch.a_vt > 0.0);
-        assert!(p.global(MosfetPolarity::Pmos).sigma_vto > p.global(MosfetPolarity::Nmos).sigma_vto);
+        assert!(
+            p.global(MosfetPolarity::Pmos).sigma_vto > p.global(MosfetPolarity::Nmos).sigma_vto
+        );
     }
 
     #[test]
@@ -173,7 +178,8 @@ mod tests {
         assert_eq!(none.nmos_global.sigma_vto, 0.0);
         let doubled = ProcessVariation::generic_035um().scaled(2.0);
         assert!(
-            (doubled.nmos_global.sigma_vto - 2.0 * ProcessVariation::generic_035um().nmos_global.sigma_vto)
+            (doubled.nmos_global.sigma_vto
+                - 2.0 * ProcessVariation::generic_035um().nmos_global.sigma_vto)
                 .abs()
                 < 1e-12
         );

@@ -77,7 +77,14 @@ pub fn ac_analysis(
 
     for &freq in &frequencies {
         let omega = 2.0 * std::f64::consts::PI * freq;
-        stamp_ac(circuit, &layout, operating_point, omega, &mut matrix, &mut rhs)?;
+        stamp_ac(
+            circuit,
+            &layout,
+            operating_point,
+            omega,
+            &mut matrix,
+            &mut rhs,
+        )?;
         let mut solution = rhs.clone();
         solve_in_place(&mut matrix, &mut solution)?;
         let mut row = vec![Complex::ZERO; circuit.nodes().len()];
@@ -212,7 +219,9 @@ fn stamp_ac(
                 );
             }
             Device::Vcvs(e) => {
-                let br = layout.branch_row(&inst.name).expect("vcvs has a branch row");
+                let br = layout
+                    .branch_row(&inst.name)
+                    .expect("vcvs has a branch row");
                 if let Some(p) = node_row(e.out_plus) {
                     matrix.add(p, br, Complex::ONE);
                     matrix.add(br, p, Complex::ONE);
@@ -299,7 +308,8 @@ mod tests {
         let vin = ckt.node("in");
         let out = ckt.node("out");
         let gnd = ckt.gnd();
-        ckt.add_vsource_ac("v1", vin, gnd, 0.0, AcSpec::unit()).unwrap();
+        ckt.add_vsource_ac("v1", vin, gnd, 0.0, AcSpec::unit())
+            .unwrap();
         ckt.add_resistor("r1", vin, out, r).unwrap();
         ckt.add_capacitor("c1", out, gnd, c).unwrap();
         ckt
@@ -337,7 +347,8 @@ mod tests {
         let vin = ckt.node("in");
         let out = ckt.node("out");
         let gnd = ckt.gnd();
-        ckt.add_vsource_ac("v1", vin, gnd, 0.0, AcSpec::unit()).unwrap();
+        ckt.add_vsource_ac("v1", vin, gnd, 0.0, AcSpec::unit())
+            .unwrap();
         // i(out -> gnd) = gm * v(in); with the SPICE convention the output
         // current is pulled out of `out`, so the small-signal gain is −gm·R.
         ckt.add_vccs("g1", out, gnd, vin, gnd, 1e-3).unwrap();

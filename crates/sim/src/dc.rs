@@ -110,8 +110,15 @@ pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> Result<DcSo
             x.iter_mut().for_each(|v| *v = 0.0);
             let mut ladder_ok = true;
             for &gmin in &[1e-2, 1e-3, 1e-4, 1e-6, 1e-8, 1e-10] {
-                match newton(circuit, &layout, &mut x, gmin, 1.0, options, options.max_iterations)
-                {
+                match newton(
+                    circuit,
+                    &layout,
+                    &mut x,
+                    gmin,
+                    1.0,
+                    options,
+                    options.max_iterations,
+                ) {
                     Ok(iters) => total_iterations += iters,
                     Err(_) => {
                         ladder_ok = false;
@@ -219,7 +226,15 @@ fn newton(
     let mut last_delta = f64::INFINITY;
 
     for iteration in 1..=max_iterations {
-        stamp_dc(circuit, layout, x, gmin, source_scale, &mut matrix, &mut rhs);
+        stamp_dc(
+            circuit,
+            layout,
+            x,
+            gmin,
+            source_scale,
+            &mut matrix,
+            &mut rhs,
+        );
         let mut solution = rhs.clone();
         solve_in_place(&mut matrix, &mut solution)?;
         if solution.iter().any(|v| !v.is_finite()) {
@@ -348,7 +363,10 @@ pub(crate) fn stamp_dc(
                     (m.bulk, eval.did_dvb),
                 ];
                 let ieq = eval.id
-                    - (eval.did_dvd * vd + eval.did_dvg * vg + eval.did_dvs * vs + eval.did_dvb * vb);
+                    - (eval.did_dvd * vd
+                        + eval.did_dvg * vg
+                        + eval.did_dvs * vs
+                        + eval.did_dvb * vb);
                 if let Some(d) = node_row(m.drain) {
                     for (node, g) in derivs {
                         if let Some(col) = node_row(node) {

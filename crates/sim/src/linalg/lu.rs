@@ -120,14 +120,16 @@ mod tests {
         let mut a: DenseMatrix<f64> = DenseMatrix::zeros(n, n);
         let mut seed = 1u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for i in 0..n {
             for j in 0..n {
                 a[(i, j)] = next();
             }
-            a[(i, i)] = a[(i, i)] + 4.0; // diagonally dominant -> well conditioned
+            a[(i, i)] += 4.0; // diagonally dominant -> well conditioned
         }
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 3.5).collect();
         let b = a.mul_vec(&x_true);

@@ -131,7 +131,10 @@ pub fn bandwidth_3db(frequencies: &[f64], response: &[Complex]) -> Option<f64> {
 /// Gain in dB at the lowest swept frequency (the open-loop / DC gain for the
 /// OTA test bench).
 pub fn dc_gain_db(response: &[Complex]) -> f64 {
-    response.first().map(|z| z.abs_db()).unwrap_or(f64::NEG_INFINITY)
+    response
+        .first()
+        .map(|z| z.abs_db())
+        .unwrap_or(f64::NEG_INFINITY)
 }
 
 /// Magnitude of the response (in dB) interpolated at an arbitrary frequency.
@@ -240,7 +243,12 @@ mod tests {
         let resp = two_pole(1000.0, 10.0, 100.0, &freqs);
         let phases = unwrapped_phase_deg(&resp);
         for w in phases.windows(2) {
-            assert!((w[1] - w[0]).abs() < 90.0, "phase jump detected: {} -> {}", w[0], w[1]);
+            assert!(
+                (w[1] - w[0]).abs() < 90.0,
+                "phase jump detected: {} -> {}",
+                w[0],
+                w[1]
+            );
         }
         // Final phase approaches −180° for a two-pole system.
         assert!((phases.last().unwrap() + 180.0).abs() < 5.0);

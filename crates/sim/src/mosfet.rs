@@ -260,7 +260,12 @@ mod tests {
         // Gate high enough that both orientations conduct in triode.
         let fwd = evaluate(&card, &dev, 0.2, 2.0, 0.0, 0.0);
         let rev = evaluate(&card, &dev, 0.0, 2.0, 0.2, 0.0);
-        assert!((fwd.id + rev.id).abs() < 1e-12, "fwd {} rev {}", fwd.id, rev.id);
+        assert!(
+            (fwd.id + rev.id).abs() < 1e-12,
+            "fwd {} rev {}",
+            fwd.id,
+            rev.id
+        );
     }
 
     #[test]

@@ -40,7 +40,11 @@ impl FrequencySweep {
 
     /// Convenience constructor for a linear sweep.
     pub fn linear(start: f64, stop: f64, points: usize) -> Self {
-        FrequencySweep::Linear { start, stop, points }
+        FrequencySweep::Linear {
+            start,
+            stop,
+            points,
+        }
     }
 
     /// A single-frequency "sweep".
@@ -83,7 +87,11 @@ impl FrequencySweep {
                     })
                     .collect()
             }
-            FrequencySweep::Linear { start, stop, points } => {
+            FrequencySweep::Linear {
+                start,
+                stop,
+                points,
+            } => {
                 if *points < 2 || stop <= start {
                     return Vec::new();
                 }
@@ -118,9 +126,15 @@ mod tests {
 
     #[test]
     fn invalid_specifications_yield_empty_lists() {
-        assert!(FrequencySweep::logarithmic(-1.0, 10.0, 5).frequencies().is_empty());
-        assert!(FrequencySweep::logarithmic(10.0, 1.0, 5).frequencies().is_empty());
-        assert!(FrequencySweep::linear(5.0, 1.0, 10).frequencies().is_empty());
+        assert!(FrequencySweep::logarithmic(-1.0, 10.0, 5)
+            .frequencies()
+            .is_empty());
+        assert!(FrequencySweep::logarithmic(10.0, 1.0, 5)
+            .frequencies()
+            .is_empty());
+        assert!(FrequencySweep::linear(5.0, 1.0, 10)
+            .frequencies()
+            .is_empty());
         assert!(FrequencySweep::linear(0.0, 1.0, 1).frequencies().is_empty());
     }
 

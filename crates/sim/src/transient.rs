@@ -118,12 +118,21 @@ pub fn transient_analysis(
         // Newton at this time point.
         let mut converged = false;
         for _ in 0..options.dc.max_iterations {
-            stamp_dc(circuit, &layout, &x, options.dc.gmin, 1.0, &mut matrix, &mut rhs);
+            stamp_dc(
+                circuit,
+                &layout,
+                &x,
+                options.dc.gmin,
+                1.0,
+                &mut matrix,
+                &mut rhs,
+            );
             // Replace every capacitor's open circuit with its BE companion model.
             for inst in circuit.instances() {
                 if let Device::Capacitor(c) = &inst.device {
                     let g = c.capacitance / h;
-                    let v_prev = layout.voltage_of(&prev, c.plus) - layout.voltage_of(&prev, c.minus);
+                    let v_prev =
+                        layout.voltage_of(&prev, c.plus) - layout.voltage_of(&prev, c.minus);
                     let ieq = g * v_prev;
                     let p = layout.node_row(c.plus);
                     let m = layout.node_row(c.minus);

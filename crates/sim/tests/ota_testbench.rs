@@ -17,8 +17,12 @@ fn nominal_ota_biases_with_all_devices_saturated_or_triode() {
         "output common mode {vout} outside supply range"
     );
     // All mirror devices should carry current.
-    for name in ["xota.m3", "xota.m4", "xota.m5", "xota.m6", "xota.m9", "xota.m10"] {
-        let dev = op.mosfet_op(name).unwrap_or_else(|| panic!("missing {name}"));
+    for name in [
+        "xota.m3", "xota.m4", "xota.m5", "xota.m6", "xota.m9", "xota.m10",
+    ] {
+        let dev = op
+            .mosfet_op(name)
+            .unwrap_or_else(|| panic!("missing {name}"));
         assert_ne!(dev.region, Region::Cutoff, "{name} is cut off");
         assert!(dev.id.abs() > 1e-7, "{name} carries no current: {}", dev.id);
     }
@@ -40,8 +44,14 @@ fn nominal_ota_gain_and_phase_margin_are_in_paper_range() {
         m.dc_gain_db
     );
     let pm = m.phase_margin_deg.expect("gain crosses 0 dB inside sweep");
-    assert!((20.0..120.0).contains(&pm), "phase margin {pm} deg out of range");
-    assert!(m.unity_gain_hz.unwrap() > 1e5, "unity-gain frequency too low");
+    assert!(
+        (20.0..120.0).contains(&pm),
+        "phase margin {pm} deg out of range"
+    );
+    assert!(
+        m.unity_gain_hz.unwrap() > 1e5,
+        "unity-gain frequency too low"
+    );
 }
 
 #[test]

@@ -177,7 +177,9 @@ mod tests {
 
         let c = ControlString::parse("3E,3E").unwrap();
         assert_eq!(c.len(), 2);
-        assert!(c.iter().all(|d| d.interpolation == Interpolation::CubicSpline));
+        assert!(c
+            .iter()
+            .all(|d| d.interpolation == Interpolation::CubicSpline));
     }
 
     #[test]
@@ -185,7 +187,10 @@ mod tests {
         let c = ControlString::parse("1L,2C").unwrap();
         assert_eq!(c.dimension(0).unwrap().interpolation, Interpolation::Linear);
         assert_eq!(c.dimension(0).unwrap().extrapolation, Extrapolation::Linear);
-        assert_eq!(c.dimension(1).unwrap().interpolation, Interpolation::Quadratic);
+        assert_eq!(
+            c.dimension(1).unwrap().interpolation,
+            Interpolation::Quadratic
+        );
         assert_eq!(c.dimension(1).unwrap().extrapolation, Extrapolation::Clamp);
         // Degree alone defaults to no extrapolation.
         let c = ControlString::parse("2").unwrap();

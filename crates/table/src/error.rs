@@ -46,9 +46,16 @@ impl fmt::Display for TableError {
                 write!(f, "need at least {needed} data points, got {got}")
             }
             TableError::NotMonotonic { index } => {
-                write!(f, "abscissa values must be strictly increasing (violation at index {index})")
+                write!(
+                    f,
+                    "abscissa values must be strictly increasing (violation at index {index})"
+                )
             }
-            TableError::OutOfRange { value, lower, upper } => write!(
+            TableError::OutOfRange {
+                value,
+                lower,
+                upper,
+            } => write!(
                 f,
                 "query {value} outside table range [{lower}, {upper}] and extrapolation is disabled"
             ),

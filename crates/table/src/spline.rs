@@ -214,6 +214,7 @@ mod tests {
         let x = [0.0, 1.0, 2.0, 3.0, 4.0];
         let y = [0.0, 1.0, 0.0, -1.0, 0.0];
         let s = CubicSpline::fit(&x, &y).unwrap();
+        #[allow(clippy::needless_range_loop)]
         for i in 1..4 {
             let left = s.segments()[i - 1];
             let right = s.segments()[i];

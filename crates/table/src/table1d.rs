@@ -176,7 +176,11 @@ impl Table1d {
         for _ in 0..200 {
             let mid = 0.5 * (a + b);
             let val = self.lookup(mid)?;
-            let below = if increasing { val < target } else { val > target };
+            let below = if increasing {
+                val < target
+            } else {
+                val > target
+            };
             if below {
                 a = mid;
             } else {

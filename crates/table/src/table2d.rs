@@ -183,14 +183,23 @@ mod tests {
         let t = plane_table().with_neighbours(6);
         let got = t.lookup(2.5, 2.5).unwrap();
         let expected = 2.0 * 2.5 + 3.0 * 2.5;
-        assert!((got - expected).abs() < 0.8, "got {got}, expected {expected}");
+        assert!(
+            (got - expected).abs() < 0.8,
+            "got {got}, expected {expected}"
+        );
     }
 
     #[test]
     fn out_of_range_is_rejected_without_extrapolation() {
         let t = plane_table();
-        assert!(matches!(t.lookup(7.0, 1.0), Err(TableError::OutOfRange { .. })));
-        assert!(matches!(t.lookup(1.0, -1.0), Err(TableError::OutOfRange { .. })));
+        assert!(matches!(
+            t.lookup(7.0, 1.0),
+            Err(TableError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            t.lookup(1.0, -1.0),
+            Err(TableError::OutOfRange { .. })
+        ));
         let t = plane_table().with_extrapolation(true);
         assert!(t.lookup(7.0, 1.0).is_ok());
     }

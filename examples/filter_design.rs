@@ -8,20 +8,24 @@
 //! ```
 
 use ayb::behavioral::{FilterSpec, OtaSpec};
-use ayb::core::{design_filter, filter_design, generate_model, FlowConfig};
+use ayb::core::{design_filter, filter_design, FlowBuilder, FlowConfig, StderrObserver};
 use ayb_moo::GaConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = FlowConfig::demo_scale();
     println!("Step 1: generate the combined OTA model...");
-    let flow = generate_model(&config)?;
+    let flow = FlowBuilder::new(config.clone())
+        .with_observer(StderrObserver)
+        .run()?;
     let model = &flow.model;
 
     // Step 2: specification-driven OTA selection. The paper asks for 50 dB and
     // 60 degrees; anchor the requirement inside the modelled range so the
     // demo-scale model can always serve it.
     let (gain_lo, gain_hi) = model.gain_range_db();
-    let spec_gain = (gain_lo + 0.3 * (gain_hi - gain_lo)).min(50.0).max(gain_lo + 0.1);
+    let spec_gain = (gain_lo + 0.3 * (gain_hi - gain_lo))
+        .min(50.0)
+        .max(gain_lo + 0.1);
     let pm_floor = model.pm_at_gain(spec_gain)? - 8.0;
     let ota_spec = OtaSpec::new(spec_gain, pm_floor.max(30.0));
     let filter_spec = FilterSpec::anti_aliasing_1mhz();
@@ -30,7 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ota_spec.min_gain_db, ota_spec.min_phase_margin_deg
     );
 
-    // Step 3: size C1-C3 against the behavioural filter (30 x 40 in the paper).
+    // Step 3: size C1-C3 against the behavioural filter (30 x 40 in the
+    // paper). `design_filter` drives the same `Optimizer` machinery the OTA
+    // flow used in step 1.
     let mut ga = GaConfig::paper_filter();
     ga.population_size = 20;
     ga.generations = 15;
@@ -44,12 +50,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         design.evaluations
     );
     if let Some(cutoff) = design.response.cutoff_hz() {
-        println!("         behavioural -3 dB cut-off: {:.2} MHz", cutoff / 1e6);
+        println!(
+            "         behavioural -3 dB cut-off: {:.2} MHz",
+            cutoff / 1e6
+        );
     }
 
     // Step 4: transistor-level verification (Figure 11 + 500-sample MC in the paper).
     println!("Step 4: transistor-level verification (reduced Monte Carlo)...");
-    if let Some(report) = filter_design::verify_filter_yield(&design, &filter_spec, &config, 20, 42) {
+    if let Some(report) = filter_design::verify_filter_yield(&design, &filter_spec, &config, 20, 42)
+    {
         println!(
             "         yield {:.1}% over {} samples ({} failed to simulate)",
             report.yield_percent(),

@@ -1,6 +1,8 @@
 //! Direct Monte Carlo yield analysis of a single OTA sizing — the
 //! "conventional" building block the paper's model-based flow replaces.
-//! Useful for exploring how the process/mismatch models behave.
+//! Useful for exploring how the process/mismatch models behave. (This is the
+//! expensive per-candidate loop that `ayb_core::FlowBuilder` amortises into a
+//! reusable combined model; see `examples/quickstart.rs` for that flow.)
 //!
 //! ```bash
 //! cargo run --release --example montecarlo_yield -- 200
@@ -51,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     if let Some(hist) = Histogram::of(&gains, 10) {
-        println!("  gain histogram ({} bins of {:.3} dB):", hist.counts.len(), hist.bin_width);
+        println!(
+            "  gain histogram ({} bins of {:.3} dB):",
+            hist.counts.len(),
+            hist.bin_width
+        );
         for (i, count) in hist.counts.iter().enumerate() {
             let lo = hist.start + i as f64 * hist.bin_width;
             println!("    {:>7.2} dB | {}", lo, "#".repeat(*count));

@@ -6,7 +6,7 @@
 //! ```
 
 use ayb::behavioral::{generate_module, OtaSpec};
-use ayb::core::{generate_model, report, FlowConfig};
+use ayb::core::{report, FlowBuilder, FlowConfig};
 use std::path::PathBuf;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -17,7 +17,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let config = FlowConfig::demo_scale();
     println!("Generating the combined performance + variation model...");
-    let result = generate_model(&config)?;
+    // Explicit seeding makes the exported artifacts bit-for-bit reproducible.
+    let result = FlowBuilder::new(config).with_seed(2008).run()?;
     let model = &result.model;
 
     println!(
@@ -35,22 +36,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     package
         .write_to(&out_dir)
         .map_err(|e| format!("failed to write Verilog-A package: {e}"))?;
-    println!("Wrote Verilog-A module and {} table files to {}", package.table_files.len(), out_dir.display());
+    println!(
+        "Wrote Verilog-A module and {} table files to {}",
+        package.table_files.len(),
+        out_dir.display()
+    );
 
     // Also serialise the model itself for later reuse without re-running the flow.
     let model_json = serde_json_string(model)?;
     std::fs::write(out_dir.join("combined_model.json"), model_json)?;
     println!("Wrote combined_model.json");
 
-    // Demonstrate a lookup against the exported model.
+    // Demonstrate a lookup against the exported model. Retargeting demands
+    // worst-case (nominal minus variation) performance, so widen the phase
+    // margin allowance until the front can serve the spec.
     let (gain_lo, gain_hi) = model.gain_range_db();
     let spec_gain = gain_lo + 0.5 * (gain_hi - gain_lo);
-    let spec = OtaSpec::new(spec_gain, model.pm_at_gain(spec_gain)? - 2.0);
-    let design = model.design_for_spec(&spec)?;
-    println!(
-        "Spec gain > {:.2} dB retargeted to {:.2} dB; parameters: {}",
-        spec.min_gain_db, design.retarget.new_gain_db, design.parameters
-    );
+    let pm_nominal = model.pm_at_gain(spec_gain)?;
+    let design = [2.0, 4.0, 8.0, 12.0, 16.0].iter().find_map(|margin| {
+        let spec = OtaSpec::new(spec_gain, (pm_nominal - margin).max(1.0));
+        model.design_for_spec(&spec).ok().map(|d| (spec, d))
+    });
+    match design {
+        Some((spec, design)) => println!(
+            "Spec gain > {:.2} dB retargeted to {:.2} dB; parameters: {}",
+            spec.min_gain_db, design.retarget.new_gain_db, design.parameters
+        ),
+        None => println!(
+            "No PM allowance up to 16 deg is servable at {spec_gain:.2} dB on this \
+             demo-scale front; rerun with a larger scale for a denser model."
+        ),
+    }
     Ok(())
 }
 

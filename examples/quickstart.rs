@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use ayb::core::{generate_model, report, verify_accuracy, FlowConfig};
+use ayb::core::{report, verify_accuracy, FlowBuilder, FlowConfig, StderrObserver};
 use ayb_behavioral::OtaSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -19,13 +19,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.ga.population_size, config.ga.generations, config.monte_carlo.samples
     );
 
-    let result = generate_model(&config)?;
+    // The staged FlowBuilder API: each stage is explicit, observers report
+    // progress, and intermediate artifacts are inspectable between stages.
+    let optimized = FlowBuilder::new(config.clone())
+        .with_observer(StderrObserver)
+        .optimize()?;
     println!(
-        "  {} candidates evaluated, {} on the Pareto front, {} analysed with Monte Carlo",
-        result.archive.len(),
-        result.pareto.len(),
-        result.pareto_data.len()
+        "  {} candidates evaluated, {} on the Pareto front",
+        optimized.archive().len(),
+        optimized.pareto().len()
     );
+
+    let analyzed = optimized.analyze_variation()?;
+    println!(
+        "  {} Pareto points analysed with Monte Carlo",
+        analyzed.pareto_data().len()
+    );
+
+    let result = analyzed.build_model()?;
     println!();
     println!("{}", report::render_table2(&result.pareto_data));
     println!("{}", report::render_table5(&result.summary(&config)));

@@ -38,7 +38,11 @@ fn hierarchical_filter_design_from_generated_model() {
     assert!(design.margin_db > -0.5, "margin {}", design.margin_db);
     assert!(design.capacitors.c1 > 0.5e-12 && design.capacitors.c1 < 250e-12);
     let report = design.response.check(&filter_spec);
-    assert!(report.stopband_worst_db < -15.0, "stopband {}", report.stopband_worst_db);
+    assert!(
+        report.stopband_worst_db < -15.0,
+        "stopband {}",
+        report.stopband_worst_db
+    );
 
     // Transistor-level verification of the same sizing: the filter built from
     // forty transistors still behaves as a low-pass in the right region.
@@ -59,8 +63,7 @@ fn hierarchical_filter_design_from_generated_model() {
     );
 
     // Small-sample Monte Carlo yield of the filter against the template.
-    let yield_report =
-        filter_design::verify_filter_yield(&design, &filter_spec, &config, 6, 11);
+    let yield_report = filter_design::verify_filter_yield(&design, &filter_spec, &config, 6, 11);
     if let Some(report) = yield_report {
         assert!(report.samples > 0);
         assert!(report.yield_fraction >= 0.0 && report.yield_fraction <= 1.0);

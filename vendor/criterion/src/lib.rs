@@ -1,0 +1,219 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides a small wall-clock benchmark harness with the same spelling the
+//! workspace's benches use: [`Criterion`], [`Bencher::iter`],
+//! [`criterion_group!`] and [`criterion_main!`]. There is no statistical
+//! analysis — each benchmark is warmed up, then timed for a configured
+//! measurement window, and the mean time per iteration is printed.
+//!
+//! Passing `--test` (as `cargo test --benches` does) skips measurement and
+//! runs each benchmark body once, so benches double as smoke tests.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a benchmark input/output away.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark driver handed to `bench_function` closures.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    name: String,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, printing the mean wall-clock time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.config.test_mode {
+            black_box(routine());
+            println!("test {} ... ok", self.name);
+            return;
+        }
+
+        // Warm-up: run until the warm-up window elapses (at least once).
+        let warm_up_start = Instant::now();
+        let mut warm_up_iters = 0u64;
+        while warm_up_start.elapsed() < self.config.warm_up_time || warm_up_iters == 0 {
+            black_box(routine());
+            warm_up_iters += 1;
+        }
+        let per_iter = warm_up_start.elapsed().as_secs_f64() / warm_up_iters as f64;
+
+        // Measurement: fixed iteration count sized to the measurement window,
+        // bounded below by the sample size.
+        let target = self.config.measurement_time.as_secs_f64();
+        let iterations = ((target / per_iter.max(1e-9)) as u64)
+            .max(self.config.sample_size as u64)
+            .max(1);
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        let mean = elapsed.as_secs_f64() / iterations as f64;
+        println!(
+            "{:<50} time: [{}] ({} iterations)",
+            self.name,
+            format_time(mean),
+            iterations
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.4} ns", seconds * 1e9)
+    }
+}
+
+/// Benchmark configuration and entry point (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the minimum number of measured iterations.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up window.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) {
+        let mut bencher = Bencher {
+            config: self,
+            name: name.into(),
+        };
+        f(&mut bencher);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks (stand-in for `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: impl Into<String>, f: F) {
+        let full = format!("{}/{}", self.name, name.into());
+        self.criterion.bench_function(full, f);
+    }
+
+    /// Overrides the minimum measured iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function (both criterion spellings supported).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut runs = 0u64;
+        c.bench_function("shim/self_test", |b| b.iter(|| runs += 1));
+        assert!(runs >= 3, "warm-up + measurement ran: {runs}");
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("g");
+        let mut hit = false;
+        group.bench_function("inner", |b| b.iter(|| hit = true));
+        group.finish();
+        assert!(hit);
+    }
+}

@@ -1,0 +1,301 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides deterministic random-case property testing with the same spelling
+//! the workspace's tests use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` and
+//!   `name(arg in strategy, ...)` test functions,
+//! * range strategies (`0.0f64..1.0`, `2usize..20`, `0u64..10_000`),
+//! * tuple strategies, and [`collection::vec`] with a fixed size or a size
+//!   range,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] that report the failing case.
+//!
+//! Unlike the real proptest there is no shrinking: on failure the macro
+//! panics with the case index and seed so the case can be replayed by
+//! rerunning the test (generation is deterministic per test name).
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+use std::ops::Range;
+
+/// How values are drawn for one test-case argument.
+pub trait Strategy {
+    /// The concrete value type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, usize, u64, u32, i64, i32);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::Strategy;
+    use rand::{Rng, RngCore};
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a size range.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample_len<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len<R: RngCore + ?Sized>(&self, _rng: &mut R) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// A strategy producing `Vec`s of values drawn from an element strategy.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        length: L,
+    }
+
+    /// Builds a `Vec` strategy from an element strategy and a size spec.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, length: L) -> VecStrategy<S, L> {
+        VecStrategy { element, length }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value {
+            let len = self.length.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration and error types.
+pub mod test_runner {
+    /// Number of random cases to run per property.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Cases per property test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Creates a configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// A failed property assertion.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Derives a deterministic per-test seed from the test's name.
+pub fn seed_from_name(name: &str) -> u64 {
+    // FNV-1a, stable across runs and platforms.
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Makes a fresh deterministic RNG for a named test.
+pub fn rng_for(name: &str) -> StdRng {
+    <StdRng as rand::SeedableRng>::seed_from_u64(seed_from_name(name))
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        // Bind first so the negation acts on a plain bool regardless of the
+        // condition's shape (avoids partial-ordering lints in expansions).
+        let __prop_assert_holds: bool = $cond;
+        if !__prop_assert_holds {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares deterministic random-case property tests.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_functions! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_functions! {
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_functions {
+    ( config = $config:expr; ) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $( let $arg = $crate::Strategy::sample(&$strategy, &mut rng); )*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(error) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n(inputs: {})",
+                        case + 1,
+                        config.cases,
+                        error,
+                        concat!($(stringify!($arg), " " ,)*)
+                    );
+                }
+            }
+        }
+        $crate::__proptest_functions! { config = $config; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.0f64..1.0, n in 2usize..20) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((2..20).contains(&n));
+        }
+
+        #[test]
+        fn vectors_respect_size_specs(
+            fixed in collection::vec(0.0f64..1.0, 8),
+            ranged in collection::vec(0.0f64..1.0, 1..6),
+            pairs in collection::vec((0.0f64..1.0, 0.0f64..1.0), 3..10),
+        ) {
+            prop_assert_eq!(fixed.len(), 8);
+            prop_assert!((1..6).contains(&ranged.len()));
+            prop_assert!((3..10).contains(&pairs.len()));
+            prop_assert!(pairs.iter().all(|(a, b)| *a < 1.0 && *b < 1.0));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = crate::rng_for("some::test");
+        let mut b = crate::rng_for("some::test");
+        let s = 0.0f64..1.0;
+        assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_case_info() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(x in 0.0f64..1.0) {
+                prop_assert!(x < -1.0, "x = {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,509 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates implementations of the Value-tree `serde::Serialize` /
+//! `serde::Deserialize` traits from the vendored `serde` shim. The parser is
+//! hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote` available
+//! offline) and supports the item shapes present in this workspace:
+//!
+//! * named structs (including generic type parameters),
+//! * tuple structs (single-field tuple structs serialize transparently),
+//! * enums with unit, tuple and struct variants (externally tagged),
+//! * the `#[serde(skip)]` field attribute: skipped when serializing,
+//!   default-constructed when deserializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+enum Body {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+/// Derives the Value-tree `serde::Serialize` implementation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = generate_serialize(&item);
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the Value-tree `serde::Deserialize` implementation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = generate_deserialize(&item);
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = expect_ident(&tokens, &mut pos);
+    assert!(
+        kind == "struct" || kind == "enum",
+        "expected `struct` or `enum`, found `{kind}`"
+    );
+    let name = expect_ident(&tokens, &mut pos);
+    let generics = parse_generics(&tokens, &mut pos);
+
+    // Skip a `where` clause if present (none in this workspace, but cheap).
+    while pos < tokens.len() {
+        match &tokens[pos] {
+            TokenTree::Group(_) | TokenTree::Punct(_) => break,
+            TokenTree::Ident(i) if i.to_string() == "where" => {
+                pos += 1;
+                while pos < tokens.len()
+                    && !matches!(&tokens[pos], TokenTree::Group(g) if g.delimiter() == Delimiter::Brace)
+                {
+                    pos += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let body = if kind == "struct" {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Shape::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Shape::Unit),
+            other => panic!("unsupported struct body: {other:?}"),
+        }
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        }
+    };
+
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+/// Skips attributes at `pos`, returning `true` if any carried `serde(skip)`.
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *pos += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+            skip |= attribute_is_serde_skip(g.stream());
+            *pos += 1;
+        }
+    }
+    skip
+}
+
+fn attribute_is_serde_skip(stream: TokenStream) -> bool {
+    let mut tokens = stream.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(&tt, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(i)) = tokens.get(*pos) {
+        if i.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `<A, B, ...>` type parameters (bounds are ignored; lifetimes and
+/// const generics are not used in this workspace).
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *pos += 1;
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while *pos < tokens.len() && depth > 0 {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            TokenTree::Ident(i) if expect_param && depth == 1 => {
+                params.push(i.to_string());
+                expect_param = false;
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+    params
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let skip = skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for (i, tt) in tokens.iter().enumerate() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            // A trailing comma does not introduce a new field.
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && angle_depth == 0 && i + 1 < tokens.len() =>
+            {
+                count += 1;
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip the separating comma (and any explicit discriminant — unused).
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                if p.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        let plain = item.generics.join(", ");
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{plain}>",
+            bounded.join(", "),
+            item.name
+        )
+    }
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let body = match &item.body {
+        Body::Struct(shape) => serialize_struct_body(shape),
+        Body::Enum(variants) => serialize_enum_body(variants),
+    };
+    format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(item, "Serialize")
+    )
+}
+
+fn serialize_struct_body(shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => "::serde::Value::Object(::std::vec::Vec::new())".to_string(),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn serialize_enum_body(variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let name = &v.name;
+            match &v.shape {
+                Shape::Unit => format!(
+                    "Self::{name} => ::serde::Value::Str(::std::string::String::from(\"{name}\"))"
+                ),
+                Shape::Tuple(n) => {
+                    let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    let payload = if *n == 1 {
+                        "::serde::Serialize::to_value(__f0)".to_string()
+                    } else {
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                    };
+                    format!(
+                        "Self::{name}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{name}\"), {payload})])",
+                        binders.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let binders: Vec<String> =
+                        fields.iter().map(|f| f.name.clone()).collect();
+                    let items: Vec<String> = fields
+                        .iter()
+                        .filter(|f| !f.skip)
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                f.name
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "Self::{name} {{ {} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{name}\"), ::serde::Value::Object(::std::vec![{}]))])",
+                        binders.join(", "),
+                        items.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{ {} }}", arms.join(", "))
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let body = match &item.body {
+        Body::Struct(shape) => deserialize_struct_body(&item.name, shape),
+        Body::Enum(variants) => deserialize_enum_body(&item.name, variants),
+    };
+    format!(
+        "{} {{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        impl_header(item, "Deserialize")
+    )
+}
+
+fn named_field_constructors(fields: &[Field], source: &str) -> String {
+    let parts: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::std::default::Default::default()", f.name)
+            } else {
+                format!(
+                    "{0}: ::serde::Deserialize::from_value(::serde::__field({source}, \"{0}\")?)?",
+                    f.name
+                )
+            }
+        })
+        .collect();
+    parts.join(", ")
+}
+
+fn deserialize_struct_body(name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Tuple(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?))".to_string()
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = ::serde::__tuple(__v, {n})?; ::std::result::Result::Ok(Self({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            format!(
+                "::std::result::Result::Ok(Self {{ {} }})",
+                named_field_constructors(fields, "__v")
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| format!("\"{0}\" => ::std::result::Result::Ok(Self::{0})", v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| match &v.shape {
+            Shape::Unit => None,
+            Shape::Tuple(1) => Some(format!(
+                "\"{0}\" => ::std::result::Result::Ok(Self::{0}(::serde::Deserialize::from_value(__payload)?))",
+                v.name
+            )),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                Some(format!(
+                    "\"{0}\" => {{ let __items = ::serde::__tuple(__payload, {n})?; ::std::result::Result::Ok(Self::{0}({1})) }}",
+                    v.name,
+                    items.join(", ")
+                ))
+            }
+            Shape::Named(fields) => Some(format!(
+                "\"{0}\" => ::std::result::Result::Ok(Self::{0} {{ {1} }})",
+                v.name,
+                named_field_constructors(fields, "__payload")
+            )),
+        })
+        .collect();
+
+    let unknown = format!(
+        "::std::result::Result::Err(::serde::Error(::std::format!(\"unknown variant `{{}}` for {name}\", __other)))"
+    );
+    format!(
+        "match __v {{ \
+            ::serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms}{unit_sep} __other => {unknown} }}, \
+            ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{ \
+                let (__tag, __payload) = &__pairs[0]; \
+                match __tag.as_str() {{ {data_arms}{data_sep} __other => {unknown} }} \
+            }}, \
+            __other_value => ::std::result::Result::Err(::serde::Error(::std::format!(\
+                \"expected {name} variant, found {{}}\", __other_value.type_name()))) \
+        }}",
+        unit_arms = unit_arms.join(", "),
+        unit_sep = if unit_arms.is_empty() { "" } else { "," },
+        data_arms = data_arms.join(", "),
+        data_sep = if data_arms.is_empty() { "" } else { "," },
+    )
+}

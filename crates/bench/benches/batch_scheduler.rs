@@ -1,0 +1,115 @@
+//! Batch-evaluation scheduler benchmark: work-stealing versus a simulated
+//! fixed-chunk split under skewed per-candidate cost.
+//!
+//! `evaluate_batch_parallel` hands candidates out through an atomic-index
+//! work queue, so a handful of expensive evaluations (slow-to-converge bias
+//! points) no longer serialise behind one unlucky chunk. The benchmark pits
+//! the real scheduler against a faithful reimplementation of the old
+//! fixed-chunk split on a batch whose last quarter is ~50x more expensive —
+//! the pattern GA populations show near parameter-space corners.
+//!
+//! On a single-core machine all three variants necessarily time alike; the
+//! gap (work stealing ≈ total/threads versus fixed chunks ≈ the expensive
+//! tail serialised on one thread) only shows with ≥2 hardware threads.
+
+use ayb_moo::{evaluate_batch_parallel, Evaluation, FnProblem, ObjectiveSpec, SizingProblem};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+const THREADS: usize = 4;
+const BATCH: usize = 64;
+
+/// Cost skew: cheap candidates spin briefly, the expensive tail spins ~50x
+/// longer. Deterministic, allocation-free work.
+fn skewed_problem() -> FnProblem<impl Fn(&[f64]) -> Option<Vec<f64>> + Sync> {
+    FnProblem::new(
+        1,
+        vec![ObjectiveSpec::maximize("f1"), ObjectiveSpec::maximize("f2")],
+        |x: &[f64]| {
+            let spins = if x[0] >= 0.75 { 250_000 } else { 5_000 };
+            let mut acc = 1.0 + x[0];
+            for _ in 0..spins {
+                acc = (acc * 1.000_000_3).min(1e9);
+            }
+            Some(vec![x[0], acc % 10.0])
+        },
+    )
+}
+
+fn batch() -> Vec<Vec<f64>> {
+    // The expensive candidates cluster at the end of the batch — the worst
+    // case for a contiguous fixed-chunk split.
+    (0..BATCH).map(|i| vec![i as f64 / BATCH as f64]).collect()
+}
+
+/// The pre-work-stealing scheduler: contiguous fixed chunks, one per thread.
+fn evaluate_fixed_chunks<P: SizingProblem + ?Sized>(
+    problem: &P,
+    batch: &[Vec<f64>],
+    threads: usize,
+) -> Vec<Option<Evaluation>> {
+    let chunk = batch.len().div_ceil(threads).max(1);
+    let mut slots: Vec<Option<Evaluation>> = Vec::with_capacity(batch.len());
+    slots.resize_with(batch.len(), || None);
+    std::thread::scope(|scope| {
+        for (batch_chunk, slot_chunk) in batch.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (parameters, slot) in batch_chunk.iter().zip(slot_chunk.iter_mut()) {
+                    *slot = problem
+                        .evaluate(parameters)
+                        .map(|objectives| Evaluation::new(parameters.clone(), objectives));
+                }
+            });
+        }
+    });
+    slots
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let problem = skewed_problem();
+    let candidates = batch();
+
+    // Both schedulers must agree exactly — scheduling must never change
+    // results, only wall-clock time.
+    assert_eq!(
+        evaluate_batch_parallel(&problem, &candidates, THREADS),
+        evaluate_fixed_chunks(&problem, &candidates, THREADS),
+    );
+
+    c.bench_function("batch_scheduler/work_stealing_4t", |b| {
+        b.iter(|| {
+            black_box(evaluate_batch_parallel(
+                &problem,
+                black_box(&candidates),
+                THREADS,
+            ))
+        })
+    });
+    c.bench_function("batch_scheduler/fixed_chunks_4t", |b| {
+        b.iter(|| {
+            black_box(evaluate_fixed_chunks(
+                &problem,
+                black_box(&candidates),
+                THREADS,
+            ))
+        })
+    });
+    c.bench_function("batch_scheduler/sequential", |b| {
+        b.iter(|| black_box(evaluate_batch_parallel(&problem, black_box(&candidates), 1)))
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_schedulers
+}
+criterion_main!(benches);

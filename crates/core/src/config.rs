@@ -62,6 +62,7 @@ impl FlowConfig {
                 tournament_size: 2,
                 elitism: 1,
                 seed: 2008,
+                early_stop: None,
             },
             monte_carlo: MonteCarloConfig::new(16, 77),
             variation: ProcessVariation::generic_035um(),

@@ -12,7 +12,9 @@
 use crate::flow::FlowError;
 use ayb_behavioral::ModelError;
 use ayb_circuit::CircuitError;
+use ayb_moo::CheckpointError;
 use ayb_sim::SimError;
+use ayb_store::StoreError;
 use ayb_table::TableError;
 use std::fmt;
 
@@ -29,6 +31,13 @@ pub enum AybError {
     Table(TableError),
     /// Circuit-construction failure.
     Circuit(CircuitError),
+    /// Run-store persistence failure.
+    Store(StoreError),
+    /// Checkpoint resume/halt outcome. Note that
+    /// [`CheckpointError::Halted`](ayb_moo::CheckpointError::Halted) is a
+    /// deliberate pause, not a failure: the run's state is on disk and
+    /// [`FlowBuilder::resume`](crate::FlowBuilder::resume) continues it.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for AybError {
@@ -39,6 +48,8 @@ impl fmt::Display for AybError {
             AybError::Sim(e) => write!(f, "simulation error: {e}"),
             AybError::Table(e) => write!(f, "table error: {e}"),
             AybError::Circuit(e) => write!(f, "circuit error: {e}"),
+            AybError::Store(e) => write!(f, "store error: {e}"),
+            AybError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -51,6 +62,8 @@ impl std::error::Error for AybError {
             AybError::Sim(e) => Some(e),
             AybError::Table(e) => Some(e),
             AybError::Circuit(e) => Some(e),
+            AybError::Store(e) => Some(e),
+            AybError::Checkpoint(e) => Some(e),
         }
     }
 }
@@ -85,6 +98,18 @@ impl From<CircuitError> for AybError {
     }
 }
 
+impl From<StoreError> for AybError {
+    fn from(e: StoreError) -> Self {
+        AybError::Store(e)
+    }
+}
+
+impl From<CheckpointError> for AybError {
+    fn from(e: CheckpointError) -> Self {
+        AybError::Checkpoint(e)
+    }
+}
+
 impl AybError {
     /// Projects the unified error back onto [`FlowError`] for the
     /// `generate_model` compatibility wrapper.
@@ -95,6 +120,8 @@ impl AybError {
             AybError::Sim(e) => FlowError::Circuit(e.to_string()),
             AybError::Table(e) => FlowError::Model(ModelError::Table(e)),
             AybError::Circuit(e) => FlowError::Circuit(e.to_string()),
+            AybError::Store(e) => FlowError::Persistence(e.to_string()),
+            AybError::Checkpoint(e) => FlowError::Persistence(e.to_string()),
         }
     }
 }
@@ -150,5 +177,23 @@ mod tests {
         ));
         let sim = AybError::Sim(SimError::Circuit("bad".into()));
         assert!(matches!(sim.into_flow_error(), FlowError::Circuit(_)));
+    }
+
+    #[test]
+    fn store_and_checkpoint_errors_wrap_and_project() {
+        let store = AybError::from(StoreError::RunNotFound("run-0001".into()));
+        assert!(store.to_string().contains("run-0001"));
+        assert!(store.source().is_some());
+        assert!(matches!(
+            store.into_flow_error(),
+            FlowError::Persistence(message) if message.contains("run-0001")
+        ));
+
+        let halted = AybError::from(CheckpointError::Halted { generation: 5 });
+        assert!(halted.to_string().contains('5'));
+        assert!(matches!(
+            halted.into_flow_error(),
+            FlowError::Persistence(_)
+        ));
     }
 }

@@ -29,15 +29,26 @@
 //!
 //! [`generate_model`] remains as a thin compatibility wrapper that runs all
 //! stages with the default (WBGA) optimiser.
+//!
+//! Flows become *durable* by attaching a run store
+//! ([`FlowBuilder::with_store`]): the configuration is recorded in a
+//! manifest, every optimiser generation is checkpointed to disk, the final
+//! [`FlowResult`] is persisted, and an interrupted run is continued with
+//! [`FlowBuilder::resume`] — producing a result bit-identical to the
+//! same-seed uninterrupted run (see `tests/resumable_flow.rs`).
 
 use crate::config::FlowConfig;
 use crate::error::AybError;
 use crate::ota_problem::{measure_testbench, OtaSizingProblem};
 use ayb_behavioral::{CombinedOtaModel, ModelError, ParetoPointData};
 use ayb_circuit::ota::{build_open_loop_testbench, OtaParameters};
-use ayb_moo::{Evaluation, OptimizationResult, OptimizerConfig};
+use ayb_moo::{
+    Checkpoint, CheckpointControl, CheckpointError, Evaluation, OptimizationResult, OptimizerConfig,
+};
 use ayb_process::{montecarlo, Summary};
+use ayb_store::{Manifest, RunHandle, RunStatus, Store, StoreError};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Errors produced by the flow.
@@ -51,6 +62,8 @@ pub enum FlowError {
     Model(ModelError),
     /// A circuit could not be constructed.
     Circuit(String),
+    /// Persisting or resuming a durable run failed.
+    Persistence(String),
 }
 
 impl std::fmt::Display for FlowError {
@@ -65,6 +78,7 @@ impl std::fmt::Display for FlowError {
             ),
             FlowError::Model(e) => write!(f, "model construction failed: {e}"),
             FlowError::Circuit(e) => write!(f, "circuit construction failed: {e}"),
+            FlowError::Persistence(e) => write!(f, "run persistence failed: {e}"),
         }
     }
 }
@@ -123,7 +137,10 @@ impl FlowSummary {
 }
 
 /// Complete output of the model-generation flow.
-#[derive(Debug, Clone)]
+///
+/// The whole result is serde-friendly, so a completed run can be persisted
+/// as `result.json` in an [`ayb_store::Store`] and reloaded later.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlowResult {
     /// Every evaluation the optimiser performed (the scatter of Figure 7).
     pub archive: Vec<Evaluation>,
@@ -150,6 +167,36 @@ impl FlowResult {
             mc_samples_per_point: config.monte_carlo.samples,
             cpu_time_seconds: self.timings.total().as_secs_f64(),
         }
+    }
+
+    /// FNV-1a hash over the deterministic artefacts (archive, front,
+    /// variation data, model and optimiser counters), excluding wall-clock
+    /// timings.
+    ///
+    /// Two same-seed runs of the same configuration — interrupted-and-resumed
+    /// or not — produce equal digests, which is what the `ayb` CLI and the CI
+    /// resume-smoke job compare.
+    pub fn determinism_digest(&self) -> u64 {
+        fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+            for &byte in bytes {
+                *hash ^= u64::from(byte);
+                *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        let parts = [
+            serde_json::to_string(&self.archive),
+            serde_json::to_string(&self.pareto),
+            serde_json::to_string(&self.pareto_data),
+            serde_json::to_string(&self.model),
+            serde_json::to_string(&self.optimization),
+        ];
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for part in parts {
+            let json = part.expect("flow artefacts serialize infallibly");
+            fnv1a(&mut hash, json.as_bytes());
+            fnv1a(&mut hash, b"\x1f");
+        }
+        hash
     }
 }
 
@@ -261,6 +308,14 @@ pub trait FlowObserver {
     fn on_progress(&mut self, stage: FlowStage, done: usize, total: usize) {
         let _ = (stage, done, total);
     }
+
+    /// Called after a per-generation optimiser checkpoint has been persisted
+    /// to the attached run store (only fires when the builder runs with
+    /// [`FlowBuilder::with_store`]). `generation` is the checkpoint's
+    /// `next_generation`, `path` the file that was written.
+    fn on_checkpoint_written(&mut self, generation: usize, path: &Path) {
+        let _ = (generation, path);
+    }
 }
 
 /// A [`FlowObserver`] that logs stage transitions to stderr.
@@ -291,11 +346,23 @@ impl FlowObserver for StderrObserver {
 /// [`FlowBuilder::optimize`] then starts staged execution
 /// (`.optimize()?.analyze_variation()?.build_model()?`), or
 /// [`FlowBuilder::run`] executes all stages in one call.
+///
+/// Attaching a [`Store`] with [`FlowBuilder::with_store`] makes the run
+/// durable: a manifest records the configuration, every optimiser generation
+/// is checkpointed to disk, and the final [`FlowResult`] is persisted. A run
+/// interrupted at any point — killed, crashed or deliberately halted with
+/// [`FlowBuilder::halt_after_checkpoints`] — continues from its latest
+/// checkpoint via [`FlowBuilder::resume`] and produces a result identical to
+/// the uninterrupted run.
 pub struct FlowBuilder {
     config: FlowConfig,
     optimizer: OptimizerConfig,
     observers: Vec<Box<dyn FlowObserver>>,
     seed: Option<u64>,
+    store: Option<Store>,
+    run_id: Option<String>,
+    resume_from: Option<(RunHandle, Option<Checkpoint>)>,
+    halt_after_checkpoints: Option<usize>,
 }
 
 impl FlowBuilder {
@@ -307,7 +374,37 @@ impl FlowBuilder {
             optimizer,
             observers: Vec::new(),
             seed: None,
+            store: None,
+            run_id: None,
+            resume_from: None,
+            halt_after_checkpoints: None,
         }
+    }
+
+    /// Recreates a builder for a stored run, resuming from its latest
+    /// checkpoint (or from scratch when the run died before its first
+    /// checkpoint). Configuration, optimiser selection and seed are restored
+    /// from the run's manifest, so the resumed flow produces a [`FlowResult`]
+    /// identical to the same-seed uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AybError::Store`] when the run does not exist or its
+    /// manifest/checkpoints cannot be read.
+    pub fn resume(store: &Store, run_id: &str) -> Result<FlowBuilder, AybError> {
+        let handle = store.run(run_id)?;
+        let manifest: Manifest<FlowConfig> = handle.manifest()?;
+        let checkpoint = handle.latest_checkpoint()?;
+        Ok(FlowBuilder {
+            config: manifest.flow,
+            optimizer: manifest.optimizer,
+            observers: Vec::new(),
+            seed: Some(manifest.seed),
+            store: Some(store.clone()),
+            run_id: None,
+            resume_from: Some((handle, checkpoint)),
+            halt_after_checkpoints: None,
+        })
     }
 
     /// Selects a different optimisation algorithm (step 2 of the flow).
@@ -346,6 +443,38 @@ impl FlowBuilder {
         self
     }
 
+    /// Attaches a run store: the flow writes a manifest, per-generation
+    /// checkpoints and the final result under `runs/<run_id>/`.
+    #[must_use]
+    pub fn with_store(mut self, store: &Store) -> Self {
+        self.store = Some(store.clone());
+        self
+    }
+
+    /// Chooses the run id inside the attached store (default: the store
+    /// allocates a sequential `run-NNNN` id).
+    #[must_use]
+    pub fn with_run_id(mut self, run_id: impl Into<String>) -> Self {
+        self.run_id = Some(run_id.into());
+        self
+    }
+
+    /// Deliberately halts the optimisation after `count` checkpoints have
+    /// been written, leaving the run in the store with status
+    /// [`RunStatus::Interrupted`]. The flow then returns
+    /// [`AybError::Checkpoint`] wrapping
+    /// [`CheckpointError::Halted`](ayb_moo::CheckpointError::Halted).
+    ///
+    /// This is the deterministic stand-in for a kill/crash — the on-disk
+    /// state is indistinguishable apart from the recorded status — used by
+    /// the resume integration tests and the `ayb run --halt-after` flag.
+    /// Requires an attached store to be meaningful.
+    #[must_use]
+    pub fn halt_after_checkpoints(mut self, count: usize) -> Self {
+        self.halt_after_checkpoints = Some(count.max(1));
+        self
+    }
+
     /// The configuration this builder will run with.
     pub fn config(&self) -> &FlowConfig {
         &self.config
@@ -368,10 +497,72 @@ impl FlowBuilder {
             .with_threads(self.config.threads);
 
         notify_start(&mut self.observers, FlowStage::Optimize);
+
+        // Open (resume) or create the durable run when a store is attached.
+        let (run, resume_checkpoint) = match (self.store.as_ref(), self.resume_from.take()) {
+            (_, Some((handle, checkpoint))) => {
+                handle.set_status(RunStatus::Running)?;
+                (Some(handle), checkpoint)
+            }
+            (Some(store), None) => {
+                let seed = self.optimizer.seed();
+                let handle = match &self.run_id {
+                    Some(id) => store.create_run_with_id(id, seed, &self.optimizer, &self.config),
+                    None => store.create_run(seed, &self.optimizer, &self.config),
+                }?;
+                (Some(handle), None)
+            }
+            (None, None) => (None, None),
+        };
+
         let t0 = Instant::now();
-        let optimization = self.optimizer.build().run(&problem);
+        let optimizer = self.optimizer.build();
+        let optimization = match &run {
+            None => optimizer.run(&problem),
+            Some(handle) => {
+                let mut written = 0usize;
+                let mut write_error: Option<StoreError> = None;
+                let observers = &mut self.observers;
+                let halt_after = self.halt_after_checkpoints;
+                let mut sink = |checkpoint: &Checkpoint| match handle.save_checkpoint(checkpoint) {
+                    Ok(path) => {
+                        written += 1;
+                        for observer in observers.iter_mut() {
+                            observer.on_checkpoint_written(checkpoint.next_generation, &path);
+                        }
+                        match halt_after {
+                            Some(limit) if written >= limit => CheckpointControl::Halt,
+                            _ => CheckpointControl::Continue,
+                        }
+                    }
+                    Err(error) => {
+                        write_error = Some(error);
+                        CheckpointControl::Halt
+                    }
+                };
+                let outcome = optimizer.run_checkpointed(&problem, resume_checkpoint, &mut sink);
+                if let Some(error) = write_error {
+                    let _ = handle.set_status(RunStatus::Failed);
+                    return Err(AybError::Store(error));
+                }
+                match outcome {
+                    Ok(result) => result,
+                    Err(halted @ CheckpointError::Halted { .. }) => {
+                        let _ = handle.set_status(RunStatus::Interrupted);
+                        return Err(AybError::Checkpoint(halted));
+                    }
+                    Err(error) => {
+                        let _ = handle.set_status(RunStatus::Failed);
+                        return Err(AybError::Checkpoint(error));
+                    }
+                }
+            }
+        };
         let optimization_time = t0.elapsed();
         if optimization.archive.is_empty() {
+            if let Some(handle) = &run {
+                let _ = handle.set_status(RunStatus::Failed);
+            }
             return Err(AybError::Flow(FlowError::NoFeasibleCandidates));
         }
         let pareto = optimization.pareto_front();
@@ -385,6 +576,7 @@ impl FlowBuilder {
             optimization,
             pareto,
             selected,
+            run,
             timings: FlowTimings {
                 optimization: optimization_time,
                 ..FlowTimings::default()
@@ -411,6 +603,7 @@ pub struct OptimizedFlow {
     optimization: OptimizationResult,
     pareto: Vec<Evaluation>,
     selected: Vec<Evaluation>,
+    run: Option<RunHandle>,
     timings: FlowTimings,
 }
 
@@ -457,6 +650,9 @@ impl OptimizedFlow {
             self.timings.monte_carlo,
         );
         if pareto_data.len() < 3 {
+            if let Some(handle) = &self.run {
+                let _ = handle.set_status(RunStatus::Failed);
+            }
             return Err(AybError::Flow(FlowError::InsufficientParetoData(
                 pareto_data.len(),
             )));
@@ -467,6 +663,7 @@ impl OptimizedFlow {
             optimization: self.optimization,
             pareto: self.pareto,
             pareto_data,
+            run: self.run,
             timings: self.timings,
         })
     }
@@ -480,6 +677,7 @@ pub struct AnalyzedFlow {
     optimization: OptimizationResult,
     pareto: Vec<Evaluation>,
     pareto_data: Vec<ParetoPointData>,
+    run: Option<RunHandle>,
     timings: FlowTimings,
 }
 
@@ -499,22 +697,37 @@ impl AnalyzedFlow {
     pub fn build_model(mut self) -> Result<FlowResult, AybError> {
         notify_start(&mut self.observers, FlowStage::BuildModel);
         let t0 = Instant::now();
-        let model =
-            CombinedOtaModel::from_pareto_data(self.pareto_data.clone(), self.config.sigma_level)?;
+        let model = match CombinedOtaModel::from_pareto_data(
+            self.pareto_data.clone(),
+            self.config.sigma_level,
+        ) {
+            Ok(model) => model,
+            Err(error) => {
+                if let Some(handle) = &self.run {
+                    let _ = handle.set_status(RunStatus::Failed);
+                }
+                return Err(error.into());
+            }
+        };
         self.timings.model_build = t0.elapsed();
         notify_complete(
             &mut self.observers,
             FlowStage::BuildModel,
             self.timings.model_build,
         );
-        Ok(FlowResult {
+        let result = FlowResult {
             archive: self.optimization.archive.clone(),
             pareto: self.pareto,
             pareto_data: self.pareto_data,
             model,
             timings: self.timings,
             optimization: self.optimization,
-        })
+        };
+        if let Some(handle) = &self.run {
+            handle.save_result(&result)?;
+            handle.set_status(RunStatus::Completed)?;
+        }
+        Ok(result)
     }
 }
 

@@ -13,7 +13,11 @@
 //! * [`FlowBuilder`] — staged execution of the five-step flow of Figure 3
 //!   (`.optimize()?.analyze_variation()?.build_model()?`), with pluggable
 //!   optimisers, per-stage [`FlowObserver`] progress callbacks and explicit
-//!   RNG seeding ([`FlowBuilder::with_seed`]) for end-to-end determinism,
+//!   RNG seeding ([`FlowBuilder::with_seed`]) for end-to-end determinism;
+//!   attaching an [`ayb_store::Store`] ([`FlowBuilder::with_store`]) makes
+//!   runs durable — manifest, per-generation checkpoints and result on disk
+//!   — and [`FlowBuilder::resume`] continues an interrupted run from its
+//!   latest checkpoint with a bit-identical [`FlowResult`],
 //! * [`generate_model`] — thin compatibility wrapper running all stages with
 //!   the paper's WBGA,
 //! * [`AybError`] — the unified error that wraps `FlowError`, `ModelError`,

@@ -2,6 +2,36 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Optional convergence-based early stopping for the generational optimisers.
+///
+/// The optimisers track the Pareto front of their evaluation archive; a
+/// generation "improves" when at least one of its offspring enters that
+/// front. After `patience` consecutive generations without an improvement
+/// the run stops early (its history is simply shorter than
+/// `GaConfig::generations`).
+///
+/// The stall counter is part of every [`Checkpoint`](crate::Checkpoint), so
+/// an interrupted-and-resumed run honours the criterion exactly like an
+/// uninterrupted one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EarlyStop {
+    /// Number of consecutive non-improving generations tolerated before the
+    /// run stops. Values below 1 are treated as 1.
+    pub patience: usize,
+}
+
+impl EarlyStop {
+    /// Creates a criterion stopping after `patience` stalled generations.
+    pub fn after_stalled_generations(patience: usize) -> Self {
+        EarlyStop { patience }
+    }
+
+    /// The effective patience (at least one generation).
+    pub fn effective_patience(&self) -> usize {
+        self.patience.max(1)
+    }
+}
+
 /// Configuration shared by the WBGA and NSGA-II optimisers.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GaConfig {
@@ -21,6 +51,10 @@ pub struct GaConfig {
     pub elitism: usize,
     /// RNG seed for reproducibility.
     pub seed: u64,
+    /// Optional convergence criterion: stop after this many consecutive
+    /// generations without a Pareto-front improvement. `None` (the default
+    /// and the paper's behaviour) always runs the full generation budget.
+    pub early_stop: Option<EarlyStop>,
 }
 
 impl GaConfig {
@@ -40,6 +74,7 @@ impl GaConfig {
             tournament_size: 2,
             elitism: 0,
             seed: 2008,
+            early_stop: None,
         }
     }
 
@@ -63,12 +98,20 @@ impl GaConfig {
             tournament_size: 2,
             elitism: 1,
             seed: 7,
+            early_stop: None,
         }
     }
 
     /// Returns a copy with a different seed (useful for repeatability studies).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with the given early-stopping criterion enabled.
+    #[must_use]
+    pub fn with_early_stop(mut self, early_stop: EarlyStop) -> Self {
+        self.early_stop = Some(early_stop);
         self
     }
 
@@ -130,5 +173,16 @@ mod tests {
     #[test]
     fn default_is_paper_ota() {
         assert_eq!(GaConfig::default(), GaConfig::paper_ota());
+    }
+
+    #[test]
+    fn early_stop_defaults_off_and_clamps_patience() {
+        assert!(GaConfig::paper_ota().early_stop.is_none());
+        let cfg = GaConfig::small_test().with_early_stop(EarlyStop::after_stalled_generations(0));
+        assert_eq!(cfg.early_stop.unwrap().effective_patience(), 1);
+        assert_eq!(
+            EarlyStop::after_stalled_generations(4).effective_patience(),
+            4
+        );
     }
 }

@@ -16,7 +16,13 @@
 //! * [`Nsga2`] — the NSGA-II baseline used in the ablation benchmarks,
 //! * [`RandomSearch`] / [`random_search`] — a uniform-sampling baseline,
 //! * [`pareto`] — dominance tests, Pareto-front extraction (§3.3), fast
-//!   non-dominated sorting, crowding distance and 2-D hypervolume.
+//!   non-dominated sorting, crowding distance and 2-D hypervolume,
+//! * [`checkpoint`] — serializable per-generation [`Checkpoint`]s: every
+//!   optimiser supports [`Optimizer::run_checkpointed`], which snapshots its
+//!   complete state (population, archive, RNG stream) between generations
+//!   and resumes from any snapshot with bit-identical results; combined with
+//!   the optional [`EarlyStop`] convergence criterion this is the substrate
+//!   for durable, resumable flows (see the `ayb_store` crate).
 //!
 //! # Examples
 //!
@@ -54,6 +60,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod nsga2;
 pub mod operators;
@@ -63,12 +70,16 @@ pub mod problem;
 pub mod random_search;
 pub mod wbga;
 
-pub use config::{GaConfig, GenerationStats};
+pub use checkpoint::{
+    Checkpoint, CheckpointControl, CheckpointError, CheckpointIndividual, CheckpointSink,
+    DiscardCheckpoints,
+};
+pub use config::{EarlyStop, GaConfig, GenerationStats};
 pub use nsga2::{Nsga2, Nsga2Result};
 pub use optimizer::{OptimizationResult, Optimizer, OptimizerConfig};
 pub use pareto::{
     crowding_distance, dominates, fast_non_dominated_sort, hypervolume_2d, non_dominated_indices,
-    pareto_front,
+    pareto_front, FrontTracker,
 };
 /// Backwards-compatible alias for [`SizingProblem`] (the pre-redesign name).
 pub use problem::SizingProblem as MultiObjectiveProblem;

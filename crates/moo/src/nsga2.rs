@@ -5,10 +5,14 @@
 //! comparison baseline for the `ablation_wbga_vs_nsga2` benchmark: same
 //! evaluation budget, front quality compared via hypervolume.
 
+use crate::checkpoint::{
+    Checkpoint, CheckpointControl, CheckpointError, CheckpointIndividual, CheckpointSink,
+    DiscardCheckpoints,
+};
 use crate::config::{GaConfig, GenerationStats};
 use crate::operators::{blend_crossover, gaussian_mutation, random_genes};
 use crate::optimizer::{OptimizationResult, Optimizer};
-use crate::pareto::{crowding_distance, fast_non_dominated_sort, pareto_front};
+use crate::pareto::{crowding_distance, fast_non_dominated_sort, pareto_front, FrontTracker};
 use crate::problem::{Evaluation, Sense, SizingProblem};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -66,15 +70,31 @@ impl Nsga2 {
     /// Populations are evaluated through [`SizingProblem::evaluate_batch`],
     /// so problems with a parallel batch implementation use every core.
     pub fn run<P: SizingProblem + ?Sized>(&self, problem: &P) -> Nsga2Result {
+        self.run_resumable(problem, None, &mut DiscardCheckpoints)
+            .expect("a fresh NSGA-II run cannot fail")
+    }
+
+    /// Runs the optimisation with per-generation checkpointing, optionally
+    /// resuming from a previously captured [`Checkpoint`].
+    ///
+    /// Semantics match [`Wbga::run_resumable`](crate::Wbga::run_resumable):
+    /// with [`DiscardCheckpoints`] and no resume state this is exactly
+    /// [`Nsga2::run`], and resuming from any emitted checkpoint reproduces
+    /// the uninterrupted run bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on an incompatible `resume` state or
+    /// [`CheckpointError::Halted`] when the sink requested a stop.
+    pub fn run_resumable<P: SizingProblem + ?Sized>(
+        &self,
+        problem: &P,
+        resume: Option<Checkpoint>,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<Nsga2Result, CheckpointError> {
         let cfg = &self.config;
         let n_params = problem.parameter_count();
         let senses: Vec<Sense> = problem.objectives().iter().map(|o| o.sense).collect();
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-
-        let mut archive = Vec::new();
-        let mut history = Vec::new();
-        let mut evaluations = 0usize;
-        let mut failed = 0usize;
 
         let evaluate_batch = |genomes: Vec<Vec<f64>>,
                               archive: &mut Vec<Evaluation>,
@@ -102,15 +122,62 @@ impl Nsga2 {
                 .collect::<Vec<Candidate>>()
         };
 
-        let genomes: Vec<Vec<f64>> = (0..cfg.population_size)
-            .map(|_| random_genes(&mut rng, n_params))
-            .collect();
-        let mut population = evaluate_batch(genomes, &mut archive, &mut evaluations, &mut failed);
+        let mut rng;
+        let mut archive;
+        let mut history;
+        let mut evaluations;
+        let mut failed;
+        let mut stall;
+        let mut population;
+        let start_generation;
 
-        for generation in 0..cfg.generations {
+        match resume {
+            None => {
+                rng = StdRng::seed_from_u64(cfg.seed);
+                archive = Vec::new();
+                history = Vec::new();
+                evaluations = 0usize;
+                failed = 0usize;
+                stall = 0usize;
+                start_generation = 0;
+                let genomes: Vec<Vec<f64>> = (0..cfg.population_size)
+                    .map(|_| random_genes(&mut rng, n_params))
+                    .collect();
+                population = evaluate_batch(genomes, &mut archive, &mut evaluations, &mut failed);
+            }
+            Some(checkpoint) => {
+                checkpoint.validate("nsga2", n_params, &senses, cfg.generations)?;
+                rng = StdRng::from_state(checkpoint.rng_state);
+                population = checkpoint
+                    .population
+                    .into_iter()
+                    .map(|individual| Candidate {
+                        genes: individual.parameters,
+                        objectives: individual.objectives,
+                    })
+                    .collect();
+                archive = checkpoint.archive;
+                history = checkpoint.history;
+                evaluations = checkpoint.evaluations;
+                failed = checkpoint.failed_evaluations;
+                stall = checkpoint.stall_generations;
+                start_generation = checkpoint.next_generation;
+            }
+        }
+
+        let mut tracker = cfg
+            .early_stop
+            .map(|_| FrontTracker::from_archive(&archive, &senses));
+
+        for generation in start_generation..cfg.generations {
             history.push(stats(generation, &population, &senses));
             if generation + 1 == cfg.generations {
                 break;
+            }
+            if let Some(early_stop) = &cfg.early_stop {
+                if stall >= early_stop.effective_patience() {
+                    break;
+                }
             }
             // Rank the current population to drive mating selection.
             let (ranks, crowding) = rank_population(&population, &senses);
@@ -144,17 +211,52 @@ impl Nsga2 {
                     offspring_genomes.push(child);
                 }
             }
+            let archived_before = archive.len();
             let offspring = evaluate_batch(
                 offspring_genomes,
                 &mut archive,
                 &mut evaluations,
                 &mut failed,
             );
+            if let Some(tracker) = tracker.as_mut() {
+                let mut improved = false;
+                for evaluation in &archive[archived_before..] {
+                    improved |= tracker.insert(evaluation);
+                }
+                stall = if improved { 0 } else { stall + 1 };
+            }
 
             // Environmental selection over parents + offspring.
             let mut combined = population;
             combined.extend(offspring);
             population = environmental_selection(combined, cfg.population_size, &senses);
+
+            if sink.wants_checkpoints() {
+                let checkpoint = Checkpoint {
+                    optimizer: "nsga2".to_string(),
+                    next_generation: generation + 1,
+                    rng_state: rng.state(),
+                    population: population
+                        .iter()
+                        .map(|candidate| CheckpointIndividual {
+                            parameters: candidate.genes.clone(),
+                            weight_genes: Vec::new(),
+                            objectives: candidate.objectives.clone(),
+                        })
+                        .collect(),
+                    archive: archive.clone(),
+                    history: history.clone(),
+                    evaluations,
+                    failed_evaluations: failed,
+                    stall_generations: stall,
+                    senses: senses.clone(),
+                };
+                if sink.on_checkpoint(&checkpoint) == CheckpointControl::Halt {
+                    return Err(CheckpointError::Halted {
+                        generation: generation + 1,
+                    });
+                }
+            }
         }
 
         let final_population = population
@@ -166,14 +268,14 @@ impl Nsga2 {
             })
             .collect();
 
-        Nsga2Result {
+        Ok(Nsga2Result {
             archive,
             final_population,
             history,
             evaluations,
             failed_evaluations: failed,
             senses,
-        }
+        })
     }
 }
 
@@ -184,6 +286,15 @@ impl Optimizer for Nsga2 {
 
     fn run(&self, problem: &dyn SizingProblem) -> OptimizationResult {
         Nsga2::run(self, problem).into()
+    }
+
+    fn run_checkpointed(
+        &self,
+        problem: &dyn SizingProblem,
+        resume: Option<Checkpoint>,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<OptimizationResult, CheckpointError> {
+        self.run_resumable(problem, resume, sink).map(Into::into)
     }
 }
 
@@ -277,9 +388,16 @@ fn stats(generation: usize, population: &[Candidate], senses: &[Sense]) -> Gener
         .iter()
         .filter_map(|c| c.objectives.as_ref().map(|o| o[0]))
         .collect();
-    let best = match senses[0] {
-        Sense::Maximize => values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
-        Sense::Minimize => values.iter().cloned().fold(f64::INFINITY, f64::min),
+    // An all-infeasible generation records 0.0, not ±inf: checkpoints are
+    // JSON and non-finite floats do not survive the round-trip, which would
+    // break bit-identical resume.
+    let best = if values.is_empty() {
+        0.0
+    } else {
+        match senses[0] {
+            Sense::Maximize => values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            Sense::Minimize => values.iter().cloned().fold(f64::INFINITY, f64::min),
+        }
     };
     let mean = if values.is_empty() {
         0.0
@@ -366,5 +484,33 @@ mod tests {
         let a = Nsga2::new(cfg).run(&zdt1());
         let b = Nsga2::new(cfg).run(&zdt1());
         assert_eq!(a.archive, b.archive);
+    }
+
+    #[test]
+    fn resume_from_any_checkpoint_reproduces_the_full_run() {
+        let problem = zdt1();
+        let nsga2 = Nsga2::new(GaConfig::small_test());
+        let full = nsga2.run(&problem);
+        let mut checkpoints = Vec::new();
+        let mut sink = |cp: &Checkpoint| {
+            checkpoints.push(cp.clone());
+            CheckpointControl::Continue
+        };
+        let checkpointed = nsga2.run_resumable(&problem, None, &mut sink).unwrap();
+        assert_eq!(checkpointed.archive, full.archive);
+        assert_eq!(checkpointed.final_population, full.final_population);
+
+        for checkpoint in checkpoints {
+            let generation = checkpoint.next_generation;
+            let resumed = nsga2
+                .run_resumable(&problem, Some(checkpoint), &mut DiscardCheckpoints)
+                .unwrap_or_else(|e| panic!("resume from generation {generation} failed: {e}"));
+            assert_eq!(resumed.archive, full.archive, "gen {generation}");
+            assert_eq!(
+                resumed.final_population, full.final_population,
+                "gen {generation}"
+            );
+            assert_eq!(resumed.history, full.history, "gen {generation}");
+        }
     }
 }

@@ -14,6 +14,7 @@
 //!   to run with *what* settings, so flows, benches and config files select
 //!   the algorithm through one code path.
 
+use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointSink};
 use crate::config::{GaConfig, GenerationStats};
 use crate::nsga2::{Nsga2, Nsga2Result};
 use crate::pareto::pareto_front;
@@ -33,6 +34,33 @@ pub trait Optimizer {
 
     /// Runs the optimisation against `problem`.
     fn run(&self, problem: &dyn SizingProblem) -> OptimizationResult;
+
+    /// Runs the optimisation with per-generation checkpointing.
+    ///
+    /// `sink` receives a [`Checkpoint`] at every generation boundary and may
+    /// halt the run; `resume` continues a previous run from its latest
+    /// checkpoint, producing a result identical to the uninterrupted run.
+    /// Every optimiser in this crate overrides this; the default rejects
+    /// resumption and otherwise falls back to a plain (un-checkpointed)
+    /// [`Optimizer::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] when `resume` is incompatible with the
+    /// optimiser/problem/configuration, checkpointing is unsupported, or the
+    /// sink halted the run.
+    fn run_checkpointed(
+        &self,
+        problem: &dyn SizingProblem,
+        resume: Option<Checkpoint>,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<OptimizationResult, CheckpointError> {
+        let _ = sink;
+        if resume.is_some() {
+            return Err(CheckpointError::Unsupported(self.name().to_string()));
+        }
+        Ok(self.run(problem))
+    }
 }
 
 /// Optimiser-independent result of one optimisation run.
@@ -190,6 +218,15 @@ impl OptimizerConfig {
         }
     }
 
+    /// The early-stopping criterion of the selected algorithm, if any
+    /// (random search has no generational convergence notion).
+    pub fn early_stop(&self) -> Option<crate::config::EarlyStop> {
+        match self {
+            OptimizerConfig::Wbga(ga) | OptimizerConfig::Nsga2(ga) => ga.early_stop,
+            OptimizerConfig::RandomSearch { .. } => None,
+        }
+    }
+
     /// Instantiates the configured optimiser.
     pub fn build(&self) -> Box<dyn Optimizer> {
         match self {
@@ -269,6 +306,49 @@ mod tests {
         let via_trait = OptimizerConfig::Nsga2(ga).build().run(&problem);
         assert_eq!(direct.archive, via_trait.archive);
         assert_eq!(Some(direct.final_population), via_trait.final_population);
+    }
+
+    #[test]
+    fn checkpointed_trait_runs_match_plain_trait_runs() {
+        use crate::checkpoint::{Checkpoint, CheckpointControl, DiscardCheckpoints};
+
+        let problem = tradeoff();
+        for config in all_variants() {
+            let optimizer = config.build();
+            let plain = optimizer.run(&problem);
+            let fresh = optimizer
+                .run_checkpointed(&problem, None, &mut DiscardCheckpoints)
+                .expect("fresh checkpointed run succeeds");
+            assert_eq!(plain.archive, fresh.archive, "{}", config.name());
+            assert_eq!(plain.evaluations, fresh.evaluations, "{}", config.name());
+
+            // Resuming from the first emitted checkpoint reproduces the run
+            // through the trait object as well.
+            let mut first: Option<Checkpoint> = None;
+            let mut sink = |cp: &Checkpoint| {
+                first.get_or_insert_with(|| cp.clone());
+                CheckpointControl::Continue
+            };
+            optimizer
+                .run_checkpointed(&problem, None, &mut sink)
+                .expect("checkpointed run succeeds");
+            let first = first.expect("at least one checkpoint was emitted");
+            let resumed = optimizer
+                .run_checkpointed(&problem, Some(first), &mut DiscardCheckpoints)
+                .expect("resume succeeds");
+            assert_eq!(plain.archive, resumed.archive, "{}", config.name());
+        }
+    }
+
+    #[test]
+    fn early_stop_accessor_reflects_ga_configs_only() {
+        use crate::config::EarlyStop;
+        let ga = GaConfig::small_test().with_early_stop(EarlyStop::after_stalled_generations(3));
+        assert_eq!(OptimizerConfig::Wbga(ga).early_stop().unwrap().patience, 3);
+        assert_eq!(OptimizerConfig::Nsga2(ga).early_stop().unwrap().patience, 3);
+        assert!(OptimizerConfig::RandomSearch { budget: 8, seed: 1 }
+            .early_stop()
+            .is_none());
     }
 
     #[test]

@@ -41,6 +41,62 @@ pub fn non_dominated_indices(objectives: &[Vec<f64>], senses: &[Sense]) -> Vec<u
     result
 }
 
+/// Incrementally maintained Pareto front over a stream of evaluations.
+///
+/// Used by the optimisers' early-stopping criterion: inserting a point
+/// reports whether it *improved* the front (it was not dominated by — and not
+/// equal to — any current member). The tracker is fully deterministic, so the
+/// state after replaying an evaluation archive equals the state the live run
+/// had at the same point — which is how resumed runs rebuild it from a
+/// checkpoint's archive.
+#[derive(Debug, Clone)]
+pub struct FrontTracker {
+    senses: Vec<Sense>,
+    front: Vec<Evaluation>,
+}
+
+impl FrontTracker {
+    /// Creates an empty tracker for the given objective senses.
+    pub fn new(senses: Vec<Sense>) -> Self {
+        FrontTracker {
+            senses,
+            front: Vec::new(),
+        }
+    }
+
+    /// Rebuilds the tracker by replaying `archive` in order.
+    pub fn from_archive(archive: &[Evaluation], senses: &[Sense]) -> Self {
+        let mut tracker = FrontTracker::new(senses.to_vec());
+        for evaluation in archive {
+            tracker.insert(evaluation);
+        }
+        tracker
+    }
+
+    /// Inserts one evaluation; returns `true` if it entered the front.
+    ///
+    /// A point enters when no current member dominates or equals it;
+    /// members it dominates are evicted.
+    pub fn insert(&mut self, candidate: &Evaluation) -> bool {
+        let rejected = self.front.iter().any(|member| {
+            member.objectives == candidate.objectives
+                || dominates(&member.objectives, &candidate.objectives, &self.senses)
+        });
+        if rejected {
+            return false;
+        }
+        self.front
+            .retain(|member| !dominates(&candidate.objectives, &member.objectives, &self.senses));
+        self.front.push(candidate.clone());
+        true
+    }
+
+    /// The current non-dominated set, in insertion order.
+    pub fn front(&self) -> &[Evaluation] {
+        &self.front
+    }
+}
+
 /// Extracts the Pareto front from a set of evaluations, sorted by the first
 /// objective for reproducible output ordering.
 pub fn pareto_front(evaluations: &[Evaluation], senses: &[Sense]) -> Vec<Evaluation> {
@@ -307,5 +363,42 @@ mod tests {
         let min2 = [Sense::Minimize, Sense::Minimize];
         let front = vec![Evaluation::new(vec![], vec![1.0, 1.0])];
         assert!((hypervolume_2d(&front, [2.0, 2.0], &min2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn front_tracker_reports_improvements_and_evicts_dominated() {
+        let mut tracker = FrontTracker::new(MAX2.to_vec());
+        assert!(tracker.insert(&Evaluation::new(vec![], vec![1.0, 1.0])));
+        // Dominated and duplicate points are not improvements.
+        assert!(!tracker.insert(&Evaluation::new(vec![], vec![0.5, 0.5])));
+        assert!(!tracker.insert(&Evaluation::new(vec![], vec![1.0, 1.0])));
+        // A trade-off point extends the front.
+        assert!(tracker.insert(&Evaluation::new(vec![], vec![2.0, 0.5])));
+        assert_eq!(tracker.front().len(), 2);
+        // A dominating point evicts both members.
+        assert!(tracker.insert(&Evaluation::new(vec![], vec![3.0, 3.0])));
+        assert_eq!(tracker.front().len(), 1);
+    }
+
+    #[test]
+    fn front_tracker_replay_matches_incremental_state() {
+        let points: Vec<Evaluation> = (0..40)
+            .map(|i| {
+                let x = (i as f64 * 0.37) % 1.0;
+                let y = ((i * i) as f64 * 0.11) % 1.0;
+                Evaluation::new(vec![], vec![x, y])
+            })
+            .collect();
+        let mut incremental = FrontTracker::new(MAX2.to_vec());
+        for p in &points {
+            incremental.insert(p);
+        }
+        let replayed = FrontTracker::from_archive(&points, &MAX2);
+        assert_eq!(incremental.front(), replayed.front());
+        // The tracked set is exactly the non-dominated set of the archive.
+        let reference = pareto_front(&points, &MAX2);
+        let mut tracked = incremental.front().to_vec();
+        tracked.sort_by(|a, b| a.objectives[0].partial_cmp(&b.objectives[0]).unwrap());
+        assert_eq!(tracked, reference);
     }
 }

@@ -106,15 +106,23 @@ pub trait SizingProblem: Sync {
 
 /// Evaluates a batch on `threads` scoped worker threads, preserving order.
 ///
+/// Work is distributed through an atomic-index work queue (work stealing)
+/// rather than fixed chunks: each worker repeatedly claims the next
+/// unevaluated candidate, so variable-cost evaluations — a handful of
+/// slow-to-converge bias points amongst fast ones — no longer leave threads
+/// idle behind an unlucky chunk split.
+///
 /// Results are identical to the sequential default (candidate evaluation is
-/// pure), so parallel batch evaluation never perturbs reproducibility. With
-/// `threads <= 1` — or batches too small to be worth splitting — the batch is
-/// evaluated inline.
+/// pure and every result lands in its input slot), so parallel batch
+/// evaluation never perturbs reproducibility. With `threads <= 1` — or
+/// batches too small to be worth splitting — the batch is evaluated inline.
 pub fn evaluate_batch_parallel<P: SizingProblem + ?Sized>(
     problem: &P,
     batch: &[Vec<f64>],
     threads: usize,
 ) -> Vec<Option<Evaluation>> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     let threads = threads.max(1).min(batch.len().max(1));
     if threads == 1 {
         return batch
@@ -126,18 +134,33 @@ pub fn evaluate_batch_parallel<P: SizingProblem + ?Sized>(
             })
             .collect();
     }
-    let chunk = batch.len().div_ceil(threads).max(1);
+    let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<Evaluation>> = Vec::with_capacity(batch.len());
     slots.resize_with(batch.len(), || None);
     std::thread::scope(|scope| {
-        for (batch_chunk, slot_chunk) in batch.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (parameters, slot) in batch_chunk.iter().zip(slot_chunk.iter_mut()) {
-                    *slot = problem
-                        .evaluate(parameters)
-                        .map(|objectives| Evaluation::new(parameters.clone(), objectives));
-                }
-            });
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Option<Evaluation>)> = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= batch.len() {
+                            break;
+                        }
+                        let parameters = &batch[index];
+                        let result = problem
+                            .evaluate(parameters)
+                            .map(|objectives| Evaluation::new(parameters.clone(), objectives));
+                        local.push((index, result));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (index, result) in worker.join().expect("evaluation worker panicked") {
+                slots[index] = result;
+            }
         }
     });
     slots
@@ -271,6 +294,34 @@ mod tests {
         }
         // Empty batches are handled without panicking.
         assert!(evaluate_batch_parallel(&p, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn work_stealing_matches_sequential_under_skewed_costs() {
+        // Candidate cost varies by three orders of magnitude: a fixed chunk
+        // split would serialise the expensive tail on one thread, and any
+        // indexing bug in the work queue would scramble the output order.
+        let p = FnProblem::new(
+            1,
+            vec![ObjectiveSpec::maximize("f1"), ObjectiveSpec::minimize("f2")],
+            |x: &[f64]| {
+                let spins = if x[0] > 0.9 { 200_000 } else { 200 };
+                let mut acc = x[0];
+                for _ in 0..spins {
+                    acc = (acc * 1.000_001).min(1e6);
+                }
+                Some(vec![x[0], acc])
+            },
+        );
+        let batch: Vec<Vec<f64>> = (0..64).map(|i| vec![(i as f64) / 64.0]).collect();
+        let sequential = p.evaluate_batch(&batch);
+        for threads in [2, 4, 7] {
+            assert_eq!(
+                evaluate_batch_parallel(&p, &batch, threads),
+                sequential,
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

@@ -4,12 +4,21 @@
 //! space uniformly and keep the non-dominated points. Used to show what the
 //! same evaluation budget buys without an evolutionary search.
 
+use crate::checkpoint::{
+    Checkpoint, CheckpointControl, CheckpointError, CheckpointSink, DiscardCheckpoints,
+};
 use crate::optimizer::{OptimizationResult, Optimizer};
 use crate::pareto::pareto_front;
 use crate::problem::{Evaluation, Sense, SizingProblem};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Number of evaluations between two checkpoints of a resumable random
+/// search. Candidates are drawn and evaluated in chunks of this size, which
+/// produces exactly the same stream (and therefore the same result) as
+/// drawing the whole budget up front.
+pub const RANDOM_SEARCH_CHECKPOINT_CHUNK: usize = 64;
 
 /// Result of a random-search run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -49,7 +58,108 @@ impl RandomSearch {
 
     /// Runs the search (same result as the free [`random_search`] function).
     pub fn run<P: SizingProblem + ?Sized>(&self, problem: &P) -> RandomSearchResult {
-        random_search(problem, self.budget, self.seed)
+        self.run_resumable(problem, None, &mut DiscardCheckpoints)
+            .expect("a fresh random search cannot fail")
+    }
+
+    /// Runs the search with a checkpoint after every evaluated chunk of
+    /// [`RANDOM_SEARCH_CHECKPOINT_CHUNK`] candidates, optionally resuming.
+    ///
+    /// Random search has no population: a checkpoint carries the archive,
+    /// the counters and the RNG state, and `next_generation` counts
+    /// completed chunks. Chunked execution draws candidates in the same
+    /// order as the single-batch version, so results are identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on an incompatible `resume` state or
+    /// [`CheckpointError::Halted`] when the sink requested a stop.
+    pub fn run_resumable<P: SizingProblem + ?Sized>(
+        &self,
+        problem: &P,
+        resume: Option<Checkpoint>,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<RandomSearchResult, CheckpointError> {
+        let senses: Vec<Sense> = problem.objectives().iter().map(|o| o.sense).collect();
+        let total_chunks = self.budget.div_ceil(RANDOM_SEARCH_CHECKPOINT_CHUNK);
+
+        let mut rng;
+        let mut archive;
+        let mut evaluations;
+        let mut failed;
+        let start_chunk;
+        match resume {
+            None => {
+                rng = StdRng::seed_from_u64(self.seed);
+                archive = Vec::with_capacity(self.budget);
+                evaluations = 0usize;
+                failed = 0usize;
+                start_chunk = 0;
+            }
+            Some(checkpoint) => {
+                checkpoint.validate(
+                    "random_search",
+                    problem.parameter_count(),
+                    &senses,
+                    total_chunks,
+                )?;
+                rng = StdRng::from_state(checkpoint.rng_state);
+                archive = checkpoint.archive;
+                evaluations = checkpoint.evaluations;
+                failed = checkpoint.failed_evaluations;
+                start_chunk = checkpoint.next_generation;
+            }
+        }
+
+        for chunk in start_chunk..total_chunks {
+            let offset = chunk * RANDOM_SEARCH_CHECKPOINT_CHUNK;
+            let len = RANDOM_SEARCH_CHECKPOINT_CHUNK.min(self.budget - offset);
+            let genomes: Vec<Vec<f64>> = (0..len)
+                .map(|_| {
+                    (0..problem.parameter_count())
+                        .map(|_| rng.gen::<f64>())
+                        .collect()
+                })
+                .collect();
+            for result in problem.evaluate_batch(&genomes) {
+                evaluations += 1;
+                match result {
+                    Some(evaluation) => archive.push(evaluation),
+                    None => failed += 1,
+                }
+            }
+
+            // The final chunk completes the run; no checkpoint is needed.
+            if chunk + 1 == total_chunks {
+                break;
+            }
+            if sink.wants_checkpoints() {
+                let checkpoint = Checkpoint {
+                    optimizer: "random_search".to_string(),
+                    next_generation: chunk + 1,
+                    rng_state: rng.state(),
+                    population: Vec::new(),
+                    archive: archive.clone(),
+                    history: Vec::new(),
+                    evaluations,
+                    failed_evaluations: failed,
+                    stall_generations: 0,
+                    senses: senses.clone(),
+                };
+                if sink.on_checkpoint(&checkpoint) == CheckpointControl::Halt {
+                    return Err(CheckpointError::Halted {
+                        generation: chunk + 1,
+                    });
+                }
+            }
+        }
+
+        Ok(RandomSearchResult {
+            archive,
+            evaluations,
+            failed_evaluations: failed,
+            senses,
+        })
     }
 }
 
@@ -61,41 +171,28 @@ impl Optimizer for RandomSearch {
     fn run(&self, problem: &dyn SizingProblem) -> OptimizationResult {
         RandomSearch::run(self, problem).into()
     }
+
+    fn run_checkpointed(
+        &self,
+        problem: &dyn SizingProblem,
+        resume: Option<Checkpoint>,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<OptimizationResult, CheckpointError> {
+        self.run_resumable(problem, resume, sink).map(Into::into)
+    }
 }
 
 /// Runs uniform random search with the given evaluation budget and seed.
 ///
-/// All candidates are drawn up front and evaluated as one batch through
-/// [`SizingProblem::evaluate_batch`], so problems with a parallel batch
-/// implementation use every core.
+/// Candidates are evaluated through [`SizingProblem::evaluate_batch`] in
+/// chunks of [`RANDOM_SEARCH_CHECKPOINT_CHUNK`], so problems with a parallel
+/// batch implementation use every core.
 pub fn random_search<P: SizingProblem + ?Sized>(
     problem: &P,
     budget: usize,
     seed: u64,
 ) -> RandomSearchResult {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let senses: Vec<Sense> = problem.objectives().iter().map(|o| o.sense).collect();
-    let genomes: Vec<Vec<f64>> = (0..budget)
-        .map(|_| {
-            (0..problem.parameter_count())
-                .map(|_| rng.gen::<f64>())
-                .collect()
-        })
-        .collect();
-    let mut archive = Vec::with_capacity(budget);
-    let mut failed = 0usize;
-    for result in problem.evaluate_batch(&genomes) {
-        match result {
-            Some(evaluation) => archive.push(evaluation),
-            None => failed += 1,
-        }
-    }
-    RandomSearchResult {
-        archive,
-        evaluations: budget,
-        failed_evaluations: failed,
-        senses,
-    }
+    RandomSearch::new(budget, seed).run(problem)
 }
 
 #[cfg(test)]
@@ -127,6 +224,35 @@ mod tests {
         assert_eq!(a.evaluations, 100);
         assert_eq!(a.failed_evaluations, 0);
         assert!(!a.pareto_front().is_empty());
+    }
+
+    #[test]
+    fn resume_from_any_chunk_reproduces_the_full_run() {
+        let problem = tradeoff();
+        // A budget that is not a multiple of the chunk size, so the last
+        // chunk is partial.
+        let search = RandomSearch::new(3 * RANDOM_SEARCH_CHECKPOINT_CHUNK + 17, 11);
+        let full = search.run(&problem);
+        assert_eq!(full.evaluations, search.budget);
+
+        let mut checkpoints = Vec::new();
+        let mut sink = |cp: &Checkpoint| {
+            checkpoints.push(cp.clone());
+            CheckpointControl::Continue
+        };
+        let checkpointed = search.run_resumable(&problem, None, &mut sink).unwrap();
+        assert_eq!(checkpointed.archive, full.archive);
+        // One checkpoint per completed chunk except the last.
+        assert_eq!(checkpoints.len(), 3);
+
+        for checkpoint in checkpoints {
+            let chunk = checkpoint.next_generation;
+            let resumed = search
+                .run_resumable(&problem, Some(checkpoint), &mut DiscardCheckpoints)
+                .unwrap_or_else(|e| panic!("resume from chunk {chunk} failed: {e}"));
+            assert_eq!(resumed.archive, full.archive, "chunk {chunk}");
+            assert_eq!(resumed.evaluations, full.evaluations, "chunk {chunk}");
+        }
     }
 
     #[test]

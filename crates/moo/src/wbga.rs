@@ -17,10 +17,14 @@
 //! with the min/max taken over the feasible individuals of the current
 //! generation and the normalisation flipped for minimisation objectives.
 
+use crate::checkpoint::{
+    Checkpoint, CheckpointControl, CheckpointError, CheckpointIndividual, CheckpointSink,
+    DiscardCheckpoints,
+};
 use crate::config::{GaConfig, GenerationStats};
 use crate::operators::{blend_crossover, gaussian_mutation, random_genes, tournament_select};
 use crate::optimizer::{OptimizationResult, Optimizer};
-use crate::pareto::pareto_front;
+use crate::pareto::{pareto_front, FrontTracker};
 use crate::problem::{Evaluation, Sense, SizingProblem};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -117,40 +121,119 @@ impl Wbga {
     /// entry point (e.g. circuit simulation) spread GA evaluations across all
     /// cores without affecting reproducibility.
     pub fn run<P: SizingProblem + ?Sized>(&self, problem: &P) -> WbgaResult {
+        self.run_resumable(problem, None, &mut DiscardCheckpoints)
+            .expect("a fresh WBGA run cannot fail")
+    }
+
+    /// Runs the optimisation with per-generation checkpointing, optionally
+    /// resuming from a previously captured [`Checkpoint`].
+    ///
+    /// `sink` receives a checkpoint after every bred-and-evaluated
+    /// generation; resuming from any of them continues the *identical* run
+    /// (same RNG stream, same archive, same result) — with
+    /// [`DiscardCheckpoints`] this is exactly [`Wbga::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] when `resume` does not fit this
+    /// optimiser/problem/configuration, or [`CheckpointError::Halted`] when
+    /// the sink requested a stop.
+    pub fn run_resumable<P: SizingProblem + ?Sized>(
+        &self,
+        problem: &P,
+        resume: Option<Checkpoint>,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<WbgaResult, CheckpointError> {
         let cfg = &self.config;
         let n_params = problem.parameter_count();
         let n_obj = problem.objective_count();
         let senses: Vec<Sense> = problem.objectives().iter().map(|o| o.sense).collect();
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
 
-        let mut archive: Vec<Evaluation> = Vec::with_capacity(cfg.evaluation_budget());
-        let mut history = Vec::with_capacity(cfg.generations);
-        let mut evaluations = 0usize;
-        let mut failed = 0usize;
+        let mut rng;
+        let mut archive: Vec<Evaluation>;
+        let mut history: Vec<GenerationStats>;
+        let mut evaluations;
+        let mut failed;
+        let mut stall;
+        let mut population: Vec<WbgaIndividual>;
+        let start_generation;
 
-        // Initial population: random parameters and random weight genes.
-        let mut population: Vec<WbgaIndividual> = (0..cfg.population_size)
-            .map(|_| WbgaIndividual {
-                parameters: random_genes(&mut rng, n_params),
-                weight_genes: random_genes(&mut rng, n_obj),
-                objectives: None,
-                fitness: f64::NEG_INFINITY,
-            })
-            .collect();
-        evaluate_population(
-            problem,
-            &mut population,
-            &mut archive,
-            &mut evaluations,
-            &mut failed,
-        );
+        match resume {
+            None => {
+                rng = StdRng::seed_from_u64(cfg.seed);
+                archive = Vec::with_capacity(cfg.evaluation_budget());
+                history = Vec::with_capacity(cfg.generations);
+                evaluations = 0usize;
+                failed = 0usize;
+                stall = 0usize;
+                start_generation = 0;
+                // Initial population: random parameters and random weight genes.
+                population = (0..cfg.population_size)
+                    .map(|_| WbgaIndividual {
+                        parameters: random_genes(&mut rng, n_params),
+                        weight_genes: random_genes(&mut rng, n_obj),
+                        objectives: None,
+                        fitness: f64::NEG_INFINITY,
+                    })
+                    .collect();
+                evaluate_population(
+                    problem,
+                    &mut population,
+                    &mut archive,
+                    &mut evaluations,
+                    &mut failed,
+                );
+            }
+            Some(checkpoint) => {
+                checkpoint.validate("wbga", n_params, &senses, cfg.generations)?;
+                for individual in &checkpoint.population {
+                    if individual.weight_genes.len() != n_obj {
+                        return Err(CheckpointError::Incompatible(format!(
+                            "WBGA individual has {} weight genes, problem has {} objectives",
+                            individual.weight_genes.len(),
+                            n_obj
+                        )));
+                    }
+                }
+                rng = StdRng::from_state(checkpoint.rng_state);
+                population = checkpoint
+                    .population
+                    .into_iter()
+                    .map(|individual| WbgaIndividual {
+                        parameters: individual.parameters,
+                        weight_genes: individual.weight_genes,
+                        objectives: individual.objectives,
+                        // Fitness is a pure function of the population's
+                        // objectives; `assign_fitness` recomputes it below.
+                        fitness: f64::NEG_INFINITY,
+                    })
+                    .collect();
+                archive = checkpoint.archive;
+                history = checkpoint.history;
+                evaluations = checkpoint.evaluations;
+                failed = checkpoint.failed_evaluations;
+                stall = checkpoint.stall_generations;
+                start_generation = checkpoint.next_generation;
+            }
+        }
 
-        for generation in 0..cfg.generations {
+        // Early-stopping front tracker: replaying the archive reproduces the
+        // exact tracker state the uninterrupted run had at this point.
+        let mut tracker = cfg
+            .early_stop
+            .map(|_| FrontTracker::from_archive(&archive, &senses));
+
+        for generation in start_generation..cfg.generations {
             assign_fitness(&mut population, &senses);
             history.push(generation_stats(generation, &population));
 
             if generation + 1 == cfg.generations {
                 break;
+            }
+            if let Some(early_stop) = &cfg.early_stop {
+                if stall >= early_stop.effective_patience() {
+                    break;
+                }
             }
 
             // Selection / crossover / mutation to build the next generation.
@@ -219,6 +302,7 @@ impl Wbga {
                     });
                 }
             }
+            let archived_before = archive.len();
             evaluate_population(
                 problem,
                 &mut offspring,
@@ -226,17 +310,51 @@ impl Wbga {
                 &mut evaluations,
                 &mut failed,
             );
+            if let Some(tracker) = tracker.as_mut() {
+                let mut improved = false;
+                for evaluation in &archive[archived_before..] {
+                    improved |= tracker.insert(evaluation);
+                }
+                stall = if improved { 0 } else { stall + 1 };
+            }
             next.append(&mut offspring);
             population = next;
+
+            if sink.wants_checkpoints() {
+                let checkpoint = Checkpoint {
+                    optimizer: "wbga".to_string(),
+                    next_generation: generation + 1,
+                    rng_state: rng.state(),
+                    population: population
+                        .iter()
+                        .map(|individual| CheckpointIndividual {
+                            parameters: individual.parameters.clone(),
+                            weight_genes: individual.weight_genes.clone(),
+                            objectives: individual.objectives.clone(),
+                        })
+                        .collect(),
+                    archive: archive.clone(),
+                    history: history.clone(),
+                    evaluations,
+                    failed_evaluations: failed,
+                    stall_generations: stall,
+                    senses: senses.clone(),
+                };
+                if sink.on_checkpoint(&checkpoint) == CheckpointControl::Halt {
+                    return Err(CheckpointError::Halted {
+                        generation: generation + 1,
+                    });
+                }
+            }
         }
 
-        WbgaResult {
+        Ok(WbgaResult {
             archive,
             history,
             evaluations,
             failed_evaluations: failed,
             senses,
-        }
+        })
     }
 }
 
@@ -247,6 +365,15 @@ impl Optimizer for Wbga {
 
     fn run(&self, problem: &dyn SizingProblem) -> OptimizationResult {
         Wbga::run(self, problem).into()
+    }
+
+    fn run_checkpointed(
+        &self,
+        problem: &dyn SizingProblem,
+        resume: Option<Checkpoint>,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<OptimizationResult, CheckpointError> {
+        self.run_resumable(problem, resume, sink).map(Into::into)
     }
 }
 
@@ -320,7 +447,14 @@ fn generation_stats(generation: usize, population: &[WbgaIndividual]) -> Generat
         .filter(|i| i.objectives.is_some())
         .map(|i| i.fitness)
         .collect();
-    let best = feasible.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    // An all-infeasible generation records 0.0, not -inf: checkpoints are
+    // JSON and non-finite floats do not survive the round-trip, which would
+    // break bit-identical resume.
+    let best = if feasible.is_empty() {
+        0.0
+    } else {
+        feasible.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    };
     let mean = if feasible.is_empty() {
         0.0
     } else {
@@ -450,5 +584,127 @@ mod tests {
             .iter()
             .all(|e| e.objectives[0] <= best_f1 + 1e-12));
         assert!(result.best_by_objective(5).is_none());
+    }
+
+    #[test]
+    fn checkpointed_run_without_resume_equals_plain_run() {
+        let problem = tradeoff_problem();
+        let wbga = Wbga::new(GaConfig::small_test());
+        let plain = wbga.run(&problem);
+        let mut checkpoints = Vec::new();
+        let mut sink = |cp: &Checkpoint| {
+            checkpoints.push(cp.clone());
+            CheckpointControl::Continue
+        };
+        let checkpointed = wbga.run_resumable(&problem, None, &mut sink).unwrap();
+        assert_eq!(plain.archive, checkpointed.archive);
+        assert_eq!(plain.history, checkpointed.history);
+        assert_eq!(plain.evaluations, checkpointed.evaluations);
+        // One checkpoint per bred generation.
+        assert_eq!(checkpoints.len(), GaConfig::small_test().generations - 1);
+    }
+
+    #[test]
+    fn resume_from_any_checkpoint_reproduces_the_full_run() {
+        let problem = tradeoff_problem();
+        let wbga = Wbga::new(GaConfig::small_test());
+        let full = wbga.run(&problem);
+        let mut checkpoints = Vec::new();
+        let mut sink = |cp: &Checkpoint| {
+            checkpoints.push(cp.clone());
+            CheckpointControl::Continue
+        };
+        wbga.run_resumable(&problem, None, &mut sink).unwrap();
+
+        for checkpoint in checkpoints {
+            let generation = checkpoint.next_generation;
+            let resumed = wbga
+                .run_resumable(&problem, Some(checkpoint), &mut DiscardCheckpoints)
+                .unwrap_or_else(|e| panic!("resume from generation {generation} failed: {e}"));
+            assert_eq!(resumed.archive, full.archive, "gen {generation}");
+            assert_eq!(resumed.history, full.history, "gen {generation}");
+            assert_eq!(resumed.evaluations, full.evaluations, "gen {generation}");
+            assert_eq!(
+                resumed.failed_evaluations, full.failed_evaluations,
+                "gen {generation}"
+            );
+        }
+    }
+
+    #[test]
+    fn halt_request_stops_at_the_boundary_and_resume_completes_the_run() {
+        let problem = tradeoff_problem();
+        let wbga = Wbga::new(GaConfig::small_test());
+        let full = wbga.run(&problem);
+
+        let mut last: Option<Checkpoint> = None;
+        let mut sink = |cp: &Checkpoint| {
+            last = Some(cp.clone());
+            if cp.next_generation == 4 {
+                CheckpointControl::Halt
+            } else {
+                CheckpointControl::Continue
+            }
+        };
+        let halted = wbga.run_resumable(&problem, None, &mut sink);
+        assert!(matches!(
+            halted,
+            Err(CheckpointError::Halted { generation: 4 })
+        ));
+        let resumed = wbga
+            .run_resumable(&problem, last, &mut DiscardCheckpoints)
+            .unwrap();
+        assert_eq!(resumed.archive, full.archive);
+        assert_eq!(resumed.history, full.history);
+    }
+
+    #[test]
+    fn resume_rejects_foreign_and_misshapen_checkpoints() {
+        let problem = tradeoff_problem();
+        let wbga = Wbga::new(GaConfig::small_test());
+        let mut checkpoint = None;
+        let mut sink = |cp: &Checkpoint| {
+            checkpoint.get_or_insert_with(|| cp.clone());
+            CheckpointControl::Continue
+        };
+        wbga.run_resumable(&problem, None, &mut sink).unwrap();
+        let checkpoint = checkpoint.unwrap();
+
+        let mut foreign = checkpoint.clone();
+        foreign.optimizer = "nsga2".to_string();
+        assert!(matches!(
+            wbga.run_resumable(&problem, Some(foreign), &mut DiscardCheckpoints),
+            Err(CheckpointError::OptimizerMismatch { .. })
+        ));
+
+        let mut misshapen = checkpoint;
+        misshapen.population[0].weight_genes.push(0.5);
+        assert!(matches!(
+            wbga.run_resumable(&problem, Some(misshapen), &mut DiscardCheckpoints),
+            Err(CheckpointError::Incompatible(_))
+        ));
+    }
+
+    #[test]
+    fn early_stopping_cuts_a_stalled_run_short() {
+        use crate::config::EarlyStop;
+        // Constant objectives: the front never improves after the first
+        // feasible evaluation, so the run stalls immediately.
+        let problem = FnProblem::new(
+            1,
+            vec![ObjectiveSpec::maximize("f1"), ObjectiveSpec::maximize("f2")],
+            |_: &[f64]| Some(vec![1.0, 1.0]),
+        );
+        let config =
+            GaConfig::small_test().with_early_stop(EarlyStop::after_stalled_generations(2));
+        let result = Wbga::new(config).run(&problem);
+        // The run stalls from the first breeding, so it stops after
+        // `patience + 1` recorded generations.
+        assert_eq!(result.history.len(), 3);
+        // On the trade-off problem every distinct point is non-dominated
+        // (f2 is a decreasing function of f1), so the front keeps improving
+        // and the same criterion never triggers.
+        let improving = Wbga::new(config).run(&tradeoff_problem());
+        assert_eq!(improving.history.len(), config.generations);
     }
 }

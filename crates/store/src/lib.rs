@@ -1,0 +1,765 @@
+//! # ayb-store — a filesystem-backed persistent run store
+//!
+//! The model-generation flow is long-running and seed-deterministic; this
+//! crate makes its runs *durable* and *addressable* so that a crash, kill or
+//! deliberate pause loses nothing. A [`Store`] lays every run out on disk as
+//!
+//! ```text
+//! <root>/runs/<run_id>/
+//!     manifest.json              # id, seed, optimiser + flow config, status
+//!     checkpoints/gen_0001.json  # one Checkpoint per completed generation
+//!     checkpoints/gen_0002.json
+//!     ...
+//!     result.json                # the final FlowResult, once completed
+//! ```
+//!
+//! * the **manifest** ([`Manifest`]) records everything needed to recreate
+//!   the run: the RNG seed, the serialized
+//!   [`OptimizerConfig`](ayb_moo::OptimizerConfig) (including any
+//!   early-stopping criterion) and the flow configuration — the latter as a
+//!   caller-supplied type parameter so this crate stays independent of the
+//!   flow layer;
+//! * **checkpoints** are the [`ayb_moo::Checkpoint`] snapshots emitted at
+//!   every generation boundary; resuming from the latest one continues the
+//!   exact run (bit-identical result to an uninterrupted run);
+//! * the **result** is whatever serializable artefact the flow produces.
+//!
+//! All files are JSON via the workspace's vendored `serde_json` (floats use
+//! shortest-round-trip formatting, so `f64` state survives losslessly) and
+//! every write is atomic (temp file + rename), so a run killed mid-write
+//! never leaves a torn manifest or checkpoint behind — at worst a stale
+//! `.tmp` file that readers ignore.
+//!
+//! The flow layer (`ayb_core::FlowBuilder::with_store` / `resume`) and the
+//! `ayb` CLI (`run` / `resume` / `list` / `show`) are the two consumers.
+//!
+//! ```no_run
+//! use ayb_moo::{GaConfig, OptimizerConfig};
+//! use ayb_store::Store;
+//!
+//! # fn main() -> Result<(), ayb_store::StoreError> {
+//! let store = Store::open("./ayb-store")?;
+//! let run = store.create_run(7, &OptimizerConfig::Wbga(GaConfig::small_test()), &"config")?;
+//! println!("created {} under {}", run.id(), run.dir().display());
+//! for id in store.run_ids()? {
+//!     println!("run: {id}");
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use ayb_moo::{Checkpoint, OptimizerConfig};
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Errors produced by store operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// An I/O operation failed.
+    Io {
+        /// Path the operation touched.
+        path: PathBuf,
+        /// Underlying error message.
+        message: String,
+    },
+    /// A file held malformed JSON or JSON of the wrong shape.
+    Json {
+        /// Path of the offending file.
+        path: PathBuf,
+        /// Underlying error message.
+        message: String,
+    },
+    /// The requested run does not exist.
+    RunNotFound(String),
+    /// A run with the requested id already exists.
+    RunExists(String),
+    /// The run id contains characters unsafe for a directory name.
+    InvalidRunId(String),
+    /// The run has no `result.json` (it never completed).
+    NoResult(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, message } => {
+                write!(f, "store I/O error at {}: {message}", path.display())
+            }
+            StoreError::Json { path, message } => {
+                write!(f, "store JSON error at {}: {message}", path.display())
+            }
+            StoreError::RunNotFound(id) => write!(f, "run `{id}` not found in the store"),
+            StoreError::RunExists(id) => write!(f, "run `{id}` already exists in the store"),
+            StoreError::InvalidRunId(id) => write!(
+                f,
+                "invalid run id `{id}`: use 1-64 characters from [A-Za-z0-9._-], not starting with `.`"
+            ),
+            StoreError::NoResult(id) => write!(f, "run `{id}` has no result yet"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn io_error(path: &Path, error: io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.to_path_buf(),
+        message: error.to_string(),
+    }
+}
+
+fn json_error(path: &Path, error: impl fmt::Display) -> StoreError {
+    StoreError::Json {
+        path: path.to_path_buf(),
+        message: error.to_string(),
+    }
+}
+
+/// Seconds since the Unix epoch (0 if the clock is before it).
+fn now_unix() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Writes `text` to `path` atomically (temp file in the same directory,
+/// then rename), so concurrent readers and crashes never observe a torn file.
+fn write_atomic(path: &Path, text: &str) -> Result<(), StoreError> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, text).map_err(|e| io_error(&tmp, e))?;
+    fs::rename(&tmp, path).map_err(|e| io_error(path, e))
+}
+
+fn read_json<T: Deserialize>(path: &Path) -> Result<T, StoreError> {
+    let text = fs::read_to_string(path).map_err(|e| io_error(path, e))?;
+    serde_json::from_str(&text).map_err(|e| json_error(path, e))
+}
+
+fn write_json<T: Serialize + ?Sized>(path: &Path, value: &T) -> Result<(), StoreError> {
+    let text = serde_json::to_string_pretty(value).map_err(|e| json_error(path, e))?;
+    write_atomic(path, &text)
+}
+
+/// Lifecycle state of a stored run.
+///
+/// A killed process cannot update its own manifest, so a crashed run keeps
+/// the `Running` status it had when it died — `Interrupted` is only recorded
+/// for *deliberate* halts at a checkpoint boundary. Both resume the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunStatus {
+    /// The flow is (or was, if the process died) executing.
+    Running,
+    /// The flow was deliberately halted at a checkpoint boundary.
+    Interrupted,
+    /// The flow finished and `result.json` was written.
+    Completed,
+    /// The flow failed with an error.
+    Failed,
+}
+
+impl RunStatus {
+    /// Stable lower-case name for display and scripting.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunStatus::Running => "running",
+            RunStatus::Interrupted => "interrupted",
+            RunStatus::Completed => "completed",
+            RunStatus::Failed => "failed",
+        }
+    }
+}
+
+impl fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The durable description of one run (`manifest.json`).
+///
+/// `C` is the flow-level configuration type (the flow layer uses its
+/// `FlowConfig`); keeping it generic lets this crate sit below the flow in
+/// the dependency graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest<C> {
+    /// Identifier of the run (also its directory name).
+    pub run_id: String,
+    /// Lifecycle state.
+    pub status: RunStatus,
+    /// RNG seed the optimiser ran with (also recorded inside `optimizer`).
+    pub seed: u64,
+    /// Creation time, seconds since the Unix epoch.
+    pub created_unix: u64,
+    /// Last status change, seconds since the Unix epoch.
+    pub updated_unix: u64,
+    /// The optimisation algorithm and its full settings, including any
+    /// early-stopping criterion — a resumed run honours them exactly.
+    pub optimizer: OptimizerConfig,
+    /// The flow-level configuration.
+    pub flow: C,
+}
+
+/// A filesystem-backed store of runs (see the crate docs for the layout).
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+}
+
+const MANIFEST_FILE: &str = "manifest.json";
+const RESULT_FILE: &str = "result.json";
+const CHECKPOINT_DIR: &str = "checkpoints";
+const CHECKPOINT_PREFIX: &str = "gen_";
+
+fn valid_run_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && !id.starts_with('.')
+        && id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
+
+impl Store {
+    /// Opens (creating if necessary) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        let root = root.into();
+        let runs = root.join("runs");
+        fs::create_dir_all(&runs).map_err(|e| io_error(&runs, e))?;
+        Ok(Store { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn runs_dir(&self) -> PathBuf {
+        self.root.join("runs")
+    }
+
+    /// All run ids in the store, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the runs directory cannot be read.
+    pub fn run_ids(&self) -> Result<Vec<String>, StoreError> {
+        let runs = self.runs_dir();
+        let entries = fs::read_dir(&runs).map_err(|e| io_error(&runs, e))?;
+        let mut ids = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| io_error(&runs, e))?;
+            let is_dir = entry
+                .file_type()
+                .map_err(|e| io_error(&entry.path(), e))?
+                .is_dir();
+            if !is_dir {
+                continue;
+            }
+            if let Some(name) = entry.file_name().to_str() {
+                if valid_run_id(name) {
+                    ids.push(name.to_string());
+                }
+            }
+        }
+        ids.sort();
+        Ok(ids)
+    }
+
+    /// The next sequential run id (`run-0001`, `run-0002`, ...) that
+    /// [`Store::create_run`] would allocate.
+    ///
+    /// The id is not reserved; a concurrent creator racing for it is
+    /// resolved by [`Store::create_run_with_id`] failing with
+    /// [`StoreError::RunExists`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the runs directory cannot be read.
+    pub fn next_run_id(&self) -> Result<String, StoreError> {
+        let highest = self
+            .run_ids()?
+            .iter()
+            .filter_map(|id| id.strip_prefix("run-")?.parse::<u64>().ok())
+            .max()
+            .unwrap_or(0);
+        Ok(format!("run-{:04}", highest + 1))
+    }
+
+    /// Creates a run with a fresh sequential id and writes its manifest
+    /// (status [`RunStatus::Running`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] on filesystem or
+    /// serialization failures.
+    pub fn create_run<C: Serialize>(
+        &self,
+        seed: u64,
+        optimizer: &OptimizerConfig,
+        flow: &C,
+    ) -> Result<RunHandle, StoreError> {
+        let id = self.next_run_id()?;
+        self.create_run_with_id(&id, seed, optimizer, flow)
+    }
+
+    /// Creates a run under a caller-chosen id (useful for scripting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::InvalidRunId`] for unsafe ids,
+    /// [`StoreError::RunExists`] when the id is taken, and
+    /// [`StoreError::Io`]/[`StoreError::Json`] on filesystem or
+    /// serialization failures.
+    pub fn create_run_with_id<C: Serialize>(
+        &self,
+        id: &str,
+        seed: u64,
+        optimizer: &OptimizerConfig,
+        flow: &C,
+    ) -> Result<RunHandle, StoreError> {
+        if !valid_run_id(id) {
+            return Err(StoreError::InvalidRunId(id.to_string()));
+        }
+        let dir = self.runs_dir().join(id);
+        fs::create_dir(&dir).map_err(|e| {
+            if e.kind() == io::ErrorKind::AlreadyExists {
+                StoreError::RunExists(id.to_string())
+            } else {
+                io_error(&dir, e)
+            }
+        })?;
+        let checkpoints = dir.join(CHECKPOINT_DIR);
+        fs::create_dir(&checkpoints).map_err(|e| io_error(&checkpoints, e))?;
+
+        let now = now_unix();
+        let manifest = Manifest {
+            run_id: id.to_string(),
+            status: RunStatus::Running,
+            seed,
+            created_unix: now,
+            updated_unix: now,
+            optimizer: optimizer.clone(),
+            flow,
+        };
+        let handle = RunHandle {
+            run_id: id.to_string(),
+            dir,
+        };
+        write_json(&handle.manifest_path(), &manifest)?;
+        Ok(handle)
+    }
+
+    /// Opens an existing run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::RunNotFound`] when no such run directory (with
+    /// a manifest) exists.
+    pub fn run(&self, id: &str) -> Result<RunHandle, StoreError> {
+        if !valid_run_id(id) {
+            return Err(StoreError::InvalidRunId(id.to_string()));
+        }
+        let dir = self.runs_dir().join(id);
+        if !dir.join(MANIFEST_FILE).is_file() {
+            return Err(StoreError::RunNotFound(id.to_string()));
+        }
+        Ok(RunHandle {
+            run_id: id.to_string(),
+            dir,
+        })
+    }
+}
+
+/// Handle to one run directory inside a [`Store`].
+#[derive(Debug, Clone)]
+pub struct RunHandle {
+    run_id: String,
+    dir: PathBuf,
+}
+
+impl RunHandle {
+    /// The run's identifier.
+    pub fn id(&self) -> &str {
+        &self.run_id
+    }
+
+    /// The run's directory on disk.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join(MANIFEST_FILE)
+    }
+
+    fn result_path(&self) -> PathBuf {
+        self.dir.join(RESULT_FILE)
+    }
+
+    fn checkpoint_path(&self, generation: usize) -> PathBuf {
+        self.dir
+            .join(CHECKPOINT_DIR)
+            .join(format!("{CHECKPOINT_PREFIX}{generation:04}.json"))
+    }
+
+    /// Loads the typed manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] when the manifest is
+    /// missing or malformed.
+    pub fn manifest<C: Deserialize>(&self) -> Result<Manifest<C>, StoreError> {
+        read_json(&self.manifest_path())
+    }
+
+    /// Loads the manifest as an untyped JSON value (for listings that do not
+    /// know the flow-configuration type).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] when the manifest is
+    /// missing or malformed.
+    pub fn manifest_value(&self) -> Result<Value, StoreError> {
+        read_json(&self.manifest_path())
+    }
+
+    /// The run's current lifecycle status.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Json`] when the manifest lacks a valid status.
+    pub fn status(&self) -> Result<RunStatus, StoreError> {
+        let value = self.manifest_value()?;
+        let status = value
+            .get("status")
+            .ok_or_else(|| json_error(&self.manifest_path(), "manifest has no `status` field"))?;
+        RunStatus::from_value(status).map_err(|e| json_error(&self.manifest_path(), e))
+    }
+
+    /// Updates the manifest's status (and `updated_unix`) in place, without
+    /// needing to know the flow-configuration type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] when the manifest
+    /// cannot be read back or rewritten.
+    pub fn set_status(&self, status: RunStatus) -> Result<(), StoreError> {
+        let mut value = self.manifest_value()?;
+        let Value::Object(pairs) = &mut value else {
+            return Err(json_error(
+                &self.manifest_path(),
+                "manifest is not an object",
+            ));
+        };
+        for (key, field) in pairs.iter_mut() {
+            match key.as_str() {
+                "status" => *field = status.to_value(),
+                "updated_unix" => *field = now_unix().to_value(),
+                _ => {}
+            }
+        }
+        write_json(&self.manifest_path(), &value)
+    }
+
+    /// Persists one checkpoint as `checkpoints/gen_NNNN.json` (atomically),
+    /// returning the written path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] on write failures.
+    pub fn save_checkpoint(&self, checkpoint: &Checkpoint) -> Result<PathBuf, StoreError> {
+        let path = self.checkpoint_path(checkpoint.next_generation);
+        write_json(&path, checkpoint)?;
+        Ok(path)
+    }
+
+    /// The generation indices of all stored checkpoints, sorted ascending.
+    /// Stale `.tmp` files from a killed writer are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the checkpoint directory cannot be
+    /// read.
+    pub fn checkpoint_generations(&self) -> Result<Vec<usize>, StoreError> {
+        let dir = self.dir.join(CHECKPOINT_DIR);
+        if !dir.is_dir() {
+            return Ok(Vec::new());
+        }
+        let entries = fs::read_dir(&dir).map_err(|e| io_error(&dir, e))?;
+        let mut generations = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| io_error(&dir, e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name
+                .strip_prefix(CHECKPOINT_PREFIX)
+                .and_then(|s| s.strip_suffix(".json"))
+            else {
+                continue;
+            };
+            if let Ok(generation) = stem.parse::<usize>() {
+                generations.push(generation);
+            }
+        }
+        generations.sort_unstable();
+        Ok(generations)
+    }
+
+    /// Loads the checkpoint of a specific generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] when the file is
+    /// missing or malformed.
+    pub fn load_checkpoint(&self, generation: usize) -> Result<Checkpoint, StoreError> {
+        read_json(&self.checkpoint_path(generation))
+    }
+
+    /// Loads the most recent checkpoint, if any exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] on unreadable or
+    /// malformed checkpoint files.
+    pub fn latest_checkpoint(&self) -> Result<Option<Checkpoint>, StoreError> {
+        match self.checkpoint_generations()?.last() {
+            Some(&generation) => self.load_checkpoint(generation).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Persists the run's final result as `result.json` (atomically).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] on write failures.
+    pub fn save_result<R: Serialize>(&self, result: &R) -> Result<(), StoreError> {
+        write_json(&self.result_path(), result)
+    }
+
+    /// Whether the run has a stored result.
+    pub fn has_result(&self) -> bool {
+        self.result_path().is_file()
+    }
+
+    /// Loads the run's result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NoResult`] when the run never completed, and
+    /// [`StoreError::Io`]/[`StoreError::Json`] on unreadable or malformed
+    /// files.
+    pub fn load_result<R: Deserialize>(&self) -> Result<R, StoreError> {
+        if !self.has_result() {
+            return Err(StoreError::NoResult(self.run_id.clone()));
+        }
+        read_json(&self.result_path())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ayb_moo::{CheckpointIndividual, EarlyStop, Evaluation, GaConfig, GenerationStats, Sense};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A flow-configuration stand-in for the generic manifest parameter.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct FakeFlowConfig {
+        threads: usize,
+        sigma_level: f64,
+        label: String,
+    }
+
+    fn fake_flow() -> FakeFlowConfig {
+        FakeFlowConfig {
+            threads: 4,
+            sigma_level: 3.0,
+            label: "reduced \"scale\"".to_string(),
+        }
+    }
+
+    fn optimizer() -> OptimizerConfig {
+        OptimizerConfig::Wbga(
+            GaConfig::small_test().with_early_stop(EarlyStop::after_stalled_generations(5)),
+        )
+    }
+
+    fn temp_store() -> (PathBuf, Store) {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let unique = format!(
+            "ayb-store-test-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let root = std::env::temp_dir().join(unique);
+        let store = Store::open(&root).expect("store opens");
+        (root, store)
+    }
+
+    fn sample_checkpoint(generation: usize) -> Checkpoint {
+        Checkpoint {
+            optimizer: "wbga".to_string(),
+            next_generation: generation,
+            rng_state: [9, 8, 7, 6],
+            population: vec![CheckpointIndividual {
+                parameters: vec![0.5, 0.25],
+                weight_genes: vec![0.3, 0.7],
+                objectives: Some(vec![1.25, 2.5]),
+            }],
+            archive: vec![Evaluation::new(vec![0.5, 0.25], vec![1.25, 2.5])],
+            history: vec![GenerationStats {
+                generation: 0,
+                best_fitness: 1.0,
+                mean_fitness: 0.5,
+                feasible: 1,
+            }],
+            evaluations: 2,
+            failed_evaluations: 1,
+            stall_generations: 0,
+            senses: vec![Sense::Maximize, Sense::Maximize],
+        }
+    }
+
+    #[test]
+    fn create_load_and_list_runs() {
+        let (root, store) = temp_store();
+        let a = store.create_run(7, &optimizer(), &fake_flow()).unwrap();
+        let b = store.create_run(8, &optimizer(), &fake_flow()).unwrap();
+        assert_eq!(a.id(), "run-0001");
+        assert_eq!(b.id(), "run-0002");
+        assert_eq!(store.run_ids().unwrap(), vec!["run-0001", "run-0002"]);
+
+        let manifest: Manifest<FakeFlowConfig> = store.run("run-0002").unwrap().manifest().unwrap();
+        assert_eq!(manifest.run_id, "run-0002");
+        assert_eq!(manifest.seed, 8);
+        assert_eq!(manifest.status, RunStatus::Running);
+        assert_eq!(manifest.optimizer, optimizer());
+        assert_eq!(manifest.flow, fake_flow());
+        assert!(manifest.created_unix > 0);
+
+        assert!(matches!(
+            store.run("run-0003"),
+            Err(StoreError::RunNotFound(_))
+        ));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn explicit_ids_are_validated_and_unique() {
+        let (root, store) = temp_store();
+        let run = store
+            .create_run_with_id("nightly_a.1", 1, &optimizer(), &fake_flow())
+            .unwrap();
+        assert_eq!(run.id(), "nightly_a.1");
+        assert!(matches!(
+            store.create_run_with_id("nightly_a.1", 1, &optimizer(), &fake_flow()),
+            Err(StoreError::RunExists(_))
+        ));
+        for bad in ["", "../escape", "a/b", ".hidden", "x".repeat(65).as_str()] {
+            assert!(
+                matches!(
+                    store.create_run_with_id(bad, 1, &optimizer(), &fake_flow()),
+                    Err(StoreError::InvalidRunId(_))
+                ),
+                "id {bad:?} should be rejected"
+            );
+        }
+        // Sequential allocation is not confused by foreign ids.
+        let next = store.create_run(2, &optimizer(), &fake_flow()).unwrap();
+        assert_eq!(next.id(), "run-0001");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn status_updates_preserve_the_rest_of_the_manifest() {
+        let (root, store) = temp_store();
+        let run = store.create_run(7, &optimizer(), &fake_flow()).unwrap();
+        run.set_status(RunStatus::Interrupted).unwrap();
+        assert_eq!(run.status().unwrap(), RunStatus::Interrupted);
+        run.set_status(RunStatus::Completed).unwrap();
+
+        let manifest: Manifest<FakeFlowConfig> = run.manifest().unwrap();
+        assert_eq!(manifest.status, RunStatus::Completed);
+        assert_eq!(manifest.seed, 7);
+        assert_eq!(manifest.flow, fake_flow());
+        assert!(manifest.updated_unix >= manifest.created_unix);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn checkpoints_roundtrip_and_latest_wins() {
+        let (root, store) = temp_store();
+        let run = store.create_run(7, &optimizer(), &fake_flow()).unwrap();
+        assert!(run.latest_checkpoint().unwrap().is_none());
+
+        for generation in [1usize, 2, 3, 10] {
+            let path = run.save_checkpoint(&sample_checkpoint(generation)).unwrap();
+            assert!(path.ends_with(format!("gen_{generation:04}.json")));
+        }
+        assert_eq!(run.checkpoint_generations().unwrap(), vec![1, 2, 3, 10]);
+        assert_eq!(
+            run.load_checkpoint(2).unwrap(),
+            sample_checkpoint(2),
+            "checkpoints survive the JSON round-trip bit-for-bit"
+        );
+        assert_eq!(
+            run.latest_checkpoint().unwrap(),
+            Some(sample_checkpoint(10))
+        );
+
+        // A stale temp file from a killed writer is ignored.
+        fs::write(run.dir().join("checkpoints/gen_0011.json.tmp"), "{").unwrap();
+        assert_eq!(run.checkpoint_generations().unwrap(), vec![1, 2, 3, 10]);
+        assert_eq!(
+            run.latest_checkpoint().unwrap(),
+            Some(sample_checkpoint(10))
+        );
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn results_roundtrip_and_absence_is_reported() {
+        let (root, store) = temp_store();
+        let run = store.create_run(7, &optimizer(), &fake_flow()).unwrap();
+        assert!(!run.has_result());
+        assert!(matches!(
+            run.load_result::<FakeFlowConfig>(),
+            Err(StoreError::NoResult(_))
+        ));
+
+        let result = vec![fake_flow(), fake_flow()];
+        run.save_result(&result).unwrap();
+        assert!(run.has_result());
+        let loaded: Vec<FakeFlowConfig> = run.load_result().unwrap();
+        assert_eq!(loaded, result);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = StoreError::RunNotFound("run-0042".into());
+        assert!(e.to_string().contains("run-0042"));
+        let e = StoreError::InvalidRunId("../x".into());
+        assert!(e.to_string().contains("../x"));
+        let (root, store) = temp_store();
+        let run = store.create_run(1, &optimizer(), &fake_flow()).unwrap();
+        fs::write(run.dir().join(MANIFEST_FILE), "not json").unwrap();
+        assert!(matches!(run.status(), Err(StoreError::Json { .. })));
+        let _ = fs::remove_dir_all(root);
+    }
+}

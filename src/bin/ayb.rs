@@ -1,0 +1,419 @@
+//! `ayb` — launch, interrupt, resume and inspect durable model-generation
+//! runs from the shell.
+//!
+//! ```text
+//! ayb run    [--store DIR] [--id RUN_ID] [--scale reduced|demo|paper]
+//!            [--seed N] [--optimizer wbga|nsga2|random] [--threads N]
+//!            [--early-stop K] [--halt-after N] [--quiet]
+//! ayb resume [--store DIR] RUN_ID [--halt-after N] [--quiet]
+//! ayb list   [--store DIR]
+//! ayb show   [--store DIR] RUN_ID [--digest]
+//! ```
+//!
+//! Every run lives under `<store>/runs/<run_id>/` with a manifest, one
+//! checkpoint per optimiser generation and (once completed) the final
+//! result. A run killed at any point — or deliberately interrupted with
+//! `--halt-after N` — is continued by `ayb resume RUN_ID` and produces a
+//! result identical to the uninterrupted run (compare with
+//! `ayb show RUN_ID --digest`).
+//!
+//! The store directory defaults to `$AYB_STORE` or `./ayb-store`.
+//! Argument parsing is plain `std` — no CLI dependencies.
+
+use ayb_core::{AybError, FlowBuilder, FlowConfig, FlowObserver, FlowResult, FlowStage};
+use ayb_moo::{CheckpointError, EarlyStop, OptimizerConfig};
+use ayb_store::{Manifest, RunStatus, Store};
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+ayb — durable, resumable model-generation runs (DATE'08 flow)
+
+USAGE:
+    ayb run    [--store DIR] [--id RUN_ID] [--scale reduced|demo|paper]
+               [--seed N] [--optimizer wbga|nsga2|random] [--threads N]
+               [--early-stop K] [--halt-after N] [--quiet]
+    ayb resume [--store DIR] RUN_ID [--halt-after N] [--quiet]
+    ayb list   [--store DIR]
+    ayb show   [--store DIR] RUN_ID [--digest]
+
+OPTIONS:
+    --store DIR      Store directory (default: $AYB_STORE or ./ayb-store)
+    --id RUN_ID      Run id to create (default: next sequential run-NNNN)
+    --scale S        Flow scale: reduced (default, seconds), demo, paper
+    --seed N         End-to-end deterministic seed (optimiser + Monte Carlo)
+    --optimizer O    wbga (default, the paper's), nsga2, random
+    --threads N      Worker threads for batch circuit evaluation
+    --early-stop K   Stop after K generations without front improvement
+    --halt-after N   Interrupt the run after N checkpoints (simulated crash)
+    --digest         Print only the result's determinism digest
+    --quiet          Suppress progress output
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let parsed = match CliArgs::parse(rest) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if parsed.help {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let outcome = match command.as_str() {
+        "run" => cmd_run(&parsed),
+        "resume" => cmd_resume(&parsed),
+        "list" => cmd_list(&parsed),
+        "show" => cmd_show(&parsed),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Argument parsing (std-only)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct CliArgs {
+    positional: Vec<String>,
+    store: Option<String>,
+    id: Option<String>,
+    scale: Option<String>,
+    seed: Option<u64>,
+    optimizer: Option<String>,
+    threads: Option<usize>,
+    early_stop: Option<usize>,
+    halt_after: Option<usize>,
+    digest: bool,
+    quiet: bool,
+    help: bool,
+}
+
+impl CliArgs {
+    fn parse(args: &[String]) -> Result<CliArgs, String> {
+        let mut parsed = CliArgs::default();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let mut value_of = |flag: &str| {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} expects a value"))
+            };
+            match arg.as_str() {
+                "--store" => parsed.store = Some(value_of("--store")?),
+                "--id" => parsed.id = Some(value_of("--id")?),
+                "--scale" => parsed.scale = Some(value_of("--scale")?),
+                "--seed" => parsed.seed = Some(parse_number(&value_of("--seed")?, "--seed")?),
+                "--optimizer" => parsed.optimizer = Some(value_of("--optimizer")?),
+                "--threads" => {
+                    parsed.threads = Some(parse_number(&value_of("--threads")?, "--threads")?)
+                }
+                "--early-stop" => {
+                    parsed.early_stop =
+                        Some(parse_number(&value_of("--early-stop")?, "--early-stop")?)
+                }
+                "--halt-after" => {
+                    parsed.halt_after =
+                        Some(parse_number(&value_of("--halt-after")?, "--halt-after")?)
+                }
+                "--digest" => parsed.digest = true,
+                "--quiet" => parsed.quiet = true,
+                "--help" | "-h" => parsed.help = true,
+                flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+                positional => parsed.positional.push(positional.to_string()),
+            }
+        }
+        Ok(parsed)
+    }
+
+    fn open_store(&self) -> Result<Store, String> {
+        let dir = self
+            .store
+            .clone()
+            .or_else(|| std::env::var("AYB_STORE").ok())
+            .unwrap_or_else(|| "./ayb-store".to_string());
+        Store::open(dir).map_err(|e| e.to_string())
+    }
+
+    fn required_run_id(&self) -> Result<&str, String> {
+        match self.positional.as_slice() {
+            [id] => Ok(id),
+            [] => Err("expected a RUN_ID argument".to_string()),
+            _ => Err("expected exactly one RUN_ID argument".to_string()),
+        }
+    }
+}
+
+fn parse_number<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("{flag} expects a number, got `{text}`"))
+}
+
+// ---------------------------------------------------------------------------
+// Progress output
+// ---------------------------------------------------------------------------
+
+/// Prints stage transitions and persisted checkpoints to stderr.
+struct CliObserver;
+
+impl FlowObserver for CliObserver {
+    fn on_stage_start(&mut self, stage: FlowStage) {
+        eprintln!("[ayb] stage {} started", stage.name());
+    }
+
+    fn on_stage_complete(&mut self, stage: FlowStage, elapsed: Duration) {
+        eprintln!(
+            "[ayb] stage {} completed in {:.2}s",
+            stage.name(),
+            elapsed.as_secs_f64()
+        );
+    }
+
+    fn on_checkpoint_written(&mut self, generation: usize, _path: &Path) {
+        eprintln!("[ayb] checkpoint written for generation {generation}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+fn cmd_run(args: &CliArgs) -> Result<(), String> {
+    if !args.positional.is_empty() {
+        return Err("`ayb run` takes no positional arguments".to_string());
+    }
+    let store = args.open_store()?;
+
+    let mut config = match args.scale.as_deref().unwrap_or("reduced") {
+        "reduced" => FlowConfig::reduced(),
+        "demo" => FlowConfig::demo_scale(),
+        "paper" => FlowConfig::paper_scale(),
+        other => return Err(format!("unknown scale `{other}` (reduced|demo|paper)")),
+    };
+    if let Some(threads) = args.threads {
+        config.threads = threads.max(1);
+    }
+    if let Some(patience) = args.early_stop {
+        config.ga.early_stop = Some(EarlyStop::after_stalled_generations(patience));
+    }
+
+    let optimizer = match args.optimizer.as_deref().unwrap_or("wbga") {
+        "wbga" => OptimizerConfig::Wbga(config.ga),
+        "nsga2" => OptimizerConfig::Nsga2(config.ga),
+        "random" | "random_search" => OptimizerConfig::RandomSearch {
+            budget: config.ga.evaluation_budget(),
+            seed: config.ga.seed,
+        },
+        other => return Err(format!("unknown optimizer `{other}` (wbga|nsga2|random)")),
+    };
+
+    let run_id = match &args.id {
+        Some(id) => id.clone(),
+        None => store.next_run_id().map_err(|e| e.to_string())?,
+    };
+    println!("run_id: {run_id}");
+
+    let mut builder = FlowBuilder::new(config)
+        .with_optimizer(optimizer)
+        .with_store(&store)
+        .with_run_id(&run_id);
+    if let Some(seed) = args.seed {
+        builder = builder.with_seed(seed);
+    }
+    if !args.quiet {
+        builder = builder.with_observer(CliObserver);
+    }
+    if let Some(count) = args.halt_after {
+        builder = builder.halt_after_checkpoints(count);
+    }
+
+    // Read the configuration back from the builder: `with_seed` reseeds the
+    // optimiser and the Monte Carlo engine in there.
+    let config = builder.config().clone();
+    finish_flow(builder.run(), &store, &run_id, &config, args.quiet)
+}
+
+fn cmd_resume(args: &CliArgs) -> Result<(), String> {
+    let store = args.open_store()?;
+    let run_id = args.required_run_id()?.to_string();
+
+    let manifest: Manifest<FlowConfig> = store
+        .run(&run_id)
+        .and_then(|handle| handle.manifest())
+        .map_err(|e| e.to_string())?;
+    if manifest.status == RunStatus::Completed {
+        return Err(format!(
+            "run `{run_id}` is already completed; see `ayb show {run_id}`"
+        ));
+    }
+
+    let mut builder = FlowBuilder::resume(&store, &run_id).map_err(|e| e.to_string())?;
+    if !args.quiet {
+        let resumed_from = store
+            .run(&run_id)
+            .and_then(|handle| handle.checkpoint_generations())
+            .map_err(|e| e.to_string())?;
+        match resumed_from.last() {
+            Some(generation) => eprintln!("[ayb] resuming {run_id} from generation {generation}"),
+            None => eprintln!("[ayb] no checkpoints for {run_id}; restarting from scratch"),
+        }
+        builder = builder.with_observer(CliObserver);
+    }
+    if let Some(count) = args.halt_after {
+        builder = builder.halt_after_checkpoints(count);
+    }
+
+    finish_flow(builder.run(), &store, &run_id, &manifest.flow, args.quiet)
+}
+
+/// Shared tail of `run` and `resume`: report completion, an intentional
+/// halt, or a failure.
+fn finish_flow(
+    outcome: Result<FlowResult, AybError>,
+    store: &Store,
+    run_id: &str,
+    config: &FlowConfig,
+    quiet: bool,
+) -> Result<(), String> {
+    match outcome {
+        Ok(result) => {
+            let summary = result.summary(config);
+            println!("status: completed");
+            println!("evaluations: {}", summary.evaluation_samples);
+            println!("pareto_points: {}", summary.pareto_points);
+            println!("analysed_points: {}", summary.analysed_pareto_points);
+            println!("cpu_time_seconds: {:.2}", summary.cpu_time_seconds);
+            println!("digest: {:016x}", result.determinism_digest());
+            if !quiet {
+                eprintln!("[ayb] inspect with: ayb show {run_id}");
+            }
+            Ok(())
+        }
+        Err(AybError::Checkpoint(CheckpointError::Halted { generation })) => {
+            let checkpoints = store
+                .run(run_id)
+                .and_then(|handle| handle.checkpoint_generations())
+                .map(|generations| generations.len())
+                .unwrap_or(0);
+            println!("status: interrupted");
+            println!("halted_at_generation: {generation}");
+            println!("checkpoints: {checkpoints}");
+            if !quiet {
+                eprintln!("[ayb] continue with: ayb resume {run_id}");
+            }
+            Ok(())
+        }
+        Err(error) => Err(error.to_string()),
+    }
+}
+
+fn cmd_list(args: &CliArgs) -> Result<(), String> {
+    let store = args.open_store()?;
+    let ids = store.run_ids().map_err(|e| e.to_string())?;
+    if ids.is_empty() {
+        println!("no runs in {}", store.root().display());
+        return Ok(());
+    }
+    println!(
+        "{:<16} {:<12} {:<14} {:>10} {:>12} {:>7}",
+        "RUN", "STATUS", "OPTIMIZER", "SEED", "CHECKPOINTS", "RESULT"
+    );
+    for id in ids {
+        // A process killed between creating the run directory and writing
+        // the manifest leaves an unreadable run behind; list it instead of
+        // failing the whole listing.
+        let row = store.run(&id).and_then(|handle| {
+            let manifest: Manifest<FlowConfig> = handle.manifest()?;
+            let checkpoints = handle.checkpoint_generations()?;
+            Ok((manifest, checkpoints, handle.has_result()))
+        });
+        match row {
+            Ok((manifest, checkpoints, has_result)) => println!(
+                "{:<16} {:<12} {:<14} {:>10} {:>12} {:>7}",
+                id,
+                manifest.status.as_str(),
+                manifest.optimizer.name(),
+                manifest.seed,
+                checkpoints.len(),
+                if has_result { "yes" } else { "no" }
+            ),
+            Err(error) => println!("{id:<16} <unreadable: {error}>"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_show(args: &CliArgs) -> Result<(), String> {
+    let store = args.open_store()?;
+    let run_id = args.required_run_id()?;
+    let handle = store.run(run_id).map_err(|e| e.to_string())?;
+    let manifest: Manifest<FlowConfig> = handle.manifest().map_err(|e| e.to_string())?;
+
+    if args.digest {
+        let result: FlowResult = handle.load_result().map_err(|e| e.to_string())?;
+        println!("{:016x}", result.determinism_digest());
+        return Ok(());
+    }
+
+    println!("run_id: {}", manifest.run_id);
+    println!("status: {}", manifest.status);
+    println!("seed: {}", manifest.seed);
+    println!("optimizer: {}", manifest.optimizer.name());
+    println!(
+        "evaluation_budget: {}",
+        manifest.optimizer.evaluation_budget()
+    );
+    match manifest.optimizer.early_stop() {
+        Some(early_stop) => println!("early_stop_patience: {}", early_stop.effective_patience()),
+        None => println!("early_stop_patience: none"),
+    }
+    println!(
+        "ga: {}x{} (pop x gens)",
+        manifest.flow.ga.population_size, manifest.flow.ga.generations
+    );
+    println!("mc_samples: {}", manifest.flow.monte_carlo.samples);
+    println!("created_unix: {}", manifest.created_unix);
+    println!("updated_unix: {}", manifest.updated_unix);
+
+    let checkpoints = handle.checkpoint_generations().map_err(|e| e.to_string())?;
+    match (checkpoints.first(), checkpoints.last()) {
+        (Some(first), Some(last)) => {
+            println!("checkpoints: {} (gen {first}..{last})", checkpoints.len())
+        }
+        _ => println!("checkpoints: 0"),
+    }
+
+    if handle.has_result() {
+        let result: FlowResult = handle.load_result().map_err(|e| e.to_string())?;
+        let summary = result.summary(&manifest.flow);
+        println!("result: present");
+        println!("  evaluations: {}", summary.evaluation_samples);
+        println!("  pareto_points: {}", summary.pareto_points);
+        println!("  analysed_points: {}", summary.analysed_pareto_points);
+        println!("  cpu_time_seconds: {:.2}", summary.cpu_time_seconds);
+        println!("  digest: {:016x}", result.determinism_digest());
+    } else {
+        println!("result: none (resume with `ayb resume {run_id}`)");
+    }
+    Ok(())
+}

@@ -5,4 +5,5 @@ pub use ayb_core as core;
 pub use ayb_moo as moo;
 pub use ayb_process as process;
 pub use ayb_sim as sim;
+pub use ayb_store as store;
 pub use ayb_table as table;

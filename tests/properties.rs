@@ -134,4 +134,93 @@ proptest! {
             prop_assert!((got - want).abs() < 1e-7, "{} vs {}", got, want);
         }
     }
+
+    /// Optimiser checkpoints survive the JSON round-trip bit-for-bit for any
+    /// population shape, RNG state and counters — the property the resumable
+    /// flow's determinism rests on (floats use shortest-round-trip text).
+    #[test]
+    fn checkpoint_roundtrips_bit_for_bit(
+        rng_words in proptest::collection::vec(0u64..u64::MAX, 4),
+        parameters in proptest::collection::vec(0.0f64..1.0, 1..9),
+        weights in proptest::collection::vec(0.0f64..1.0, 2),
+        objectives in proptest::collection::vec(-1.0e9f64..1.0e9, 2),
+        next_generation in 0usize..1_000,
+        evaluations in 0usize..100_000,
+        stall in 0usize..50,
+    ) {
+        use ayb_moo::{Checkpoint, CheckpointIndividual, GenerationStats};
+
+        let checkpoint = Checkpoint {
+            optimizer: "wbga".to_string(),
+            next_generation,
+            rng_state: [rng_words[0], rng_words[1], rng_words[2], rng_words[3]],
+            population: vec![
+                CheckpointIndividual {
+                    parameters: parameters.clone(),
+                    weight_genes: weights.clone(),
+                    objectives: Some(objectives.clone()),
+                },
+                CheckpointIndividual {
+                    parameters: parameters.clone(),
+                    weight_genes: weights,
+                    objectives: None,
+                },
+            ],
+            archive: vec![Evaluation::new(parameters, objectives.clone())],
+            history: vec![GenerationStats {
+                generation: next_generation,
+                best_fitness: objectives[0],
+                mean_fitness: objectives[1],
+                feasible: evaluations.min(17),
+            }],
+            evaluations,
+            failed_evaluations: evaluations / 7,
+            stall_generations: stall,
+            senses: vec![Sense::Maximize, Sense::Minimize],
+        };
+        let json = serde_json::to_string(&checkpoint).unwrap();
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, checkpoint);
+        // Pretty-printing parses back to the same state too (the store
+        // writes pretty JSON).
+        let pretty = serde_json::to_string_pretty(&checkpoint).unwrap();
+        let back: Checkpoint = serde_json::from_str(&pretty).unwrap();
+        prop_assert_eq!(back, checkpoint);
+    }
+
+    /// Run manifests (including the embedded optimiser configuration, seeds
+    /// and early-stopping criterion) round-trip through JSON unchanged.
+    #[test]
+    fn manifest_roundtrips_through_json(
+        seed in 0u64..u64::MAX,
+        timestamps in (0u64..4_000_000_000, 0u64..4_000_000_000),
+        patience in 1usize..20,
+        status_index in 0usize..4,
+    ) {
+        use ayb_core::FlowConfig;
+        use ayb_moo::{EarlyStop, GaConfig, OptimizerConfig};
+        use ayb_store::{Manifest, RunStatus};
+
+        let status = [
+            RunStatus::Running,
+            RunStatus::Interrupted,
+            RunStatus::Completed,
+            RunStatus::Failed,
+        ][status_index];
+        let ga = GaConfig::small_test()
+            .with_seed(seed)
+            .with_early_stop(EarlyStop::after_stalled_generations(patience));
+        let manifest = Manifest {
+            run_id: format!("run-{seed:04}"),
+            status,
+            seed,
+            created_unix: timestamps.0,
+            updated_unix: timestamps.1,
+            optimizer: OptimizerConfig::Nsga2(ga),
+            flow: FlowConfig::reduced().with_seed(seed),
+        };
+        let json = serde_json::to_string_pretty(&manifest).unwrap();
+        let back: Manifest<FlowConfig> = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, manifest);
+    }
 }

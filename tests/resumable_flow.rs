@@ -1,0 +1,276 @@
+//! Integration tests for durable, resumable flows: a run interrupted
+//! mid-optimisation (deliberate halt — on-disk state identical to a crash)
+//! and resumed from the store produces a `FlowResult` identical to the
+//! same-seed uninterrupted run, the store lays runs out as documented, and
+//! the early-stopping criterion recorded in the manifest survives a resume.
+
+use ayb_core::{AybError, FlowBuilder, FlowConfig, FlowObserver, FlowResult};
+use ayb_moo::{CheckpointError, EarlyStop, OptimizerConfig};
+use ayb_store::{Manifest, RunStatus, Store};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn temp_store(label: &str) -> (PathBuf, Store) {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let root = std::env::temp_dir().join(format!(
+        "ayb-resume-test-{label}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let store = Store::open(&root).expect("store opens");
+    (root, store)
+}
+
+fn reduced_config() -> FlowConfig {
+    let mut config = FlowConfig::reduced();
+    config.sweep = ayb_sim::FrequencySweep::logarithmic(10.0, 1e9, 4);
+    config.monte_carlo.samples = 10;
+    config.max_pareto_points = 8;
+    config
+}
+
+/// Strict equality of every deterministic part of two flow results (the
+/// model has no `PartialEq`; its serialized form is compared instead).
+fn assert_results_identical(a: &FlowResult, b: &FlowResult) {
+    assert_eq!(a.archive, b.archive);
+    assert_eq!(a.pareto, b.pareto);
+    assert_eq!(a.pareto_data, b.pareto_data);
+    assert_eq!(a.optimization.archive, b.optimization.archive);
+    assert_eq!(a.optimization.history, b.optimization.history);
+    assert_eq!(a.optimization.evaluations, b.optimization.evaluations);
+    assert_eq!(
+        serde_json::to_string(&a.model).unwrap(),
+        serde_json::to_string(&b.model).unwrap()
+    );
+    assert_eq!(a.determinism_digest(), b.determinism_digest());
+}
+
+#[test]
+fn flow_with_store_persists_manifest_checkpoints_and_result() {
+    let (root, store) = temp_store("persist");
+    let config = reduced_config();
+
+    let result = FlowBuilder::new(config.clone())
+        .with_store(&store)
+        .run()
+        .expect("stored flow completes");
+
+    let run = store.run("run-0001").expect("run exists");
+    let manifest: Manifest<FlowConfig> = run.manifest().expect("manifest loads");
+    assert_eq!(manifest.status, RunStatus::Completed);
+    assert_eq!(manifest.seed, config.ga.seed);
+    assert_eq!(manifest.optimizer, OptimizerConfig::Wbga(config.ga));
+    assert_eq!(manifest.flow, config);
+
+    // One checkpoint per bred generation.
+    let generations = run.checkpoint_generations().expect("checkpoints list");
+    assert_eq!(
+        generations,
+        (1..config.ga.generations).collect::<Vec<_>>(),
+        "gen_NNNN.json per generation boundary"
+    );
+
+    // The persisted result reloads and matches the in-memory one exactly.
+    let reloaded: FlowResult = run.load_result().expect("result loads");
+    assert_results_identical(&result, &reloaded);
+
+    // A plain (store-less) run with the same config is bit-identical, i.e.
+    // persistence never perturbs the computation.
+    let plain = FlowBuilder::new(config)
+        .run()
+        .expect("plain flow completes");
+    assert_results_identical(&result, &plain);
+
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// Counts checkpoint-written callbacks.
+#[derive(Clone, Default)]
+struct CheckpointCounter {
+    written: Arc<AtomicUsize>,
+}
+
+impl FlowObserver for CheckpointCounter {
+    fn on_checkpoint_written(&mut self, _generation: usize, path: &Path) {
+        assert!(path.to_string_lossy().contains("checkpoints"));
+        self.written.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn interrupted_flow_resumes_to_a_bit_identical_result() {
+    let (root, store) = temp_store("resume");
+    let config = reduced_config();
+
+    // Reference: the same-seed run that is never interrupted.
+    let uninterrupted = FlowBuilder::new(config.clone())
+        .with_store(&store)
+        .with_run_id("clean")
+        .run()
+        .expect("clean flow completes");
+
+    // "Kill" a second run after its third checkpoint. A deliberate halt
+    // leaves exactly what a crash leaves — manifest + checkpoints, no
+    // result — plus an honest `interrupted` status.
+    let counter = CheckpointCounter::default();
+    let halted = FlowBuilder::new(config.clone())
+        .with_store(&store)
+        .with_run_id("victim")
+        .with_observer(counter.clone())
+        .halt_after_checkpoints(3)
+        .run();
+    match halted {
+        Err(AybError::Checkpoint(CheckpointError::Halted { generation })) => {
+            assert_eq!(generation, 3)
+        }
+        other => panic!("expected a halt, got {other:?}"),
+    }
+    assert_eq!(counter.written.load(Ordering::Relaxed), 3);
+
+    let victim = store.run("victim").expect("victim run exists");
+    assert_eq!(victim.status().unwrap(), RunStatus::Interrupted);
+    assert_eq!(victim.checkpoint_generations().unwrap(), vec![1, 2, 3]);
+    assert!(
+        !victim.has_result(),
+        "no result was written before the halt"
+    );
+
+    // Resume from the store: FlowBuilder::resume restores config, optimiser
+    // and seed from the manifest and continues from checkpoint 3.
+    let resumed = FlowBuilder::resume(&store, "victim")
+        .expect("resume builder")
+        .run()
+        .expect("resumed flow completes");
+    assert_results_identical(&uninterrupted, &resumed);
+    assert_eq!(victim.status().unwrap(), RunStatus::Completed);
+    let persisted: FlowResult = victim.load_result().expect("resumed result persisted");
+    assert_results_identical(&uninterrupted, &persisted);
+
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn every_optimizer_variant_interrupts_and_resumes_identically() {
+    let (root, store) = temp_store("variants");
+    let mut config = reduced_config();
+    config.ga.population_size = 12;
+    config.ga.generations = 6;
+
+    let variants = [
+        OptimizerConfig::Wbga(config.ga),
+        OptimizerConfig::Nsga2(config.ga),
+        OptimizerConfig::RandomSearch {
+            // Two checkpoint chunks of 64 plus a partial tail.
+            budget: 150,
+            seed: config.ga.seed,
+        },
+    ];
+    for variant in variants {
+        let name = variant.name();
+        let clean_id = format!("clean-{name}");
+        let victim_id = format!("victim-{name}");
+
+        let clean = FlowBuilder::new(config.clone())
+            .with_optimizer(variant.clone())
+            .with_store(&store)
+            .with_run_id(&clean_id)
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: clean run failed: {e}"));
+
+        let halted = FlowBuilder::new(config.clone())
+            .with_optimizer(variant)
+            .with_store(&store)
+            .with_run_id(&victim_id)
+            .halt_after_checkpoints(1)
+            .run();
+        assert!(
+            matches!(
+                halted,
+                Err(AybError::Checkpoint(CheckpointError::Halted { .. }))
+            ),
+            "{name}: expected halt"
+        );
+
+        let resumed = FlowBuilder::resume(&store, &victim_id)
+            .unwrap_or_else(|e| panic!("{name}: resume builder failed: {e}"))
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: resumed run failed: {e}"));
+        assert_results_identical(&clean, &resumed);
+    }
+
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn early_stop_is_recorded_in_the_manifest_and_honoured_on_resume() {
+    let (root, store) = temp_store("earlystop");
+    let mut config = reduced_config();
+    config.ga.generations = 10;
+    config.ga.early_stop = Some(EarlyStop::after_stalled_generations(2));
+
+    let clean = FlowBuilder::new(config.clone())
+        .with_store(&store)
+        .with_run_id("clean")
+        .run()
+        .expect("early-stopping flow completes");
+
+    // The criterion is durable: it rides inside the manifest's optimiser
+    // configuration.
+    let manifest: Manifest<FlowConfig> = store.run("clean").unwrap().manifest().unwrap();
+    assert_eq!(
+        manifest.optimizer.early_stop(),
+        Some(EarlyStop::after_stalled_generations(2))
+    );
+
+    // Interrupt a same-seed run at the first checkpoint and resume: the
+    // resumed run honours the criterion (identical history length and
+    // identical everything else).
+    let halted = FlowBuilder::new(config)
+        .with_store(&store)
+        .with_run_id("victim")
+        .halt_after_checkpoints(1)
+        .run();
+    assert!(matches!(
+        halted,
+        Err(AybError::Checkpoint(CheckpointError::Halted { .. }))
+    ));
+    let resumed = FlowBuilder::resume(&store, "victim")
+        .expect("resume builder")
+        .run()
+        .expect("resumed flow completes");
+    assert_results_identical(&clean, &resumed);
+
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn resume_restarts_from_scratch_when_no_checkpoint_was_written() {
+    let (root, store) = temp_store("nockpt");
+    let config = reduced_config();
+
+    let clean = FlowBuilder::new(config.clone())
+        .with_store(&store)
+        .with_run_id("clean")
+        .run()
+        .expect("clean flow completes");
+
+    // Simulate a run that died before its first checkpoint: create the run
+    // directory and manifest, then resume it.
+    let seed = config.ga.seed;
+    store
+        .create_run_with_id(
+            "stillborn",
+            seed,
+            &OptimizerConfig::Wbga(config.ga),
+            &config,
+        )
+        .expect("run created");
+    let resumed = FlowBuilder::resume(&store, "stillborn")
+        .expect("resume builder")
+        .run()
+        .expect("restarted flow completes");
+    assert_results_identical(&clean, &resumed);
+
+    let _ = std::fs::remove_dir_all(root);
+}

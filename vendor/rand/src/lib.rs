@@ -151,6 +151,26 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// Exports the raw xoshiro256++ state, e.g. for checkpointing a
+        /// long-running computation. Restoring the state with
+        /// [`StdRng::from_state`] continues the exact same stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.state
+        }
+
+        /// Rebuilds a generator from a state previously exported with
+        /// [`StdRng::state`], continuing its stream bit-for-bit.
+        ///
+        /// The all-zero state is a fixed point of xoshiro256++ (it would only
+        /// ever emit zeros) and can never be produced by seeding, so it is
+        /// mapped to `seed_from_u64(0)` instead of being used verbatim.
+        pub fn from_state(state: [u64; 4]) -> Self {
+            if state == [0; 4] {
+                return Self::seed_from_u64(0);
+            }
+            StdRng { state }
+        }
+
         fn splitmix64(state: &mut u64) -> u64 {
             *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
             let mut z = *state;

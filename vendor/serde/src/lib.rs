@@ -338,6 +338,22 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = __tuple(value, N)?;
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error(format!("expected a {N}-element array")))
+    }
+}
+
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn to_value(&self) -> Value {
         Value::Array(vec![self.0.to_value(), self.1.to_value()])
@@ -468,6 +484,15 @@ mod tests {
         assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
         let pair = ("x".to_string(), 2.0f64);
         assert_eq!(<(String, f64)>::from_value(&pair.to_value()).unwrap(), pair);
+    }
+
+    #[test]
+    fn fixed_size_arrays_roundtrip() {
+        let state: [u64; 4] = [1, u64::MAX, 0, 42];
+        assert_eq!(<[u64; 4]>::from_value(&state.to_value()).unwrap(), state);
+        // A length mismatch is a shape error, not a silent truncation.
+        let three = Value::Array(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert!(<[u64; 4]>::from_value(&three).is_err());
     }
 
     #[test]

@@ -49,6 +49,8 @@ use ayb_process::{montecarlo, Summary};
 use ayb_store::{Manifest, RunHandle, RunStatus, Store, StoreError};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Errors produced by the flow.
@@ -351,9 +353,14 @@ impl FlowObserver for StderrObserver {
 /// durable: a manifest records the configuration, every optimiser generation
 /// is checkpointed to disk, and the final [`FlowResult`] is persisted. A run
 /// interrupted at any point — killed, crashed or deliberately halted with
-/// [`FlowBuilder::halt_after_checkpoints`] — continues from its latest
-/// checkpoint via [`FlowBuilder::resume`] and produces a result identical to
-/// the uninterrupted run.
+/// [`FlowBuilder::halt_after_checkpoints`] / [`FlowBuilder::halt_when`] —
+/// continues from its latest checkpoint via [`FlowBuilder::resume`] and
+/// produces a result identical to the uninterrupted run.
+///
+/// A durable run is *claimed* (`claim.json` lock file) for the whole
+/// execution, so two processes — a stray `ayb resume` racing a job-server
+/// worker, say — can never execute the same run concurrently: the loser gets
+/// [`StoreError::RunClaimed`] before touching any state.
 pub struct FlowBuilder {
     config: FlowConfig,
     optimizer: OptimizerConfig,
@@ -363,6 +370,8 @@ pub struct FlowBuilder {
     run_id: Option<String>,
     resume_from: Option<(RunHandle, Option<Checkpoint>)>,
     halt_after_checkpoints: Option<usize>,
+    halt_signal: Option<Arc<AtomicBool>>,
+    claim_owner: Option<String>,
 }
 
 impl FlowBuilder {
@@ -378,6 +387,8 @@ impl FlowBuilder {
             run_id: None,
             resume_from: None,
             halt_after_checkpoints: None,
+            halt_signal: None,
+            claim_owner: None,
         }
     }
 
@@ -404,6 +415,8 @@ impl FlowBuilder {
             run_id: None,
             resume_from: Some((handle, checkpoint)),
             halt_after_checkpoints: None,
+            halt_signal: None,
+            claim_owner: None,
         })
     }
 
@@ -475,6 +488,28 @@ impl FlowBuilder {
         self
     }
 
+    /// Registers an external halt signal: whenever `signal` reads `true` at
+    /// a checkpoint boundary, the run stops gracefully exactly as
+    /// [`FlowBuilder::halt_after_checkpoints`] would — status
+    /// [`RunStatus::Interrupted`], every checkpoint on disk, resumable to a
+    /// bit-identical result. This is how a job server drains its workers on
+    /// shutdown without losing (or perturbing) any run.
+    #[must_use]
+    pub fn halt_when(mut self, signal: Arc<AtomicBool>) -> Self {
+        self.halt_signal = Some(signal);
+        self
+    }
+
+    /// Labels the execution claim this flow takes on its stored run
+    /// (default: `flow-<pid>`). Purely diagnostic — the claim itself is
+    /// always taken; the label shows up in `ayb status` and in
+    /// [`StoreError::RunClaimed`] errors.
+    #[must_use]
+    pub fn with_claim_owner(mut self, owner: impl Into<String>) -> Self {
+        self.claim_owner = Some(owner.into());
+        self
+    }
+
     /// The configuration this builder will run with.
     pub fn config(&self) -> &FlowConfig {
         &self.config
@@ -499,9 +534,31 @@ impl FlowBuilder {
         notify_start(&mut self.observers, FlowStage::Optimize);
 
         // Open (resume) or create the durable run when a store is attached.
+        // Either way the run is *claimed* for the whole execution: a second
+        // process resuming (or a job-server worker picking up) the same run
+        // fails fast with `StoreError::RunClaimed` instead of silently
+        // executing it twice. The claim is released at every terminal state.
+        let claim_owner = self
+            .claim_owner
+            .take()
+            .unwrap_or_else(|| format!("flow-{}", std::process::id()));
         let (run, resume_checkpoint) = match (self.store.as_ref(), self.resume_from.take()) {
             (_, Some((handle, checkpoint))) => {
-                handle.set_status(RunStatus::Running)?;
+                handle.try_claim(&claim_owner)?;
+                // Under the claim, re-check for a result: the run may have
+                // been completed by another worker between this builder's
+                // construction and the claim; re-executing it would be
+                // wasted (if bit-identical) work.
+                if handle.has_result() {
+                    let _ = handle.release_claim();
+                    return Err(AybError::Store(StoreError::AlreadyCompleted(
+                        handle.id().to_string(),
+                    )));
+                }
+                if let Err(error) = handle.set_status(RunStatus::Running) {
+                    let _ = handle.release_claim();
+                    return Err(error.into());
+                }
                 (Some(handle), checkpoint)
             }
             (Some(store), None) => {
@@ -510,6 +567,7 @@ impl FlowBuilder {
                     Some(id) => store.create_run_with_id(id, seed, &self.optimizer, &self.config),
                     None => store.create_run(seed, &self.optimizer, &self.config),
                 }?;
+                handle.try_claim(&claim_owner)?;
                 (Some(handle), None)
             }
             (None, None) => (None, None),
@@ -524,15 +582,21 @@ impl FlowBuilder {
                 let mut write_error: Option<StoreError> = None;
                 let observers = &mut self.observers;
                 let halt_after = self.halt_after_checkpoints;
+                let halt_signal = self.halt_signal.clone();
                 let mut sink = |checkpoint: &Checkpoint| match handle.save_checkpoint(checkpoint) {
                     Ok(path) => {
                         written += 1;
                         for observer in observers.iter_mut() {
                             observer.on_checkpoint_written(checkpoint.next_generation, &path);
                         }
-                        match halt_after {
-                            Some(limit) if written >= limit => CheckpointControl::Halt,
-                            _ => CheckpointControl::Continue,
+                        let count_reached = matches!(halt_after, Some(limit) if written >= limit);
+                        let signalled = halt_signal
+                            .as_ref()
+                            .is_some_and(|signal| signal.load(Ordering::Relaxed));
+                        if count_reached || signalled {
+                            CheckpointControl::Halt
+                        } else {
+                            CheckpointControl::Continue
                         }
                     }
                     Err(error) => {
@@ -542,17 +606,17 @@ impl FlowBuilder {
                 };
                 let outcome = optimizer.run_checkpointed(&problem, resume_checkpoint, &mut sink);
                 if let Some(error) = write_error {
-                    let _ = handle.set_status(RunStatus::Failed);
+                    finish_run(handle, RunStatus::Failed);
                     return Err(AybError::Store(error));
                 }
                 match outcome {
                     Ok(result) => result,
                     Err(halted @ CheckpointError::Halted { .. }) => {
-                        let _ = handle.set_status(RunStatus::Interrupted);
+                        finish_run(handle, RunStatus::Interrupted);
                         return Err(AybError::Checkpoint(halted));
                     }
                     Err(error) => {
-                        let _ = handle.set_status(RunStatus::Failed);
+                        finish_run(handle, RunStatus::Failed);
                         return Err(AybError::Checkpoint(error));
                     }
                 }
@@ -561,7 +625,7 @@ impl FlowBuilder {
         let optimization_time = t0.elapsed();
         if optimization.archive.is_empty() {
             if let Some(handle) = &run {
-                let _ = handle.set_status(RunStatus::Failed);
+                finish_run(handle, RunStatus::Failed);
             }
             return Err(AybError::Flow(FlowError::NoFeasibleCandidates));
         }
@@ -651,7 +715,7 @@ impl OptimizedFlow {
         );
         if pareto_data.len() < 3 {
             if let Some(handle) = &self.run {
-                let _ = handle.set_status(RunStatus::Failed);
+                finish_run(handle, RunStatus::Failed);
             }
             return Err(AybError::Flow(FlowError::InsufficientParetoData(
                 pareto_data.len(),
@@ -704,7 +768,7 @@ impl AnalyzedFlow {
             Ok(model) => model,
             Err(error) => {
                 if let Some(handle) = &self.run {
-                    let _ = handle.set_status(RunStatus::Failed);
+                    finish_run(handle, RunStatus::Failed);
                 }
                 return Err(error.into());
             }
@@ -724,11 +788,21 @@ impl AnalyzedFlow {
             optimization: self.optimization,
         };
         if let Some(handle) = &self.run {
-            handle.save_result(&result)?;
-            handle.set_status(RunStatus::Completed)?;
+            let persisted = handle
+                .save_result(&result)
+                .and_then(|()| handle.set_status(RunStatus::Completed));
+            let _ = handle.release_claim();
+            persisted?;
         }
         Ok(result)
     }
+}
+
+/// Terminal-state bookkeeping for a durable run: record the status and
+/// release the execution claim taken in [`FlowBuilder::optimize`].
+fn finish_run(handle: &RunHandle, status: RunStatus) {
+    let _ = handle.set_status(status);
+    let _ = handle.release_claim();
 }
 
 fn notify_start(observers: &mut [Box<dyn FlowObserver>], stage: FlowStage) {

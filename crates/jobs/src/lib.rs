@@ -1,0 +1,754 @@
+//! # ayb-jobs — a job server over the run store
+//!
+//! [`JobServer`] turns the persistent run store (`ayb_store`) into a work
+//! queue: runs are *submitted* (written to the store with status
+//! [`RunStatus::Queued`], by `ayb submit` or [`JobServer::submit`]) and a
+//! pool of worker threads claims and executes them with
+//! `ayb_core::FlowBuilder::resume`, checkpointing every optimiser generation.
+//! The store stays the single source of truth — the server keeps no state
+//! that is not reconstructible from disk, so any number of server processes
+//! can share one store and a killed server loses nothing.
+//!
+//! The guarantees, in order of importance:
+//!
+//! * **exactly-once execution** — a worker only runs a job it has *claimed*
+//!   (an atomic `claim.json` lock file, see [`ayb_store::RunHandle::try_claim`]);
+//!   two workers, or two whole server processes, racing for the same run see
+//!   exactly one winner, and the loser just moves on;
+//! * **crash recovery** — at startup ([`JobServer::run`]) and periodically
+//!   thereafter ([`JobServerConfig::recovery_interval`]) the server
+//!   re-queues `Interrupted` runs and stale `Running` runs (their claim
+//!   holder is dead, or they have no claim and have not been touched
+//!   recently), so even work stranded by a peer that died *after* this
+//!   server started is adopted; each resumes from its latest checkpoint and
+//!   produces a result **bit-identical** to an uninterrupted run of the
+//!   same seed;
+//! * **graceful shutdown** — [`ShutdownHandle::shutdown`] stops every
+//!   in-flight run at its next checkpoint boundary (via
+//!   `FlowBuilder::halt_when` and the optimiser's `CheckpointSink` halt
+//!   mechanism), leaving runs `Interrupted` and immediately resumable;
+//! * **determinism under concurrency** — worker count and scheduling order
+//!   never change any run's result: every run is seeded from its manifest
+//!   and executed in isolation, so N runs through a multi-worker server
+//!   digest identically to the same seeds run sequentially.
+//!
+//! ```no_run
+//! use ayb_core::FlowConfig;
+//! use ayb_jobs::{JobServer, JobServerConfig};
+//! use ayb_moo::OptimizerConfig;
+//! use ayb_store::Store;
+//!
+//! # fn main() -> Result<(), ayb_jobs::JobError> {
+//! let store = Store::open("./ayb-store")?;
+//! let config = FlowConfig::reduced();
+//! let server = JobServer::new(store, JobServerConfig::drain_with_workers(2));
+//! for seed in [1, 2, 3] {
+//!     let optimizer = OptimizerConfig::Wbga(config.ga).with_seed(seed);
+//!     server.submit(seed, &optimizer, &config)?;
+//! }
+//! let report = server.run()?; // executes all three, then returns
+//! println!("completed: {:?}", report.completed);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use ayb_core::{AybError, FlowBuilder, FlowObserver};
+use ayb_moo::{CheckpointError, OptimizerConfig};
+use ayb_store::{RunHandle, RunStatus, Store, StoreError};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Errors produced by the job server (all wrap the store layer — flow errors
+/// of individual runs are *reported*, not propagated, so one failing run
+/// never takes the server down).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// A store operation failed.
+    Store(StoreError),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Store(e) => write!(f, "job server store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<StoreError> for JobError {
+    fn from(e: StoreError) -> Self {
+        JobError::Store(e)
+    }
+}
+
+/// Configuration of a [`JobServer`].
+#[derive(Debug, Clone)]
+pub struct JobServerConfig {
+    /// Number of worker threads executing runs concurrently (min 1). Each
+    /// run additionally parallelises its own batch evaluation with the
+    /// `threads` recorded in its manifest.
+    pub workers: usize,
+    /// How often the server re-scans the store for newly submitted runs
+    /// (worker completions wake it early).
+    pub poll_interval: Duration,
+    /// When `true`, [`JobServer::run`] returns once the queue is empty and
+    /// every worker is idle (batch mode, used by `ayb serve --drain` and the
+    /// tests). When `false` it serves until [`ShutdownHandle::shutdown`].
+    pub drain: bool,
+    /// Label recorded in claim files (`<owner>/worker-N`) for diagnostics.
+    pub owner: String,
+    /// How recently a claimless `Running` run's manifest must have been
+    /// updated for recovery to leave it alone (it may be mid-creation).
+    /// Claimed runs use the claim holder's liveness instead.
+    pub reclaim_grace: Duration,
+    /// How often a long-lived (non-drain) server repeats the recovery pass,
+    /// so runs stranded *after* startup — a peer server shut down or died —
+    /// are picked up without waiting for a restart.
+    pub recovery_interval: Duration,
+}
+
+impl Default for JobServerConfig {
+    fn default() -> Self {
+        JobServerConfig {
+            workers: 2,
+            poll_interval: Duration::from_millis(200),
+            drain: false,
+            owner: format!("ayb-serve-{}", std::process::id()),
+            reclaim_grace: Duration::from_secs(30),
+            recovery_interval: Duration::from_secs(30),
+        }
+    }
+}
+
+impl JobServerConfig {
+    /// Batch-mode configuration: `workers` threads, exit when idle.
+    pub fn drain_with_workers(workers: usize) -> Self {
+        JobServerConfig {
+            workers,
+            drain: true,
+            ..JobServerConfig::default()
+        }
+    }
+}
+
+/// Progress notifications emitted by the server (see
+/// [`JobServer::set_event_hook`]).
+#[derive(Debug, Clone)]
+pub enum JobEvent {
+    /// Recovery re-queued an interrupted or stale-running run at startup.
+    Requeued {
+        /// The run.
+        run_id: String,
+        /// Status the run had before it was re-queued.
+        from: RunStatus,
+    },
+    /// A queued run was picked up into the in-memory FIFO.
+    Enqueued {
+        /// The run.
+        run_id: String,
+    },
+    /// A worker started (or resumed) executing a run.
+    Started {
+        /// The run.
+        run_id: String,
+        /// Index of the executing worker.
+        worker: usize,
+    },
+    /// A per-generation checkpoint of an executing run was persisted.
+    CheckpointWritten {
+        /// The run.
+        run_id: String,
+        /// The checkpoint's generation index.
+        generation: usize,
+    },
+    /// A run finished; its result and `Completed` status are on disk.
+    Completed {
+        /// The run.
+        run_id: String,
+        /// Index of the executing worker.
+        worker: usize,
+        /// The result's determinism digest.
+        digest: u64,
+    },
+    /// A run halted gracefully at a checkpoint boundary (server shutdown);
+    /// it is `Interrupted` on disk and will resume on the next start.
+    Interrupted {
+        /// The run.
+        run_id: String,
+        /// Index of the executing worker.
+        worker: usize,
+    },
+    /// A worker skipped a run: another process claimed it first, or it
+    /// already has a result.
+    Skipped {
+        /// The run.
+        run_id: String,
+        /// Index of the worker that skipped.
+        worker: usize,
+        /// Why the run was skipped.
+        reason: String,
+    },
+    /// A run failed; its `Failed` status is on disk.
+    Failed {
+        /// The run.
+        run_id: String,
+        /// Index of the executing worker.
+        worker: usize,
+        /// The flow error.
+        message: String,
+    },
+}
+
+impl JobEvent {
+    /// The run this event concerns.
+    pub fn run_id(&self) -> &str {
+        match self {
+            JobEvent::Requeued { run_id, .. }
+            | JobEvent::Enqueued { run_id }
+            | JobEvent::Started { run_id, .. }
+            | JobEvent::CheckpointWritten { run_id, .. }
+            | JobEvent::Completed { run_id, .. }
+            | JobEvent::Interrupted { run_id, .. }
+            | JobEvent::Skipped { run_id, .. }
+            | JobEvent::Failed { run_id, .. } => run_id,
+        }
+    }
+}
+
+/// Summary of one [`JobServer::run`] invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobReport {
+    /// Runs that completed (result + `Completed` status on disk).
+    pub completed: Vec<String>,
+    /// Runs halted gracefully by shutdown (resumable, `Interrupted`).
+    pub interrupted: Vec<String>,
+    /// Runs that failed.
+    pub failed: Vec<String>,
+    /// Runs skipped because another process claimed them first (or they
+    /// were already completed).
+    pub skipped: Vec<String>,
+    /// Runs re-queued by startup recovery.
+    pub requeued: Vec<String>,
+}
+
+impl JobReport {
+    /// Number of runs this server actually executed (to any terminal state).
+    pub fn executed(&self) -> usize {
+        self.completed.len() + self.interrupted.len() + self.failed.len()
+    }
+}
+
+/// Requests a graceful stop of a running [`JobServer`] from another thread.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Stops the server: workers take no new runs, every in-flight run halts
+    /// at its next checkpoint boundary (status `Interrupted`, claim
+    /// released), and [`JobServer::run`] returns once all workers are done.
+    pub fn shutdown(&self) {
+        self.shared.halt_runs.store(true, Ordering::SeqCst);
+        self.shared.signal_stop();
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.stop_workers.load(Ordering::SeqCst)
+    }
+}
+
+type EventHook = Box<dyn Fn(&JobEvent) + Send + Sync>;
+
+struct QueueState {
+    /// Run ids waiting for a worker, FIFO.
+    queue: VecDeque<String>,
+    /// Every id this server has ever enqueued (so the poll scan never
+    /// enqueues a run twice, including runs another process is executing).
+    seen: HashSet<String>,
+    /// Number of workers currently executing a run.
+    busy: usize,
+}
+
+struct Shared {
+    store: Store,
+    queue: Mutex<QueueState>,
+    wake: Condvar,
+    /// Workers stop taking new runs (drain finished or shutdown requested).
+    stop_workers: AtomicBool,
+    /// In-flight flows halt at their next checkpoint (shutdown only).
+    halt_runs: Arc<AtomicBool>,
+    events: Mutex<Option<EventHook>>,
+}
+
+impl Shared {
+    fn emit(&self, event: JobEvent) {
+        if let Some(hook) = &*self.events.lock().expect("event hook lock") {
+            hook(&event);
+        }
+    }
+
+    /// Raises `stop_workers` *while holding the queue mutex*, then notifies.
+    /// Workers check the flag under the same mutex before waiting, so the
+    /// store-then-notify can never slip into the gap between a worker's
+    /// check and its `wait` — a plain atomic store there would be a classic
+    /// lost wakeup, hanging `run()` forever.
+    fn signal_stop(&self) {
+        let _state = self.queue.lock().expect("queue lock");
+        self.stop_workers.store(true, Ordering::SeqCst);
+        self.wake.notify_all();
+    }
+}
+
+/// Forwards per-run flow progress into [`JobEvent`]s.
+struct RunEvents {
+    shared: Arc<Shared>,
+    run_id: String,
+}
+
+impl FlowObserver for RunEvents {
+    fn on_checkpoint_written(&mut self, generation: usize, _path: &Path) {
+        self.shared.emit(JobEvent::CheckpointWritten {
+            run_id: self.run_id.clone(),
+            generation,
+        });
+    }
+}
+
+/// What one worker execution of one run amounted to.
+enum Outcome {
+    Completed(u64),
+    Interrupted,
+    Skipped(String),
+    Failed(String),
+}
+
+/// A FIFO queue + worker pool executing durable runs from a [`Store`].
+///
+/// See the crate docs for the execution and recovery guarantees. The server
+/// is driven by [`JobServer::run`], which blocks until drained (batch mode)
+/// or shut down via [`JobServer::shutdown_handle`].
+pub struct JobServer {
+    shared: Arc<Shared>,
+    config: JobServerConfig,
+}
+
+impl JobServer {
+    /// Creates a server over `store` (no threads start until
+    /// [`JobServer::run`]).
+    pub fn new(store: Store, config: JobServerConfig) -> Self {
+        JobServer {
+            shared: Arc::new(Shared {
+                store,
+                queue: Mutex::new(QueueState {
+                    queue: VecDeque::new(),
+                    seen: HashSet::new(),
+                    busy: 0,
+                }),
+                wake: Condvar::new(),
+                stop_workers: AtomicBool::new(false),
+                halt_runs: Arc::new(AtomicBool::new(false)),
+                events: Mutex::new(None),
+            }),
+            config,
+        }
+    }
+
+    /// The store this server executes from.
+    pub fn store(&self) -> &Store {
+        &self.shared.store
+    }
+
+    /// Registers a callback receiving every [`JobEvent`] (replacing any
+    /// previous hook). The hook is called from server and worker threads.
+    pub fn set_event_hook(&self, hook: impl Fn(&JobEvent) + Send + Sync + 'static) {
+        *self.shared.events.lock().expect("event hook lock") = Some(Box::new(hook));
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Submits a run: records it in the store with status
+    /// [`RunStatus::Queued`] and returns its id. Any server process polling
+    /// the same store (including this one, once running) will execute it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Store`] when the run cannot be recorded.
+    pub fn submit<C: Serialize>(
+        &self,
+        seed: u64,
+        optimizer: &OptimizerConfig,
+        flow: &C,
+    ) -> Result<String, JobError> {
+        let handle = self.shared.store.enqueue_run(seed, optimizer, flow)?;
+        Ok(handle.id().to_string())
+    }
+
+    /// Runs the server: recovery pass, then worker pool + queue polling.
+    ///
+    /// Blocks until the queue is drained (with
+    /// [`JobServerConfig::drain`]) or [`ShutdownHandle::shutdown`] is
+    /// called, then joins all workers and returns what happened.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Store`] when the store itself becomes unusable
+    /// (individual run failures are reported in the [`JobReport`] instead).
+    pub fn run(&self) -> Result<JobReport, JobError> {
+        let report = Mutex::new(JobReport::default());
+        self.recover_and_requeue(&report)?;
+
+        let outcome = std::thread::scope(|scope| {
+            for worker in 0..self.config.workers.max(1) {
+                let shared = Arc::clone(&self.shared);
+                let config = self.config.clone();
+                let report = &report;
+                scope.spawn(move || worker_loop(&shared, &config, worker, report));
+            }
+            let result = self.serve_loop(&report);
+            // Drain finished or shutdown requested (or the store broke):
+            // stop the workers either way, then let the scope join them.
+            self.shared.signal_stop();
+            result
+        });
+        outcome?;
+        Ok(report.into_inner().expect("report lock"))
+    }
+
+    /// Runs a recovery pass and makes its re-queued runs eligible for this
+    /// server's own queue again (they may have been `seen` in a previous
+    /// life, e.g. skipped because a peer held their claim).
+    fn recover_and_requeue(&self, report: &Mutex<JobReport>) -> Result<(), JobError> {
+        let requeued = self.recover()?;
+        if requeued.is_empty() {
+            return Ok(());
+        }
+        {
+            let mut state = self.shared.queue.lock().expect("queue lock");
+            for id in &requeued {
+                state.seen.remove(id);
+            }
+        }
+        report
+            .lock()
+            .expect("report lock")
+            .requeued
+            .extend(requeued);
+        Ok(())
+    }
+
+    /// The management loop: scan for queued runs, feed the workers, decide
+    /// when a drain-mode server is done. Long-lived servers also repeat the
+    /// recovery pass every [`JobServerConfig::recovery_interval`] so work
+    /// stranded by a dead or shut-down peer is adopted without a restart.
+    fn serve_loop(&self, report: &Mutex<JobReport>) -> Result<(), JobError> {
+        // Terminal runs are remembered so each poll reads only live
+        // manifests — a store full of old completed runs costs one scan,
+        // not one scan per tick.
+        let mut terminal = HashSet::new();
+        let mut last_recovery = std::time::Instant::now();
+        loop {
+            if !self.config.drain && last_recovery.elapsed() >= self.config.recovery_interval {
+                self.recover_and_requeue(report)?;
+                last_recovery = std::time::Instant::now();
+            }
+            let scan = self.shared.store.poll_queued(&mut terminal)?;
+            let mut fresh = Vec::new();
+            let (queue_empty, busy) = {
+                let mut state = self.shared.queue.lock().expect("queue lock");
+                for id in &scan {
+                    if state.seen.insert(id.clone()) {
+                        state.queue.push_back(id.clone());
+                        fresh.push(id.clone());
+                    }
+                }
+                (state.queue.is_empty(), state.busy)
+            };
+            let no_new_work = fresh.is_empty();
+            if !no_new_work {
+                self.shared.wake.notify_all();
+            }
+            for id in fresh {
+                self.shared.emit(JobEvent::Enqueued { run_id: id });
+            }
+            if self.shared.stop_workers.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            if self.config.drain && no_new_work && queue_empty && busy == 0 {
+                return Ok(());
+            }
+            let state = self.shared.queue.lock().expect("queue lock");
+            let _ = self
+                .shared
+                .wake
+                .wait_timeout(state, self.config.poll_interval)
+                .expect("queue lock");
+        }
+    }
+
+    /// Startup recovery: release claims whose holder died, and re-queue
+    /// every resumable run — `Interrupted` ones and `Running` ones whose
+    /// executor is provably gone. Returns the re-queued ids.
+    fn recover(&self) -> Result<Vec<String>, JobError> {
+        let mut requeued = Vec::new();
+        for id in self.shared.store.run_ids()? {
+            let Ok(handle) = self.shared.store.run(&id) else {
+                continue; // torn creation: directory without a manifest
+            };
+            let Ok(status) = handle.status() else {
+                continue;
+            };
+            match status {
+                RunStatus::Completed | RunStatus::Failed => continue,
+                RunStatus::Queued => {
+                    // A worker killed between claiming and starting leaves a
+                    // stale claim on a still-queued run; break it (the break
+                    // is compare-and-delete, so a claim legitimately
+                    // re-taken in the window survives).
+                    if let Ok(Some(claim)) = handle.claim() {
+                        if !claim.holder_alive() {
+                            let _ = handle.break_claim(&claim);
+                        }
+                    }
+                }
+                RunStatus::Running | RunStatus::Interrupted => {
+                    if handle.has_result() {
+                        continue; // completed but died before the status flip
+                    }
+                    match handle.claim() {
+                        Ok(Some(claim)) if claim.holder_alive() => continue,
+                        Ok(Some(claim)) => {
+                            // Stale claim: break it iff it is still the one
+                            // just read; a lost race means another recovery
+                            // pass (or its worker) already owns this run.
+                            if !handle.break_claim(&claim).unwrap_or(false) {
+                                continue;
+                            }
+                        }
+                        Ok(None) if status == RunStatus::Running => {
+                            // No claim on a Running run: a dead executor —
+                            // unless the manifest is fresh enough that its
+                            // creator may still be inside the create→claim
+                            // window.
+                            if manifest_age_secs(&handle) < self.config.reclaim_grace.as_secs() {
+                                continue;
+                            }
+                        }
+                        Ok(None) => {}
+                        Err(_) => continue,
+                    }
+                    if handle.set_status(RunStatus::Queued).is_ok() {
+                        self.shared.emit(JobEvent::Requeued {
+                            run_id: id.clone(),
+                            from: status,
+                        });
+                        requeued.push(id);
+                    }
+                }
+            }
+        }
+        Ok(requeued)
+    }
+}
+
+/// Seconds since the run's manifest was last updated (0 when unreadable, so
+/// unreadable manifests are treated as fresh and left alone).
+fn manifest_age_secs(handle: &RunHandle) -> u64 {
+    let updated = handle
+        .manifest_value()
+        .ok()
+        .and_then(|value| value.get("updated_unix").cloned())
+        .and_then(|value| u64::from_value(&value).ok());
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    match updated {
+        Some(updated) => now.saturating_sub(updated),
+        None => 0,
+    }
+}
+
+fn worker_loop(
+    shared: &Arc<Shared>,
+    config: &JobServerConfig,
+    worker: usize,
+    report: &Mutex<JobReport>,
+) {
+    loop {
+        let run_id = {
+            let mut state = shared.queue.lock().expect("queue lock");
+            loop {
+                if shared.stop_workers.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(id) = state.queue.pop_front() {
+                    state.busy += 1;
+                    break id;
+                }
+                state = shared.wake.wait(state).expect("queue lock");
+            }
+        };
+        let outcome = execute_run(shared, config, worker, &run_id);
+        {
+            let mut state = shared.queue.lock().expect("queue lock");
+            state.busy -= 1;
+        }
+        shared.wake.notify_all();
+        let mut report = report.lock().expect("report lock");
+        match outcome {
+            Outcome::Completed(digest) => {
+                report.completed.push(run_id.clone());
+                shared.emit(JobEvent::Completed {
+                    run_id,
+                    worker,
+                    digest,
+                });
+            }
+            Outcome::Interrupted => {
+                report.interrupted.push(run_id.clone());
+                shared.emit(JobEvent::Interrupted { run_id, worker });
+            }
+            Outcome::Skipped(reason) => {
+                report.skipped.push(run_id.clone());
+                shared.emit(JobEvent::Skipped {
+                    run_id,
+                    worker,
+                    reason,
+                });
+            }
+            Outcome::Failed(message) => {
+                report.failed.push(run_id.clone());
+                shared.emit(JobEvent::Failed {
+                    run_id,
+                    worker,
+                    message,
+                });
+            }
+        }
+    }
+}
+
+/// Executes one run to a terminal state. The claim is taken (and released)
+/// by the flow itself, so a run another process claimed first comes back as
+/// [`Outcome::Skipped`] without this worker having touched any state.
+fn execute_run(
+    shared: &Arc<Shared>,
+    config: &JobServerConfig,
+    worker: usize,
+    run_id: &str,
+) -> Outcome {
+    let handle = match shared.store.run(run_id) {
+        Ok(handle) => handle,
+        Err(error) => return Outcome::Failed(error.to_string()),
+    };
+    if handle.has_result() {
+        return Outcome::Skipped("already completed".to_string());
+    }
+    shared.emit(JobEvent::Started {
+        run_id: run_id.to_string(),
+        worker,
+    });
+    let builder = match FlowBuilder::resume(&shared.store, run_id) {
+        Ok(builder) => builder,
+        Err(error) => return Outcome::Failed(error.to_string()),
+    };
+    let observer = RunEvents {
+        shared: Arc::clone(shared),
+        run_id: run_id.to_string(),
+    };
+    let outcome = builder
+        .with_claim_owner(format!("{}/worker-{}", config.owner, worker))
+        .halt_when(Arc::clone(&shared.halt_runs))
+        .with_observer(observer)
+        .run();
+    match outcome {
+        Ok(result) => Outcome::Completed(result.determinism_digest()),
+        Err(AybError::Checkpoint(CheckpointError::Halted { .. })) => Outcome::Interrupted,
+        Err(AybError::Store(StoreError::RunClaimed { owner, .. })) => {
+            Outcome::Skipped(format!("claimed by {owner}"))
+        }
+        Err(AybError::Store(StoreError::AlreadyCompleted(_))) => {
+            Outcome::Skipped("already completed".to_string())
+        }
+        Err(error) => Outcome::Failed(error.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let config = JobServerConfig::default();
+        assert!(config.workers >= 1);
+        assert!(!config.drain);
+        assert!(config.owner.contains(&std::process::id().to_string()));
+        let drain = JobServerConfig::drain_with_workers(4);
+        assert_eq!(drain.workers, 4);
+        assert!(drain.drain);
+    }
+
+    #[test]
+    fn report_counts_executed_runs() {
+        let report = JobReport {
+            completed: vec!["a".into(), "b".into()],
+            interrupted: vec!["c".into()],
+            failed: vec![],
+            skipped: vec!["d".into()],
+            requeued: vec!["c".into()],
+        };
+        assert_eq!(report.executed(), 3);
+    }
+
+    #[test]
+    fn events_name_their_run() {
+        let event = JobEvent::Completed {
+            run_id: "run-0001".into(),
+            worker: 0,
+            digest: 7,
+        };
+        assert_eq!(event.run_id(), "run-0001");
+        let event = JobEvent::Requeued {
+            run_id: "run-0002".into(),
+            from: RunStatus::Interrupted,
+        };
+        assert_eq!(event.run_id(), "run-0002");
+    }
+
+    #[test]
+    fn shutdown_handle_flips_the_flags() {
+        let store =
+            Store::open(std::env::temp_dir().join(format!("ayb-jobs-unit-{}", std::process::id())))
+                .unwrap();
+        let server = JobServer::new(store, JobServerConfig::default());
+        let handle = server.shutdown_handle();
+        assert!(!handle.is_shutdown());
+        handle.shutdown();
+        assert!(handle.is_shutdown());
+        assert!(server.shared.halt_runs.load(Ordering::SeqCst));
+    }
+}

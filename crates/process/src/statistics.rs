@@ -48,11 +48,21 @@ impl Summary {
     /// The paper's ΔGain / ΔPM columns (Table 2) express how far the
     /// performance may wander from its nominal value at the process extremes;
     /// with `k = 3` this is the conventional ±3 σ band.
+    ///
+    /// The zero-mean edges are defined rather than left to float division:
+    /// a sample set with no spread has `0.0` variation whatever its mean,
+    /// and a spread around a (near-)zero mean reports an astronomically
+    /// large but *finite* percentage (the mean is clamped away from zero at
+    /// `1e-30`). Finite matters: these values are persisted through the run
+    /// store as JSON, which — like strict JSON everywhere — has no
+    /// representation for infinity, so an `inf` here would silently come
+    /// back as garbage after a round-trip, while the old behaviour (`0.0`)
+    /// misreported the metric as perfectly stable.
     pub fn variation_percent(&self, k_sigma: f64) -> f64 {
-        if self.mean.abs() < 1e-30 {
+        if self.std_dev == 0.0 {
             return 0.0;
         }
-        100.0 * k_sigma * self.std_dev / self.mean.abs()
+        100.0 * k_sigma * self.std_dev / self.mean.abs().max(1e-30)
     }
 
     /// Coefficient of variation in percent (`100·σ/|mean|`).
@@ -161,6 +171,26 @@ mod tests {
         let three_sigma = s.variation_percent(3.0);
         assert!((three_sigma / one_sigma - 3.0).abs() < 1e-9);
         assert!((s.cv_percent() - one_sigma).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variation_percent_zero_mean_edges_are_defined() {
+        // Spread around a zero mean: huge (clamped-mean) but finite and
+        // positive — not 0/0 garbage, not a silent 0, and (being finite)
+        // it survives a JSON round-trip through the run store.
+        let zero_mean = Summary::of(&[-1.0, 1.0]).unwrap();
+        assert!(zero_mean.mean.abs() < 1e-30);
+        let variation = zero_mean.variation_percent(3.0);
+        assert!(variation.is_finite());
+        assert!(variation > 1e30);
+        assert!(zero_mean.cv_percent().is_finite());
+        assert!(zero_mean.cv_percent() > 1e30);
+
+        // No spread at all: zero variation, even at a zero mean.
+        let constant_zero = Summary::of(&[0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(constant_zero.variation_percent(3.0), 0.0);
+        let constant = Summary::of(&[5.0, 5.0]).unwrap();
+        assert_eq!(constant.variation_percent(3.0), 0.0);
     }
 
     #[test]

@@ -28,10 +28,24 @@
 //! shortest-round-trip formatting, so `f64` state survives losslessly) and
 //! every write is atomic (temp file + rename), so a run killed mid-write
 //! never leaves a torn manifest or checkpoint behind — at worst a stale
-//! `.tmp` file that readers ignore.
+//! `.tmp` file that readers ignore (and [`Store::sweep_tmp_files`] removes).
 //!
-//! The flow layer (`ayb_core::FlowBuilder::with_store` / `resume`) and the
-//! `ayb` CLI (`run` / `resume` / `list` / `show`) are the two consumers.
+//! ## Serving many runs
+//!
+//! The store is also the source of truth for the job-server layer
+//! (`ayb_jobs`): runs can be *enqueued* ([`Store::enqueue_run`], status
+//! [`RunStatus::Queued`]) without being executed, scanned in FIFO order
+//! ([`Store::queued_run_ids`]) and *claimed* for exclusive execution
+//! ([`RunHandle::try_claim`]). A claim is a `claim.json` lock file created
+//! atomically (`hard_link` of a fully written temp file, so claims are both
+//! exclusive and never torn): two workers — or two server processes — racing
+//! for the same run see exactly one winner. Claims record the owning process
+//! so that claims left behind by a killed worker can be detected
+//! ([`ClaimInfo::holder_alive`]) and the run re-queued.
+//!
+//! The flow layer (`ayb_core::FlowBuilder::with_store` / `resume`), the job
+//! server (`ayb_jobs::JobServer`) and the `ayb` CLI (`run` / `resume` /
+//! `serve` / `submit` / `status` / `list` / `show` / `gc`) are the consumers.
 //!
 //! ```no_run
 //! use ayb_moo::{GaConfig, OptimizerConfig};
@@ -53,11 +67,12 @@
 
 use ayb_moo::{Checkpoint, OptimizerConfig};
 use serde::{Deserialize, Serialize, Value};
+use std::collections::HashSet;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// Errors produced by store operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +99,15 @@ pub enum StoreError {
     InvalidRunId(String),
     /// The run has no `result.json` (it never completed).
     NoResult(String),
+    /// The run already has a result; executing it again is pointless.
+    AlreadyCompleted(String),
+    /// The run is claimed for execution by another worker or process.
+    RunClaimed {
+        /// Id of the claimed run.
+        run_id: String,
+        /// Owner label recorded in the claim file.
+        owner: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -102,6 +126,12 @@ impl fmt::Display for StoreError {
                 "invalid run id `{id}`: use 1-64 characters from [A-Za-z0-9._-], not starting with `.`"
             ),
             StoreError::NoResult(id) => write!(f, "run `{id}` has no result yet"),
+            StoreError::AlreadyCompleted(id) => {
+                write!(f, "run `{id}` already has a result; nothing to execute")
+            }
+            StoreError::RunClaimed { run_id, owner } => {
+                write!(f, "run `{run_id}` is claimed by `{owner}`")
+            }
         }
     }
 }
@@ -155,8 +185,13 @@ fn write_json<T: Serialize + ?Sized>(path: &Path, value: &T) -> Result<(), Store
 /// A killed process cannot update its own manifest, so a crashed run keeps
 /// the `Running` status it had when it died — `Interrupted` is only recorded
 /// for *deliberate* halts at a checkpoint boundary. Both resume the same way.
+///
+/// `Queued` runs have a manifest but were never started: `ayb submit` /
+/// [`Store::enqueue_run`] create them for a job server to claim and execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RunStatus {
+    /// The run is waiting in the queue; no process has executed it yet.
+    Queued,
     /// The flow is (or was, if the process died) executing.
     Running,
     /// The flow was deliberately halted at a checkpoint boundary.
@@ -171,6 +206,7 @@ impl RunStatus {
     /// Stable lower-case name for display and scripting.
     pub fn as_str(self) -> &'static str {
         match self {
+            RunStatus::Queued => "queued",
             RunStatus::Running => "running",
             RunStatus::Interrupted => "interrupted",
             RunStatus::Completed => "completed",
@@ -217,8 +253,23 @@ pub struct Store {
 
 const MANIFEST_FILE: &str = "manifest.json";
 const RESULT_FILE: &str = "result.json";
+const CLAIM_FILE: &str = "claim.json";
 const CHECKPOINT_DIR: &str = "checkpoints";
 const CHECKPOINT_PREFIX: &str = "gen_";
+
+/// Attempts [`Store::create_run`] makes before giving up when racing other
+/// creators for sequential ids.
+const CREATE_RUN_ATTEMPTS: usize = 256;
+
+/// Sort key that orders `run-9999` before `run-10000`: the id is split into
+/// a stem and its trailing decimal digits, and the digits compare
+/// numerically. Ids without a numeric suffix fall back to plain string
+/// order; the full id breaks remaining ties (e.g. `run-001` vs `run-1`).
+fn run_id_sort_key(id: &str) -> (&str, Option<u64>, &str) {
+    let digits = id.chars().rev().take_while(char::is_ascii_digit).count();
+    let (stem, suffix) = id.split_at(id.len() - digits);
+    (stem, suffix.parse::<u64>().ok(), id)
+}
 
 fn valid_run_id(id: &str) -> bool {
     !id.is_empty()
@@ -251,7 +302,10 @@ impl Store {
         self.root.join("runs")
     }
 
-    /// All run ids in the store, sorted.
+    /// All run ids in the store, sorted with numeric awareness: sequential
+    /// ids order by their number (`run-9999` before `run-10000`), so listings
+    /// and "latest run" consumers stay correct past four digits; ids without
+    /// a numeric suffix sort lexicographically among themselves.
     ///
     /// # Errors
     ///
@@ -275,7 +329,7 @@ impl Store {
                 }
             }
         }
-        ids.sort();
+        ids.sort_by(|a, b| run_id_sort_key(a).cmp(&run_id_sort_key(b)));
         Ok(ids)
     }
 
@@ -302,6 +356,10 @@ impl Store {
     /// Creates a run with a fresh sequential id and writes its manifest
     /// (status [`RunStatus::Running`]).
     ///
+    /// Safe under concurrency: when several creators race for the same
+    /// sequential id, the losers transparently retry with the next id
+    /// instead of surfacing a spurious [`StoreError::RunExists`].
+    ///
     /// # Errors
     ///
     /// Returns [`StoreError::Io`]/[`StoreError::Json`] on filesystem or
@@ -312,8 +370,66 @@ impl Store {
         optimizer: &OptimizerConfig,
         flow: &C,
     ) -> Result<RunHandle, StoreError> {
-        let id = self.next_run_id()?;
-        self.create_run_with_id(&id, seed, optimizer, flow)
+        self.create_sequential(seed, optimizer, flow, RunStatus::Running)
+    }
+
+    /// Creates a run with a fresh sequential id and status
+    /// [`RunStatus::Queued`]: the run is recorded but not executed, waiting
+    /// for a job server's worker to claim it. Retries on id races exactly
+    /// like [`Store::create_run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] on filesystem or
+    /// serialization failures.
+    pub fn enqueue_run<C: Serialize>(
+        &self,
+        seed: u64,
+        optimizer: &OptimizerConfig,
+        flow: &C,
+    ) -> Result<RunHandle, StoreError> {
+        self.create_sequential(seed, optimizer, flow, RunStatus::Queued)
+    }
+
+    /// Creates a run under a caller-chosen id with status
+    /// [`RunStatus::Queued`] (the scripting companion of
+    /// [`Store::enqueue_run`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Store::create_run_with_id`].
+    pub fn enqueue_run_with_id<C: Serialize>(
+        &self,
+        id: &str,
+        seed: u64,
+        optimizer: &OptimizerConfig,
+        flow: &C,
+    ) -> Result<RunHandle, StoreError> {
+        self.create_with_status(id, seed, optimizer, flow, RunStatus::Queued)
+    }
+
+    fn create_sequential<C: Serialize>(
+        &self,
+        seed: u64,
+        optimizer: &OptimizerConfig,
+        flow: &C,
+        status: RunStatus,
+    ) -> Result<RunHandle, StoreError> {
+        let mut id = self.next_run_id()?;
+        for _ in 0..CREATE_RUN_ATTEMPTS {
+            match self.create_with_status(&id, seed, optimizer, flow, status) {
+                Err(StoreError::RunExists(taken)) => {
+                    // Lost the id to a concurrent creator; advance past it.
+                    let n = taken
+                        .strip_prefix("run-")
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or(0);
+                    id = format!("run-{:04}", n + 1);
+                }
+                other => return other,
+            }
+        }
+        Err(StoreError::RunExists(id))
     }
 
     /// Creates a run under a caller-chosen id (useful for scripting).
@@ -330,6 +446,17 @@ impl Store {
         seed: u64,
         optimizer: &OptimizerConfig,
         flow: &C,
+    ) -> Result<RunHandle, StoreError> {
+        self.create_with_status(id, seed, optimizer, flow, RunStatus::Running)
+    }
+
+    fn create_with_status<C: Serialize>(
+        &self,
+        id: &str,
+        seed: u64,
+        optimizer: &OptimizerConfig,
+        flow: &C,
+        status: RunStatus,
     ) -> Result<RunHandle, StoreError> {
         if !valid_run_id(id) {
             return Err(StoreError::InvalidRunId(id.to_string()));
@@ -348,7 +475,7 @@ impl Store {
         let now = now_unix();
         let manifest = Manifest {
             run_id: id.to_string(),
-            status: RunStatus::Running,
+            status,
             seed,
             created_unix: now,
             updated_unix: now,
@@ -382,6 +509,134 @@ impl Store {
             dir,
         })
     }
+
+    /// Ids of all [`RunStatus::Queued`] runs in FIFO order (creation time,
+    /// then id order for same-second submissions). Runs whose manifest is
+    /// unreadable — e.g. a creator killed between `mkdir` and the manifest
+    /// write — are skipped rather than failing the scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the runs directory cannot be read.
+    pub fn queued_run_ids(&self) -> Result<Vec<String>, StoreError> {
+        self.poll_queued(&mut HashSet::new())
+    }
+
+    /// [`Store::queued_run_ids`] for repeated polling: ids in `terminal`
+    /// are skipped without touching their manifests, and runs observed
+    /// `Completed`/`Failed` are added to it. A job server polling a store
+    /// with thousands of finished runs therefore reads each dead manifest
+    /// once, not once per tick — each poll is O(live runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the runs directory cannot be read.
+    pub fn poll_queued(&self, terminal: &mut HashSet<String>) -> Result<Vec<String>, StoreError> {
+        let mut queued: Vec<(u64, usize, String)> = Vec::new();
+        for (index, id) in self.run_ids()?.into_iter().enumerate() {
+            if terminal.contains(&id) {
+                continue;
+            }
+            let Ok(handle) = self.run(&id) else { continue };
+            let Ok(value) = handle.manifest_value() else {
+                continue;
+            };
+            let status = value
+                .get("status")
+                .and_then(|s| RunStatus::from_value(s).ok());
+            match status {
+                Some(RunStatus::Queued) => {
+                    let created = value
+                        .get("created_unix")
+                        .and_then(|v| u64::from_value(v).ok())
+                        .unwrap_or(0);
+                    queued.push((created, index, id));
+                }
+                Some(RunStatus::Completed) | Some(RunStatus::Failed) => {
+                    terminal.insert(id);
+                }
+                _ => {}
+            }
+        }
+        queued.sort();
+        Ok(queued.into_iter().map(|(_, _, id)| id).collect())
+    }
+
+    /// Removes stale `*.tmp` files left behind by killed writers, in every
+    /// run directory and checkpoint directory. Only files whose modification
+    /// time is at least `min_age` old are touched, so a writer that is
+    /// mid-`rename` right now is never raced; pass [`Duration::ZERO`] to
+    /// sweep unconditionally. Claim-machinery scratch files are always kept
+    /// for at least a minute regardless of `min_age` — deleting one
+    /// mid-claim would fail a live worker. Returns the removed paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when a directory scan or removal fails
+    /// (a file that disappears concurrently is not an error).
+    pub fn sweep_tmp_files(&self, min_age: Duration) -> Result<Vec<PathBuf>, StoreError> {
+        let mut removed = Vec::new();
+        for id in self.run_ids()? {
+            let dir = self.runs_dir().join(&id);
+            sweep_tmp_dir(&dir, min_age, &mut removed)?;
+            sweep_tmp_dir(&dir.join(CHECKPOINT_DIR), min_age, &mut removed)?;
+        }
+        Ok(removed)
+    }
+}
+
+/// Claim-machinery scratch files (`.claim-*.tmp` staging for `try_claim`,
+/// `claim.breaking-*` staging for `break_claim`) are never swept younger
+/// than this, whatever `min_age` the caller asked for: deleting one
+/// mid-operation would make a concurrent worker's claim fail spuriously
+/// (and the run be reported failed). They only linger when their process
+/// died mid-claim, so a minute is plenty.
+const CLAIM_SWEEP_FLOOR: Duration = Duration::from_secs(60);
+
+/// Removes `*.tmp` (and orphaned `claim.breaking-*`) files older than
+/// `min_age` directly inside `dir`.
+fn sweep_tmp_dir(
+    dir: &Path,
+    min_age: Duration,
+    removed: &mut Vec<PathBuf>,
+) -> Result<(), StoreError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = fs::read_dir(dir).map_err(|e| io_error(dir, e))?;
+    let now = SystemTime::now();
+    for entry in entries {
+        let entry = entry.map_err(|e| io_error(dir, e))?;
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()).map(String::from) else {
+            continue;
+        };
+        let is_claim_scratch = name.starts_with(".claim-") || name.starts_with("claim.breaking-");
+        let sweepable = name.ends_with(".tmp") || name.starts_with("claim.breaking-");
+        if !sweepable || !path.is_file() {
+            continue;
+        }
+        let required_age = if is_claim_scratch {
+            min_age.max(CLAIM_SWEEP_FLOOR)
+        } else {
+            min_age
+        };
+        let age = entry
+            .metadata()
+            .ok()
+            .and_then(|m| m.modified().ok())
+            .and_then(|mtime| now.duration_since(mtime).ok())
+            .unwrap_or(Duration::MAX);
+        if age < required_age {
+            continue;
+        }
+        match fs::remove_file(&path) {
+            Ok(()) => removed.push(path),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_error(&path, e)),
+        }
+    }
+    Ok(())
 }
 
 /// Handle to one run directory inside a [`Store`].
@@ -569,6 +824,210 @@ impl RunHandle {
         }
         read_json(&self.result_path())
     }
+
+    fn claim_path(&self) -> PathBuf {
+        self.dir.join(CLAIM_FILE)
+    }
+
+    /// Atomically claims the run for exclusive execution.
+    ///
+    /// The claim is a `claim.json` lock file created with `hard_link` from a
+    /// fully written temp file: creation is atomic *and* exclusive, so of any
+    /// number of workers (in any number of processes) racing for the run,
+    /// exactly one gets `Ok` — and a reader never observes a torn claim.
+    /// The claim records this process and `owner` so that stale claims left
+    /// by a killed worker can be detected ([`ClaimInfo::holder_alive`]) and
+    /// broken by a recovery pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::RunClaimed`] when the run is already claimed,
+    /// or [`StoreError::Io`]/[`StoreError::Json`] on filesystem failures.
+    pub fn try_claim(&self, owner: &str) -> Result<ClaimInfo, StoreError> {
+        static NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let info = ClaimInfo {
+            owner: owner.to_string(),
+            pid: std::process::id(),
+            claimed_unix: now_unix(),
+        };
+        let text =
+            serde_json::to_string_pretty(&info).map_err(|e| json_error(&self.claim_path(), e))?;
+        let tmp = self.dir.join(format!(
+            ".claim-{}-{}.tmp",
+            info.pid,
+            NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        fs::write(&tmp, text).map_err(|e| io_error(&tmp, e))?;
+        let path = self.claim_path();
+        let linked = fs::hard_link(&tmp, &path);
+        let _ = fs::remove_file(&tmp);
+        match linked {
+            Ok(()) => Ok(info),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                let owner = self
+                    .claim()
+                    .ok()
+                    .flatten()
+                    .map_or_else(|| "unknown".to_string(), |claim| claim.owner);
+                Err(StoreError::RunClaimed {
+                    run_id: self.run_id.clone(),
+                    owner,
+                })
+            }
+            Err(e) => Err(io_error(&path, e)),
+        }
+    }
+
+    /// The run's current claim, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] when an existing
+    /// claim file cannot be read (claims are written atomically, so this
+    /// indicates external corruption, not a torn write).
+    pub fn claim(&self) -> Result<Option<ClaimInfo>, StoreError> {
+        let path = self.claim_path();
+        match fs::read_to_string(&path) {
+            Ok(text) => serde_json::from_str(&text)
+                .map(Some)
+                .map_err(|e| json_error(&path, e)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_error(&path, e)),
+        }
+    }
+
+    /// Releases the run's claim. Returns whether a claim file existed.
+    ///
+    /// This is for the claim's *owner*; a recovery pass breaking somebody
+    /// else's stale claim must use [`RunHandle::break_claim`] instead, which
+    /// re-checks that the claim has not changed hands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the claim file exists but cannot be
+    /// removed.
+    pub fn release_claim(&self) -> Result<bool, StoreError> {
+        match fs::remove_file(self.claim_path()) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(io_error(&self.claim_path(), e)),
+        }
+    }
+
+    /// Breaks a (presumed stale) claim *only if* it still matches
+    /// `expected`, as previously read via [`RunHandle::claim`]. Returns
+    /// whether the claim was broken.
+    ///
+    /// A blind `release_claim` here would be a check-then-act race: between
+    /// reading the stale claim and deleting the file, another recovery pass
+    /// may have already broken it and a new worker legitimately re-claimed
+    /// the run — deleting *that* claim would let two processes execute the
+    /// run concurrently. Instead the claim is re-read immediately before
+    /// the break (a changed claim aborts without touching the file), then
+    /// atomically renamed to a unique name (exactly one racing breaker wins
+    /// the rename), compared once more, and on a mismatch the live claim is
+    /// restored. A sub-microsecond window remains in which a live claim is
+    /// renamed away and restored — closing it entirely needs an ownership
+    /// heartbeat, which the ROADMAP tracks; every realistic interleaving
+    /// (two recovery passes racing, a worker re-claiming mid-break) resolves
+    /// to exactly one execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on rename failures other than the claim
+    /// being gone already.
+    pub fn break_claim(&self, expected: &ClaimInfo) -> Result<bool, StoreError> {
+        static NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = self.claim_path();
+        // Cheap pre-check: if the claim already changed hands since the
+        // caller read it (recovery scans can be seconds old), never touch
+        // the file at all.
+        if self.claim()?.as_ref() != Some(expected) {
+            return Ok(false);
+        }
+        let staging = self.dir.join(format!(
+            "claim.breaking-{}-{}",
+            std::process::id(),
+            NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        match fs::rename(&path, &staging) {
+            Ok(()) => {}
+            // Already released or broken by somebody else.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
+            Err(e) => return Err(io_error(&path, e)),
+        }
+        let current: Option<ClaimInfo> = fs::read_to_string(&staging)
+            .ok()
+            .and_then(|text| serde_json::from_str(&text).ok());
+        if current.as_ref() == Some(expected) {
+            let _ = fs::remove_file(&staging);
+            return Ok(true);
+        }
+        // The claim changed hands between the pre-check and the rename —
+        // restore it. The hard_link only fails if yet another claim landed
+        // in the meantime, in which case the newer claim stays
+        // authoritative.
+        let _ = fs::hard_link(&staging, &path);
+        let _ = fs::remove_file(&staging);
+        Ok(false)
+    }
+
+    /// Deletes all but the newest `keep_last` checkpoints (resuming only
+    /// ever needs the latest one), returning the pruned generation indices.
+    /// `ayb gc` uses this to bound the disk footprint of completed runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the checkpoint directory cannot be
+    /// scanned or a file cannot be removed.
+    pub fn prune_checkpoints(&self, keep_last: usize) -> Result<Vec<usize>, StoreError> {
+        let generations = self.checkpoint_generations()?;
+        let cut = generations.len().saturating_sub(keep_last);
+        let pruned = &generations[..cut];
+        for &generation in pruned {
+            let path = self.checkpoint_path(generation);
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(io_error(&path, e)),
+            }
+        }
+        Ok(pruned.to_vec())
+    }
+}
+
+/// Contents of a run's `claim.json` lock file: who is executing the run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClaimInfo {
+    /// Caller-supplied label of the claiming worker (for diagnostics).
+    pub owner: String,
+    /// OS process id of the claiming process.
+    pub pid: u32,
+    /// Claim time, seconds since the Unix epoch.
+    pub claimed_unix: u64,
+}
+
+impl ClaimInfo {
+    /// Whether the claiming process still appears to be alive.
+    ///
+    /// The claiming process itself always sees `true`. For other pids this
+    /// checks `/proc/<pid>` on Linux; on platforms without `/proc` the claim
+    /// is conservatively considered alive until it is an hour old (so a
+    /// recovery pass never steals a run from a live worker, at the cost of
+    /// slower crash recovery).
+    pub fn holder_alive(&self) -> bool {
+        if self.pid == std::process::id() {
+            return true;
+        }
+        #[cfg(target_os = "linux")]
+        {
+            Path::new("/proc").join(self.pid.to_string()).is_dir()
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            now_unix().saturating_sub(self.claimed_unix) < 3600
+        }
+    }
 }
 
 #[cfg(test)]
@@ -751,11 +1210,269 @@ mod tests {
     }
 
     #[test]
+    fn run_ids_sort_numerically_past_four_digits() {
+        let (root, store) = temp_store();
+        for id in ["run-10000", "run-9999", "run-0002", "custom-b", "custom-a"] {
+            store
+                .create_run_with_id(id, 1, &optimizer(), &fake_flow())
+                .unwrap();
+        }
+        // Numeric suffixes order numerically (the lexicographic order would
+        // put run-10000 first); non-numeric ids keep string order.
+        assert_eq!(
+            store.run_ids().unwrap(),
+            vec!["custom-a", "custom-b", "run-0002", "run-9999", "run-10000"]
+        );
+        // The next sequential id continues past the numeric maximum.
+        assert_eq!(store.next_run_id().unwrap(), "run-10001");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn concurrent_create_run_never_collides() {
+        let (root, store) = temp_store();
+        let created: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let store = store.clone();
+                    scope.spawn(move || {
+                        (0..4)
+                            .map(|_| {
+                                store
+                                    .create_run(7, &optimizer(), &fake_flow())
+                                    .expect("concurrent create_run retries id races")
+                                    .id()
+                                    .to_string()
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut unique = created.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), created.len(), "every creator got its own id");
+        assert_eq!(store.run_ids().unwrap().len(), 32);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn claims_are_exclusive_and_released() {
+        let (root, store) = temp_store();
+        let run = store.create_run(7, &optimizer(), &fake_flow()).unwrap();
+        assert_eq!(run.claim().unwrap(), None);
+
+        let claim = run.try_claim("worker-1").unwrap();
+        assert_eq!(claim.owner, "worker-1");
+        assert_eq!(claim.pid, std::process::id());
+        assert!(claim.holder_alive(), "our own claim is alive");
+        assert_eq!(run.claim().unwrap(), Some(claim));
+
+        let second = run.try_claim("worker-2");
+        assert!(
+            matches!(
+                &second,
+                Err(StoreError::RunClaimed { run_id, owner })
+                    if run_id == run.id() && owner == "worker-1"
+            ),
+            "double claim must fail, got {second:?}"
+        );
+
+        assert!(run.release_claim().unwrap());
+        assert!(!run.release_claim().unwrap(), "second release is a no-op");
+        run.try_claim("worker-2").unwrap();
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn concurrent_claims_have_exactly_one_winner() {
+        let (root, store) = temp_store();
+        store.create_run(7, &optimizer(), &fake_flow()).unwrap();
+        let wins: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..16)
+                .map(|i| {
+                    let store = store.clone();
+                    scope.spawn(move || {
+                        let run = store.run("run-0001").unwrap();
+                        match run.try_claim(&format!("worker-{i}")) {
+                            Ok(_) => 1usize,
+                            Err(StoreError::RunClaimed { .. }) => 0,
+                            Err(e) => panic!("unexpected claim error: {e}"),
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(wins, 1, "exactly one of 16 racing workers claims the run");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn break_claim_is_compare_and_delete() {
+        let (root, store) = temp_store();
+        let run = store.create_run(7, &optimizer(), &fake_flow()).unwrap();
+
+        // Matching claim: broken.
+        let stale = run.try_claim("dead-worker").unwrap();
+        assert!(run.break_claim(&stale).unwrap());
+        assert_eq!(run.claim().unwrap(), None);
+
+        // Claim changed hands between the read and the break: the newer
+        // claim survives and the break reports failure.
+        let old = run.try_claim("worker-1").unwrap();
+        run.release_claim().unwrap();
+        let newer = run.try_claim("worker-2").unwrap();
+        assert!(!run.break_claim(&old).unwrap());
+        assert_eq!(run.claim().unwrap(), Some(newer.clone()));
+
+        // No claim at all: nothing to break.
+        run.release_claim().unwrap();
+        assert!(!run.break_claim(&newer).unwrap());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn sweep_never_touches_fresh_claim_scratch_files() {
+        let (root, store) = temp_store();
+        let run = store.create_run(7, &optimizer(), &fake_flow()).unwrap();
+        // A concurrent try_claim/break_claim mid-operation: even an
+        // unconditional sweep must leave these alone (they get a one-minute
+        // floor), or a live worker's claim would fail spuriously.
+        let claim_tmp = run.dir().join(".claim-12345-0.tmp");
+        let breaking = run.dir().join("claim.breaking-12345-0");
+        fs::write(&claim_tmp, "{}").unwrap();
+        fs::write(&breaking, "{}").unwrap();
+        let removed = store.sweep_tmp_files(Duration::ZERO).unwrap();
+        assert!(removed.is_empty(), "removed: {removed:?}");
+        assert!(claim_tmp.is_file());
+        assert!(breaking.is_file());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn stale_claims_from_dead_processes_are_detected() {
+        let claim = ClaimInfo {
+            owner: "dead-worker".to_string(),
+            // No Linux pid can be u32::MAX (pid_max tops out at 2^22), so
+            // this claimant is reliably "not running".
+            pid: u32::MAX,
+            claimed_unix: now_unix(),
+        };
+        #[cfg(target_os = "linux")]
+        assert!(!claim.holder_alive());
+        let own = ClaimInfo {
+            owner: "me".to_string(),
+            pid: std::process::id(),
+            claimed_unix: 0,
+        };
+        assert!(own.holder_alive());
+    }
+
+    #[test]
+    fn enqueued_runs_scan_in_fifo_order() {
+        let (root, store) = temp_store();
+        let a = store.enqueue_run(1, &optimizer(), &fake_flow()).unwrap();
+        let b = store.enqueue_run(2, &optimizer(), &fake_flow()).unwrap();
+        store
+            .enqueue_run_with_id("priority-job", 3, &optimizer(), &fake_flow())
+            .unwrap();
+        let running = store.create_run(4, &optimizer(), &fake_flow()).unwrap();
+
+        assert_eq!(a.status().unwrap(), RunStatus::Queued);
+        assert_eq!(running.status().unwrap(), RunStatus::Running);
+
+        // All queued runs, none of the running one; FIFO by creation time
+        // with id order breaking same-second ties.
+        let queued = store.queued_run_ids().unwrap();
+        assert_eq!(queued.len(), 3);
+        assert!(queued.contains(&"priority-job".to_string()));
+        let a_pos = queued.iter().position(|id| id == a.id()).unwrap();
+        let b_pos = queued.iter().position(|id| id == b.id()).unwrap();
+        assert!(a_pos < b_pos, "run-0001 queues ahead of run-0002");
+
+        // Claiming or completing removes a run from the queue scan.
+        b.set_status(RunStatus::Running).unwrap();
+        assert!(!store
+            .queued_run_ids()
+            .unwrap()
+            .contains(&b.id().to_string()));
+
+        // A torn creation (directory without manifest) is skipped.
+        fs::create_dir(store.root().join("runs/torn")).unwrap();
+        assert_eq!(store.queued_run_ids().unwrap().len(), 2);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn sweep_removes_stale_tmp_files_but_respects_min_age() {
+        let (root, store) = temp_store();
+        let run = store.create_run(7, &optimizer(), &fake_flow()).unwrap();
+        run.save_checkpoint(&sample_checkpoint(1)).unwrap();
+        // Torn writes from killed writers: partial JSON in both locations.
+        let torn_manifest = run.dir().join("manifest.json.tmp");
+        let torn_checkpoint = run.dir().join("checkpoints/gen_0002.json.tmp");
+        fs::write(&torn_manifest, "{\"partial").unwrap();
+        fs::write(&torn_checkpoint, "{").unwrap();
+
+        // Readers ignore the torn files...
+        assert_eq!(run.checkpoint_generations().unwrap(), vec![1]);
+        assert_eq!(run.status().unwrap(), RunStatus::Running);
+
+        // ...a min_age larger than their age leaves them alone...
+        assert!(store
+            .sweep_tmp_files(Duration::from_secs(3600))
+            .unwrap()
+            .is_empty());
+        assert!(torn_manifest.is_file());
+
+        // ...and an unconditional sweep removes exactly them.
+        let mut removed = store.sweep_tmp_files(Duration::ZERO).unwrap();
+        removed.sort();
+        assert_eq!(removed, {
+            let mut expected = vec![torn_manifest.clone(), torn_checkpoint.clone()];
+            expected.sort();
+            expected
+        });
+        assert!(!torn_manifest.exists());
+        assert!(!torn_checkpoint.exists());
+        assert_eq!(run.checkpoint_generations().unwrap(), vec![1]);
+        assert!(run.dir().join("manifest.json").is_file());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn prune_checkpoints_keeps_the_newest_k() {
+        let (root, store) = temp_store();
+        let run = store.create_run(7, &optimizer(), &fake_flow()).unwrap();
+        for generation in 1..=5 {
+            run.save_checkpoint(&sample_checkpoint(generation)).unwrap();
+        }
+        assert_eq!(run.prune_checkpoints(2).unwrap(), vec![1, 2, 3]);
+        assert_eq!(run.checkpoint_generations().unwrap(), vec![4, 5]);
+        // The latest checkpoint — the only one resume needs — survives.
+        assert_eq!(run.latest_checkpoint().unwrap(), Some(sample_checkpoint(5)));
+        // Pruning with a larger budget than stored checkpoints is a no-op.
+        assert!(run.prune_checkpoints(10).unwrap().is_empty());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
     fn errors_display_their_context() {
         let e = StoreError::RunNotFound("run-0042".into());
         assert!(e.to_string().contains("run-0042"));
         let e = StoreError::InvalidRunId("../x".into());
         assert!(e.to_string().contains("../x"));
+        let e = StoreError::RunClaimed {
+            run_id: "run-0007".into(),
+            owner: "worker-3".into(),
+        };
+        assert!(e.to_string().contains("run-0007") && e.to_string().contains("worker-3"));
         let (root, store) = temp_store();
         let run = store.create_run(1, &optimizer(), &fake_flow()).unwrap();
         fs::write(run.dir().join(MANIFEST_FILE), "not json").unwrap();

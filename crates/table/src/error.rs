@@ -26,6 +26,8 @@ pub enum TableError {
         /// Table upper bound.
         upper: f64,
     },
+    /// An interpolation query value was NaN or infinite.
+    NonFiniteQuery,
     /// A `$table_model` control string could not be parsed.
     ControlString(String),
     /// A `.tbl` data file could not be parsed.
@@ -59,6 +61,9 @@ impl fmt::Display for TableError {
                 f,
                 "query {value} outside table range [{lower}, {upper}] and extrapolation is disabled"
             ),
+            TableError::NonFiniteQuery => {
+                write!(f, "interpolation query is not finite (NaN or infinity)")
+            }
             TableError::ControlString(s) => write!(f, "invalid control string `{s}`"),
             TableError::Parse { line, reason } => {
                 write!(f, "table file parse error at line {line}: {reason}")

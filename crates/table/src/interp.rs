@@ -8,7 +8,15 @@
 
 use crate::error::{Result, TableError};
 
-fn validate(x: &[f64], y: &[f64], needed: usize) -> Result<()> {
+fn validate(x: &[f64], y: &[f64], needed: usize, q: f64) -> Result<()> {
+    if !q.is_finite() {
+        // A NaN query compares false against everything, so it would fall
+        // through `interval_index`'s clamps into `binary_search` with an
+        // arbitrary ordering and silently extrapolate garbage; infinite
+        // queries produce NaN through `inf * 0` (flat end segments) or
+        // `inf - inf` (the Lagrange stencil). Reject both.
+        return Err(TableError::NonFiniteQuery);
+    }
     if x.len() != y.len() {
         return Err(TableError::Dimension(format!(
             "x has {} samples but y has {}",
@@ -50,10 +58,10 @@ fn interval_index(x: &[f64], q: f64) -> usize {
 ///
 /// # Errors
 ///
-/// Returns an error if fewer than two points are supplied or `x` is not
-/// strictly increasing.
+/// Returns an error if fewer than two points are supplied, `x` is not
+/// strictly increasing, or `q` is not finite.
 pub fn linear(x: &[f64], y: &[f64], q: f64) -> Result<f64> {
-    validate(x, y, 2)?;
+    validate(x, y, 2, q)?;
     let i = interval_index(x, q);
     let t = (q - x[i]) / (x[i + 1] - x[i]);
     Ok(y[i] + t * (y[i + 1] - y[i]))
@@ -65,10 +73,10 @@ pub fn linear(x: &[f64], y: &[f64], q: f64) -> Result<f64> {
 ///
 /// # Errors
 ///
-/// Returns an error if fewer than three points are supplied or `x` is not
-/// strictly increasing.
+/// Returns an error if fewer than three points are supplied, `x` is not
+/// strictly increasing, or `q` is not finite.
 pub fn quadratic(x: &[f64], y: &[f64], q: f64) -> Result<f64> {
-    validate(x, y, 3)?;
+    validate(x, y, 3, q)?;
     let i = interval_index(x, q);
     // Choose a centred three-point stencil.
     let start = if i == 0 {
@@ -102,6 +110,24 @@ mod tests {
         // Linear extrapolation beyond the ends.
         assert_eq!(linear(&x, &y, 3.0).unwrap(), 30.0);
         assert_eq!(linear(&x, &y, -1.0).unwrap(), -10.0);
+    }
+
+    #[test]
+    fn non_finite_queries_are_rejected_not_extrapolated() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [0.0, 10.0, 20.0, 30.0];
+        for q in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(linear(&x, &y, q), Err(TableError::NonFiniteQuery));
+            assert_eq!(quadratic(&x, &y, q), Err(TableError::NonFiniteQuery));
+        }
+        // An infinite query on a *flat* end segment would otherwise produce
+        // `inf * 0 = NaN` — silent garbage, the very class of bug the
+        // rejection exists for.
+        let flat = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(
+            linear(&x, &flat, f64::INFINITY),
+            Err(TableError::NonFiniteQuery)
+        );
     }
 
     #[test]

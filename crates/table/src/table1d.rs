@@ -123,8 +123,15 @@ impl Table1d {
     /// # Errors
     ///
     /// Returns [`TableError::OutOfRange`] when `q` lies outside the table and
-    /// the extrapolation policy is [`Extrapolation::Error`].
+    /// the extrapolation policy is [`Extrapolation::Error`], and
+    /// [`TableError::NonFiniteQuery`] for a NaN or infinite `q` — checked
+    /// here so every interpolation mode (including the cubic-spline path,
+    /// which evaluates a polynomial directly) rejects it, rather than
+    /// returning silently-poisoned NaN values.
     pub fn lookup(&self, q: f64) -> Result<f64> {
+        if !q.is_finite() {
+            return Err(TableError::NonFiniteQuery);
+        }
         let (lo, hi) = self.domain();
         let inside = (lo..=hi).contains(&q);
         let query = match self.control.extrapolation {
@@ -195,6 +202,28 @@ impl Table1d {
 mod tests {
     use super::*;
     use crate::control::{DimensionControl, Extrapolation, Interpolation};
+
+    #[test]
+    fn non_finite_queries_are_rejected_in_every_interpolation_mode() {
+        for interpolation in [
+            Interpolation::Linear,
+            Interpolation::Quadratic,
+            Interpolation::CubicSpline,
+        ] {
+            let control = DimensionControl {
+                interpolation,
+                extrapolation: Extrapolation::Clamp,
+            };
+            let table = quadratic_table(control);
+            for q in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                assert_eq!(
+                    table.lookup(q),
+                    Err(TableError::NonFiniteQuery),
+                    "{interpolation:?} must not return silent NaN for {q}"
+                );
+            }
+        }
+    }
 
     fn quadratic_table(control: DimensionControl) -> Table1d {
         let x: Vec<f64> = (0..11).map(|i| i as f64).collect();

@@ -95,8 +95,14 @@ impl Table2d {
     /// # Errors
     ///
     /// Returns [`TableError::OutOfRange`] when the query lies outside the
-    /// bounding box of the samples and extrapolation is disabled.
+    /// bounding box of the samples and extrapolation is disabled, and
+    /// [`TableError::NonFiniteQuery`] for NaN or infinite queries (which
+    /// would otherwise slip through the range checks and poison the
+    /// distance-weighted interpolation).
     pub fn lookup(&self, q1: f64, q2: f64) -> Result<f64> {
+        if !q1.is_finite() || !q2.is_finite() {
+            return Err(TableError::NonFiniteQuery);
+        }
         let ((x1_lo, x1_hi), (x2_lo, x2_hi)) = self.bounds();
         if !self.allow_extrapolation {
             let tol1 = 1e-9 * (x1_hi - x1_lo).abs().max(1.0);
@@ -152,6 +158,16 @@ impl Table2d {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn non_finite_queries_are_rejected() {
+        let table = plane_table();
+        assert_eq!(table.lookup(f64::NAN, 1.0), Err(TableError::NonFiniteQuery));
+        assert_eq!(
+            table.lookup(1.0, f64::INFINITY),
+            Err(TableError::NonFiniteQuery)
+        );
+    }
 
     fn plane_table() -> Table2d {
         // y = 2·x1 + 3·x2 sampled on a 6×6 grid.

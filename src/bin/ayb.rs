@@ -1,4 +1,4 @@
-//! `ayb` — launch, interrupt, resume and inspect durable model-generation
+//! `ayb` — launch, queue, serve, resume and inspect durable model-generation
 //! runs from the shell.
 //!
 //! ```text
@@ -6,8 +6,13 @@
 //!            [--seed N] [--optimizer wbga|nsga2|random] [--threads N]
 //!            [--early-stop K] [--halt-after N] [--quiet]
 //! ayb resume [--store DIR] RUN_ID [--halt-after N] [--quiet]
+//! ayb submit [--store DIR] [--id RUN_ID] [--scale S] [--seed N]
+//!            [--optimizer O] [--threads N] [--early-stop K]
+//! ayb serve  [--store DIR] [--workers N] [--drain] [--poll-ms MS] [--quiet]
+//! ayb status [--store DIR] [RUN_ID]
 //! ayb list   [--store DIR]
 //! ayb show   [--store DIR] RUN_ID [--digest]
+//! ayb gc     [--store DIR] [--keep-checkpoints K] [--sweep-all]
 //! ```
 //!
 //! Every run lives under `<store>/runs/<run_id>/` with a manifest, one
@@ -17,10 +22,18 @@
 //! result identical to the uninterrupted run (compare with
 //! `ayb show RUN_ID --digest`).
 //!
+//! `ayb submit` queues runs without executing them; `ayb serve` drives a
+//! worker pool over the same store (any number of server processes may share
+//! it — claims keep every run exactly-once). A SIGKILLed server loses
+//! nothing: restart it and the interrupted runs resume from their latest
+//! checkpoints. `ayb status` shows the queue, `ayb gc` sweeps stale temp
+//! files and prunes old checkpoints.
+//!
 //! The store directory defaults to `$AYB_STORE` or `./ayb-store`.
 //! Argument parsing is plain `std` — no CLI dependencies.
 
 use ayb_core::{AybError, FlowBuilder, FlowConfig, FlowObserver, FlowResult, FlowStage};
+use ayb_jobs::{JobEvent, JobServer, JobServerConfig};
 use ayb_moo::{CheckpointError, EarlyStop, OptimizerConfig};
 use ayb_store::{Manifest, RunStatus, Store};
 use std::path::Path;
@@ -35,20 +48,30 @@ USAGE:
                [--seed N] [--optimizer wbga|nsga2|random] [--threads N]
                [--early-stop K] [--halt-after N] [--quiet]
     ayb resume [--store DIR] RUN_ID [--halt-after N] [--quiet]
+    ayb submit [--store DIR] [--id RUN_ID] [--scale S] [--seed N]
+               [--optimizer O] [--threads N] [--early-stop K]
+    ayb serve  [--store DIR] [--workers N] [--drain] [--poll-ms MS] [--quiet]
+    ayb status [--store DIR] [RUN_ID]
     ayb list   [--store DIR]
     ayb show   [--store DIR] RUN_ID [--digest]
+    ayb gc     [--store DIR] [--keep-checkpoints K] [--sweep-all]
 
 OPTIONS:
-    --store DIR      Store directory (default: $AYB_STORE or ./ayb-store)
-    --id RUN_ID      Run id to create (default: next sequential run-NNNN)
-    --scale S        Flow scale: reduced (default, seconds), demo, paper
-    --seed N         End-to-end deterministic seed (optimiser + Monte Carlo)
-    --optimizer O    wbga (default, the paper's), nsga2, random
-    --threads N      Worker threads for batch circuit evaluation
-    --early-stop K   Stop after K generations without front improvement
-    --halt-after N   Interrupt the run after N checkpoints (simulated crash)
-    --digest         Print only the result's determinism digest
-    --quiet          Suppress progress output
+    --store DIR           Store directory (default: $AYB_STORE or ./ayb-store)
+    --id RUN_ID           Run id to create (default: next sequential run-NNNN)
+    --scale S             Flow scale: reduced (default, seconds), demo, paper
+    --seed N              End-to-end deterministic seed (optimiser + Monte Carlo)
+    --optimizer O         wbga (default, the paper's), nsga2, random
+    --threads N           Worker threads for batch circuit evaluation
+    --early-stop K        Stop after K generations without front improvement
+    --halt-after N        Interrupt the run after N checkpoints (simulated crash)
+    --workers N           Job-server worker threads (default 2)
+    --drain               Serve until the queue is empty, then exit
+    --poll-ms MS          Queue poll interval in milliseconds (default 200)
+    --keep-checkpoints K  gc: checkpoints to keep per completed run (default 1)
+    --sweep-all           gc: remove *.tmp files regardless of age
+    --digest              Print only the result's determinism digest
+    --quiet               Suppress progress output
 ";
 
 fn main() -> ExitCode {
@@ -72,8 +95,12 @@ fn main() -> ExitCode {
     let outcome = match command.as_str() {
         "run" => cmd_run(&parsed),
         "resume" => cmd_resume(&parsed),
+        "submit" => cmd_submit(&parsed),
+        "serve" => cmd_serve(&parsed),
+        "status" => cmd_status(&parsed),
         "list" => cmd_list(&parsed),
         "show" => cmd_show(&parsed),
+        "gc" => cmd_gc(&parsed),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -104,6 +131,11 @@ struct CliArgs {
     threads: Option<usize>,
     early_stop: Option<usize>,
     halt_after: Option<usize>,
+    workers: Option<usize>,
+    drain: bool,
+    poll_ms: Option<u64>,
+    keep_checkpoints: Option<usize>,
+    sweep_all: bool,
     digest: bool,
     quiet: bool,
     help: bool,
@@ -136,6 +168,20 @@ impl CliArgs {
                     parsed.halt_after =
                         Some(parse_number(&value_of("--halt-after")?, "--halt-after")?)
                 }
+                "--workers" => {
+                    parsed.workers = Some(parse_number(&value_of("--workers")?, "--workers")?)
+                }
+                "--drain" => parsed.drain = true,
+                "--poll-ms" => {
+                    parsed.poll_ms = Some(parse_number(&value_of("--poll-ms")?, "--poll-ms")?)
+                }
+                "--keep-checkpoints" => {
+                    parsed.keep_checkpoints = Some(parse_number(
+                        &value_of("--keep-checkpoints")?,
+                        "--keep-checkpoints",
+                    )?)
+                }
+                "--sweep-all" => parsed.sweep_all = true,
                 "--digest" => parsed.digest = true,
                 "--quiet" => parsed.quiet = true,
                 "--help" | "-h" => parsed.help = true,
@@ -198,12 +244,12 @@ impl FlowObserver for CliObserver {
 // Commands
 // ---------------------------------------------------------------------------
 
-fn cmd_run(args: &CliArgs) -> Result<(), String> {
-    if !args.positional.is_empty() {
-        return Err("`ayb run` takes no positional arguments".to_string());
-    }
-    let store = args.open_store()?;
-
+/// Builds the flow configuration and (seeded) optimiser selection from the
+/// `--scale` / `--threads` / `--early-stop` / `--optimizer` / `--seed`
+/// flags. Shared by `ayb run` (executes now) and `ayb submit` (queues for a
+/// server); both paths therefore seed identically, and a submitted run
+/// digests exactly like a directly executed one.
+fn build_flow_setup(args: &CliArgs) -> Result<(FlowConfig, OptimizerConfig), String> {
     let mut config = match args.scale.as_deref().unwrap_or("reduced") {
         "reduced" => FlowConfig::reduced(),
         "demo" => FlowConfig::demo_scale(),
@@ -217,7 +263,7 @@ fn cmd_run(args: &CliArgs) -> Result<(), String> {
         config.ga.early_stop = Some(EarlyStop::after_stalled_generations(patience));
     }
 
-    let optimizer = match args.optimizer.as_deref().unwrap_or("wbga") {
+    let mut optimizer = match args.optimizer.as_deref().unwrap_or("wbga") {
         "wbga" => OptimizerConfig::Wbga(config.ga),
         "nsga2" => OptimizerConfig::Nsga2(config.ga),
         "random" | "random_search" => OptimizerConfig::RandomSearch {
@@ -227,30 +273,254 @@ fn cmd_run(args: &CliArgs) -> Result<(), String> {
         other => return Err(format!("unknown optimizer `{other}` (wbga|nsga2|random)")),
     };
 
+    // Same semantics as `FlowBuilder::with_seed`: the seed drives the
+    // optimiser and the Monte Carlo engine end to end.
+    if let Some(seed) = args.seed {
+        config.ga.seed = seed;
+        config.monte_carlo.seed = seed;
+        optimizer = optimizer.with_seed(seed);
+    }
+    Ok((config, optimizer))
+}
+
+fn cmd_run(args: &CliArgs) -> Result<(), String> {
+    if !args.positional.is_empty() {
+        return Err("`ayb run` takes no positional arguments".to_string());
+    }
+    let store = args.open_store()?;
+    let (config, optimizer) = build_flow_setup(args)?;
+
     let run_id = match &args.id {
         Some(id) => id.clone(),
         None => store.next_run_id().map_err(|e| e.to_string())?,
     };
     println!("run_id: {run_id}");
 
-    let mut builder = FlowBuilder::new(config)
+    let mut builder = FlowBuilder::new(config.clone())
         .with_optimizer(optimizer)
         .with_store(&store)
         .with_run_id(&run_id);
-    if let Some(seed) = args.seed {
-        builder = builder.with_seed(seed);
-    }
     if !args.quiet {
         builder = builder.with_observer(CliObserver);
     }
     if let Some(count) = args.halt_after {
         builder = builder.halt_after_checkpoints(count);
     }
-
-    // Read the configuration back from the builder: `with_seed` reseeds the
-    // optimiser and the Monte Carlo engine in there.
-    let config = builder.config().clone();
     finish_flow(builder.run(), &store, &run_id, &config, args.quiet)
+}
+
+fn cmd_submit(args: &CliArgs) -> Result<(), String> {
+    if !args.positional.is_empty() {
+        return Err("`ayb submit` takes no positional arguments".to_string());
+    }
+    let store = args.open_store()?;
+    let (config, optimizer) = build_flow_setup(args)?;
+    let seed = optimizer.seed();
+    let handle = match &args.id {
+        Some(id) => store.enqueue_run_with_id(id, seed, &optimizer, &config),
+        None => store.enqueue_run(seed, &optimizer, &config),
+    }
+    .map_err(|e| e.to_string())?;
+    println!("run_id: {}", handle.id());
+    println!("status: queued");
+    if !args.quiet {
+        eprintln!("[ayb] execute with: ayb serve --drain");
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &CliArgs) -> Result<(), String> {
+    if !args.positional.is_empty() {
+        return Err("`ayb serve` takes no positional arguments".to_string());
+    }
+    let store = args.open_store()?;
+    let mut config = JobServerConfig {
+        drain: args.drain,
+        ..JobServerConfig::default()
+    };
+    if let Some(workers) = args.workers {
+        config.workers = workers.max(1);
+    }
+    if let Some(poll_ms) = args.poll_ms {
+        config.poll_interval = Duration::from_millis(poll_ms.max(10));
+    }
+
+    let workers = config.workers;
+    let server = JobServer::new(store, config);
+    if !args.quiet {
+        eprintln!(
+            "[ayb] serving {} (workers: {}, mode: {})",
+            server.store().root().display(),
+            workers,
+            if args.drain { "drain" } else { "poll" },
+        );
+        server.set_event_hook(|event| eprintln!("[ayb] {}", render_event(event)));
+    }
+    let report = server.run().map_err(|e| e.to_string())?;
+
+    println!("completed: {}", report.completed.len());
+    println!("interrupted: {}", report.interrupted.len());
+    println!("failed: {}", report.failed.len());
+    println!("skipped: {}", report.skipped.len());
+    println!("requeued: {}", report.requeued.len());
+    if report.failed.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("runs failed: {}", report.failed.join(", ")))
+    }
+}
+
+fn render_event(event: &JobEvent) -> String {
+    match event {
+        JobEvent::Requeued { run_id, from } => format!("requeued {run_id} (was {from})"),
+        JobEvent::Enqueued { run_id } => format!("enqueued {run_id}"),
+        JobEvent::Started { run_id, worker } => format!("worker {worker} started {run_id}"),
+        JobEvent::CheckpointWritten { run_id, generation } => {
+            format!("{run_id}: checkpoint at generation {generation}")
+        }
+        JobEvent::Completed {
+            run_id,
+            worker,
+            digest,
+        } => format!("worker {worker} completed {run_id} (digest {digest:016x})"),
+        JobEvent::Interrupted { run_id, worker } => {
+            format!("worker {worker} halted {run_id} at a checkpoint boundary")
+        }
+        JobEvent::Skipped {
+            run_id,
+            worker,
+            reason,
+        } => format!("worker {worker} skipped {run_id}: {reason}"),
+        JobEvent::Failed {
+            run_id,
+            worker,
+            message,
+        } => format!("worker {worker} failed {run_id}: {message}"),
+    }
+}
+
+fn cmd_status(args: &CliArgs) -> Result<(), String> {
+    let store = args.open_store()?;
+    match args.positional.as_slice() {
+        [] => {}
+        [id] => return status_of_run(&store, id),
+        _ => return Err("expected at most one RUN_ID argument".to_string()),
+    }
+
+    let ids = store.run_ids().map_err(|e| e.to_string())?;
+    if ids.is_empty() {
+        println!("no runs in {}", store.root().display());
+        return Ok(());
+    }
+    let mut counts: Vec<(&'static str, usize)> = Vec::new();
+    println!(
+        "{:<16} {:<12} {:<24} {:>12}",
+        "RUN", "STATUS", "CLAIM", "CHECKPOINTS"
+    );
+    for id in &ids {
+        let row = store.run(id).and_then(|handle| {
+            let status = handle.status()?;
+            let claim = handle.claim()?;
+            let checkpoints = handle.checkpoint_generations()?.len();
+            Ok((status, claim, checkpoints))
+        });
+        match row {
+            Ok((status, claim, checkpoints)) => {
+                match counts.iter_mut().find(|(name, _)| *name == status.as_str()) {
+                    Some((_, count)) => *count += 1,
+                    None => counts.push((status.as_str(), 1)),
+                }
+                let claim = match claim {
+                    Some(claim) if claim.holder_alive() => {
+                        format!("{} (pid {})", claim.owner, claim.pid)
+                    }
+                    Some(claim) => format!("{} (stale)", claim.owner),
+                    None => "-".to_string(),
+                };
+                println!(
+                    "{id:<16} {:<12} {claim:<24} {checkpoints:>12}",
+                    status.as_str()
+                );
+            }
+            Err(error) => println!("{id:<16} <unreadable: {error}>"),
+        }
+    }
+    let summary: Vec<String> = counts
+        .iter()
+        .map(|(name, count)| format!("{name}: {count}"))
+        .collect();
+    println!("totals: {}", summary.join(", "));
+    Ok(())
+}
+
+fn status_of_run(store: &Store, id: &str) -> Result<(), String> {
+    let handle = store.run(id).map_err(|e| e.to_string())?;
+    let status = handle.status().map_err(|e| e.to_string())?;
+    println!("run_id: {id}");
+    println!("status: {status}");
+    match handle.claim().map_err(|e| e.to_string())? {
+        Some(claim) => println!(
+            "claim: {} (pid {}, {})",
+            claim.owner,
+            claim.pid,
+            if claim.holder_alive() {
+                "alive"
+            } else {
+                "stale"
+            }
+        ),
+        None => println!("claim: none"),
+    }
+    let checkpoints = handle.checkpoint_generations().map_err(|e| e.to_string())?;
+    println!("checkpoints: {}", checkpoints.len());
+    println!(
+        "result: {}",
+        if handle.has_result() {
+            "present"
+        } else {
+            "none"
+        }
+    );
+    Ok(())
+}
+
+/// How old a `*.tmp` file must be before `ayb gc` removes it (unless
+/// `--sweep-all`): long enough that no live writer is mid-rename.
+const GC_TMP_MIN_AGE: Duration = Duration::from_secs(60);
+
+fn cmd_gc(args: &CliArgs) -> Result<(), String> {
+    if !args.positional.is_empty() {
+        return Err("`ayb gc` takes no positional arguments".to_string());
+    }
+    let store = args.open_store()?;
+    let keep = args.keep_checkpoints.unwrap_or(1).max(1);
+    let min_age = if args.sweep_all {
+        Duration::ZERO
+    } else {
+        GC_TMP_MIN_AGE
+    };
+
+    let swept = store.sweep_tmp_files(min_age).map_err(|e| e.to_string())?;
+    let mut pruned = 0usize;
+    let mut pruned_runs = 0usize;
+    for id in store.run_ids().map_err(|e| e.to_string())? {
+        let Ok(handle) = store.run(&id) else { continue };
+        // Only completed runs are pruned; anything still resumable keeps
+        // its full checkpoint history.
+        if handle.status().ok() != Some(RunStatus::Completed) {
+            continue;
+        }
+        let removed = handle.prune_checkpoints(keep).map_err(|e| e.to_string())?;
+        if !removed.is_empty() {
+            pruned += removed.len();
+            pruned_runs += 1;
+        }
+    }
+    println!("tmp_files_removed: {}", swept.len());
+    println!(
+        "checkpoints_pruned: {pruned} (across {pruned_runs} completed runs, keeping last {keep})"
+    );
+    Ok(())
 }
 
 fn cmd_resume(args: &CliArgs) -> Result<(), String> {

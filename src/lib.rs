@@ -2,6 +2,7 @@
 pub use ayb_behavioral as behavioral;
 pub use ayb_circuit as circuit;
 pub use ayb_core as core;
+pub use ayb_jobs as jobs;
 pub use ayb_moo as moo;
 pub use ayb_process as process;
 pub use ayb_sim as sim;

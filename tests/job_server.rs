@@ -1,0 +1,269 @@
+//! Integration tests for the job-server layer (`ayb_jobs`): N runs through a
+//! multi-worker [`JobServer`] digest bit-identically to the same seeds run
+//! sequentially, a SIGKILL'd worker's run is re-claimed on restart and
+//! resumes to the identical digest, graceful shutdown halts at checkpoint
+//! boundaries, and two servers sharing one store never execute a run twice.
+
+use ayb_core::{FlowBuilder, FlowConfig, FlowResult};
+use ayb_jobs::{JobEvent, JobServer, JobServerConfig};
+use ayb_moo::{CheckpointError, OptimizerConfig};
+use ayb_store::{RunStatus, Store};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+fn temp_store(label: &str) -> (PathBuf, Store) {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let root = std::env::temp_dir().join(format!(
+        "ayb-jobs-test-{label}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let store = Store::open(&root).expect("store opens");
+    (root, store)
+}
+
+/// The trimmed reduced-scale configuration the resume tests also use: full
+/// five-stage flow, seconds of wall clock.
+fn small_config() -> FlowConfig {
+    let mut config = FlowConfig::reduced();
+    config.sweep = ayb_sim::FrequencySweep::logarithmic(10.0, 1e9, 4);
+    config.monte_carlo.samples = 10;
+    config.max_pareto_points = 8;
+    config
+}
+
+/// Sequential (store-less) reference digest for a seed.
+fn reference_digest(seed: u64) -> u64 {
+    FlowBuilder::new(small_config())
+        .with_seed(seed)
+        .run()
+        .expect("reference flow completes")
+        .determinism_digest()
+}
+
+/// Submits a seed the way `ayb submit` does, returning the run id.
+fn submit(store: &Store, seed: u64) -> String {
+    let mut config = small_config();
+    config.ga.seed = seed;
+    config.monte_carlo.seed = seed;
+    let optimizer = OptimizerConfig::Wbga(config.ga);
+    store
+        .enqueue_run(seed, &optimizer, &config)
+        .expect("enqueue succeeds")
+        .id()
+        .to_string()
+}
+
+fn stored_digest(store: &Store, run_id: &str) -> u64 {
+    let result: FlowResult = store
+        .run(run_id)
+        .expect("run exists")
+        .load_result()
+        .expect("result loads");
+    result.determinism_digest()
+}
+
+#[test]
+fn served_runs_digest_identically_to_sequential_runs() {
+    let (root, store) = temp_store("digests");
+    let seeds = [11u64, 22, 33];
+    let expected: Vec<u64> = seeds.iter().map(|&seed| reference_digest(seed)).collect();
+
+    let submitted: Vec<String> = seeds.iter().map(|&seed| submit(&store, seed)).collect();
+    let server = JobServer::new(store.clone(), JobServerConfig::drain_with_workers(3));
+    let report = server.run().expect("server drains");
+
+    assert_eq!(report.completed.len(), 3, "report: {report:?}");
+    assert!(report.failed.is_empty() && report.interrupted.is_empty());
+    for (run_id, expected) in submitted.iter().zip(&expected) {
+        let handle = store.run(run_id).unwrap();
+        assert_eq!(handle.status().unwrap(), RunStatus::Completed);
+        assert_eq!(handle.claim().unwrap(), None, "claims are released");
+        assert_eq!(
+            stored_digest(&store, run_id),
+            *expected,
+            "{run_id}: a multi-worker server changes nothing about the result"
+        );
+    }
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn sigkilled_workers_run_is_reclaimed_and_resumes_bit_identically() {
+    let (root, store) = temp_store("reclaim");
+    let expected = reference_digest(77);
+    let run_id = submit(&store, 77);
+
+    // Execute the queued run partially (3 checkpoints), as a server worker
+    // would, then halt — on-disk state identical to a crash.
+    let halted = FlowBuilder::resume(&store, &run_id)
+        .expect("resume builds")
+        .halt_after_checkpoints(3)
+        .run();
+    assert!(matches!(
+        halted,
+        Err(ayb_core::AybError::Checkpoint(
+            CheckpointError::Halted { .. }
+        ))
+    ));
+    let handle = store.run(&run_id).unwrap();
+    assert_eq!(handle.status().unwrap(), RunStatus::Interrupted);
+
+    // Forge the rest of the SIGKILL aftermath: status still `Running` and a
+    // claim whose holder is long dead (no Linux pid is ever u32::MAX).
+    handle.set_status(RunStatus::Running).unwrap();
+    std::fs::write(
+        handle.dir().join("claim.json"),
+        r#"{"owner": "dead-worker", "pid": 4294967295, "claimed_unix": 1}"#,
+    )
+    .unwrap();
+
+    // A fresh server must break the stale claim, re-queue the run, resume it
+    // from checkpoint 3 and finish with the reference digest.
+    let server = JobServer::new(store.clone(), JobServerConfig::drain_with_workers(2));
+    let report = server.run().expect("server drains");
+    assert_eq!(report.requeued, vec![run_id.clone()]);
+    assert_eq!(report.completed, vec![run_id.clone()]);
+    assert_eq!(handle.status().unwrap(), RunStatus::Completed);
+    assert_eq!(handle.claim().unwrap(), None);
+    assert_eq!(stored_digest(&store, &run_id), expected);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn graceful_shutdown_halts_at_a_checkpoint_and_the_run_resumes() {
+    let (root, store) = temp_store("shutdown");
+    let expected = reference_digest(55);
+    let run_id = submit(&store, 55);
+
+    // Serve in poll mode; shut the server down from its own event stream as
+    // soon as the run's first checkpoint lands.
+    let config = JobServerConfig {
+        workers: 1,
+        poll_interval: Duration::from_millis(20),
+        ..JobServerConfig::default()
+    };
+    let server = JobServer::new(store.clone(), config);
+    let shutdown = server.shutdown_handle();
+    let trigger = shutdown.clone();
+    server.set_event_hook(move |event| {
+        if matches!(event, JobEvent::CheckpointWritten { .. }) {
+            trigger.shutdown();
+        }
+    });
+    let report = std::thread::spawn(move || server.run().expect("server stops cleanly"))
+        .join()
+        .expect("server thread joins");
+    assert!(shutdown.is_shutdown());
+    assert_eq!(
+        report.interrupted,
+        vec![run_id.clone()],
+        "report: {report:?}"
+    );
+
+    // The halt was graceful: resumable state, no claim, checkpoints on disk.
+    let handle = store.run(&run_id).unwrap();
+    assert_eq!(handle.status().unwrap(), RunStatus::Interrupted);
+    assert_eq!(handle.claim().unwrap(), None);
+    assert!(!handle.checkpoint_generations().unwrap().is_empty());
+
+    // A drain server finishes the interrupted run to the reference digest.
+    let server = JobServer::new(store.clone(), JobServerConfig::drain_with_workers(1));
+    let report = server.run().expect("drain server finishes");
+    assert_eq!(report.requeued, vec![run_id.clone()]);
+    assert_eq!(report.completed, vec![run_id.clone()]);
+    assert_eq!(stored_digest(&store, &run_id), expected);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn long_lived_server_adopts_runs_stranded_after_startup() {
+    let (root, store) = temp_store("adopt");
+    let expected = reference_digest(99);
+
+    // A long-lived server over an (initially) empty store, with a fast
+    // periodic recovery pass.
+    let config = JobServerConfig {
+        workers: 1,
+        poll_interval: Duration::from_millis(20),
+        recovery_interval: Duration::from_millis(100),
+        ..JobServerConfig::default()
+    };
+    let server = JobServer::new(store.clone(), config);
+    let shutdown = server.shutdown_handle();
+    let (sender, receiver) = std::sync::mpsc::channel();
+    server.set_event_hook(move |event| {
+        if let JobEvent::Completed { run_id, .. } = event {
+            let _ = sender.send(run_id.clone());
+        }
+    });
+    let server_thread = std::thread::spawn(move || server.run().expect("server stops cleanly"));
+
+    // After the server started (so its *startup* recovery never saw it),
+    // strand an interrupted run: it is never `Queued`, so only the periodic
+    // recovery pass can adopt it.
+    let halted = FlowBuilder::new(small_config())
+        .with_seed(99)
+        .with_store(&store)
+        .with_run_id("stranded")
+        .halt_after_checkpoints(2)
+        .run();
+    assert!(matches!(
+        halted,
+        Err(ayb_core::AybError::Checkpoint(
+            CheckpointError::Halted { .. }
+        ))
+    ));
+    let handle = store.run("stranded").unwrap();
+    assert_eq!(handle.status().unwrap(), RunStatus::Interrupted);
+
+    // The running server must re-queue and finish it without a restart.
+    let completed = receiver
+        .recv_timeout(Duration::from_secs(60))
+        .expect("server adopts the stranded run");
+    assert_eq!(completed, "stranded");
+    shutdown.shutdown();
+    let report = server_thread.join().expect("server thread joins");
+    assert_eq!(report.requeued, vec!["stranded".to_string()]);
+    assert_eq!(report.completed, vec!["stranded".to_string()]);
+    assert_eq!(handle.status().unwrap(), RunStatus::Completed);
+    assert_eq!(stored_digest(&store, "stranded"), expected);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn two_servers_share_one_store_without_double_execution() {
+    let (root, store) = temp_store("two-servers");
+    let seeds = [1u64, 2, 3, 4];
+    let submitted: Vec<String> = seeds.iter().map(|&seed| submit(&store, seed)).collect();
+
+    let reports: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let server = JobServer::new(store.clone(), JobServerConfig::drain_with_workers(2));
+                scope.spawn(move || server.run().expect("server drains"))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Every run completed exactly once across the two servers; the claim
+    // losers show up as skips, never as second executions.
+    let mut completed: Vec<String> = reports
+        .iter()
+        .flat_map(|report| report.completed.iter().cloned())
+        .collect();
+    completed.sort();
+    let mut expected = submitted.clone();
+    expected.sort();
+    assert_eq!(completed, expected, "reports: {reports:?}");
+    assert!(reports.iter().all(|r| r.failed.is_empty()));
+    for run_id in &submitted {
+        let handle = store.run(run_id).unwrap();
+        assert_eq!(handle.status().unwrap(), RunStatus::Completed);
+        assert!(handle.has_result());
+        assert_eq!(handle.claim().unwrap(), None);
+    }
+    let _ = std::fs::remove_dir_all(root);
+}

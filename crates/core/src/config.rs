@@ -7,7 +7,11 @@ use ayb_sim::FrequencySweep;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the complete model-generation flow (paper §3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is implemented by hand so that manifests written before the
+/// sharding fields existed still load: absent `sharded`/`shard_size` fields
+/// default to unsharded evaluation instead of failing the whole store.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct FlowConfig {
     /// Genetic-algorithm settings for the OTA sizing optimisation (§3.2).
     pub ga: GaConfig,
@@ -30,6 +34,18 @@ pub struct FlowConfig {
     /// `OtaSizingProblem::with_threads`) and by the per-point Monte Carlo
     /// stage. Thread count never changes results, only wall-clock time.
     pub threads: usize,
+    /// When `true` *and* the flow runs against a store, optimiser
+    /// populations are evaluated through the store's shard data plane:
+    /// batches split into [`FlowConfig::shard_size`]-candidate shards that
+    /// any `ayb serve` worker process sharing the store — on this machine or
+    /// another host — may claim and evaluate. Sharding never changes
+    /// results (shards reassemble in index order), only where they are
+    /// computed; without a store the flag falls back to local evaluation.
+    pub sharded: bool,
+    /// Maximum number of candidates per shard when [`FlowConfig::sharded`]
+    /// is set (minimum 1; batches at most one shard long are evaluated
+    /// locally).
+    pub shard_size: usize,
 }
 
 impl FlowConfig {
@@ -45,6 +61,8 @@ impl FlowConfig {
             sigma_level: 3.0,
             max_pareto_points: usize::MAX,
             threads: 4,
+            sharded: false,
+            shard_size: 25,
         }
     }
 
@@ -71,6 +89,8 @@ impl FlowConfig {
             sigma_level: 3.0,
             max_pareto_points: 12,
             threads: 2,
+            sharded: false,
+            shard_size: 4,
         }
     }
 
@@ -87,6 +107,7 @@ impl FlowConfig {
             monte_carlo: MonteCarloConfig::new(50, 0xa5a5),
             max_pareto_points: 60,
             threads: 4,
+            shard_size: 10,
             ..FlowConfig::reduced()
         }
     }
@@ -101,6 +122,36 @@ impl FlowConfig {
 impl Default for FlowConfig {
     fn default() -> Self {
         FlowConfig::paper_scale()
+    }
+}
+
+impl Deserialize for FlowConfig {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        // The sharding knobs postdate the first durable stores; treat their
+        // absence as "unsharded" so pre-existing manifests stay resumable.
+        let sharded = match value.get("sharded") {
+            Some(field) => Deserialize::from_value(field)?,
+            None => false,
+        };
+        let shard_size = match value.get("shard_size") {
+            Some(field) => Deserialize::from_value(field)?,
+            None => 25,
+        };
+        Ok(FlowConfig {
+            ga: Deserialize::from_value(serde::__field(value, "ga")?)?,
+            monte_carlo: Deserialize::from_value(serde::__field(value, "monte_carlo")?)?,
+            variation: Deserialize::from_value(serde::__field(value, "variation")?)?,
+            testbench: Deserialize::from_value(serde::__field(value, "testbench")?)?,
+            sweep: Deserialize::from_value(serde::__field(value, "sweep")?)?,
+            sigma_level: Deserialize::from_value(serde::__field(value, "sigma_level")?)?,
+            max_pareto_points: Deserialize::from_value(serde::__field(
+                value,
+                "max_pareto_points",
+            )?)?,
+            threads: Deserialize::from_value(serde::__field(value, "threads")?)?,
+            sharded,
+            shard_size,
+        })
     }
 }
 
@@ -130,5 +181,30 @@ mod tests {
         let b = a.clone().with_seed(99);
         assert_ne!(a.ga.seed, b.ga.seed);
         assert_eq!(a.monte_carlo.seed, b.monte_carlo.seed);
+    }
+
+    #[test]
+    fn deserializes_pre_sharding_manifest_json() {
+        // A config serialized before the sharding fields existed (simulated
+        // by stripping them from current JSON) must still load, defaulting
+        // to unsharded evaluation — old stores stay resumable.
+        let mut config = FlowConfig::reduced();
+        config.sharded = true;
+        config.shard_size = 7;
+        let serde::Value::Object(mut pairs) = serde::Serialize::to_value(&config) else {
+            panic!("FlowConfig serializes to an object");
+        };
+        pairs.retain(|(key, _)| key != "sharded" && key != "shard_size");
+        let legacy = serde::Value::Object(pairs);
+        let back: FlowConfig = serde::Deserialize::from_value(&legacy).expect("legacy loads");
+        assert!(!back.sharded);
+        assert!(back.shard_size >= 1);
+        assert_eq!(back.ga, config.ga);
+        assert_eq!(back.threads, config.threads);
+
+        // And the current shape round-trips unchanged.
+        let roundtrip: FlowConfig =
+            serde::Deserialize::from_value(&serde::Serialize::to_value(&config)).unwrap();
+        assert_eq!(roundtrip, config);
     }
 }

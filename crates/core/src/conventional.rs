@@ -3,7 +3,7 @@
 //! The paper's headline claim is a large reduction in simulation time and
 //! effort compared with "conventional simulation based approaches" — flows
 //! that keep the transistor-level netlist in the loop and evaluate yield by
-//! Monte Carlo for every candidate (e.g. HOLMES, paper ref. [5], which needed
+//! Monte Carlo for every candidate (e.g. HOLMES, paper ref. \[5\], which needed
 //! 7 hours against the proposed 4 for the same OTA). This module implements
 //! that baseline so the comparison benchmarks can measure both sides:
 //!

@@ -2,10 +2,10 @@
 //!
 //! Every stage of the flow can fail in its own layer — optimisation
 //! ([`FlowError`]), behavioural-model construction
-//! ([`ModelError`](ayb_behavioral::ModelError)), circuit simulation
-//! ([`SimError`](ayb_sim::SimError)), table lookups
-//! ([`TableError`](ayb_table::TableError)) or circuit construction
-//! ([`CircuitError`](ayb_circuit::CircuitError)). [`AybError`] wraps them all
+//! ([`ayb_behavioral::ModelError`]), circuit simulation
+//! ([`ayb_sim::SimError`]), table lookups
+//! ([`ayb_table::TableError`]) or circuit construction
+//! ([`ayb_circuit::CircuitError`]). [`AybError`] wraps them all
 //! with `From` conversions so that `?` works across layer boundaries, and
 //! [`std::error::Error::source`] preserves the underlying cause.
 
@@ -34,7 +34,7 @@ pub enum AybError {
     /// Run-store persistence failure.
     Store(StoreError),
     /// Checkpoint resume/halt outcome. Note that
-    /// [`CheckpointError::Halted`](ayb_moo::CheckpointError::Halted) is a
+    /// [`ayb_moo::CheckpointError::Halted`] is a
     /// deliberate pause, not a failure: the run's state is on disk and
     /// [`FlowBuilder::resume`](crate::FlowBuilder::resume) continues it.
     Checkpoint(CheckpointError),

@@ -43,10 +43,11 @@ use crate::ota_problem::{measure_testbench, OtaSizingProblem};
 use ayb_behavioral::{CombinedOtaModel, ModelError, ParetoPointData};
 use ayb_circuit::ota::{build_open_loop_testbench, OtaParameters};
 use ayb_moo::{
-    Checkpoint, CheckpointControl, CheckpointError, Evaluation, OptimizationResult, OptimizerConfig,
+    Checkpoint, CheckpointControl, CheckpointError, Evaluation, OptimizationResult,
+    OptimizerConfig, ShardedEvaluator, ShardingOptions, SizingProblem, WithEvaluator,
 };
 use ayb_process::{montecarlo, Summary};
-use ayb_store::{Manifest, RunHandle, RunStatus, Store, StoreError};
+use ayb_store::{ClaimHeartbeat, Manifest, RunHandle, RunStatus, Store, StoreError};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -476,7 +477,7 @@ impl FlowBuilder {
     /// been written, leaving the run in the store with status
     /// [`RunStatus::Interrupted`]. The flow then returns
     /// [`AybError::Checkpoint`] wrapping
-    /// [`CheckpointError::Halted`](ayb_moo::CheckpointError::Halted).
+    /// [`ayb_moo::CheckpointError::Halted`].
     ///
     /// This is the deterministic stand-in for a kill/crash — the on-disk
     /// state is indistinguishable apart from the recorded status — used by
@@ -507,6 +508,28 @@ impl FlowBuilder {
     #[must_use]
     pub fn with_claim_owner(mut self, owner: impl Into<String>) -> Self {
         self.claim_owner = Some(owner.into());
+        self
+    }
+
+    /// Enables (or disables) sharded batch evaluation
+    /// ([`FlowConfig::sharded`]): optimiser populations are split into
+    /// shards published under the durable run's directory, where any
+    /// `ayb serve` worker sharing the store — including on other machines —
+    /// can claim and evaluate them. The submitting flow participates too,
+    /// so a sharded run completes even with no workers, and results are
+    /// bit-identical to unsharded execution either way. Requires an attached
+    /// store to have any effect.
+    #[must_use]
+    pub fn sharded(mut self, sharded: bool) -> Self {
+        self.config.sharded = sharded;
+        self
+    }
+
+    /// Sets the maximum number of candidates per shard
+    /// ([`FlowConfig::shard_size`]; minimum 1).
+    #[must_use]
+    pub fn shard_size(mut self, shard_size: usize) -> Self {
+        self.config.shard_size = shard_size.max(1);
         self
     }
 
@@ -573,10 +596,42 @@ impl FlowBuilder {
             (None, None) => (None, None),
         };
 
+        // Heartbeat the run claim for as long as this flow holds it (all
+        // stages), so recovery passes — here or on other hosts — can tell
+        // this live execution from a dead one.
+        let claim_heartbeat = run
+            .as_ref()
+            .map(|handle| handle.start_claim_heartbeat(CLAIM_HEARTBEAT_INTERVAL));
+
+        // With sharding enabled (and a durable run to host the data plane),
+        // batch evaluation goes through the store: populations split into
+        // shards that any worker process sharing the store may evaluate.
+        // The wrapper borrows `problem`, so the optimisation runs in its own
+        // scope; results are identical either way (see `ayb_moo::sharding`).
+        let sharded = match &run {
+            Some(handle) if self.config.sharded => {
+                // This flow holds the run's exclusive claim, so any shard
+                // epochs still on disk belong to a dead predecessor.
+                let _ = handle.sweep_shards();
+                Some(WithEvaluator::new(
+                    &problem,
+                    ShardedEvaluator::new(
+                        Box::new(handle.shard_plane(SHARD_CLAIM_STALE_AFTER)),
+                        ShardingOptions::with_shard_size(self.config.shard_size),
+                    ),
+                ))
+            }
+            _ => None,
+        };
+        let sizing: &dyn SizingProblem = match &sharded {
+            Some(wrapped) => wrapped,
+            None => &problem,
+        };
+
         let t0 = Instant::now();
         let optimizer = self.optimizer.build();
         let optimization = match &run {
-            None => optimizer.run(&problem),
+            None => optimizer.run(sizing),
             Some(handle) => {
                 let mut written = 0usize;
                 let mut write_error: Option<StoreError> = None;
@@ -604,7 +659,7 @@ impl FlowBuilder {
                         CheckpointControl::Halt
                     }
                 };
-                let outcome = optimizer.run_checkpointed(&problem, resume_checkpoint, &mut sink);
+                let outcome = optimizer.run_checkpointed(sizing, resume_checkpoint, &mut sink);
                 if let Some(error) = write_error {
                     finish_run(handle, RunStatus::Failed);
                     return Err(AybError::Store(error));
@@ -623,6 +678,7 @@ impl FlowBuilder {
             }
         };
         let optimization_time = t0.elapsed();
+        drop(sharded); // ends the wrapper's borrow of `problem`
         if optimization.archive.is_empty() {
             if let Some(handle) = &run {
                 finish_run(handle, RunStatus::Failed);
@@ -641,6 +697,7 @@ impl FlowBuilder {
             pareto,
             selected,
             run,
+            claim_heartbeat,
             timings: FlowTimings {
                 optimization: optimization_time,
                 ..FlowTimings::default()
@@ -668,6 +725,7 @@ pub struct OptimizedFlow {
     pareto: Vec<Evaluation>,
     selected: Vec<Evaluation>,
     run: Option<RunHandle>,
+    claim_heartbeat: Option<ClaimHeartbeat>,
     timings: FlowTimings,
 }
 
@@ -714,6 +772,7 @@ impl OptimizedFlow {
             self.timings.monte_carlo,
         );
         if pareto_data.len() < 3 {
+            drop(self.claim_heartbeat.take());
             if let Some(handle) = &self.run {
                 finish_run(handle, RunStatus::Failed);
             }
@@ -728,6 +787,7 @@ impl OptimizedFlow {
             pareto: self.pareto,
             pareto_data,
             run: self.run,
+            claim_heartbeat: self.claim_heartbeat,
             timings: self.timings,
         })
     }
@@ -742,6 +802,7 @@ pub struct AnalyzedFlow {
     pareto: Vec<Evaluation>,
     pareto_data: Vec<ParetoPointData>,
     run: Option<RunHandle>,
+    claim_heartbeat: Option<ClaimHeartbeat>,
     timings: FlowTimings,
 }
 
@@ -767,6 +828,7 @@ impl AnalyzedFlow {
         ) {
             Ok(model) => model,
             Err(error) => {
+                drop(self.claim_heartbeat.take());
                 if let Some(handle) = &self.run {
                     finish_run(handle, RunStatus::Failed);
                 }
@@ -787,6 +849,7 @@ impl AnalyzedFlow {
             timings: self.timings,
             optimization: self.optimization,
         };
+        drop(self.claim_heartbeat.take());
         if let Some(handle) = &self.run {
             let persisted = handle
                 .save_result(&result)
@@ -797,6 +860,18 @@ impl AnalyzedFlow {
         Ok(result)
     }
 }
+
+/// Interval at which a flow refreshes its run claim's heartbeat (see
+/// [`ayb_store::ClaimHeartbeat`]): recovery thresholds are tens of seconds,
+/// so one touch per second gives ample margin.
+const CLAIM_HEARTBEAT_INTERVAL: Duration = Duration::from_secs(1);
+
+/// How long a *shard* claim may go without a heartbeat before the submitter
+/// presumes its holder dead and re-evaluates the shard. Duplicate shard
+/// evaluation is benign (pure evaluations, atomic result writes), so this is
+/// deliberately more aggressive than run-claim recovery; workers heartbeat
+/// their shard claims every second while evaluating.
+const SHARD_CLAIM_STALE_AFTER: Duration = Duration::from_secs(60);
 
 /// Terminal-state bookkeeping for a durable run: record the status and
 /// release the execution claim taken in [`FlowBuilder::optimize`].

@@ -17,7 +17,11 @@
 //!   attaching an [`ayb_store::Store`] ([`FlowBuilder::with_store`]) makes
 //!   runs durable — manifest, per-generation checkpoints and result on disk
 //!   — and [`FlowBuilder::resume`] continues an interrupted run from its
-//!   latest checkpoint with a bit-identical [`FlowResult`],
+//!   latest checkpoint with a bit-identical [`FlowResult`]; durable runs can
+//!   additionally shard their batch evaluation across any number of worker
+//!   processes and machines sharing the store
+//!   ([`FlowBuilder::sharded`], `ayb serve --shards-only`) — still
+//!   bit-identical,
 //! * [`generate_model`] — thin compatibility wrapper running all stages with
 //!   the paper's WBGA,
 //! * [`AybError`] — the unified error that wraps `FlowError`, `ModelError`,
@@ -65,8 +69,26 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Builder configuration is plain data — seeding, optimiser selection and
+//! sharding knobs are inspectable before anything expensive runs:
+//!
+//! ```
+//! use ayb_core::{FlowBuilder, FlowConfig};
+//! use ayb_moo::OptimizerConfig;
+//!
+//! let builder = FlowBuilder::new(FlowConfig::reduced())
+//!     .with_optimizer(OptimizerConfig::RandomSearch { budget: 64, seed: 1 })
+//!     .with_seed(2008)
+//!     .sharded(true)
+//!     .shard_size(8);
+//! assert_eq!(builder.optimizer().seed(), 2008);
+//! assert_eq!(builder.config().monte_carlo.seed, 2008);
+//! assert!(builder.config().sharded);
+//! assert_eq!(builder.config().shard_size, 8);
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod config;

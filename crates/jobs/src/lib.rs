@@ -32,6 +32,35 @@
 //!   and executed in isolation, so N runs through a multi-worker server
 //!   digest identically to the same seeds run sequentially.
 //!
+//! Beyond whole runs (the control plane), workers also service the **shard
+//! data plane**: sharded flows publish each optimiser population as
+//! claimable shard tasks (see `ayb_store::shards`), and idle workers
+//! evaluate them *shard-first* — before taking new runs — so every in-flight
+//! run keeps progressing even when all run-executing workers are occupied.
+//! A server started with [`JobServerConfig::shards_only`] (`ayb serve
+//! --shards-only`) is a pure evaluation worker: extra machines sharing the
+//! store run in this mode to scale one flow's batch evaluation.
+//!
+//! A drain-mode server over an empty store starts, scans and returns
+//! immediately — the smallest possible end-to-end example:
+//!
+//! ```
+//! use ayb_jobs::{JobServer, JobServerConfig};
+//! use ayb_store::Store;
+//!
+//! # fn main() -> Result<(), ayb_jobs::JobError> {
+//! let root = std::env::temp_dir().join(format!("ayb-jobs-doc-{}", std::process::id()));
+//! let server = JobServer::new(Store::open(&root)?, JobServerConfig::drain_with_workers(2));
+//! let report = server.run()?; // nothing queued: drains instantly
+//! assert!(report.completed.is_empty() && report.failed.is_empty());
+//! # let _ = std::fs::remove_dir_all(root);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Submitting real work looks like this (not run here — it executes whole
+//! flows):
+//!
 //! ```no_run
 //! use ayb_core::FlowConfig;
 //! use ayb_jobs::{JobServer, JobServerConfig};
@@ -52,12 +81,12 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use ayb_core::{AybError, FlowBuilder, FlowObserver};
-use ayb_moo::{CheckpointError, OptimizerConfig};
-use ayb_store::{RunHandle, RunStatus, Store, StoreError};
+use ayb_core::{AybError, FlowBuilder, FlowConfig, FlowObserver, OtaSizingProblem};
+use ayb_moo::{CheckpointError, OptimizerConfig, SizingProblem};
+use ayb_store::{Manifest, RunHandle, RunStatus, Store, StoreError};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
@@ -121,6 +150,16 @@ pub struct JobServerConfig {
     /// so runs stranded *after* startup — a peer server shut down or died —
     /// are picked up without waiting for a restart.
     pub recovery_interval: Duration,
+    /// When `true` (the default), idle workers service shard evaluation
+    /// tasks of sharded flows — *shard-first*: the data plane is always
+    /// drained before a worker takes new control-plane work, so a fleet
+    /// whose workers all hold runs still makes evaluation progress.
+    pub service_shards: bool,
+    /// When `true`, the server never claims whole runs — it is a pure
+    /// evaluation worker servicing shard tasks (`ayb serve --shards-only`).
+    /// Extra machines sharing the store run in this mode to scale a sharded
+    /// flow's batch evaluation without competing for run claims.
+    pub shards_only: bool,
 }
 
 impl Default for JobServerConfig {
@@ -132,6 +171,8 @@ impl Default for JobServerConfig {
             owner: format!("ayb-serve-{}", std::process::id()),
             reclaim_grace: Duration::from_secs(30),
             recovery_interval: Duration::from_secs(30),
+            service_shards: true,
+            shards_only: false,
         }
     }
 }
@@ -142,6 +183,16 @@ impl JobServerConfig {
         JobServerConfig {
             workers,
             drain: true,
+            ..JobServerConfig::default()
+        }
+    }
+
+    /// Pure evaluation-worker configuration: `workers` threads servicing
+    /// shard tasks only, never claiming whole runs.
+    pub fn shards_only_with_workers(workers: usize) -> Self {
+        JobServerConfig {
+            workers,
+            shards_only: true,
             ..JobServerConfig::default()
         }
     }
@@ -213,6 +264,20 @@ pub enum JobEvent {
         /// The flow error.
         message: String,
     },
+    /// A worker evaluated one shard of a sharded flow's batch (the data
+    /// plane; see `ayb_store::shards`).
+    ShardServiced {
+        /// The run whose batch the shard belongs to.
+        run_id: String,
+        /// The evaluation epoch (one optimiser batch).
+        epoch: String,
+        /// The shard's index within its epoch.
+        shard: usize,
+        /// Number of candidates evaluated.
+        candidates: usize,
+        /// Index of the servicing worker.
+        worker: usize,
+    },
 }
 
 impl JobEvent {
@@ -226,7 +291,8 @@ impl JobEvent {
             | JobEvent::Completed { run_id, .. }
             | JobEvent::Interrupted { run_id, .. }
             | JobEvent::Skipped { run_id, .. }
-            | JobEvent::Failed { run_id, .. } => run_id,
+            | JobEvent::Failed { run_id, .. }
+            | JobEvent::ShardServiced { run_id, .. } => run_id,
         }
     }
 }
@@ -245,6 +311,8 @@ pub struct JobReport {
     pub skipped: Vec<String>,
     /// Runs re-queued by startup recovery.
     pub requeued: Vec<String>,
+    /// Number of shard evaluation tasks serviced (the data plane).
+    pub shards_serviced: usize,
 }
 
 impl JobReport {
@@ -418,7 +486,9 @@ impl JobServer {
     /// (individual run failures are reported in the [`JobReport`] instead).
     pub fn run(&self) -> Result<JobReport, JobError> {
         let report = Mutex::new(JobReport::default());
-        self.recover_and_requeue(&report)?;
+        if !self.config.shards_only {
+            self.recover_and_requeue(&report)?;
+        }
 
         let outcome = std::thread::scope(|scope| {
             for worker in 0..self.config.workers.max(1) {
@@ -470,34 +540,48 @@ impl JobServer {
         let mut terminal = HashSet::new();
         let mut last_recovery = std::time::Instant::now();
         loop {
-            if !self.config.drain && last_recovery.elapsed() >= self.config.recovery_interval {
+            if !self.config.drain
+                && !self.config.shards_only
+                && last_recovery.elapsed() >= self.config.recovery_interval
+            {
                 self.recover_and_requeue(report)?;
                 last_recovery = std::time::Instant::now();
             }
-            let scan = self.shared.store.poll_queued(&mut terminal)?;
-            let mut fresh = Vec::new();
-            let (queue_empty, busy) = {
-                let mut state = self.shared.queue.lock().expect("queue lock");
-                for id in &scan {
-                    if state.seen.insert(id.clone()) {
-                        state.queue.push_back(id.clone());
-                        fresh.push(id.clone());
+            let mut no_new_work = true;
+            let (queue_empty, busy) = if self.config.shards_only {
+                let state = self.shared.queue.lock().expect("queue lock");
+                (true, state.busy)
+            } else {
+                let scan = self.shared.store.poll_queued(&mut terminal)?;
+                let mut fresh = Vec::new();
+                let snapshot = {
+                    let mut state = self.shared.queue.lock().expect("queue lock");
+                    for id in &scan {
+                        if state.seen.insert(id.clone()) {
+                            state.queue.push_back(id.clone());
+                            fresh.push(id.clone());
+                        }
                     }
+                    (state.queue.is_empty(), state.busy)
+                };
+                no_new_work = fresh.is_empty();
+                if !no_new_work {
+                    self.shared.wake.notify_all();
                 }
-                (state.queue.is_empty(), state.busy)
+                for id in fresh {
+                    self.shared.emit(JobEvent::Enqueued { run_id: id });
+                }
+                snapshot
             };
-            let no_new_work = fresh.is_empty();
-            if !no_new_work {
-                self.shared.wake.notify_all();
-            }
-            for id in fresh {
-                self.shared.emit(JobEvent::Enqueued { run_id: id });
-            }
             if self.shared.stop_workers.load(Ordering::SeqCst) {
                 return Ok(());
             }
             if self.config.drain && no_new_work && queue_empty && busy == 0 {
-                return Ok(());
+                // A shards-only (or shard-servicing) drain server is done
+                // only when the data plane is drained too.
+                if !self.config.service_shards || self.shared.store.open_shard_tasks()?.is_empty() {
+                    return Ok(());
+                }
             }
             let state = self.shared.queue.lock().expect("queue lock");
             let _ = self
@@ -527,10 +611,8 @@ impl JobServer {
                     // stale claim on a still-queued run; break it (the break
                     // is compare-and-delete, so a claim legitimately
                     // re-taken in the window survives).
-                    if let Ok(Some(claim)) = handle.claim() {
-                        if !claim.holder_alive() {
-                            let _ = handle.break_claim(&claim);
-                        }
+                    if let Ok(Some(stale)) = handle.stale_claim(self.config.reclaim_grace) {
+                        let _ = handle.break_claim(&stale);
                     }
                 }
                 RunStatus::Running | RunStatus::Interrupted => {
@@ -538,12 +620,19 @@ impl JobServer {
                         continue; // completed but died before the status flip
                     }
                     match handle.claim() {
-                        Ok(Some(claim)) if claim.holder_alive() => continue,
-                        Ok(Some(claim)) => {
-                            // Stale claim: break it iff it is still the one
-                            // just read; a lost race means another recovery
-                            // pass (or its worker) already owns this run.
-                            if !handle.break_claim(&claim).unwrap_or(false) {
+                        Ok(Some(_)) => {
+                            // Claimed: recover only provably dead holders — a
+                            // dead pid on this host, or a foreign-host claim
+                            // whose heartbeat lapsed (`stale_claim` spares
+                            // slow-but-heartbeating and hung-but-alive
+                            // holders). The break is compare-and-delete: a
+                            // lost race means another recovery pass (or its
+                            // worker) already owns this run.
+                            let stale = match handle.stale_claim(self.config.reclaim_grace) {
+                                Ok(Some(stale)) => stale,
+                                _ => continue,
+                            };
+                            if !handle.break_claim(&stale).unwrap_or(false) {
                                 continue;
                             }
                         }
@@ -598,17 +687,42 @@ fn worker_loop(
     report: &Mutex<JobReport>,
 ) {
     loop {
+        if shared.stop_workers.load(Ordering::SeqCst) {
+            return;
+        }
+        // Shard-first priority: drain the data plane before taking new
+        // control-plane work. Runs executing on other workers (here or in
+        // other processes) block on their shards; servicing those first
+        // keeps every in-flight run progressing even when all run-executing
+        // workers are occupied.
+        if config.service_shards && service_one_shard(shared, config, worker, report) {
+            continue;
+        }
         let run_id = {
             let mut state = shared.queue.lock().expect("queue lock");
-            loop {
-                if shared.stop_workers.load(Ordering::SeqCst) {
-                    return;
-                }
-                if let Some(id) = state.queue.pop_front() {
+            if shared.stop_workers.load(Ordering::SeqCst) {
+                return;
+            }
+            let id = if config.shards_only {
+                None
+            } else {
+                state.queue.pop_front()
+            };
+            match id {
+                Some(id) => {
                     state.busy += 1;
-                    break id;
+                    id
                 }
-                state = shared.wake.wait(state).expect("queue lock");
+                None => {
+                    // Idle: sleep until new work is signalled — but only
+                    // with a timeout, because shard tasks appear on disk
+                    // without any in-process notification.
+                    let _ = shared
+                        .wake
+                        .wait_timeout(state, config.poll_interval)
+                        .expect("queue lock");
+                    continue;
+                }
             }
         };
         let outcome = execute_run(shared, config, worker, &run_id);
@@ -649,6 +763,86 @@ fn worker_loop(
             }
         }
     }
+}
+
+/// Claims and evaluates at most one shard evaluation task, returning whether
+/// one was serviced.
+///
+/// The problem is reconstructed from the owning run's manifest (testbench,
+/// sweep and thread count from its `FlowConfig`) — identical to the problem
+/// the submitting flow built, so a shard evaluates to the same results
+/// whichever process services it.
+fn service_one_shard(
+    shared: &Arc<Shared>,
+    config: &JobServerConfig,
+    worker: usize,
+    report: &Mutex<JobReport>,
+) -> bool {
+    let Ok(tasks) = shared.store.open_shard_tasks() else {
+        return false;
+    };
+    for task in tasks {
+        match task.try_claim(&format!("{}/worker-{}", config.owner, worker)) {
+            Ok(true) => {}
+            _ => continue,
+        }
+        {
+            let mut state = shared.queue.lock().expect("queue lock");
+            state.busy += 1;
+        }
+        // Heartbeat the shard claim while evaluating, so an aggressive
+        // recovery pass never mistakes a slow evaluation for a dead worker.
+        let heartbeat = task.start_claim_heartbeat(Duration::from_secs(1));
+        let serviced = (|| {
+            let parameters = match task.load_parameters() {
+                Ok(Some(parameters)) => parameters,
+                // The epoch was closed (or the task file is unreadable):
+                // nothing to evaluate.
+                _ => return false,
+            };
+            let Some(problem) = shard_problem(&shared.store, task.run_id()) else {
+                return false;
+            };
+            let results = problem.evaluate_batch(&parameters);
+            if task.submit_results(&results).is_err() {
+                // Epoch closed mid-evaluation: the submitter assembled the
+                // batch without this shard; drop the result.
+                return false;
+            }
+            shared.emit(JobEvent::ShardServiced {
+                run_id: task.run_id().to_string(),
+                epoch: task.epoch().to_string(),
+                shard: task.shard(),
+                candidates: parameters.len(),
+                worker,
+            });
+            true
+        })();
+        drop(heartbeat);
+        if !serviced {
+            task.release();
+        }
+        {
+            let mut state = shared.queue.lock().expect("queue lock");
+            state.busy -= 1;
+        }
+        shared.wake.notify_all();
+        if serviced {
+            report.lock().expect("report lock").shards_serviced += 1;
+            return true;
+        }
+    }
+    false
+}
+
+/// Rebuilds the sizing problem a run's sharded flow evaluates, from its
+/// manifest.
+fn shard_problem(store: &Store, run_id: &str) -> Option<OtaSizingProblem> {
+    let manifest: Manifest<FlowConfig> = store.run(run_id).ok()?.manifest().ok()?;
+    Some(
+        OtaSizingProblem::new(manifest.flow.testbench, manifest.flow.sweep.clone())
+            .with_threads(manifest.flow.threads),
+    )
 }
 
 /// Executes one run to a terminal state. The claim is taken (and released)
@@ -707,9 +901,14 @@ mod tests {
         assert!(config.workers >= 1);
         assert!(!config.drain);
         assert!(config.owner.contains(&std::process::id().to_string()));
+        assert!(config.service_shards);
+        assert!(!config.shards_only);
         let drain = JobServerConfig::drain_with_workers(4);
         assert_eq!(drain.workers, 4);
         assert!(drain.drain);
+        let shards = JobServerConfig::shards_only_with_workers(3);
+        assert_eq!(shards.workers, 3);
+        assert!(shards.shards_only && shards.service_shards && !shards.drain);
     }
 
     #[test]
@@ -720,6 +919,7 @@ mod tests {
             failed: vec![],
             skipped: vec!["d".into()],
             requeued: vec!["c".into()],
+            shards_serviced: 5,
         };
         assert_eq!(report.executed(), 3);
     }

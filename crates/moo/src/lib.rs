@@ -14,7 +14,7 @@
 //!   GA string carries designable parameters *and* objective weights
 //!   (normalised per eq. 4) and fitness is the normalised weighted sum (eq. 5),
 //! * [`Nsga2`] — the NSGA-II baseline used in the ablation benchmarks,
-//! * [`RandomSearch`] / [`random_search`] — a uniform-sampling baseline,
+//! * [`RandomSearch`] / [`random_search()`](random_search::random_search) — a uniform-sampling baseline,
 //! * [`pareto`] — dominance tests, Pareto-front extraction (§3.3), fast
 //!   non-dominated sorting, crowding distance and 2-D hypervolume,
 //! * [`checkpoint`] — serializable per-generation [`Checkpoint`]s: every
@@ -22,7 +22,14 @@
 //!   complete state (population, archive, RNG stream) between generations
 //!   and resumes from any snapshot with bit-identical results; combined with
 //!   the optional [`EarlyStop`] convergence criterion this is the substrate
-//!   for durable, resumable flows (see the `ayb_store` crate).
+//!   for durable, resumable flows (see the `ayb_store` crate),
+//! * [`sharding`] — the [`BatchEvaluator`] seam under
+//!   [`SizingProblem::evaluate_batch`] and the [`ShardedEvaluator`], which
+//!   distributes batches as deterministic shards over a [`ShardTransport`]
+//!   (the run store's on-disk shard plane, in production) so any number of
+//!   worker processes — on any number of machines sharing the transport —
+//!   evaluate one optimiser's populations, with results bit-identical to
+//!   single-process runs.
 //!
 //! # Examples
 //!
@@ -57,7 +64,7 @@
 //! assert!(!result.pareto_front().is_empty());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod checkpoint;
@@ -68,6 +75,7 @@ pub mod optimizer;
 pub mod pareto;
 pub mod problem;
 pub mod random_search;
+pub mod sharding;
 pub mod wbga;
 
 pub use checkpoint::{
@@ -87,4 +95,8 @@ pub use problem::{
     evaluate_batch_parallel, Evaluation, FnProblem, ObjectiveSpec, Sense, SizingProblem,
 };
 pub use random_search::{random_search, RandomSearch, RandomSearchResult};
+pub use sharding::{
+    BatchEvaluator, LocalEvaluator, ShardError, ShardResults, ShardTransport, ShardedEvaluator,
+    ShardingOptions, WithEvaluator,
+};
 pub use wbga::{normalize_weights, Wbga, WbgaIndividual, WbgaResult};

@@ -1,6 +1,6 @@
 //! NSGA-II baseline optimiser.
 //!
-//! The paper chooses the WBGA; NSGA-II (Deb, paper ref. [8]) is the standard
+//! The paper chooses the WBGA; NSGA-II (Deb, paper ref. \[8\]) is the standard
 //! alternative for multi-objective analogue sizing and is provided here as the
 //! comparison baseline for the `ablation_wbga_vs_nsga2` benchmark: same
 //! evaluation budget, front quality compared via hypervolume.

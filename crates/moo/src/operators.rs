@@ -1,7 +1,7 @@
 //! Genetic operators on normalised `[0, 1]` gene vectors.
 //!
 //! The paper's WBGA uses the classic crossover / mutation / selection loop of
-//! Goldberg-style genetic algorithms (§3.2, ref. [10]); the operators here are
+//! Goldberg-style genetic algorithms (§3.2, ref. \[10\]); the operators here are
 //! the standard real-coded versions: tournament selection, single-point and
 //! blend (BLX-α) crossover, and Gaussian or uniform mutation, all clamped back
 //! into `[0, 1]`.

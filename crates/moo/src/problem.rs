@@ -104,6 +104,32 @@ pub trait SizingProblem: Sync {
     }
 }
 
+/// Shared references delegate every method — including any overridden
+/// `evaluate_batch` — so wrappers like
+/// [`WithEvaluator`](crate::sharding::WithEvaluator) can borrow a problem
+/// without losing its parallel (or sharded) batch evaluation.
+impl<P: SizingProblem + ?Sized> SizingProblem for &P {
+    fn parameter_count(&self) -> usize {
+        (**self).parameter_count()
+    }
+
+    fn objectives(&self) -> &[ObjectiveSpec] {
+        (**self).objectives()
+    }
+
+    fn evaluate(&self, parameters: &[f64]) -> Option<Vec<f64>> {
+        (**self).evaluate(parameters)
+    }
+
+    fn objective_count(&self) -> usize {
+        (**self).objective_count()
+    }
+
+    fn evaluate_batch(&self, batch: &[Vec<f64>]) -> Vec<Option<Evaluation>> {
+        (**self).evaluate_batch(batch)
+    }
+}
+
 /// Evaluates a batch on `threads` scoped worker threads, preserving order.
 ///
 /// Work is distributed through an atomic-index work queue (work stealing)

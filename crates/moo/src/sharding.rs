@@ -1,0 +1,738 @@
+//! Shard-aware batch evaluation: the [`BatchEvaluator`] seam and the
+//! [`ShardedEvaluator`] distributed implementation.
+//!
+//! The optimisers in this crate evaluate whole populations through
+//! [`SizingProblem::evaluate_batch`] and nothing else — which makes that
+//! method the natural *seam* for swapping evaluation strategies without the
+//! optimisers noticing. This module makes the seam explicit:
+//!
+//! * [`BatchEvaluator`] — anything that can map a batch of parameter vectors
+//!   to evaluations for a given problem;
+//! * [`LocalEvaluator`] — the in-process default (work-stealing threads, see
+//!   [`crate::evaluate_batch_parallel`]);
+//! * [`ShardedEvaluator`] — splits a batch into deterministic, index-ordered
+//!   shards, publishes each shard as a task through a [`ShardTransport`]
+//!   (typically a shared run store on disk — see the `ayb_store` crate), and
+//!   assembles shard results back in index order. Any number of worker
+//!   processes — on this machine or on other hosts sharing the transport —
+//!   may claim and evaluate shards concurrently; the submitting process
+//!   itself participates too, so a sharded batch always completes even with
+//!   zero external workers;
+//! * [`WithEvaluator`] — binds a problem to a [`BatchEvaluator`] behind the
+//!   [`SizingProblem`] trait, so Wbga/Nsga2/RandomSearch stay shard-agnostic.
+//!
+//! ## Determinism
+//!
+//! Sharding never changes results: shards are consecutive index ranges,
+//! every candidate's evaluation is pure, and results are reassembled in
+//! index order — so a sharded batch is element-for-element identical to the
+//! unsharded one, whatever the number of workers, hosts or crashes along the
+//! way. Duplicate evaluation of a shard (after a worker is presumed dead but
+//! was merely slow) is benign for the same reason: both writers produce
+//! identical results.
+//!
+//! ```
+//! use ayb_moo::{FnProblem, LocalEvaluator, ObjectiveSpec, SizingProblem, WithEvaluator};
+//!
+//! let problem = FnProblem::new(
+//!     1,
+//!     vec![ObjectiveSpec::maximize("f")],
+//!     |x: &[f64]| Some(vec![x[0] * 2.0]),
+//! );
+//! let bound = WithEvaluator::new(&problem, LocalEvaluator::new(2));
+//! let batch = vec![vec![0.25], vec![0.5]];
+//! assert_eq!(bound.evaluate_batch(&batch), problem.evaluate_batch(&batch));
+//! ```
+
+use crate::problem::{evaluate_batch_parallel, Evaluation, ObjectiveSpec, SizingProblem};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-shard evaluation results: one entry per candidate, in input order
+/// (`None` marks an infeasible candidate).
+pub type ShardResults = Vec<Option<Evaluation>>;
+
+/// Errors produced by a [`ShardTransport`].
+///
+/// The [`ShardedEvaluator`] treats transport errors as degradation, not
+/// failure: affected shards are evaluated locally so a batch always
+/// completes with the same (deterministic) results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The underlying transport (filesystem, network, ...) failed.
+    Transport(String),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Transport(message) => write!(f, "shard transport error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// The data plane a [`ShardedEvaluator`] distributes work over.
+///
+/// One *epoch* corresponds to one `evaluate_batch` call: the submitter opens
+/// an epoch, publishes every shard's parameters into it, and polls for
+/// results while claiming unclaimed shards for local evaluation. Workers on
+/// the same transport do the mirror image: scan for published shards, claim
+/// one, evaluate, submit the result.
+///
+/// Implementations must provide:
+///
+/// * **atomic, exclusive claims** — of any number of processes racing
+///   [`ShardTransport::try_claim`] for one shard, exactly one wins;
+/// * **atomic results** — a result visible through [`ShardTransport::fetch`]
+///   is complete, never torn;
+/// * **staleness-aware recovery** — [`ShardTransport::recover`] breaks a
+///   shard's claim when its holder is provably dead or has been silent
+///   longer than the transport's staleness bound, making the shard
+///   claimable again.
+///
+/// The reference implementation is the run store's on-disk shard plane
+/// (`ayb_store`), which maps epochs to directories and uses hard-link claim
+/// files; tests use in-memory transports.
+pub trait ShardTransport: Send + Sync {
+    /// Opens a new epoch for `shard_count` shards, returning its identifier
+    /// (unique within the transport).
+    fn open_epoch(&self, shard_count: usize) -> Result<String, ShardError>;
+
+    /// Publishes shard `shard`'s candidate parameters into `epoch`.
+    fn publish(&self, epoch: &str, shard: usize, parameters: &[Vec<f64>])
+        -> Result<(), ShardError>;
+
+    /// Attempts to claim shard `shard` for evaluation by this process.
+    /// Returns `false` when another worker holds the claim (or the shard is
+    /// gone).
+    fn try_claim(&self, epoch: &str, shard: usize) -> Result<bool, ShardError>;
+
+    /// Stores shard `shard`'s results and releases this process's claim on
+    /// it.
+    fn submit(&self, epoch: &str, shard: usize, results: &ShardResults) -> Result<(), ShardError>;
+
+    /// Fetches shard `shard`'s results, if some worker has submitted them.
+    fn fetch(&self, epoch: &str, shard: usize) -> Result<Option<ShardResults>, ShardError>;
+
+    /// Breaks shard `shard`'s claim if its holder is presumed dead (crashed
+    /// process, stale heartbeat). Returns whether a claim was broken.
+    fn recover(&self, epoch: &str, shard: usize) -> Result<bool, ShardError>;
+
+    /// Disposes of the epoch's tasks, claims and results once the batch has
+    /// been assembled.
+    fn close_epoch(&self, epoch: &str) -> Result<(), ShardError>;
+}
+
+/// The seam under [`SizingProblem::evaluate_batch`]: a strategy for mapping
+/// a batch of parameter vectors to evaluations.
+///
+/// Implementations must preserve input order and must not change results —
+/// only *where* and *how parallel* the evaluation runs.
+pub trait BatchEvaluator: Sync {
+    /// Evaluates `batch` against `problem`, one result slot per input.
+    fn evaluate_batch(&self, problem: &dyn SizingProblem, batch: &[Vec<f64>]) -> ShardResults;
+}
+
+/// In-process batch evaluation on a work-stealing thread pool (the default
+/// strategy; see [`crate::evaluate_batch_parallel`]).
+#[derive(Debug, Clone, Copy)]
+pub struct LocalEvaluator {
+    threads: usize,
+}
+
+impl LocalEvaluator {
+    /// Creates a local evaluator using up to `threads` worker threads.
+    pub fn new(threads: usize) -> Self {
+        LocalEvaluator {
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl BatchEvaluator for LocalEvaluator {
+    fn evaluate_batch(&self, problem: &dyn SizingProblem, batch: &[Vec<f64>]) -> ShardResults {
+        evaluate_batch_parallel(problem, batch, self.threads)
+    }
+}
+
+/// Tuning knobs of a [`ShardedEvaluator`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardingOptions {
+    /// Maximum number of candidates per shard (minimum 1). Batches at most
+    /// one shard long are evaluated locally without touching the transport.
+    pub shard_size: usize,
+    /// How long the submitter sleeps between polls while every remaining
+    /// shard is claimed by other workers.
+    pub poll_interval: Duration,
+    /// How often the submitter asks the transport to recover shards whose
+    /// claim holder died (checked only while no progress is being made).
+    pub recovery_interval: Duration,
+}
+
+impl Default for ShardingOptions {
+    fn default() -> Self {
+        ShardingOptions {
+            shard_size: 25,
+            poll_interval: Duration::from_millis(10),
+            recovery_interval: Duration::from_secs(1),
+        }
+    }
+}
+
+impl ShardingOptions {
+    /// Options with a specific shard size and default polling behaviour.
+    pub fn with_shard_size(shard_size: usize) -> Self {
+        ShardingOptions {
+            shard_size: shard_size.max(1),
+            ..ShardingOptions::default()
+        }
+    }
+}
+
+/// Shard-aware batch evaluation over a [`ShardTransport`].
+///
+/// `evaluate_batch` splits the batch into consecutive shards of at most
+/// [`ShardingOptions::shard_size`] candidates, publishes them as tasks, and
+/// then *participates* in their evaluation: it repeatedly fetches finished
+/// results, claims any unclaimed shard and evaluates it in-process (through
+/// the problem's own `evaluate_batch`, so the local work-stealing scheduler
+/// still applies inside a shard), and — while blocked on shards held by
+/// other workers — periodically asks the transport to recover shards whose
+/// holder died. Results are reassembled in shard-index order, making the
+/// output bit-identical to an unsharded evaluation.
+///
+/// Transport failures degrade gracefully to local evaluation; a sharded
+/// batch therefore completes (with identical results) even when the data
+/// plane misbehaves or no external worker ever shows up.
+pub struct ShardedEvaluator {
+    transport: Box<dyn ShardTransport>,
+    options: ShardingOptions,
+}
+
+impl ShardedEvaluator {
+    /// Creates a sharded evaluator over `transport`.
+    pub fn new(transport: Box<dyn ShardTransport>, options: ShardingOptions) -> Self {
+        ShardedEvaluator {
+            transport,
+            options: ShardingOptions {
+                shard_size: options.shard_size.max(1),
+                ..options
+            },
+        }
+    }
+
+    /// The evaluator's tuning knobs.
+    pub fn options(&self) -> &ShardingOptions {
+        &self.options
+    }
+
+    /// Splits `len` candidates into consecutive shard ranges of at most
+    /// `shard_size` elements (the deterministic shard layout).
+    pub fn shard_ranges(len: usize, shard_size: usize) -> Vec<std::ops::Range<usize>> {
+        let shard_size = shard_size.max(1);
+        (0..len)
+            .step_by(shard_size)
+            .map(|start| start..(start + shard_size).min(len))
+            .collect()
+    }
+
+    fn evaluate_sharded(&self, problem: &dyn SizingProblem, batch: &[Vec<f64>]) -> ShardResults {
+        let ranges = Self::shard_ranges(batch.len(), self.options.shard_size);
+        if ranges.len() < 2 {
+            return problem.evaluate_batch(batch);
+        }
+        let shards: Vec<&[Vec<f64>]> = ranges.iter().map(|r| &batch[r.clone()]).collect();
+
+        let Ok(epoch) = self.transport.open_epoch(shards.len()) else {
+            return problem.evaluate_batch(batch);
+        };
+        for (index, shard) in shards.iter().enumerate() {
+            if self.transport.publish(&epoch, index, shard).is_err() {
+                // A half-published epoch is unusable; evaluate everything
+                // locally and dispose of what was published.
+                let _ = self.transport.close_epoch(&epoch);
+                return problem.evaluate_batch(batch);
+            }
+        }
+
+        let mut slots: Vec<Option<ShardResults>> = vec![None; shards.len()];
+        let mut errors = vec![0usize; shards.len()];
+        let mut last_recovery = Instant::now();
+        while slots.iter().any(Option::is_none) {
+            let mut progressed = false;
+            for index in 0..shards.len() {
+                if slots[index].is_some() {
+                    continue;
+                }
+                match self.transport.fetch(&epoch, index) {
+                    Ok(Some(results)) if results.len() == shards[index].len() => {
+                        slots[index] = Some(results);
+                        progressed = true;
+                        continue;
+                    }
+                    Ok(_) => {}
+                    Err(_) => errors[index] += 1,
+                }
+                match self.transport.try_claim(&epoch, index) {
+                    Ok(true) => {
+                        let results = problem.evaluate_batch(shards[index]);
+                        let _ = self.transport.submit(&epoch, index, &results);
+                        slots[index] = Some(results);
+                        progressed = true;
+                    }
+                    Ok(false) => {}
+                    Err(_) => errors[index] += 1,
+                }
+                // A repeatedly failing transport must not wedge the batch:
+                // fall back to evaluating the shard in-process. Worst case a
+                // worker evaluates it concurrently — identical results.
+                if errors[index] >= 3 {
+                    slots[index] = Some(problem.evaluate_batch(shards[index]));
+                    progressed = true;
+                }
+            }
+            if slots.iter().all(Option::is_some) {
+                break;
+            }
+            if !progressed {
+                if last_recovery.elapsed() >= self.options.recovery_interval {
+                    for (index, slot) in slots.iter().enumerate() {
+                        if slot.is_none() {
+                            let _ = self.transport.recover(&epoch, index);
+                        }
+                    }
+                    last_recovery = Instant::now();
+                }
+                std::thread::sleep(self.options.poll_interval);
+            }
+        }
+        let _ = self.transport.close_epoch(&epoch);
+
+        let mut assembled = Vec::with_capacity(batch.len());
+        for slot in slots {
+            assembled.extend(slot.expect("every shard slot was filled"));
+        }
+        assembled
+    }
+}
+
+impl BatchEvaluator for ShardedEvaluator {
+    fn evaluate_batch(&self, problem: &dyn SizingProblem, batch: &[Vec<f64>]) -> ShardResults {
+        self.evaluate_sharded(problem, batch)
+    }
+}
+
+/// Binds a [`SizingProblem`] to a [`BatchEvaluator`] strategy behind the
+/// problem trait itself, so every [`Optimizer`](crate::Optimizer) — which
+/// only ever sees `&dyn SizingProblem` — is shard-agnostic.
+///
+/// Single-candidate [`SizingProblem::evaluate`] calls go straight to the
+/// wrapped problem; only whole-batch evaluation is routed through the
+/// evaluator.
+pub struct WithEvaluator<P, E> {
+    problem: P,
+    evaluator: E,
+}
+
+impl<P: SizingProblem, E: BatchEvaluator> WithEvaluator<P, E> {
+    /// Binds `problem` to `evaluator`.
+    pub fn new(problem: P, evaluator: E) -> Self {
+        WithEvaluator { problem, evaluator }
+    }
+}
+
+impl<P: SizingProblem, E: BatchEvaluator> SizingProblem for WithEvaluator<P, E> {
+    fn parameter_count(&self) -> usize {
+        self.problem.parameter_count()
+    }
+
+    fn objectives(&self) -> &[ObjectiveSpec] {
+        self.problem.objectives()
+    }
+
+    fn evaluate(&self, parameters: &[f64]) -> Option<Vec<f64>> {
+        self.problem.evaluate(parameters)
+    }
+
+    fn evaluate_batch(&self, batch: &[Vec<f64>]) -> ShardResults {
+        self.evaluator
+            .evaluate_batch(&self.problem as &dyn SizingProblem, batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnProblem;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    fn problem() -> FnProblem<impl Fn(&[f64]) -> Option<Vec<f64>> + Sync> {
+        FnProblem::new(
+            2,
+            vec![ObjectiveSpec::maximize("f1"), ObjectiveSpec::minimize("f2")],
+            |x: &[f64]| {
+                if x[0] > 0.9 {
+                    None
+                } else {
+                    Some(vec![x[0] + x[1], x[0] * x[1]])
+                }
+            },
+        )
+    }
+
+    fn batch(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![(i as f64) / (n as f64), ((i * 7) % n) as f64 / (n as f64)])
+            .collect()
+    }
+
+    #[derive(Default)]
+    struct MemShard {
+        parameters: Option<Vec<Vec<f64>>>,
+        claimed: bool,
+        dead_claim: bool,
+        results: Option<ShardResults>,
+    }
+
+    /// An in-memory transport; knobs simulate foreign workers and crashes.
+    #[derive(Default)]
+    struct MemTransport {
+        epochs: Mutex<HashMap<String, Vec<MemShard>>>,
+        next_epoch: AtomicUsize,
+        /// When set, every shard starts out with a claim held by a "dead"
+        /// foreign worker, so only recovery can make progress.
+        claim_all_as_dead: AtomicBool,
+        recoveries: AtomicUsize,
+        closed: AtomicUsize,
+    }
+
+    impl ShardTransport for MemTransport {
+        fn open_epoch(&self, shard_count: usize) -> Result<String, ShardError> {
+            let id = format!("ep-{}", self.next_epoch.fetch_add(1, Ordering::Relaxed));
+            let dead = self.claim_all_as_dead.load(Ordering::Relaxed);
+            let shards = (0..shard_count)
+                .map(|_| MemShard {
+                    claimed: dead,
+                    dead_claim: dead,
+                    ..MemShard::default()
+                })
+                .collect();
+            self.epochs.lock().unwrap().insert(id.clone(), shards);
+            Ok(id)
+        }
+
+        fn publish(
+            &self,
+            epoch: &str,
+            shard: usize,
+            parameters: &[Vec<f64>],
+        ) -> Result<(), ShardError> {
+            let mut epochs = self.epochs.lock().unwrap();
+            let shards = epochs
+                .get_mut(epoch)
+                .ok_or_else(|| ShardError::Transport("no epoch".into()))?;
+            shards[shard].parameters = Some(parameters.to_vec());
+            Ok(())
+        }
+
+        fn try_claim(&self, epoch: &str, shard: usize) -> Result<bool, ShardError> {
+            let mut epochs = self.epochs.lock().unwrap();
+            let Some(shards) = epochs.get_mut(epoch) else {
+                return Ok(false);
+            };
+            if shards[shard].claimed {
+                return Ok(false);
+            }
+            shards[shard].claimed = true;
+            Ok(true)
+        }
+
+        fn submit(
+            &self,
+            epoch: &str,
+            shard: usize,
+            results: &ShardResults,
+        ) -> Result<(), ShardError> {
+            let mut epochs = self.epochs.lock().unwrap();
+            if let Some(shards) = epochs.get_mut(epoch) {
+                shards[shard].results = Some(results.clone());
+                shards[shard].claimed = false;
+            }
+            Ok(())
+        }
+
+        fn fetch(&self, epoch: &str, shard: usize) -> Result<Option<ShardResults>, ShardError> {
+            let epochs = self.epochs.lock().unwrap();
+            Ok(epochs
+                .get(epoch)
+                .and_then(|shards| shards[shard].results.clone()))
+        }
+
+        fn recover(&self, epoch: &str, shard: usize) -> Result<bool, ShardError> {
+            self.recoveries.fetch_add(1, Ordering::Relaxed);
+            let mut epochs = self.epochs.lock().unwrap();
+            let Some(shards) = epochs.get_mut(epoch) else {
+                return Ok(false);
+            };
+            if shards[shard].dead_claim {
+                shards[shard].dead_claim = false;
+                shards[shard].claimed = false;
+                return Ok(true);
+            }
+            Ok(false)
+        }
+
+        fn close_epoch(&self, epoch: &str) -> Result<(), ShardError> {
+            self.closed.fetch_add(1, Ordering::Relaxed);
+            self.epochs.lock().unwrap().remove(epoch);
+            Ok(())
+        }
+    }
+
+    /// A transport whose every operation fails.
+    struct BrokenTransport;
+
+    impl ShardTransport for BrokenTransport {
+        fn open_epoch(&self, _: usize) -> Result<String, ShardError> {
+            Err(ShardError::Transport("broken".into()))
+        }
+        fn publish(&self, _: &str, _: usize, _: &[Vec<f64>]) -> Result<(), ShardError> {
+            Err(ShardError::Transport("broken".into()))
+        }
+        fn try_claim(&self, _: &str, _: usize) -> Result<bool, ShardError> {
+            Err(ShardError::Transport("broken".into()))
+        }
+        fn submit(&self, _: &str, _: usize, _: &ShardResults) -> Result<(), ShardError> {
+            Err(ShardError::Transport("broken".into()))
+        }
+        fn fetch(&self, _: &str, _: usize) -> Result<Option<ShardResults>, ShardError> {
+            Err(ShardError::Transport("broken".into()))
+        }
+        fn recover(&self, _: &str, _: usize) -> Result<bool, ShardError> {
+            Err(ShardError::Transport("broken".into()))
+        }
+        fn close_epoch(&self, _: &str) -> Result<(), ShardError> {
+            Err(ShardError::Transport("broken".into()))
+        }
+    }
+
+    #[test]
+    fn shard_ranges_cover_every_index_exactly_once() {
+        for (len, size) in [(0, 4), (1, 4), (4, 4), (5, 4), (37, 5), (10, 1), (3, 100)] {
+            let ranges = ShardedEvaluator::shard_ranges(len, size);
+            let covered: Vec<usize> = ranges.iter().cloned().flatten().collect();
+            assert_eq!(
+                covered,
+                (0..len).collect::<Vec<_>>(),
+                "len={len} size={size}"
+            );
+            assert!(ranges.iter().all(|r| r.len() <= size.max(1)));
+        }
+        // A shard size of zero is clamped, not a division by zero.
+        assert_eq!(ShardedEvaluator::shard_ranges(3, 0).len(), 3);
+    }
+
+    #[test]
+    fn sharded_evaluation_matches_local_evaluation() {
+        let p = problem();
+        let input = batch(23);
+        let expected = p.evaluate_batch(&input);
+        let sharded = ShardedEvaluator::new(
+            Box::new(MemTransport::default()),
+            ShardingOptions::with_shard_size(4),
+        );
+        let bound = WithEvaluator::new(&p, sharded);
+        assert_eq!(bound.evaluate_batch(&input), expected);
+        // Single-candidate evaluation delegates to the problem unchanged.
+        assert_eq!(bound.evaluate(&input[0]), p.evaluate(&input[0]));
+        assert_eq!(bound.parameter_count(), 2);
+        assert_eq!(bound.objective_count(), 2);
+    }
+
+    #[test]
+    fn small_batches_bypass_the_transport() {
+        let p = problem();
+        let transport = MemTransport::default();
+        let input = batch(3);
+        let expected = p.evaluate_batch(&input);
+        let sharded =
+            ShardedEvaluator::new(Box::new(transport), ShardingOptions::with_shard_size(4));
+        // One shard's worth of work: evaluated locally, no epoch opened.
+        assert_eq!(
+            BatchEvaluator::evaluate_batch(&sharded, &p, &input),
+            expected
+        );
+    }
+
+    #[test]
+    fn external_workers_service_shards_concurrently() {
+        let p = problem();
+        let input = batch(40);
+        let expected = p.evaluate_batch(&input);
+        let transport = std::sync::Arc::new(MemTransport::default());
+
+        // A "remote" worker thread mirroring what `ayb serve --shards-only`
+        // does: scan, claim, evaluate, submit.
+        let worker_transport = std::sync::Arc::clone(&transport);
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let worker_stop = std::sync::Arc::clone(&stop);
+        let worker_problem = problem();
+        let worker = std::thread::spawn(move || {
+            let mut serviced = 0usize;
+            while !worker_stop.load(Ordering::Relaxed) {
+                let task = {
+                    let mut epochs = worker_transport.epochs.lock().unwrap();
+                    epochs.iter_mut().find_map(|(epoch, shards)| {
+                        shards.iter_mut().enumerate().find_map(|(index, shard)| {
+                            match (&shard.parameters, shard.claimed, &shard.results) {
+                                (Some(parameters), false, None) => {
+                                    shard.claimed = true;
+                                    Some((epoch.clone(), index, parameters.clone()))
+                                }
+                                _ => None,
+                            }
+                        })
+                    })
+                };
+                match task {
+                    Some((epoch, index, parameters)) => {
+                        let results = worker_problem.evaluate_batch(&parameters);
+                        worker_transport
+                            .submit(&epoch, index, &results)
+                            .expect("in-memory submit succeeds");
+                        serviced += 1;
+                    }
+                    None => std::thread::yield_now(),
+                }
+            }
+            serviced
+        });
+
+        struct SharedTransport(std::sync::Arc<MemTransport>);
+        impl ShardTransport for SharedTransport {
+            fn open_epoch(&self, n: usize) -> Result<String, ShardError> {
+                self.0.open_epoch(n)
+            }
+            fn publish(&self, e: &str, s: usize, p: &[Vec<f64>]) -> Result<(), ShardError> {
+                self.0.publish(e, s, p)
+            }
+            fn try_claim(&self, e: &str, s: usize) -> Result<bool, ShardError> {
+                self.0.try_claim(e, s)
+            }
+            fn submit(&self, e: &str, s: usize, r: &ShardResults) -> Result<(), ShardError> {
+                self.0.submit(e, s, r)
+            }
+            fn fetch(&self, e: &str, s: usize) -> Result<Option<ShardResults>, ShardError> {
+                self.0.fetch(e, s)
+            }
+            fn recover(&self, e: &str, s: usize) -> Result<bool, ShardError> {
+                self.0.recover(e, s)
+            }
+            fn close_epoch(&self, e: &str) -> Result<(), ShardError> {
+                self.0.close_epoch(e)
+            }
+        }
+
+        let sharded = ShardedEvaluator::new(
+            Box::new(SharedTransport(std::sync::Arc::clone(&transport))),
+            ShardingOptions {
+                shard_size: 4,
+                poll_interval: Duration::from_millis(1),
+                recovery_interval: Duration::from_millis(50),
+            },
+        );
+        for _ in 0..3 {
+            assert_eq!(
+                BatchEvaluator::evaluate_batch(&sharded, &p, &input),
+                expected,
+                "concurrent workers never change results"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        let _ = worker.join().unwrap();
+        assert_eq!(
+            transport.closed.load(Ordering::Relaxed),
+            3,
+            "every epoch was disposed after assembly"
+        );
+        assert!(
+            transport.epochs.lock().unwrap().is_empty(),
+            "no epoch state lingers"
+        );
+    }
+
+    #[test]
+    fn dead_worker_claims_are_recovered() {
+        let p = problem();
+        let input = batch(12);
+        let expected = p.evaluate_batch(&input);
+        let transport = MemTransport::default();
+        transport.claim_all_as_dead.store(true, Ordering::Relaxed);
+        let sharded = ShardedEvaluator::new(
+            Box::new(transport),
+            ShardingOptions {
+                shard_size: 4,
+                poll_interval: Duration::from_millis(1),
+                recovery_interval: Duration::from_millis(1),
+            },
+        );
+        // Every shard starts claimed by a dead worker; only the recovery
+        // path can finish the batch.
+        assert_eq!(
+            BatchEvaluator::evaluate_batch(&sharded, &p, &input),
+            expected
+        );
+    }
+
+    #[test]
+    fn broken_transport_degrades_to_local_evaluation() {
+        let p = problem();
+        let input = batch(17);
+        let expected = p.evaluate_batch(&input);
+        let sharded = ShardedEvaluator::new(
+            Box::new(BrokenTransport),
+            ShardingOptions::with_shard_size(4),
+        );
+        assert_eq!(
+            BatchEvaluator::evaluate_batch(&sharded, &p, &input),
+            expected
+        );
+    }
+
+    #[test]
+    fn optimizers_are_shard_agnostic() {
+        use crate::config::GaConfig;
+        use crate::optimizer::OptimizerConfig;
+
+        let plain = problem();
+        for config in [
+            OptimizerConfig::Wbga(GaConfig::small_test()),
+            OptimizerConfig::Nsga2(GaConfig::small_test()),
+            OptimizerConfig::RandomSearch {
+                budget: 96,
+                seed: 9,
+            },
+        ] {
+            let reference = config.build().run(&plain);
+            let sharded = WithEvaluator::new(
+                &plain,
+                ShardedEvaluator::new(
+                    Box::new(MemTransport::default()),
+                    ShardingOptions::with_shard_size(3),
+                ),
+            );
+            let distributed = config.build().run(&sharded);
+            assert_eq!(
+                reference.archive,
+                distributed.archive,
+                "{}: sharding must not change the archive",
+                config.name()
+            );
+            assert_eq!(reference.evaluations, distributed.evaluations);
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Weight-based genetic algorithm (WBGA), the optimiser of the paper (§3.2).
 //!
-//! The defining feature of the WBGA (Hajela & Lin, paper ref. [9]) is that the
+//! The defining feature of the WBGA (Hajela & Lin, paper ref. \[9\]) is that the
 //! objective weights are part of the chromosome itself: the GA string carries
 //! the normalised designable parameters *and* the weight vector (Figure 4/6).
 //! Each individual therefore scalarises the objectives with its own weights

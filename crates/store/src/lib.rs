@@ -15,7 +15,7 @@
 //!
 //! * the **manifest** ([`Manifest`]) records everything needed to recreate
 //!   the run: the RNG seed, the serialized
-//!   [`OptimizerConfig`](ayb_moo::OptimizerConfig) (including any
+//!   [`ayb_moo::OptimizerConfig`] (including any
 //!   early-stopping criterion) and the flow configuration — the latter as a
 //!   caller-supplied type parameter so this crate stays independent of the
 //!   flow layer;
@@ -43,27 +43,54 @@
 //! so that claims left behind by a killed worker can be detected
 //! ([`ClaimInfo::holder_alive`]) and the run re-queued.
 //!
+//! Claims carry a *heartbeat*: holders refresh the claim file's modification
+//! time from a background thread ([`ClaimHeartbeat`],
+//! [`RunHandle::start_claim_heartbeat`]), so recovery can tell a
+//! slow-but-alive holder (fresh heartbeat) from a hung or vanished one
+//! (stale heartbeat) — including holders on *other machines*, whose pids
+//! cannot be probed ([`RunHandle::claim_health`], [`ClaimHealth`]).
+//!
+//! ## Sharded evaluation (the data plane)
+//!
+//! Queued runs distribute whole flows; the [`shards`] module additionally
+//! distributes the *evaluation work inside one run*: a sharded flow
+//! publishes each optimiser population as claimable shard tasks under
+//! `runs/<id>/shards/`, and any number of worker processes — on this or
+//! other machines sharing the store — evaluate them
+//! ([`ShardDataPlane`], [`ShardTask`], [`Store::open_shard_tasks`]).
+//!
 //! The flow layer (`ayb_core::FlowBuilder::with_store` / `resume`), the job
 //! server (`ayb_jobs::JobServer`) and the `ayb` CLI (`run` / `resume` /
 //! `serve` / `submit` / `status` / `list` / `show` / `gc`) are the consumers.
 //!
-//! ```no_run
+//! ```
 //! use ayb_moo::{GaConfig, OptimizerConfig};
-//! use ayb_store::Store;
+//! use ayb_store::{RunStatus, Store};
 //!
 //! # fn main() -> Result<(), ayb_store::StoreError> {
-//! let store = Store::open("./ayb-store")?;
+//! let root = std::env::temp_dir().join(format!("ayb-store-doc-{}", std::process::id()));
+//! let store = Store::open(&root)?;
 //! let run = store.create_run(7, &OptimizerConfig::Wbga(GaConfig::small_test()), &"config")?;
-//! println!("created {} under {}", run.id(), run.dir().display());
-//! for id in store.run_ids()? {
-//!     println!("run: {id}");
-//! }
+//! assert_eq!(run.id(), "run-0001");
+//! assert_eq!(store.run_ids()?, vec!["run-0001".to_string()]);
+//!
+//! // Claim the run for exclusive execution, then finish it.
+//! let claim = run.try_claim("docs-worker")?;
+//! assert_eq!(claim.pid, std::process::id());
+//! run.save_result(&"the result")?;
+//! run.set_status(RunStatus::Completed)?;
+//! run.release_claim()?;
+//! # let _ = std::fs::remove_dir_all(root);
 //! # Ok(())
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod shards;
+
+pub use shards::{ShardDataPlane, ShardSummary, ShardTask};
 
 use ayb_moo::{Checkpoint, OptimizerConfig};
 use serde::{Deserialize, Serialize, Value};
@@ -72,6 +99,7 @@ use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// Errors produced by store operations.
@@ -160,14 +188,46 @@ fn now_unix() -> u64 {
         .unwrap_or(0)
 }
 
+/// A staging-file name segment unique across threads, processes *and hosts*
+/// sharing one store: hostname hash + pid + per-process counter. Pids alone
+/// collide between machines mounting the same store path, and a shared
+/// staging name would let one writer truncate another's temp file mid-write
+/// — publishing a torn "atomic" file.
+fn unique_write_token() -> String {
+    static NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    static HOST_HASH: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    let host_hash = HOST_HASH.get_or_init(|| {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in local_host().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    });
+    format!(
+        "{:08x}-{}-{}",
+        host_hash & 0xffff_ffff,
+        std::process::id(),
+        NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    )
+}
+
 /// Writes `text` to `path` atomically (temp file in the same directory,
-/// then rename), so concurrent readers and crashes never observe a torn file.
+/// then rename), so concurrent readers and crashes never observe a torn
+/// file. The temp name is unique per writer ([`unique_write_token`]), so
+/// even two processes writing the *same* target concurrently — e.g. a
+/// recovered shard re-evaluated while its slow original worker finishes —
+/// each rename a complete file (last one wins, both readable).
 fn write_atomic(path: &Path, text: &str) -> Result<(), StoreError> {
     let mut tmp = path.as_os_str().to_os_string();
-    tmp.push(".tmp");
+    tmp.push(format!(".{}.tmp", unique_write_token()));
     let tmp = PathBuf::from(tmp);
     fs::write(&tmp, text).map_err(|e| io_error(&tmp, e))?;
-    fs::rename(&tmp, path).map_err(|e| io_error(path, e))
+    let renamed = fs::rename(&tmp, path).map_err(|e| io_error(path, e));
+    if renamed.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    renamed
 }
 
 fn read_json<T: Deserialize>(path: &Path) -> Result<T, StoreError> {
@@ -178,6 +238,142 @@ fn read_json<T: Deserialize>(path: &Path) -> Result<T, StoreError> {
 fn write_json<T: Serialize + ?Sized>(path: &Path, value: &T) -> Result<(), StoreError> {
     let text = serde_json::to_string_pretty(value).map_err(|e| json_error(path, e))?;
     write_atomic(path, &text)
+}
+
+// ---------------------------------------------------------------------------
+// Claim machinery (shared by run claims and shard claims)
+// ---------------------------------------------------------------------------
+
+/// Atomically takes the claim lock file at `path` (scratch files staged in
+/// `dir`): `Ok(true)` when this process now holds the claim, `Ok(false)`
+/// when somebody else does — or the parent directory disappeared, which for
+/// claims means the claimable thing itself is gone.
+fn take_claim_file(dir: &Path, path: &Path, info: &ClaimInfo) -> Result<bool, StoreError> {
+    let text = serde_json::to_string_pretty(info).map_err(|e| json_error(path, e))?;
+    let tmp = dir.join(format!(".claim-{}.tmp", unique_write_token()));
+    match fs::write(&tmp, text) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(io_error(&tmp, e)),
+    }
+    let linked = fs::hard_link(&tmp, path);
+    let _ = fs::remove_file(&tmp);
+    match linked {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Ok(false),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+        Err(e) => Err(io_error(path, e)),
+    }
+}
+
+/// Reads the claim at `path`, `None` when no claim exists.
+fn read_claim_file(path: &Path) -> Result<Option<ClaimInfo>, StoreError> {
+    match fs::read_to_string(path) {
+        Ok(text) => serde_json::from_str(&text)
+            .map(Some)
+            .map_err(|e| json_error(path, e)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(io_error(path, e)),
+    }
+}
+
+/// Compare-and-delete of the claim at `path` (scratch staged in `dir`): the
+/// claim is broken only if it still matches `expected`. See
+/// [`RunHandle::break_claim`] for the race analysis.
+fn break_claim_file(dir: &Path, path: &Path, expected: &ClaimInfo) -> Result<bool, StoreError> {
+    // Cheap pre-check: if the claim already changed hands since the caller
+    // read it (recovery scans can be seconds old), never touch the file.
+    if read_claim_file(path)?.as_ref() != Some(expected) {
+        return Ok(false);
+    }
+    let staging = dir.join(format!("claim.breaking-{}", unique_write_token()));
+    match fs::rename(path, &staging) {
+        Ok(()) => {}
+        // Already released or broken by somebody else.
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(io_error(path, e)),
+    }
+    let current: Option<ClaimInfo> = fs::read_to_string(&staging)
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok());
+    if current.as_ref() == Some(expected) {
+        let _ = fs::remove_file(&staging);
+        return Ok(true);
+    }
+    // The claim changed hands between the pre-check and the rename —
+    // restore it. The hard_link only fails if yet another claim landed in
+    // the meantime, in which case the newer claim stays authoritative.
+    let _ = fs::hard_link(&staging, path);
+    let _ = fs::remove_file(&staging);
+    Ok(false)
+}
+
+/// Modification-time age of the file at `path` (the claim heartbeat signal),
+/// `None` when the file does not exist or the clock is unreadable.
+fn file_mtime_age(path: &Path) -> Option<Duration> {
+    let mtime = fs::metadata(path).ok()?.modified().ok()?;
+    SystemTime::now().duration_since(mtime).ok()
+}
+
+/// Refreshes the modification time of the claim file at `path` to "now".
+/// Errors (e.g. the claim was released concurrently) are ignored — a missed
+/// heartbeat tick is harmless.
+fn touch_claim_file(path: &Path) {
+    if let Ok(file) = fs::OpenOptions::new().append(true).open(path) {
+        let _ = file.set_modified(SystemTime::now());
+    }
+}
+
+/// A background thread refreshing a claim file's modification time — the
+/// claim *heartbeat* — every `interval`, until the guard is dropped.
+///
+/// Liveness of a claim holder is judged two ways: by pid (authoritative, but
+/// only on the holder's own host) and by the claim file's modification time
+/// (works across hosts sharing the store, and distinguishes a *slow but
+/// alive* holder — fresh heartbeat — from a *hung or vanished* one — stale
+/// heartbeat). Long-running holders keep a heartbeat guard alive for as long
+/// as they hold the claim; see [`RunHandle::start_claim_heartbeat`].
+#[derive(Debug)]
+pub struct ClaimHeartbeat {
+    stop: Arc<(StdMutex<bool>, Condvar)>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ClaimHeartbeat {
+    /// Starts a heartbeat thread touching `path` every `interval`.
+    pub fn start(path: PathBuf, interval: Duration) -> ClaimHeartbeat {
+        let stop = Arc::new((StdMutex::new(false), Condvar::new()));
+        let thread_stop = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let (lock, wake) = &*thread_stop;
+            let mut stopped = lock.lock().expect("heartbeat lock");
+            loop {
+                let (next, _) = wake
+                    .wait_timeout(stopped, interval)
+                    .expect("heartbeat lock");
+                stopped = next;
+                if *stopped {
+                    return;
+                }
+                touch_claim_file(&path);
+            }
+        });
+        ClaimHeartbeat {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for ClaimHeartbeat {
+    fn drop(&mut self) {
+        let (lock, wake) = &*self.stop;
+        *lock.lock().expect("heartbeat lock") = true;
+        wake.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
 }
 
 /// Lifecycle state of a stored run.
@@ -844,37 +1040,19 @@ impl RunHandle {
     /// Returns [`StoreError::RunClaimed`] when the run is already claimed,
     /// or [`StoreError::Io`]/[`StoreError::Json`] on filesystem failures.
     pub fn try_claim(&self, owner: &str) -> Result<ClaimInfo, StoreError> {
-        static NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let info = ClaimInfo {
-            owner: owner.to_string(),
-            pid: std::process::id(),
-            claimed_unix: now_unix(),
-        };
-        let text =
-            serde_json::to_string_pretty(&info).map_err(|e| json_error(&self.claim_path(), e))?;
-        let tmp = self.dir.join(format!(
-            ".claim-{}-{}.tmp",
-            info.pid,
-            NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-        ));
-        fs::write(&tmp, text).map_err(|e| io_error(&tmp, e))?;
-        let path = self.claim_path();
-        let linked = fs::hard_link(&tmp, &path);
-        let _ = fs::remove_file(&tmp);
-        match linked {
-            Ok(()) => Ok(info),
-            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
-                let owner = self
-                    .claim()
-                    .ok()
-                    .flatten()
-                    .map_or_else(|| "unknown".to_string(), |claim| claim.owner);
-                Err(StoreError::RunClaimed {
-                    run_id: self.run_id.clone(),
-                    owner,
-                })
-            }
-            Err(e) => Err(io_error(&path, e)),
+        let info = ClaimInfo::for_this_process(owner);
+        if take_claim_file(&self.dir, &self.claim_path(), &info)? {
+            Ok(info)
+        } else {
+            let owner = self
+                .claim()
+                .ok()
+                .flatten()
+                .map_or_else(|| "unknown".to_string(), |claim| claim.owner);
+            Err(StoreError::RunClaimed {
+                run_id: self.run_id.clone(),
+                owner,
+            })
         }
     }
 
@@ -886,14 +1064,70 @@ impl RunHandle {
     /// claim file cannot be read (claims are written atomically, so this
     /// indicates external corruption, not a torn write).
     pub fn claim(&self) -> Result<Option<ClaimInfo>, StoreError> {
-        let path = self.claim_path();
-        match fs::read_to_string(&path) {
-            Ok(text) => serde_json::from_str(&text)
-                .map(Some)
-                .map_err(|e| json_error(&path, e)),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(io_error(&path, e)),
-        }
+        read_claim_file(&self.claim_path())
+    }
+
+    /// Age of the run claim's last heartbeat (its file modification time),
+    /// `None` when the run is unclaimed.
+    ///
+    /// Claim holders refresh the heartbeat with
+    /// [`RunHandle::start_claim_heartbeat`]; readers combine this age with
+    /// [`ClaimInfo::holder_alive`] through [`RunHandle::claim_health`].
+    pub fn claim_heartbeat_age(&self) -> Option<Duration> {
+        file_mtime_age(&self.claim_path())
+    }
+
+    /// Starts a heartbeat thread refreshing this run's claim file every
+    /// `interval`, for as long as the returned guard lives.
+    ///
+    /// Meant to be called by the claim *holder* right after a successful
+    /// [`RunHandle::try_claim`]; drop the guard before releasing the claim.
+    pub fn start_claim_heartbeat(&self, interval: Duration) -> ClaimHeartbeat {
+        ClaimHeartbeat::start(self.claim_path(), interval)
+    }
+
+    /// Judges the run claim's health, combining the pid liveness check
+    /// (authoritative on the holder's own host) with the heartbeat age
+    /// (meaningful across hosts): see [`ClaimHealth`]. Returns `None` when
+    /// the run is unclaimed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] when an existing
+    /// claim file cannot be read.
+    pub fn claim_health(
+        &self,
+        max_heartbeat_age: Duration,
+    ) -> Result<Option<(ClaimInfo, ClaimHealth)>, StoreError> {
+        let Some(claim) = self.claim()? else {
+            return Ok(None);
+        };
+        let age = self.claim_heartbeat_age().unwrap_or(Duration::MAX);
+        let health = claim.health(age, max_heartbeat_age);
+        Ok(Some((claim, health)))
+    }
+
+    /// The run's claim *if* its holder is provably gone
+    /// ([`ClaimHealth::Dead`]): a dead pid on this host, or — for claims
+    /// from other hosts, where pids cannot be probed — a heartbeat older
+    /// than `max_heartbeat_age`. Recovery passes break exactly these claims.
+    ///
+    /// A *hung* holder (alive pid, stale heartbeat) is deliberately not
+    /// reported here: stealing a run from a process that may yet wake up
+    /// risks double execution. It is visible via [`RunHandle::claim_health`]
+    /// for operators to act on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] when an existing
+    /// claim file cannot be read.
+    pub fn stale_claim(
+        &self,
+        max_heartbeat_age: Duration,
+    ) -> Result<Option<ClaimInfo>, StoreError> {
+        Ok(self
+            .claim_health(max_heartbeat_age)?
+            .and_then(|(claim, health)| (health == ClaimHealth::Dead).then_some(claim)))
     }
 
     /// Releases the run's claim. Returns whether a claim file existed.
@@ -937,39 +1171,7 @@ impl RunHandle {
     /// Returns [`StoreError::Io`] on rename failures other than the claim
     /// being gone already.
     pub fn break_claim(&self, expected: &ClaimInfo) -> Result<bool, StoreError> {
-        static NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let path = self.claim_path();
-        // Cheap pre-check: if the claim already changed hands since the
-        // caller read it (recovery scans can be seconds old), never touch
-        // the file at all.
-        if self.claim()?.as_ref() != Some(expected) {
-            return Ok(false);
-        }
-        let staging = self.dir.join(format!(
-            "claim.breaking-{}-{}",
-            std::process::id(),
-            NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-        ));
-        match fs::rename(&path, &staging) {
-            Ok(()) => {}
-            // Already released or broken by somebody else.
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
-            Err(e) => return Err(io_error(&path, e)),
-        }
-        let current: Option<ClaimInfo> = fs::read_to_string(&staging)
-            .ok()
-            .and_then(|text| serde_json::from_str(&text).ok());
-        if current.as_ref() == Some(expected) {
-            let _ = fs::remove_file(&staging);
-            return Ok(true);
-        }
-        // The claim changed hands between the pre-check and the rename —
-        // restore it. The hard_link only fails if yet another claim landed
-        // in the meantime, in which case the newer claim stays
-        // authoritative.
-        let _ = fs::hard_link(&staging, &path);
-        let _ = fs::remove_file(&staging);
-        Ok(false)
+        break_claim_file(&self.dir, &self.claim_path(), expected)
     }
 
     /// Deletes all but the newest `keep_last` checkpoints (resuming only
@@ -996,27 +1198,79 @@ impl RunHandle {
     }
 }
 
+/// Health judgment of a claim, combining pid liveness and heartbeat age
+/// (see [`RunHandle::claim_health`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimHealth {
+    /// The holder is alive: a live pid on this host, or a fresh heartbeat
+    /// from anywhere.
+    Alive,
+    /// The holder's pid is alive on this host but its heartbeat went stale:
+    /// the process is hung (or never heartbeats). Not safe to steal — it may
+    /// wake up — but worth surfacing to operators.
+    Hung,
+    /// The holder is provably (or presumably) gone: dead pid on this host,
+    /// or a foreign-host claim whose heartbeat went stale. Recovery may
+    /// break the claim.
+    Dead,
+}
+
 /// Contents of a run's `claim.json` lock file: who is executing the run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Deserialize` is implemented by hand so claims written before the `host`
+/// field existed still load: an absent host defaults to *this* host, which
+/// preserves the pre-heartbeat pid-based liveness semantics for old claims.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct ClaimInfo {
     /// Caller-supplied label of the claiming worker (for diagnostics).
     pub owner: String,
     /// OS process id of the claiming process.
     pub pid: u32,
+    /// Hostname of the claiming process — pid liveness checks are only
+    /// meaningful on the claimant's own host; stores shared between machines
+    /// rely on the claim heartbeat instead.
+    pub host: String,
     /// Claim time, seconds since the Unix epoch.
     pub claimed_unix: u64,
 }
 
 impl ClaimInfo {
+    /// A claim record describing this process (the normal way claims are
+    /// minted; [`RunHandle::try_claim`] uses it).
+    pub fn for_this_process(owner: &str) -> ClaimInfo {
+        ClaimInfo {
+            owner: owner.to_string(),
+            pid: std::process::id(),
+            host: local_host().to_string(),
+            claimed_unix: now_unix(),
+        }
+    }
+
+    /// Whether the claim was minted on this host (making its pid probeable).
+    pub fn same_host(&self) -> bool {
+        self.host == local_host()
+    }
+
+    /// Whether this claim's pid can be probed *authoritatively*: its own
+    /// process always can; other same-host pids only where `/proc` exists.
+    /// Everywhere else liveness must be judged by heartbeat age instead.
+    fn pid_probe_is_authoritative(&self) -> bool {
+        self.same_host() && (self.pid == std::process::id() || cfg!(target_os = "linux"))
+    }
+
     /// Whether the claiming process still appears to be alive.
     ///
-    /// The claiming process itself always sees `true`. For other pids this
-    /// checks `/proc/<pid>` on Linux; on platforms without `/proc` the claim
-    /// is conservatively considered alive until it is an hour old (so a
-    /// recovery pass never steals a run from a live worker, at the cost of
-    /// slower crash recovery).
+    /// The claiming process itself always sees `true`. For other pids on
+    /// *this host* the check is `/proc/<pid>` on Linux (an hour's grace on
+    /// platforms without `/proc`). Claims minted on **other hosts** are
+    /// conservatively considered alive — a foreign pid cannot be probed;
+    /// judge those by heartbeat age instead ([`ClaimInfo::health`],
+    /// [`RunHandle::claim_health`]).
     pub fn holder_alive(&self) -> bool {
-        if self.pid == std::process::id() {
+        if self.pid == std::process::id() && self.same_host() {
+            return true;
+        }
+        if !self.same_host() {
             return true;
         }
         #[cfg(target_os = "linux")]
@@ -1028,6 +1282,64 @@ impl ClaimInfo {
             now_unix().saturating_sub(self.claimed_unix) < 3600
         }
     }
+
+    /// Judges this claim's health given its heartbeat age (the claim file's
+    /// modification-time age) and the staleness threshold.
+    ///
+    /// Where the pid can be probed authoritatively (same host with `/proc`,
+    /// or the holder is this very process) the pid decides dead-vs-alive and
+    /// the heartbeat only distinguishes [`ClaimHealth::Hung`]. Everywhere
+    /// else — other hosts, or platforms without `/proc` — the heartbeat is
+    /// the only trustworthy signal, so a fresh heartbeat always means
+    /// [`ClaimHealth::Alive`] (a long-running holder is never mistaken for
+    /// dead just because a pid guess timed out).
+    pub fn health(&self, heartbeat_age: Duration, max_heartbeat_age: Duration) -> ClaimHealth {
+        if self.pid_probe_is_authoritative() {
+            if !self.holder_alive() {
+                ClaimHealth::Dead
+            } else if heartbeat_age > max_heartbeat_age {
+                ClaimHealth::Hung
+            } else {
+                ClaimHealth::Alive
+            }
+        } else if heartbeat_age > max_heartbeat_age {
+            ClaimHealth::Dead
+        } else {
+            ClaimHealth::Alive
+        }
+    }
+}
+
+impl Deserialize for ClaimInfo {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        // Claims written before the heartbeat work carried no host; treating
+        // them as local preserves their original pid-based semantics.
+        let host = match value.get("host") {
+            Some(field) => Deserialize::from_value(field)?,
+            None => local_host().to_string(),
+        };
+        Ok(ClaimInfo {
+            owner: Deserialize::from_value(serde::__field(value, "owner")?)?,
+            pid: Deserialize::from_value(serde::__field(value, "pid")?)?,
+            host,
+            claimed_unix: Deserialize::from_value(serde::__field(value, "claimed_unix")?)?,
+        })
+    }
+}
+
+/// This machine's hostname, as recorded in claim files: read once from
+/// `/proc/sys/kernel/hostname` (Linux) or the `HOSTNAME` environment
+/// variable, falling back to `"unknown-host"`.
+pub fn local_host() -> &'static str {
+    static HOST: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    HOST.get_or_init(|| {
+        fs::read_to_string("/proc/sys/kernel/hostname")
+            .ok()
+            .map(|name| name.trim().to_string())
+            .filter(|name| !name.is_empty())
+            .or_else(|| std::env::var("HOSTNAME").ok().filter(|h| !h.is_empty()))
+            .unwrap_or_else(|| "unknown-host".to_string())
+    })
 }
 
 #[cfg(test)]
@@ -1362,16 +1674,107 @@ mod tests {
             // No Linux pid can be u32::MAX (pid_max tops out at 2^22), so
             // this claimant is reliably "not running".
             pid: u32::MAX,
+            host: local_host().to_string(),
             claimed_unix: now_unix(),
         };
+        assert!(claim.same_host());
         #[cfg(target_os = "linux")]
         assert!(!claim.holder_alive());
-        let own = ClaimInfo {
-            owner: "me".to_string(),
-            pid: std::process::id(),
-            claimed_unix: 0,
-        };
+        let own = ClaimInfo::for_this_process("me");
+        assert_eq!(own.pid, std::process::id());
         assert!(own.holder_alive());
+        // A claim from another host cannot be probed by pid: conservatively
+        // alive, judged by heartbeat age instead.
+        let foreign = ClaimInfo {
+            host: "some-other-host".to_string(),
+            ..claim.clone()
+        };
+        assert!(!foreign.same_host());
+        assert!(foreign.holder_alive());
+        assert_eq!(
+            foreign.health(Duration::from_secs(1), Duration::from_secs(30)),
+            ClaimHealth::Alive
+        );
+        assert_eq!(
+            foreign.health(Duration::from_secs(60), Duration::from_secs(30)),
+            ClaimHealth::Dead
+        );
+        #[cfg(target_os = "linux")]
+        assert_eq!(
+            claim.health(Duration::ZERO, Duration::from_secs(30)),
+            ClaimHealth::Dead,
+            "a dead pid on this host is dead however fresh the file looks"
+        );
+        assert_eq!(
+            own.health(Duration::from_secs(60), Duration::from_secs(30)),
+            ClaimHealth::Hung,
+            "an alive pid that stopped heartbeating is hung, not dead"
+        );
+    }
+
+    #[test]
+    fn claim_heartbeat_refreshes_mtime_and_recovery_respects_it() {
+        let (root, store) = temp_store();
+        let run = store.create_run(7, &optimizer(), &fake_flow()).unwrap();
+        run.try_claim("heartbeating-worker").unwrap();
+
+        // Age the claim file artificially, then let the heartbeat refresh it.
+        let claim_path = run.dir().join(CLAIM_FILE);
+        let past = SystemTime::now() - Duration::from_secs(600);
+        fs::OpenOptions::new()
+            .append(true)
+            .open(&claim_path)
+            .unwrap()
+            .set_modified(past)
+            .unwrap();
+        assert!(run.claim_heartbeat_age().unwrap() > Duration::from_secs(500));
+        // Slow-but-alive holders look hung once their heartbeat lapses...
+        let (_, health) = run.claim_health(Duration::from_secs(30)).unwrap().unwrap();
+        assert_eq!(health, ClaimHealth::Hung);
+        // ...but a hung same-host holder with a live pid is never *stolen*.
+        assert_eq!(run.stale_claim(Duration::from_secs(30)).unwrap(), None);
+
+        let heartbeat = run.start_claim_heartbeat(Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(
+            run.claim_heartbeat_age().unwrap() < Duration::from_secs(10),
+            "heartbeat thread refreshed the claim mtime"
+        );
+        let (_, health) = run.claim_health(Duration::from_secs(30)).unwrap().unwrap();
+        assert_eq!(health, ClaimHealth::Alive);
+        drop(heartbeat);
+
+        // A foreign-host claim is judged purely by heartbeat age.
+        run.release_claim().unwrap();
+        let foreign = ClaimInfo {
+            owner: "remote".to_string(),
+            pid: 1,
+            host: "another-host".to_string(),
+            claimed_unix: now_unix(),
+        };
+        write_json(&claim_path, &foreign).unwrap();
+        assert_eq!(
+            run.stale_claim(Duration::from_secs(3600)).unwrap(),
+            None,
+            "fresh foreign claim is presumed alive"
+        );
+        fs::OpenOptions::new()
+            .append(true)
+            .open(&claim_path)
+            .unwrap()
+            .set_modified(past)
+            .unwrap();
+        assert_eq!(
+            run.stale_claim(Duration::from_secs(30)).unwrap(),
+            Some(foreign),
+            "stale foreign claim is recoverable"
+        );
+
+        // An unclaimed run has no heartbeat and no health.
+        run.release_claim().unwrap();
+        assert_eq!(run.claim_heartbeat_age(), None);
+        assert_eq!(run.claim_health(Duration::from_secs(30)).unwrap(), None);
+        let _ = fs::remove_dir_all(root);
     }
 
     #[test]

@@ -1,0 +1,694 @@
+//! The on-disk shard data plane: distributed batch evaluation over a shared
+//! store.
+//!
+//! PR 3's job server distributes whole *runs* (the control plane); this
+//! module distributes the *evaluation work inside one run* (the data plane).
+//! A sharded flow splits each optimiser population into deterministic,
+//! index-ordered shards and publishes them under its run directory:
+//!
+//! ```text
+//! <root>/runs/<run_id>/shards/<epoch>/
+//!     shard_0000.task.json     # candidate parameters of shard 0
+//!     shard_0000.claim.json    # present while a worker evaluates shard 0
+//!     shard_0000.result.json   # evaluations of shard 0, once done
+//!     shard_0001.task.json
+//!     ...
+//! ```
+//!
+//! One *epoch* directory corresponds to one `evaluate_batch` call (one
+//! optimiser generation, typically) and is disposed of once the submitter
+//! has assembled every shard's results. Claims use the same atomic
+//! hard-link lock files as run claims, so any number of worker processes —
+//! `ayb serve` on this machine or on other hosts mounting the same store —
+//! race safely for shards: exactly one wins each, and a worker that dies
+//! mid-shard is recovered (its claim broken, the shard re-evaluated) without
+//! changing any result, because candidate evaluation is pure and results are
+//! written atomically.
+//!
+//! [`ShardDataPlane`] is the submitter's view — it implements
+//! [`ayb_moo::ShardTransport`], plugging the store into
+//! [`ayb_moo::ShardedEvaluator`]. [`ShardTask`] / [`Store::open_shard_tasks`]
+//! are the worker's view: scan, claim, evaluate, submit.
+//!
+//! ```
+//! use ayb_store::ShardDataPlane;
+//! use ayb_moo::{Evaluation, ShardTransport};
+//! use std::time::Duration;
+//!
+//! let dir = std::env::temp_dir().join(format!("ayb-shard-doc-{}", std::process::id()));
+//! let plane = ShardDataPlane::open(&dir, Duration::from_secs(30));
+//! let epoch = plane.open_epoch(1).unwrap();
+//! plane.publish(&epoch, 0, &[vec![0.5, 0.5]]).unwrap();
+//! assert!(plane.try_claim(&epoch, 0).unwrap());
+//! plane
+//!     .submit(&epoch, 0, &vec![Some(Evaluation::new(vec![0.5, 0.5], vec![1.0]))])
+//!     .unwrap();
+//! assert!(plane.fetch(&epoch, 0).unwrap().is_some());
+//! plane.close_epoch(&epoch).unwrap();
+//! # let _ = std::fs::remove_dir_all(dir);
+//! ```
+
+use crate::{
+    break_claim_file, file_mtime_age, io_error, read_claim_file, read_json, take_claim_file,
+    write_json, ClaimHealth, ClaimInfo, RunHandle, RunStatus, Store, StoreError,
+};
+use ayb_moo::{Evaluation, ShardError, ShardResults, ShardTransport};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Subdirectory of a run holding its shard epochs.
+const SHARD_DIR: &str = "shards";
+
+fn task_name(shard: usize) -> String {
+    format!("shard_{shard:04}.task.json")
+}
+
+fn claim_name(shard: usize) -> String {
+    format!("shard_{shard:04}.claim.json")
+}
+
+fn result_name(shard: usize) -> String {
+    format!("shard_{shard:04}.result.json")
+}
+
+/// Parses `shard_NNNN.task.json` back into `NNNN`.
+fn parse_task_name(name: &str) -> Option<usize> {
+    name.strip_prefix("shard_")?
+        .strip_suffix(".task.json")?
+        .parse()
+        .ok()
+}
+
+/// On-disk form of one shard's input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ShardTaskFile {
+    /// Normalised candidate parameter vectors, in shard-local order.
+    parameters: Vec<Vec<f64>>,
+}
+
+/// On-disk form of one shard's output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ShardResultFile {
+    /// One entry per candidate, in shard-local order.
+    results: Vec<Option<Evaluation>>,
+}
+
+fn transport_error(error: StoreError) -> ShardError {
+    ShardError::Transport(error.to_string())
+}
+
+/// The submitter's handle on a run's shard directory; implements
+/// [`ShardTransport`] so an [`ayb_moo::ShardedEvaluator`] can distribute its
+/// batches through the store (see [`RunHandle::shard_plane`]).
+#[derive(Debug, Clone)]
+pub struct ShardDataPlane {
+    dir: PathBuf,
+    stale_after: Duration,
+}
+
+impl ShardDataPlane {
+    /// Opens a shard plane rooted at `dir` (usually
+    /// `runs/<id>/shards`, via [`RunHandle::shard_plane`]); shard claims
+    /// whose holder cannot be probed are considered dead once their
+    /// heartbeat is older than `stale_after`.
+    pub fn open(dir: impl Into<PathBuf>, stale_after: Duration) -> ShardDataPlane {
+        ShardDataPlane {
+            dir: dir.into(),
+            stale_after,
+        }
+    }
+
+    fn epoch_dir(&self, epoch: &str) -> PathBuf {
+        self.dir.join(epoch)
+    }
+}
+
+impl ShardTransport for ShardDataPlane {
+    fn open_epoch(&self, _shard_count: usize) -> Result<String, ShardError> {
+        static NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let epoch = format!(
+            "ep-{}-{}-{}",
+            crate::now_unix(),
+            std::process::id(),
+            NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        );
+        let dir = self.epoch_dir(&epoch);
+        fs::create_dir_all(&dir).map_err(|e| transport_error(io_error(&dir, e)))?;
+        Ok(epoch)
+    }
+
+    fn publish(
+        &self,
+        epoch: &str,
+        shard: usize,
+        parameters: &[Vec<f64>],
+    ) -> Result<(), ShardError> {
+        let path = self.epoch_dir(epoch).join(task_name(shard));
+        write_json(
+            &path,
+            &ShardTaskFile {
+                parameters: parameters.to_vec(),
+            },
+        )
+        .map_err(transport_error)
+    }
+
+    fn try_claim(&self, epoch: &str, shard: usize) -> Result<bool, ShardError> {
+        let dir = self.epoch_dir(epoch);
+        let info = ClaimInfo::for_this_process("shard-submitter");
+        take_claim_file(&dir, &dir.join(claim_name(shard)), &info).map_err(transport_error)
+    }
+
+    fn submit(&self, epoch: &str, shard: usize, results: &ShardResults) -> Result<(), ShardError> {
+        let dir = self.epoch_dir(epoch);
+        write_json(
+            &dir.join(result_name(shard)),
+            &ShardResultFile {
+                results: results.clone(),
+            },
+        )
+        .map_err(transport_error)?;
+        let _ = fs::remove_file(dir.join(claim_name(shard)));
+        Ok(())
+    }
+
+    fn fetch(&self, epoch: &str, shard: usize) -> Result<Option<ShardResults>, ShardError> {
+        let path = self.epoch_dir(epoch).join(result_name(shard));
+        if !path.is_file() {
+            return Ok(None);
+        }
+        let file: ShardResultFile = read_json(&path).map_err(transport_error)?;
+        Ok(Some(file.results))
+    }
+
+    fn recover(&self, epoch: &str, shard: usize) -> Result<bool, ShardError> {
+        let dir = self.epoch_dir(epoch);
+        let path = dir.join(claim_name(shard));
+        let Some(claim) = read_claim_file(&path).map_err(transport_error)? else {
+            return Ok(false);
+        };
+        let age = file_mtime_age(&path).unwrap_or(Duration::MAX);
+        // Shard claims may be broken more aggressively than run claims:
+        // duplicate shard evaluation is benign (pure function, atomic result
+        // writes), so even a *hung* local holder is recovered once its claim
+        // goes stale — the batch must not wedge behind it.
+        let stale = match claim.health(age, self.stale_after) {
+            ClaimHealth::Alive => false,
+            ClaimHealth::Hung | ClaimHealth::Dead => true,
+        };
+        if !stale {
+            return Ok(false);
+        }
+        break_claim_file(&dir, &path, &claim).map_err(transport_error)
+    }
+
+    fn close_epoch(&self, epoch: &str) -> Result<(), ShardError> {
+        match fs::remove_dir_all(self.epoch_dir(epoch)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(transport_error(io_error(&self.epoch_dir(epoch), e))),
+        }
+        // Opportunistically drop the now-empty `shards/` parent, so idle
+        // workers can dismiss this run with a single stat instead of a
+        // directory scan (fails harmlessly if another epoch is open).
+        let _ = fs::remove_dir(&self.dir);
+        Ok(())
+    }
+}
+
+/// Counts of a run's open shard work (see [`RunHandle::shard_summary`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// Open evaluation epochs under the run.
+    pub epochs: usize,
+    /// Published shard tasks across all open epochs.
+    pub tasks: usize,
+    /// Shards currently claimed by a worker.
+    pub claimed: usize,
+    /// Shards whose results have been submitted.
+    pub completed: usize,
+}
+
+impl RunHandle {
+    fn shards_dir(&self) -> PathBuf {
+        self.dir().join(SHARD_DIR)
+    }
+
+    /// The run's shard data plane, ready to plug into an
+    /// [`ayb_moo::ShardedEvaluator`]; see [`ShardDataPlane::open`] for
+    /// `stale_after`.
+    pub fn shard_plane(&self, stale_after: Duration) -> ShardDataPlane {
+        ShardDataPlane::open(self.shards_dir(), stale_after)
+    }
+
+    /// Counts the run's open shard epochs, tasks, claims and results (for
+    /// `ayb status` and monitoring).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when a directory scan fails.
+    pub fn shard_summary(&self) -> Result<ShardSummary, StoreError> {
+        let mut summary = ShardSummary::default();
+        let shards = self.shards_dir();
+        if !shards.is_dir() {
+            return Ok(summary);
+        }
+        for epoch in read_dir_sorted(&shards)? {
+            if !epoch.is_dir() {
+                continue;
+            }
+            summary.epochs += 1;
+            for path in read_dir_sorted(&epoch)? {
+                let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                    continue;
+                };
+                if name.ends_with(".task.json") {
+                    summary.tasks += 1;
+                } else if name.ends_with(".claim.json") {
+                    summary.claimed += 1;
+                } else if name.ends_with(".result.json") {
+                    summary.completed += 1;
+                }
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Removes every shard epoch under the run, returning how many were
+    /// swept.
+    ///
+    /// Only safe for the run's exclusive owner (claim holder) or for
+    /// housekeeping of terminal runs: a sharded flow sweeps leftovers from a
+    /// dead predecessor when it starts, and `ayb gc` sweeps the shards of
+    /// completed runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when an epoch directory cannot be removed.
+    pub fn sweep_shards(&self) -> Result<usize, StoreError> {
+        let shards = self.shards_dir();
+        if !shards.is_dir() {
+            return Ok(0);
+        }
+        let mut swept = 0;
+        for epoch in read_dir_sorted(&shards)? {
+            if !epoch.is_dir() {
+                continue;
+            }
+            match fs::remove_dir_all(&epoch) {
+                Ok(()) => swept += 1,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(io_error(&epoch, e)),
+            }
+        }
+        // Drop the empty parent too, so worker scans dismiss this run with
+        // one stat (harmless failure if an epoch opened concurrently).
+        let _ = fs::remove_dir(&shards);
+        Ok(swept)
+    }
+}
+
+/// Directory entries of `dir`, sorted by name for deterministic scans.
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, StoreError> {
+    let entries = fs::read_dir(dir).map_err(|e| io_error(dir, e))?;
+    let mut paths = Vec::new();
+    for entry in entries {
+        paths.push(entry.map_err(|e| io_error(dir, e))?.path());
+    }
+    paths.sort();
+    Ok(paths)
+}
+
+/// A claimable shard evaluation task, as seen by a worker (see
+/// [`Store::open_shard_tasks`]): claim it, load its parameters, evaluate
+/// them, submit the results.
+#[derive(Debug, Clone)]
+pub struct ShardTask {
+    run_id: String,
+    epoch: String,
+    shard: usize,
+    epoch_dir: PathBuf,
+}
+
+impl ShardTask {
+    /// The run this shard belongs to.
+    pub fn run_id(&self) -> &str {
+        &self.run_id
+    }
+
+    /// The evaluation epoch (one optimiser batch) this shard belongs to.
+    pub fn epoch(&self) -> &str {
+        &self.epoch
+    }
+
+    /// The shard's index within its epoch.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    fn claim_path(&self) -> PathBuf {
+        self.epoch_dir.join(claim_name(self.shard))
+    }
+
+    /// Atomically claims the shard for evaluation by this process. Returns
+    /// `false` when another worker already holds it — or the epoch has been
+    /// disposed of in the meantime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] on filesystem
+    /// failures other than the ordinary lost race.
+    pub fn try_claim(&self, owner: &str) -> Result<bool, StoreError> {
+        let info = ClaimInfo::for_this_process(owner);
+        take_claim_file(&self.epoch_dir, &self.claim_path(), &info)
+    }
+
+    /// Starts a heartbeat on this shard's claim (see [`crate::ClaimHeartbeat`]),
+    /// protecting a slow evaluation from aggressive recovery.
+    pub fn start_claim_heartbeat(&self, interval: Duration) -> crate::ClaimHeartbeat {
+        crate::ClaimHeartbeat::start(self.claim_path(), interval)
+    }
+
+    /// Loads the shard's candidate parameters; `None` when the epoch was
+    /// closed (the submitter assembled the batch without this shard —
+    /// nothing left to do).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Json`] when an existing task file is malformed.
+    pub fn load_parameters(&self) -> Result<Option<Vec<Vec<f64>>>, StoreError> {
+        let path = self.epoch_dir.join(task_name(self.shard));
+        if !path.is_file() {
+            return Ok(None);
+        }
+        let file: ShardTaskFile = read_json(&path)?;
+        Ok(Some(file.parameters))
+    }
+
+    /// Atomically writes the shard's results and releases this worker's
+    /// claim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] when the result
+    /// cannot be written (e.g. the epoch was closed mid-evaluation; the
+    /// submitter no longer needs the result, so callers treat this as a
+    /// skip, not a failure).
+    pub fn submit_results(&self, results: &[Option<Evaluation>]) -> Result<(), StoreError> {
+        write_json(
+            &self.epoch_dir.join(result_name(self.shard)),
+            &ShardResultFile {
+                results: results.to_vec(),
+            },
+        )?;
+        let _ = fs::remove_file(self.claim_path());
+        Ok(())
+    }
+
+    /// Releases this worker's claim without submitting a result (e.g. the
+    /// task file vanished after the claim).
+    pub fn release(&self) {
+        let _ = fs::remove_file(self.claim_path());
+    }
+}
+
+impl Store {
+    /// Scans for claimable shard evaluation tasks: published shards of
+    /// `Running` runs that have no result and no claim yet, in deterministic
+    /// (run, epoch, shard) order.
+    ///
+    /// Workers iterate the list and [`ShardTask::try_claim`] each candidate;
+    /// a lost race simply moves on to the next. Shards whose claim holder
+    /// died are re-offered once the submitter's recovery pass breaks the
+    /// stale claim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the runs directory cannot be read
+    /// (individual unreadable runs are skipped).
+    pub fn open_shard_tasks(&self) -> Result<Vec<ShardTask>, StoreError> {
+        let mut tasks = Vec::new();
+        for run_id in self.run_ids()? {
+            // Cheap checks first: workers poll this scan every tick, and a
+            // store full of finished runs must cost stats, not JSON manifest
+            // parses. Runs without open epochs (the overwhelming majority —
+            // `close_epoch`/`sweep_shards` remove empty `shards/` dirs) are
+            // dismissed before their manifest is ever read.
+            let Ok(handle) = self.run(&run_id) else {
+                continue;
+            };
+            let shards = handle.shards_dir();
+            if !shards.is_dir() {
+                continue;
+            }
+            let Ok(epochs) = read_dir_sorted(&shards) else {
+                continue;
+            };
+            if epochs.is_empty() {
+                continue;
+            }
+            // Only the claim-holding flow of a Running run publishes shards;
+            // anything else has no live epochs worth scanning.
+            if handle.status().ok() != Some(RunStatus::Running) {
+                continue;
+            }
+            for epoch_dir in epochs {
+                if !epoch_dir.is_dir() {
+                    continue;
+                }
+                let Some(epoch) = epoch_dir
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .map(String::from)
+                else {
+                    continue;
+                };
+                let Ok(entries) = read_dir_sorted(&epoch_dir) else {
+                    continue;
+                };
+                for path in entries {
+                    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                        continue;
+                    };
+                    let Some(shard) = parse_task_name(name) else {
+                        continue;
+                    };
+                    if epoch_dir.join(result_name(shard)).is_file()
+                        || epoch_dir.join(claim_name(shard)).is_file()
+                    {
+                        continue;
+                    }
+                    tasks.push(ShardTask {
+                        run_id: run_id.clone(),
+                        epoch: epoch.clone(),
+                        shard,
+                        epoch_dir: epoch_dir.clone(),
+                    });
+                }
+            }
+        }
+        Ok(tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ayb_moo::{GaConfig, OptimizerConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_store() -> (PathBuf, Store) {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let unique = format!(
+            "ayb-shards-test-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let root = std::env::temp_dir().join(unique);
+        let store = Store::open(&root).expect("store opens");
+        (root, store)
+    }
+
+    fn running_run(store: &Store) -> RunHandle {
+        store
+            .create_run(
+                7,
+                &OptimizerConfig::Wbga(GaConfig::small_test()),
+                &"flow-config",
+            )
+            .expect("run created")
+    }
+
+    fn evaluation(x: f64) -> Option<Evaluation> {
+        Some(Evaluation::new(vec![x], vec![x * 2.0]))
+    }
+
+    #[test]
+    fn publish_claim_submit_fetch_roundtrip() {
+        let (root, store) = temp_store();
+        let run = running_run(&store);
+        let plane = run.shard_plane(Duration::from_secs(30));
+
+        let epoch = plane.open_epoch(2).unwrap();
+        plane.publish(&epoch, 0, &[vec![0.1], vec![0.2]]).unwrap();
+        plane.publish(&epoch, 1, &[vec![0.3]]).unwrap();
+        assert_eq!(plane.fetch(&epoch, 0).unwrap(), None);
+
+        assert!(plane.try_claim(&epoch, 0).unwrap());
+        assert!(!plane.try_claim(&epoch, 0).unwrap(), "claims are exclusive");
+
+        let results = vec![evaluation(0.1), None];
+        plane.submit(&epoch, 0, &results).unwrap();
+        assert_eq!(plane.fetch(&epoch, 0).unwrap(), Some(results));
+        // Submitting released the claim.
+        assert!(plane.try_claim(&epoch, 0).unwrap());
+
+        let summary = run.shard_summary().unwrap();
+        assert_eq!(summary.epochs, 1);
+        assert_eq!(summary.tasks, 2);
+        assert_eq!(summary.completed, 1);
+        assert_eq!(summary.claimed, 1);
+
+        plane.close_epoch(&epoch).unwrap();
+        assert_eq!(run.shard_summary().unwrap(), ShardSummary::default());
+        // Closing twice is fine.
+        plane.close_epoch(&epoch).unwrap();
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn workers_discover_claim_and_service_tasks() {
+        let (root, store) = temp_store();
+        let run = running_run(&store);
+        let plane = run.shard_plane(Duration::from_secs(30));
+        let epoch = plane.open_epoch(2).unwrap();
+        plane.publish(&epoch, 0, &[vec![0.1]]).unwrap();
+        plane.publish(&epoch, 1, &[vec![0.2]]).unwrap();
+
+        let tasks = store.open_shard_tasks().unwrap();
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[0].run_id(), run.id());
+        assert_eq!(tasks[0].epoch(), epoch);
+        assert_eq!((tasks[0].shard(), tasks[1].shard()), (0, 1));
+
+        // Worker services shard 0 end to end.
+        let task = &tasks[0];
+        assert!(task.try_claim("worker-a").unwrap());
+        assert!(!task.try_claim("worker-b").unwrap());
+        let parameters = task.load_parameters().unwrap().unwrap();
+        assert_eq!(parameters, vec![vec![0.1]]);
+        task.submit_results(&[evaluation(0.1)]).unwrap();
+        assert_eq!(plane.fetch(&epoch, 0).unwrap(), Some(vec![evaluation(0.1)]));
+
+        // Serviced and claimed shards disappear from the scan.
+        assert!(tasks[1].try_claim("worker-c").unwrap());
+        assert!(store.open_shard_tasks().unwrap().is_empty());
+        tasks[1].release();
+        assert_eq!(store.open_shard_tasks().unwrap().len(), 1);
+
+        // Tasks of non-Running runs are never offered.
+        run.set_status(RunStatus::Interrupted).unwrap();
+        assert!(store.open_shard_tasks().unwrap().is_empty());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn claiming_a_closed_epoch_is_a_clean_miss() {
+        let (root, store) = temp_store();
+        let run = running_run(&store);
+        let plane = run.shard_plane(Duration::from_secs(30));
+        let epoch = plane.open_epoch(1).unwrap();
+        plane.publish(&epoch, 0, &[vec![0.5]]).unwrap();
+        let tasks = store.open_shard_tasks().unwrap();
+        assert_eq!(tasks.len(), 1);
+
+        // The submitter assembles and closes the epoch before the worker
+        // gets to the task: the claim must fail gracefully, not error.
+        plane.close_epoch(&epoch).unwrap();
+        assert!(!tasks[0].try_claim("late-worker").unwrap());
+        assert_eq!(tasks[0].load_parameters().unwrap(), None);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn dead_worker_shard_claims_are_recovered() {
+        let (root, store) = temp_store();
+        let run = running_run(&store);
+        let plane = run.shard_plane(Duration::from_secs(30));
+        let epoch = plane.open_epoch(1).unwrap();
+        plane.publish(&epoch, 0, &[vec![0.5]]).unwrap();
+
+        // Forge a claim from a dead process on this host (no Linux pid is
+        // ever u32::MAX).
+        let dead = ClaimInfo {
+            owner: "dead-shard-worker".to_string(),
+            pid: u32::MAX,
+            host: crate::local_host().to_string(),
+            claimed_unix: crate::now_unix(),
+        };
+        let claim_path = run.shards_dir().join(&epoch).join(claim_name(0));
+        crate::write_json(&claim_path, &dead).unwrap();
+        assert!(!plane.try_claim(&epoch, 0).unwrap(), "claim is held");
+
+        // Recovery breaks the dead claim; the shard is claimable again.
+        assert!(plane.recover(&epoch, 0).unwrap());
+        assert!(plane.try_claim(&epoch, 0).unwrap());
+        // A live claim (ours) is never recovered: fresh heartbeat, live pid.
+        assert!(!plane.recover(&epoch, 0).unwrap());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn foreign_host_claims_go_stale_by_heartbeat_age() {
+        let (root, store) = temp_store();
+        let run = running_run(&store);
+        let plane = run.shard_plane(Duration::from_millis(50));
+        let epoch = plane.open_epoch(1).unwrap();
+        plane.publish(&epoch, 0, &[vec![0.5]]).unwrap();
+
+        let foreign = ClaimInfo {
+            owner: "worker-on-another-box".to_string(),
+            pid: std::process::id(), // same pid, *different* host
+            host: "some-other-host".to_string(),
+            claimed_unix: crate::now_unix(),
+        };
+        let claim_path = run.shards_dir().join(&epoch).join(claim_name(0));
+        crate::write_json(&claim_path, &foreign).unwrap();
+
+        // Fresh heartbeat: the foreign worker is presumed alive.
+        assert!(!plane.recover(&epoch, 0).unwrap());
+        // Stale heartbeat: presumed dead, claim broken.
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(plane.recover(&epoch, 0).unwrap());
+        assert!(plane.try_claim(&epoch, 0).unwrap());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn sweep_shards_clears_stale_epochs() {
+        let (root, store) = temp_store();
+        let run = running_run(&store);
+        let plane = run.shard_plane(Duration::from_secs(30));
+        for _ in 0..3 {
+            let epoch = plane.open_epoch(1).unwrap();
+            plane.publish(&epoch, 0, &[vec![0.5]]).unwrap();
+        }
+        assert_eq!(run.shard_summary().unwrap().epochs, 3);
+        assert_eq!(run.sweep_shards().unwrap(), 3);
+        assert_eq!(run.shard_summary().unwrap(), ShardSummary::default());
+        assert_eq!(run.sweep_shards().unwrap(), 0, "second sweep is a no-op");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn task_names_roundtrip() {
+        assert_eq!(parse_task_name(&task_name(0)), Some(0));
+        assert_eq!(parse_task_name(&task_name(123)), Some(123));
+        assert_eq!(parse_task_name("shard_0001.result.json"), None);
+        assert_eq!(parse_task_name("shard_x.task.json"), None);
+        assert_eq!(parse_task_name("claim.json"), None);
+    }
+}

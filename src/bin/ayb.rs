@@ -4,11 +4,14 @@
 //! ```text
 //! ayb run    [--store DIR] [--id RUN_ID] [--scale reduced|demo|paper]
 //!            [--seed N] [--optimizer wbga|nsga2|random] [--threads N]
-//!            [--early-stop K] [--halt-after N] [--quiet]
+//!            [--early-stop K] [--sharded] [--shard-size N]
+//!            [--halt-after N] [--quiet]
 //! ayb resume [--store DIR] RUN_ID [--halt-after N] [--quiet]
 //! ayb submit [--store DIR] [--id RUN_ID] [--scale S] [--seed N]
 //!            [--optimizer O] [--threads N] [--early-stop K]
-//! ayb serve  [--store DIR] [--workers N] [--drain] [--poll-ms MS] [--quiet]
+//!            [--sharded] [--shard-size N]
+//! ayb serve  [--store DIR] [--workers N] [--drain] [--shards-only]
+//!            [--poll-ms MS] [--quiet]
 //! ayb status [--store DIR] [RUN_ID]
 //! ayb list   [--store DIR]
 //! ayb show   [--store DIR] RUN_ID [--digest]
@@ -35,7 +38,7 @@
 use ayb_core::{AybError, FlowBuilder, FlowConfig, FlowObserver, FlowResult, FlowStage};
 use ayb_jobs::{JobEvent, JobServer, JobServerConfig};
 use ayb_moo::{CheckpointError, EarlyStop, OptimizerConfig};
-use ayb_store::{Manifest, RunStatus, Store};
+use ayb_store::{ClaimHealth, Manifest, RunStatus, Store};
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -46,11 +49,14 @@ ayb — durable, resumable model-generation runs (DATE'08 flow)
 USAGE:
     ayb run    [--store DIR] [--id RUN_ID] [--scale reduced|demo|paper]
                [--seed N] [--optimizer wbga|nsga2|random] [--threads N]
-               [--early-stop K] [--halt-after N] [--quiet]
+               [--early-stop K] [--sharded] [--shard-size N]
+               [--halt-after N] [--quiet]
     ayb resume [--store DIR] RUN_ID [--halt-after N] [--quiet]
     ayb submit [--store DIR] [--id RUN_ID] [--scale S] [--seed N]
                [--optimizer O] [--threads N] [--early-stop K]
-    ayb serve  [--store DIR] [--workers N] [--drain] [--poll-ms MS] [--quiet]
+               [--sharded] [--shard-size N]
+    ayb serve  [--store DIR] [--workers N] [--drain] [--shards-only]
+               [--poll-ms MS] [--quiet]
     ayb status [--store DIR] [RUN_ID]
     ayb list   [--store DIR]
     ayb show   [--store DIR] RUN_ID [--digest]
@@ -64,9 +70,14 @@ OPTIONS:
     --optimizer O         wbga (default, the paper's), nsga2, random
     --threads N           Worker threads for batch circuit evaluation
     --early-stop K        Stop after K generations without front improvement
+    --sharded             Evaluate populations through the store's shard data
+                          plane (any `ayb serve` process sharing the store helps)
+    --shard-size N        Candidates per shard (default: scale-dependent)
     --halt-after N        Interrupt the run after N checkpoints (simulated crash)
     --workers N           Job-server worker threads (default 2)
     --drain               Serve until the queue is empty, then exit
+    --shards-only         Never claim whole runs; only service shard
+                          evaluation tasks (pure evaluation worker)
     --poll-ms MS          Queue poll interval in milliseconds (default 200)
     --keep-checkpoints K  gc: checkpoints to keep per completed run (default 1)
     --sweep-all           gc: remove *.tmp files regardless of age
@@ -133,6 +144,9 @@ struct CliArgs {
     halt_after: Option<usize>,
     workers: Option<usize>,
     drain: bool,
+    sharded: bool,
+    shard_size: Option<usize>,
+    shards_only: bool,
     poll_ms: Option<u64>,
     keep_checkpoints: Option<usize>,
     sweep_all: bool,
@@ -172,6 +186,12 @@ impl CliArgs {
                     parsed.workers = Some(parse_number(&value_of("--workers")?, "--workers")?)
                 }
                 "--drain" => parsed.drain = true,
+                "--sharded" => parsed.sharded = true,
+                "--shard-size" => {
+                    parsed.shard_size =
+                        Some(parse_number(&value_of("--shard-size")?, "--shard-size")?)
+                }
+                "--shards-only" => parsed.shards_only = true,
                 "--poll-ms" => {
                     parsed.poll_ms = Some(parse_number(&value_of("--poll-ms")?, "--poll-ms")?)
                 }
@@ -262,6 +282,12 @@ fn build_flow_setup(args: &CliArgs) -> Result<(FlowConfig, OptimizerConfig), Str
     if let Some(patience) = args.early_stop {
         config.ga.early_stop = Some(EarlyStop::after_stalled_generations(patience));
     }
+    if args.sharded {
+        config.sharded = true;
+    }
+    if let Some(shard_size) = args.shard_size {
+        config.shard_size = shard_size.max(1);
+    }
 
     let mut optimizer = match args.optimizer.as_deref().unwrap_or("wbga") {
         "wbga" => OptimizerConfig::Wbga(config.ga),
@@ -336,6 +362,7 @@ fn cmd_serve(args: &CliArgs) -> Result<(), String> {
     let store = args.open_store()?;
     let mut config = JobServerConfig {
         drain: args.drain,
+        shards_only: args.shards_only,
         ..JobServerConfig::default()
     };
     if let Some(workers) = args.workers {
@@ -349,10 +376,15 @@ fn cmd_serve(args: &CliArgs) -> Result<(), String> {
     let server = JobServer::new(store, config);
     if !args.quiet {
         eprintln!(
-            "[ayb] serving {} (workers: {}, mode: {})",
+            "[ayb] serving {} (workers: {}, mode: {}{})",
             server.store().root().display(),
             workers,
             if args.drain { "drain" } else { "poll" },
+            if args.shards_only {
+                ", shards-only"
+            } else {
+                ""
+            },
         );
         server.set_event_hook(|event| eprintln!("[ayb] {}", render_event(event)));
     }
@@ -363,6 +395,7 @@ fn cmd_serve(args: &CliArgs) -> Result<(), String> {
     println!("failed: {}", report.failed.len());
     println!("skipped: {}", report.skipped.len());
     println!("requeued: {}", report.requeued.len());
+    println!("shards_serviced: {}", report.shards_serviced);
     if report.failed.is_empty() {
         Ok(())
     } else {
@@ -396,6 +429,15 @@ fn render_event(event: &JobEvent) -> String {
             worker,
             message,
         } => format!("worker {worker} failed {run_id}: {message}"),
+        JobEvent::ShardServiced {
+            run_id,
+            epoch,
+            shard,
+            candidates,
+            worker,
+        } => format!(
+            "worker {worker} serviced shard {shard} of {run_id}/{epoch} ({candidates} candidates)"
+        ),
     }
 }
 
@@ -414,31 +456,36 @@ fn cmd_status(args: &CliArgs) -> Result<(), String> {
     }
     let mut counts: Vec<(&'static str, usize)> = Vec::new();
     println!(
-        "{:<16} {:<12} {:<24} {:>12}",
-        "RUN", "STATUS", "CLAIM", "CHECKPOINTS"
+        "{:<16} {:<12} {:<26} {:>12} {:>12}",
+        "RUN", "STATUS", "CLAIM", "CHECKPOINTS", "SHARDS"
     );
     for id in &ids {
         let row = store.run(id).and_then(|handle| {
             let status = handle.status()?;
-            let claim = handle.claim()?;
+            let claim = handle.claim_health(CLAIM_HEALTH_MAX_HEARTBEAT_AGE)?;
             let checkpoints = handle.checkpoint_generations()?.len();
-            Ok((status, claim, checkpoints))
+            let shards = handle.shard_summary()?;
+            Ok((status, claim, checkpoints, shards))
         });
         match row {
-            Ok((status, claim, checkpoints)) => {
+            Ok((status, claim, checkpoints, shards)) => {
                 match counts.iter_mut().find(|(name, _)| *name == status.as_str()) {
                     Some((_, count)) => *count += 1,
                     None => counts.push((status.as_str(), 1)),
                 }
                 let claim = match claim {
-                    Some(claim) if claim.holder_alive() => {
-                        format!("{} (pid {})", claim.owner, claim.pid)
+                    Some((claim, health)) => {
+                        format!("{} ({})", claim.owner, render_claim_health(health))
                     }
-                    Some(claim) => format!("{} (stale)", claim.owner),
                     None => "-".to_string(),
                 };
+                let shards = if shards.tasks > 0 {
+                    format!("{}/{}", shards.completed, shards.tasks)
+                } else {
+                    "-".to_string()
+                };
                 println!(
-                    "{id:<16} {:<12} {claim:<24} {checkpoints:>12}",
+                    "{id:<16} {:<12} {claim:<26} {checkpoints:>12} {shards:>12}",
                     status.as_str()
                 );
             }
@@ -453,26 +500,47 @@ fn cmd_status(args: &CliArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// Heartbeat age beyond which `ayb status` reports a claim as hung/stale
+/// (matches the job server's default `reclaim_grace`).
+const CLAIM_HEALTH_MAX_HEARTBEAT_AGE: Duration = Duration::from_secs(30);
+
+fn render_claim_health(health: ClaimHealth) -> &'static str {
+    match health {
+        ClaimHealth::Alive => "alive",
+        ClaimHealth::Hung => "hung?",
+        ClaimHealth::Dead => "stale",
+    }
+}
+
 fn status_of_run(store: &Store, id: &str) -> Result<(), String> {
     let handle = store.run(id).map_err(|e| e.to_string())?;
     let status = handle.status().map_err(|e| e.to_string())?;
     println!("run_id: {id}");
     println!("status: {status}");
-    match handle.claim().map_err(|e| e.to_string())? {
-        Some(claim) => println!(
-            "claim: {} (pid {}, {})",
+    match handle
+        .claim_health(CLAIM_HEALTH_MAX_HEARTBEAT_AGE)
+        .map_err(|e| e.to_string())?
+    {
+        Some((claim, health)) => println!(
+            "claim: {} (pid {} on {}, {})",
             claim.owner,
             claim.pid,
-            if claim.holder_alive() {
-                "alive"
-            } else {
-                "stale"
-            }
+            claim.host,
+            render_claim_health(health)
         ),
         None => println!("claim: none"),
     }
     let checkpoints = handle.checkpoint_generations().map_err(|e| e.to_string())?;
     println!("checkpoints: {}", checkpoints.len());
+    let shards = handle.shard_summary().map_err(|e| e.to_string())?;
+    if shards.tasks > 0 {
+        println!(
+            "shards: {}/{} done ({} claimed, {} epochs open)",
+            shards.completed, shards.tasks, shards.claimed, shards.epochs
+        );
+    } else {
+        println!("shards: none open");
+    }
     println!(
         "result: {}",
         if handle.has_result() {
@@ -503,6 +571,7 @@ fn cmd_gc(args: &CliArgs) -> Result<(), String> {
     let swept = store.sweep_tmp_files(min_age).map_err(|e| e.to_string())?;
     let mut pruned = 0usize;
     let mut pruned_runs = 0usize;
+    let mut shard_epochs = 0usize;
     for id in store.run_ids().map_err(|e| e.to_string())? {
         let Ok(handle) = store.run(&id) else { continue };
         // Only completed runs are pruned; anything still resumable keeps
@@ -515,11 +584,15 @@ fn cmd_gc(args: &CliArgs) -> Result<(), String> {
             pruned += removed.len();
             pruned_runs += 1;
         }
+        // Shard epochs of a completed run are dead weight: the submitting
+        // flow assembled (or abandoned) every batch long ago.
+        shard_epochs += handle.sweep_shards().map_err(|e| e.to_string())?;
     }
     println!("tmp_files_removed: {}", swept.len());
     println!(
         "checkpoints_pruned: {pruned} (across {pruned_runs} completed runs, keeping last {keep})"
     );
+    println!("shard_epochs_swept: {shard_epochs}");
     Ok(())
 }
 

@@ -111,11 +111,17 @@ fn sigkilled_workers_run_is_reclaimed_and_resumes_bit_identically() {
     assert_eq!(handle.status().unwrap(), RunStatus::Interrupted);
 
     // Forge the rest of the SIGKILL aftermath: status still `Running` and a
-    // claim whose holder is long dead (no Linux pid is ever u32::MAX).
+    // claim whose holder is long dead (no Linux pid is ever u32::MAX). The
+    // host is this machine's, so pid liveness — not heartbeat age — decides.
     handle.set_status(RunStatus::Running).unwrap();
+    let dead_claim = ayb_store::ClaimInfo {
+        pid: u32::MAX,
+        claimed_unix: 1,
+        ..ayb_store::ClaimInfo::for_this_process("dead-worker")
+    };
     std::fs::write(
         handle.dir().join("claim.json"),
-        r#"{"owner": "dead-worker", "pid": 4294967295, "claimed_unix": 1}"#,
+        serde_json::to_string_pretty(&dead_claim).unwrap(),
     )
     .unwrap();
 

@@ -224,3 +224,69 @@ proptest! {
         prop_assert_eq!(back, manifest);
     }
 }
+
+proptest! {
+    // Each case runs three whole optimisations against a filesystem-backed
+    // shard plane; a smaller case count keeps the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Sharded and unsharded evaluation of the same population return
+    /// identical objective vectors (archives, counters) for all three
+    /// optimisers: the shard data plane moves work, never results.
+    #[test]
+    fn sharded_and_unsharded_evaluation_are_identical_for_all_optimizers(
+        seed in 0u64..10_000,
+        shard_size in 1usize..6,
+    ) {
+        use ayb_moo::{
+            FnProblem, GaConfig, ObjectiveSpec, OptimizerConfig, ShardedEvaluator,
+            ShardingOptions, WithEvaluator,
+        };
+        use ayb_store::ShardDataPlane;
+        use std::time::Duration;
+
+        let problem = FnProblem::new(
+            2,
+            vec![ObjectiveSpec::maximize("f1"), ObjectiveSpec::minimize("f2")],
+            |x: &[f64]| {
+                if x[0] + x[1] > 1.8 {
+                    None // an infeasible region, so `None` slots shard too
+                } else {
+                    Some(vec![x[0] + x[1], (x[0] - x[1]).abs()])
+                }
+            },
+        );
+        let ga = GaConfig::small_test().with_seed(seed);
+        for config in [
+            OptimizerConfig::Wbga(ga),
+            OptimizerConfig::Nsga2(ga),
+            OptimizerConfig::RandomSearch { budget: 64, seed },
+        ] {
+            let reference = config.build().run(&problem);
+
+            let dir = std::env::temp_dir().join(format!(
+                "ayb-prop-shard-{}-{seed}-{shard_size}-{}",
+                std::process::id(),
+                config.name()
+            ));
+            let plane = ShardDataPlane::open(&dir, Duration::from_secs(30));
+            let sharded_problem = WithEvaluator::new(
+                &problem,
+                ShardedEvaluator::new(
+                    Box::new(plane),
+                    ShardingOptions::with_shard_size(shard_size),
+                ),
+            );
+            let sharded = config.build().run(&sharded_problem);
+            let _ = std::fs::remove_dir_all(&dir);
+
+            prop_assert!(
+                reference.archive == sharded.archive,
+                "{}: archives must match",
+                config.name()
+            );
+            prop_assert_eq!(reference.evaluations, sharded.evaluations);
+            prop_assert_eq!(reference.failed_evaluations, sharded.failed_evaluations);
+        }
+    }
+}

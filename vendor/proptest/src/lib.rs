@@ -63,7 +63,7 @@ pub mod collection {
     use rand::{Rng, RngCore};
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed size or a size range.
+    /// Length specification for [`vec()`]: a fixed size or a size range.
     pub trait SizeRange {
         /// Draws a length.
         fn sample_len<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize;

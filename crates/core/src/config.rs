@@ -34,13 +34,16 @@ pub struct FlowConfig {
     /// `OtaSizingProblem::with_threads`) and by the per-point Monte Carlo
     /// stage. Thread count never changes results, only wall-clock time.
     pub threads: usize,
-    /// When `true` *and* the flow runs against a store, optimiser
-    /// populations are evaluated through the store's shard data plane:
-    /// batches split into [`FlowConfig::shard_size`]-candidate shards that
-    /// any `ayb serve` worker process sharing the store — on this machine or
-    /// another host — may claim and evaluate. Sharding never changes
-    /// results (shards reassemble in index order), only where they are
-    /// computed; without a store the flag falls back to local evaluation.
+    /// When `true` *and* the flow runs against a store, the flow's heavy
+    /// stages go through the store's shard data plane: optimiser populations
+    /// split into [`FlowConfig::shard_size`]-candidate evaluation shards,
+    /// and the Monte Carlo variation stage (stage 4) publishes one task per
+    /// analysed Pareto point — either of which any `ayb serve` worker
+    /// process sharing the store, on this machine or another host, may claim
+    /// and service. Sharding never changes results (shards reassemble in
+    /// index order; variation points carry per-point derived seeds), only
+    /// where the work is computed; without a store the flag falls back to
+    /// local execution.
     pub sharded: bool,
     /// Maximum number of candidates per shard when [`FlowConfig::sharded`]
     /// is set (minimum 1; batches at most one shard long are evaluated

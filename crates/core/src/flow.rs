@@ -43,11 +43,15 @@ use crate::ota_problem::{measure_testbench, OtaSizingProblem};
 use ayb_behavioral::{CombinedOtaModel, ModelError, ParetoPointData};
 use ayb_circuit::ota::{build_open_loop_testbench, OtaParameters};
 use ayb_moo::{
-    Checkpoint, CheckpointControl, CheckpointError, Evaluation, OptimizationResult,
-    OptimizerConfig, ShardedEvaluator, ShardingOptions, SizingProblem, WithEvaluator,
+    drive_epoch, Checkpoint, CheckpointControl, CheckpointError, EpochWork, Evaluation,
+    OptimizationResult, OptimizerConfig, ShardError, ShardTransport, ShardedEvaluator,
+    ShardingOptions, SizingProblem, WithEvaluator,
 };
 use ayb_process::{montecarlo, Summary};
-use ayb_store::{ClaimHeartbeat, Manifest, RunHandle, RunStatus, Store, StoreError};
+use ayb_store::{
+    ClaimHeartbeat, Manifest, RunHandle, RunStatus, ShardDataPlane, ShardOutcome, ShardWork,
+    ShardWorkKind, Store, StoreError, VariationOutcome,
+};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -95,20 +99,57 @@ impl From<ModelError> for FlowError {
 }
 
 /// Wall-clock timings of the flow stages (Table 5's CPU-time column).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is implemented by hand so results persisted before the
+/// per-point work accounting existed still load (absent fields default to
+/// zero).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
 pub struct FlowTimings {
     /// Multi-objective optimisation time.
     pub optimization: Duration,
-    /// Monte Carlo variation-analysis time.
+    /// Monte Carlo variation-analysis time — the *submitter's* wall clock
+    /// for the stage. For sharded runs most of the per-point work happens in
+    /// other processes; compare [`FlowTimings::mc_point_seconds`] for the
+    /// actual work done.
     pub monte_carlo: Duration,
     /// Model construction time.
     pub model_build: Duration,
+    /// Number of Pareto points that went through Monte Carlo analysis
+    /// (including points whose analysis produced no data, and points
+    /// restored from variation checkpoints on resume).
+    pub mc_points: usize,
+    /// Summed per-point analysis wall-clock seconds, counted by whichever
+    /// process analysed each point — so serial and sharded runs report
+    /// comparable work even though their submitter wall clocks differ.
+    pub mc_point_seconds: f64,
 }
 
 impl FlowTimings {
     /// Total flow time.
     pub fn total(&self) -> Duration {
         self.optimization + self.monte_carlo + self.model_build
+    }
+}
+
+impl Deserialize for FlowTimings {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        // The per-point accounting postdates the first persisted results;
+        // absent fields mean "not recorded", not a malformed file.
+        let mc_points = match value.get("mc_points") {
+            Some(field) => Deserialize::from_value(field)?,
+            None => 0,
+        };
+        let mc_point_seconds = match value.get("mc_point_seconds") {
+            Some(field) => Deserialize::from_value(field)?,
+            None => 0.0,
+        };
+        Ok(FlowTimings {
+            optimization: Deserialize::from_value(serde::__field(value, "optimization")?)?,
+            monte_carlo: Deserialize::from_value(serde::__field(value, "monte_carlo")?)?,
+            model_build: Deserialize::from_value(serde::__field(value, "model_build")?)?,
+            mc_points,
+            mc_point_seconds,
+        })
     }
 }
 
@@ -127,14 +168,19 @@ pub struct FlowSummary {
     pub mc_samples_per_point: usize,
     /// Total CPU (wall-clock) time of the flow in seconds.
     pub cpu_time_seconds: f64,
+    /// Summed per-point Monte Carlo analysis seconds, counted where the
+    /// work actually ran (see [`FlowTimings::mc_point_seconds`]): the
+    /// comparable work column for serial vs sharded runs.
+    pub mc_work_seconds: f64,
 }
 
 impl FlowSummary {
-    /// Copy with the wall-clock column zeroed, for comparing the
+    /// Copy with the wall-clock columns zeroed, for comparing the
     /// deterministic part of two summaries.
     #[must_use]
     pub fn without_timing(mut self) -> Self {
         self.cpu_time_seconds = 0.0;
+        self.mc_work_seconds = 0.0;
         self
     }
 }
@@ -169,6 +215,7 @@ impl FlowResult {
             analysed_pareto_points: self.pareto_data.len(),
             mc_samples_per_point: config.monte_carlo.samples,
             cpu_time_seconds: self.timings.total().as_secs_f64(),
+            mc_work_seconds: self.timings.mc_point_seconds,
         }
     }
 
@@ -224,25 +271,50 @@ pub fn subsample_front(front: &[Evaluation], limit: usize) -> Vec<Evaluation> {
         .collect()
 }
 
-/// Runs the Monte Carlo variation analysis (§3.4) for one Pareto point.
+/// Derives the Monte Carlo seed of Pareto point `index` from the flow's base
+/// `monte_carlo.seed` (splitmix64-style mixing).
 ///
-/// Returns `None` when the nominal candidate cannot be re-simulated or every
-/// Monte Carlo sample fails.
-pub fn analyse_pareto_point(
+/// Every analysed point gets its own reproducible, statistically independent
+/// sample stream — and because the seed depends only on the base seed and
+/// the point's index in the analysed front, *any* process analysing point
+/// `index` (the submitting flow, a resumed flow, or a remote shard worker)
+/// draws the identical sequence. This is what makes the sharded variation
+/// stage bit-identical to the serial one.
+pub fn point_mc_seed(base_seed: u64, index: usize) -> u64 {
+    let mut z = base_seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs the Monte Carlo variation analysis (§3.4) for one Pareto point
+/// identified by its normalised parameter vector, drawing samples from
+/// `mc_seed`.
+///
+/// This is the shared kernel of the serial stage, the sharded submitter and
+/// the `ayb serve` shard workers: all three call it with the same
+/// `(parameters, config, seed)` triple for a given point, so the result is
+/// identical wherever the point is analysed. Returns `None` when the
+/// nominal candidate cannot be re-simulated or every Monte Carlo sample
+/// fails.
+pub fn analyse_variation_point(
     problem: &OtaSizingProblem,
-    point: &Evaluation,
+    parameters: &[f64],
     config: &FlowConfig,
+    mc_seed: u64,
 ) -> Option<ParetoPointData> {
-    let design_point = problem.design_point(&point.parameters)?;
+    let design_point = problem.design_point(parameters)?;
     let ota_params = OtaParameters::from_design_point(&design_point);
-    let nominal = problem.performance(&point.parameters)?;
+    let nominal = problem.performance(parameters)?;
     let circuit = build_open_loop_testbench(&ota_params, &config.testbench).ok()?;
 
+    let mut monte_carlo = config.monte_carlo;
+    monte_carlo.seed = mc_seed;
     let sweep = config.sweep.clone();
     let run = montecarlo::run_parallel(
         &circuit,
         &config.variation,
-        &config.monte_carlo,
+        &monte_carlo,
         config.threads,
         move |sample| {
             measure_testbench(sample, &sweep).map(|perf| (perf.gain_db, perf.phase_margin_deg))
@@ -263,6 +335,60 @@ pub fn analyse_pareto_point(
         unity_gain_hz: nominal.unity_gain_hz,
         parameters: design_point,
     })
+}
+
+/// Runs the Monte Carlo variation analysis (§3.4) for one Pareto point with
+/// the flow's base Monte Carlo seed.
+///
+/// Standalone-analysis convenience over [`analyse_variation_point`]; the
+/// flow's variation *stage* derives a per-point seed with [`point_mc_seed`]
+/// instead, so its points are statistically independent.
+pub fn analyse_pareto_point(
+    problem: &OtaSizingProblem,
+    point: &Evaluation,
+    config: &FlowConfig,
+) -> Option<ParetoPointData> {
+    analyse_variation_point(problem, &point.parameters, config, config.monte_carlo.seed)
+}
+
+/// One analysed Pareto point as persisted per-point in
+/// `checkpoints/variation_NNNN.json` (durable runs) and carried over the
+/// shard plane (sharded runs).
+///
+/// `data: None` records that the point was analysed but produced no usable
+/// variation data — a deterministic outcome that must be remembered, or a
+/// resumed flow would re-analyse the point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationPointRecord {
+    /// The point's variation data, when the analysis succeeded.
+    pub data: Option<ParetoPointData>,
+    /// Wall-clock seconds spent analysing the point, by whichever process
+    /// did it (feeds [`FlowTimings::mc_point_seconds`]).
+    pub elapsed_seconds: f64,
+}
+
+impl VariationPointRecord {
+    /// Converts to the store's opaque wire form (see
+    /// [`ayb_store::VariationOutcome`]).
+    fn to_outcome(&self) -> VariationOutcome {
+        VariationOutcome {
+            data: self.data.as_ref().map(Serialize::to_value),
+            elapsed_seconds: self.elapsed_seconds,
+        }
+    }
+
+    /// Parses the store's wire form back; `None` when the payload is
+    /// malformed (the shard then simply stays pending and is re-analysed).
+    fn from_outcome(outcome: &VariationOutcome) -> Option<VariationPointRecord> {
+        let data = match &outcome.data {
+            None => None,
+            Some(value) => Some(Deserialize::from_value(value).ok()?),
+        };
+        Some(VariationPointRecord {
+            data,
+            elapsed_seconds: outcome.elapsed_seconds,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -321,6 +447,37 @@ pub trait FlowObserver {
     }
 }
 
+/// Boundaries of the variation stage (stage 4) at which a flow can halt —
+/// the variation-stage counterpart of the optimiser's checkpoint
+/// boundaries.
+///
+/// Used by [`FlowBuilder::halt_variation_when`] to inject deterministic
+/// faults: a hook returning `true` stops the flow at that boundary exactly
+/// as a crash would (status [`RunStatus::Interrupted`], every completed
+/// point checkpointed, resumable to a bit-identical result). The chaos test
+/// harness (`tests/chaos.rs`) scripts kill-points over these boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariationBoundary {
+    /// A point's analysis was claimed by this process (serial path: the
+    /// point is about to be analysed).
+    Claim {
+        /// Index of the point in the analysed front.
+        point: usize,
+    },
+    /// A point's record landed (and, for durable runs, its variation
+    /// checkpoint was written).
+    ResultWrite {
+        /// Index of the point in the analysed front.
+        point: usize,
+    },
+    /// The variation epoch is about to be disposed of (sharded path only).
+    EpochClose,
+}
+
+/// Decides whether the flow halts at a variation boundary (`true` = halt);
+/// see [`FlowBuilder::halt_variation_when`].
+pub type VariationHaltHook = Arc<dyn Fn(VariationBoundary) -> bool + Send + Sync>;
+
 /// A [`FlowObserver`] that logs stage transitions to stderr.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StderrObserver;
@@ -372,6 +529,7 @@ pub struct FlowBuilder {
     resume_from: Option<(RunHandle, Option<Checkpoint>)>,
     halt_after_checkpoints: Option<usize>,
     halt_signal: Option<Arc<AtomicBool>>,
+    variation_halt: Option<VariationHaltHook>,
     claim_owner: Option<String>,
 }
 
@@ -389,6 +547,7 @@ impl FlowBuilder {
             resume_from: None,
             halt_after_checkpoints: None,
             halt_signal: None,
+            variation_halt: None,
             claim_owner: None,
         }
     }
@@ -417,6 +576,7 @@ impl FlowBuilder {
             resume_from: Some((handle, checkpoint)),
             halt_after_checkpoints: None,
             halt_signal: None,
+            variation_halt: None,
             claim_owner: None,
         })
     }
@@ -490,14 +650,30 @@ impl FlowBuilder {
     }
 
     /// Registers an external halt signal: whenever `signal` reads `true` at
-    /// a checkpoint boundary, the run stops gracefully exactly as
+    /// a checkpoint boundary — an optimiser generation checkpoint, or a
+    /// variation-stage point boundary — the run stops gracefully exactly as
     /// [`FlowBuilder::halt_after_checkpoints`] would — status
     /// [`RunStatus::Interrupted`], every checkpoint on disk, resumable to a
     /// bit-identical result. This is how a job server drains its workers on
-    /// shutdown without losing (or perturbing) any run.
+    /// shutdown without losing (or perturbing) any run, whichever stage they
+    /// are in.
     #[must_use]
     pub fn halt_when(mut self, signal: Arc<AtomicBool>) -> Self {
         self.halt_signal = Some(signal);
+        self
+    }
+
+    /// Registers a deterministic fault-injection hook over the variation
+    /// stage's boundaries (see [`VariationBoundary`]): whenever the hook
+    /// returns `true` the flow halts at that exact boundary, leaving on-disk
+    /// state indistinguishable from a crash there (apart from the recorded
+    /// [`RunStatus::Interrupted`] status) and resumable to a bit-identical
+    /// result. This is the variation-stage counterpart of
+    /// [`FlowBuilder::halt_after_checkpoints`], used by the chaos test
+    /// harness to script crash schedules.
+    #[must_use]
+    pub fn halt_variation_when(mut self, hook: VariationHaltHook) -> Self {
+        self.variation_halt = Some(hook);
         self
     }
 
@@ -698,6 +874,8 @@ impl FlowBuilder {
             selected,
             run,
             claim_heartbeat,
+            halt_signal: self.halt_signal,
+            variation_halt: self.variation_halt,
             timings: FlowTimings {
                 optimization: optimization_time,
                 ..FlowTimings::default()
@@ -726,7 +904,27 @@ pub struct OptimizedFlow {
     selected: Vec<Evaluation>,
     run: Option<RunHandle>,
     claim_heartbeat: Option<ClaimHeartbeat>,
+    halt_signal: Option<Arc<AtomicBool>>,
+    variation_halt: Option<VariationHaltHook>,
     timings: FlowTimings,
+}
+
+/// How the variation stage's analysis loop ended.
+enum VariationStageOutcome {
+    /// Every pending point was analysed and recorded.
+    Done,
+    /// A halt signal or fault-injection hook stopped the stage at a
+    /// boundary; `analysed` points are safely on disk.
+    Halted {
+        /// Points recorded (restored + newly analysed) at the halt.
+        analysed: usize,
+    },
+    /// A variation checkpoint could not be persisted.
+    Failed(StoreError),
+}
+
+fn recorded_points(slots: &[Option<VariationPointRecord>]) -> usize {
+    slots.iter().filter(|slot| slot.is_some()).count()
 }
 
 impl OptimizedFlow {
@@ -748,24 +946,92 @@ impl OptimizedFlow {
     /// Stage 4: Monte Carlo variation analysis of every selected Pareto
     /// point.
     ///
+    /// Each point is analysed with its own derived seed ([`point_mc_seed`]),
+    /// so points are independent of each other and of execution order. For
+    /// durable runs every analysed point is persisted as
+    /// `checkpoints/variation_NNNN.json` the moment it lands — the stage
+    /// checkpoints, and a flow killed mid-stage resumes here without
+    /// re-analysing completed points. With [`FlowConfig::sharded`] the stage
+    /// additionally distributes pending points through the run's shard data
+    /// plane (one variation task per point), where any `ayb serve` worker
+    /// sharing the store helps out; the submitter participates exactly like
+    /// sharded population evaluation, so the stage completes with zero
+    /// workers and the result is bit-identical to the serial path either
+    /// way.
+    ///
     /// # Errors
     ///
     /// Returns [`FlowError::InsufficientParetoData`] (wrapped in
-    /// [`AybError`]) when fewer than three points survive the analysis.
+    /// [`AybError`]) when fewer than three points survive the analysis,
+    /// [`AybError::Checkpoint`] ([`CheckpointError::Halted`]) when a halt
+    /// signal or fault hook stopped the stage at a point boundary, and
+    /// [`AybError::Store`] when a variation checkpoint cannot be persisted.
     pub fn analyze_variation(mut self) -> Result<AnalyzedFlow, AybError> {
         notify_start(&mut self.observers, FlowStage::AnalyzeVariation);
         let t0 = Instant::now();
         let total = self.selected.len();
-        let mut pareto_data = Vec::with_capacity(total);
-        for (index, point) in self.selected.iter().enumerate() {
-            if let Some(data) = analyse_pareto_point(&self.problem, point, &self.config) {
-                pareto_data.push(data);
+        let mut slots: Vec<Option<VariationPointRecord>> = vec![None; total];
+
+        // Restore per-point checkpoints of an interrupted predecessor: those
+        // points are *not* re-analysed (their derived seeds make the
+        // remainder independent of them, so the final result is still
+        // bit-identical to an uninterrupted run).
+        if let Some(handle) = &self.run {
+            let restored = (|| -> Result<(), StoreError> {
+                for index in handle.variation_checkpoint_indices()? {
+                    if index < total {
+                        slots[index] = Some(handle.load_variation_checkpoint(index)?);
+                    }
+                }
+                Ok(())
+            })();
+            if let Err(error) = restored {
+                drop(self.claim_heartbeat.take());
+                finish_run(handle, RunStatus::Failed);
+                return Err(AybError::Store(error));
             }
-            for observer in &mut self.observers {
-                observer.on_progress(FlowStage::AnalyzeVariation, index + 1, total);
+        }
+
+        let pending: Vec<usize> = (0..total).filter(|&index| slots[index].is_none()).collect();
+        let outcome = if pending.is_empty() {
+            VariationStageOutcome::Done
+        } else if self.config.sharded && self.run.is_some() && pending.len() > 1 {
+            self.variation_sharded(&pending, &mut slots)
+        } else {
+            self.variation_serial(&pending, &mut slots)
+        };
+        match outcome {
+            VariationStageOutcome::Done => {}
+            VariationStageOutcome::Halted { analysed } => {
+                drop(self.claim_heartbeat.take());
+                if let Some(handle) = &self.run {
+                    finish_run(handle, RunStatus::Interrupted);
+                }
+                return Err(AybError::Checkpoint(CheckpointError::Halted {
+                    generation: analysed,
+                }));
+            }
+            VariationStageOutcome::Failed(error) => {
+                drop(self.claim_heartbeat.take());
+                if let Some(handle) = &self.run {
+                    finish_run(handle, RunStatus::Failed);
+                }
+                return Err(AybError::Store(error));
+            }
+        }
+
+        let mut pareto_data = Vec::with_capacity(total);
+        let mut mc_point_seconds = 0.0f64;
+        for slot in slots {
+            let record = slot.expect("every selected point was analysed or restored");
+            mc_point_seconds += record.elapsed_seconds;
+            if let Some(data) = record.data {
+                pareto_data.push(data);
             }
         }
         self.timings.monte_carlo = t0.elapsed();
+        self.timings.mc_points = total;
+        self.timings.mc_point_seconds = mc_point_seconds;
         notify_complete(
             &mut self.observers,
             FlowStage::AnalyzeVariation,
@@ -790,6 +1056,241 @@ impl OptimizedFlow {
             claim_heartbeat: self.claim_heartbeat,
             timings: self.timings,
         })
+    }
+
+    /// Whether the flow must halt at `boundary` (fault hook or external halt
+    /// signal).
+    ///
+    /// The external halt signal is only honoured by durable runs: halting a
+    /// store-less flow would discard everything with nothing to resume,
+    /// which is worse than finishing the stage. The fault-injection hook is
+    /// unconditional — it exists precisely to script halts.
+    fn variation_should_halt(&self, boundary: VariationBoundary) -> bool {
+        if self
+            .variation_halt
+            .as_ref()
+            .is_some_and(|hook| hook(boundary))
+        {
+            return true;
+        }
+        self.run.is_some()
+            && self
+                .halt_signal
+                .as_ref()
+                .is_some_and(|signal| signal.load(Ordering::Relaxed))
+    }
+
+    /// Analyses one selected point in-process (the shared kernel of both
+    /// paths), timing the work.
+    fn analyse_one(&self, index: usize) -> VariationPointRecord {
+        let t0 = Instant::now();
+        let data = analyse_variation_point(
+            &self.problem,
+            &self.selected[index].parameters,
+            &self.config,
+            point_mc_seed(self.config.monte_carlo.seed, index),
+        );
+        VariationPointRecord {
+            data,
+            elapsed_seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Persists (durable runs) and slots one landed point, ticking the
+    /// progress observers.
+    fn record_point(
+        &mut self,
+        slots: &mut [Option<VariationPointRecord>],
+        index: usize,
+        record: VariationPointRecord,
+    ) -> Result<(), StoreError> {
+        if let Some(handle) = &self.run {
+            handle.save_variation_checkpoint(index, &record)?;
+        }
+        slots[index] = Some(record);
+        let done = recorded_points(slots);
+        let total = slots.len();
+        for observer in &mut self.observers {
+            observer.on_progress(FlowStage::AnalyzeVariation, done, total);
+        }
+        Ok(())
+    }
+
+    /// The serial variation path: analyse pending points in index order,
+    /// checkpointing each as it completes.
+    fn variation_serial(
+        &mut self,
+        pending: &[usize],
+        slots: &mut [Option<VariationPointRecord>],
+    ) -> VariationStageOutcome {
+        for &index in pending {
+            if self.variation_should_halt(VariationBoundary::Claim { point: index }) {
+                return VariationStageOutcome::Halted {
+                    analysed: recorded_points(slots),
+                };
+            }
+            let record = self.analyse_one(index);
+            if let Err(error) = self.record_point(slots, index, record) {
+                return VariationStageOutcome::Failed(error);
+            }
+            if self.variation_should_halt(VariationBoundary::ResultWrite { point: index }) {
+                return VariationStageOutcome::Halted {
+                    analysed: recorded_points(slots),
+                };
+            }
+        }
+        VariationStageOutcome::Done
+    }
+
+    /// The sharded variation path: publish one task per pending point into a
+    /// variation epoch on the run's shard data plane, then participate in
+    /// the generic claim-poll-recover drive ([`drive_epoch`]) exactly like
+    /// sharded population evaluation. Transport failures degrade to the
+    /// serial path — the stage always completes, with identical results.
+    fn variation_sharded(
+        &mut self,
+        pending: &[usize],
+        slots: &mut [Option<VariationPointRecord>],
+    ) -> VariationStageOutcome {
+        let plane = {
+            let handle = self
+                .run
+                .as_ref()
+                .expect("sharded variation requires a durable run");
+            handle.shard_plane(SHARD_CLAIM_STALE_AFTER)
+        };
+        let Ok(epoch) = plane.open_typed_epoch(ShardWorkKind::Variation) else {
+            return self.variation_serial(pending, slots);
+        };
+        let base_seed = self.config.monte_carlo.seed;
+        for (shard, &index) in pending.iter().enumerate() {
+            let work = ShardWork::Variation {
+                parameters: self.selected[index].parameters.clone(),
+                mc_seed: point_mc_seed(base_seed, index),
+            };
+            if plane.publish_work(&epoch, shard, &work).is_err() {
+                // A half-published epoch is unusable; dispose of it and fall
+                // back to the serial path.
+                let _ = plane.close_epoch(&epoch);
+                return self.variation_serial(pending, slots);
+            }
+        }
+
+        let options = ShardingOptions::default();
+        let mut work = VariationEpochWork {
+            flow: self,
+            plane: &plane,
+            epoch: &epoch,
+            pending,
+            slots,
+            abort: None,
+        };
+        let driven = drive_epoch(&mut work, pending.len(), &options);
+        let abort = work.abort;
+        match driven {
+            Some(_) => {
+                if self.variation_should_halt(VariationBoundary::EpochClose) {
+                    // Halt *before* disposal, like a crash at this boundary:
+                    // the leftover epoch is swept when the run resumes.
+                    return VariationStageOutcome::Halted {
+                        analysed: recorded_points(slots),
+                    };
+                }
+                let _ = plane.close_epoch(&epoch);
+                VariationStageOutcome::Done
+            }
+            // Aborted mid-epoch: leave the epoch on disk (exactly what a
+            // crash leaves behind); the resumed flow sweeps it.
+            None => match abort {
+                Some(VariationAbort::Failed(error)) => VariationStageOutcome::Failed(error),
+                _ => VariationStageOutcome::Halted {
+                    analysed: recorded_points(slots),
+                },
+            },
+        }
+    }
+}
+
+/// Why a variation epoch drive aborted (see [`VariationEpochWork`]).
+enum VariationAbort {
+    /// A halt signal or fault hook fired at a boundary.
+    Halted,
+    /// A variation checkpoint could not be persisted.
+    Failed(StoreError),
+}
+
+/// [`EpochWork`] binding of the variation stage: one shard = one pending
+/// Pareto point, transported as [`ShardWork::Variation`] /
+/// [`ShardOutcome::Variation`] over the run's [`ShardDataPlane`]. Landing a
+/// point writes its variation checkpoint and ticks the flow's observers —
+/// identical bookkeeping to the serial path.
+struct VariationEpochWork<'a> {
+    flow: &'a mut OptimizedFlow,
+    plane: &'a ShardDataPlane,
+    epoch: &'a str,
+    pending: &'a [usize],
+    slots: &'a mut [Option<VariationPointRecord>],
+    abort: Option<VariationAbort>,
+}
+
+impl EpochWork for VariationEpochWork<'_> {
+    type Output = VariationPointRecord;
+
+    fn fetch(&mut self, shard: usize) -> Result<Option<VariationPointRecord>, ShardError> {
+        match self.plane.fetch_outcome(self.epoch, shard)? {
+            Some(ShardOutcome::Variation(outcome)) => {
+                // A malformed payload leaves the shard pending (it will be
+                // claimed and re-analysed locally) instead of failing the
+                // stage.
+                Ok(VariationPointRecord::from_outcome(&outcome))
+            }
+            Some(ShardOutcome::Eval { .. }) | None => Ok(None),
+        }
+    }
+
+    fn try_claim(&mut self, shard: usize) -> Result<bool, ShardError> {
+        self.plane.try_claim(self.epoch, shard)
+    }
+
+    fn evaluate(&mut self, shard: usize) -> VariationPointRecord {
+        self.flow.analyse_one(self.pending[shard])
+    }
+
+    fn submit(&mut self, shard: usize, record: &VariationPointRecord) -> Result<(), ShardError> {
+        self.plane.submit_outcome(
+            self.epoch,
+            shard,
+            &ShardOutcome::Variation(record.to_outcome()),
+        )
+    }
+
+    fn recover(&mut self, shard: usize) -> Result<bool, ShardError> {
+        self.plane.recover(self.epoch, shard)
+    }
+
+    fn on_claimed(&mut self, shard: usize) -> bool {
+        let boundary = VariationBoundary::Claim {
+            point: self.pending[shard],
+        };
+        if self.flow.variation_should_halt(boundary) {
+            self.abort = Some(VariationAbort::Halted);
+            return false;
+        }
+        true
+    }
+
+    fn on_result(&mut self, shard: usize, record: &VariationPointRecord) -> bool {
+        let index = self.pending[shard];
+        if let Err(error) = self.flow.record_point(self.slots, index, record.clone()) {
+            self.abort = Some(VariationAbort::Failed(error));
+            return false;
+        }
+        let boundary = VariationBoundary::ResultWrite { point: index };
+        if self.flow.variation_should_halt(boundary) {
+            self.abort = Some(VariationAbort::Halted);
+            return false;
+        }
+        true
     }
 }
 
@@ -851,6 +1352,12 @@ impl AnalyzedFlow {
         };
         drop(self.claim_heartbeat.take());
         if let Some(handle) = &self.run {
+            // Every epoch was assembled (or abandoned) by now; anything left
+            // under `shards/` is debris from an epoch disposal that lost the
+            // race against a worker's in-flight claim. The flow still holds
+            // the run's exclusive claim, so sweeping is safe — and completed
+            // runs must never advertise open shard work.
+            let _ = handle.sweep_shards();
             let persisted = handle
                 .save_result(&result)
                 .and_then(|()| handle.set_status(RunStatus::Completed));
@@ -972,7 +1479,7 @@ mod tests {
     }
 
     #[test]
-    fn flow_summary_without_timing_zeroes_only_the_clock() {
+    fn flow_summary_without_timing_zeroes_only_the_clocks() {
         let summary = FlowSummary {
             generations: 8,
             evaluation_samples: 100,
@@ -980,11 +1487,83 @@ mod tests {
             analysed_pareto_points: 8,
             mc_samples_per_point: 16,
             cpu_time_seconds: 3.25,
+            mc_work_seconds: 2.5,
         };
         let stripped = summary.without_timing();
         assert_eq!(stripped.cpu_time_seconds, 0.0);
+        assert_eq!(stripped.mc_work_seconds, 0.0);
         assert_eq!(stripped.generations, summary.generations);
         assert_eq!(stripped.evaluation_samples, summary.evaluation_samples);
+        assert_eq!(
+            stripped.analysed_pareto_points,
+            summary.analysed_pareto_points
+        );
+    }
+
+    #[test]
+    fn point_mc_seeds_are_distinct_and_reproducible() {
+        let seeds: Vec<u64> = (0..64).map(|i| point_mc_seed(2008, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "per-point seeds never collide");
+        // Pure function of (base, index): same inputs, same seed.
+        assert_eq!(point_mc_seed(2008, 7), seeds[7]);
+        // A different base seed moves every point's stream.
+        assert!((0..64).all(|i| point_mc_seed(2009, i) != seeds[i]));
+    }
+
+    #[test]
+    fn flow_timings_deserialize_defaults_missing_work_fields() {
+        // A result persisted before the per-point accounting existed lacks
+        // `mc_points`/`mc_point_seconds`; it must still load.
+        let timings = FlowTimings {
+            optimization: Duration::from_secs(2),
+            monte_carlo: Duration::from_secs(3),
+            model_build: Duration::from_secs(1),
+            mc_points: 9,
+            mc_point_seconds: 2.75,
+        };
+        let serde::Value::Object(mut pairs) = serde::Serialize::to_value(&timings) else {
+            panic!("FlowTimings serializes to an object");
+        };
+        pairs.retain(|(key, _)| key != "mc_points" && key != "mc_point_seconds");
+        let legacy = serde::Value::Object(pairs);
+        let back: FlowTimings = serde::Deserialize::from_value(&legacy).expect("legacy loads");
+        assert_eq!(back.mc_points, 0);
+        assert_eq!(back.mc_point_seconds, 0.0);
+        assert_eq!(back.monte_carlo, timings.monte_carlo);
+
+        // And the current shape round-trips unchanged.
+        let roundtrip: FlowTimings =
+            serde::Deserialize::from_value(&serde::Serialize::to_value(&timings)).unwrap();
+        assert_eq!(roundtrip, timings);
+    }
+
+    #[test]
+    fn variation_point_record_survives_the_wire_format() {
+        use ayb_circuit::DesignPoint;
+        let record = VariationPointRecord {
+            data: Some(ParetoPointData {
+                gain_db: 61.25,
+                phase_margin_deg: 58.5,
+                gain_delta_percent: 3.125,
+                pm_delta_percent: 1.75,
+                unity_gain_hz: 8.5e6,
+                parameters: DesignPoint::new().with("w1", 2.5e-6),
+            }),
+            elapsed_seconds: 0.25,
+        };
+        let back = VariationPointRecord::from_outcome(&record.to_outcome())
+            .expect("well-formed outcome parses");
+        assert_eq!(back, record, "bit-identical through the shard wire");
+
+        let none = VariationPointRecord {
+            data: None,
+            elapsed_seconds: 0.125,
+        };
+        let back = VariationPointRecord::from_outcome(&none.to_outcome()).unwrap();
+        assert_eq!(back, none, "failed-analysis records round-trip too");
     }
 
     #[test]

@@ -177,6 +177,11 @@ pub fn render_table5(summary: &FlowSummary) -> String {
         "{:<36} {:>13.1}s",
         "CPU Time (this machine)", summary.cpu_time_seconds
     );
+    let _ = writeln!(
+        out,
+        "{:<36} {:>13.1}s",
+        "MC analysis work (all hosts)", summary.mc_work_seconds
+    );
     out
 }
 
@@ -284,9 +289,11 @@ mod tests {
             analysed_pareto_points: 1022,
             mc_samples_per_point: 200,
             cpu_time_seconds: 14_400.0,
+            mc_work_seconds: 13_200.0,
         });
         assert!(t5.contains("10000"));
         assert!(t5.contains("1022"));
+        assert!(t5.contains("13200.0s"), "work column renders: {t5}");
     }
 
     #[test]

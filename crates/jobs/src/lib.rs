@@ -33,13 +33,14 @@
 //!   digest identically to the same seeds run sequentially.
 //!
 //! Beyond whole runs (the control plane), workers also service the **shard
-//! data plane**: sharded flows publish each optimiser population as
-//! claimable shard tasks (see `ayb_store::shards`), and idle workers
-//! evaluate them *shard-first* — before taking new runs — so every in-flight
-//! run keeps progressing even when all run-executing workers are occupied.
-//! A server started with [`JobServerConfig::shards_only`] (`ayb serve
-//! --shards-only`) is a pure evaluation worker: extra machines sharing the
-//! store run in this mode to scale one flow's batch evaluation.
+//! data plane**: sharded flows publish each optimiser population — and each
+//! Pareto point of the Monte Carlo variation stage — as claimable, typed
+//! shard tasks (see `ayb_store::shards`), and idle workers service them
+//! *shard-first* — before taking new runs — so every in-flight run keeps
+//! progressing even when all run-executing workers are occupied. A server
+//! started with [`JobServerConfig::shards_only`] (`ayb serve --shards-only`)
+//! is a pure shard worker: extra machines sharing the store run in this mode
+//! to scale one flow's batch evaluation and variation analysis.
 //!
 //! A drain-mode server over an empty store starts, scans and returns
 //! immediately — the smallest possible end-to-end example:
@@ -86,7 +87,10 @@
 
 use ayb_core::{AybError, FlowBuilder, FlowConfig, FlowObserver, OtaSizingProblem};
 use ayb_moo::{CheckpointError, OptimizerConfig, SizingProblem};
-use ayb_store::{Manifest, RunHandle, RunStatus, Store, StoreError};
+use ayb_store::{
+    Manifest, RunHandle, RunStatus, ShardOutcome, ShardWork, ShardWorkKind, Store, StoreError,
+    VariationOutcome,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
@@ -264,16 +268,20 @@ pub enum JobEvent {
         /// The flow error.
         message: String,
     },
-    /// A worker evaluated one shard of a sharded flow's batch (the data
-    /// plane; see `ayb_store::shards`).
+    /// A worker serviced one shard of a sharded flow (the data plane; see
+    /// `ayb_store::shards`) — a population-evaluation shard or a variation
+    /// (Monte Carlo) point, per `work`.
     ShardServiced {
         /// The run whose batch the shard belongs to.
         run_id: String,
-        /// The evaluation epoch (one optimiser batch).
+        /// The epoch (one optimiser batch, or one variation stage).
         epoch: String,
         /// The shard's index within its epoch.
         shard: usize,
-        /// Number of candidates evaluated.
+        /// The kind of work the shard carried.
+        work: ShardWorkKind,
+        /// Number of candidates evaluated (evaluation shards) or `1` (a
+        /// variation shard is one Pareto point).
         candidates: usize,
         /// Index of the servicing worker.
         worker: usize,
@@ -765,13 +773,17 @@ fn worker_loop(
     }
 }
 
-/// Claims and evaluates at most one shard evaluation task, returning whether
-/// one was serviced.
+/// Claims and services at most one shard task — a population-evaluation
+/// shard or a variation (Monte Carlo) point — returning whether one was
+/// serviced.
 ///
-/// The problem is reconstructed from the owning run's manifest (testbench,
-/// sweep and thread count from its `FlowConfig`) — identical to the problem
-/// the submitting flow built, so a shard evaluates to the same results
-/// whichever process services it.
+/// The problem (and, for variation shards, the full flow configuration) is
+/// reconstructed from the owning run's manifest — identical to what the
+/// submitting flow built, so a shard produces the same output whichever
+/// process services it: evaluation shards through
+/// `SizingProblem::evaluate_batch`, variation shards through
+/// `ayb_core::analyse_variation_point` with the per-point seed carried in
+/// the task.
 fn service_one_shard(
     shared: &Arc<Shared>,
     config: &JobServerConfig,
@@ -794,26 +806,49 @@ fn service_one_shard(
         // recovery pass never mistakes a slow evaluation for a dead worker.
         let heartbeat = task.start_claim_heartbeat(Duration::from_secs(1));
         let serviced = (|| {
-            let parameters = match task.load_parameters() {
-                Ok(Some(parameters)) => parameters,
+            let work = match task.load_work() {
+                Ok(Some(work)) => work,
                 // The epoch was closed (or the task file is unreadable):
-                // nothing to evaluate.
+                // nothing to do.
                 _ => return false,
             };
-            let Some(problem) = shard_problem(&shared.store, task.run_id()) else {
+            let Some((problem, flow)) = shard_flow_setup(&shared.store, task.run_id()) else {
                 return false;
             };
-            let results = problem.evaluate_batch(&parameters);
-            if task.submit_results(&results).is_err() {
-                // Epoch closed mid-evaluation: the submitter assembled the
-                // batch without this shard; drop the result.
+            let (outcome, candidates, kind) = match work {
+                ShardWork::Eval { parameters } => {
+                    let results = problem.evaluate_batch(&parameters);
+                    (
+                        ShardOutcome::Eval { results },
+                        parameters.len(),
+                        ShardWorkKind::Eval,
+                    )
+                }
+                ShardWork::Variation {
+                    parameters,
+                    mc_seed,
+                } => {
+                    let t0 = std::time::Instant::now();
+                    let data =
+                        ayb_core::analyse_variation_point(&problem, &parameters, &flow, mc_seed);
+                    let outcome = ShardOutcome::Variation(VariationOutcome {
+                        data: data.as_ref().map(serde::Serialize::to_value),
+                        elapsed_seconds: t0.elapsed().as_secs_f64(),
+                    });
+                    (outcome, 1, ShardWorkKind::Variation)
+                }
+            };
+            if task.submit_outcome(&outcome).is_err() {
+                // Epoch closed mid-service: the submitter assembled the
+                // stage without this shard; drop the result.
                 return false;
             }
             shared.emit(JobEvent::ShardServiced {
                 run_id: task.run_id().to_string(),
                 epoch: task.epoch().to_string(),
                 shard: task.shard(),
-                candidates: parameters.len(),
+                work: kind,
+                candidates,
                 worker,
             });
             true
@@ -835,14 +870,13 @@ fn service_one_shard(
     false
 }
 
-/// Rebuilds the sizing problem a run's sharded flow evaluates, from its
-/// manifest.
-fn shard_problem(store: &Store, run_id: &str) -> Option<OtaSizingProblem> {
+/// Rebuilds the sizing problem (and flow configuration) a run's sharded flow
+/// works with, from its manifest.
+fn shard_flow_setup(store: &Store, run_id: &str) -> Option<(OtaSizingProblem, FlowConfig)> {
     let manifest: Manifest<FlowConfig> = store.run(run_id).ok()?.manifest().ok()?;
-    Some(
-        OtaSizingProblem::new(manifest.flow.testbench, manifest.flow.sweep.clone())
-            .with_threads(manifest.flow.threads),
-    )
+    let problem = OtaSizingProblem::new(manifest.flow.testbench, manifest.flow.sweep.clone())
+        .with_threads(manifest.flow.threads);
+    Some((problem, manifest.flow))
 }
 
 /// Executes one run to a terminal state. The claim is taken (and released)

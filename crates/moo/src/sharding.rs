@@ -191,17 +191,165 @@ impl ShardingOptions {
     }
 }
 
+/// One submitter-side stage binding for [`drive_epoch`]: how to fetch,
+/// claim, locally produce, submit and recover one epoch's shards, plus
+/// boundary hooks fired as the drive progresses.
+///
+/// This is the *generic* claim→evaluate→poll→recover protocol shared by
+/// every distributed stage — GA population evaluation
+/// ([`ShardedEvaluator`]) and per-Pareto-point variation analysis (the
+/// `ayb_core` flow) bind it to their own payloads. Implementations are
+/// single-threaded (the driver calls them from one thread); concurrency
+/// comes from *other processes* racing for the same shards through the
+/// underlying transport.
+pub trait EpochWork {
+    /// One shard's finished output.
+    type Output;
+
+    /// Fetches shard `shard`'s output if some worker has submitted it.
+    /// Implementations validate the payload (shape, length) and map anything
+    /// unusable to `Ok(None)` so the shard stays pending.
+    fn fetch(&mut self, shard: usize) -> Result<Option<Self::Output>, ShardError>;
+
+    /// Attempts to claim shard `shard` for local production.
+    fn try_claim(&mut self, shard: usize) -> Result<bool, ShardError>;
+
+    /// Produces shard `shard`'s output in-process (the submitter
+    /// participates, so an epoch always completes even with zero workers).
+    fn evaluate(&mut self, shard: usize) -> Self::Output;
+
+    /// Publishes a locally produced output (failure is benign: the local
+    /// copy is used regardless).
+    fn submit(&mut self, shard: usize, output: &Self::Output) -> Result<(), ShardError>;
+
+    /// Breaks shard `shard`'s claim if its holder is presumed dead.
+    /// Returns whether a claim was broken.
+    fn recover(&mut self, shard: usize) -> Result<bool, ShardError>;
+
+    /// Boundary hook: this process just won shard `shard`'s claim. Returning
+    /// `false` aborts the drive (the fault-injection seam used by the chaos
+    /// harness to simulate a crash between a claim and its result).
+    fn on_claimed(&mut self, shard: usize) -> bool {
+        let _ = shard;
+        true
+    }
+
+    /// Boundary hook: shard `shard`'s output just landed (fetched from a
+    /// worker or produced locally), in landing order. This is where stages
+    /// persist per-shard progress (checkpoints) and tick observers.
+    /// Returning `false` aborts the drive.
+    fn on_result(&mut self, shard: usize, output: &Self::Output) -> bool {
+        let _ = (shard, output);
+        true
+    }
+}
+
+/// Drives one epoch of `shard_count` published shards to completion: the
+/// generic claim-poll-recover loop extracted from [`ShardedEvaluator`] and
+/// shared with the variation stage.
+///
+/// Each pass over the pending shards fetches finished results, claims and
+/// locally evaluates unclaimed ones, and falls back to pure local evaluation
+/// for any shard whose transport errored three times (a broken data plane
+/// must never wedge an epoch — duplicate production is benign because
+/// outputs are deterministic). While no progress is being made, dead
+/// workers' claims are recovered every
+/// [`ShardingOptions::recovery_interval`].
+///
+/// Returns the outputs in shard-index order, or `None` when a boundary hook
+/// aborted the drive (simulated crash): already-landed outputs were already
+/// seen by [`EpochWork::on_result`], so an aborted drive loses nothing that
+/// was persisted there.
+pub fn drive_epoch<W: EpochWork>(
+    work: &mut W,
+    shard_count: usize,
+    options: &ShardingOptions,
+) -> Option<Vec<W::Output>> {
+    let mut slots: Vec<Option<W::Output>> = Vec::with_capacity(shard_count);
+    slots.resize_with(shard_count, || None);
+    let mut errors = vec![0usize; shard_count];
+    let mut last_recovery = Instant::now();
+    while slots.iter().any(Option::is_none) {
+        let mut progressed = false;
+        for index in 0..shard_count {
+            if slots[index].is_some() {
+                continue;
+            }
+            match work.fetch(index) {
+                Ok(Some(output)) => {
+                    if !work.on_result(index, &output) {
+                        return None;
+                    }
+                    slots[index] = Some(output);
+                    progressed = true;
+                    continue;
+                }
+                Ok(None) => {}
+                Err(_) => errors[index] += 1,
+            }
+            match work.try_claim(index) {
+                Ok(true) => {
+                    if !work.on_claimed(index) {
+                        return None;
+                    }
+                    let output = work.evaluate(index);
+                    let _ = work.submit(index, &output);
+                    if !work.on_result(index, &output) {
+                        return None;
+                    }
+                    slots[index] = Some(output);
+                    progressed = true;
+                }
+                Ok(false) => {}
+                Err(_) => errors[index] += 1,
+            }
+            // A repeatedly failing transport must not wedge the epoch: fall
+            // back to producing the shard in-process. Worst case a worker
+            // produces it concurrently — identical output.
+            if slots[index].is_none() && errors[index] >= 3 {
+                let output = work.evaluate(index);
+                if !work.on_result(index, &output) {
+                    return None;
+                }
+                slots[index] = Some(output);
+                progressed = true;
+            }
+        }
+        if slots.iter().all(Option::is_some) {
+            break;
+        }
+        if !progressed {
+            if last_recovery.elapsed() >= options.recovery_interval {
+                for (index, slot) in slots.iter().enumerate() {
+                    if slot.is_none() {
+                        let _ = work.recover(index);
+                    }
+                }
+                last_recovery = Instant::now();
+            }
+            std::thread::sleep(options.poll_interval);
+        }
+    }
+    Some(
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every shard slot was filled"))
+            .collect(),
+    )
+}
+
 /// Shard-aware batch evaluation over a [`ShardTransport`].
 ///
 /// `evaluate_batch` splits the batch into consecutive shards of at most
 /// [`ShardingOptions::shard_size`] candidates, publishes them as tasks, and
-/// then *participates* in their evaluation: it repeatedly fetches finished
-/// results, claims any unclaimed shard and evaluates it in-process (through
-/// the problem's own `evaluate_batch`, so the local work-stealing scheduler
-/// still applies inside a shard), and — while blocked on shards held by
-/// other workers — periodically asks the transport to recover shards whose
-/// holder died. Results are reassembled in shard-index order, making the
-/// output bit-identical to an unsharded evaluation.
+/// then *participates* in their evaluation through [`drive_epoch`]: it
+/// repeatedly fetches finished results, claims any unclaimed shard and
+/// evaluates it in-process (through the problem's own `evaluate_batch`, so
+/// the local work-stealing scheduler still applies inside a shard), and —
+/// while blocked on shards held by other workers — periodically asks the
+/// transport to recover shards whose holder died. Results are reassembled
+/// in shard-index order, making the output bit-identical to an unsharded
+/// evaluation.
 ///
 /// Transport failures degrade gracefully to local evaluation; a sharded
 /// batch therefore completes (with identical results) even when the data
@@ -257,64 +405,60 @@ impl ShardedEvaluator {
             }
         }
 
-        let mut slots: Vec<Option<ShardResults>> = vec![None; shards.len()];
-        let mut errors = vec![0usize; shards.len()];
-        let mut last_recovery = Instant::now();
-        while slots.iter().any(Option::is_none) {
-            let mut progressed = false;
-            for index in 0..shards.len() {
-                if slots[index].is_some() {
-                    continue;
-                }
-                match self.transport.fetch(&epoch, index) {
-                    Ok(Some(results)) if results.len() == shards[index].len() => {
-                        slots[index] = Some(results);
-                        progressed = true;
-                        continue;
-                    }
-                    Ok(_) => {}
-                    Err(_) => errors[index] += 1,
-                }
-                match self.transport.try_claim(&epoch, index) {
-                    Ok(true) => {
-                        let results = problem.evaluate_batch(shards[index]);
-                        let _ = self.transport.submit(&epoch, index, &results);
-                        slots[index] = Some(results);
-                        progressed = true;
-                    }
-                    Ok(false) => {}
-                    Err(_) => errors[index] += 1,
-                }
-                // A repeatedly failing transport must not wedge the batch:
-                // fall back to evaluating the shard in-process. Worst case a
-                // worker evaluates it concurrently — identical results.
-                if errors[index] >= 3 {
-                    slots[index] = Some(problem.evaluate_batch(shards[index]));
-                    progressed = true;
-                }
-            }
-            if slots.iter().all(Option::is_some) {
-                break;
-            }
-            if !progressed {
-                if last_recovery.elapsed() >= self.options.recovery_interval {
-                    for (index, slot) in slots.iter().enumerate() {
-                        if slot.is_none() {
-                            let _ = self.transport.recover(&epoch, index);
-                        }
-                    }
-                    last_recovery = Instant::now();
-                }
-                std::thread::sleep(self.options.poll_interval);
-            }
-        }
+        let mut work = EvalEpochWork {
+            transport: self.transport.as_ref(),
+            epoch: &epoch,
+            problem,
+            shards: &shards,
+        };
+        let slots = drive_epoch(&mut work, shards.len(), &self.options)
+            .expect("evaluation epochs have no aborting hooks");
         let _ = self.transport.close_epoch(&epoch);
 
         let mut assembled = Vec::with_capacity(batch.len());
-        for slot in slots {
-            assembled.extend(slot.expect("every shard slot was filled"));
+        for results in slots {
+            assembled.extend(results);
         }
         assembled
+    }
+}
+
+/// [`EpochWork`] binding of population evaluation: payloads are candidate
+/// parameter slices, outputs are [`ShardResults`], transported through a
+/// [`ShardTransport`].
+struct EvalEpochWork<'a> {
+    transport: &'a dyn ShardTransport,
+    epoch: &'a str,
+    problem: &'a dyn SizingProblem,
+    shards: &'a [&'a [Vec<f64>]],
+}
+
+impl EpochWork for EvalEpochWork<'_> {
+    type Output = ShardResults;
+
+    fn fetch(&mut self, shard: usize) -> Result<Option<ShardResults>, ShardError> {
+        match self.transport.fetch(self.epoch, shard)? {
+            // A result of the wrong shape is unusable; leave the shard
+            // pending so it is (re-)evaluated instead.
+            Some(results) if results.len() == self.shards[shard].len() => Ok(Some(results)),
+            _ => Ok(None),
+        }
+    }
+
+    fn try_claim(&mut self, shard: usize) -> Result<bool, ShardError> {
+        self.transport.try_claim(self.epoch, shard)
+    }
+
+    fn evaluate(&mut self, shard: usize) -> ShardResults {
+        self.problem.evaluate_batch(self.shards[shard])
+    }
+
+    fn submit(&mut self, shard: usize, results: &ShardResults) -> Result<(), ShardError> {
+        self.transport.submit(self.epoch, shard, results)
+    }
+
+    fn recover(&mut self, shard: usize) -> Result<bool, ShardError> {
+        self.transport.recover(self.epoch, shard)
     }
 }
 
@@ -701,6 +845,120 @@ mod tests {
             BatchEvaluator::evaluate_batch(&sharded, &p, &input),
             expected
         );
+    }
+
+    /// A direct [`EpochWork`] stub: everything is produced locally, hooks
+    /// record landing order and can veto.
+    struct CountWork {
+        landed: Vec<usize>,
+        claimed: Vec<usize>,
+        abort_after_results: Option<usize>,
+        abort_on_claim: Option<usize>,
+        fail_transport: bool,
+    }
+
+    impl CountWork {
+        fn new() -> CountWork {
+            CountWork {
+                landed: Vec::new(),
+                claimed: Vec::new(),
+                abort_after_results: None,
+                abort_on_claim: None,
+                fail_transport: false,
+            }
+        }
+    }
+
+    impl EpochWork for CountWork {
+        type Output = usize;
+
+        fn fetch(&mut self, _shard: usize) -> Result<Option<usize>, ShardError> {
+            if self.fail_transport {
+                return Err(ShardError::Transport("down".into()));
+            }
+            Ok(None)
+        }
+
+        fn try_claim(&mut self, _shard: usize) -> Result<bool, ShardError> {
+            if self.fail_transport {
+                return Err(ShardError::Transport("down".into()));
+            }
+            Ok(true)
+        }
+
+        fn evaluate(&mut self, shard: usize) -> usize {
+            shard * 10
+        }
+
+        fn submit(&mut self, _shard: usize, _output: &usize) -> Result<(), ShardError> {
+            if self.fail_transport {
+                return Err(ShardError::Transport("down".into()));
+            }
+            Ok(())
+        }
+
+        fn recover(&mut self, _shard: usize) -> Result<bool, ShardError> {
+            Ok(false)
+        }
+
+        fn on_claimed(&mut self, shard: usize) -> bool {
+            self.claimed.push(shard);
+            self.abort_on_claim != Some(shard)
+        }
+
+        fn on_result(&mut self, shard: usize, _output: &usize) -> bool {
+            self.landed.push(shard);
+            match self.abort_after_results {
+                Some(limit) => self.landed.len() < limit,
+                None => true,
+            }
+        }
+    }
+
+    #[test]
+    fn drive_epoch_collects_outputs_in_index_order() {
+        let mut work = CountWork::new();
+        let outputs = drive_epoch(&mut work, 5, &ShardingOptions::default());
+        assert_eq!(outputs, Some(vec![0, 10, 20, 30, 40]));
+        assert_eq!(work.claimed, vec![0, 1, 2, 3, 4]);
+        assert_eq!(work.landed, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn drive_epoch_aborts_when_the_result_hook_vetoes() {
+        let mut work = CountWork::new();
+        work.abort_after_results = Some(2);
+        assert_eq!(drive_epoch(&mut work, 5, &ShardingOptions::default()), None);
+        // Exactly two results landed before the simulated crash.
+        assert_eq!(work.landed, vec![0, 1]);
+    }
+
+    #[test]
+    fn drive_epoch_aborts_when_the_claim_hook_vetoes() {
+        let mut work = CountWork::new();
+        work.abort_on_claim = Some(3);
+        assert_eq!(drive_epoch(&mut work, 5, &ShardingOptions::default()), None);
+        // Shards 0..=2 landed; the crash hit between claiming 3 and
+        // producing it.
+        assert_eq!(work.landed, vec![0, 1, 2]);
+        assert_eq!(work.claimed, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn drive_epoch_survives_a_dead_transport_via_local_fallback() {
+        let mut work = CountWork::new();
+        work.fail_transport = true;
+        let options = ShardingOptions {
+            poll_interval: Duration::from_millis(1),
+            recovery_interval: Duration::from_millis(1),
+            ..ShardingOptions::default()
+        };
+        // Every transport call errors; after three strikes per shard the
+        // driver produces each shard locally — the epoch still completes
+        // with identical outputs, and every landing still fires the hook.
+        let outputs = drive_epoch(&mut work, 3, &options);
+        assert_eq!(outputs, Some(vec![0, 10, 20]));
+        assert_eq!(work.landed.len(), 3);
     }
 
     #[test]

@@ -90,7 +90,10 @@
 
 pub mod shards;
 
-pub use shards::{ShardDataPlane, ShardSummary, ShardTask};
+pub use shards::{
+    ShardDataPlane, ShardOutcome, ShardSummary, ShardTask, ShardWork, ShardWorkKind,
+    VariationOutcome,
+};
 
 use ayb_moo::{Checkpoint, OptimizerConfig};
 use serde::{Deserialize, Serialize, Value};
@@ -452,6 +455,7 @@ const RESULT_FILE: &str = "result.json";
 const CLAIM_FILE: &str = "claim.json";
 const CHECKPOINT_DIR: &str = "checkpoints";
 const CHECKPOINT_PREFIX: &str = "gen_";
+const VARIATION_CHECKPOINT_PREFIX: &str = "variation_";
 
 /// Attempts [`Store::create_run`] makes before giving up when racing other
 /// creators for sequential ids.
@@ -991,6 +995,97 @@ impl RunHandle {
             Some(&generation) => self.load_checkpoint(generation).map(Some),
             None => Ok(None),
         }
+    }
+
+    fn variation_checkpoint_path(&self, index: usize) -> PathBuf {
+        self.dir
+            .join(CHECKPOINT_DIR)
+            .join(format!("{VARIATION_CHECKPOINT_PREFIX}{index:04}.json"))
+    }
+
+    /// Persists one analysed Pareto point's record as
+    /// `checkpoints/variation_NNNN.json` (atomically), returning the written
+    /// path. The record type is the flow's own (the store is agnostic to
+    /// it), typically `ayb_core`'s per-point variation record.
+    ///
+    /// These per-point checkpoints are what lets an interrupted flow resume
+    /// *mid variation stage*: points already on disk are restored instead of
+    /// re-analysed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] on write failures.
+    pub fn save_variation_checkpoint<T: Serialize>(
+        &self,
+        index: usize,
+        record: &T,
+    ) -> Result<PathBuf, StoreError> {
+        let path = self.variation_checkpoint_path(index);
+        write_json(&path, record)?;
+        Ok(path)
+    }
+
+    /// The Pareto-point indices of all stored variation checkpoints, sorted
+    /// ascending. Stale `.tmp` files from a killed writer are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the checkpoint directory cannot be
+    /// read.
+    pub fn variation_checkpoint_indices(&self) -> Result<Vec<usize>, StoreError> {
+        let dir = self.dir.join(CHECKPOINT_DIR);
+        if !dir.is_dir() {
+            return Ok(Vec::new());
+        }
+        let entries = fs::read_dir(&dir).map_err(|e| io_error(&dir, e))?;
+        let mut indices = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| io_error(&dir, e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name
+                .strip_prefix(VARIATION_CHECKPOINT_PREFIX)
+                .and_then(|s| s.strip_suffix(".json"))
+            else {
+                continue;
+            };
+            if let Ok(index) = stem.parse::<usize>() {
+                indices.push(index);
+            }
+        }
+        indices.sort_unstable();
+        Ok(indices)
+    }
+
+    /// Loads the variation checkpoint of a specific Pareto-point index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] when the file is
+    /// missing or malformed.
+    pub fn load_variation_checkpoint<T: Deserialize>(&self, index: usize) -> Result<T, StoreError> {
+        read_json(&self.variation_checkpoint_path(index))
+    }
+
+    /// Removes every variation checkpoint, returning how many were removed.
+    /// Housekeeping for *completed* runs (`ayb gc`): once `result.json`
+    /// exists, the per-point records are dead weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when a checkpoint file cannot be removed.
+    pub fn sweep_variation_checkpoints(&self) -> Result<usize, StoreError> {
+        let indices = self.variation_checkpoint_indices()?;
+        let mut removed = 0;
+        for &index in &indices {
+            let path = self.variation_checkpoint_path(index);
+            match fs::remove_file(&path) {
+                Ok(()) => removed += 1,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(io_error(&path, e)),
+            }
+        }
+        Ok(removed)
     }
 
     /// Persists the run's final result as `result.json` (atomically).

@@ -53,7 +53,7 @@ use crate::{
     write_json, ClaimHealth, ClaimInfo, RunHandle, RunStatus, Store, StoreError,
 };
 use ayb_moo::{Evaluation, ShardError, ShardResults, ShardTransport};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -61,6 +61,12 @@ use std::time::Duration;
 
 /// Subdirectory of a run holding its shard epochs.
 const SHARD_DIR: &str = "shards";
+
+/// Epoch directory prefix of population-evaluation epochs.
+const EVAL_EPOCH_PREFIX: &str = "ep-";
+
+/// Epoch directory prefix of variation-analysis epochs.
+const VARIATION_EPOCH_PREFIX: &str = "var-";
 
 fn task_name(shard: usize) -> String {
     format!("shard_{shard:04}.task.json")
@@ -82,18 +88,109 @@ fn parse_task_name(name: &str) -> Option<usize> {
         .ok()
 }
 
-/// On-disk form of one shard's input.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct ShardTaskFile {
-    /// Normalised candidate parameter vectors, in shard-local order.
-    parameters: Vec<Vec<f64>>,
+/// The kind of work a shard (or a whole epoch) carries.
+///
+/// Epoch directories encode their kind in the name (`ep-*` for evaluation,
+/// `var-*` for variation), so listings like `ayb status` can distinguish the
+/// stages without reading any task file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardWorkKind {
+    /// GA population evaluation (one shard = a consecutive candidate range).
+    Eval,
+    /// Monte Carlo variation analysis (one shard = one Pareto point).
+    Variation,
 }
 
-/// On-disk form of one shard's output.
+impl ShardWorkKind {
+    /// Human-readable kind name (`eval` / `variation`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardWorkKind::Eval => "eval",
+            ShardWorkKind::Variation => "variation",
+        }
+    }
+
+    /// The epoch-directory name prefix of this kind.
+    fn epoch_prefix(self) -> &'static str {
+        match self {
+            ShardWorkKind::Eval => EVAL_EPOCH_PREFIX,
+            ShardWorkKind::Variation => VARIATION_EPOCH_PREFIX,
+        }
+    }
+
+    /// Classifies an epoch directory name by its prefix (unknown prefixes
+    /// are treated as evaluation epochs — the original, untagged kind).
+    fn of_epoch(epoch: &str) -> ShardWorkKind {
+        if epoch.starts_with(VARIATION_EPOCH_PREFIX) {
+            ShardWorkKind::Variation
+        } else {
+            ShardWorkKind::Eval
+        }
+    }
+}
+
+/// Typed payload of one shard task file: what a claiming worker must do.
+///
+/// PR 4's shard plane carried exactly one payload shape (candidate
+/// parameters to evaluate); the tag makes the plane generic so one epoch
+/// mechanism distributes every stage's work. Task files are ephemeral —
+/// epochs are disposed of as soon as their batch is assembled — so the
+/// format change needs no store migration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct ShardResultFile {
-    /// One entry per candidate, in shard-local order.
-    results: Vec<Option<Evaluation>>,
+pub enum ShardWork {
+    /// Evaluate a consecutive range of a GA population: normalised candidate
+    /// parameter vectors, in shard-local order.
+    Eval {
+        /// One parameter vector per candidate.
+        parameters: Vec<Vec<f64>>,
+    },
+    /// Run the Monte Carlo variation analysis of one Pareto point.
+    Variation {
+        /// The point's normalised parameter vector.
+        parameters: Vec<f64>,
+        /// The point's own Monte Carlo seed (derived by the submitter from
+        /// the flow's `monte_carlo.seed` and the point index, so any process
+        /// analysing this point draws the identical sample sequence).
+        mc_seed: u64,
+    },
+}
+
+impl ShardWork {
+    /// This payload's kind.
+    pub fn kind(&self) -> ShardWorkKind {
+        match self {
+            ShardWork::Eval { .. } => ShardWorkKind::Eval,
+            ShardWork::Variation { .. } => ShardWorkKind::Variation,
+        }
+    }
+}
+
+/// Wire form of one analysed Pareto point (a variation shard's output).
+///
+/// The analysed data itself is carried as opaque JSON (`serde::Value`): the
+/// store moves it between processes byte-faithfully without depending on the
+/// behavioural-model types that define it (`ayb_core` converts both ways).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationOutcome {
+    /// The analysed point's variation data; `None` when the point could not
+    /// be re-simulated (a legitimate, deterministic result — not an error).
+    pub data: Option<Value>,
+    /// Wall-clock seconds the analysing process spent on this point, so the
+    /// submitter can account work done on other hosts.
+    pub elapsed_seconds: f64,
+}
+
+/// Typed output of one shard, mirroring [`ShardWork`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ShardOutcome {
+    /// Evaluations of a population shard, one entry per candidate in
+    /// shard-local order (`None` marks an infeasible candidate).
+    Eval {
+        /// The candidate evaluations.
+        results: Vec<Option<Evaluation>>,
+    },
+    /// One analysed Pareto point.
+    Variation(VariationOutcome),
 }
 
 fn transport_error(error: StoreError) -> ShardError {
@@ -124,13 +221,20 @@ impl ShardDataPlane {
     fn epoch_dir(&self, epoch: &str) -> PathBuf {
         self.dir.join(epoch)
     }
-}
 
-impl ShardTransport for ShardDataPlane {
-    fn open_epoch(&self, _shard_count: usize) -> Result<String, ShardError> {
+    /// Opens a new epoch of `kind`-tagged work, returning its identifier.
+    /// The kind is encoded in the epoch directory name, so listings can
+    /// distinguish evaluation from variation epochs with a single readdir.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::Transport`] when the epoch directory cannot be
+    /// created.
+    pub fn open_typed_epoch(&self, kind: ShardWorkKind) -> Result<String, ShardError> {
         static NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let epoch = format!(
-            "ep-{}-{}-{}",
+            "{}{}-{}-{}",
+            kind.epoch_prefix(),
             crate::now_unix(),
             std::process::id(),
             NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
@@ -140,20 +244,80 @@ impl ShardTransport for ShardDataPlane {
         Ok(epoch)
     }
 
+    /// Publishes shard `shard`'s typed payload into `epoch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::Transport`] when the task file cannot be
+    /// written.
+    pub fn publish_work(
+        &self,
+        epoch: &str,
+        shard: usize,
+        work: &ShardWork,
+    ) -> Result<(), ShardError> {
+        let path = self.epoch_dir(epoch).join(task_name(shard));
+        write_json(&path, work).map_err(transport_error)
+    }
+
+    /// Stores shard `shard`'s typed outcome and releases this process's
+    /// claim on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::Transport`] when the result file cannot be
+    /// written.
+    pub fn submit_outcome(
+        &self,
+        epoch: &str,
+        shard: usize,
+        outcome: &ShardOutcome,
+    ) -> Result<(), ShardError> {
+        let dir = self.epoch_dir(epoch);
+        write_json(&dir.join(result_name(shard)), outcome).map_err(transport_error)?;
+        let _ = fs::remove_file(dir.join(claim_name(shard)));
+        Ok(())
+    }
+
+    /// Fetches shard `shard`'s typed outcome, if some worker has submitted
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::Transport`] when an existing result file is
+    /// unreadable or malformed.
+    pub fn fetch_outcome(
+        &self,
+        epoch: &str,
+        shard: usize,
+    ) -> Result<Option<ShardOutcome>, ShardError> {
+        let path = self.epoch_dir(epoch).join(result_name(shard));
+        if !path.is_file() {
+            return Ok(None);
+        }
+        let outcome: ShardOutcome = read_json(&path).map_err(transport_error)?;
+        Ok(Some(outcome))
+    }
+}
+
+impl ShardTransport for ShardDataPlane {
+    fn open_epoch(&self, _shard_count: usize) -> Result<String, ShardError> {
+        self.open_typed_epoch(ShardWorkKind::Eval)
+    }
+
     fn publish(
         &self,
         epoch: &str,
         shard: usize,
         parameters: &[Vec<f64>],
     ) -> Result<(), ShardError> {
-        let path = self.epoch_dir(epoch).join(task_name(shard));
-        write_json(
-            &path,
-            &ShardTaskFile {
+        self.publish_work(
+            epoch,
+            shard,
+            &ShardWork::Eval {
                 parameters: parameters.to_vec(),
             },
         )
-        .map_err(transport_error)
     }
 
     fn try_claim(&self, epoch: &str, shard: usize) -> Result<bool, ShardError> {
@@ -163,25 +327,23 @@ impl ShardTransport for ShardDataPlane {
     }
 
     fn submit(&self, epoch: &str, shard: usize, results: &ShardResults) -> Result<(), ShardError> {
-        let dir = self.epoch_dir(epoch);
-        write_json(
-            &dir.join(result_name(shard)),
-            &ShardResultFile {
+        self.submit_outcome(
+            epoch,
+            shard,
+            &ShardOutcome::Eval {
                 results: results.clone(),
             },
         )
-        .map_err(transport_error)?;
-        let _ = fs::remove_file(dir.join(claim_name(shard)));
-        Ok(())
     }
 
     fn fetch(&self, epoch: &str, shard: usize) -> Result<Option<ShardResults>, ShardError> {
-        let path = self.epoch_dir(epoch).join(result_name(shard));
-        if !path.is_file() {
-            return Ok(None);
+        match self.fetch_outcome(epoch, shard)? {
+            Some(ShardOutcome::Eval { results }) => Ok(Some(results)),
+            // A non-evaluation outcome under an evaluation fetch cannot
+            // happen in a well-formed epoch; treat it as "not ready" so the
+            // shard is simply re-evaluated.
+            Some(ShardOutcome::Variation(_)) | None => Ok(None),
         }
-        let file: ShardResultFile = read_json(&path).map_err(transport_error)?;
-        Ok(Some(file.results))
     }
 
     fn recover(&self, epoch: &str, shard: usize) -> Result<bool, ShardError> {
@@ -206,11 +368,7 @@ impl ShardTransport for ShardDataPlane {
     }
 
     fn close_epoch(&self, epoch: &str) -> Result<(), ShardError> {
-        match fs::remove_dir_all(self.epoch_dir(epoch)) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-            Err(e) => return Err(transport_error(io_error(&self.epoch_dir(epoch), e))),
-        }
+        remove_epoch_dir(&self.epoch_dir(epoch)).map_err(transport_error)?;
         // Opportunistically drop the now-empty `shards/` parent, so idle
         // workers can dismiss this run with a single stat instead of a
         // directory scan (fails harmlessly if another epoch is open).
@@ -219,11 +377,34 @@ impl ShardTransport for ShardDataPlane {
     }
 }
 
+/// Removes one epoch directory, absorbing the claim race: a worker that
+/// scanned the epoch just before disposal may still be staging a claim file
+/// inside it, which can make a single `remove_dir_all` pass fail with
+/// `ENOTEMPTY`. Each retry deletes whatever reappeared; the worker's
+/// follow-up (load task, submit result) finds the directory gone and backs
+/// off, so a few attempts always win.
+fn remove_epoch_dir(dir: &Path) -> Result<(), StoreError> {
+    const ATTEMPTS: usize = 8;
+    for attempt in 0..ATTEMPTS {
+        match fs::remove_dir_all(dir) {
+            Ok(()) => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) if attempt + 1 == ATTEMPTS => return Err(io_error(dir, e)),
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    unreachable!("the loop returns on its final attempt");
+}
+
 /// Counts of a run's open shard work (see [`RunHandle::shard_summary`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardSummary {
-    /// Open evaluation epochs under the run.
+    /// Open epochs of any kind under the run.
     pub epochs: usize,
+    /// Open variation-analysis epochs (the remainder are evaluation
+    /// epochs) — `ayb status` uses this to label what stage a run's shard
+    /// work belongs to.
+    pub variation_epochs: usize,
     /// Published shard tasks across all open epochs.
     pub tasks: usize,
     /// Shards currently claimed by a worker.
@@ -261,6 +442,14 @@ impl RunHandle {
                 continue;
             }
             summary.epochs += 1;
+            let kind = epoch
+                .file_name()
+                .and_then(|n| n.to_str())
+                .map(ShardWorkKind::of_epoch)
+                .unwrap_or(ShardWorkKind::Eval);
+            if kind == ShardWorkKind::Variation {
+                summary.variation_epochs += 1;
+            }
             for path in read_dir_sorted(&epoch)? {
                 let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
                     continue;
@@ -298,11 +487,8 @@ impl RunHandle {
             if !epoch.is_dir() {
                 continue;
             }
-            match fs::remove_dir_all(&epoch) {
-                Ok(()) => swept += 1,
-                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-                Err(e) => return Err(io_error(&epoch, e)),
-            }
+            remove_epoch_dir(&epoch)?;
+            swept += 1;
         }
         // Drop the empty parent too, so worker scans dismiss this run with
         // one stat (harmless failure if an epoch opened concurrently).
@@ -349,6 +535,12 @@ impl ShardTask {
         self.shard
     }
 
+    /// The kind of work this shard carries, judged from its epoch's name
+    /// (cheap — no file read; the task file's payload tag is authoritative).
+    pub fn work_kind(&self) -> ShardWorkKind {
+        ShardWorkKind::of_epoch(&self.epoch)
+    }
+
     fn claim_path(&self) -> PathBuf {
         self.epoch_dir.join(claim_name(self.shard))
     }
@@ -372,24 +564,38 @@ impl ShardTask {
         crate::ClaimHeartbeat::start(self.claim_path(), interval)
     }
 
-    /// Loads the shard's candidate parameters; `None` when the epoch was
-    /// closed (the submitter assembled the batch without this shard —
-    /// nothing left to do).
+    /// Loads the shard's typed payload; `None` when the epoch was closed
+    /// (the submitter assembled the batch without this shard — nothing left
+    /// to do).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Json`] when an existing task file is malformed.
+    pub fn load_work(&self) -> Result<Option<ShardWork>, StoreError> {
+        let path = self.epoch_dir.join(task_name(self.shard));
+        if !path.is_file() {
+            return Ok(None);
+        }
+        let work: ShardWork = read_json(&path)?;
+        Ok(Some(work))
+    }
+
+    /// Loads the shard's candidate parameters — evaluation shards only;
+    /// `None` when the epoch was closed *or* the shard carries non-eval work
+    /// (use [`ShardTask::load_work`] for the typed payload).
     ///
     /// # Errors
     ///
     /// Returns [`StoreError::Json`] when an existing task file is malformed.
     pub fn load_parameters(&self) -> Result<Option<Vec<Vec<f64>>>, StoreError> {
-        let path = self.epoch_dir.join(task_name(self.shard));
-        if !path.is_file() {
-            return Ok(None);
+        match self.load_work()? {
+            Some(ShardWork::Eval { parameters }) => Ok(Some(parameters)),
+            _ => Ok(None),
         }
-        let file: ShardTaskFile = read_json(&path)?;
-        Ok(Some(file.parameters))
     }
 
-    /// Atomically writes the shard's results and releases this worker's
-    /// claim.
+    /// Atomically writes the shard's typed outcome and releases this
+    /// worker's claim.
     ///
     /// # Errors
     ///
@@ -397,15 +603,23 @@ impl ShardTask {
     /// cannot be written (e.g. the epoch was closed mid-evaluation; the
     /// submitter no longer needs the result, so callers treat this as a
     /// skip, not a failure).
-    pub fn submit_results(&self, results: &[Option<Evaluation>]) -> Result<(), StoreError> {
-        write_json(
-            &self.epoch_dir.join(result_name(self.shard)),
-            &ShardResultFile {
-                results: results.to_vec(),
-            },
-        )?;
+    pub fn submit_outcome(&self, outcome: &ShardOutcome) -> Result<(), StoreError> {
+        write_json(&self.epoch_dir.join(result_name(self.shard)), outcome)?;
         let _ = fs::remove_file(self.claim_path());
         Ok(())
+    }
+
+    /// Atomically writes an evaluation shard's results and releases this
+    /// worker's claim (see [`ShardTask::submit_outcome`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] when the result
+    /// cannot be written.
+    pub fn submit_results(&self, results: &[Option<Evaluation>]) -> Result<(), StoreError> {
+        self.submit_outcome(&ShardOutcome::Eval {
+            results: results.to_vec(),
+        })
     }
 
     /// Releases this worker's claim without submitting a result (e.g. the
@@ -680,6 +894,98 @@ mod tests {
         assert_eq!(run.sweep_shards().unwrap(), 3);
         assert_eq!(run.shard_summary().unwrap(), ShardSummary::default());
         assert_eq!(run.sweep_shards().unwrap(), 0, "second sweep is a no-op");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn typed_variation_work_roundtrips_over_the_plane() {
+        let (root, store) = temp_store();
+        let run = running_run(&store);
+        let plane = run.shard_plane(Duration::from_secs(30));
+
+        let epoch = plane.open_typed_epoch(ShardWorkKind::Variation).unwrap();
+        assert!(
+            epoch.starts_with("var-"),
+            "variation epochs are name-tagged: {epoch}"
+        );
+        let work = ShardWork::Variation {
+            parameters: vec![0.25, 0.75],
+            mc_seed: 0xfeed_beef,
+        };
+        plane.publish_work(&epoch, 0, &work).unwrap();
+
+        // The worker view sees the typed payload; the eval-only view
+        // declines it.
+        let tasks = store.open_shard_tasks().unwrap();
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(tasks[0].work_kind(), ShardWorkKind::Variation);
+        assert_eq!(tasks[0].load_work().unwrap(), Some(work.clone()));
+        assert_eq!(tasks[0].load_parameters().unwrap(), None);
+        assert_eq!(work.kind(), ShardWorkKind::Variation);
+
+        // Claim, service, fetch: the opaque data payload survives verbatim.
+        assert!(tasks[0].try_claim("variation-worker").unwrap());
+        let outcome = ShardOutcome::Variation(VariationOutcome {
+            data: Some(Value::Object(vec![(
+                "gain_db".to_string(),
+                Value::Float(61.5),
+            )])),
+            elapsed_seconds: 0.125,
+        });
+        tasks[0].submit_outcome(&outcome).unwrap();
+        assert_eq!(plane.fetch_outcome(&epoch, 0).unwrap(), Some(outcome));
+        // The eval-typed transport fetch declines a variation outcome
+        // instead of misreading it.
+        assert_eq!(plane.fetch(&epoch, 0).unwrap(), None);
+
+        let summary = run.shard_summary().unwrap();
+        assert_eq!(summary.epochs, 1);
+        assert_eq!(summary.variation_epochs, 1);
+        assert_eq!(summary.tasks, 1);
+        assert_eq!(summary.completed, 1);
+
+        plane.close_epoch(&epoch).unwrap();
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn eval_epochs_stay_untagged_and_uncounted_as_variation() {
+        let (root, store) = temp_store();
+        let run = running_run(&store);
+        let plane = run.shard_plane(Duration::from_secs(30));
+        let epoch = plane.open_epoch(1).unwrap();
+        assert!(epoch.starts_with("ep-"));
+        plane.publish(&epoch, 0, &[vec![0.5]]).unwrap();
+        let summary = run.shard_summary().unwrap();
+        assert_eq!(summary.epochs, 1);
+        assert_eq!(summary.variation_epochs, 0);
+        assert_eq!(
+            store.open_shard_tasks().unwrap()[0].work_kind(),
+            ShardWorkKind::Eval
+        );
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn variation_checkpoints_roundtrip_and_sweep() {
+        let (root, store) = temp_store();
+        let run = running_run(&store);
+        assert!(run.variation_checkpoint_indices().unwrap().is_empty());
+
+        // Record types are the caller's own; the store is agnostic.
+        run.save_variation_checkpoint(7, &vec![1.5f64, 2.5])
+            .unwrap();
+        run.save_variation_checkpoint(2, &vec![0.5f64]).unwrap();
+        assert_eq!(run.variation_checkpoint_indices().unwrap(), vec![2, 7]);
+        let restored: Vec<f64> = run.load_variation_checkpoint(7).unwrap();
+        assert_eq!(restored, vec![1.5, 2.5]);
+
+        // Generation checkpoints and variation checkpoints never collide.
+        assert!(run.checkpoint_generations().unwrap().is_empty());
+
+        assert_eq!(run.sweep_variation_checkpoints().unwrap(), 2);
+        assert!(run.variation_checkpoint_indices().unwrap().is_empty());
+        assert_eq!(run.sweep_variation_checkpoints().unwrap(), 0);
         let _ = fs::remove_dir_all(root);
     }
 

@@ -38,7 +38,7 @@
 use ayb_core::{AybError, FlowBuilder, FlowConfig, FlowObserver, FlowResult, FlowStage};
 use ayb_jobs::{JobEvent, JobServer, JobServerConfig};
 use ayb_moo::{CheckpointError, EarlyStop, OptimizerConfig};
-use ayb_store::{ClaimHealth, Manifest, RunStatus, Store};
+use ayb_store::{ClaimHealth, Manifest, RunStatus, ShardWorkKind, Store};
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -433,11 +433,17 @@ fn render_event(event: &JobEvent) -> String {
             run_id,
             epoch,
             shard,
+            work,
             candidates,
             worker,
-        } => format!(
-            "worker {worker} serviced shard {shard} of {run_id}/{epoch} ({candidates} candidates)"
-        ),
+        } => match work {
+            ShardWorkKind::Eval => format!(
+                "worker {worker} serviced shard {shard} of {run_id}/{epoch} ({candidates} candidates)"
+            ),
+            ShardWorkKind::Variation => format!(
+                "worker {worker} serviced variation point {shard} of {run_id}/{epoch}"
+            ),
+        },
     }
 }
 
@@ -480,7 +486,14 @@ fn cmd_status(args: &CliArgs) -> Result<(), String> {
                     None => "-".to_string(),
                 };
                 let shards = if shards.tasks > 0 {
-                    format!("{}/{}", shards.completed, shards.tasks)
+                    // Label what stage the open shard work belongs to: the
+                    // stages are sequential, so open epochs are all one kind.
+                    let kind = if shards.variation_epochs > 0 {
+                        " var"
+                    } else {
+                        " eval"
+                    };
+                    format!("{}/{}{kind}", shards.completed, shards.tasks)
                 } else {
                     "-".to_string()
                 };
@@ -534,12 +547,23 @@ fn status_of_run(store: &Store, id: &str) -> Result<(), String> {
     println!("checkpoints: {}", checkpoints.len());
     let shards = handle.shard_summary().map_err(|e| e.to_string())?;
     if shards.tasks > 0 {
+        let stage = if shards.variation_epochs > 0 {
+            "variation"
+        } else {
+            "evaluation"
+        };
         println!(
-            "shards: {}/{} done ({} claimed, {} epochs open)",
+            "shards: {}/{} {stage} done ({} claimed, {} epochs open)",
             shards.completed, shards.tasks, shards.claimed, shards.epochs
         );
     } else {
         println!("shards: none open");
+    }
+    let variation = handle
+        .variation_checkpoint_indices()
+        .map_err(|e| e.to_string())?;
+    if !variation.is_empty() {
+        println!("variation_checkpoints: {}", variation.len());
     }
     println!(
         "result: {}",
@@ -580,8 +604,13 @@ fn cmd_gc(args: &CliArgs) -> Result<(), String> {
             continue;
         }
         let removed = handle.prune_checkpoints(keep).map_err(|e| e.to_string())?;
-        if !removed.is_empty() {
-            pruned += removed.len();
+        // Per-point variation checkpoints of a completed run are dead
+        // weight too: result.json supersedes them.
+        let variation = handle
+            .sweep_variation_checkpoints()
+            .map_err(|e| e.to_string())?;
+        if !removed.is_empty() || variation > 0 {
+            pruned += removed.len() + variation;
             pruned_runs += 1;
         }
         // Shard epochs of a completed run are dead weight: the submitting
@@ -646,6 +675,7 @@ fn finish_flow(
             println!("pareto_points: {}", summary.pareto_points);
             println!("analysed_points: {}", summary.analysed_pareto_points);
             println!("cpu_time_seconds: {:.2}", summary.cpu_time_seconds);
+            println!("mc_work_seconds: {:.2}", summary.mc_work_seconds);
             println!("digest: {:016x}", result.determinism_digest());
             if !quiet {
                 eprintln!("[ayb] inspect with: ayb show {run_id}");
@@ -653,14 +683,30 @@ fn finish_flow(
             Ok(())
         }
         Err(AybError::Checkpoint(CheckpointError::Halted { generation })) => {
-            let checkpoints = store
+            let (checkpoints, variation) = store
                 .run(run_id)
-                .and_then(|handle| handle.checkpoint_generations())
-                .map(|generations| generations.len())
-                .unwrap_or(0);
+                .and_then(|handle| {
+                    Ok((
+                        handle.checkpoint_generations()?.len(),
+                        handle.variation_checkpoint_indices()?.len(),
+                    ))
+                })
+                .unwrap_or((0, 0));
             println!("status: interrupted");
-            println!("halted_at_generation: {generation}");
+            // `Halted { generation }` counts what the halted stage had
+            // persisted: optimiser generations when the optimisation was
+            // interrupted, analysed Pareto points when the variation stage
+            // was. Variation checkpoints only exist once stage 4 started,
+            // so they tell the two apart.
+            if variation > 0 {
+                println!("halted_at_variation_point: {generation}");
+            } else {
+                println!("halted_at_generation: {generation}");
+            }
             println!("checkpoints: {checkpoints}");
+            if variation > 0 {
+                println!("variation_checkpoints: {variation}");
+            }
             if !quiet {
                 eprintln!("[ayb] continue with: ayb resume {run_id}");
             }
@@ -754,6 +800,7 @@ fn cmd_show(args: &CliArgs) -> Result<(), String> {
         println!("  pareto_points: {}", summary.pareto_points);
         println!("  analysed_points: {}", summary.analysed_pareto_points);
         println!("  cpu_time_seconds: {:.2}", summary.cpu_time_seconds);
+        println!("  mc_work_seconds: {:.2}", summary.mc_work_seconds);
         println!("  digest: {:016x}", result.determinism_digest());
     } else {
         println!("result: none (resume with `ayb resume {run_id}`)");

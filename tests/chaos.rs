@@ -1,0 +1,263 @@
+//! Deterministic chaos harness for durable sharded flows.
+//!
+//! A *crash schedule* is a scripted sequence of kill-points expressed
+//! through the flow's own deterministic halt hooks — optimiser checkpoint
+//! boundaries (`FlowBuilder::halt_after_checkpoints`) and variation-stage
+//! boundaries (`FlowBuilder::halt_variation_when`: task claim, result
+//! write, epoch close). Halting at a boundary leaves the on-disk run
+//! indistinguishable from a SIGKILL there (apart from the recorded
+//! `Interrupted` status), so driving one run through a schedule of
+//! halt-and-resume cycles simulates an arbitrarily unlucky sequence of
+//! crashes.
+//!
+//! The harness ([`run_with_chaos`]) executes a run under a schedule,
+//! resuming after every scripted crash until the flow completes, and the
+//! tests assert the invariant everything else rests on: **every schedule
+//! converges to the same `determinism_digest`** as the clean serial run.
+//! Schedules are derived from seeds ([`schedule_from_seed`]), so failures
+//! reproduce exactly; future PRs can reuse the harness by composing new
+//! [`KillPoint`]s.
+
+use ayb_core::{
+    AybError, FlowBuilder, FlowConfig, FlowResult, VariationBoundary, VariationHaltHook,
+};
+use ayb_moo::CheckpointError;
+use ayb_store::{RunStatus, ShardSummary, Store};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// The harness
+// ---------------------------------------------------------------------------
+
+/// Which kind of variation-stage boundary a kill-point targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BoundaryKind {
+    /// Between claiming a point's analysis task and producing its result.
+    Claim,
+    /// Right after a point's result (and checkpoint) landed.
+    ResultWrite,
+    /// Right before the variation epoch is disposed of.
+    EpochClose,
+}
+
+/// One scripted crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KillPoint {
+    /// Crash after the Nth optimiser generation checkpoint of this attempt.
+    AtGenerationCheckpoint(usize),
+    /// Crash at the Nth variation boundary of `kind` in this attempt.
+    AtVariationBoundary(BoundaryKind, usize),
+}
+
+/// Derives a reproducible crash schedule (1..=3 kills) from a seed.
+fn schedule_from_seed(seed: u64) -> Vec<KillPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kills = rng.gen_range(1..=3usize);
+    (0..kills)
+        .map(|_| {
+            let ordinal = rng.gen_range(1..=3usize);
+            match rng.gen_range(0..4usize) {
+                0 => KillPoint::AtGenerationCheckpoint(ordinal),
+                1 => KillPoint::AtVariationBoundary(BoundaryKind::Claim, ordinal),
+                2 => KillPoint::AtVariationBoundary(BoundaryKind::ResultWrite, ordinal),
+                _ => KillPoint::AtVariationBoundary(BoundaryKind::EpochClose, 1),
+            }
+        })
+        .collect()
+}
+
+/// A hook that halts the flow at the `ordinal`-th boundary of `kind`.
+fn boundary_hook(kind: BoundaryKind, ordinal: usize) -> VariationHaltHook {
+    let seen = AtomicUsize::new(0);
+    Arc::new(move |boundary| {
+        let matched = matches!(
+            (kind, boundary),
+            (BoundaryKind::Claim, VariationBoundary::Claim { .. })
+                | (
+                    BoundaryKind::ResultWrite,
+                    VariationBoundary::ResultWrite { .. }
+                )
+                | (BoundaryKind::EpochClose, VariationBoundary::EpochClose)
+        );
+        matched && seen.fetch_add(1, Ordering::SeqCst) + 1 >= ordinal
+    })
+}
+
+/// Executes run `run_id` under a crash schedule: launch, crash at each
+/// scripted kill-point in order, resume, and keep going until the flow
+/// completes. A kill-point that never fires (the targeted boundary count is
+/// not reached in that attempt — e.g. the optimisation already finished, or
+/// few points remain) simply lets the attempt complete; that, too, is a
+/// legitimate crash history.
+///
+/// Panics (failing the test) if a resume errors for any reason other than
+/// the scripted halt, or if the schedule somehow fails to converge within
+/// `schedule.len() + 1` attempts.
+fn run_with_chaos(
+    store: &Store,
+    run_id: &str,
+    config: &FlowConfig,
+    seed: u64,
+    schedule: &[KillPoint],
+) -> FlowResult {
+    let mut kills = schedule.iter().copied();
+    let mut next_kill = kills.next();
+    for attempt in 0..=schedule.len() {
+        let mut builder = if attempt == 0 {
+            FlowBuilder::new(config.clone())
+                .with_seed(seed)
+                .with_store(store)
+                .with_run_id(run_id)
+        } else {
+            FlowBuilder::resume(store, run_id).expect("interrupted run resumes")
+        };
+        match next_kill {
+            Some(KillPoint::AtGenerationCheckpoint(n)) => {
+                builder = builder.halt_after_checkpoints(n);
+            }
+            Some(KillPoint::AtVariationBoundary(kind, n)) => {
+                builder = builder.halt_variation_when(boundary_hook(kind, n));
+            }
+            None => {}
+        }
+        match builder.run() {
+            Ok(result) => return result,
+            Err(AybError::Checkpoint(CheckpointError::Halted { .. })) => {
+                let status = store
+                    .run(run_id)
+                    .and_then(|handle| handle.status())
+                    .expect("halted run is readable");
+                assert_eq!(
+                    status,
+                    RunStatus::Interrupted,
+                    "a scripted crash leaves the run resumable"
+                );
+                next_kill = kills.next();
+            }
+            Err(error) => panic!("attempt {attempt} failed non-deterministically: {error}"),
+        }
+    }
+    panic!("schedule {schedule:?} did not converge");
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+fn temp_store(label: &str) -> (PathBuf, Store) {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let root = std::env::temp_dir().join(format!(
+        "ayb-chaos-test-{label}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let store = Store::open(&root).expect("store opens");
+    (root, store)
+}
+
+/// A small sharded configuration whose wall clock is split between the
+/// optimisation (4 generations) and the variation stage (8 points), so both
+/// families of kill-points land in live code.
+fn chaos_config() -> FlowConfig {
+    let mut config = FlowConfig::reduced();
+    config.ga.generations = 4;
+    config.sweep = ayb_sim::FrequencySweep::logarithmic(10.0, 1e9, 4);
+    config.monte_carlo.samples = 8;
+    config.max_pareto_points = 8;
+    config.sharded = true;
+    config.shard_size = 3;
+    config
+}
+
+const CHAOS_SEED: u64 = 2008;
+
+fn reference_digest() -> u64 {
+    let mut serial = chaos_config();
+    serial.sharded = false;
+    FlowBuilder::new(serial)
+        .with_seed(CHAOS_SEED)
+        .run()
+        .expect("reference flow completes")
+        .determinism_digest()
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+/// Hand-picked schedules covering every boundary kind at least once,
+/// including back-to-back crashes in the same stage.
+#[test]
+fn explicit_crash_schedules_converge_to_the_reference_digest() {
+    let expected = reference_digest();
+    let schedules: &[&[KillPoint]] = &[
+        &[KillPoint::AtGenerationCheckpoint(2)],
+        &[KillPoint::AtVariationBoundary(BoundaryKind::Claim, 1)],
+        &[KillPoint::AtVariationBoundary(BoundaryKind::ResultWrite, 4)],
+        &[KillPoint::AtVariationBoundary(BoundaryKind::EpochClose, 1)],
+        &[
+            KillPoint::AtGenerationCheckpoint(1),
+            KillPoint::AtVariationBoundary(BoundaryKind::Claim, 2),
+            KillPoint::AtVariationBoundary(BoundaryKind::ResultWrite, 1),
+            KillPoint::AtVariationBoundary(BoundaryKind::EpochClose, 1),
+        ],
+    ];
+    for (index, schedule) in schedules.iter().enumerate() {
+        let (root, store) = temp_store("explicit");
+        let run_id = format!("chaos-{index}");
+        let result = run_with_chaos(&store, &run_id, &chaos_config(), CHAOS_SEED, schedule);
+        assert_eq!(
+            result.determinism_digest(),
+            expected,
+            "schedule {schedule:?} perturbed the result"
+        );
+        let handle = store.run(&run_id).unwrap();
+        assert_eq!(handle.status().unwrap(), RunStatus::Completed);
+        assert_eq!(
+            handle.shard_summary().unwrap(),
+            ShardSummary::default(),
+            "no shard debris survives schedule {schedule:?}"
+        );
+        let _ = std::fs::remove_dir_all(root);
+    }
+}
+
+/// Seed-derived schedules: N random crash histories, every one of which
+/// must converge to the same digest as the clean run. Increasing the seed
+/// range is the cheap way for future PRs to buy more coverage.
+#[test]
+fn seeded_crash_schedules_converge_to_the_reference_digest() {
+    let expected = reference_digest();
+    for schedule_seed in 0..6u64 {
+        let schedule = schedule_from_seed(schedule_seed);
+        let (root, store) = temp_store("seeded");
+        let run_id = format!("chaos-seed-{schedule_seed}");
+        let result = run_with_chaos(&store, &run_id, &chaos_config(), CHAOS_SEED, &schedule);
+        assert_eq!(
+            result.determinism_digest(),
+            expected,
+            "seeded schedule {schedule_seed} ({schedule:?}) perturbed the result"
+        );
+        let _ = std::fs::remove_dir_all(root);
+    }
+}
+
+/// The schedule derivation itself is deterministic — the property that makes
+/// a chaos failure reproducible from its seed alone.
+#[test]
+fn schedules_are_reproducible_from_their_seed() {
+    for seed in 0..32u64 {
+        assert_eq!(schedule_from_seed(seed), schedule_from_seed(seed));
+        assert!(!schedule_from_seed(seed).is_empty());
+        assert!(schedule_from_seed(seed).len() <= 3);
+    }
+    // And not all identical.
+    let distinct: std::collections::HashSet<String> = (0..32u64)
+        .map(|seed| format!("{:?}", schedule_from_seed(seed)))
+        .collect();
+    assert!(distinct.len() > 3, "schedules vary with the seed");
+}

@@ -262,3 +262,17 @@ fn explicit_seeding_makes_runs_reproducible_end_to_end() {
         "different seeds must explore differently"
     );
 }
+
+#[test]
+fn halt_signal_never_aborts_a_storeless_flow() {
+    // A raised halt signal stops *durable* runs at resumable boundaries;
+    // a store-less flow has nothing to resume from, so it must ignore the
+    // signal and complete rather than discard all finished work.
+    let signal = Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let result = FlowBuilder::new(reduced_config())
+        .with_seed(17)
+        .halt_when(signal)
+        .run()
+        .expect("store-less flow completes despite a raised halt signal");
+    assert!(result.pareto_data.len() >= 3);
+}

@@ -290,3 +290,78 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Each case runs six complete five-stage flows (three optimisers, serial
+    // vs sharded); a small case count keeps the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Sharded variation analysis is bit-identical to the serial stage for
+    /// all three optimisers, whatever the seed and analysed-front size —
+    /// including fronts smaller than the number of evaluation shards per
+    /// generation (population 14 / shard size 3 = 5 shards).
+    #[test]
+    fn sharded_and_serial_variation_analysis_are_identical(
+        seed in 0u64..10_000,
+        front_limit in 3usize..7,
+    ) {
+        use ayb_core::{FlowBuilder, FlowConfig};
+        use ayb_moo::{GaConfig, OptimizerConfig};
+        use ayb_store::Store;
+
+        let mut config = FlowConfig::reduced();
+        config.ga = GaConfig {
+            generations: 3,
+            ..config.ga
+        };
+        config.sweep = ayb_sim::FrequencySweep::logarithmic(10.0, 1e9, 4);
+        config.monte_carlo.samples = 6;
+        config.max_pareto_points = front_limit;
+        config.shard_size = 3;
+
+        for optimizer in [
+            OptimizerConfig::Wbga(config.ga),
+            OptimizerConfig::Nsga2(config.ga),
+            OptimizerConfig::RandomSearch {
+                budget: config.ga.evaluation_budget(),
+                seed,
+            },
+        ] {
+            // Serial reference: no store, no sharding.
+            let serial = FlowBuilder::new(config.clone())
+                .with_optimizer(optimizer.clone())
+                .with_seed(seed)
+                .run()
+                .expect("serial flow completes");
+
+            // Sharded: durable run, variation stage through the shard plane
+            // (no external workers — the submitter services every point).
+            let dir = std::env::temp_dir().join(format!(
+                "ayb-prop-var-{}-{seed}-{front_limit}-{}",
+                std::process::id(),
+                optimizer.name()
+            ));
+            let store = Store::open(&dir).expect("store opens");
+            let sharded = FlowBuilder::new(config.clone())
+                .with_optimizer(optimizer.clone())
+                .with_seed(seed)
+                .with_store(&store)
+                .sharded(true)
+                .run()
+                .expect("sharded flow completes");
+            let _ = std::fs::remove_dir_all(&dir);
+
+            prop_assert!(
+                serial.pareto_data == sharded.pareto_data,
+                "{}: variation tables must match",
+                optimizer.name()
+            );
+            prop_assert!(
+                serial.determinism_digest() == sharded.determinism_digest(),
+                "{}: whole-flow digest must match",
+                optimizer.name()
+            );
+            prop_assert_eq!(serial.timings.mc_points, sharded.timings.mc_points);
+        }
+    }
+}

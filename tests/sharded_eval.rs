@@ -1,16 +1,24 @@
-//! Integration tests for sharded multi-process batch evaluation: a flow run
-//! with `sharded` evaluation produces a `determinism_digest` bit-identical
-//! to the single-process run — alone, through a drain job server, and across
+//! Integration tests for sharded multi-process execution: a flow run with
+//! `sharded` evaluation produces a `determinism_digest` bit-identical to the
+//! single-process run — alone, through a drain job server, and across
 //! multiple `ayb serve --shards-only` worker *processes* sharing one store,
 //! including after one of those workers is SIGKILLed mid-run and its shard
-//! claims are recovered.
+//! claims are recovered. The same holds for the sharded Monte Carlo
+//! variation stage (one task per Pareto point), and a flow interrupted
+//! mid-variation resumes from its per-point checkpoints without re-analysing
+//! completed points.
 
-use ayb_core::{FlowBuilder, FlowConfig, FlowResult};
+use ayb_core::{
+    AybError, FlowBuilder, FlowConfig, FlowObserver, FlowResult, FlowStage, VariationBoundary,
+    VariationHaltHook,
+};
 use ayb_jobs::{JobServer, JobServerConfig};
+use ayb_moo::CheckpointError;
 use ayb_store::{RunStatus, ShardSummary, Store};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn temp_store(label: &str) -> (PathBuf, Store) {
@@ -219,6 +227,195 @@ fn multi_process_sharded_run_survives_a_sigkilled_worker_bit_identically() {
     );
 
     let handle = store.run(&run_id).unwrap();
+    assert_eq!(handle.status().unwrap(), RunStatus::Completed);
+    assert_eq!(handle.claim().unwrap(), None);
+    assert_eq!(handle.shard_summary().unwrap(), ShardSummary::default());
+    assert_eq!(stored_digest(&store, &run_id), expected);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// Counts `on_progress` ticks of the variation stage — one per point
+/// actually analysed by this flow (restored checkpoints never tick).
+struct VariationTicks(Arc<AtomicUsize>);
+
+impl FlowObserver for VariationTicks {
+    fn on_progress(&mut self, stage: FlowStage, _done: usize, _total: usize) {
+        if stage == FlowStage::AnalyzeVariation {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A flow interrupted mid-variation-stage resumes from its per-point
+/// checkpoints: the already-analysed points are provably skipped (checkpoint
+/// files untouched, observer ticks only for the remainder) and the final
+/// result digests identically to the uninterrupted serial run.
+#[test]
+fn interrupted_variation_resumes_from_per_point_checkpoints() {
+    let (root, store) = temp_store("varresume");
+    let expected = reference_digest(99);
+
+    // Halt at the third variation result-write boundary — the deterministic
+    // stand-in for a SIGKILL right after the third point's checkpoint landed.
+    let writes = Arc::new(AtomicUsize::new(0));
+    let hook: VariationHaltHook = {
+        let writes = Arc::clone(&writes);
+        Arc::new(move |boundary| match boundary {
+            VariationBoundary::ResultWrite { .. } => writes.fetch_add(1, Ordering::SeqCst) + 1 >= 3,
+            _ => false,
+        })
+    };
+    let halted = FlowBuilder::new(sharded_config())
+        .with_seed(99)
+        .with_store(&store)
+        .with_run_id("var-halt")
+        .halt_variation_when(hook)
+        .run();
+    assert!(
+        matches!(
+            halted,
+            Err(AybError::Checkpoint(CheckpointError::Halted { .. }))
+        ),
+        "the hook halts the variation stage: {halted:?}"
+    );
+
+    let handle = store.run("var-halt").unwrap();
+    assert_eq!(handle.status().unwrap(), RunStatus::Interrupted);
+    assert_eq!(handle.claim().unwrap(), None, "claim released at the halt");
+    let restored = handle.variation_checkpoint_indices().unwrap();
+    assert_eq!(restored.len(), 3, "exactly three points were checkpointed");
+    let mtimes: Vec<_> = restored
+        .iter()
+        .map(|&index| {
+            let path = root.join(format!(
+                "runs/var-halt/checkpoints/variation_{index:04}.json"
+            ));
+            std::fs::metadata(&path).unwrap().modified().unwrap()
+        })
+        .collect();
+
+    // Resume: the three restored points must not be re-analysed.
+    let ticks = Arc::new(AtomicUsize::new(0));
+    let result = FlowBuilder::resume(&store, "var-halt")
+        .expect("resume builds")
+        .with_observer(VariationTicks(Arc::clone(&ticks)))
+        .run()
+        .expect("resumed flow completes");
+    assert_eq!(
+        result.determinism_digest(),
+        expected,
+        "interrupt + resume mid-variation changes nothing about the result"
+    );
+    let total = result.timings.mc_points;
+    assert_eq!(
+        ticks.load(Ordering::SeqCst),
+        total - 3,
+        "the resumed stage analysed only the unfinished points"
+    );
+    assert_eq!(
+        handle.variation_checkpoint_indices().unwrap().len(),
+        total,
+        "every selected point ends up checkpointed"
+    );
+    for (&index, mtime) in restored.iter().zip(&mtimes) {
+        let path = root.join(format!(
+            "runs/var-halt/checkpoints/variation_{index:04}.json"
+        ));
+        assert_eq!(
+            &std::fs::metadata(&path).unwrap().modified().unwrap(),
+            mtime,
+            "restored checkpoint {index} was never rewritten"
+        );
+    }
+    assert_eq!(handle.status().unwrap(), RunStatus::Completed);
+    assert_eq!(handle.shard_summary().unwrap(), ShardSummary::default());
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// The variation acceptance scenario: the Monte Carlo stage of a sharded
+/// flow is serviced by real `ayb serve --shards-only` worker *processes*,
+/// one of which is SIGKILLed mid-variation-epoch — the run still completes
+/// with the serial reference digest, and the workers provably analysed
+/// points out-of-process.
+#[test]
+fn variation_stage_shards_across_processes_and_survives_a_sigkilled_worker() {
+    let (root, store) = temp_store("varproc");
+
+    // Variation-heavy configuration: a short optimisation, then eight
+    // 60-sample Monte Carlo points — most of the wall clock is stage 4.
+    let mut config = sharded_config();
+    config.ga.generations = 3;
+    config.monte_carlo.samples = 60;
+    let expected = {
+        let mut serial = config.clone();
+        serial.sharded = false;
+        FlowBuilder::new(serial)
+            .with_seed(123)
+            .run()
+            .expect("reference flow completes")
+            .determinism_digest()
+    };
+
+    config.ga.seed = 123;
+    config.monte_carlo.seed = 123;
+    let optimizer = ayb_moo::OptimizerConfig::Wbga(config.ga);
+    let run_id = store
+        .enqueue_run(123, &optimizer, &config)
+        .expect("enqueue succeeds")
+        .id()
+        .to_string();
+
+    let doomed = spawn_shard_worker(&root);
+    let survivor = spawn_shard_worker(&root);
+
+    // The submitter executes in a thread; the main thread watches the store
+    // and SIGKILLs one worker as soon as the variation stage is provably in
+    // flight (per-point checkpoints exist), so the kill lands mid-epoch.
+    let submitter = {
+        let store = store.clone();
+        let run_id = run_id.clone();
+        std::thread::spawn(move || {
+            FlowBuilder::resume(&store, &run_id)
+                .expect("resume builds")
+                .run()
+                .expect("sharded flow completes despite the killed worker")
+        })
+    };
+    let handle = store.run(&run_id).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    while handle
+        .variation_checkpoint_indices()
+        .map(|indices| indices.len() < 2)
+        .unwrap_or(true)
+        && std::time::Instant::now() < deadline
+        && !handle.has_result()
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let mut doomed = doomed;
+    doomed.kill().expect("doomed worker SIGKILLed");
+    let doomed_output = doomed.wait_with_output().expect("doomed worker reaped");
+
+    let result = submitter.join().expect("submitter thread joins");
+    assert_eq!(
+        result.determinism_digest(),
+        expected,
+        "worker processes and a SIGKILL mid-variation change nothing"
+    );
+
+    let mut survivor = survivor;
+    survivor.kill().expect("survivor stops");
+    let survivor_output = survivor.wait_with_output().expect("survivor reaped");
+    let worker_logs = format!(
+        "{}{}",
+        String::from_utf8_lossy(&doomed_output.stderr),
+        String::from_utf8_lossy(&survivor_output.stderr)
+    );
+    assert!(
+        worker_logs.contains("serviced variation point"),
+        "external worker processes analysed at least one point; logs:\n{worker_logs}"
+    );
+
     assert_eq!(handle.status().unwrap(), RunStatus::Completed);
     assert_eq!(handle.claim().unwrap(), None);
     assert_eq!(handle.shard_summary().unwrap(), ShardSummary::default());

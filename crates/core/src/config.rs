@@ -49,6 +49,16 @@ pub struct FlowConfig {
     /// is set (minimum 1; batches at most one shard long are evaluated
     /// locally).
     pub shard_size: usize,
+    /// Where a sharded flow's data plane lives. `None` (the default) keeps
+    /// shard epochs on the run store's filesystem, serviced by workers that
+    /// mount the same store. `Some("tcp://host:port")` routes them through
+    /// an `ayb coordinate` coordinator instead, so workers need network
+    /// reachability but **no shared filesystem**. The transport never
+    /// changes results — only where shard payloads travel; an unreachable
+    /// coordinator degrades (noisily, via
+    /// [`FlowObserver::on_transport_degraded`](crate::FlowObserver)) to
+    /// local evaluation.
+    pub transport: Option<String>,
 }
 
 impl FlowConfig {
@@ -66,6 +76,7 @@ impl FlowConfig {
             threads: 4,
             sharded: false,
             shard_size: 25,
+            transport: None,
         }
     }
 
@@ -94,6 +105,7 @@ impl FlowConfig {
             threads: 2,
             sharded: false,
             shard_size: 4,
+            transport: None,
         }
     }
 
@@ -140,6 +152,12 @@ impl Deserialize for FlowConfig {
             Some(field) => Deserialize::from_value(field)?,
             None => 25,
         };
+        // The transport selector postdates the sharding knobs; absent (or
+        // explicit null) means the disk data plane, as before.
+        let transport = match value.get("transport") {
+            Some(field) => Deserialize::from_value(field)?,
+            None => None,
+        };
         Ok(FlowConfig {
             ga: Deserialize::from_value(serde::__field(value, "ga")?)?,
             monte_carlo: Deserialize::from_value(serde::__field(value, "monte_carlo")?)?,
@@ -154,6 +172,7 @@ impl Deserialize for FlowConfig {
             threads: Deserialize::from_value(serde::__field(value, "threads")?)?,
             sharded,
             shard_size,
+            transport,
         })
     }
 }
@@ -194,14 +213,16 @@ mod tests {
         let mut config = FlowConfig::reduced();
         config.sharded = true;
         config.shard_size = 7;
+        config.transport = Some("tcp://127.0.0.1:4710".to_string());
         let serde::Value::Object(mut pairs) = serde::Serialize::to_value(&config) else {
             panic!("FlowConfig serializes to an object");
         };
-        pairs.retain(|(key, _)| key != "sharded" && key != "shard_size");
+        pairs.retain(|(key, _)| key != "sharded" && key != "shard_size" && key != "transport");
         let legacy = serde::Value::Object(pairs);
         let back: FlowConfig = serde::Deserialize::from_value(&legacy).expect("legacy loads");
         assert!(!back.sharded);
         assert!(back.shard_size >= 1);
+        assert_eq!(back.transport, None);
         assert_eq!(back.ga, config.ga);
         assert_eq!(back.threads, config.threads);
 

@@ -47,15 +47,16 @@ use ayb_moo::{
     OptimizationResult, OptimizerConfig, ShardError, ShardTransport, ShardedEvaluator,
     ShardingOptions, SizingProblem, WithEvaluator,
 };
+use ayb_net::TcpTransport;
 use ayb_process::{montecarlo, Summary};
 use ayb_store::{
-    ClaimHeartbeat, Manifest, RunHandle, RunStatus, ShardDataPlane, ShardOutcome, ShardWork,
-    ShardWorkKind, Store, StoreError, VariationOutcome,
+    ClaimHeartbeat, ClaimInfo, Manifest, RunHandle, RunStatus, ShardDataPlane, ShardOutcome,
+    ShardWork, ShardWorkKind, Store, StoreError, VariationOutcome,
 };
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Errors produced by the flow.
@@ -122,6 +123,17 @@ pub struct FlowTimings {
     /// process analysed each point — so serial and sharded runs report
     /// comparable work even though their submitter wall clocks differ.
     pub mc_point_seconds: f64,
+    /// Shard requests this flow sent over a TCP data plane (0 for disk
+    /// planes and unsharded flows).
+    pub shard_requests: u64,
+    /// Summed round-trip seconds of those shard requests.
+    pub shard_request_seconds: f64,
+    /// Late writes from stolen shard claims the data plane fenced off and
+    /// discarded during this flow.
+    pub shards_fenced: u64,
+    /// Shards that degraded from the data plane to local production (each
+    /// one also lands in the run's transport report with its cause).
+    pub shards_degraded: usize,
 }
 
 impl FlowTimings {
@@ -143,12 +155,32 @@ impl Deserialize for FlowTimings {
             Some(field) => Deserialize::from_value(field)?,
             None => 0.0,
         };
+        let shard_requests = match value.get("shard_requests") {
+            Some(field) => Deserialize::from_value(field)?,
+            None => 0,
+        };
+        let shard_request_seconds = match value.get("shard_request_seconds") {
+            Some(field) => Deserialize::from_value(field)?,
+            None => 0.0,
+        };
+        let shards_fenced = match value.get("shards_fenced") {
+            Some(field) => Deserialize::from_value(field)?,
+            None => 0,
+        };
+        let shards_degraded = match value.get("shards_degraded") {
+            Some(field) => Deserialize::from_value(field)?,
+            None => 0,
+        };
         Ok(FlowTimings {
             optimization: Deserialize::from_value(serde::__field(value, "optimization")?)?,
             monte_carlo: Deserialize::from_value(serde::__field(value, "monte_carlo")?)?,
             model_build: Deserialize::from_value(serde::__field(value, "model_build")?)?,
             mc_points,
             mc_point_seconds,
+            shard_requests,
+            shard_request_seconds,
+            shards_fenced,
+            shards_degraded,
         })
     }
 }
@@ -444,6 +476,16 @@ pub trait FlowObserver {
     /// `next_generation`, `path` the file that was written.
     fn on_checkpoint_written(&mut self, generation: usize, path: &Path) {
         let _ = (generation, path);
+    }
+
+    /// Called when the shard data plane failed repeatedly for one shard and
+    /// the flow produced it locally instead. `detail` is the transport error
+    /// that tipped the shard into degradation — the flow never degrades
+    /// silently. Results are unaffected (local production is bit-identical);
+    /// this is purely diagnostic, surfaced by `ayb status` via the run's
+    /// transport report.
+    fn on_transport_degraded(&mut self, stage: FlowStage, shard: usize, detail: &str) {
+        let _ = (stage, shard, detail);
     }
 }
 
@@ -741,36 +783,44 @@ impl FlowBuilder {
             .claim_owner
             .take()
             .unwrap_or_else(|| format!("flow-{}", std::process::id()));
-        let (run, resume_checkpoint) = match (self.store.as_ref(), self.resume_from.take()) {
-            (_, Some((handle, checkpoint))) => {
-                handle.try_claim(&claim_owner)?;
-                // Under the claim, re-check for a result: the run may have
-                // been completed by another worker between this builder's
-                // construction and the claim; re-executing it would be
-                // wasted (if bit-identical) work.
-                if handle.has_result() {
-                    let _ = handle.release_claim();
-                    return Err(AybError::Store(StoreError::AlreadyCompleted(
-                        handle.id().to_string(),
-                    )));
+        // The fenced `ClaimInfo` minted by `try_claim` is kept for the whole
+        // execution: every durable write below re-checks it, so a recovery
+        // pass that presumed this process hung and stole the claim fences
+        // this writer off instead of letting two executors fight over one
+        // run's files.
+        let (run, run_claim, resume_checkpoint) =
+            match (self.store.as_ref(), self.resume_from.take()) {
+                (_, Some((handle, checkpoint))) => {
+                    let minted = handle.try_claim(&claim_owner)?;
+                    // Under the claim, re-check for a result: the run may
+                    // have been completed by another worker between this
+                    // builder's construction and the claim; re-executing it
+                    // would be wasted (if bit-identical) work.
+                    if handle.has_result() {
+                        let _ = handle.break_claim(&minted);
+                        return Err(AybError::Store(StoreError::AlreadyCompleted(
+                            handle.id().to_string(),
+                        )));
+                    }
+                    if let Err(error) = handle.set_status(RunStatus::Running) {
+                        let _ = handle.break_claim(&minted);
+                        return Err(error.into());
+                    }
+                    (Some(handle), Some(minted), checkpoint)
                 }
-                if let Err(error) = handle.set_status(RunStatus::Running) {
-                    let _ = handle.release_claim();
-                    return Err(error.into());
+                (Some(store), None) => {
+                    let seed = self.optimizer.seed();
+                    let handle = match &self.run_id {
+                        Some(id) => {
+                            store.create_run_with_id(id, seed, &self.optimizer, &self.config)
+                        }
+                        None => store.create_run(seed, &self.optimizer, &self.config),
+                    }?;
+                    let minted = handle.try_claim(&claim_owner)?;
+                    (Some(handle), Some(minted), None)
                 }
-                (Some(handle), checkpoint)
-            }
-            (Some(store), None) => {
-                let seed = self.optimizer.seed();
-                let handle = match &self.run_id {
-                    Some(id) => store.create_run_with_id(id, seed, &self.optimizer, &self.config),
-                    None => store.create_run(seed, &self.optimizer, &self.config),
-                }?;
-                handle.try_claim(&claim_owner)?;
-                (Some(handle), None)
-            }
-            (None, None) => (None, None),
-        };
+                (None, None) => (None, None, None),
+            };
 
         // Heartbeat the run claim for as long as this flow holds it (all
         // stages), so recovery passes — here or on other hosts — can tell
@@ -780,31 +830,70 @@ impl FlowBuilder {
             .map(|handle| handle.start_claim_heartbeat(CLAIM_HEARTBEAT_INTERVAL));
 
         // With sharding enabled (and a durable run to host the data plane),
-        // batch evaluation goes through the store: populations split into
-        // shards that any worker process sharing the store may evaluate.
-        // The wrapper borrows `problem`, so the optimisation runs in its own
-        // scope; results are identical either way (see `ayb_moo::sharding`).
-        let sharded = match &run {
+        // batch evaluation goes through the shard data plane — on disk, or
+        // over TCP when the config selects a coordinator. The plane is built
+        // once and carried through all stages, so its traffic and fencing
+        // counters cover the whole flow.
+        let shard_plane = match &run {
             Some(handle) if self.config.sharded => {
                 // This flow holds the run's exclusive claim, so any shard
                 // epochs still on disk belong to a dead predecessor.
                 let _ = handle.sweep_shards();
-                Some(WithEvaluator::new(
-                    &problem,
-                    ShardedEvaluator::new(
-                        Box::new(handle.shard_plane(SHARD_CLAIM_STALE_AFTER)),
-                        ShardingOptions::with_shard_size(self.config.shard_size),
-                    ),
-                ))
+                Some(match self.config.transport.as_deref() {
+                    Some(url) => match TcpTransport::from_url(url) {
+                        Ok(transport) => {
+                            let context = serde::Serialize::to_value(&self.config);
+                            FlowShardPlane::Tcp(transport.with_run_context(handle.id(), context))
+                        }
+                        Err(reason) => {
+                            // A malformed selector degrades to the disk
+                            // plane — noisily, so a typo'd URL never passes
+                            // for a working coordinator (the CLI validates
+                            // up front; this guards configs edited by hand).
+                            let detail = format!("{reason}; using the disk data plane");
+                            for observer in &mut self.observers {
+                                observer.on_transport_degraded(FlowStage::Optimize, 0, &detail);
+                            }
+                            FlowShardPlane::Disk(handle.shard_plane(SHARD_CLAIM_STALE_AFTER))
+                        }
+                    },
+                    None => FlowShardPlane::Disk(handle.shard_plane(SHARD_CLAIM_STALE_AFTER)),
+                })
             }
             _ => None,
         };
+
+        // Degradations inside the optimiser's batch evaluations are buffered
+        // (the evaluator is shared behind `&self` while the checkpoint sink
+        // holds the observers) and drained into the observers at every exit
+        // from this stage.
+        let degraded_events: Arc<Mutex<Vec<(usize, String)>>> = Arc::default();
+        // The wrapper borrows `problem`, so the optimisation runs in its own
+        // scope; results are identical sharded or not (see
+        // `ayb_moo::sharding`).
+        let sharded = shard_plane.as_ref().map(|plane| {
+            let sink = Arc::clone(&degraded_events);
+            WithEvaluator::new(
+                &problem,
+                ShardedEvaluator::new(
+                    plane.boxed_transport(),
+                    ShardingOptions::with_shard_size(self.config.shard_size),
+                )
+                .with_degraded_hook(Arc::new(move |shard, error| {
+                    let ShardError::Transport(detail) = error;
+                    sink.lock()
+                        .expect("degradation event lock")
+                        .push((shard, detail.clone()));
+                })),
+            )
+        });
         let sizing: &dyn SizingProblem = match &sharded {
             Some(wrapped) => wrapped,
             None => &problem,
         };
 
         let t0 = Instant::now();
+        let mut transport_incidents: Vec<TransportIncident> = Vec::new();
         let optimizer = self.optimizer.build();
         let optimization = match &run {
             None => optimizer.run(sizing),
@@ -814,7 +903,10 @@ impl FlowBuilder {
                 let observers = &mut self.observers;
                 let halt_after = self.halt_after_checkpoints;
                 let halt_signal = self.halt_signal.clone();
-                let mut sink = |checkpoint: &Checkpoint| match handle.save_checkpoint(checkpoint) {
+                let minted = run_claim.as_ref();
+                let mut sink = |checkpoint: &Checkpoint| match guard_claim(handle, minted)
+                    .and_then(|()| handle.save_checkpoint(checkpoint))
+                {
                     Ok(path) => {
                         written += 1;
                         for observer in observers.iter_mut() {
@@ -836,18 +928,23 @@ impl FlowBuilder {
                     }
                 };
                 let outcome = optimizer.run_checkpointed(sizing, resume_checkpoint, &mut sink);
+                drain_degraded(
+                    &mut self.observers,
+                    &degraded_events,
+                    &mut transport_incidents,
+                );
                 if let Some(error) = write_error {
-                    finish_run(handle, RunStatus::Failed);
+                    finish_run(handle, run_claim.as_ref(), RunStatus::Failed);
                     return Err(AybError::Store(error));
                 }
                 match outcome {
                     Ok(result) => result,
                     Err(halted @ CheckpointError::Halted { .. }) => {
-                        finish_run(handle, RunStatus::Interrupted);
+                        finish_run(handle, run_claim.as_ref(), RunStatus::Interrupted);
                         return Err(AybError::Checkpoint(halted));
                     }
                     Err(error) => {
-                        finish_run(handle, RunStatus::Failed);
+                        finish_run(handle, run_claim.as_ref(), RunStatus::Failed);
                         return Err(AybError::Checkpoint(error));
                     }
                 }
@@ -855,9 +952,14 @@ impl FlowBuilder {
         };
         let optimization_time = t0.elapsed();
         drop(sharded); // ends the wrapper's borrow of `problem`
+        drain_degraded(
+            &mut self.observers,
+            &degraded_events,
+            &mut transport_incidents,
+        );
         if optimization.archive.is_empty() {
             if let Some(handle) = &run {
-                finish_run(handle, RunStatus::Failed);
+                finish_run(handle, run_claim.as_ref(), RunStatus::Failed);
             }
             return Err(AybError::Flow(FlowError::NoFeasibleCandidates));
         }
@@ -873,6 +975,9 @@ impl FlowBuilder {
             pareto,
             selected,
             run,
+            run_claim,
+            shard_plane,
+            transport_incidents,
             claim_heartbeat,
             halt_signal: self.halt_signal,
             variation_halt: self.variation_halt,
@@ -903,6 +1008,9 @@ pub struct OptimizedFlow {
     pareto: Vec<Evaluation>,
     selected: Vec<Evaluation>,
     run: Option<RunHandle>,
+    run_claim: Option<ClaimInfo>,
+    shard_plane: Option<FlowShardPlane>,
+    transport_incidents: Vec<TransportIncident>,
     claim_heartbeat: Option<ClaimHeartbeat>,
     halt_signal: Option<Arc<AtomicBool>>,
     variation_halt: Option<VariationHaltHook>,
@@ -987,7 +1095,7 @@ impl OptimizedFlow {
             })();
             if let Err(error) = restored {
                 drop(self.claim_heartbeat.take());
-                finish_run(handle, RunStatus::Failed);
+                finish_run(handle, self.run_claim.as_ref(), RunStatus::Failed);
                 return Err(AybError::Store(error));
             }
         }
@@ -1005,7 +1113,7 @@ impl OptimizedFlow {
             VariationStageOutcome::Halted { analysed } => {
                 drop(self.claim_heartbeat.take());
                 if let Some(handle) = &self.run {
-                    finish_run(handle, RunStatus::Interrupted);
+                    finish_run(handle, self.run_claim.as_ref(), RunStatus::Interrupted);
                 }
                 return Err(AybError::Checkpoint(CheckpointError::Halted {
                     generation: analysed,
@@ -1014,7 +1122,7 @@ impl OptimizedFlow {
             VariationStageOutcome::Failed(error) => {
                 drop(self.claim_heartbeat.take());
                 if let Some(handle) = &self.run {
-                    finish_run(handle, RunStatus::Failed);
+                    finish_run(handle, self.run_claim.as_ref(), RunStatus::Failed);
                 }
                 return Err(AybError::Store(error));
             }
@@ -1040,7 +1148,7 @@ impl OptimizedFlow {
         if pareto_data.len() < 3 {
             drop(self.claim_heartbeat.take());
             if let Some(handle) = &self.run {
-                finish_run(handle, RunStatus::Failed);
+                finish_run(handle, self.run_claim.as_ref(), RunStatus::Failed);
             }
             return Err(AybError::Flow(FlowError::InsufficientParetoData(
                 pareto_data.len(),
@@ -1053,6 +1161,9 @@ impl OptimizedFlow {
             pareto: self.pareto,
             pareto_data,
             run: self.run,
+            run_claim: self.run_claim,
+            shard_plane: self.shard_plane,
+            transport_incidents: self.transport_incidents,
             claim_heartbeat: self.claim_heartbeat,
             timings: self.timings,
         })
@@ -1096,6 +1207,20 @@ impl OptimizedFlow {
         }
     }
 
+    /// Reports one shard's degradation to local production: observers hear
+    /// it immediately, and the incident lands in the run's persisted
+    /// [`TransportReport`].
+    fn note_transport_degraded(&mut self, stage: FlowStage, shard: usize, detail: &str) {
+        for observer in &mut self.observers {
+            observer.on_transport_degraded(stage, shard, detail);
+        }
+        self.transport_incidents.push(TransportIncident {
+            stage: stage.name().to_string(),
+            shard,
+            detail: detail.to_string(),
+        });
+    }
+
     /// Persists (durable runs) and slots one landed point, ticking the
     /// progress observers.
     fn record_point(
@@ -1105,6 +1230,7 @@ impl OptimizedFlow {
         record: VariationPointRecord,
     ) -> Result<(), StoreError> {
         if let Some(handle) = &self.run {
+            guard_claim(handle, self.run_claim.as_ref())?;
             handle.save_variation_checkpoint(index, &record)?;
         }
         slots[index] = Some(record);
@@ -1152,14 +1278,14 @@ impl OptimizedFlow {
         pending: &[usize],
         slots: &mut [Option<VariationPointRecord>],
     ) -> VariationStageOutcome {
-        let plane = {
-            let handle = self
-                .run
-                .as_ref()
-                .expect("sharded variation requires a durable run");
-            handle.shard_plane(SHARD_CLAIM_STALE_AFTER)
+        // Clones share counters with the plane built in `optimize`, so
+        // traffic and fencing stats keep accumulating across stages.
+        let Some(plane) = self.shard_plane.clone() else {
+            return self.variation_serial(pending, slots);
         };
-        let Ok(epoch) = plane.open_typed_epoch(ShardWorkKind::Variation) else {
+        let Ok(epoch) = plane.open_typed_epoch(ShardWorkKind::Variation, pending.len()) else {
+            let detail = "variation epoch could not be opened; analysing serially".to_string();
+            self.note_transport_degraded(FlowStage::AnalyzeVariation, 0, &detail);
             return self.variation_serial(pending, slots);
         };
         let base_seed = self.config.monte_carlo.seed;
@@ -1226,7 +1352,7 @@ enum VariationAbort {
 /// identical bookkeeping to the serial path.
 struct VariationEpochWork<'a> {
     flow: &'a mut OptimizedFlow,
-    plane: &'a ShardDataPlane,
+    plane: &'a FlowShardPlane,
     epoch: &'a str,
     pending: &'a [usize],
     slots: &'a mut [Option<VariationPointRecord>],
@@ -1292,6 +1418,13 @@ impl EpochWork for VariationEpochWork<'_> {
         }
         true
     }
+
+    fn on_degraded(&mut self, shard: usize, error: &ShardError) {
+        let ShardError::Transport(detail) = error;
+        let point = self.pending[shard];
+        self.flow
+            .note_transport_degraded(FlowStage::AnalyzeVariation, point, detail);
+    }
 }
 
 /// Flow state after variation analysis: per-point variation data exists, the
@@ -1303,6 +1436,9 @@ pub struct AnalyzedFlow {
     pareto: Vec<Evaluation>,
     pareto_data: Vec<ParetoPointData>,
     run: Option<RunHandle>,
+    run_claim: Option<ClaimInfo>,
+    shard_plane: Option<FlowShardPlane>,
+    transport_incidents: Vec<TransportIncident>,
     claim_heartbeat: Option<ClaimHeartbeat>,
     timings: FlowTimings,
 }
@@ -1331,7 +1467,7 @@ impl AnalyzedFlow {
             Err(error) => {
                 drop(self.claim_heartbeat.take());
                 if let Some(handle) = &self.run {
-                    finish_run(handle, RunStatus::Failed);
+                    finish_run(handle, self.run_claim.as_ref(), RunStatus::Failed);
                 }
                 return Err(error.into());
             }
@@ -1342,6 +1478,16 @@ impl AnalyzedFlow {
             FlowStage::BuildModel,
             self.timings.model_build,
         );
+        // Shard-plane accounting, accumulated over every stage. Timings are
+        // excluded from determinism digests, so recording traffic here can
+        // never perturb a result.
+        if let Some(plane) = &self.shard_plane {
+            let (requests, seconds) = plane.traffic();
+            self.timings.shard_requests = requests;
+            self.timings.shard_request_seconds = seconds;
+            self.timings.shards_fenced = plane.fenced_rejections();
+        }
+        self.timings.shards_degraded = self.transport_incidents.len();
         let result = FlowResult {
             archive: self.optimization.archive.clone(),
             pareto: self.pareto,
@@ -1354,14 +1500,32 @@ impl AnalyzedFlow {
         if let Some(handle) = &self.run {
             // Every epoch was assembled (or abandoned) by now; anything left
             // under `shards/` is debris from an epoch disposal that lost the
-            // race against a worker's in-flight claim. The flow still holds
-            // the run's exclusive claim, so sweeping is safe — and completed
-            // runs must never advertise open shard work.
-            let _ = handle.sweep_shards();
-            let persisted = handle
-                .save_result(&result)
-                .and_then(|()| handle.set_status(RunStatus::Completed));
-            let _ = handle.release_claim();
+            // race against a worker's in-flight claim. Re-verify the claim
+            // first: if a recovery pass stole it (this flow was presumed
+            // hung), a successor owns these files now and this writer must
+            // not touch them — not even to sweep.
+            let persisted = guard_claim(handle, self.run_claim.as_ref()).and_then(|()| {
+                let _ = handle.sweep_shards();
+                if let Some(plane) = &self.shard_plane {
+                    let (requests, request_seconds) = plane.traffic();
+                    // Diagnostic only — failure to write the report must not
+                    // fail a completed flow.
+                    let _ = handle.save_transport_report(&TransportReport {
+                        transport: plane.describe(),
+                        incidents: self.transport_incidents.clone(),
+                        requests,
+                        request_seconds,
+                        fenced_rejections: plane.fenced_rejections(),
+                    });
+                }
+                handle.save_result(&result)?;
+                handle.set_status(RunStatus::Completed)
+            });
+            // Compare-and-delete: releases only the claim this flow minted,
+            // never a successor's.
+            if let Some(minted) = self.run_claim.as_ref() {
+                let _ = handle.break_claim(minted);
+            }
             persisted?;
         }
         Ok(result)
@@ -1380,11 +1544,214 @@ const CLAIM_HEARTBEAT_INTERVAL: Duration = Duration::from_secs(1);
 /// their shard claims every second while evaluating.
 const SHARD_CLAIM_STALE_AFTER: Duration = Duration::from_secs(60);
 
+/// The shard data plane a sharded flow drives its epochs through, selected
+/// by [`FlowConfig::transport`]: the store's on-disk plane (workers share
+/// the filesystem) or a TCP coordinator (workers share nothing but the
+/// network). Both speak the same typed epoch vocabulary, so the eval and
+/// variation stages are transport-agnostic — and bit-identical, since shard
+/// payloads and reassembly order never depend on how they travelled.
+///
+/// Clones share counters (and, for TCP, the token table), so the stats read
+/// at flow completion cover every stage.
+#[derive(Clone)]
+enum FlowShardPlane {
+    /// Epochs as files under the run directory (`ShardDataPlane`).
+    Disk(ShardDataPlane),
+    /// Epochs in an `ayb coordinate` server's memory, over TCP.
+    Tcp(TcpTransport),
+}
+
+impl FlowShardPlane {
+    /// A boxed [`ShardTransport`] view for [`ShardedEvaluator`].
+    fn boxed_transport(&self) -> Box<dyn ShardTransport> {
+        match self {
+            FlowShardPlane::Disk(plane) => Box::new(plane.clone()),
+            FlowShardPlane::Tcp(transport) => Box::new(transport.clone()),
+        }
+    }
+
+    /// Where this plane lives, for diagnostics ("disk" or the `tcp://` URL).
+    fn describe(&self) -> String {
+        match self {
+            FlowShardPlane::Disk(_) => "disk".to_string(),
+            FlowShardPlane::Tcp(transport) => transport.url(),
+        }
+    }
+
+    fn open_typed_epoch(
+        &self,
+        kind: ShardWorkKind,
+        shard_count: usize,
+    ) -> Result<String, ShardError> {
+        match self {
+            FlowShardPlane::Disk(plane) => plane.open_typed_epoch(kind),
+            FlowShardPlane::Tcp(transport) => transport.open_typed_epoch(kind, shard_count),
+        }
+    }
+
+    fn publish_work(&self, epoch: &str, shard: usize, work: &ShardWork) -> Result<(), ShardError> {
+        match self {
+            FlowShardPlane::Disk(plane) => plane.publish_work(epoch, shard, work),
+            FlowShardPlane::Tcp(transport) => transport.publish_work(epoch, shard, work),
+        }
+    }
+
+    fn try_claim(&self, epoch: &str, shard: usize) -> Result<bool, ShardError> {
+        match self {
+            FlowShardPlane::Disk(plane) => plane.try_claim(epoch, shard),
+            FlowShardPlane::Tcp(transport) => transport.try_claim(epoch, shard),
+        }
+    }
+
+    fn submit_outcome(
+        &self,
+        epoch: &str,
+        shard: usize,
+        outcome: &ShardOutcome,
+    ) -> Result<(), ShardError> {
+        match self {
+            FlowShardPlane::Disk(plane) => plane.submit_outcome(epoch, shard, outcome),
+            FlowShardPlane::Tcp(transport) => transport.submit_outcome(epoch, shard, outcome),
+        }
+    }
+
+    fn fetch_outcome(&self, epoch: &str, shard: usize) -> Result<Option<ShardOutcome>, ShardError> {
+        match self {
+            FlowShardPlane::Disk(plane) => plane.fetch_outcome(epoch, shard),
+            FlowShardPlane::Tcp(transport) => transport.fetch_outcome(epoch, shard),
+        }
+    }
+
+    fn recover(&self, epoch: &str, shard: usize) -> Result<bool, ShardError> {
+        match self {
+            FlowShardPlane::Disk(plane) => ShardTransport::recover(plane, epoch, shard),
+            FlowShardPlane::Tcp(transport) => ShardTransport::recover(transport, epoch, shard),
+        }
+    }
+
+    fn close_epoch(&self, epoch: &str) -> Result<(), ShardError> {
+        match self {
+            FlowShardPlane::Disk(plane) => ShardTransport::close_epoch(plane, epoch),
+            FlowShardPlane::Tcp(transport) => ShardTransport::close_epoch(transport, epoch),
+        }
+    }
+
+    /// Results this plane's writers had fenced off (stolen claims whose late
+    /// submissions were discarded), accumulated across all stages.
+    fn fenced_rejections(&self) -> u64 {
+        match self {
+            FlowShardPlane::Disk(plane) => plane.fenced_rejections(),
+            FlowShardPlane::Tcp(transport) => transport.stats().fenced_rejections,
+        }
+    }
+
+    /// `(requests, summed round-trip seconds)` of shard traffic. The disk
+    /// plane reports zero — per-file I/O is not request-shaped.
+    fn traffic(&self) -> (u64, f64) {
+        match self {
+            FlowShardPlane::Disk(_) => (0, 0.0),
+            FlowShardPlane::Tcp(transport) => {
+                let stats = transport.stats();
+                (stats.requests, stats.request_seconds)
+            }
+        }
+    }
+}
+
+/// One shard's degradation to local evaluation: the record behind
+/// [`FlowObserver::on_transport_degraded`], persisted in the run's
+/// [`TransportReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransportIncident {
+    /// Stage the degradation happened in (`optimize` / `analyze_variation`).
+    pub stage: String,
+    /// Shard index within its epoch (eval) or Pareto-point index
+    /// (variation).
+    pub shard: usize,
+    /// The transport error that tipped the shard into local evaluation.
+    pub detail: String,
+}
+
+/// Diagnostic summary of a sharded run's data-plane behaviour, persisted as
+/// `transport.json` next to the result and shown by `ayb status`. Purely
+/// observational: results and digests never depend on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransportReport {
+    /// Where the data plane lived ("disk" or a `tcp://host:port` URL).
+    pub transport: String,
+    /// Every shard that degraded to local evaluation, with its cause.
+    pub incidents: Vec<TransportIncident>,
+    /// Shard requests sent over the wire (TCP planes; 0 on disk).
+    pub requests: u64,
+    /// Summed request round-trip seconds (TCP planes; 0 on disk).
+    pub request_seconds: f64,
+    /// Late writes from stolen claims this flow's plane discarded.
+    pub fenced_rejections: u64,
+}
+
 /// Terminal-state bookkeeping for a durable run: record the status and
 /// release the execution claim taken in [`FlowBuilder::optimize`].
-fn finish_run(handle: &RunHandle, status: RunStatus) {
-    let _ = handle.set_status(status);
-    let _ = handle.release_claim();
+///
+/// When the minted claim is known and no longer on disk — a recovery pass
+/// stole it from this presumed-hung process — the run now belongs to a
+/// successor and is left entirely alone: writing a terminal status over the
+/// successor's `Running` (or deleting its claim) is exactly the split-brain
+/// the fencing tokens exist to prevent.
+fn finish_run(handle: &RunHandle, minted: Option<&ClaimInfo>, status: RunStatus) {
+    if let Some(minted) = minted {
+        if !handle.claim_is(minted).unwrap_or(false) {
+            return;
+        }
+        let _ = handle.set_status(status);
+        let _ = handle.break_claim(minted);
+    } else {
+        let _ = handle.set_status(status);
+        let _ = handle.release_claim();
+    }
+}
+
+/// Drains eval-stage degradation events buffered by the sharded evaluator's
+/// hook into the observers and the flow's incident record (see
+/// [`FlowObserver::on_transport_degraded`]).
+fn drain_degraded(
+    observers: &mut [Box<dyn FlowObserver>],
+    events: &Arc<Mutex<Vec<(usize, String)>>>,
+    incidents: &mut Vec<TransportIncident>,
+) {
+    for (shard, detail) in events.lock().expect("degradation event lock").drain(..) {
+        for observer in observers.iter_mut() {
+            observer.on_transport_degraded(FlowStage::Optimize, shard, &detail);
+        }
+        incidents.push(TransportIncident {
+            stage: FlowStage::Optimize.name().to_string(),
+            shard,
+            detail,
+        });
+    }
+}
+
+/// Pre-write fence check for durable-run files: verifies this flow still
+/// holds the claim it minted, so a fenced-off (stolen-claim) writer fails
+/// with [`StoreError::RunClaimed`] instead of corrupting its successor's
+/// state. The check-then-write window is a single stat — the successor's
+/// first act is its own fence-stamped claim, which this comparison can never
+/// match.
+fn guard_claim(handle: &RunHandle, minted: Option<&ClaimInfo>) -> Result<(), StoreError> {
+    let Some(minted) = minted else {
+        return Ok(());
+    };
+    if handle.claim_is(minted)? {
+        return Ok(());
+    }
+    let owner = handle
+        .claim()
+        .ok()
+        .flatten()
+        .map_or_else(|| "unknown".to_string(), |claim| claim.owner);
+    Err(StoreError::RunClaimed {
+        run_id: handle.id().to_string(),
+        owner,
+    })
 }
 
 fn notify_start(observers: &mut [Box<dyn FlowObserver>], stage: FlowStage) {
@@ -1523,15 +1890,30 @@ mod tests {
             model_build: Duration::from_secs(1),
             mc_points: 9,
             mc_point_seconds: 2.75,
+            shard_requests: 40,
+            shard_request_seconds: 0.5,
+            shards_fenced: 1,
+            shards_degraded: 2,
         };
         let serde::Value::Object(mut pairs) = serde::Serialize::to_value(&timings) else {
             panic!("FlowTimings serializes to an object");
         };
-        pairs.retain(|(key, _)| key != "mc_points" && key != "mc_point_seconds");
+        pairs.retain(|(key, _)| {
+            key != "mc_points"
+                && key != "mc_point_seconds"
+                && key != "shard_requests"
+                && key != "shard_request_seconds"
+                && key != "shards_fenced"
+                && key != "shards_degraded"
+        });
         let legacy = serde::Value::Object(pairs);
         let back: FlowTimings = serde::Deserialize::from_value(&legacy).expect("legacy loads");
         assert_eq!(back.mc_points, 0);
         assert_eq!(back.mc_point_seconds, 0.0);
+        assert_eq!(back.shard_requests, 0);
+        assert_eq!(back.shard_request_seconds, 0.0);
+        assert_eq!(back.shards_fenced, 0);
+        assert_eq!(back.shards_degraded, 0);
         assert_eq!(back.monte_carlo, timings.monte_carlo);
 
         // And the current shape round-trips unchanged.

@@ -107,7 +107,8 @@ pub use filter_design::{design_filter, verify_filter_yield, FilterDesignResult};
 pub use flow::{
     analyse_pareto_point, analyse_variation_point, generate_model, point_mc_seed, AnalyzedFlow,
     FlowBuilder, FlowError, FlowObserver, FlowResult, FlowStage, FlowSummary, FlowTimings,
-    OptimizedFlow, StderrObserver, VariationBoundary, VariationHaltHook, VariationPointRecord,
+    OptimizedFlow, StderrObserver, TransportIncident, TransportReport, VariationBoundary,
+    VariationHaltHook, VariationPointRecord,
 };
 pub use ota_problem::{evaluate_ota, measure_testbench, OtaPerformance, OtaSizingProblem};
 pub use verify::{verify_accuracy, verify_ota_yield, AccuracyReport, YieldReport};

@@ -87,6 +87,7 @@
 
 use ayb_core::{AybError, FlowBuilder, FlowConfig, FlowObserver, OtaSizingProblem};
 use ayb_moo::{CheckpointError, OptimizerConfig, SizingProblem};
+use ayb_net::{ClaimPulse, NetShardTask, TcpTransport};
 use ayb_store::{
     Manifest, RunHandle, RunStatus, ShardOutcome, ShardWork, ShardWorkKind, Store, StoreError,
     VariationOutcome,
@@ -106,12 +107,17 @@ use std::time::Duration;
 pub enum JobError {
     /// A store operation failed.
     Store(StoreError),
+    /// The configured coordinator URL ([`JobServerConfig::transport`]) is
+    /// malformed. (An unreachable-but-well-formed coordinator is *not* an
+    /// error: workers simply find no network shards until it comes up.)
+    Transport(String),
 }
 
 impl fmt::Display for JobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             JobError::Store(e) => write!(f, "job server store error: {e}"),
+            JobError::Transport(e) => write!(f, "job server transport error: {e}"),
         }
     }
 }
@@ -120,6 +126,7 @@ impl std::error::Error for JobError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             JobError::Store(e) => Some(e),
+            JobError::Transport(_) => None,
         }
     }
 }
@@ -164,6 +171,13 @@ pub struct JobServerConfig {
     /// Extra machines sharing the store run in this mode to scale a sharded
     /// flow's batch evaluation without competing for run claims.
     pub shards_only: bool,
+    /// Coordinator URL (`tcp://host:port`) of a network shard data plane
+    /// (see the `ayb_net` crate). When set, workers also poll the
+    /// coordinator for network shard tasks — *store-free*: each task carries
+    /// its submitter's flow configuration, so a worker machine needs no
+    /// filesystem shared with the submitter (`ayb serve --transport
+    /// tcp://…`). `None` (the default) services the on-disk plane only.
+    pub transport: Option<String>,
 }
 
 impl Default for JobServerConfig {
@@ -177,6 +191,7 @@ impl Default for JobServerConfig {
             recovery_interval: Duration::from_secs(30),
             service_shards: true,
             shards_only: false,
+            transport: None,
         }
     }
 }
@@ -321,6 +336,9 @@ pub struct JobReport {
     pub requeued: Vec<String>,
     /// Number of shard evaluation tasks serviced (the data plane).
     pub shards_serviced: usize,
+    /// Number of shard results discarded because this server's claim was
+    /// stolen mid-service (the fence check refused the late write).
+    pub shards_fenced: usize,
 }
 
 impl JobReport {
@@ -494,6 +512,13 @@ impl JobServer {
     /// (individual run failures are reported in the [`JobReport`] instead).
     pub fn run(&self) -> Result<JobReport, JobError> {
         let report = Mutex::new(JobReport::default());
+        // A malformed coordinator URL fails fast, before any thread starts;
+        // an unreachable coordinator does not (workers just poll into the
+        // void until it comes up — that is the fleet's normal startup order).
+        let net = match &self.config.transport {
+            Some(url) => Some(TcpTransport::from_url(url).map_err(JobError::Transport)?),
+            None => None,
+        };
         if !self.config.shards_only {
             self.recover_and_requeue(&report)?;
         }
@@ -502,10 +527,11 @@ impl JobServer {
             for worker in 0..self.config.workers.max(1) {
                 let shared = Arc::clone(&self.shared);
                 let config = self.config.clone();
+                let net = net.clone();
                 let report = &report;
-                scope.spawn(move || worker_loop(&shared, &config, worker, report));
+                scope.spawn(move || worker_loop(&shared, &config, worker, net.as_ref(), report));
             }
-            let result = self.serve_loop(&report);
+            let result = self.serve_loop(net.as_ref(), &report);
             // Drain finished or shutdown requested (or the store broke):
             // stop the workers either way, then let the scope join them.
             self.shared.signal_stop();
@@ -541,7 +567,11 @@ impl JobServer {
     /// when a drain-mode server is done. Long-lived servers also repeat the
     /// recovery pass every [`JobServerConfig::recovery_interval`] so work
     /// stranded by a dead or shut-down peer is adopted without a restart.
-    fn serve_loop(&self, report: &Mutex<JobReport>) -> Result<(), JobError> {
+    fn serve_loop(
+        &self,
+        net: Option<&TcpTransport>,
+        report: &Mutex<JobReport>,
+    ) -> Result<(), JobError> {
         // Terminal runs are remembered so each poll reads only live
         // manifests — a store full of old completed runs costs one scan,
         // not one scan per tick.
@@ -586,8 +616,20 @@ impl JobServer {
             }
             if self.config.drain && no_new_work && queue_empty && busy == 0 {
                 // A shards-only (or shard-servicing) drain server is done
-                // only when the data plane is drained too.
-                if !self.config.service_shards || self.shared.store.open_shard_tasks()?.is_empty() {
+                // only when the data plane is drained too — the on-disk one
+                // and, with a transport configured, the coordinator's (an
+                // unreachable coordinator counts as drained: there is
+                // nothing this server could service there anyway).
+                let disk_drained =
+                    !self.config.service_shards || self.shared.store.open_shard_tasks()?.is_empty();
+                let net_drained = match net {
+                    Some(net) => net
+                        .coordinator_stats()
+                        .map(|stats| stats.open_shards == 0)
+                        .unwrap_or(true),
+                    None => true,
+                };
+                if disk_drained && net_drained {
                     return Ok(());
                 }
             }
@@ -629,14 +671,17 @@ impl JobServer {
                     }
                     match handle.claim() {
                         Ok(Some(_)) => {
-                            // Claimed: recover only provably dead holders — a
-                            // dead pid on this host, or a foreign-host claim
-                            // whose heartbeat lapsed (`stale_claim` spares
-                            // slow-but-heartbeating and hung-but-alive
-                            // holders). The break is compare-and-delete: a
-                            // lost race means another recovery pass (or its
-                            // worker) already owns this run.
-                            let stale = match handle.stale_claim(self.config.reclaim_grace) {
+                            // Claimed: recover any stalled holder — a dead
+                            // pid, a lapsed foreign-host heartbeat, or an
+                            // alive-but-hung process whose heartbeat went
+                            // quiet. Stealing from a hung-but-alive holder is
+                            // safe now that run claims carry fencing tokens:
+                            // if the zombie wakes, its fenced-off writes are
+                            // discarded, not merged. The break is
+                            // compare-and-delete: a lost race means another
+                            // recovery pass (or its worker) already owns this
+                            // run.
+                            let stale = match handle.stalled_claim(self.config.reclaim_grace) {
                                 Ok(Some(stale)) => stale,
                                 _ => continue,
                             };
@@ -692,6 +737,7 @@ fn worker_loop(
     shared: &Arc<Shared>,
     config: &JobServerConfig,
     worker: usize,
+    net: Option<&TcpTransport>,
     report: &Mutex<JobReport>,
 ) {
     loop {
@@ -705,6 +751,13 @@ fn worker_loop(
         // workers are occupied.
         if config.service_shards && service_one_shard(shared, config, worker, report) {
             continue;
+        }
+        // The network data plane gets the same priority: a coordinator task
+        // is some run's in-flight population or variation point.
+        if let Some(net) = net {
+            if config.service_shards && service_one_net_shard(shared, config, worker, net, report) {
+                continue;
+            }
         }
         let run_id = {
             let mut state = shared.queue.lock().expect("queue lock");
@@ -793,7 +846,7 @@ fn service_one_shard(
     let Ok(tasks) = shared.store.open_shard_tasks() else {
         return false;
     };
-    for task in tasks {
+    for mut task in tasks {
         match task.try_claim(&format!("{}/worker-{}", config.owner, worker)) {
             Ok(true) => {}
             _ => continue,
@@ -838,10 +891,18 @@ fn service_one_shard(
                     (outcome, 1, ShardWorkKind::Variation)
                 }
             };
-            if task.submit_outcome(&outcome).is_err() {
+            match task.submit_outcome(&outcome) {
+                Ok(true) => {}
+                Ok(false) => {
+                    // Fenced off: a recovery pass stole this claim
+                    // mid-service and the successor's (identical) result is
+                    // the authoritative one; ours is discarded.
+                    report.lock().expect("report lock").shards_fenced += 1;
+                    return false;
+                }
                 // Epoch closed mid-service: the submitter assembled the
                 // stage without this shard; drop the result.
-                return false;
+                Err(_) => return false,
             }
             shared.emit(JobEvent::ShardServiced {
                 run_id: task.run_id().to_string(),
@@ -868,6 +929,115 @@ fn service_one_shard(
         }
     }
     false
+}
+
+/// Claims and services at most one *network* shard task from the
+/// coordinator, returning whether one was serviced.
+///
+/// Unlike the on-disk plane, the task is self-contained: it carries the
+/// submitting run's flow configuration, so the problem is rebuilt from the
+/// task itself and the worker never touches the submitter's store — this is
+/// what lets a fleet run with no shared filesystem at all. Determinism is
+/// unchanged: the same configuration rebuilds the same problem whichever
+/// machine services the shard.
+fn service_one_net_shard(
+    shared: &Arc<Shared>,
+    config: &JobServerConfig,
+    worker: usize,
+    net: &TcpTransport,
+    report: &Mutex<JobReport>,
+) -> bool {
+    let owner = format!("{}/worker-{}", config.owner, worker);
+    let task = match net.claim_next(&owner) {
+        Ok(Some(task)) => task,
+        // Nothing claimable, or the coordinator is unreachable — either way
+        // there is no network work for this worker right now.
+        _ => return false,
+    };
+    {
+        let mut state = shared.queue.lock().expect("queue lock");
+        state.busy += 1;
+    }
+    // Heartbeat the claim while evaluating, so the coordinator's recovery
+    // never mistakes a slow evaluation for a hung worker.
+    let pulse = ClaimPulse::start(net.clone(), &task, Duration::from_secs(1));
+    let serviced = service_net_task(shared, net, &task, worker, report);
+    drop(pulse);
+    // An abandoned claim needs no release call: once its heartbeat stops,
+    // the coordinator's recovery expires it and the shard is re-claimable.
+    {
+        let mut state = shared.queue.lock().expect("queue lock");
+        state.busy -= 1;
+    }
+    shared.wake.notify_all();
+    if serviced {
+        report.lock().expect("report lock").shards_serviced += 1;
+    }
+    serviced
+}
+
+/// Evaluates one claimed [`NetShardTask`] and submits its outcome under the
+/// task's fencing token.
+fn service_net_task(
+    shared: &Arc<Shared>,
+    net: &TcpTransport,
+    task: &NetShardTask,
+    worker: usize,
+    report: &Mutex<JobReport>,
+) -> bool {
+    // A task without a usable flow configuration cannot be serviced here;
+    // leave it to expire so the submitter's local fallback picks it up.
+    let flow: FlowConfig = match task.context.as_ref().map(Deserialize::from_value) {
+        Some(Ok(flow)) => flow,
+        _ => return false,
+    };
+    let problem =
+        OtaSizingProblem::new(flow.testbench, flow.sweep.clone()).with_threads(flow.threads);
+    let (outcome, candidates, kind) = match &task.work {
+        ShardWork::Eval { parameters } => (
+            ShardOutcome::Eval {
+                results: problem.evaluate_batch(parameters),
+            },
+            parameters.len(),
+            ShardWorkKind::Eval,
+        ),
+        ShardWork::Variation {
+            parameters,
+            mc_seed,
+        } => {
+            let t0 = std::time::Instant::now();
+            let data = ayb_core::analyse_variation_point(&problem, parameters, &flow, *mc_seed);
+            (
+                ShardOutcome::Variation(VariationOutcome {
+                    data: data.as_ref().map(serde::Serialize::to_value),
+                    elapsed_seconds: t0.elapsed().as_secs_f64(),
+                }),
+                1,
+                ShardWorkKind::Variation,
+            )
+        }
+    };
+    match net.submit_task(task, &outcome) {
+        Ok(true) => {}
+        Ok(false) => {
+            // Fenced off: the coordinator presumed this worker hung and
+            // re-issued the claim; the successor's (identical) result is the
+            // authoritative one and ours was discarded.
+            report.lock().expect("report lock").shards_fenced += 1;
+            return false;
+        }
+        // Coordinator unreachable, or the epoch is already closed.
+        Err(_) => return false,
+    }
+    shared.emit(JobEvent::ShardServiced {
+        run_id: task.run_id.clone(),
+        epoch: task.epoch.clone(),
+        shard: task.shard,
+        work: kind,
+        candidates,
+        worker,
+    });
+    true
 }
 
 /// Rebuilds the sizing problem (and flow configuration) a run's sharded flow
@@ -943,6 +1113,7 @@ mod tests {
         let shards = JobServerConfig::shards_only_with_workers(3);
         assert_eq!(shards.workers, 3);
         assert!(shards.shards_only && shards.service_shards && !shards.drain);
+        assert!(config.transport.is_none());
     }
 
     #[test]
@@ -954,6 +1125,7 @@ mod tests {
             skipped: vec!["d".into()],
             requeued: vec!["c".into()],
             shards_serviced: 5,
+            shards_fenced: 0,
         };
         assert_eq!(report.executed(), 3);
     }

@@ -96,7 +96,7 @@ pub use problem::{
 };
 pub use random_search::{random_search, RandomSearch, RandomSearchResult};
 pub use sharding::{
-    drive_epoch, BatchEvaluator, EpochWork, LocalEvaluator, ShardError, ShardResults,
+    drive_epoch, BatchEvaluator, DegradedHook, EpochWork, LocalEvaluator, ShardError, ShardResults,
     ShardTransport, ShardedEvaluator, ShardingOptions, WithEvaluator,
 };
 pub use wbga::{normalize_weights, Wbga, WbgaIndividual, WbgaResult};

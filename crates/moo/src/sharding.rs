@@ -242,6 +242,15 @@ pub trait EpochWork {
         let _ = (shard, output);
         true
     }
+
+    /// Boundary hook: the transport failed three times for shard `shard` and
+    /// the driver is about to produce it locally instead. `error` is the
+    /// *last* transport error — the one that tipped the shard into
+    /// degradation — so stages can surface *why* the data plane was bypassed
+    /// instead of degrading silently.
+    fn on_degraded(&mut self, shard: usize, error: &ShardError) {
+        let _ = (shard, error);
+    }
 }
 
 /// Drives one epoch of `shard_count` published shards to completion: the
@@ -268,6 +277,7 @@ pub fn drive_epoch<W: EpochWork>(
     let mut slots: Vec<Option<W::Output>> = Vec::with_capacity(shard_count);
     slots.resize_with(shard_count, || None);
     let mut errors = vec![0usize; shard_count];
+    let mut last_error: Vec<Option<ShardError>> = vec![None; shard_count];
     let mut last_recovery = Instant::now();
     while slots.iter().any(Option::is_none) {
         let mut progressed = false;
@@ -285,7 +295,10 @@ pub fn drive_epoch<W: EpochWork>(
                     continue;
                 }
                 Ok(None) => {}
-                Err(_) => errors[index] += 1,
+                Err(error) => {
+                    errors[index] += 1;
+                    last_error[index] = Some(error);
+                }
             }
             match work.try_claim(index) {
                 Ok(true) => {
@@ -301,12 +314,21 @@ pub fn drive_epoch<W: EpochWork>(
                     progressed = true;
                 }
                 Ok(false) => {}
-                Err(_) => errors[index] += 1,
+                Err(error) => {
+                    errors[index] += 1;
+                    last_error[index] = Some(error);
+                }
             }
             // A repeatedly failing transport must not wedge the epoch: fall
             // back to producing the shard in-process. Worst case a worker
-            // produces it concurrently — identical output.
+            // produces it concurrently — identical output. The degradation
+            // is reported through `on_degraded` with the error that caused
+            // it, never swallowed silently.
             if slots[index].is_none() && errors[index] >= 3 {
+                let error = last_error[index].take().unwrap_or_else(|| {
+                    ShardError::Transport("repeated transport failures".to_string())
+                });
+                work.on_degraded(index, &error);
                 let output = work.evaluate(index);
                 if !work.on_result(index, &output) {
                     return None;
@@ -357,7 +379,14 @@ pub fn drive_epoch<W: EpochWork>(
 pub struct ShardedEvaluator {
     transport: Box<dyn ShardTransport>,
     options: ShardingOptions,
+    degraded_hook: Option<DegradedHook>,
 }
+
+/// Callback fired when a shard degrades to local evaluation (see
+/// [`EpochWork::on_degraded`]): `(shard index, the transport error that
+/// caused it)`. Shared, because the evaluator is called behind `&self` from
+/// optimiser threads.
+pub type DegradedHook = std::sync::Arc<dyn Fn(usize, &ShardError) + Send + Sync>;
 
 impl ShardedEvaluator {
     /// Creates a sharded evaluator over `transport`.
@@ -368,7 +397,16 @@ impl ShardedEvaluator {
                 shard_size: options.shard_size.max(1),
                 ..options
             },
+            degraded_hook: None,
         }
+    }
+
+    /// Installs a hook observing transport degradations: every shard that
+    /// falls back to local evaluation reports the error that caused it.
+    #[must_use]
+    pub fn with_degraded_hook(mut self, hook: DegradedHook) -> Self {
+        self.degraded_hook = Some(hook);
+        self
     }
 
     /// The evaluator's tuning knobs.
@@ -410,6 +448,7 @@ impl ShardedEvaluator {
             epoch: &epoch,
             problem,
             shards: &shards,
+            degraded_hook: self.degraded_hook.as_ref(),
         };
         let slots = drive_epoch(&mut work, shards.len(), &self.options)
             .expect("evaluation epochs have no aborting hooks");
@@ -431,6 +470,7 @@ struct EvalEpochWork<'a> {
     epoch: &'a str,
     problem: &'a dyn SizingProblem,
     shards: &'a [&'a [Vec<f64>]],
+    degraded_hook: Option<&'a DegradedHook>,
 }
 
 impl EpochWork for EvalEpochWork<'_> {
@@ -459,6 +499,12 @@ impl EpochWork for EvalEpochWork<'_> {
 
     fn recover(&mut self, shard: usize) -> Result<bool, ShardError> {
         self.transport.recover(self.epoch, shard)
+    }
+
+    fn on_degraded(&mut self, shard: usize, error: &ShardError) {
+        if let Some(hook) = self.degraded_hook {
+            hook(shard, error);
+        }
     }
 }
 
@@ -845,6 +891,62 @@ mod tests {
             BatchEvaluator::evaluate_batch(&sharded, &p, &input),
             expected
         );
+    }
+
+    #[test]
+    fn degraded_shards_report_their_transport_error() {
+        /// Epochs open and publish fine, but every claim/fetch fails — the
+        /// shape of a coordinator that died *after* the epoch was set up.
+        struct DeadAfterOpen {
+            inner: MemTransport,
+        }
+        impl ShardTransport for DeadAfterOpen {
+            fn open_epoch(&self, shard_count: usize) -> Result<String, ShardError> {
+                self.inner.open_epoch(shard_count)
+            }
+            fn publish(&self, e: &str, s: usize, p: &[Vec<f64>]) -> Result<(), ShardError> {
+                self.inner.publish(e, s, p)
+            }
+            fn try_claim(&self, _: &str, _: usize) -> Result<bool, ShardError> {
+                Err(ShardError::Transport("connection refused".into()))
+            }
+            fn submit(&self, _: &str, _: usize, _: &ShardResults) -> Result<(), ShardError> {
+                Err(ShardError::Transport("connection refused".into()))
+            }
+            fn fetch(&self, _: &str, _: usize) -> Result<Option<ShardResults>, ShardError> {
+                Err(ShardError::Transport("connection refused".into()))
+            }
+            fn recover(&self, _: &str, _: usize) -> Result<bool, ShardError> {
+                Err(ShardError::Transport("connection refused".into()))
+            }
+            fn close_epoch(&self, e: &str) -> Result<(), ShardError> {
+                self.inner.close_epoch(e)
+            }
+        }
+
+        let p = problem();
+        let input = batch(8);
+        let expected = p.evaluate_batch(&input);
+        let events: std::sync::Arc<std::sync::Mutex<Vec<(usize, String)>>> =
+            std::sync::Arc::default();
+        let sink = std::sync::Arc::clone(&events);
+        let sharded = ShardedEvaluator::new(
+            Box::new(DeadAfterOpen {
+                inner: MemTransport::default(),
+            }),
+            ShardingOptions::with_shard_size(4),
+        )
+        .with_degraded_hook(std::sync::Arc::new(move |shard, error| {
+            let ShardError::Transport(message) = error;
+            sink.lock().unwrap().push((shard, message.clone()));
+        }));
+        assert_eq!(
+            BatchEvaluator::evaluate_batch(&sharded, &p, &input),
+            expected
+        );
+        let events = events.lock().unwrap();
+        assert_eq!(events.len(), 2, "both shards degraded");
+        assert!(events.iter().any(|(_, m)| m.contains("connection refused")));
     }
 
     /// A direct [`EpochWork`] stub: everything is produced locally, hooks

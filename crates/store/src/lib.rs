@@ -270,6 +270,31 @@ fn take_claim_file(dir: &Path, path: &Path, info: &ClaimInfo) -> Result<bool, St
 }
 
 /// Reads the claim at `path`, `None` when no claim exists.
+/// Mints the next fencing token from a fence file (a JSON counter living
+/// next to the claim file it fences): reads the current value (0 when the
+/// file does not exist yet), advances it, writes it back atomically and
+/// returns it. Callers stamp the token into their [`ClaimInfo`] *before*
+/// taking the claim, so by the time a claim with token `t` is visible, the
+/// counter is at least `t` and every later successful claim carries a
+/// different token. (Two racing minters can read the same value, but only
+/// one of them wins the claim link — the loser's token is never written
+/// into a claim, so claim tokens stay unique.)
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`]/[`StoreError::Json`] when the fence file
+/// exists but cannot be read, or cannot be written.
+pub fn next_fence(fence_path: &Path) -> Result<u64, StoreError> {
+    let current: u64 = if fence_path.is_file() {
+        read_json(fence_path)?
+    } else {
+        0
+    };
+    let fence = current + 1;
+    write_json(fence_path, &fence)?;
+    Ok(fence)
+}
+
 fn read_claim_file(path: &Path) -> Result<Option<ClaimInfo>, StoreError> {
     match fs::read_to_string(path) {
         Ok(text) => serde_json::from_str(&text)
@@ -453,6 +478,11 @@ pub struct Store {
 const MANIFEST_FILE: &str = "manifest.json";
 const RESULT_FILE: &str = "result.json";
 const CLAIM_FILE: &str = "claim.json";
+const CLAIM_FENCE_FILE: &str = "claim.fence.json";
+
+/// Per-run transport diagnostic report (see
+/// [`RunHandle::save_transport_report`]).
+const TRANSPORT_REPORT_FILE: &str = "transport.json";
 const CHECKPOINT_DIR: &str = "checkpoints";
 const CHECKPOINT_PREFIX: &str = "gen_";
 const VARIATION_CHECKPOINT_PREFIX: &str = "variation_";
@@ -1102,6 +1132,33 @@ impl RunHandle {
         self.result_path().is_file()
     }
 
+    /// Persists the run's transport report as `transport.json` (atomically):
+    /// a diagnostic record of the shard data plane's traffic and every
+    /// degradation to local evaluation, written by the flow and shown by
+    /// `ayb status`. The report never affects results or digests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] on write failures.
+    pub fn save_transport_report<R: Serialize>(&self, report: &R) -> Result<(), StoreError> {
+        write_json(&self.dir.join(TRANSPORT_REPORT_FILE), report)
+    }
+
+    /// Loads the run's transport report as raw JSON, or `None` when the run
+    /// never wrote one (unsharded flows, or flows predating the report).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] when an existing
+    /// report is unreadable.
+    pub fn transport_report_value(&self) -> Result<Option<Value>, StoreError> {
+        let path = self.dir.join(TRANSPORT_REPORT_FILE);
+        if !path.is_file() {
+            return Ok(None);
+        }
+        read_json(&path).map(Some)
+    }
+
     /// Loads the run's result.
     ///
     /// # Errors
@@ -1135,7 +1192,8 @@ impl RunHandle {
     /// Returns [`StoreError::RunClaimed`] when the run is already claimed,
     /// or [`StoreError::Io`]/[`StoreError::Json`] on filesystem failures.
     pub fn try_claim(&self, owner: &str) -> Result<ClaimInfo, StoreError> {
-        let info = ClaimInfo::for_this_process(owner);
+        let fence = next_fence(&self.dir.join(CLAIM_FENCE_FILE))?;
+        let info = ClaimInfo::for_this_process(owner).with_fence(fence);
         if take_claim_file(&self.dir, &self.claim_path(), &info)? {
             Ok(info)
         } else {
@@ -1205,12 +1263,12 @@ impl RunHandle {
     /// The run's claim *if* its holder is provably gone
     /// ([`ClaimHealth::Dead`]): a dead pid on this host, or — for claims
     /// from other hosts, where pids cannot be probed — a heartbeat older
-    /// than `max_heartbeat_age`. Recovery passes break exactly these claims.
+    /// than `max_heartbeat_age`.
     ///
     /// A *hung* holder (alive pid, stale heartbeat) is deliberately not
-    /// reported here: stealing a run from a process that may yet wake up
-    /// risks double execution. It is visible via [`RunHandle::claim_health`]
-    /// for operators to act on.
+    /// reported here: use [`RunHandle::stalled_claim`] when the caller's
+    /// writes are fence-guarded and stealing from a process that may yet
+    /// wake up is therefore safe.
     ///
     /// # Errors
     ///
@@ -1223,6 +1281,41 @@ impl RunHandle {
         Ok(self
             .claim_health(max_heartbeat_age)?
             .and_then(|(claim, health)| (health == ClaimHealth::Dead).then_some(claim)))
+    }
+
+    /// The run's claim *if* its holder has stalled — [`ClaimHealth::Dead`]
+    /// (provably gone) **or** [`ClaimHealth::Hung`] (alive pid, heartbeat
+    /// older than `max_heartbeat_age`). This is the steal set of a
+    /// *fencing-aware* recovery pass: stealing from a hung-but-alive holder
+    /// is safe since claims carry fencing tokens ([`ClaimInfo::fence`]) and
+    /// every holder guards its durable writes by re-checking the claim file
+    /// still holds *its* claim — a stolen holder that wakes up discards its
+    /// own late writes instead of persisting them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] when an existing
+    /// claim file cannot be read.
+    pub fn stalled_claim(
+        &self,
+        max_heartbeat_age: Duration,
+    ) -> Result<Option<ClaimInfo>, StoreError> {
+        Ok(self
+            .claim_health(max_heartbeat_age)?
+            .and_then(|(claim, health)| (health != ClaimHealth::Alive).then_some(claim)))
+    }
+
+    /// Whether the claim file still holds exactly `expected` — the fencing
+    /// check a claim holder performs immediately before every durable write
+    /// (checkpoint, variation point, result). `false` means the claim was
+    /// stolen (or released): the holder must discard the write and stop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] when an existing
+    /// claim file cannot be read.
+    pub fn claim_is(&self, expected: &ClaimInfo) -> Result<bool, StoreError> {
+        Ok(self.claim()?.as_ref() == Some(expected))
     }
 
     /// Releases the run's claim. Returns whether a claim file existed.
@@ -1327,6 +1420,16 @@ pub struct ClaimInfo {
     pub host: String,
     /// Claim time, seconds since the Unix epoch.
     pub claimed_unix: u64,
+    /// Fencing token: a counter (kept in a fence file next to the claim)
+    /// that every successful claim advances. Two claims on the same resource
+    /// are therefore never equal — even re-claims by the same process within
+    /// the same second — which is what lets a *writer* verify, immediately
+    /// before a durable write, that the claim file still holds *its* claim
+    /// and not a successor's. That check is how stealing a Hung (alive-pid,
+    /// stale-heartbeat) claim becomes safe: if the hung holder wakes up
+    /// after the steal, its claim no longer matches and its late write is
+    /// discarded. Claims written before fencing deserialize with token 0.
+    pub fence: u64,
 }
 
 impl ClaimInfo {
@@ -1338,7 +1441,17 @@ impl ClaimInfo {
             pid: std::process::id(),
             host: local_host().to_string(),
             claimed_unix: now_unix(),
+            fence: 0,
         }
+    }
+
+    /// The same claim stamped with fencing token `fence` (see
+    /// [`ClaimInfo::fence`]); claim takers mint the token with
+    /// [`next_fence`] right before linking the claim into place.
+    #[must_use]
+    pub fn with_fence(mut self, fence: u64) -> ClaimInfo {
+        self.fence = fence;
+        self
     }
 
     /// Whether the claim was minted on this host (making its pid probeable).
@@ -1413,11 +1526,18 @@ impl Deserialize for ClaimInfo {
             Some(field) => Deserialize::from_value(field)?,
             None => local_host().to_string(),
         };
+        // Claims written before fencing carry no token; 0 ("never fenced")
+        // keeps them comparable without ever colliding with a minted token.
+        let fence = match value.get("fence") {
+            Some(field) => Deserialize::from_value(field)?,
+            None => 0,
+        };
         Ok(ClaimInfo {
             owner: Deserialize::from_value(serde::__field(value, "owner")?)?,
             pid: Deserialize::from_value(serde::__field(value, "pid")?)?,
             host,
             claimed_unix: Deserialize::from_value(serde::__field(value, "claimed_unix")?)?,
+            fence,
         })
     }
 }
@@ -1771,6 +1891,7 @@ mod tests {
             pid: u32::MAX,
             host: local_host().to_string(),
             claimed_unix: now_unix(),
+            fence: 1,
         };
         assert!(claim.same_host());
         #[cfg(target_os = "linux")]
@@ -1846,6 +1967,7 @@ mod tests {
             pid: 1,
             host: "another-host".to_string(),
             claimed_unix: now_unix(),
+            fence: 1,
         };
         write_json(&claim_path, &foreign).unwrap();
         assert_eq!(

@@ -49,14 +49,17 @@
 //! ```
 
 use crate::{
-    break_claim_file, file_mtime_age, io_error, read_claim_file, read_json, take_claim_file,
-    write_json, ClaimHealth, ClaimInfo, RunHandle, RunStatus, Store, StoreError,
+    break_claim_file, file_mtime_age, io_error, next_fence, read_claim_file, read_json,
+    take_claim_file, write_json, ClaimHealth, ClaimInfo, RunHandle, RunStatus, Store, StoreError,
 };
 use ayb_moo::{Evaluation, ShardError, ShardResults, ShardTransport};
 use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Subdirectory of a run holding its shard epochs.
@@ -78,6 +81,15 @@ fn claim_name(shard: usize) -> String {
 
 fn result_name(shard: usize) -> String {
     format!("shard_{shard:04}.result.json")
+}
+
+/// Per-shard fence counter file: every successful claim of the shard
+/// advances it and stamps the new value into its `ClaimInfo` (see
+/// [`ClaimInfo::fence`]), so successive claims on one shard are always
+/// distinguishable — the precondition for discarding a fenced-off writer's
+/// late result.
+fn fence_name(shard: usize) -> String {
+    format!("shard_{shard:04}.fence.json")
 }
 
 /// Parses `shard_NNNN.task.json` back into `NNNN`.
@@ -204,6 +216,13 @@ fn transport_error(error: StoreError) -> ShardError {
 pub struct ShardDataPlane {
     dir: PathBuf,
     stale_after: Duration,
+    /// Fenced claims this plane took and has not submitted yet, per
+    /// `(epoch, shard)`; shared across clones. Submits re-check the claim
+    /// file against the remembered claim and *discard* the result when it
+    /// changed hands (this holder was presumed hung and superseded).
+    claims: Arc<Mutex<HashMap<(String, usize), ClaimInfo>>>,
+    /// Results this plane discarded because its claim had been stolen.
+    fenced: Arc<AtomicU64>,
 }
 
 impl ShardDataPlane {
@@ -215,7 +234,16 @@ impl ShardDataPlane {
         ShardDataPlane {
             dir: dir.into(),
             stale_after,
+            claims: Arc::new(Mutex::new(HashMap::new())),
+            fenced: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// How many of this plane's own submissions were discarded because the
+    /// underlying claim had been stolen in the meantime (shared across
+    /// clones).
+    pub fn fenced_rejections(&self) -> u64 {
+        self.fenced.load(Ordering::Relaxed)
     }
 
     fn epoch_dir(&self, epoch: &str) -> PathBuf {
@@ -261,7 +289,15 @@ impl ShardDataPlane {
     }
 
     /// Stores shard `shard`'s typed outcome and releases this process's
-    /// claim on it.
+    /// claim on it — *unless* the claim was stolen since this plane took it
+    /// (the holder was presumed hung and a recovery pass superseded it), in
+    /// which case the result is **discarded**, not written: the thief's own
+    /// result is identical by determinism, and a fenced-off writer must
+    /// never overwrite anything. A filesystem cannot make the re-check and
+    /// the write one atomic step (the TCP coordinator's token check can, and
+    /// does), but the re-check shrinks the stale-writer window from a whole
+    /// evaluation to a single stat-and-rename — and duplicate *identical*
+    /// writes are benign anyway.
     ///
     /// # Errors
     ///
@@ -274,8 +310,31 @@ impl ShardDataPlane {
         outcome: &ShardOutcome,
     ) -> Result<(), ShardError> {
         let dir = self.epoch_dir(epoch);
+        let key = (epoch.to_string(), shard);
+        let mine = self
+            .claims
+            .lock()
+            .expect("shard claim table lock")
+            .get(&key)
+            .cloned();
+        if let Some(mine) = mine {
+            let current = read_claim_file(&dir.join(claim_name(shard))).map_err(transport_error)?;
+            if current.as_ref() != Some(&mine) {
+                // Fenced off (or the epoch is gone): discard silently.
+                self.fenced.fetch_add(1, Ordering::Relaxed);
+                self.claims
+                    .lock()
+                    .expect("shard claim table lock")
+                    .remove(&key);
+                return Ok(());
+            }
+        }
         write_json(&dir.join(result_name(shard)), outcome).map_err(transport_error)?;
         let _ = fs::remove_file(dir.join(claim_name(shard)));
+        self.claims
+            .lock()
+            .expect("shard claim table lock")
+            .remove(&key);
         Ok(())
     }
 
@@ -322,8 +381,22 @@ impl ShardTransport for ShardDataPlane {
 
     fn try_claim(&self, epoch: &str, shard: usize) -> Result<bool, ShardError> {
         let dir = self.epoch_dir(epoch);
-        let info = ClaimInfo::for_this_process("shard-submitter");
-        take_claim_file(&dir, &dir.join(claim_name(shard)), &info).map_err(transport_error)
+        let fence = match next_fence(&dir.join(fence_name(shard))) {
+            Ok(fence) => fence,
+            // The epoch is gone (or unwritable): a clean claim miss, same
+            // as losing the race.
+            Err(_) => return Ok(false),
+        };
+        let info = ClaimInfo::for_this_process("shard-submitter").with_fence(fence);
+        let taken =
+            take_claim_file(&dir, &dir.join(claim_name(shard)), &info).map_err(transport_error)?;
+        if taken {
+            self.claims
+                .lock()
+                .expect("shard claim table lock")
+                .insert((epoch.to_string(), shard), info);
+        }
+        Ok(taken)
     }
 
     fn submit(&self, epoch: &str, shard: usize, results: &ShardResults) -> Result<(), ShardError> {
@@ -517,6 +590,10 @@ pub struct ShardTask {
     epoch: String,
     shard: usize,
     epoch_dir: PathBuf,
+    /// The fenced claim this task holds after a successful
+    /// [`ShardTask::try_claim`]; submits re-check it against the claim file
+    /// and discard the result when it changed hands.
+    claimed: Option<ClaimInfo>,
 }
 
 impl ShardTask {
@@ -545,7 +622,8 @@ impl ShardTask {
         self.epoch_dir.join(claim_name(self.shard))
     }
 
-    /// Atomically claims the shard for evaluation by this process. Returns
+    /// Atomically claims the shard for evaluation by this process, minting a
+    /// fencing token for the claim (see [`ClaimInfo::fence`]). Returns
     /// `false` when another worker already holds it — or the epoch has been
     /// disposed of in the meantime.
     ///
@@ -553,9 +631,18 @@ impl ShardTask {
     ///
     /// Returns [`StoreError::Io`]/[`StoreError::Json`] on filesystem
     /// failures other than the ordinary lost race.
-    pub fn try_claim(&self, owner: &str) -> Result<bool, StoreError> {
-        let info = ClaimInfo::for_this_process(owner);
-        take_claim_file(&self.epoch_dir, &self.claim_path(), &info)
+    pub fn try_claim(&mut self, owner: &str) -> Result<bool, StoreError> {
+        let fence = match next_fence(&self.epoch_dir.join(fence_name(self.shard))) {
+            Ok(fence) => fence,
+            // Epoch disposed of under us: a clean miss.
+            Err(_) => return Ok(false),
+        };
+        let info = ClaimInfo::for_this_process(owner).with_fence(fence);
+        let taken = take_claim_file(&self.epoch_dir, &self.claim_path(), &info)?;
+        if taken {
+            self.claimed = Some(info);
+        }
+        Ok(taken)
     }
 
     /// Starts a heartbeat on this shard's claim (see [`crate::ClaimHeartbeat`]),
@@ -595,18 +682,28 @@ impl ShardTask {
     }
 
     /// Atomically writes the shard's typed outcome and releases this
-    /// worker's claim.
+    /// worker's claim. Returns whether the result was accepted: `false`
+    /// means this worker's claim was stolen while it worked (it was presumed
+    /// hung and superseded) and the result was **discarded** — the thief
+    /// re-services the shard with an identical outcome, so the caller
+    /// treats this as a skip, not a failure.
     ///
     /// # Errors
     ///
     /// Returns [`StoreError::Io`]/[`StoreError::Json`] when the result
     /// cannot be written (e.g. the epoch was closed mid-evaluation; the
     /// submitter no longer needs the result, so callers treat this as a
-    /// skip, not a failure).
-    pub fn submit_outcome(&self, outcome: &ShardOutcome) -> Result<(), StoreError> {
+    /// skip too).
+    pub fn submit_outcome(&self, outcome: &ShardOutcome) -> Result<bool, StoreError> {
+        if let Some(mine) = &self.claimed {
+            if read_claim_file(&self.claim_path())?.as_ref() != Some(mine) {
+                // Fenced off: a recovery pass stole this claim.
+                return Ok(false);
+            }
+        }
         write_json(&self.epoch_dir.join(result_name(self.shard)), outcome)?;
         let _ = fs::remove_file(self.claim_path());
-        Ok(())
+        Ok(true)
     }
 
     /// Atomically writes an evaluation shard's results and releases this
@@ -616,16 +713,24 @@ impl ShardTask {
     ///
     /// Returns [`StoreError::Io`]/[`StoreError::Json`] when the result
     /// cannot be written.
-    pub fn submit_results(&self, results: &[Option<Evaluation>]) -> Result<(), StoreError> {
+    pub fn submit_results(&self, results: &[Option<Evaluation>]) -> Result<bool, StoreError> {
         self.submit_outcome(&ShardOutcome::Eval {
             results: results.to_vec(),
         })
     }
 
     /// Releases this worker's claim without submitting a result (e.g. the
-    /// task file vanished after the claim).
+    /// task file vanished after the claim). Compare-and-delete: a claim
+    /// that already changed hands is left untouched.
     pub fn release(&self) {
-        let _ = fs::remove_file(self.claim_path());
+        match &self.claimed {
+            Some(mine) => {
+                let _ = break_claim_file(&self.epoch_dir, &self.claim_path(), mine);
+            }
+            None => {
+                let _ = fs::remove_file(self.claim_path());
+            }
+        }
     }
 }
 
@@ -700,6 +805,7 @@ impl Store {
                         epoch: epoch.clone(),
                         shard,
                         epoch_dir: epoch_dir.clone(),
+                        claimed: None,
                     });
                 }
             }
@@ -789,12 +895,16 @@ mod tests {
         assert_eq!((tasks[0].shard(), tasks[1].shard()), (0, 1));
 
         // Worker services shard 0 end to end.
+        let mut tasks = tasks;
+        assert!(tasks[0].try_claim("worker-a").unwrap());
+        {
+            let mut rival = tasks[0].clone();
+            assert!(!rival.try_claim("worker-b").unwrap());
+        }
         let task = &tasks[0];
-        assert!(task.try_claim("worker-a").unwrap());
-        assert!(!task.try_claim("worker-b").unwrap());
         let parameters = task.load_parameters().unwrap().unwrap();
         assert_eq!(parameters, vec![vec![0.1]]);
-        task.submit_results(&[evaluation(0.1)]).unwrap();
+        assert!(task.submit_results(&[evaluation(0.1)]).unwrap());
         assert_eq!(plane.fetch(&epoch, 0).unwrap(), Some(vec![evaluation(0.1)]));
 
         // Serviced and claimed shards disappear from the scan.
@@ -806,6 +916,75 @@ mod tests {
         // Tasks of non-Running runs are never offered.
         run.set_status(RunStatus::Interrupted).unwrap();
         assert!(store.open_shard_tasks().unwrap().is_empty());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn fenced_off_stale_writer_result_is_discarded() {
+        let (root, store) = temp_store();
+        let run = running_run(&store);
+        let zombie = run.shard_plane(Duration::from_secs(30));
+        let epoch = zombie.open_epoch(1).unwrap();
+        zombie.publish(&epoch, 0, &[vec![0.5]]).unwrap();
+        assert!(zombie.try_claim(&epoch, 0).unwrap());
+
+        // The zombie's heartbeat lapses; a recovery pass breaks its claim
+        // and a steward re-claims the shard at a higher fence.
+        let claim_path = root
+            .join("runs")
+            .join(run.id())
+            .join("shards")
+            .join(&epoch)
+            .join(claim_name(0));
+        fs::remove_file(&claim_path).unwrap();
+        let steward = run.shard_plane(Duration::from_secs(30));
+        assert!(steward.try_claim(&epoch, 0).unwrap());
+
+        // The zombie wakes up and submits: discarded, not written.
+        zombie.submit(&epoch, 0, &vec![evaluation(-1.0)]).unwrap();
+        assert_eq!(zombie.fenced_rejections(), 1);
+        assert_eq!(steward.fetch(&epoch, 0).unwrap(), None);
+
+        // The steward's own submission lands as usual.
+        steward.submit(&epoch, 0, &vec![evaluation(0.5)]).unwrap();
+        assert_eq!(steward.fenced_rejections(), 0);
+        assert_eq!(
+            steward.fetch(&epoch, 0).unwrap(),
+            Some(vec![evaluation(0.5)])
+        );
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn fenced_off_stale_worker_task_submit_reports_discard() {
+        let (root, store) = temp_store();
+        let run = running_run(&store);
+        let plane = run.shard_plane(Duration::from_secs(30));
+        let epoch = plane.open_epoch(1).unwrap();
+        plane.publish(&epoch, 0, &[vec![0.5]]).unwrap();
+
+        let mut tasks = store.open_shard_tasks().unwrap();
+        assert!(tasks[0].try_claim("worker-hung").unwrap());
+
+        // Recovery steals the hung worker's claim; a rival re-claims it.
+        let claim_path = root
+            .join("runs")
+            .join(run.id())
+            .join("shards")
+            .join(&epoch)
+            .join(claim_name(0));
+        fs::remove_file(&claim_path).unwrap();
+        let mut rival = tasks[0].clone();
+        assert!(rival.try_claim("worker-fresh").unwrap());
+
+        // The hung worker finally finishes: its write is refused, and the
+        // rival's claim file survives untouched.
+        assert!(!tasks[0].submit_results(&[evaluation(-1.0)]).unwrap());
+        assert_eq!(plane.fetch(&epoch, 0).unwrap(), None);
+        assert!(claim_path.is_file(), "successor's claim must survive");
+
+        assert!(rival.submit_results(&[evaluation(0.5)]).unwrap());
+        assert_eq!(plane.fetch(&epoch, 0).unwrap(), Some(vec![evaluation(0.5)]));
         let _ = fs::remove_dir_all(root);
     }
 
@@ -822,6 +1001,7 @@ mod tests {
         // The submitter assembles and closes the epoch before the worker
         // gets to the task: the claim must fail gracefully, not error.
         plane.close_epoch(&epoch).unwrap();
+        let mut tasks = tasks;
         assert!(!tasks[0].try_claim("late-worker").unwrap());
         assert_eq!(tasks[0].load_parameters().unwrap(), None);
         let _ = fs::remove_dir_all(root);
@@ -842,6 +1022,7 @@ mod tests {
             pid: u32::MAX,
             host: crate::local_host().to_string(),
             claimed_unix: crate::now_unix(),
+            fence: 1,
         };
         let claim_path = run.shards_dir().join(&epoch).join(claim_name(0));
         crate::write_json(&claim_path, &dead).unwrap();
@@ -868,6 +1049,7 @@ mod tests {
             pid: std::process::id(), // same pid, *different* host
             host: "some-other-host".to_string(),
             claimed_unix: crate::now_unix(),
+            fence: 1,
         };
         let claim_path = run.shards_dir().join(&epoch).join(claim_name(0));
         crate::write_json(&claim_path, &foreign).unwrap();
@@ -924,6 +1106,7 @@ mod tests {
         assert_eq!(work.kind(), ShardWorkKind::Variation);
 
         // Claim, service, fetch: the opaque data payload survives verbatim.
+        let mut tasks = tasks;
         assert!(tasks[0].try_claim("variation-worker").unwrap());
         let outcome = ShardOutcome::Variation(VariationOutcome {
             data: Some(Value::Object(vec![(
@@ -932,7 +1115,7 @@ mod tests {
             )])),
             elapsed_seconds: 0.125,
         });
-        tasks[0].submit_outcome(&outcome).unwrap();
+        assert!(tasks[0].submit_outcome(&outcome).unwrap());
         assert_eq!(plane.fetch_outcome(&epoch, 0).unwrap(), Some(outcome));
         // The eval-typed transport fetch declines a variation outcome
         // instead of misreading it.

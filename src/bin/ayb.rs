@@ -5,13 +5,14 @@
 //! ayb run    [--store DIR] [--id RUN_ID] [--scale reduced|demo|paper]
 //!            [--seed N] [--optimizer wbga|nsga2|random] [--threads N]
 //!            [--early-stop K] [--sharded] [--shard-size N]
-//!            [--halt-after N] [--quiet]
+//!            [--transport tcp://HOST:PORT] [--halt-after N] [--quiet]
 //! ayb resume [--store DIR] RUN_ID [--halt-after N] [--quiet]
 //! ayb submit [--store DIR] [--id RUN_ID] [--scale S] [--seed N]
 //!            [--optimizer O] [--threads N] [--early-stop K]
-//!            [--sharded] [--shard-size N]
+//!            [--sharded] [--shard-size N] [--transport tcp://HOST:PORT]
 //! ayb serve  [--store DIR] [--workers N] [--drain] [--shards-only]
-//!            [--poll-ms MS] [--quiet]
+//!            [--transport tcp://HOST:PORT] [--poll-ms MS] [--quiet]
+//! ayb coordinate [--bind ADDR] [--poll-ms MS] [--quiet]
 //! ayb status [--store DIR] [RUN_ID]
 //! ayb list   [--store DIR]
 //! ayb show   [--store DIR] RUN_ID [--digest]
@@ -32,12 +33,20 @@
 //! checkpoints. `ayb status` shows the queue, `ayb gc` sweeps stale temp
 //! files and prunes old checkpoints.
 //!
+//! `ayb coordinate` runs the network shard coordinator (the `ayb_net`
+//! crate): a sharded flow submitted with `--transport tcp://HOST:PORT`
+//! publishes its shards to the coordinator instead of the store's on-disk
+//! plane, and any `ayb serve --transport tcp://HOST:PORT` worker — on any
+//! machine, with any (even empty) local store — services them. Coordinator,
+//! submitter and workers need no shared filesystem.
+//!
 //! The store directory defaults to `$AYB_STORE` or `./ayb-store`.
 //! Argument parsing is plain `std` — no CLI dependencies.
 
 use ayb_core::{AybError, FlowBuilder, FlowConfig, FlowObserver, FlowResult, FlowStage};
 use ayb_jobs::{JobEvent, JobServer, JobServerConfig};
 use ayb_moo::{CheckpointError, EarlyStop, OptimizerConfig};
+use ayb_net::{Coordinator, CoordinatorConfig};
 use ayb_store::{ClaimHealth, Manifest, RunStatus, ShardWorkKind, Store};
 use std::path::Path;
 use std::process::ExitCode;
@@ -50,13 +59,14 @@ USAGE:
     ayb run    [--store DIR] [--id RUN_ID] [--scale reduced|demo|paper]
                [--seed N] [--optimizer wbga|nsga2|random] [--threads N]
                [--early-stop K] [--sharded] [--shard-size N]
-               [--halt-after N] [--quiet]
+               [--transport tcp://HOST:PORT] [--halt-after N] [--quiet]
     ayb resume [--store DIR] RUN_ID [--halt-after N] [--quiet]
     ayb submit [--store DIR] [--id RUN_ID] [--scale S] [--seed N]
                [--optimizer O] [--threads N] [--early-stop K]
-               [--sharded] [--shard-size N]
+               [--sharded] [--shard-size N] [--transport tcp://HOST:PORT]
     ayb serve  [--store DIR] [--workers N] [--drain] [--shards-only]
-               [--poll-ms MS] [--quiet]
+               [--transport tcp://HOST:PORT] [--poll-ms MS] [--quiet]
+    ayb coordinate [--bind ADDR] [--poll-ms MS] [--quiet]
     ayb status [--store DIR] [RUN_ID]
     ayb list   [--store DIR]
     ayb show   [--store DIR] RUN_ID [--digest]
@@ -73,6 +83,11 @@ OPTIONS:
     --sharded             Evaluate populations through the store's shard data
                           plane (any `ayb serve` process sharing the store helps)
     --shard-size N        Candidates per shard (default: scale-dependent)
+    --transport URL       tcp://HOST:PORT of an `ayb coordinate` process: run
+                          and submit publish their shards there (no shared
+                          filesystem needed); serve also services them
+    --bind ADDR           coordinate: address to listen on (default
+                          127.0.0.1:4710; port 0 picks an ephemeral port)
     --halt-after N        Interrupt the run after N checkpoints (simulated crash)
     --workers N           Job-server worker threads (default 2)
     --drain               Serve until the queue is empty, then exit
@@ -108,6 +123,7 @@ fn main() -> ExitCode {
         "resume" => cmd_resume(&parsed),
         "submit" => cmd_submit(&parsed),
         "serve" => cmd_serve(&parsed),
+        "coordinate" => cmd_coordinate(&parsed),
         "status" => cmd_status(&parsed),
         "list" => cmd_list(&parsed),
         "show" => cmd_show(&parsed),
@@ -147,6 +163,8 @@ struct CliArgs {
     sharded: bool,
     shard_size: Option<usize>,
     shards_only: bool,
+    transport: Option<String>,
+    bind: Option<String>,
     poll_ms: Option<u64>,
     keep_checkpoints: Option<usize>,
     sweep_all: bool,
@@ -192,6 +210,8 @@ impl CliArgs {
                         Some(parse_number(&value_of("--shard-size")?, "--shard-size")?)
                 }
                 "--shards-only" => parsed.shards_only = true,
+                "--transport" => parsed.transport = Some(value_of("--transport")?),
+                "--bind" => parsed.bind = Some(value_of("--bind")?),
                 "--poll-ms" => {
                     parsed.poll_ms = Some(parse_number(&value_of("--poll-ms")?, "--poll-ms")?)
                 }
@@ -288,6 +308,13 @@ fn build_flow_setup(args: &CliArgs) -> Result<(FlowConfig, OptimizerConfig), Str
     if let Some(shard_size) = args.shard_size {
         config.shard_size = shard_size.max(1);
     }
+    if let Some(url) = &args.transport {
+        // Fail malformed URLs here, not minutes later inside the flow (a
+        // well-formed but unreachable coordinator degrades gracefully).
+        ayb_net::parse_transport_url(url)?;
+        config.transport = Some(url.clone());
+        config.sharded = true;
+    }
 
     let mut optimizer = match args.optimizer.as_deref().unwrap_or("wbga") {
         "wbga" => OptimizerConfig::Wbga(config.ga),
@@ -365,6 +392,10 @@ fn cmd_serve(args: &CliArgs) -> Result<(), String> {
         shards_only: args.shards_only,
         ..JobServerConfig::default()
     };
+    if let Some(url) = &args.transport {
+        ayb_net::parse_transport_url(url)?;
+        config.transport = Some(url.clone());
+    }
     if let Some(workers) = args.workers {
         config.workers = workers.max(1);
     }
@@ -386,6 +417,9 @@ fn cmd_serve(args: &CliArgs) -> Result<(), String> {
                 ""
             },
         );
+        if let Some(url) = &args.transport {
+            eprintln!("[ayb] servicing network shards from {url}");
+        }
         server.set_event_hook(|event| eprintln!("[ayb] {}", render_event(event)));
     }
     let report = server.run().map_err(|e| e.to_string())?;
@@ -396,10 +430,49 @@ fn cmd_serve(args: &CliArgs) -> Result<(), String> {
     println!("skipped: {}", report.skipped.len());
     println!("requeued: {}", report.requeued.len());
     println!("shards_serviced: {}", report.shards_serviced);
+    if report.shards_fenced > 0 {
+        println!("shards_fenced: {}", report.shards_fenced);
+    }
     if report.failed.is_empty() {
         Ok(())
     } else {
         Err(format!("runs failed: {}", report.failed.join(", ")))
+    }
+}
+
+/// Runs the network shard coordinator until killed. All its state is in
+/// memory: killing and restarting it is the crash-recovery story (flows
+/// degrade the lost shards to local evaluation; workers find no tasks until
+/// epochs are re-opened), so there is nothing to persist and no store flag.
+fn cmd_coordinate(args: &CliArgs) -> Result<(), String> {
+    if !args.positional.is_empty() {
+        return Err("`ayb coordinate` takes no positional arguments".to_string());
+    }
+    let bind = args.bind.as_deref().unwrap_or("127.0.0.1:4710");
+    let coordinator = Coordinator::bind(bind, CoordinatorConfig::default())
+        .map_err(|e| format!("cannot bind coordinator to {bind}: {e}"))?;
+    // The URL line is the machine-readable hand-off (scripts and the CI
+    // smoke test scrape it for the resolved port when binding port 0).
+    println!("coordinator: {}", coordinator.url());
+    let poll = Duration::from_millis(args.poll_ms.unwrap_or(2000).max(100));
+    let mut last: Vec<String> = Vec::new();
+    loop {
+        std::thread::sleep(poll);
+        if args.quiet {
+            continue;
+        }
+        let lines = coordinator.describe();
+        if lines != last {
+            let stats = coordinator.stats();
+            eprintln!(
+                "[ayb] epochs: {}, open shards: {}, claims issued: {}, fenced: {}",
+                stats.epochs, stats.open_shards, stats.claims_issued, stats.fenced_rejections
+            );
+            for line in &lines {
+                eprintln!("[ayb] {line}");
+            }
+            last = lines;
+        }
     }
 }
 
@@ -564,6 +637,27 @@ fn status_of_run(store: &Store, id: &str) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     if !variation.is_empty() {
         println!("variation_checkpoints: {}", variation.len());
+    }
+    if let Ok(Some(value)) = handle.transport_report_value() {
+        use serde::Deserialize;
+        if let Ok(report) = ayb_core::TransportReport::from_value(&value) {
+            println!("transport: {}", report.transport);
+            if report.requests > 0 {
+                println!(
+                    "transport_requests: {} ({:.2}s round-trip)",
+                    report.requests, report.request_seconds
+                );
+            }
+            if report.fenced_rejections > 0 {
+                println!("transport_fenced_writes: {}", report.fenced_rejections);
+            }
+            for incident in &report.incidents {
+                println!(
+                    "transport_degraded: {} shard {} -> local ({})",
+                    incident.stage, incident.shard, incident.detail
+                );
+            }
+        }
     }
     println!(
         "result: {}",

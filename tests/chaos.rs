@@ -22,12 +22,14 @@ use ayb_core::{
     AybError, FlowBuilder, FlowConfig, FlowResult, VariationBoundary, VariationHaltHook,
 };
 use ayb_moo::CheckpointError;
-use ayb_store::{RunStatus, ShardSummary, Store};
+use ayb_net::{Coordinator, CoordinatorConfig, TcpTransport};
+use ayb_store::{RunStatus, ShardOutcome, ShardSummary, Store, VariationOutcome};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // The harness
@@ -260,4 +262,253 @@ fn schedules_are_reproducible_from_their_seed() {
         .map(|seed| format!("{:?}", schedule_from_seed(seed)))
         .collect();
     assert!(distinct.len() > 3, "schedules vary with the seed");
+}
+
+// ---------------------------------------------------------------------------
+// Chaos over the network data plane (ayb_net)
+// ---------------------------------------------------------------------------
+
+/// The chaos configuration pointed at a coordinator instead of the store's
+/// on-disk shard plane.
+fn tcp_config(url: &str) -> FlowConfig {
+    let mut config = chaos_config();
+    config.transport = Some(url.to_string());
+    config
+}
+
+/// The disk-plane crash schedules hold verbatim when the shards travel over
+/// TCP: every halt-and-resume history converges to the serial digest, and
+/// the run leaves a transport report naming the coordinator it used.
+#[test]
+fn crash_schedules_over_the_tcp_plane_converge_to_the_reference_digest() {
+    let expected = reference_digest();
+    let coordinator = Coordinator::bind("127.0.0.1:0", CoordinatorConfig::default())
+        .expect("coordinator binds an ephemeral port");
+    let schedules: &[&[KillPoint]] = &[
+        &[KillPoint::AtGenerationCheckpoint(2)],
+        &[
+            KillPoint::AtVariationBoundary(BoundaryKind::Claim, 2),
+            KillPoint::AtVariationBoundary(BoundaryKind::EpochClose, 1),
+        ],
+    ];
+    for (index, schedule) in schedules.iter().enumerate() {
+        let (root, store) = temp_store("tcp");
+        let run_id = format!("tcp-chaos-{index}");
+        let result = run_with_chaos(
+            &store,
+            &run_id,
+            &tcp_config(&coordinator.url()),
+            CHAOS_SEED,
+            schedule,
+        );
+        assert_eq!(
+            result.determinism_digest(),
+            expected,
+            "TCP schedule {schedule:?} perturbed the result"
+        );
+        let value = store
+            .run(&run_id)
+            .unwrap()
+            .transport_report_value()
+            .unwrap()
+            .expect("a sharded TCP run persists its transport report");
+        let report = {
+            use serde::Deserialize;
+            ayb_core::TransportReport::from_value(&value).expect("transport report parses")
+        };
+        assert_eq!(report.transport, coordinator.url());
+        // The report counts the *final* attempt's traffic. A schedule whose
+        // last crash is at the epoch-close boundary leaves nothing for the
+        // last resume to shard (every generation and point is already
+        // checkpointed), so only the first schedule guarantees wire use.
+        if index == 0 {
+            assert!(report.requests > 0, "the wire was actually used");
+        }
+        let _ = std::fs::remove_dir_all(root);
+    }
+}
+
+/// Killing the coordinator mid-variation (all its state is in memory, so
+/// `wipe_state` *is* a kill-and-restart) strands the open epoch; the flow
+/// must degrade the lost points to local analysis — noisily, with recorded
+/// incidents — and still converge to the serial digest.
+#[test]
+fn coordinator_restart_mid_variation_degrades_locally_and_converges() {
+    let expected = reference_digest();
+    let coordinator = Arc::new(
+        Coordinator::bind("127.0.0.1:0", CoordinatorConfig::default())
+            .expect("coordinator binds an ephemeral port"),
+    );
+    let (root, store) = temp_store("tcp-restart");
+
+    let wiped = Arc::new(AtomicBool::new(false));
+    let hook: VariationHaltHook = {
+        let wiped = Arc::clone(&wiped);
+        let coordinator = Arc::clone(&coordinator);
+        Arc::new(move |boundary| {
+            if matches!(boundary, VariationBoundary::Claim { .. })
+                && !wiped.swap(true, Ordering::SeqCst)
+            {
+                coordinator.wipe_state();
+            }
+            false // never halt: the flow must survive in one attempt
+        })
+    };
+
+    let result = FlowBuilder::new(tcp_config(&coordinator.url()))
+        .with_seed(CHAOS_SEED)
+        .with_store(&store)
+        .with_run_id("tcp-restart")
+        .halt_variation_when(hook)
+        .run()
+        .expect("the flow survives a coordinator restart");
+
+    assert!(wiped.load(Ordering::SeqCst), "the scripted restart fired");
+    assert_eq!(
+        result.determinism_digest(),
+        expected,
+        "local fallback after the restart perturbed the result"
+    );
+    assert!(
+        result.timings.shards_degraded >= 1,
+        "the stranded points degraded to local analysis"
+    );
+    let value = store
+        .run("tcp-restart")
+        .unwrap()
+        .transport_report_value()
+        .unwrap()
+        .expect("transport report persisted");
+    let report = {
+        use serde::Deserialize;
+        ayb_core::TransportReport::from_value(&value).expect("transport report parses")
+    };
+    assert!(
+        !report.incidents.is_empty(),
+        "each degradation is recorded with its cause"
+    );
+    assert!(report
+        .incidents
+        .iter()
+        .all(|incident| !incident.detail.is_empty()));
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// A worker that claims a variation point and hangs (no heartbeat) has its
+/// claim stolen by the submitting flow; when the zombie finally wakes and
+/// writes a *poisoned* outcome under its superseded token, the coordinator
+/// must fence the write off — the digest stays bit-identical to serial.
+#[test]
+fn hung_tcp_claim_is_stolen_and_the_late_zombie_write_is_fenced_off() {
+    let expected = reference_digest();
+    // An aggressive steal threshold, so the hung claim is recovered at the
+    // driver's next recovery pass instead of a minute later.
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        CoordinatorConfig {
+            stale_after: Duration::from_millis(100),
+        },
+    )
+    .expect("coordinator binds an ephemeral port");
+    let (root, store) = temp_store("tcp-zombie");
+
+    let variation_started = Arc::new(AtomicBool::new(false));
+    let zombie_submitted = Arc::new(AtomicBool::new(false));
+
+    // The zombie worker: claims one variation point exactly like `ayb serve
+    // --transport` would, then hangs without heartbeating. Once the flow has
+    // stolen the point and landed the authoritative result, it wakes and
+    // performs its late poisoned write, which fencing must reject.
+    let zombie_transport = TcpTransport::connect(coordinator.local_addr().to_string());
+    let zombie = {
+        let transport = zombie_transport.clone();
+        let started = Arc::clone(&variation_started);
+        let submitted = Arc::clone(&zombie_submitted);
+        std::thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(120);
+            while !started.load(Ordering::SeqCst) {
+                assert!(Instant::now() < deadline, "variation stage never started");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let task = loop {
+                if let Ok(Some(task)) = transport.claim_next("zombie") {
+                    break task;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "no variation point left to claim"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            };
+            // Hang. The steward's stolen re-analysis landing is visible as
+            // the shard's accepted outcome.
+            loop {
+                if let Ok(Some(_)) = transport.fetch_outcome(&task.epoch, task.shard) {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "the hung claim was never stolen");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            // The late write: poisoned (a lost analysis plus a bogus
+            // timing), under the superseded token. If this were accepted,
+            // the digest below could not match.
+            let poison = ShardOutcome::Variation(VariationOutcome {
+                data: None,
+                elapsed_seconds: 999.0,
+            });
+            let accepted = transport
+                .submit_with_token(&task.epoch, task.shard, task.token, &poison)
+                .expect("the epoch is held open until this write");
+            assert!(!accepted, "a fenced-off zombie write must be rejected");
+            submitted.store(true, Ordering::SeqCst);
+        })
+    };
+
+    let hook: VariationHaltHook = {
+        let started = Arc::clone(&variation_started);
+        let submitted = Arc::clone(&zombie_submitted);
+        Arc::new(move |boundary| {
+            match boundary {
+                VariationBoundary::Claim { .. } => {
+                    started.store(true, Ordering::SeqCst);
+                }
+                VariationBoundary::EpochClose => {
+                    // Hold the epoch open until the zombie's late write has
+                    // been rejected, so the fencing path (not an
+                    // unknown-epoch error) is what the test exercises.
+                    let deadline = Instant::now() + Duration::from_secs(120);
+                    while !submitted.load(Ordering::SeqCst) {
+                        assert!(Instant::now() < deadline, "the zombie never wrote");
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+                _ => {}
+            }
+            false // never halt
+        })
+    };
+
+    let result = FlowBuilder::new(tcp_config(&coordinator.url()))
+        .with_seed(CHAOS_SEED)
+        .with_store(&store)
+        .with_run_id("tcp-zombie")
+        .halt_variation_when(hook)
+        .run()
+        .expect("the flow completes around the hung worker");
+    zombie.join().expect("zombie thread assertions hold");
+
+    assert_eq!(
+        result.determinism_digest(),
+        expected,
+        "the stolen point or the rejected write perturbed the result"
+    );
+    assert!(
+        zombie_transport.stats().fenced_rejections >= 1,
+        "the zombie's client counted its rejection"
+    );
+    assert!(
+        coordinator.stats().fenced_rejections >= 1,
+        "the coordinator counted the fenced write"
+    );
+    let _ = std::fs::remove_dir_all(root);
 }

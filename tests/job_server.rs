@@ -138,6 +138,43 @@ fn sigkilled_workers_run_is_reclaimed_and_resumes_bit_identically() {
 }
 
 #[test]
+fn hung_workers_run_is_stolen_once_its_heartbeat_lapses() {
+    let (root, store) = temp_store("steal-hung");
+    let expected = reference_digest(78);
+    let run_id = submit(&store, 78);
+
+    let halted = FlowBuilder::resume(&store, &run_id)
+        .expect("resume builds")
+        .halt_after_checkpoints(3)
+        .run();
+    assert!(halted.is_err(), "halted mid-run");
+    let handle = store.run(&run_id).unwrap();
+
+    // Forge a *hung* holder: this very process (alive pid, same host) whose
+    // claim heartbeat has gone quiet. Pre-fencing, recovery spared these
+    // forever; now the claim carries a fence token and is stolen once the
+    // heartbeat exceeds the reclaim grace.
+    handle.set_status(RunStatus::Running).unwrap();
+    let hung_claim = ayb_store::ClaimInfo::for_this_process("hung-worker").with_fence(1);
+    std::fs::write(
+        handle.dir().join("claim.json"),
+        serde_json::to_string_pretty(&hung_claim).unwrap(),
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    let mut config = JobServerConfig::drain_with_workers(2);
+    config.reclaim_grace = Duration::from_millis(50);
+    let server = JobServer::new(store.clone(), config);
+    let report = server.run().expect("server drains");
+    assert_eq!(report.requeued, vec![run_id.clone()]);
+    assert_eq!(report.completed, vec![run_id.clone()]);
+    assert_eq!(handle.status().unwrap(), RunStatus::Completed);
+    assert_eq!(stored_digest(&store, &run_id), expected);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
 fn graceful_shutdown_halts_at_a_checkpoint_and_the_run_resumes() {
     let (root, store) = temp_store("shutdown");
     let expected = reference_digest(55);

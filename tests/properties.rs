@@ -365,3 +365,65 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Each case runs three optimisations against an in-process TCP
+    // coordinator; a small case count keeps the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Sharded evaluation over the *network* data plane (an in-process
+    /// coordinator spoken to through `TcpTransport`) returns objective
+    /// vectors identical to local evaluation for all three optimisers — the
+    /// wire, like the on-disk plane, moves work but never changes results.
+    #[test]
+    fn tcp_sharded_evaluation_matches_local_for_all_optimizers(
+        seed in 0u64..10_000,
+        shard_size in 1usize..6,
+    ) {
+        use ayb_moo::{
+            FnProblem, GaConfig, ObjectiveSpec, OptimizerConfig, ShardedEvaluator,
+            ShardingOptions, WithEvaluator,
+        };
+        use ayb_net::{Coordinator, CoordinatorConfig, TcpTransport};
+
+        let problem = FnProblem::new(
+            2,
+            vec![ObjectiveSpec::maximize("f1"), ObjectiveSpec::minimize("f2")],
+            |x: &[f64]| {
+                if x[0] + x[1] > 1.8 {
+                    None // an infeasible region, so `None` slots travel too
+                } else {
+                    Some(vec![x[0] + x[1], (x[0] - x[1]).abs()])
+                }
+            },
+        );
+        let coordinator = Coordinator::bind("127.0.0.1:0", CoordinatorConfig::default())
+            .expect("coordinator binds an ephemeral port");
+        let ga = GaConfig::small_test().with_seed(seed);
+        for config in [
+            OptimizerConfig::Wbga(ga),
+            OptimizerConfig::Nsga2(ga),
+            OptimizerConfig::RandomSearch { budget: 64, seed },
+        ] {
+            let reference = config.build().run(&problem);
+
+            let transport = TcpTransport::connect(coordinator.local_addr().to_string());
+            let sharded_problem = WithEvaluator::new(
+                &problem,
+                ShardedEvaluator::new(
+                    Box::new(transport),
+                    ShardingOptions::with_shard_size(shard_size),
+                ),
+            );
+            let sharded = config.build().run(&sharded_problem);
+
+            prop_assert!(
+                reference.archive == sharded.archive,
+                "{}: archives must match over TCP",
+                config.name()
+            );
+            prop_assert_eq!(reference.evaluations, sharded.evaluations);
+            prop_assert_eq!(reference.failed_evaluations, sharded.failed_evaluations);
+        }
+    }
+}

@@ -48,6 +48,7 @@ use ayb_moo::{
     ShardingOptions, SizingProblem, WithEvaluator,
 };
 use ayb_net::TcpTransport;
+use ayb_obs::{kind as event_kind, Event, JsonlSink, Recorder, Severity, SinkGuard};
 use ayb_process::{montecarlo, Summary};
 use ayb_store::{
     ClaimHeartbeat, ClaimInfo, Manifest, RunHandle, RunStatus, ShardDataPlane, ShardOutcome,
@@ -520,20 +521,40 @@ pub enum VariationBoundary {
 /// see [`FlowBuilder::halt_variation_when`].
 pub type VariationHaltHook = Arc<dyn Fn(VariationBoundary) -> bool + Send + Sync>;
 
-/// A [`FlowObserver`] that logs stage transitions to stderr.
+/// A [`FlowObserver`] that logs stage transitions to stderr through the
+/// telemetry plane's shared formatter: one line format everywhere, filtered
+/// by the `AYB_LOG` severity threshold (default `info`).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StderrObserver;
 
 impl FlowObserver for StderrObserver {
     fn on_stage_start(&mut self, stage: FlowStage) {
-        eprintln!("[ayb] stage {} started", stage.name());
+        ayb_obs::log_to_stderr(
+            &Event::new(Severity::Info, "flow", event_kind::STAGE_START)
+                .detail(format!("stage {} started", stage.name())),
+        );
     }
 
     fn on_stage_complete(&mut self, stage: FlowStage, elapsed: Duration) {
-        eprintln!(
-            "[ayb] stage {} completed in {:.2}s",
-            stage.name(),
-            elapsed.as_secs_f64()
+        ayb_obs::log_to_stderr(
+            &Event::new(Severity::Info, "flow", event_kind::STAGE_COMPLETE)
+                .value(elapsed.as_secs_f64())
+                .detail(format!(
+                    "stage {} completed in {:.2}s",
+                    stage.name(),
+                    elapsed.as_secs_f64()
+                )),
+        );
+    }
+
+    fn on_transport_degraded(&mut self, stage: FlowStage, shard: usize, detail: &str) {
+        ayb_obs::log_to_stderr(
+            &Event::new(Severity::Warn, "flow", event_kind::SHARD_DEGRADED)
+                .shard(shard as u64)
+                .detail(format!(
+                    "{}: shard {shard} degraded: {detail}",
+                    stage.name()
+                )),
         );
     }
 }
@@ -573,6 +594,7 @@ pub struct FlowBuilder {
     halt_signal: Option<Arc<AtomicBool>>,
     variation_halt: Option<VariationHaltHook>,
     claim_owner: Option<String>,
+    recorder: Option<Recorder>,
 }
 
 impl FlowBuilder {
@@ -591,6 +613,7 @@ impl FlowBuilder {
             halt_signal: None,
             variation_halt: None,
             claim_owner: None,
+            recorder: None,
         }
     }
 
@@ -620,6 +643,7 @@ impl FlowBuilder {
             halt_signal: None,
             variation_halt: None,
             claim_owner: None,
+            recorder: None,
         })
     }
 
@@ -719,6 +743,21 @@ impl FlowBuilder {
         self
     }
 
+    /// Attaches an event recorder: the flow emits structured run events
+    /// (stage boundaries, checkpoints, shard claim/fence/degrade traffic)
+    /// and metrics through it, and — for durable runs — persists the
+    /// events to `runs/<id>/events.jsonl` alongside the result. Telemetry
+    /// is strictly observational: enabling it never changes a
+    /// [`FlowResult::determinism_digest`]. Without this call a durable run
+    /// records through a private recorder of its own; pass one explicitly
+    /// to share it (a job server funnelling many runs into one stream, a
+    /// test asserting on events).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Labels the execution claim this flow takes on its stored run
     /// (default: `flow-<pid>`). Purely diagnostic — the claim itself is
     /// always taken; the label shows up in `ayb status` and in
@@ -771,6 +810,7 @@ impl FlowBuilder {
     pub fn optimize(mut self) -> Result<OptimizedFlow, AybError> {
         let problem = OtaSizingProblem::new(self.config.testbench, self.config.sweep.clone())
             .with_threads(self.config.threads);
+        let recorder = self.recorder.take().unwrap_or_default();
 
         notify_start(&mut self.observers, FlowStage::Optimize);
 
@@ -829,6 +869,23 @@ impl FlowBuilder {
             .as_ref()
             .map(|handle| handle.start_claim_heartbeat(CLAIM_HEARTBEAT_INTERVAL));
 
+        // Durable runs persist their event stream next to the result. The
+        // sink is scoped: carried through all stages and detached when the
+        // flow ends, so a recorder shared across runs (a job server's) never
+        // leaks one run's sink into the next. Every (re-)entry marks a new
+        // attempt boundary in the file — `ayb trace` splits on it.
+        let events_guard = run
+            .as_ref()
+            .map(|handle| recorder.add_scoped_sink(Box::new(JsonlSink::new(handle.events_path()))));
+        recorder.emit(
+            flow_event(run.as_ref(), Severity::Info, event_kind::FLOW_START)
+                .detail(format!("flow started (owner `{claim_owner}`)")),
+        );
+        recorder.emit(
+            flow_event(run.as_ref(), Severity::Info, event_kind::STAGE_START)
+                .detail(FlowStage::Optimize.name()),
+        );
+
         // With sharding enabled (and a durable run to host the data plane),
         // batch evaluation goes through the shard data plane — on disk, or
         // over TCP when the config selects a coordinator. The plane is built
@@ -843,7 +900,11 @@ impl FlowBuilder {
                     Some(url) => match TcpTransport::from_url(url) {
                         Ok(transport) => {
                             let context = serde::Serialize::to_value(&self.config);
-                            FlowShardPlane::Tcp(transport.with_run_context(handle.id(), context))
+                            FlowShardPlane::Tcp(
+                                transport
+                                    .with_run_context(handle.id(), context)
+                                    .with_recorder(recorder.clone()),
+                            )
                         }
                         Err(reason) => {
                             // A malformed selector degrades to the disk
@@ -854,10 +915,18 @@ impl FlowBuilder {
                             for observer in &mut self.observers {
                                 observer.on_transport_degraded(FlowStage::Optimize, 0, &detail);
                             }
-                            FlowShardPlane::Disk(handle.shard_plane(SHARD_CLAIM_STALE_AFTER))
+                            FlowShardPlane::Disk(
+                                handle
+                                    .shard_plane(SHARD_CLAIM_STALE_AFTER)
+                                    .with_recorder(recorder.clone()),
+                            )
                         }
                     },
-                    None => FlowShardPlane::Disk(handle.shard_plane(SHARD_CLAIM_STALE_AFTER)),
+                    None => FlowShardPlane::Disk(
+                        handle
+                            .shard_plane(SHARD_CLAIM_STALE_AFTER)
+                            .with_recorder(recorder.clone()),
+                    ),
                 })
             }
             _ => None,
@@ -904,6 +973,7 @@ impl FlowBuilder {
                 let halt_after = self.halt_after_checkpoints;
                 let halt_signal = self.halt_signal.clone();
                 let minted = run_claim.as_ref();
+                let sink_recorder = recorder.clone();
                 let mut sink = |checkpoint: &Checkpoint| match guard_claim(handle, minted)
                     .and_then(|()| handle.save_checkpoint(checkpoint))
                 {
@@ -912,6 +982,15 @@ impl FlowBuilder {
                         for observer in observers.iter_mut() {
                             observer.on_checkpoint_written(checkpoint.next_generation, &path);
                         }
+                        sink_recorder.emit(
+                            Event::new(Severity::Debug, "flow", event_kind::CHECKPOINT)
+                                .run(handle.id())
+                                .value(checkpoint.next_generation as f64)
+                                .detail(format!(
+                                    "generation {} checkpoint written",
+                                    checkpoint.next_generation
+                                )),
+                        );
                         let count_reached = matches!(halt_after, Some(limit) if written >= limit);
                         let signalled = halt_signal
                             .as_ref()
@@ -934,17 +1013,22 @@ impl FlowBuilder {
                     &mut transport_incidents,
                 );
                 if let Some(error) = write_error {
-                    finish_run(handle, run_claim.as_ref(), RunStatus::Failed);
+                    finish_run(&recorder, handle, run_claim.as_ref(), RunStatus::Failed);
                     return Err(AybError::Store(error));
                 }
                 match outcome {
                     Ok(result) => result,
                     Err(halted @ CheckpointError::Halted { .. }) => {
-                        finish_run(handle, run_claim.as_ref(), RunStatus::Interrupted);
+                        finish_run(
+                            &recorder,
+                            handle,
+                            run_claim.as_ref(),
+                            RunStatus::Interrupted,
+                        );
                         return Err(AybError::Checkpoint(halted));
                     }
                     Err(error) => {
-                        finish_run(handle, run_claim.as_ref(), RunStatus::Failed);
+                        finish_run(&recorder, handle, run_claim.as_ref(), RunStatus::Failed);
                         return Err(AybError::Checkpoint(error));
                     }
                 }
@@ -959,13 +1043,18 @@ impl FlowBuilder {
         );
         if optimization.archive.is_empty() {
             if let Some(handle) = &run {
-                finish_run(handle, run_claim.as_ref(), RunStatus::Failed);
+                finish_run(&recorder, handle, run_claim.as_ref(), RunStatus::Failed);
             }
             return Err(AybError::Flow(FlowError::NoFeasibleCandidates));
         }
         let pareto = optimization.pareto_front();
         let selected = subsample_front(&pareto, self.config.max_pareto_points);
         notify_complete(&mut self.observers, FlowStage::Optimize, optimization_time);
+        recorder.emit(
+            flow_event(run.as_ref(), Severity::Info, event_kind::STAGE_COMPLETE)
+                .value(optimization_time.as_secs_f64())
+                .detail(FlowStage::Optimize.name()),
+        );
 
         Ok(OptimizedFlow {
             config: self.config,
@@ -981,6 +1070,8 @@ impl FlowBuilder {
             claim_heartbeat,
             halt_signal: self.halt_signal,
             variation_halt: self.variation_halt,
+            recorder,
+            events_guard,
             timings: FlowTimings {
                 optimization: optimization_time,
                 ..FlowTimings::default()
@@ -1014,6 +1105,8 @@ pub struct OptimizedFlow {
     claim_heartbeat: Option<ClaimHeartbeat>,
     halt_signal: Option<Arc<AtomicBool>>,
     variation_halt: Option<VariationHaltHook>,
+    recorder: Recorder,
+    events_guard: Option<SinkGuard>,
     timings: FlowTimings,
 }
 
@@ -1076,6 +1169,10 @@ impl OptimizedFlow {
     /// [`AybError::Store`] when a variation checkpoint cannot be persisted.
     pub fn analyze_variation(mut self) -> Result<AnalyzedFlow, AybError> {
         notify_start(&mut self.observers, FlowStage::AnalyzeVariation);
+        self.recorder.emit(
+            flow_event(self.run.as_ref(), Severity::Info, event_kind::STAGE_START)
+                .detail(FlowStage::AnalyzeVariation.name()),
+        );
         let t0 = Instant::now();
         let total = self.selected.len();
         let mut slots: Vec<Option<VariationPointRecord>> = vec![None; total];
@@ -1095,7 +1192,12 @@ impl OptimizedFlow {
             })();
             if let Err(error) = restored {
                 drop(self.claim_heartbeat.take());
-                finish_run(handle, self.run_claim.as_ref(), RunStatus::Failed);
+                finish_run(
+                    &self.recorder,
+                    handle,
+                    self.run_claim.as_ref(),
+                    RunStatus::Failed,
+                );
                 return Err(AybError::Store(error));
             }
         }
@@ -1113,7 +1215,12 @@ impl OptimizedFlow {
             VariationStageOutcome::Halted { analysed } => {
                 drop(self.claim_heartbeat.take());
                 if let Some(handle) = &self.run {
-                    finish_run(handle, self.run_claim.as_ref(), RunStatus::Interrupted);
+                    finish_run(
+                        &self.recorder,
+                        handle,
+                        self.run_claim.as_ref(),
+                        RunStatus::Interrupted,
+                    );
                 }
                 return Err(AybError::Checkpoint(CheckpointError::Halted {
                     generation: analysed,
@@ -1122,7 +1229,12 @@ impl OptimizedFlow {
             VariationStageOutcome::Failed(error) => {
                 drop(self.claim_heartbeat.take());
                 if let Some(handle) = &self.run {
-                    finish_run(handle, self.run_claim.as_ref(), RunStatus::Failed);
+                    finish_run(
+                        &self.recorder,
+                        handle,
+                        self.run_claim.as_ref(),
+                        RunStatus::Failed,
+                    );
                 }
                 return Err(AybError::Store(error));
             }
@@ -1145,10 +1257,24 @@ impl OptimizedFlow {
             FlowStage::AnalyzeVariation,
             self.timings.monte_carlo,
         );
+        self.recorder.emit(
+            flow_event(
+                self.run.as_ref(),
+                Severity::Info,
+                event_kind::STAGE_COMPLETE,
+            )
+            .value(self.timings.monte_carlo.as_secs_f64())
+            .detail(FlowStage::AnalyzeVariation.name()),
+        );
         if pareto_data.len() < 3 {
             drop(self.claim_heartbeat.take());
             if let Some(handle) = &self.run {
-                finish_run(handle, self.run_claim.as_ref(), RunStatus::Failed);
+                finish_run(
+                    &self.recorder,
+                    handle,
+                    self.run_claim.as_ref(),
+                    RunStatus::Failed,
+                );
             }
             return Err(AybError::Flow(FlowError::InsufficientParetoData(
                 pareto_data.len(),
@@ -1165,6 +1291,8 @@ impl OptimizedFlow {
             shard_plane: self.shard_plane,
             transport_incidents: self.transport_incidents,
             claim_heartbeat: self.claim_heartbeat,
+            recorder: self.recorder,
+            events_guard: self.events_guard,
             timings: self.timings,
         })
     }
@@ -1214,6 +1342,15 @@ impl OptimizedFlow {
         for observer in &mut self.observers {
             observer.on_transport_degraded(stage, shard, detail);
         }
+        self.recorder.emit(
+            flow_event(
+                self.run.as_ref(),
+                Severity::Warn,
+                event_kind::SHARD_DEGRADED,
+            )
+            .shard(shard as u64)
+            .detail(format!("{}: {detail}", stage.name())),
+        );
         self.transport_incidents.push(TransportIncident {
             stage: stage.name().to_string(),
             shard,
@@ -1233,12 +1370,23 @@ impl OptimizedFlow {
             guard_claim(handle, self.run_claim.as_ref())?;
             handle.save_variation_checkpoint(index, &record)?;
         }
+        let elapsed_seconds = record.elapsed_seconds;
         slots[index] = Some(record);
         let done = recorded_points(slots);
         let total = slots.len();
         for observer in &mut self.observers {
             observer.on_progress(FlowStage::AnalyzeVariation, done, total);
         }
+        self.recorder.emit(
+            flow_event(
+                self.run.as_ref(),
+                Severity::Debug,
+                event_kind::VARIATION_POINT,
+            )
+            .shard(index as u64)
+            .value(elapsed_seconds)
+            .detail(format!("point {index} analysed ({done}/{total})")),
+        );
         Ok(())
     }
 
@@ -1440,6 +1588,11 @@ pub struct AnalyzedFlow {
     shard_plane: Option<FlowShardPlane>,
     transport_incidents: Vec<TransportIncident>,
     claim_heartbeat: Option<ClaimHeartbeat>,
+    recorder: Recorder,
+    /// Held, not read: keeps the run's events.jsonl sink attached to the
+    /// recorder until the flow ends (detached on drop).
+    #[allow(dead_code)]
+    events_guard: Option<SinkGuard>,
     timings: FlowTimings,
 }
 
@@ -1458,6 +1611,10 @@ impl AnalyzedFlow {
     /// cannot be constructed from the analysed points.
     pub fn build_model(mut self) -> Result<FlowResult, AybError> {
         notify_start(&mut self.observers, FlowStage::BuildModel);
+        self.recorder.emit(
+            flow_event(self.run.as_ref(), Severity::Info, event_kind::STAGE_START)
+                .detail(FlowStage::BuildModel.name()),
+        );
         let t0 = Instant::now();
         let model = match CombinedOtaModel::from_pareto_data(
             self.pareto_data.clone(),
@@ -1467,7 +1624,12 @@ impl AnalyzedFlow {
             Err(error) => {
                 drop(self.claim_heartbeat.take());
                 if let Some(handle) = &self.run {
-                    finish_run(handle, self.run_claim.as_ref(), RunStatus::Failed);
+                    finish_run(
+                        &self.recorder,
+                        handle,
+                        self.run_claim.as_ref(),
+                        RunStatus::Failed,
+                    );
                 }
                 return Err(error.into());
             }
@@ -1477,6 +1639,15 @@ impl AnalyzedFlow {
             &mut self.observers,
             FlowStage::BuildModel,
             self.timings.model_build,
+        );
+        self.recorder.emit(
+            flow_event(
+                self.run.as_ref(),
+                Severity::Info,
+                event_kind::STAGE_COMPLETE,
+            )
+            .value(self.timings.model_build.as_secs_f64())
+            .detail(FlowStage::BuildModel.name()),
         );
         // Shard-plane accounting, accumulated over every stage. Timings are
         // excluded from determinism digests, so recording traffic here can
@@ -1521,6 +1692,13 @@ impl AnalyzedFlow {
                 handle.save_result(&result)?;
                 handle.set_status(RunStatus::Completed)
             });
+            if persisted.is_ok() {
+                self.recorder.emit(
+                    Event::new(Severity::Info, "flow", event_kind::RUN_COMPLETED)
+                        .run(handle.id())
+                        .value(result.timings.total().as_secs_f64()),
+                );
+            }
             // Compare-and-delete: releases only the claim this flow minted,
             // never a successor's.
             if let Some(minted) = self.run_claim.as_ref() {
@@ -1697,7 +1875,18 @@ pub struct TransportReport {
 /// successor and is left entirely alone: writing a terminal status over the
 /// successor's `Running` (or deleting its claim) is exactly the split-brain
 /// the fencing tokens exist to prevent.
-fn finish_run(handle: &RunHandle, minted: Option<&ClaimInfo>, status: RunStatus) {
+fn finish_run(
+    recorder: &Recorder,
+    handle: &RunHandle,
+    minted: Option<&ClaimInfo>,
+    status: RunStatus,
+) {
+    let (severity, kind) = match status {
+        RunStatus::Completed => (Severity::Info, event_kind::RUN_COMPLETED),
+        RunStatus::Interrupted => (Severity::Warn, event_kind::RUN_INTERRUPTED),
+        _ => (Severity::Error, event_kind::RUN_FAILED),
+    };
+    recorder.emit(Event::new(severity, "flow", kind).run(handle.id()));
     if let Some(minted) = minted {
         if !handle.claim_is(minted).unwrap_or(false) {
             return;
@@ -1752,6 +1941,16 @@ fn guard_claim(handle: &RunHandle, minted: Option<&ClaimInfo>) -> Result<(), Sto
         run_id: handle.id().to_string(),
         owner,
     })
+}
+
+/// An [`Event`] stamped with the flow's source label and, when the run is
+/// durable, its run id.
+fn flow_event(run: Option<&RunHandle>, severity: Severity, kind: &str) -> Event {
+    let event = Event::new(severity, "flow", kind);
+    match run {
+        Some(handle) => event.run(handle.id()),
+        None => event,
+    }
 }
 
 fn notify_start(observers: &mut [Box<dyn FlowObserver>], stage: FlowStage) {

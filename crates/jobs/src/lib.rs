@@ -88,6 +88,7 @@
 use ayb_core::{AybError, FlowBuilder, FlowConfig, FlowObserver, OtaSizingProblem};
 use ayb_moo::{CheckpointError, OptimizerConfig, SizingProblem};
 use ayb_net::{ClaimPulse, NetShardTask, TcpTransport};
+use ayb_obs::{Event, Recorder, Severity};
 use ayb_store::{
     Manifest, RunHandle, RunStatus, ShardOutcome, ShardWork, ShardWorkKind, Store, StoreError,
     VariationOutcome,
@@ -320,6 +321,61 @@ impl JobEvent {
     }
 }
 
+/// Maps a [`JobEvent`] onto a structured telemetry event (`job_*` kinds,
+/// source `jobs`), carrying the run id and — for shard service — the shard
+/// coordinates.
+fn job_obs_event(event: &JobEvent) -> Event {
+    let (severity, kind) = match event {
+        JobEvent::Requeued { .. } => (Severity::Warn, "job_requeued"),
+        JobEvent::Enqueued { .. } => (Severity::Info, "job_enqueued"),
+        JobEvent::Started { .. } => (Severity::Info, "job_started"),
+        JobEvent::CheckpointWritten { .. } => (Severity::Debug, "job_checkpoint"),
+        JobEvent::Completed { .. } => (Severity::Info, "job_completed"),
+        JobEvent::Interrupted { .. } => (Severity::Warn, "job_interrupted"),
+        JobEvent::Skipped { .. } => (Severity::Info, "job_skipped"),
+        JobEvent::Failed { .. } => (Severity::Error, "job_failed"),
+        JobEvent::ShardServiced { .. } => (Severity::Info, "job_shard_serviced"),
+    };
+    let out = Event::new(severity, "jobs", kind).run(event.run_id());
+    match event {
+        JobEvent::Requeued { from, .. } => out.detail(format!("re-queued from {from:?}")),
+        JobEvent::Started { worker, .. } => out.detail(format!("worker {worker}")),
+        JobEvent::CheckpointWritten { generation, .. } => out.value(*generation as f64),
+        JobEvent::Completed { worker, digest, .. } => {
+            out.detail(format!("worker {worker}, digest {digest:016x}"))
+        }
+        JobEvent::Interrupted { worker, .. } => out.detail(format!("worker {worker}")),
+        JobEvent::Skipped { worker, reason, .. } => {
+            out.detail(format!("worker {worker}: {reason}"))
+        }
+        JobEvent::Failed {
+            worker, message, ..
+        } => out.detail(format!("worker {worker}: {message}")),
+        JobEvent::ShardServiced {
+            epoch,
+            shard,
+            work,
+            candidates,
+            worker,
+            ..
+        } => {
+            let what = match work {
+                ShardWorkKind::Eval => {
+                    format!("serviced shard {shard} of {epoch} ({candidates} candidates)")
+                }
+                ShardWorkKind::Variation => {
+                    format!("serviced variation point {shard} of {epoch}")
+                }
+            };
+            out.epoch(epoch)
+                .shard(*shard as u64)
+                .value(*candidates as f64)
+                .detail(format!("worker {worker} {what}"))
+        }
+        JobEvent::Enqueued { .. } => out,
+    }
+}
+
 /// Summary of one [`JobServer::run`] invocation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct JobReport {
@@ -390,10 +446,14 @@ struct Shared {
     /// In-flight flows halt at their next checkpoint (shutdown only).
     halt_runs: Arc<AtomicBool>,
     events: Mutex<Option<EventHook>>,
+    /// Telemetry: every [`JobEvent`] lands here as a structured event (and
+    /// a per-kind counter), and workers' flows record through it too.
+    recorder: Recorder,
 }
 
 impl Shared {
     fn emit(&self, event: JobEvent) {
+        self.recorder.emit(job_obs_event(&event));
         if let Some(hook) = &*self.events.lock().expect("event hook lock") {
             hook(&event);
         }
@@ -460,9 +520,18 @@ impl JobServer {
                 stop_workers: AtomicBool::new(false),
                 halt_runs: Arc::new(AtomicBool::new(false)),
                 events: Mutex::new(None),
+                recorder: Recorder::new(),
             }),
             config,
         }
+    }
+
+    /// The server's event recorder: every [`JobEvent`] is mirrored into it
+    /// as a structured event, and each worker's flow records through it
+    /// (durable runs still persist their own `events.jsonl`). Attach a sink
+    /// (e.g. [`ayb_obs::StderrSink`]) to surface the stream.
+    pub fn recorder(&self) -> &Recorder {
+        &self.shared.recorder
     }
 
     /// The store this server executes from.
@@ -600,6 +669,9 @@ impl JobServer {
                             fresh.push(id.clone());
                         }
                     }
+                    let metrics = self.shared.recorder.metrics();
+                    metrics.set_gauge("ayb_job_queue_depth", state.queue.len() as f64);
+                    metrics.set_gauge("ayb_job_busy_workers", state.busy as f64);
                     (state.queue.is_empty(), state.busy)
                 };
                 no_new_work = fresh.is_empty();
@@ -1081,6 +1153,7 @@ fn execute_run(
         .with_claim_owner(format!("{}/worker-{}", config.owner, worker))
         .halt_when(Arc::clone(&shared.halt_runs))
         .with_observer(observer)
+        .with_recorder(shared.recorder.clone())
         .run();
     match outcome {
         Ok(result) => Outcome::Completed(result.determinism_digest()),

@@ -22,6 +22,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use ayb_obs::{kind as event_kind, Event, Recorder, Severity};
 use ayb_store::{ShardOutcome, ShardWork, ShardWorkKind};
 use serde::Value;
 
@@ -110,6 +111,9 @@ struct CoordState {
 struct CoordShared {
     config: CoordinatorConfig,
     state: Mutex<CoordState>,
+    /// Telemetry: request counters/latency histogram, claim/fence events.
+    /// Lives outside the state mutex — the recorder's own locks are leaves.
+    recorder: Recorder,
 }
 
 /// The coordinator server. Binding spawns an accept loop (plus one short
@@ -142,6 +146,7 @@ impl Coordinator {
                 claims_issued: 0,
                 fenced_rejections: 0,
             }),
+            recorder: Recorder::new(),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let accept_shared = Arc::clone(&shared);
@@ -165,6 +170,22 @@ impl Coordinator {
     /// The coordinator's address as a `tcp://host:port` transport URL.
     pub fn url(&self) -> String {
         format!("tcp://{}", self.addr)
+    }
+
+    /// The coordinator's event recorder. `ayb coordinate` attaches a
+    /// stderr sink here so claim/fence events surface in the server log.
+    pub fn recorder(&self) -> &Recorder {
+        &self.shared.recorder
+    }
+
+    /// The coordinator's metrics registry rendered in the text exposition
+    /// format, with the state gauges refreshed first — exactly what a
+    /// [`Request::Metrics`] frame returns over the wire.
+    pub fn metrics_text(&self) -> String {
+        let state = self.shared.state.lock().expect("coordinator state lock");
+        refresh_state_gauges(&self.shared.recorder, &state);
+        drop(state);
+        self.shared.recorder.metrics().render_text()
     }
 
     /// A snapshot of the coordinator's counters.
@@ -297,7 +318,44 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<CoordShared>) {
     }
 }
 
+/// Refreshes the gauges derived from coordinator state (epoch and open
+/// shard counts). Called with the state lock held, immediately before a
+/// metrics rendering, so scrapes always see current values.
+fn refresh_state_gauges(recorder: &Recorder, state: &CoordState) {
+    let metrics = recorder.metrics();
+    metrics.set_gauge("ayb_coord_epochs", state.epochs.len() as f64);
+    metrics.set_gauge(
+        "ayb_coord_open_shards",
+        state
+            .epochs
+            .values()
+            .flat_map(|epoch| &epoch.shards)
+            .filter(|slot| slot.work.is_some() && slot.outcome.is_none())
+            .count() as f64,
+    );
+}
+
+/// An [`Event`] stamped with the coordinator's source label and the
+/// shard coordinates every claim-lifecycle event shares.
+fn coord_event(severity: Severity, kind: &str, run_id: &str, epoch: &str, shard: usize) -> Event {
+    Event::new(severity, "coordinator", kind)
+        .run(run_id)
+        .epoch(epoch)
+        .shard(shard as u64)
+}
+
 fn handle_request(shared: &CoordShared, request: Request) -> Response {
+    let started = Instant::now();
+    let label = request.label();
+    let response = dispatch_request(shared, request);
+    let metrics = shared.recorder.metrics();
+    metrics.inc("ayb_coord_requests_total");
+    metrics.inc(&format!("ayb_coord_requests_{label}_total"));
+    metrics.observe("ayb_coord_request_seconds", started.elapsed().as_secs_f64());
+    response
+}
+
+fn dispatch_request(shared: &CoordShared, request: Request) -> Response {
     let mut state = shared.state.lock().expect("coordinator state lock");
     let stale_after = shared.config.stale_after;
     match request {
@@ -341,6 +399,11 @@ fn handle_request(shared: &CoordShared, request: Request) -> Response {
             shard,
             owner,
         } => {
+            let run_id = state
+                .epochs
+                .get(&epoch)
+                .map(|slot| slot.run_id.clone())
+                .unwrap_or_default();
             let Some((slot, counters)) = shard_slot(&mut state, &epoch, shard) else {
                 return unknown_shard(&epoch, shard);
             };
@@ -348,12 +411,25 @@ fn handle_request(shared: &CoordShared, request: Request) -> Response {
             if slot.claimable() {
                 slot.last_token += 1;
                 let token = slot.last_token;
+                let detail = format!("claim granted to `{owner}`");
                 slot.claim = Some(ClaimSlot {
                     token,
                     owner,
                     heartbeat: Instant::now(),
                 });
                 *counters += 1;
+                shared.recorder.metrics().inc("ayb_coord_claims_total");
+                shared.recorder.emit(
+                    coord_event(
+                        Severity::Debug,
+                        event_kind::SHARD_CLAIM,
+                        &run_id,
+                        &epoch,
+                        shard,
+                    )
+                    .fence(token)
+                    .detail(detail),
+                );
                 Response::ClaimGranted {
                     granted: true,
                     token,
@@ -387,13 +463,40 @@ fn handle_request(shared: &CoordShared, request: Request) -> Response {
             token,
             outcome,
         } => {
+            let run_id = state
+                .epochs
+                .get(&epoch)
+                .map(|slot| slot.run_id.clone())
+                .unwrap_or_default();
             let Some((slot, _)) = shard_slot(&mut state, &epoch, shard) else {
                 return unknown_shard(&epoch, shard);
             };
             if token != slot.last_token {
                 state.fenced_rejections += 1;
+                shared.recorder.metrics().inc("ayb_coord_fenced_total");
+                shared.recorder.emit(
+                    coord_event(
+                        Severity::Warn,
+                        event_kind::SHARD_FENCED,
+                        &run_id,
+                        &epoch,
+                        shard,
+                    )
+                    .fence(token)
+                    .detail("stale submit fenced off: token superseded"),
+                );
                 return Response::SubmitAck { accepted: false };
             }
+            shared.recorder.emit(
+                coord_event(
+                    Severity::Debug,
+                    event_kind::SHARD_SUBMIT,
+                    &run_id,
+                    &epoch,
+                    shard,
+                )
+                .fence(token),
+            );
             if slot.outcome.is_none() {
                 slot.outcome = Some(outcome);
             }
@@ -412,12 +515,36 @@ fn handle_request(shared: &CoordShared, request: Request) -> Response {
             },
             None => unknown_shard(&epoch, shard),
         },
-        Request::Recover { epoch, shard } => match shard_slot(&mut state, &epoch, shard) {
-            Some((slot, _)) => Response::Recovered {
-                expired: slot.expire_claim(stale_after),
-            },
-            None => unknown_shard(&epoch, shard),
-        },
+        Request::Recover { epoch, shard } => {
+            let run_id = state
+                .epochs
+                .get(&epoch)
+                .map(|slot| slot.run_id.clone())
+                .unwrap_or_default();
+            match shard_slot(&mut state, &epoch, shard) {
+                Some((slot, _)) => {
+                    let owner = slot.claim.as_ref().map(|claim| claim.owner.clone());
+                    let expired = slot.expire_claim(stale_after);
+                    if expired {
+                        shared.recorder.emit(
+                            coord_event(
+                                Severity::Warn,
+                                event_kind::SHARD_RECOVER,
+                                &run_id,
+                                &epoch,
+                                shard,
+                            )
+                            .detail(format!(
+                                "stale claim of `{}` expired",
+                                owner.unwrap_or_default()
+                            )),
+                        );
+                    }
+                    Response::Recovered { expired }
+                }
+                None => unknown_shard(&epoch, shard),
+            }
+        }
         Request::CloseEpoch { epoch } => {
             state.epochs.remove(&epoch);
             Response::Ok
@@ -450,6 +577,20 @@ fn handle_request(shared: &CoordShared, request: Request) -> Response {
                 }
             }
             state.claims_issued += claims;
+            if let Some(task) = &claimed {
+                shared.recorder.metrics().inc("ayb_coord_claims_total");
+                shared.recorder.emit(
+                    coord_event(
+                        Severity::Debug,
+                        event_kind::SHARD_CLAIM,
+                        &task.run_id,
+                        &task.epoch,
+                        task.shard,
+                    )
+                    .fence(task.token)
+                    .detail(format!("claim granted to `{owner}`")),
+                );
+            }
             Response::Task { task: claimed }
         }
         Request::Stats => {
@@ -465,6 +606,12 @@ fn handle_request(shared: &CoordShared, request: Request) -> Response {
                 fenced_rejections: state.fenced_rejections,
             };
             Response::Stats { stats }
+        }
+        Request::Metrics => {
+            refresh_state_gauges(&shared.recorder, &state);
+            Response::Metrics {
+                text: shared.recorder.metrics().render_text(),
+            }
         }
     }
 }
@@ -657,6 +804,108 @@ mod tests {
         let after = plane.open_epoch(1).unwrap();
         assert_ne!(before, after, "epoch names are never reused across wipes");
         assert_eq!(coordinator.stats().epochs, 1);
+    }
+
+    #[test]
+    fn metrics_scrape_reports_claims_and_fences() {
+        let coordinator = coordinator(Duration::from_millis(30));
+        let plane = transport(&coordinator);
+        let epoch = plane.open_epoch(1).unwrap();
+        plane.publish(&epoch, 0, &[vec![1.0]]).unwrap();
+        let zombie = plane.try_claim_token(&epoch, 0, "zombie").unwrap().unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(plane.recover(&epoch, 0).unwrap());
+        let fresh = plane
+            .try_claim_token(&epoch, 0, "steward")
+            .unwrap()
+            .unwrap();
+        let results = ShardOutcome::Eval {
+            results: vec![None],
+        };
+        assert!(!plane
+            .submit_with_token(&epoch, 0, zombie, &results)
+            .unwrap());
+        assert!(plane.submit_with_token(&epoch, 0, fresh, &results).unwrap());
+        let text = plane
+            .coordinator_metrics()
+            .expect("metrics scrape over the wire");
+        assert!(text.contains("ayb_coord_claims_total 2"), "{text}");
+        assert!(text.contains("ayb_coord_fenced_total 1"), "{text}");
+        assert!(text.contains("ayb_coord_epochs 1"), "{text}");
+        assert!(
+            text.contains("ayb_coord_request_seconds_count"),
+            "request latency histogram is exported: {text}"
+        );
+        // The local render agrees on the counters (the scrape itself has
+        // bumped the request totals since, so no exact text equality).
+        let local = coordinator.metrics_text();
+        assert!(local.contains("ayb_coord_claims_total 2"), "{local}");
+        assert!(local.contains("ayb_coord_fenced_total 1"), "{local}");
+        // The coordinator's own event stream carries the fence forensics.
+        let events = coordinator.recorder().recent();
+        let fenced: Vec<_> = events
+            .iter()
+            .filter(|event| event.kind == event_kind::SHARD_FENCED)
+            .collect();
+        assert_eq!(fenced.len(), 1);
+        assert_eq!(fenced[0].fence, Some(zombie));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|event| event.kind == event_kind::SHARD_CLAIM)
+                .count(),
+            2
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|event| event.kind == event_kind::SHARD_RECOVER)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn transport_recorder_sees_both_sides_of_a_fenced_submit() {
+        let coordinator = coordinator(Duration::from_millis(30));
+        let recorder = Recorder::new();
+        let plane = transport(&coordinator).with_recorder(recorder.clone());
+        let epoch = plane.open_epoch(1).unwrap();
+        plane.publish(&epoch, 0, &[vec![1.0]]).unwrap();
+        let zombie = plane.try_claim_token(&epoch, 0, "zombie").unwrap().unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(plane.recover(&epoch, 0).unwrap());
+        let fresh = plane
+            .try_claim_token(&epoch, 0, "steward")
+            .unwrap()
+            .unwrap();
+        let results = ShardOutcome::Eval {
+            results: vec![None],
+        };
+        assert!(!plane
+            .submit_with_token(&epoch, 0, zombie, &results)
+            .unwrap());
+        assert!(plane.submit_with_token(&epoch, 0, fresh, &results).unwrap());
+        let events = recorder.recent();
+        let fenced: Vec<_> = events
+            .iter()
+            .filter(|event| event.kind == event_kind::SHARD_FENCED)
+            .collect();
+        assert_eq!(fenced.len(), 1, "client records its own fenced submit");
+        assert_eq!(fenced[0].fence, Some(zombie));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|event| event.kind == event_kind::SHARD_SUBMIT)
+                .count(),
+            1
+        );
+        // Every round-trip landed in the latency histogram.
+        let histogram = recorder
+            .metrics()
+            .histogram("ayb_shard_request_seconds")
+            .expect("request latency histogram exists");
+        assert_eq!(histogram.count(), plane.stats().requests);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ayb_moo::{ShardError, ShardResults, ShardTransport};
+use ayb_obs::{kind as event_kind, Event, Recorder, Severity};
 use ayb_store::{ShardOutcome, ShardWork, ShardWorkKind};
 use serde::Value;
 
@@ -60,6 +61,8 @@ pub struct TcpTransport {
     /// Fencing tokens of claims this client holds, per `(epoch, shard)`.
     tokens: Arc<Mutex<HashMap<(String, usize), u64>>>,
     stats: Arc<Mutex<TransportStats>>,
+    /// Optional telemetry: request latency and claim/fence events.
+    recorder: Option<Recorder>,
 }
 
 impl TcpTransport {
@@ -72,6 +75,7 @@ impl TcpTransport {
             context: None,
             tokens: Arc::new(Mutex::new(HashMap::new())),
             stats: Arc::new(Mutex::new(TransportStats::default())),
+            recorder: None,
         }
     }
 
@@ -100,10 +104,36 @@ impl TcpTransport {
         self
     }
 
+    /// Attaches an event recorder: every request round-trip lands in the
+    /// `ayb_shard_request_seconds` histogram, and claim/fence outcomes are
+    /// emitted as events alongside the [`TransportStats`] counters.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> TcpTransport {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// A snapshot of the cumulative transport counters (shared across
     /// clones).
     pub fn stats(&self) -> TransportStats {
         *self.stats.lock().expect("transport stats lock")
+    }
+
+    /// An [`Event`] stamped with this transport's source label and run id.
+    fn event(&self, severity: Severity, kind: &str) -> Event {
+        let event = Event::new(severity, "transport", kind);
+        if self.run_id.is_empty() {
+            event
+        } else {
+            event.run(&self.run_id)
+        }
+    }
+
+    /// Emits `event` when a recorder is attached; a no-op otherwise.
+    fn emit(&self, event: Event) {
+        if let Some(recorder) = &self.recorder {
+            recorder.emit(event);
+        }
     }
 
     /// One request/response exchange, with stats accounting. Protocol-level
@@ -112,10 +142,21 @@ impl TcpTransport {
     fn call(&self, request: &Request) -> Result<Response, ShardError> {
         let started = Instant::now();
         let outcome = self.call_inner(request);
+        let elapsed = started.elapsed().as_secs_f64();
         {
             let mut stats = self.stats.lock().expect("transport stats lock");
             stats.requests += 1;
-            stats.request_seconds += started.elapsed().as_secs_f64();
+            stats.request_seconds += elapsed;
+        }
+        if let Some(recorder) = &self.recorder {
+            recorder
+                .metrics()
+                .observe("ayb_shard_request_seconds", elapsed);
+            recorder.emit(
+                self.event(Severity::Debug, event_kind::SHARD_REQUEST)
+                    .value(elapsed)
+                    .detail(request.label()),
+            );
         }
         match outcome? {
             Response::Error { message } => Err(ShardError::Transport(message)),
@@ -211,6 +252,13 @@ impl TcpTransport {
                     .lock()
                     .expect("transport token lock")
                     .insert((epoch.to_string(), shard), token);
+                self.emit(
+                    self.event(Severity::Debug, event_kind::SHARD_CLAIM)
+                        .epoch(epoch)
+                        .shard(shard as u64)
+                        .fence(token)
+                        .detail(format!("claim granted to `{owner}`")),
+                );
                 Ok(Some(token))
             }
             Response::ClaimGranted { granted: false, .. } => Ok(None),
@@ -287,6 +335,20 @@ impl TcpTransport {
                         .lock()
                         .expect("transport stats lock")
                         .fenced_rejections += 1;
+                    self.emit(
+                        self.event(Severity::Warn, event_kind::SHARD_FENCED)
+                            .epoch(epoch)
+                            .shard(shard as u64)
+                            .fence(token)
+                            .detail("submit fenced off: claim was stolen"),
+                    );
+                } else {
+                    self.emit(
+                        self.event(Severity::Debug, event_kind::SHARD_SUBMIT)
+                            .epoch(epoch)
+                            .shard(shard as u64)
+                            .fence(token),
+                    );
                 }
                 Ok(accepted)
             }
@@ -360,6 +422,21 @@ impl TcpTransport {
     pub fn coordinator_stats(&self) -> Result<crate::CoordinatorStats, ShardError> {
         match self.call(&Request::Stats)? {
             Response::Stats { stats } => Ok(stats),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Scrapes the coordinator's metrics registry in the text exposition
+    /// format — what `ayb top --transport tcp://…` renders for a live
+    /// fleet view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::Transport`] when the coordinator is
+    /// unreachable or predates the `Metrics` request.
+    pub fn coordinator_metrics(&self) -> Result<String, ShardError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
             other => Err(Self::unexpected(&other)),
         }
     }

@@ -162,6 +162,30 @@ pub enum Request {
     },
     /// Requests the coordinator's counters (see [`CoordinatorStats`]).
     Stats,
+    /// Requests the coordinator's full metrics registry rendered in the
+    /// text exposition format (counters, gauges, request-latency
+    /// histograms) — what `ayb top` scrapes for a live fleet view.
+    Metrics,
+}
+
+impl Request {
+    /// A short static label for this request kind, used as the metric
+    /// suffix (`ayb_coord_requests_{label}_total`) and in request events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Request::OpenEpoch { .. } => "open_epoch",
+            Request::Publish { .. } => "publish",
+            Request::TryClaim { .. } => "try_claim",
+            Request::Heartbeat { .. } => "heartbeat",
+            Request::Submit { .. } => "submit",
+            Request::Fetch { .. } => "fetch",
+            Request::Recover { .. } => "recover",
+            Request::CloseEpoch { .. } => "close_epoch",
+            Request::ClaimNext { .. } => "claim_next",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+        }
+    }
 }
 
 /// A response frame, coordinator → client.
@@ -206,6 +230,11 @@ pub enum Response {
     Stats {
         /// The coordinator's counters.
         stats: CoordinatorStats,
+    },
+    /// Outcome of a [`Request::Metrics`].
+    Metrics {
+        /// The metrics registry in text exposition format.
+        text: String,
     },
     /// The request could not be honoured (unknown epoch, shard out of
     /// range). Clients surface the message as a transport error.

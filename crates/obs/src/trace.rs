@@ -1,0 +1,336 @@
+//! Timeline reconstruction over a parsed `events.jsonl`: group events into
+//! flow attempts, rebuild per-shard claim → fence → steal chains, and render
+//! the human-readable trace the `ayb trace` CLI command prints.
+//!
+//! Everything here is a pure function over `&[Event]`, so tests can assert
+//! on reconstructed structure without going through the CLI.
+
+use std::collections::BTreeMap;
+
+use crate::{kind, Event};
+
+/// The claim/submit/fence history of one `(epoch, shard)` slot, rebuilt
+/// from its events in log order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardChain {
+    /// The epoch the shard belongs to.
+    pub epoch: String,
+    /// The shard index within the epoch.
+    pub shard: u64,
+    /// Every fencing token minted for this shard, in log order. More than
+    /// one token means the claim was stolen (recovered and re-claimed).
+    pub fences: Vec<u64>,
+    /// Tokens whose submit was accepted.
+    pub accepted: Vec<u64>,
+    /// Tokens whose submit was fenced off (a zombie's late write).
+    pub fenced: Vec<u64>,
+    /// How many times a hung claim on this shard was expired.
+    pub recoveries: u64,
+    /// Whether the submitter gave up on transport for this shard and
+    /// serviced it locally.
+    pub degraded: bool,
+}
+
+impl ShardChain {
+    /// Renders the chain as one line, making steals and fenced writes
+    /// legible: `ep-0000/shard 3: claim f1 -> stolen, claim f2 ->
+    /// accepted; fenced: f1`.
+    pub fn render(&self) -> String {
+        let mut steps = Vec::new();
+        for fence in &self.fences {
+            let outcome = if self.accepted.contains(fence) {
+                "accepted"
+            } else if self.fenced.contains(fence) {
+                "fenced"
+            } else if self.fences.last() != Some(fence) {
+                "stolen"
+            } else {
+                "open"
+            };
+            steps.push(format!("claim f{fence} -> {outcome}"));
+        }
+        let mut line = format!(
+            "{}/shard {}: {}",
+            self.epoch,
+            self.shard,
+            if steps.is_empty() {
+                "no claims".to_string()
+            } else {
+                steps.join(", ")
+            }
+        );
+        if self.recoveries > 0 {
+            line.push_str(&format!(" [{} recovered]", self.recoveries));
+        }
+        if self.degraded {
+            line.push_str(" [degraded -> local]");
+        }
+        line
+    }
+
+    /// True when this chain saw contention worth surfacing: a steal, a
+    /// fenced write, a recovery, or local degradation.
+    pub fn contended(&self) -> bool {
+        self.fences.len() > 1 || !self.fenced.is_empty() || self.recoveries > 0 || self.degraded
+    }
+}
+
+/// Rebuilds the per-`(epoch, shard)` chains from an event log.
+pub fn shard_chains(events: &[Event]) -> Vec<ShardChain> {
+    let mut chains: BTreeMap<(String, u64), ShardChain> = BTreeMap::new();
+    for event in events {
+        let (Some(epoch), Some(shard)) = (event.epoch.clone(), event.shard) else {
+            continue;
+        };
+        let chain = chains
+            .entry((epoch.clone(), shard))
+            .or_insert_with(|| ShardChain {
+                epoch,
+                shard,
+                ..ShardChain::default()
+            });
+        match event.kind.as_str() {
+            kind::SHARD_CLAIM => {
+                if let Some(fence) = event.fence {
+                    if !chain.fences.contains(&fence) {
+                        chain.fences.push(fence);
+                    }
+                }
+            }
+            kind::SHARD_SUBMIT => {
+                if let Some(fence) = event.fence {
+                    chain.accepted.push(fence);
+                }
+            }
+            kind::SHARD_FENCED => {
+                if let Some(fence) = event.fence {
+                    chain.fenced.push(fence);
+                }
+            }
+            kind::SHARD_RECOVER => chain.recoveries += 1,
+            kind::SHARD_DEGRADED => chain.degraded = true,
+            _ => {}
+        }
+    }
+    chains.into_values().collect()
+}
+
+/// The events of one flow attempt: a [`kind::FLOW_START`] marker and
+/// everything the same process emitted until its next marker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attempt {
+    /// The emitting process.
+    pub pid: u32,
+    /// Wall-clock seconds of the attempt's first event.
+    pub start_wall: u64,
+    /// `mono_us` of the attempt's first event (the zero of its relative
+    /// timestamps).
+    pub start_mono_us: u64,
+    /// The attempt's events, in log order.
+    pub events: Vec<Event>,
+}
+
+/// Splits an event log into flow attempts on [`kind::FLOW_START`] markers.
+/// Events before the first marker (or from processes that never emit one,
+/// e.g. a worker appending to the submitter's log) form attempt groups of
+/// their own, keyed by pid, so nothing is dropped.
+pub fn attempts(events: &[Event]) -> Vec<Attempt> {
+    let mut out: Vec<Attempt> = Vec::new();
+    let mut open: BTreeMap<u32, usize> = BTreeMap::new();
+    for event in events {
+        let is_marker = event.kind == kind::FLOW_START;
+        let slot = open.get(&event.pid).copied();
+        match (is_marker, slot) {
+            (true, _) | (false, None) => {
+                out.push(Attempt {
+                    pid: event.pid,
+                    start_wall: event.wall_unix,
+                    start_mono_us: event.mono_us,
+                    events: vec![event.clone()],
+                });
+                open.insert(event.pid, out.len() - 1);
+            }
+            (false, Some(index)) => out[index].events.push(event.clone()),
+        }
+    }
+    out
+}
+
+/// The events of the final flow attempt — everything at or after the last
+/// [`kind::FLOW_START`] marker in the log. This is the attempt that
+/// produced the run's result, so counters reconciled against `FlowTimings`
+/// must be counted here. Returns the whole log when no marker exists.
+pub fn final_attempt(events: &[Event]) -> &[Event] {
+    let start = events
+        .iter()
+        .rposition(|event| event.kind == kind::FLOW_START)
+        .unwrap_or(0);
+    &events[start..]
+}
+
+/// Counts events of `kind` in `events`.
+pub fn count_kind(events: &[Event], kind: &str) -> u64 {
+    events.iter().filter(|event| event.kind == kind).count() as u64
+}
+
+fn format_rel_ms(event: &Event, start_mono_us: u64) -> String {
+    let rel = event.mono_us.saturating_sub(start_mono_us) as f64 / 1000.0;
+    format!("{rel:>10.1}ms")
+}
+
+/// Renders the full trace: one line per event grouped by attempt, then a
+/// chain summary for every contended shard. This is exactly what
+/// `ayb trace RUN_ID` prints.
+pub fn render_trace(events: &[Event]) -> Vec<String> {
+    let mut lines = Vec::new();
+    let groups = attempts(events);
+    let total = groups.len();
+    for (index, attempt) in groups.iter().enumerate() {
+        lines.push(format!(
+            "attempt {}/{} (pid {}, wall {}):",
+            index + 1,
+            total,
+            attempt.pid,
+            attempt.start_wall
+        ));
+        for event in &attempt.events {
+            // Every line leads with the kind so traces are grep-able by
+            // vocabulary (`shard_claim`, `shard_fenced`, …); the rendered
+            // detail/context follows.
+            let rendered = event.render();
+            let tail = if event.detail.is_empty() {
+                // render() starts with the kind when there is no detail;
+                // don't print it twice.
+                rendered
+                    .strip_prefix(event.kind.as_str())
+                    .unwrap_or(&rendered)
+                    .trim_start()
+                    .to_string()
+            } else {
+                rendered
+            };
+            let line = format!(
+                "  {} [{:<5}] {:<12} {:<16} {}",
+                format_rel_ms(event, attempt.start_mono_us),
+                event.severity.as_str(),
+                event.source,
+                event.kind,
+                tail
+            );
+            lines.push(line.trim_end().to_string());
+        }
+    }
+    let chains = shard_chains(events);
+    let contended: Vec<&ShardChain> = chains.iter().filter(|chain| chain.contended()).collect();
+    if !contended.is_empty() {
+        lines.push("contended shards:".to_string());
+        for chain in contended {
+            lines.push(format!("  {}", chain.render()));
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    fn ev(pid: u32, mono: u64, kind_name: &str) -> Event {
+        let mut event = Event::new(Severity::Info, "test", kind_name);
+        event.pid = pid;
+        event.mono_us = mono;
+        event
+    }
+
+    #[test]
+    fn attempts_split_on_flow_start_per_pid() {
+        let events = vec![
+            ev(1, 0, kind::FLOW_START),
+            ev(1, 10, kind::STAGE_START),
+            ev(2, 5, kind::SHARD_CLAIM), // worker with no marker
+            ev(1, 20, kind::FLOW_START), // resume attempt
+            ev(1, 30, kind::STAGE_START),
+            ev(2, 15, kind::SHARD_SUBMIT),
+        ];
+        let groups = attempts(&events);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].pid, 1);
+        assert_eq!(groups[0].events.len(), 2);
+        assert_eq!(groups[1].pid, 2);
+        assert_eq!(groups[1].events.len(), 2);
+        assert_eq!(groups[2].events.len(), 2);
+        let last = final_attempt(&events);
+        assert_eq!(last.len(), 3);
+        assert_eq!(last[0].kind, kind::FLOW_START);
+    }
+
+    #[test]
+    fn chains_reconstruct_steal_and_fence() {
+        let claim1 = ev(1, 0, kind::SHARD_CLAIM)
+            .epoch("var-0000")
+            .shard(3)
+            .fence(1);
+        let recover = ev(1, 10, kind::SHARD_RECOVER).epoch("var-0000").shard(3);
+        let claim2 = ev(1, 20, kind::SHARD_CLAIM)
+            .epoch("var-0000")
+            .shard(3)
+            .fence(2);
+        let submit2 = ev(1, 30, kind::SHARD_SUBMIT)
+            .epoch("var-0000")
+            .shard(3)
+            .fence(2);
+        let fenced1 = ev(2, 40, kind::SHARD_FENCED)
+            .epoch("var-0000")
+            .shard(3)
+            .fence(1);
+        let quiet = ev(1, 50, kind::SHARD_CLAIM)
+            .epoch("var-0000")
+            .shard(0)
+            .fence(5);
+        let ok = ev(1, 60, kind::SHARD_SUBMIT)
+            .epoch("var-0000")
+            .shard(0)
+            .fence(5);
+        let chains = shard_chains(&[claim1, recover, claim2, submit2, fenced1, quiet, ok]);
+        assert_eq!(chains.len(), 2);
+        let calm = &chains[0];
+        assert_eq!(calm.shard, 0);
+        assert!(!calm.contended());
+        let hot = &chains[1];
+        assert_eq!(hot.shard, 3);
+        assert!(hot.contended());
+        assert_eq!(hot.fences, vec![1, 2]);
+        assert_eq!(hot.fenced, vec![1]);
+        assert_eq!(hot.accepted, vec![2]);
+        assert_eq!(hot.recoveries, 1);
+        let line = hot.render();
+        assert!(line.contains("claim f1 -> fenced"), "{line}");
+        assert!(line.contains("claim f2 -> accepted"), "{line}");
+        assert!(line.contains("[1 recovered]"), "{line}");
+    }
+
+    #[test]
+    fn render_trace_groups_and_summarises() {
+        let events = vec![
+            ev(1, 0, kind::FLOW_START).run("r1"),
+            ev(1, 1_000, kind::SHARD_CLAIM)
+                .epoch("ep-0000")
+                .shard(1)
+                .fence(1),
+            ev(1, 2_000, kind::SHARD_RECOVER).epoch("ep-0000").shard(1),
+            ev(1, 3_000, kind::SHARD_CLAIM)
+                .epoch("ep-0000")
+                .shard(1)
+                .fence(2),
+            ev(1, 4_000, kind::SHARD_SUBMIT)
+                .epoch("ep-0000")
+                .shard(1)
+                .fence(2),
+        ];
+        let lines = render_trace(&events);
+        assert!(lines[0].starts_with("attempt 1/1 (pid 1"));
+        assert!(lines.iter().any(|l| l.contains("contended shards:")));
+        assert!(lines.iter().any(|l| l.contains("ep-0000/shard 1")));
+    }
+}

@@ -483,6 +483,8 @@ const CLAIM_FENCE_FILE: &str = "claim.fence.json";
 /// Per-run transport diagnostic report (see
 /// [`RunHandle::save_transport_report`]).
 const TRANSPORT_REPORT_FILE: &str = "transport.json";
+/// Per-run append-only telemetry log (see [`RunHandle::events_path`]).
+const EVENTS_FILE: &str = "events.jsonl";
 const CHECKPOINT_DIR: &str = "checkpoints";
 const CHECKPOINT_PREFIX: &str = "gen_";
 const VARIATION_CHECKPOINT_PREFIX: &str = "variation_";
@@ -893,6 +895,16 @@ impl RunHandle {
 
     fn result_path(&self) -> PathBuf {
         self.dir.join(RESULT_FILE)
+    }
+
+    /// The run's append-only telemetry log (`events.jsonl`). The file is
+    /// created by the first event sink aimed at it; it may legitimately not
+    /// exist (telemetry disabled, or a run predating the telemetry plane).
+    /// Every writer appends complete single-`write` lines (`ayb_obs`'s
+    /// `JsonlSink`), so concurrent appends from several processes never
+    /// tear.
+    pub fn events_path(&self) -> PathBuf {
+        self.dir.join(EVENTS_FILE)
     }
 
     fn checkpoint_path(&self, generation: usize) -> PathBuf {

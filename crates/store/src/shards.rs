@@ -53,6 +53,7 @@ use crate::{
     take_claim_file, write_json, ClaimHealth, ClaimInfo, RunHandle, RunStatus, Store, StoreError,
 };
 use ayb_moo::{Evaluation, ShardError, ShardResults, ShardTransport};
+use ayb_obs::{kind as event_kind, Event, Recorder, Severity};
 use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::fs;
@@ -60,7 +61,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Subdirectory of a run holding its shard epochs.
 const SHARD_DIR: &str = "shards";
@@ -209,6 +210,10 @@ fn transport_error(error: StoreError) -> ShardError {
     ShardError::Transport(error.to_string())
 }
 
+/// A plane's in-flight fenced claims keyed by `(epoch, shard)`: the claim it
+/// wrote, plus when it was taken (feeds the claim-to-submit histogram).
+type HeldClaims = Arc<Mutex<HashMap<(String, usize), (ClaimInfo, Instant)>>>;
+
 /// The submitter's handle on a run's shard directory; implements
 /// [`ShardTransport`] so an [`ayb_moo::ShardedEvaluator`] can distribute its
 /// batches through the store (see [`RunHandle::shard_plane`]).
@@ -220,9 +225,15 @@ pub struct ShardDataPlane {
     /// `(epoch, shard)`; shared across clones. Submits re-check the claim
     /// file against the remembered claim and *discard* the result when it
     /// changed hands (this holder was presumed hung and superseded).
-    claims: Arc<Mutex<HashMap<(String, usize), ClaimInfo>>>,
+    claims: HeldClaims,
     /// Results this plane discarded because its claim had been stolen.
     fenced: Arc<AtomicU64>,
+    /// Optional telemetry handle: claim/submit/fence/recover events and the
+    /// claim-to-submit histogram. `None` costs nothing on the hot path.
+    recorder: Option<Recorder>,
+    /// The run this plane belongs to (derived from its directory), stamped
+    /// into emitted events.
+    run_id: Option<String>,
 }
 
 impl ShardDataPlane {
@@ -231,11 +242,47 @@ impl ShardDataPlane {
     /// whose holder cannot be probed are considered dead once their
     /// heartbeat is older than `stale_after`.
     pub fn open(dir: impl Into<PathBuf>, stale_after: Duration) -> ShardDataPlane {
+        let dir = dir.into();
+        let run_id = dir
+            .parent()
+            .and_then(|p| p.file_name())
+            .and_then(|n| n.to_str())
+            .map(String::from);
         ShardDataPlane {
-            dir: dir.into(),
+            dir,
             stale_after,
             claims: Arc::new(Mutex::new(HashMap::new())),
             fenced: Arc::new(AtomicU64::new(0)),
+            recorder: None,
+            run_id,
+        }
+    }
+
+    /// Attaches a telemetry recorder: the plane emits
+    /// `shard_claim`/`shard_submit`/`shard_fenced`/`shard_recover` events
+    /// and feeds the `ayb_claim_to_submit_seconds` histogram. Telemetry is
+    /// diagnostic only — it never changes what the plane reads or writes.
+    pub fn with_recorder(mut self, recorder: Recorder) -> ShardDataPlane {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Builds a shard event pre-stamped with this plane's run id and the
+    /// shard coordinates.
+    fn shard_event(&self, severity: Severity, kind: &str, epoch: &str, shard: usize) -> Event {
+        let mut event = Event::new(severity, "shards", kind)
+            .epoch(epoch)
+            .shard(shard as u64);
+        if let Some(run_id) = &self.run_id {
+            event = event.run(run_id);
+        }
+        event
+    }
+
+    /// Emits `event` when a recorder is attached.
+    fn emit(&self, event: Event) {
+        if let Some(recorder) = &self.recorder {
+            recorder.emit(event);
         }
     }
 
@@ -269,6 +316,15 @@ impl ShardDataPlane {
         );
         let dir = self.epoch_dir(&epoch);
         fs::create_dir_all(&dir).map_err(|e| transport_error(io_error(&dir, e)))?;
+        if let Some(recorder) = &self.recorder {
+            let mut event = Event::new(Severity::Debug, "shards", event_kind::EPOCH_OPEN)
+                .epoch(&epoch)
+                .detail(format!("{} epoch opened", kind.as_str()));
+            if let Some(run_id) = &self.run_id {
+                event = event.run(run_id);
+            }
+            recorder.emit(event);
+        }
         Ok(epoch)
     }
 
@@ -317,11 +373,16 @@ impl ShardDataPlane {
             .expect("shard claim table lock")
             .get(&key)
             .cloned();
-        if let Some(mine) = mine {
+        if let Some((mine, _)) = &mine {
             let current = read_claim_file(&dir.join(claim_name(shard))).map_err(transport_error)?;
-            if current.as_ref() != Some(&mine) {
+            if current.as_ref() != Some(mine) {
                 // Fenced off (or the epoch is gone): discard silently.
                 self.fenced.fetch_add(1, Ordering::Relaxed);
+                self.emit(
+                    self.shard_event(Severity::Warn, event_kind::SHARD_FENCED, epoch, shard)
+                        .fence(mine.fence)
+                        .detail("stale submit discarded: claim changed hands"),
+                );
                 self.claims
                     .lock()
                     .expect("shard claim table lock")
@@ -331,6 +392,18 @@ impl ShardDataPlane {
         }
         write_json(&dir.join(result_name(shard)), outcome).map_err(transport_error)?;
         let _ = fs::remove_file(dir.join(claim_name(shard)));
+        if let Some(recorder) = &self.recorder {
+            let mut event =
+                self.shard_event(Severity::Debug, event_kind::SHARD_SUBMIT, epoch, shard);
+            if let Some((mine, claimed_at)) = &mine {
+                let elapsed = claimed_at.elapsed().as_secs_f64();
+                event = event.fence(mine.fence).value(elapsed);
+                recorder
+                    .metrics()
+                    .observe("ayb_claim_to_submit_seconds", elapsed);
+            }
+            recorder.emit(event);
+        }
         self.claims
             .lock()
             .expect("shard claim table lock")
@@ -391,10 +464,14 @@ impl ShardTransport for ShardDataPlane {
         let taken =
             take_claim_file(&dir, &dir.join(claim_name(shard)), &info).map_err(transport_error)?;
         if taken {
+            self.emit(
+                self.shard_event(Severity::Debug, event_kind::SHARD_CLAIM, epoch, shard)
+                    .fence(info.fence),
+            );
             self.claims
                 .lock()
                 .expect("shard claim table lock")
-                .insert((epoch.to_string(), shard), info);
+                .insert((epoch.to_string(), shard), (info, Instant::now()));
         }
         Ok(taken)
     }
@@ -437,11 +514,20 @@ impl ShardTransport for ShardDataPlane {
         if !stale {
             return Ok(false);
         }
-        break_claim_file(&dir, &path, &claim).map_err(transport_error)
+        let broken = break_claim_file(&dir, &path, &claim).map_err(transport_error)?;
+        if broken {
+            self.emit(
+                self.shard_event(Severity::Warn, event_kind::SHARD_RECOVER, epoch, shard)
+                    .fence(claim.fence)
+                    .detail(format!("stale claim of `{}` broken", claim.owner)),
+            );
+        }
+        Ok(broken)
     }
 
     fn close_epoch(&self, epoch: &str) -> Result<(), ShardError> {
         remove_epoch_dir(&self.epoch_dir(epoch)).map_err(transport_error)?;
+        self.emit(Event::new(Severity::Debug, "shards", event_kind::EPOCH_CLOSE).epoch(epoch));
         // Opportunistically drop the now-empty `shards/` parent, so idle
         // workers can dismiss this run with a single stat instead of a
         // directory scan (fails harmlessly if another epoch is open).
@@ -1169,6 +1255,57 @@ mod tests {
         assert_eq!(run.sweep_variation_checkpoints().unwrap(), 2);
         assert!(run.variation_checkpoint_indices().unwrap().is_empty());
         assert_eq!(run.sweep_variation_checkpoints().unwrap(), 0);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn plane_telemetry_reconciles_with_its_counters() {
+        let (root, store) = temp_store();
+        let run = running_run(&store);
+        let recorder = Recorder::new();
+        let plane = run
+            .shard_plane(Duration::from_secs(30))
+            .with_recorder(recorder.clone());
+        let epoch = plane.open_epoch(1).unwrap();
+        plane.publish(&epoch, 0, &[vec![0.5]]).unwrap();
+        assert!(plane.try_claim(&epoch, 0).unwrap());
+
+        // Steal the claim; the plane's own submit must be fenced and the
+        // event stream must say so, at the same count as the counter.
+        let claim_path = run.shards_dir().join(&epoch).join(claim_name(0));
+        fs::remove_file(&claim_path).unwrap();
+        let thief = run.shard_plane(Duration::from_secs(30));
+        assert!(thief.try_claim(&epoch, 0).unwrap());
+        plane.submit(&epoch, 0, &vec![evaluation(0.5)]).unwrap();
+        assert_eq!(plane.fenced_rejections(), 1);
+
+        let events = recorder.recent();
+        let fenced: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == event_kind::SHARD_FENCED)
+            .collect();
+        assert_eq!(fenced.len() as u64, plane.fenced_rejections());
+        assert_eq!(fenced[0].epoch.as_deref(), Some(epoch.as_str()));
+        assert_eq!(fenced[0].shard, Some(0));
+        assert_eq!(fenced[0].run_id.as_deref(), Some(run.id()));
+        assert!(fenced[0].fence.is_some());
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.kind == event_kind::SHARD_CLAIM)
+                .count(),
+            1
+        );
+
+        // A clean claim/submit cycle feeds the claim-to-submit histogram.
+        thief.submit(&epoch, 0, &vec![evaluation(0.5)]).unwrap();
+        assert!(plane.try_claim(&epoch, 0).unwrap());
+        plane.submit(&epoch, 0, &vec![evaluation(0.5)]).unwrap();
+        let histogram = recorder
+            .metrics()
+            .histogram("ayb_claim_to_submit_seconds")
+            .expect("histogram exists");
+        assert_eq!(histogram.count(), 1);
         let _ = fs::remove_dir_all(root);
     }
 

@@ -14,6 +14,8 @@
 //!            [--transport tcp://HOST:PORT] [--poll-ms MS] [--quiet]
 //! ayb coordinate [--bind ADDR] [--poll-ms MS] [--quiet]
 //! ayb status [--store DIR] [RUN_ID]
+//! ayb trace  [--store DIR] RUN_ID
+//! ayb top    [--store DIR] [--transport tcp://HOST:PORT] [--watch SECS]
 //! ayb list   [--store DIR]
 //! ayb show   [--store DIR] RUN_ID [--digest]
 //! ayb gc     [--store DIR] [--keep-checkpoints K] [--sweep-all]
@@ -40,14 +42,23 @@
 //! machine, with any (even empty) local store — services them. Coordinator,
 //! submitter and workers need no shared filesystem.
 //!
+//! Every durable run also appends structured telemetry to
+//! `runs/<run_id>/events.jsonl` (the `ayb_obs` event layer). `ayb trace`
+//! reconstructs a run's timeline from it — stages, checkpoints, shard
+//! claim → fence → steal chains — and `ayb top` polls the store (and, with
+//! `--transport`, a live coordinator's metrics) for a fleet-wide view.
+//! Progress output on stderr goes through the same layer and is filtered
+//! by `AYB_LOG` (debug|info|warn|error, default info).
+//!
 //! The store directory defaults to `$AYB_STORE` or `./ayb-store`.
 //! Argument parsing is plain `std` — no CLI dependencies.
 
 use ayb_core::{AybError, FlowBuilder, FlowConfig, FlowObserver, FlowResult, FlowStage};
-use ayb_jobs::{JobEvent, JobServer, JobServerConfig};
+use ayb_jobs::{JobServer, JobServerConfig};
 use ayb_moo::{CheckpointError, EarlyStop, OptimizerConfig};
-use ayb_net::{Coordinator, CoordinatorConfig};
-use ayb_store::{ClaimHealth, Manifest, RunStatus, ShardWorkKind, Store};
+use ayb_net::{Coordinator, CoordinatorConfig, TcpTransport};
+use ayb_obs::{kind as event_kind, log_to_stderr, Event, Histogram, Severity, StderrSink};
+use ayb_store::{ClaimHealth, Manifest, RunStatus, Store};
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -68,6 +79,8 @@ USAGE:
                [--transport tcp://HOST:PORT] [--poll-ms MS] [--quiet]
     ayb coordinate [--bind ADDR] [--poll-ms MS] [--quiet]
     ayb status [--store DIR] [RUN_ID]
+    ayb trace  [--store DIR] RUN_ID
+    ayb top    [--store DIR] [--transport tcp://HOST:PORT] [--watch SECS]
     ayb list   [--store DIR]
     ayb show   [--store DIR] RUN_ID [--digest]
     ayb gc     [--store DIR] [--keep-checkpoints K] [--sweep-all]
@@ -94,10 +107,15 @@ OPTIONS:
     --shards-only         Never claim whole runs; only service shard
                           evaluation tasks (pure evaluation worker)
     --poll-ms MS          Queue poll interval in milliseconds (default 200)
+    --watch SECS          top: refresh the fleet view every SECS seconds
     --keep-checkpoints K  gc: checkpoints to keep per completed run (default 1)
     --sweep-all           gc: remove *.tmp files regardless of age
     --digest              Print only the result's determinism digest
     --quiet               Suppress progress output
+
+Progress lines on stderr are structured events; set AYB_LOG=debug|info|warn|
+error (default info) to change how much is shown. Durable runs persist the
+same events to runs/<RUN_ID>/events.jsonl for `ayb trace`.
 ";
 
 fn main() -> ExitCode {
@@ -125,6 +143,8 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&parsed),
         "coordinate" => cmd_coordinate(&parsed),
         "status" => cmd_status(&parsed),
+        "trace" => cmd_trace(&parsed),
+        "top" => cmd_top(&parsed),
         "list" => cmd_list(&parsed),
         "show" => cmd_show(&parsed),
         "gc" => cmd_gc(&parsed),
@@ -168,6 +188,7 @@ struct CliArgs {
     poll_ms: Option<u64>,
     keep_checkpoints: Option<usize>,
     sweep_all: bool,
+    watch: Option<u64>,
     digest: bool,
     quiet: bool,
     help: bool,
@@ -222,6 +243,7 @@ impl CliArgs {
                     )?)
                 }
                 "--sweep-all" => parsed.sweep_all = true,
+                "--watch" => parsed.watch = Some(parse_number(&value_of("--watch")?, "--watch")?),
                 "--digest" => parsed.digest = true,
                 "--quiet" => parsed.quiet = true,
                 "--help" | "-h" => parsed.help = true,
@@ -259,25 +281,44 @@ fn parse_number<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, Strin
 // Progress output
 // ---------------------------------------------------------------------------
 
-/// Prints stage transitions and persisted checkpoints to stderr.
+/// Prints stage transitions and persisted checkpoints to stderr through the
+/// `ayb_obs` event layer — same line format as every other plane, filtered
+/// by `AYB_LOG`.
 struct CliObserver;
 
 impl FlowObserver for CliObserver {
     fn on_stage_start(&mut self, stage: FlowStage) {
-        eprintln!("[ayb] stage {} started", stage.name());
+        log_to_stderr(
+            &Event::new(Severity::Info, "cli", event_kind::STAGE_START).detail(stage.name()),
+        );
     }
 
     fn on_stage_complete(&mut self, stage: FlowStage, elapsed: Duration) {
-        eprintln!(
-            "[ayb] stage {} completed in {:.2}s",
-            stage.name(),
-            elapsed.as_secs_f64()
+        log_to_stderr(
+            &Event::new(Severity::Info, "cli", event_kind::STAGE_COMPLETE)
+                .value(elapsed.as_secs_f64())
+                .detail(format!(
+                    "{} completed in {:.2}s",
+                    stage.name(),
+                    elapsed.as_secs_f64()
+                )),
         );
     }
 
     fn on_checkpoint_written(&mut self, generation: usize, _path: &Path) {
-        eprintln!("[ayb] checkpoint written for generation {generation}");
+        log_to_stderr(
+            &Event::new(Severity::Info, "cli", event_kind::CHECKPOINT)
+                .value(generation as f64)
+                .detail(format!("checkpoint written for generation {generation}")),
+        );
     }
+}
+
+/// A `[ayb …]`-style stderr note that is not tied to a flow stage: banners,
+/// hints, periodic coordinator summaries. Routed through the event layer so
+/// `AYB_LOG` filters it like everything else.
+fn cli_note(severity: Severity, detail: impl Into<String>) {
+    log_to_stderr(&Event::new(severity, "cli", "note").detail(detail));
 }
 
 // ---------------------------------------------------------------------------
@@ -377,7 +418,7 @@ fn cmd_submit(args: &CliArgs) -> Result<(), String> {
     println!("run_id: {}", handle.id());
     println!("status: queued");
     if !args.quiet {
-        eprintln!("[ayb] execute with: ayb serve --drain");
+        cli_note(Severity::Info, "execute with: ayb serve --drain");
     }
     Ok(())
 }
@@ -406,21 +447,30 @@ fn cmd_serve(args: &CliArgs) -> Result<(), String> {
     let workers = config.workers;
     let server = JobServer::new(store, config);
     if !args.quiet {
-        eprintln!(
-            "[ayb] serving {} (workers: {}, mode: {}{})",
-            server.store().root().display(),
-            workers,
-            if args.drain { "drain" } else { "poll" },
-            if args.shards_only {
-                ", shards-only"
-            } else {
-                ""
-            },
+        cli_note(
+            Severity::Info,
+            format!(
+                "serving {} (workers: {}, mode: {}{})",
+                server.store().root().display(),
+                workers,
+                if args.drain { "drain" } else { "poll" },
+                if args.shards_only {
+                    ", shards-only"
+                } else {
+                    ""
+                },
+            ),
         );
         if let Some(url) = &args.transport {
-            eprintln!("[ayb] servicing network shards from {url}");
+            cli_note(
+                Severity::Info,
+                format!("servicing network shards from {url}"),
+            );
         }
-        server.set_event_hook(|event| eprintln!("[ayb] {}", render_event(event)));
+        // Job lifecycle output: the server's recorder already emits one
+        // structured event per JobEvent; a stderr sink (AYB_LOG-filtered)
+        // renders them in the shared `[ayb …]` format.
+        server.recorder().add_sink(Box::new(StderrSink::from_env()));
     }
     let report = server.run().map_err(|e| e.to_string())?;
 
@@ -454,6 +504,13 @@ fn cmd_coordinate(args: &CliArgs) -> Result<(), String> {
     // The URL line is the machine-readable hand-off (scripts and the CI
     // smoke test scrape it for the resolved port when binding port 0).
     println!("coordinator: {}", coordinator.url());
+    if !args.quiet {
+        // Claim/fence/epoch events stream to stderr in the shared format;
+        // `AYB_LOG=debug` shows every claim and submit as it happens.
+        coordinator
+            .recorder()
+            .add_sink(Box::new(StderrSink::from_env()));
+    }
     let poll = Duration::from_millis(args.poll_ms.unwrap_or(2000).max(100));
     let mut last: Vec<String> = Vec::new();
     loop {
@@ -464,59 +521,18 @@ fn cmd_coordinate(args: &CliArgs) -> Result<(), String> {
         let lines = coordinator.describe();
         if lines != last {
             let stats = coordinator.stats();
-            eprintln!(
-                "[ayb] epochs: {}, open shards: {}, claims issued: {}, fenced: {}",
-                stats.epochs, stats.open_shards, stats.claims_issued, stats.fenced_rejections
+            cli_note(
+                Severity::Info,
+                format!(
+                    "epochs: {}, open shards: {}, claims issued: {}, fenced: {}",
+                    stats.epochs, stats.open_shards, stats.claims_issued, stats.fenced_rejections
+                ),
             );
             for line in &lines {
-                eprintln!("[ayb] {line}");
+                cli_note(Severity::Info, line.clone());
             }
             last = lines;
         }
-    }
-}
-
-fn render_event(event: &JobEvent) -> String {
-    match event {
-        JobEvent::Requeued { run_id, from } => format!("requeued {run_id} (was {from})"),
-        JobEvent::Enqueued { run_id } => format!("enqueued {run_id}"),
-        JobEvent::Started { run_id, worker } => format!("worker {worker} started {run_id}"),
-        JobEvent::CheckpointWritten { run_id, generation } => {
-            format!("{run_id}: checkpoint at generation {generation}")
-        }
-        JobEvent::Completed {
-            run_id,
-            worker,
-            digest,
-        } => format!("worker {worker} completed {run_id} (digest {digest:016x})"),
-        JobEvent::Interrupted { run_id, worker } => {
-            format!("worker {worker} halted {run_id} at a checkpoint boundary")
-        }
-        JobEvent::Skipped {
-            run_id,
-            worker,
-            reason,
-        } => format!("worker {worker} skipped {run_id}: {reason}"),
-        JobEvent::Failed {
-            run_id,
-            worker,
-            message,
-        } => format!("worker {worker} failed {run_id}: {message}"),
-        JobEvent::ShardServiced {
-            run_id,
-            epoch,
-            shard,
-            work,
-            candidates,
-            worker,
-        } => match work {
-            ShardWorkKind::Eval => format!(
-                "worker {worker} serviced shard {shard} of {run_id}/{epoch} ({candidates} candidates)"
-            ),
-            ShardWorkKind::Variation => format!(
-                "worker {worker} serviced variation point {shard} of {run_id}/{epoch}"
-            ),
-        },
     }
 }
 
@@ -659,6 +675,7 @@ fn status_of_run(store: &Store, id: &str) -> Result<(), String> {
             }
         }
     }
+    print_run_health(&handle);
     println!(
         "result: {}",
         if handle.has_result() {
@@ -668,6 +685,180 @@ fn status_of_run(store: &Store, id: &str) -> Result<(), String> {
         }
     );
     Ok(())
+}
+
+/// The compact timing/health block of `ayb status RUN_ID`: stage durations
+/// (from the persisted result), shard round-trip latency p50/p95 (from the
+/// run's `events.jsonl`) and fence/degrade counts. Every line is best-effort
+/// — a run without a result or telemetry simply prints fewer lines.
+fn print_run_health(handle: &ayb_store::RunHandle) {
+    if handle.has_result() {
+        if let Ok(result) = handle.load_result::<FlowResult>() {
+            let timings = &result.timings;
+            println!(
+                "stage_seconds: optimize {:.2}, variation {:.2}, model {:.2} (total {:.2})",
+                timings.optimization.as_secs_f64(),
+                timings.monte_carlo.as_secs_f64(),
+                timings.model_build.as_secs_f64(),
+                timings.total().as_secs_f64()
+            );
+            if timings.shards_fenced > 0 || timings.shards_degraded > 0 {
+                println!(
+                    "shard_incidents: {} fenced, {} degraded to local",
+                    timings.shards_fenced, timings.shards_degraded
+                );
+            }
+        }
+    }
+    let Ok(events) = ayb_obs::read_events(&handle.events_path()) else {
+        return;
+    };
+    // Shard round-trip latencies live in SHARD_REQUEST events' `value`
+    // field; fold them into a histogram for the quantile summary.
+    let mut latency = Histogram::with_bounds(ayb_obs::LATENCY_BUCKETS_SECONDS);
+    for event in &events {
+        if event.kind == event_kind::SHARD_REQUEST {
+            if let Some(seconds) = event.value {
+                latency.observe(seconds);
+            }
+        }
+    }
+    if latency.count() > 0 {
+        println!(
+            "shard_latency: {} requests, p50 {:.0} ms, p95 {:.0} ms",
+            latency.count(),
+            latency.quantile(0.5).unwrap_or(0.0) * 1e3,
+            latency.quantile(0.95).unwrap_or(0.0) * 1e3
+        );
+    }
+    let fenced = ayb_obs::trace::count_kind(&events, event_kind::SHARD_FENCED);
+    let degraded = ayb_obs::trace::count_kind(&events, event_kind::SHARD_DEGRADED);
+    let checkpoints = ayb_obs::trace::count_kind(&events, event_kind::CHECKPOINT);
+    println!(
+        "events: {} recorded ({} checkpoints, {} fenced, {} degraded); \
+         trace with: ayb trace {}",
+        events.len(),
+        checkpoints,
+        fenced,
+        degraded,
+        handle.id()
+    );
+}
+
+/// Reconstructs a run's timeline from its `events.jsonl`: stages,
+/// checkpoints, epochs, and per-shard claim → fence → steal chains. The
+/// event stream is validated first — a malformed or out-of-order file is an
+/// error, not a garbled trace.
+fn cmd_trace(args: &CliArgs) -> Result<(), String> {
+    let store = args.open_store()?;
+    let run_id = args.required_run_id()?;
+    let handle = store.run(run_id).map_err(|e| e.to_string())?;
+    let path = handle.events_path();
+    if !path.exists() {
+        return Err(format!(
+            "no telemetry for `{run_id}`: {} does not exist (runs record \
+             events.jsonl while executing durably)",
+            path.display()
+        ));
+    }
+    let events = ayb_obs::read_events(&path)?;
+    ayb_obs::check_monotonic_per_pid(&events)
+        .map_err(|e| format!("events.jsonl failed validation: {e}"))?;
+    println!("run_id: {run_id}");
+    println!("events: {} ({} attempts)", events.len(), {
+        let attempts = ayb_obs::trace::attempts(&events).len();
+        attempts.max(1)
+    });
+    for line in ayb_obs::trace::render_trace(&events) {
+        println!("{line}");
+    }
+    Ok(())
+}
+
+/// One `ayb top` refresh: every run's status/claim/shard row from the store,
+/// plus — when `--transport` points at a live coordinator — its counters and
+/// full metrics text (the same text the `Metrics` wire request serves).
+fn top_once(store: &Store, transport: Option<&str>) -> Result<(), String> {
+    if let Some(url) = transport {
+        let addr = ayb_net::parse_transport_url(url)?;
+        let tcp = TcpTransport::connect(addr);
+        let stats = tcp
+            .coordinator_stats()
+            .map_err(|e| format!("coordinator at {url} unreachable: {e}"))?;
+        println!(
+            "coordinator: {url} — {} epochs, {} open shards, {} claims issued, {} fenced",
+            stats.epochs, stats.open_shards, stats.claims_issued, stats.fenced_rejections
+        );
+        let metrics = tcp.coordinator_metrics().map_err(|e| e.to_string())?;
+        for line in metrics.lines() {
+            // The full registry is noisy; surface the fleet-health core
+            // (request totals/latency, claims, fences, gauges).
+            if line.starts_with("ayb_coord_") && !line.contains("_bucket") {
+                println!("  {line}");
+            }
+        }
+    }
+    let ids = store.run_ids().map_err(|e| e.to_string())?;
+    if ids.is_empty() {
+        println!("no runs in {}", store.root().display());
+        return Ok(());
+    }
+    println!(
+        "{:<16} {:<12} {:<26} {:>12} {:>12} {:>8}",
+        "RUN", "STATUS", "CLAIM", "CHECKPOINTS", "SHARDS", "EVENTS"
+    );
+    for id in &ids {
+        let row = store.run(id).and_then(|handle| {
+            let status = handle.status()?;
+            let claim = handle.claim_health(CLAIM_HEALTH_MAX_HEARTBEAT_AGE)?;
+            let checkpoints = handle.checkpoint_generations()?.len();
+            let shards = handle.shard_summary()?;
+            let events = std::fs::read_to_string(handle.events_path())
+                .map(|text| text.lines().count())
+                .unwrap_or(0);
+            Ok((status, claim, checkpoints, shards, events))
+        });
+        match row {
+            Ok((status, claim, checkpoints, shards, events)) => {
+                let claim = match claim {
+                    Some((claim, health)) => {
+                        format!("{} ({})", claim.owner, render_claim_health(health))
+                    }
+                    None => "-".to_string(),
+                };
+                let shards = if shards.tasks > 0 {
+                    format!("{}/{}", shards.completed, shards.tasks)
+                } else {
+                    "-".to_string()
+                };
+                println!(
+                    "{id:<16} {:<12} {claim:<26} {checkpoints:>12} {shards:>12} {events:>8}",
+                    status.as_str()
+                );
+            }
+            Err(error) => println!("{id:<16} <unreadable: {error}>"),
+        }
+    }
+    Ok(())
+}
+
+/// Live fleet view: the store's runs (with claim health and shard progress)
+/// and, with `--transport`, the coordinator's scraped metrics. `--watch S`
+/// refreshes every `S` seconds until interrupted.
+fn cmd_top(args: &CliArgs) -> Result<(), String> {
+    if !args.positional.is_empty() {
+        return Err("`ayb top` takes no positional arguments".to_string());
+    }
+    let store = args.open_store()?;
+    let transport = args.transport.as_deref();
+    match args.watch {
+        None => top_once(&store, transport),
+        Some(seconds) => loop {
+            top_once(&store, transport)?;
+            println!();
+            std::thread::sleep(Duration::from_secs(seconds.max(1)));
+        },
+    }
 }
 
 /// How old a `*.tmp` file must be before `ayb gc` removes it (unless
@@ -740,8 +931,14 @@ fn cmd_resume(args: &CliArgs) -> Result<(), String> {
             .and_then(|handle| handle.checkpoint_generations())
             .map_err(|e| e.to_string())?;
         match resumed_from.last() {
-            Some(generation) => eprintln!("[ayb] resuming {run_id} from generation {generation}"),
-            None => eprintln!("[ayb] no checkpoints for {run_id}; restarting from scratch"),
+            Some(generation) => cli_note(
+                Severity::Info,
+                format!("resuming {run_id} from generation {generation}"),
+            ),
+            None => cli_note(
+                Severity::Warn,
+                format!("no checkpoints for {run_id}; restarting from scratch"),
+            ),
         }
         builder = builder.with_observer(CliObserver);
     }
@@ -772,7 +969,7 @@ fn finish_flow(
             println!("mc_work_seconds: {:.2}", summary.mc_work_seconds);
             println!("digest: {:016x}", result.determinism_digest());
             if !quiet {
-                eprintln!("[ayb] inspect with: ayb show {run_id}");
+                cli_note(Severity::Info, format!("inspect with: ayb show {run_id}"));
             }
             Ok(())
         }
@@ -802,7 +999,10 @@ fn finish_flow(
                 println!("variation_checkpoints: {variation}");
             }
             if !quiet {
-                eprintln!("[ayb] continue with: ayb resume {run_id}");
+                cli_note(
+                    Severity::Info,
+                    format!("continue with: ayb resume {run_id}"),
+                );
             }
             Ok(())
         }

@@ -23,6 +23,7 @@ use ayb_core::{
 };
 use ayb_moo::CheckpointError;
 use ayb_net::{Coordinator, CoordinatorConfig, TcpTransport};
+use ayb_obs::{kind as event_kind, trace, JsonlSink, Recorder};
 use ayb_store::{RunStatus, ShardOutcome, ShardSummary, Store, VariationOutcome};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -509,6 +510,219 @@ fn hung_tcp_claim_is_stolen_and_the_late_zombie_write_is_fenced_off() {
     assert!(
         coordinator.stats().fenced_rejections >= 1,
         "the coordinator counted the fenced write"
+    );
+    let _ = std::fs::remove_dir_all(root);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry under chaos (ayb_obs)
+// ---------------------------------------------------------------------------
+
+/// Every kill/resume cycle must leave a well-formed `events.jsonl`: each
+/// line parses, each process's events are monotonically ordered, each
+/// attempt opens with a `flow_start`, and the final attempt's shard
+/// request/fence/degrade events reconcile **exactly** with the
+/// `FlowTimings` counters of the result (events are emitted at the same
+/// code sites that bump the counters, so any drift is a bug).
+#[test]
+fn chaos_cycles_leave_wellformed_event_logs_that_reconcile_with_timings() {
+    let coordinator = Coordinator::bind("127.0.0.1:0", CoordinatorConfig::default())
+        .expect("coordinator binds an ephemeral port");
+    let schedules: &[&[KillPoint]] = &[
+        &[KillPoint::AtGenerationCheckpoint(2)],
+        &[
+            KillPoint::AtGenerationCheckpoint(1),
+            KillPoint::AtVariationBoundary(BoundaryKind::ResultWrite, 2),
+        ],
+    ];
+    for (index, schedule) in schedules.iter().enumerate() {
+        let (root, store) = temp_store("events");
+        let run_id = format!("events-chaos-{index}");
+        let result = run_with_chaos(
+            &store,
+            &run_id,
+            &tcp_config(&coordinator.url()),
+            CHAOS_SEED,
+            schedule,
+        );
+
+        let handle = store.run(&run_id).unwrap();
+        let events =
+            ayb_obs::read_events(&handle.events_path()).expect("events.jsonl is well-formed");
+        ayb_obs::check_monotonic_per_pid(&events).expect("per-process ordering holds");
+        let attempts = trace::attempts(&events);
+        assert!(
+            attempts.len() >= 2,
+            "schedule {schedule:?} recorded {} attempt(s); expected the crash + resume history",
+            attempts.len()
+        );
+
+        let final_events = trace::final_attempt(&events);
+        assert_eq!(
+            trace::count_kind(final_events, event_kind::RUN_COMPLETED),
+            1,
+            "the final attempt records its completion"
+        );
+        assert_eq!(
+            trace::count_kind(final_events, event_kind::SHARD_REQUEST),
+            result.timings.shard_requests,
+            "one shard_request event per transport round-trip"
+        );
+        assert_eq!(
+            trace::count_kind(final_events, event_kind::SHARD_FENCED),
+            result.timings.shards_fenced,
+            "one shard_fenced event per fenced write"
+        );
+        assert_eq!(
+            trace::count_kind(final_events, event_kind::SHARD_DEGRADED) as usize,
+            result.timings.shards_degraded,
+            "one shard_degraded event per local fallback"
+        );
+        // Interrupted attempts each record their interruption.
+        assert_eq!(
+            trace::count_kind(&events, event_kind::RUN_INTERRUPTED),
+            (attempts.len() - 1) as u64,
+            "every crashed attempt left a run_interrupted marker"
+        );
+        let _ = std::fs::remove_dir_all(root);
+    }
+}
+
+/// The end-to-end forensics story: a TCP sharded run with a hung zombie
+/// worker whose stolen claim and fenced-off late write all land in the
+/// run's `events.jsonl` — the zombie worker appends to the *same* file
+/// through its own recorder, exactly as `ayb serve` on another host would
+/// to a shared store. From that one file the trace module reconstructs the
+/// full timeline (claim → steal → fenced submit), and the digest is still
+/// bit-identical to the telemetry-free serial reference.
+#[test]
+fn events_jsonl_reconstructs_the_fenced_zombie_timeline() {
+    let expected = reference_digest();
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        CoordinatorConfig {
+            stale_after: Duration::from_millis(100),
+        },
+    )
+    .expect("coordinator binds an ephemeral port");
+    let (root, store) = temp_store("forensics");
+    let run_id = "forensics";
+
+    // Pre-create the run directory so the zombie can append to the run's
+    // events.jsonl from the start (atomic appends interleave safely).
+    let events_path = store.root().join("runs").join(run_id).join("events.jsonl");
+
+    let variation_started = Arc::new(AtomicBool::new(false));
+    let zombie_submitted = Arc::new(AtomicBool::new(false));
+
+    let zombie_recorder = Recorder::new();
+    zombie_recorder.add_sink(Box::new(JsonlSink::new(&events_path)));
+    let zombie_transport = TcpTransport::connect(coordinator.local_addr().to_string())
+        .with_recorder(zombie_recorder.clone());
+    let zombie = {
+        let transport = zombie_transport.clone();
+        let started = Arc::clone(&variation_started);
+        let submitted = Arc::clone(&zombie_submitted);
+        std::thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(120);
+            while !started.load(Ordering::SeqCst) {
+                assert!(Instant::now() < deadline, "variation stage never started");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let task = loop {
+                if let Ok(Some(task)) = transport.claim_next("zombie") {
+                    break task;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "no variation point left to claim"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            };
+            loop {
+                if let Ok(Some(_)) = transport.fetch_outcome(&task.epoch, task.shard) {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "the hung claim was never stolen");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let poison = ShardOutcome::Variation(VariationOutcome {
+                data: None,
+                elapsed_seconds: 999.0,
+            });
+            let accepted = transport
+                .submit_with_token(&task.epoch, task.shard, task.token, &poison)
+                .expect("the epoch is held open until this write");
+            assert!(!accepted, "a fenced-off zombie write must be rejected");
+            submitted.store(true, Ordering::SeqCst);
+        })
+    };
+
+    let hook: VariationHaltHook = {
+        let started = Arc::clone(&variation_started);
+        let submitted = Arc::clone(&zombie_submitted);
+        Arc::new(move |boundary| {
+            match boundary {
+                VariationBoundary::Claim { .. } => {
+                    started.store(true, Ordering::SeqCst);
+                }
+                VariationBoundary::EpochClose => {
+                    let deadline = Instant::now() + Duration::from_secs(120);
+                    while !submitted.load(Ordering::SeqCst) {
+                        assert!(Instant::now() < deadline, "the zombie never wrote");
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+                _ => {}
+            }
+            false // never halt
+        })
+    };
+
+    let result = FlowBuilder::new(tcp_config(&coordinator.url()))
+        .with_seed(CHAOS_SEED)
+        .with_store(&store)
+        .with_run_id(run_id)
+        .halt_variation_when(hook)
+        .run()
+        .expect("the flow completes around the hung worker");
+    zombie.join().expect("zombie thread assertions hold");
+
+    assert_eq!(
+        result.determinism_digest(),
+        expected,
+        "telemetry or the fenced write perturbed the result"
+    );
+
+    // The shared events.jsonl tells the whole story. (No per-pid ordering
+    // check here: the zombie runs as a thread of *this* process purely as a
+    // test artifact, so the file holds two same-pid recorder streams; real
+    // workers are separate processes, each with one recorder.)
+    let events = ayb_obs::read_events(&events_path).expect("events.jsonl is well-formed");
+    let fenced: Vec<_> = events
+        .iter()
+        .filter(|event| event.kind == event_kind::SHARD_FENCED)
+        .collect();
+    assert!(
+        !fenced.is_empty(),
+        "the zombie's rejected write is in the log"
+    );
+    // The fenced submit names its stale token, and a *higher* token claim
+    // exists for the same shard — the steal is reconstructible.
+    let stale = fenced[0];
+    let stale_token = stale.fence.expect("fenced event carries its token");
+    let steal = events.iter().any(|event| {
+        event.kind == event_kind::SHARD_CLAIM
+            && event.epoch == stale.epoch
+            && event.shard == stale.shard
+            && event.fence.map(|token| token > stale_token) == Some(true)
+    });
+    assert!(steal, "a higher-token claim (the steal) is in the log");
+    // And the human-facing trace renders the chain.
+    let rendered = trace::render_trace(&events).join("\n");
+    assert!(
+        rendered.contains("shard_fenced") || rendered.contains("fenced"),
+        "the rendered trace shows the fenced submit:\n{rendered}"
     );
     let _ = std::fs::remove_dir_all(root);
 }

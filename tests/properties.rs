@@ -367,6 +367,80 @@ proptest! {
 }
 
 proptest! {
+    // Each case runs two complete flows; a small case count keeps the
+    // suite fast.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Telemetry is digest-neutral: a durable sharded run with a recorder
+    /// attached (ring, metrics, and an extra JSONL sink on top of the
+    /// run's own `events.jsonl`) digests bit-identically to a plain serial
+    /// run with no telemetry at all, for any seed and front size. The event
+    /// layer observes the flow; it must never feed it.
+    #[test]
+    fn telemetry_never_perturbs_the_determinism_digest(
+        seed in 0u64..10_000,
+        front_limit in 3usize..7,
+    ) {
+        use ayb_core::{FlowBuilder, FlowConfig};
+        use ayb_moo::GaConfig;
+        use ayb_obs::{JsonlSink, Recorder};
+        use ayb_store::Store;
+
+        let mut config = FlowConfig::reduced();
+        config.ga = GaConfig {
+            generations: 3,
+            ..config.ga
+        };
+        config.sweep = ayb_sim::FrequencySweep::logarithmic(10.0, 1e9, 4);
+        config.monte_carlo.samples = 6;
+        config.max_pareto_points = front_limit;
+        config.shard_size = 3;
+
+        // Reference: serial, storeless, telemetry-free.
+        let serial = FlowBuilder::new(config.clone())
+            .with_seed(seed)
+            .run()
+            .expect("serial flow completes");
+
+        // Instrumented: durable, sharded, recorder with an extra sink.
+        let dir = std::env::temp_dir().join(format!(
+            "ayb-prop-obs-{}-{seed}-{front_limit}",
+            std::process::id()
+        ));
+        let side_log = dir.join("side-events.jsonl");
+        let store = Store::open(&dir).expect("store opens");
+        let recorder = Recorder::new();
+        recorder.add_sink(Box::new(JsonlSink::new(&side_log)));
+        let instrumented = FlowBuilder::new(config.clone())
+            .with_seed(seed)
+            .with_store(&store)
+            .sharded(true)
+            .with_recorder(recorder.clone())
+            .run()
+            .expect("instrumented flow completes");
+
+        prop_assert!(
+            serial.determinism_digest() == instrumented.determinism_digest(),
+            "telemetry changed the digest"
+        );
+        // The instrumentation actually ran: events were recorded and both
+        // logs are well-formed.
+        prop_assert!(recorder.metrics().counter("ayb_events_total") > 0);
+        let side = ayb_obs::read_events(&side_log).expect("side log parses");
+        prop_assert!(!side.is_empty());
+        ayb_obs::check_monotonic_per_pid(&side).expect("side log ordered");
+        let run_id = store.run_ids().expect("runs list")[0].clone();
+        let run_log = store
+            .run(&run_id)
+            .expect("run handle")
+            .events_path();
+        let events = ayb_obs::read_events(&run_log).expect("events.jsonl parses");
+        prop_assert!(!events.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+proptest! {
     // Each case runs three optimisations against an in-process TCP
     // coordinator; a small case count keeps the suite fast.
     #![proptest_config(ProptestConfig::with_cases(6))]

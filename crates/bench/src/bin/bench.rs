@@ -28,9 +28,14 @@ use ayb_circuit::{Mosfet, MosfetModelCard, NodeId};
 use ayb_core::{FlowBuilder, FlowConfig, OtaSizingProblem};
 use ayb_moo::{ShardTransport, SizingProblem};
 use ayb_net::{Coordinator, CoordinatorConfig, TcpTransport};
-use ayb_sim::linalg::{solve_in_place, DenseMatrix};
-use ayb_sim::{ac_analysis, dc_operating_point, mosfet, DcOptions, FrequencySweep};
-use ayb_store::{ShardDataPlane, ShardOutcome, ShardWork, ShardWorkKind};
+use ayb_sim::linalg::{backend_of, solve_in_place, CsrMatrix, DenseMatrix, PatternBuilder};
+use ayb_sim::{
+    ac_analysis, ac_analysis_with, dc_operating_point, mosfet, DcOptions, FrequencySweep,
+    MnaLayout, SolverKind,
+};
+use ayb_store::{
+    ShardDataPlane, ShardOutcome, ShardWork, ShardWorkKind, VariationOutcome, VariationPointWork,
+};
 use serde::{Deserialize, Serialize};
 use std::hint::black_box;
 use std::process::ExitCode;
@@ -130,6 +135,42 @@ fn bench_mna_lu_solve(iters: u64) -> KernelReport {
     })
 }
 
+fn bench_sparse_lu_solve(iters: u64) -> KernelReport {
+    // The same solve through the sparse backend, on an MNA-like banded
+    // 64×64 pattern (bandwidth 4). The symbolic phase — pattern build and
+    // `prepare` — happens once, outside the timed loop, exactly as it does
+    // once per `MnaLayout` in the kernel; each iteration is a numeric fill
+    // plus a factor-and-solve.
+    const N: usize = 64;
+    const BAND: usize = 4;
+    let mut builder = PatternBuilder::new(N);
+    for i in 0..N {
+        for j in i.saturating_sub(BAND)..(i + BAND + 1).min(N) {
+            builder.entry(i, j);
+        }
+    }
+    let pattern = builder.build();
+    let mut backend = backend_of::<f64>(SolverKind::Sparse);
+    backend.prepare(&pattern);
+    let mut matrix = CsrMatrix::<f64>::new(pattern);
+    time_kernel("sparse_lu_solve_64", iters, 2, || {
+        matrix.clear();
+        let mut b = vec![0.0f64; N];
+        for (i, rhs) in b.iter_mut().enumerate() {
+            for j in i.saturating_sub(BAND)..(i + BAND + 1).min(N) {
+                let coupling = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+                matrix.add(i, j, coupling);
+            }
+            matrix.add(i, i, N as f64);
+            *rhs = 1.0 + i as f64;
+        }
+        backend
+            .solve(black_box(&matrix), black_box(&mut b))
+            .expect("system is well-conditioned");
+        black_box(&b);
+    })
+}
+
 fn bench_mosfet_evaluate(iters: u64) -> KernelReport {
     let card = MosfetModelCard::nmos_035um();
     let device = Mosfet::new(
@@ -176,6 +217,30 @@ fn bench_ac_sweep(iters: u64) -> KernelReport {
     })
 }
 
+/// The AC sweep with factor-reuse made explicit: the `MnaLayout` is built
+/// once and shared with the DC solve, and the sweep runs on the sparse
+/// backend — the `--solver sparse` configuration of the same 65-point
+/// workload as `ota_ac_sweep_65`.
+fn bench_ac_sweep_sparse(iters: u64) -> KernelReport {
+    let tb = build_open_loop_testbench(&OtaParameters::nominal(), &OtaTestbenchConfig::new())
+        .expect("test bench builds");
+    let layout = MnaLayout::new(&tb);
+    let op = dc_operating_point(&tb, &DcOptions::new()).expect("converges");
+    let sweep = FrequencySweep::logarithmic(10.0, 1e9, 8);
+    time_kernel("ota_ac_sweep_65_sparse", iters, 2, || {
+        black_box(
+            ac_analysis_with(
+                black_box(&tb),
+                &layout,
+                black_box(&op),
+                &sweep,
+                SolverKind::Sparse,
+            )
+            .expect("ac runs"),
+        );
+    })
+}
+
 fn bench_batch_evaluate(iters: u64) -> KernelReport {
     let problem = OtaSizingProblem::new(
         OtaTestbenchConfig::new(),
@@ -202,6 +267,45 @@ fn bench_shard_roundtrip_disk(iters: u64) -> KernelReport {
     let report = time_kernel("shard_roundtrip_disk", iters, 2, || {
         let epoch = plane
             .open_typed_epoch(ShardWorkKind::Eval)
+            .expect("epoch opens");
+        plane.publish_work(&epoch, 0, &work).expect("publishes");
+        assert!(plane.try_claim(&epoch, 0).expect("claim attempt"));
+        plane.submit_outcome(&epoch, 0, &outcome).expect("submits");
+        assert!(plane.fetch_outcome(&epoch, 0).expect("fetches").is_some());
+        plane.close_epoch(&epoch).expect("closes");
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
+/// The shard conversation for a *batched* variation task: one epoch slot
+/// carrying 8 Monte Carlo points (with their per-point seeds) out and 8
+/// outcomes back — what `variation_batch 8` pays per task instead of 8
+/// separate round-trips.
+fn bench_variation_batch_roundtrip_disk(iters: u64) -> KernelReport {
+    let dir = std::env::temp_dir().join(format!("ayb-bench-varbatch-{}", std::process::id()));
+    let plane = ShardDataPlane::open(&dir, Duration::from_secs(60));
+    let work = ShardWork::VariationBatch {
+        points: gene_batch(8, 8)
+            .into_iter()
+            .enumerate()
+            .map(|(i, parameters)| VariationPointWork {
+                parameters,
+                mc_seed: 0x9E3779B97F4A7C15u64.wrapping_mul(i as u64 + 1),
+            })
+            .collect(),
+    };
+    let outcome = ShardOutcome::VariationBatch {
+        points: (0..8)
+            .map(|_| VariationOutcome {
+                data: None,
+                elapsed_seconds: 0.0,
+            })
+            .collect(),
+    };
+    let report = time_kernel("variation_batch_roundtrip_disk", iters, 2, || {
+        let epoch = plane
+            .open_typed_epoch(ShardWorkKind::Variation)
             .expect("epoch opens");
         plane.publish_work(&epoch, 0, &work).expect("publishes");
         assert!(plane.try_claim(&epoch, 0).expect("claim attempt"));
@@ -265,11 +369,14 @@ fn run_all(quick: bool) -> BenchReport {
         mode: if quick { "quick" } else { "full" }.to_string(),
         kernels: vec![
             bench_mna_lu_solve(micro),
+            bench_sparse_lu_solve(micro),
             bench_mosfet_evaluate(micro),
             bench_dc_operating_point(micro),
             bench_ac_sweep(micro),
+            bench_ac_sweep_sparse(micro),
             bench_batch_evaluate(macro_),
             bench_shard_roundtrip_disk(macro_),
+            bench_variation_batch_roundtrip_disk(macro_),
             bench_shard_roundtrip_tcp(macro_),
             bench_full_flow_reduced(flow),
         ],

@@ -3,7 +3,7 @@
 use ayb_circuit::ota::OtaTestbenchConfig;
 use ayb_moo::GaConfig;
 use ayb_process::{MonteCarloConfig, ProcessVariation};
-use ayb_sim::FrequencySweep;
+use ayb_sim::{FrequencySweep, SolverKind};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the complete model-generation flow (paper §3).
@@ -59,6 +59,19 @@ pub struct FlowConfig {
     /// [`FlowObserver::on_transport_degraded`](crate::FlowObserver)) to
     /// local evaluation.
     pub transport: Option<String>,
+    /// Linear-solver backend used by every DC operating point and AC sweep
+    /// in the flow. [`SolverKind::Dense`] is the historical default;
+    /// [`SolverKind::Sparse`] routes solves through the sparse LU. Recorded
+    /// in the manifest so resumed runs keep using the backend they started
+    /// with. Node voltages agree between backends to solver tolerance
+    /// (≪ 1e-9); each backend is individually bit-deterministic.
+    pub solver: SolverKind,
+    /// Number of Monte Carlo variation points carried per shard task when
+    /// the sharded variation stage runs (minimum 1 = one point per task,
+    /// the historical shape). Larger batches amortise task claim/commit
+    /// overhead; per-point checkpoints are preserved, so batching never
+    /// changes results or resumability.
+    pub variation_batch: usize,
 }
 
 impl FlowConfig {
@@ -77,6 +90,8 @@ impl FlowConfig {
             sharded: false,
             shard_size: 25,
             transport: None,
+            solver: SolverKind::Dense,
+            variation_batch: 8,
         }
     }
 
@@ -106,6 +121,8 @@ impl FlowConfig {
             sharded: false,
             shard_size: 4,
             transport: None,
+            solver: SolverKind::Dense,
+            variation_batch: 3,
         }
     }
 
@@ -123,6 +140,7 @@ impl FlowConfig {
             max_pareto_points: 60,
             threads: 4,
             shard_size: 10,
+            variation_batch: 4,
             ..FlowConfig::reduced()
         }
     }
@@ -158,6 +176,17 @@ impl Deserialize for FlowConfig {
             Some(field) => Deserialize::from_value(field)?,
             None => None,
         };
+        // The solver backend and variation batching postdate the transport
+        // selector; absent fields mean the historical dense solver with one
+        // variation point per shard task.
+        let solver = match value.get("solver") {
+            Some(field) => Deserialize::from_value(field)?,
+            None => SolverKind::Dense,
+        };
+        let variation_batch = match value.get("variation_batch") {
+            Some(field) => Deserialize::from_value(field)?,
+            None => 1,
+        };
         Ok(FlowConfig {
             ga: Deserialize::from_value(serde::__field(value, "ga")?)?,
             monte_carlo: Deserialize::from_value(serde::__field(value, "monte_carlo")?)?,
@@ -173,6 +202,8 @@ impl Deserialize for FlowConfig {
             sharded,
             shard_size,
             transport,
+            solver,
+            variation_batch,
         })
     }
 }
@@ -214,15 +245,25 @@ mod tests {
         config.sharded = true;
         config.shard_size = 7;
         config.transport = Some("tcp://127.0.0.1:4710".to_string());
+        config.solver = SolverKind::Sparse;
+        config.variation_batch = 5;
         let serde::Value::Object(mut pairs) = serde::Serialize::to_value(&config) else {
             panic!("FlowConfig serializes to an object");
         };
-        pairs.retain(|(key, _)| key != "sharded" && key != "shard_size" && key != "transport");
+        pairs.retain(|(key, _)| {
+            key != "sharded"
+                && key != "shard_size"
+                && key != "transport"
+                && key != "solver"
+                && key != "variation_batch"
+        });
         let legacy = serde::Value::Object(pairs);
         let back: FlowConfig = serde::Deserialize::from_value(&legacy).expect("legacy loads");
         assert!(!back.sharded);
         assert!(back.shard_size >= 1);
         assert_eq!(back.transport, None);
+        assert_eq!(back.solver, SolverKind::Dense);
+        assert_eq!(back.variation_batch, 1);
         assert_eq!(back.ga, config.ga);
         assert_eq!(back.threads, config.threads);
 

@@ -140,7 +140,10 @@ mod tests {
             Err(ModelError::NotEnoughData(1))?
         }
         fn sims() -> Result<(), AybError> {
-            Err(SimError::SingularMatrix { pivot: 3 })?
+            Err(SimError::SingularMatrix {
+                pivot: 3,
+                unknown: None,
+            })?
         }
         fn tables() -> Result<(), AybError> {
             Err(TableError::NotEnoughPoints { got: 1, needed: 4 })?
@@ -157,7 +160,10 @@ mod tests {
 
     #[test]
     fn display_and_source_preserve_the_cause() {
-        let e = AybError::from(SimError::SingularMatrix { pivot: 3 });
+        let e = AybError::from(SimError::SingularMatrix {
+            pivot: 3,
+            unknown: None,
+        });
         assert!(e.to_string().contains("singular"));
         assert!(e.source().is_some());
         let e = AybError::from(FlowError::InsufficientParetoData(2));

@@ -39,7 +39,7 @@
 
 use crate::config::FlowConfig;
 use crate::error::AybError;
-use crate::ota_problem::{measure_testbench, OtaSizingProblem};
+use crate::ota_problem::{measure_testbench_with, OtaSizingProblem};
 use ayb_behavioral::{CombinedOtaModel, ModelError, ParetoPointData};
 use ayb_circuit::ota::{build_open_loop_testbench, OtaParameters};
 use ayb_moo::{
@@ -52,7 +52,7 @@ use ayb_obs::{kind as event_kind, Event, JsonlSink, Recorder, Severity, SinkGuar
 use ayb_process::{montecarlo, Summary};
 use ayb_store::{
     ClaimHeartbeat, ClaimInfo, Manifest, RunHandle, RunStatus, ShardDataPlane, ShardOutcome,
-    ShardWork, ShardWorkKind, Store, StoreError, VariationOutcome,
+    ShardWork, ShardWorkKind, Store, StoreError, VariationOutcome, VariationPointWork,
 };
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -344,13 +344,15 @@ pub fn analyse_variation_point(
     let mut monte_carlo = config.monte_carlo;
     monte_carlo.seed = mc_seed;
     let sweep = config.sweep.clone();
+    let solver = config.solver;
     let run = montecarlo::run_parallel(
         &circuit,
         &config.variation,
         &monte_carlo,
         config.threads,
         move |sample| {
-            measure_testbench(sample, &sweep).map(|perf| (perf.gain_db, perf.phase_margin_deg))
+            measure_testbench_with(sample, &sweep, solver)
+                .map(|perf| (perf.gain_db, perf.phase_margin_deg))
         },
     );
     if run.values.len() < 2 {
@@ -809,7 +811,8 @@ impl FlowBuilder {
     /// when not a single candidate evaluated successfully.
     pub fn optimize(mut self) -> Result<OptimizedFlow, AybError> {
         let problem = OtaSizingProblem::new(self.config.testbench, self.config.sweep.clone())
-            .with_threads(self.config.threads);
+            .with_threads(self.config.threads)
+            .with_solver(self.config.solver);
         let recorder = self.recorder.take().unwrap_or_default();
 
         notify_start(&mut self.observers, FlowStage::Optimize);
@@ -1416,7 +1419,8 @@ impl OptimizedFlow {
         VariationStageOutcome::Done
     }
 
-    /// The sharded variation path: publish one task per pending point into a
+    /// The sharded variation path: chunk the pending points into
+    /// [`FlowConfig::variation_batch`]-sized tasks, publish them into a
     /// variation epoch on the run's shard data plane, then participate in
     /// the generic claim-poll-recover drive ([`drive_epoch`]) exactly like
     /// sharded population evaluation. Transport failures degrade to the
@@ -1431,16 +1435,35 @@ impl OptimizedFlow {
         let Some(plane) = self.shard_plane.clone() else {
             return self.variation_serial(pending, slots);
         };
-        let Ok(epoch) = plane.open_typed_epoch(ShardWorkKind::Variation, pending.len()) else {
+        let batch_size = self.config.variation_batch.max(1);
+        let batches: Vec<Vec<usize>> = pending
+            .chunks(batch_size)
+            .map(|chunk| chunk.to_vec())
+            .collect();
+        let Ok(epoch) = plane.open_typed_epoch(ShardWorkKind::Variation, batches.len()) else {
             let detail = "variation epoch could not be opened; analysing serially".to_string();
             self.note_transport_degraded(FlowStage::AnalyzeVariation, 0, &detail);
             return self.variation_serial(pending, slots);
         };
         let base_seed = self.config.monte_carlo.seed;
-        for (shard, &index) in pending.iter().enumerate() {
-            let work = ShardWork::Variation {
+        for (shard, batch) in batches.iter().enumerate() {
+            let point_work = |&index: &usize| VariationPointWork {
                 parameters: self.selected[index].parameters.clone(),
                 mc_seed: point_mc_seed(base_seed, index),
+            };
+            // A single-point batch keeps the historical task shape, so
+            // pre-batching workers stay compatible.
+            let work = match batch.as_slice() {
+                [index] => {
+                    let point = point_work(index);
+                    ShardWork::Variation {
+                        parameters: point.parameters,
+                        mc_seed: point.mc_seed,
+                    }
+                }
+                _ => ShardWork::VariationBatch {
+                    points: batch.iter().map(point_work).collect(),
+                },
             };
             if plane.publish_work(&epoch, shard, &work).is_err() {
                 // A half-published epoch is unusable; dispose of it and fall
@@ -1451,15 +1474,16 @@ impl OptimizedFlow {
         }
 
         let options = ShardingOptions::default();
+        let shard_count = batches.len();
         let mut work = VariationEpochWork {
             flow: self,
             plane: &plane,
             epoch: &epoch,
-            pending,
+            batches: &batches,
             slots,
             abort: None,
         };
-        let driven = drive_epoch(&mut work, pending.len(), &options);
+        let driven = drive_epoch(&mut work, shard_count, &options);
         let abort = work.abort;
         match driven {
             Some(_) => {
@@ -1493,49 +1517,70 @@ enum VariationAbort {
     Failed(StoreError),
 }
 
-/// [`EpochWork`] binding of the variation stage: one shard = one pending
-/// Pareto point, transported as [`ShardWork::Variation`] /
-/// [`ShardOutcome::Variation`] over the run's [`ShardDataPlane`]. Landing a
-/// point writes its variation checkpoint and ticks the flow's observers —
-/// identical bookkeeping to the serial path.
+/// [`EpochWork`] binding of the variation stage: one shard = one batch of
+/// pending Pareto points, transported as [`ShardWork::Variation`] /
+/// [`ShardWork::VariationBatch`] over the run's [`ShardDataPlane`]. Landing
+/// a batch writes each point's variation checkpoint in batch order and ticks
+/// the flow's observers — identical bookkeeping to the serial path, with a
+/// halt boundary between every point.
 struct VariationEpochWork<'a> {
     flow: &'a mut OptimizedFlow,
     plane: &'a FlowShardPlane,
     epoch: &'a str,
-    pending: &'a [usize],
+    /// Pending point indices, chunked as published (`batches[shard]`).
+    batches: &'a [Vec<usize>],
     slots: &'a mut [Option<VariationPointRecord>],
     abort: Option<VariationAbort>,
 }
 
 impl EpochWork for VariationEpochWork<'_> {
-    type Output = VariationPointRecord;
+    type Output = Vec<VariationPointRecord>;
 
-    fn fetch(&mut self, shard: usize) -> Result<Option<VariationPointRecord>, ShardError> {
-        match self.plane.fetch_outcome(self.epoch, shard)? {
-            Some(ShardOutcome::Variation(outcome)) => {
-                // A malformed payload leaves the shard pending (it will be
-                // claimed and re-analysed locally) instead of failing the
-                // stage.
-                Ok(VariationPointRecord::from_outcome(&outcome))
-            }
-            Some(ShardOutcome::Eval { .. }) | None => Ok(None),
+    fn fetch(&mut self, shard: usize) -> Result<Option<Vec<VariationPointRecord>>, ShardError> {
+        let outcome = self.plane.fetch_outcome(self.epoch, shard)?;
+        let points = match outcome {
+            Some(ShardOutcome::Variation(outcome)) => vec![outcome],
+            Some(ShardOutcome::VariationBatch { points }) => points,
+            Some(ShardOutcome::Eval { .. }) | None => return Ok(None),
+        };
+        if points.len() != self.batches[shard].len() {
+            // A mis-shaped payload leaves the shard pending (it will be
+            // claimed and re-analysed locally) instead of failing the stage.
+            return Ok(None);
         }
+        let records: Option<Vec<VariationPointRecord>> = points
+            .iter()
+            .map(VariationPointRecord::from_outcome)
+            .collect();
+        // Same treatment for a malformed point payload.
+        Ok(records)
     }
 
     fn try_claim(&mut self, shard: usize) -> Result<bool, ShardError> {
         self.plane.try_claim(self.epoch, shard)
     }
 
-    fn evaluate(&mut self, shard: usize) -> VariationPointRecord {
-        self.flow.analyse_one(self.pending[shard])
+    fn evaluate(&mut self, shard: usize) -> Vec<VariationPointRecord> {
+        self.batches[shard]
+            .iter()
+            .map(|&index| self.flow.analyse_one(index))
+            .collect()
     }
 
-    fn submit(&mut self, shard: usize, record: &VariationPointRecord) -> Result<(), ShardError> {
-        self.plane.submit_outcome(
-            self.epoch,
-            shard,
-            &ShardOutcome::Variation(record.to_outcome()),
-        )
+    fn submit(
+        &mut self,
+        shard: usize,
+        records: &Vec<VariationPointRecord>,
+    ) -> Result<(), ShardError> {
+        let outcome = match records.as_slice() {
+            [record] if self.batches[shard].len() == 1 => {
+                ShardOutcome::Variation(record.to_outcome())
+            }
+            _ => ShardOutcome::VariationBatch {
+                points: records.iter().map(|r| r.to_outcome()).collect(),
+            },
+        };
+        self.plane.submit_outcome(self.epoch, shard, &outcome)
     }
 
     fn recover(&mut self, shard: usize) -> Result<bool, ShardError> {
@@ -1543,33 +1588,44 @@ impl EpochWork for VariationEpochWork<'_> {
     }
 
     fn on_claimed(&mut self, shard: usize) -> bool {
-        let boundary = VariationBoundary::Claim {
-            point: self.pending[shard],
-        };
-        if self.flow.variation_should_halt(boundary) {
-            self.abort = Some(VariationAbort::Halted);
-            return false;
+        // Check the claim boundary of every point in the batch up front: a
+        // scripted halt at any of them stops before the batch is analysed
+        // (its unrecorded points are re-analysed on resume, with unchanged
+        // results thanks to the per-point seeds).
+        for &point in &self.batches[shard] {
+            if self
+                .flow
+                .variation_should_halt(VariationBoundary::Claim { point })
+            {
+                self.abort = Some(VariationAbort::Halted);
+                return false;
+            }
         }
         true
     }
 
-    fn on_result(&mut self, shard: usize, record: &VariationPointRecord) -> bool {
-        let index = self.pending[shard];
-        if let Err(error) = self.flow.record_point(self.slots, index, record.clone()) {
-            self.abort = Some(VariationAbort::Failed(error));
-            return false;
-        }
-        let boundary = VariationBoundary::ResultWrite { point: index };
-        if self.flow.variation_should_halt(boundary) {
-            self.abort = Some(VariationAbort::Halted);
-            return false;
+    fn on_result(&mut self, shard: usize, records: &Vec<VariationPointRecord>) -> bool {
+        // Record batch points sequentially, honouring the result-write halt
+        // boundary between points exactly like the serial path: a mid-batch
+        // halt leaves the earlier points durably checkpointed and the rest
+        // for the resumed flow.
+        for (&index, record) in self.batches[shard].iter().zip(records) {
+            if let Err(error) = self.flow.record_point(self.slots, index, record.clone()) {
+                self.abort = Some(VariationAbort::Failed(error));
+                return false;
+            }
+            let boundary = VariationBoundary::ResultWrite { point: index };
+            if self.flow.variation_should_halt(boundary) {
+                self.abort = Some(VariationAbort::Halted);
+                return false;
+            }
         }
         true
     }
 
     fn on_degraded(&mut self, shard: usize, error: &ShardError) {
         let ShardError::Transport(detail) = error;
-        let point = self.pending[shard];
+        let point = self.batches[shard][0];
         self.flow
             .note_transport_degraded(FlowStage::AnalyzeVariation, point, detail);
     }

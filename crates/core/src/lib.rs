@@ -110,5 +110,8 @@ pub use flow::{
     OptimizedFlow, StderrObserver, TransportIncident, TransportReport, VariationBoundary,
     VariationHaltHook, VariationPointRecord,
 };
-pub use ota_problem::{evaluate_ota, measure_testbench, OtaPerformance, OtaSizingProblem};
+pub use ota_problem::{
+    evaluate_ota, evaluate_ota_with, measure_testbench, measure_testbench_with, OtaPerformance,
+    OtaSizingProblem,
+};
 pub use verify::{verify_accuracy, verify_ota_yield, AccuracyReport, YieldReport};

@@ -8,7 +8,10 @@
 use ayb_circuit::ota::{build_open_loop_testbench, OtaParameters, OtaTestbenchConfig};
 use ayb_circuit::{Circuit, DesignPoint, ParameterSet};
 use ayb_moo::{evaluate_batch_parallel, Evaluation, ObjectiveSpec, SizingProblem};
-use ayb_sim::{ac_analysis, dc_operating_point, measure, DcOptions, FrequencySweep};
+use ayb_sim::{
+    ac_analysis_with, dc_operating_point_with, measure, DcOptions, FrequencySweep, MnaLayout,
+    SolverKind,
+};
 use serde::{Deserialize, Serialize};
 
 /// Measured figures of merit of one OTA candidate.
@@ -31,8 +34,21 @@ pub struct OtaPerformance {
 /// crosses 0 dB inside the sweep (no phase margin defined) — the optimisers
 /// treat such candidates as infeasible.
 pub fn measure_testbench(circuit: &Circuit, sweep: &FrequencySweep) -> Option<OtaPerformance> {
-    let op = dc_operating_point(circuit, &DcOptions::new()).ok()?;
-    let ac = ac_analysis(circuit, &op, sweep).ok()?;
+    measure_testbench_with(circuit, sweep, SolverKind::Dense)
+}
+
+/// As [`measure_testbench`], with an explicit solver backend.
+///
+/// The MNA layout is derived once and shared between the DC operating point
+/// and the AC sweep.
+pub fn measure_testbench_with(
+    circuit: &Circuit,
+    sweep: &FrequencySweep,
+    solver: SolverKind,
+) -> Option<OtaPerformance> {
+    let layout = MnaLayout::new(circuit);
+    let op = dc_operating_point_with(circuit, &layout, &DcOptions::new(), solver).ok()?;
+    let ac = ac_analysis_with(circuit, &layout, &op, sweep, solver).ok()?;
     let response = ac.response_by_name(circuit, ayb_circuit::ota::OPEN_LOOP_OUTPUT)?;
     let m = measure::measure(ac.frequencies(), &response).ok()?;
     Some(OtaPerformance {
@@ -49,8 +65,18 @@ pub fn evaluate_ota(
     testbench: &OtaTestbenchConfig,
     sweep: &FrequencySweep,
 ) -> Option<OtaPerformance> {
+    evaluate_ota_with(params, testbench, sweep, SolverKind::Dense)
+}
+
+/// As [`evaluate_ota`], with an explicit solver backend.
+pub fn evaluate_ota_with(
+    params: &OtaParameters,
+    testbench: &OtaTestbenchConfig,
+    sweep: &FrequencySweep,
+    solver: SolverKind,
+) -> Option<OtaPerformance> {
     let circuit = build_open_loop_testbench(params, testbench).ok()?;
-    measure_testbench(&circuit, sweep)
+    measure_testbench_with(&circuit, sweep, solver)
 }
 
 /// The paper's two-objective OTA sizing problem over the Table 1 parameter space.
@@ -60,6 +86,7 @@ pub struct OtaSizingProblem {
     testbench: OtaTestbenchConfig,
     sweep: FrequencySweep,
     threads: usize,
+    solver: SolverKind,
 }
 
 impl OtaSizingProblem {
@@ -74,7 +101,20 @@ impl OtaSizingProblem {
             testbench,
             sweep,
             threads: 1,
+            solver: SolverKind::Dense,
         }
+    }
+
+    /// Sets the linear-solver backend used for every candidate simulation.
+    #[must_use]
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// The linear-solver backend candidate simulations run on.
+    pub fn solver(&self) -> SolverKind {
+        self.solver
     }
 
     /// Sets the number of worker threads batch evaluations may use.
@@ -112,7 +152,7 @@ impl OtaSizingProblem {
     /// Evaluates the full performance record (not just the raw objectives).
     pub fn performance(&self, genes: &[f64]) -> Option<OtaPerformance> {
         let params = self.ota_parameters(genes)?;
-        evaluate_ota(&params, &self.testbench, &self.sweep)
+        evaluate_ota_with(&params, &self.testbench, &self.sweep, self.solver)
     }
 }
 
@@ -193,6 +233,29 @@ mod tests {
         assert_eq!(a, b, "thread count must not change results");
         assert_eq!(a.len(), batch.len());
         assert!(a.iter().any(|r| r.is_some()));
+    }
+
+    #[test]
+    fn sparse_solver_matches_dense_on_the_nominal_ota() {
+        let params = OtaParameters::nominal();
+        let sweep = FrequencySweep::logarithmic(10.0, 1e9, 5);
+        let dense = evaluate_ota_with(
+            &params,
+            &OtaTestbenchConfig::new(),
+            &sweep,
+            SolverKind::Dense,
+        )
+        .unwrap();
+        let sparse = evaluate_ota_with(
+            &params,
+            &OtaTestbenchConfig::new(),
+            &sweep,
+            SolverKind::Sparse,
+        )
+        .unwrap();
+        assert!((dense.gain_db - sparse.gain_db).abs() < 1e-9);
+        assert!((dense.phase_margin_deg - sparse.phase_margin_deg).abs() < 1e-9);
+        assert!((dense.unity_gain_hz - sparse.unity_gain_hz).abs() / dense.unity_gain_hz < 1e-9);
     }
 
     #[test]

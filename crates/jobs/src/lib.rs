@@ -962,6 +962,30 @@ fn service_one_shard(
                     });
                     (outcome, 1, ShardWorkKind::Variation)
                 }
+                ShardWork::VariationBatch { points } => {
+                    let outcomes: Vec<VariationOutcome> = points
+                        .iter()
+                        .map(|point| {
+                            let t0 = std::time::Instant::now();
+                            let data = ayb_core::analyse_variation_point(
+                                &problem,
+                                &point.parameters,
+                                &flow,
+                                point.mc_seed,
+                            );
+                            VariationOutcome {
+                                data: data.as_ref().map(serde::Serialize::to_value),
+                                elapsed_seconds: t0.elapsed().as_secs_f64(),
+                            }
+                        })
+                        .collect();
+                    let count = outcomes.len();
+                    (
+                        ShardOutcome::VariationBatch { points: outcomes },
+                        count,
+                        ShardWorkKind::Variation,
+                    )
+                }
             };
             match task.submit_outcome(&outcome) {
                 Ok(true) => {}
@@ -1063,8 +1087,9 @@ fn service_net_task(
         Some(Ok(flow)) => flow,
         _ => return false,
     };
-    let problem =
-        OtaSizingProblem::new(flow.testbench, flow.sweep.clone()).with_threads(flow.threads);
+    let problem = OtaSizingProblem::new(flow.testbench, flow.sweep.clone())
+        .with_threads(flow.threads)
+        .with_solver(flow.solver);
     let (outcome, candidates, kind) = match &task.work {
         ShardWork::Eval { parameters } => (
             ShardOutcome::Eval {
@@ -1085,6 +1110,30 @@ fn service_net_task(
                     elapsed_seconds: t0.elapsed().as_secs_f64(),
                 }),
                 1,
+                ShardWorkKind::Variation,
+            )
+        }
+        ShardWork::VariationBatch { points } => {
+            let outcomes: Vec<VariationOutcome> = points
+                .iter()
+                .map(|point| {
+                    let t0 = std::time::Instant::now();
+                    let data = ayb_core::analyse_variation_point(
+                        &problem,
+                        &point.parameters,
+                        &flow,
+                        point.mc_seed,
+                    );
+                    VariationOutcome {
+                        data: data.as_ref().map(serde::Serialize::to_value),
+                        elapsed_seconds: t0.elapsed().as_secs_f64(),
+                    }
+                })
+                .collect();
+            let count = outcomes.len();
+            (
+                ShardOutcome::VariationBatch { points: outcomes },
+                count,
                 ShardWorkKind::Variation,
             )
         }
@@ -1117,7 +1166,8 @@ fn service_net_task(
 fn shard_flow_setup(store: &Store, run_id: &str) -> Option<(OtaSizingProblem, FlowConfig)> {
     let manifest: Manifest<FlowConfig> = store.run(run_id).ok()?.manifest().ok()?;
     let problem = OtaSizingProblem::new(manifest.flow.testbench, manifest.flow.sweep.clone())
-        .with_threads(manifest.flow.threads);
+        .with_threads(manifest.flow.threads)
+        .with_solver(manifest.flow.solver);
     Some((problem, manifest.flow))
 }
 

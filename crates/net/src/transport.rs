@@ -482,7 +482,9 @@ impl ShardTransport for TcpTransport {
             Some(ShardOutcome::Eval { results }) => Ok(Some(results)),
             // An outcome of the wrong shape is unusable; leave the shard
             // pending so it is (re-)evaluated instead.
-            Some(ShardOutcome::Variation(_)) | None => Ok(None),
+            Some(ShardOutcome::Variation(_) | ShardOutcome::VariationBatch { .. }) | None => {
+                Ok(None)
+            }
         }
     }
 

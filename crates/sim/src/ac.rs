@@ -3,14 +3,22 @@
 //! The circuit is linearised around a previously computed DC operating point
 //! ([`DcSolution`]); the complex MNA system `(G + jωC)·x = b` is then solved
 //! at every frequency of a sweep.
+//!
+//! Assembly is split into a symbolic phase and a numeric one: the real
+//! conductance matrix `G`, the capacitance matrix `C` and the right-hand side
+//! are each stamped **once** over a shared sparsity pattern, and every
+//! frequency point is then an `O(nnz)` value merge `G + jωC` followed by one
+//! backend solve over reused workspaces — no per-frequency re-stamping or
+//! allocation.
 
 use crate::dc::DcSolution;
 use crate::error::{Result, SimError};
-use crate::linalg::{solve_in_place, Complex, DenseMatrix};
+use crate::linalg::{backend_of, Complex, CsrMatrix, PatternBuilder, SolverKind, SparsityPattern};
 use crate::mna::MnaLayout;
 use crate::sweep::FrequencySweep;
 use ayb_circuit::{Circuit, Device, NodeId};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Result of an AC sweep: node phasors at every analysed frequency.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -52,7 +60,8 @@ impl AcSolution {
     }
 }
 
-/// Runs an AC analysis over the given frequency sweep.
+/// Runs an AC analysis over the given frequency sweep with the default dense
+/// solver backend, deriving the MNA layout internally.
 ///
 /// # Errors
 ///
@@ -63,30 +72,47 @@ pub fn ac_analysis(
     operating_point: &DcSolution,
     sweep: &FrequencySweep,
 ) -> Result<AcSolution> {
+    let layout = MnaLayout::new(circuit);
+    ac_analysis_with(circuit, &layout, operating_point, sweep, SolverKind::Dense)
+}
+
+/// Runs an AC analysis over a caller-supplied [`MnaLayout`] and solver
+/// backend.
+///
+/// Passing the layout lets callers reuse the one already built for the DC
+/// operating point instead of re-deriving it per analysis.
+///
+/// # Errors
+///
+/// As [`ac_analysis`]. A singular matrix is reported naming the offending
+/// MNA unknown.
+pub fn ac_analysis_with(
+    circuit: &Circuit,
+    layout: &MnaLayout,
+    operating_point: &DcSolution,
+    sweep: &FrequencySweep,
+    solver: SolverKind,
+) -> Result<AcSolution> {
     let frequencies = sweep.frequencies();
     if frequencies.is_empty() {
         return Err(SimError::InvalidAnalysis(
             "AC sweep contains no frequency points".into(),
         ));
     }
-    let layout = MnaLayout::new(circuit);
+    let mut system = AcSystem::new(circuit, layout, operating_point)?;
+    let mut backend = backend_of::<Complex>(solver);
+    backend.prepare(system.pattern());
     let n = layout.size();
+    let mut solution = vec![Complex::ZERO; n];
     let mut phasors = Vec::with_capacity(frequencies.len());
-    let mut matrix: DenseMatrix<Complex> = DenseMatrix::zeros(n, n);
-    let mut rhs = vec![Complex::ZERO; n];
 
     for &freq in &frequencies {
         let omega = 2.0 * std::f64::consts::PI * freq;
-        stamp_ac(
-            circuit,
-            &layout,
-            operating_point,
-            omega,
-            &mut matrix,
-            &mut rhs,
-        )?;
-        let mut solution = rhs.clone();
-        solve_in_place(&mut matrix, &mut solution)?;
+        system.merge(omega);
+        solution.copy_from_slice(&system.rhs);
+        backend
+            .solve(&system.matrix, &mut solution)
+            .map_err(|e| layout.describe_singular(e))?;
         let mut row = vec![Complex::ZERO; circuit.nodes().len()];
         for node in circuit.nodes().iter() {
             if let Some(idx) = layout.node_row(node) {
@@ -101,199 +127,310 @@ pub fn ac_analysis(
     })
 }
 
-fn add_admittance(
-    matrix: &mut DenseMatrix<Complex>,
-    layout: &MnaLayout,
-    plus: NodeId,
-    minus: NodeId,
-    admittance: Complex,
-) {
-    let p = layout.node_row(plus);
-    let m = layout.node_row(minus);
+/// The AC MNA system after the symbolic phase: one sparsity pattern shared by
+/// the conductance part `g`, the capacitance part `c`, the merged complex
+/// value matrix and the (frequency-independent) right-hand side.
+struct AcSystem {
+    matrix: CsrMatrix<Complex>,
+    /// Real part per slot: conductances plus source/branch incidence.
+    g: Vec<f64>,
+    /// Capacitance per slot: the merged imaginary part is `ω·c`.
+    c: Vec<f64>,
+    rhs: Vec<Complex>,
+}
+
+/// Marks a two-terminal admittance quad in the pattern.
+fn mark_quad(builder: &mut PatternBuilder, p: Option<usize>, m: Option<usize>) {
     if let Some(p) = p {
-        matrix.add(p, p, admittance);
+        builder.entry(p, p);
     }
     if let Some(m) = m {
-        matrix.add(m, m, admittance);
+        builder.entry(m, m);
     }
     if let (Some(p), Some(m)) = (p, m) {
-        matrix.add(p, m, -admittance);
-        matrix.add(m, p, -admittance);
+        builder.entry(p, m);
+        builder.entry(m, p);
     }
 }
 
-fn add_transconductance(
-    matrix: &mut DenseMatrix<Complex>,
-    out_plus: Option<usize>,
-    out_minus: Option<usize>,
-    ctrl_plus: Option<usize>,
-    ctrl_minus: Option<usize>,
-    gm: f64,
+/// Adds a two-terminal admittance contribution (`g` or `ω`-free `c`) into a
+/// per-slot value array.
+fn add_quad(
+    pattern: &SparsityPattern,
+    values: &mut [f64],
+    p: Option<usize>,
+    m: Option<usize>,
+    y: f64,
 ) {
-    let gm = Complex::from_real(gm);
-    if let Some(op) = out_plus {
-        if let Some(cp) = ctrl_plus {
-            matrix.add(op, cp, gm);
-        }
-        if let Some(cm) = ctrl_minus {
-            matrix.add(op, cm, -gm);
-        }
+    let slot = |r: usize, c: usize| pattern.position(r, c).expect("marked in pattern");
+    if let Some(p) = p {
+        values[slot(p, p)] += y;
     }
-    if let Some(om) = out_minus {
-        if let Some(cp) = ctrl_plus {
-            matrix.add(om, cp, -gm);
-        }
-        if let Some(cm) = ctrl_minus {
-            matrix.add(om, cm, gm);
-        }
+    if let Some(m) = m {
+        values[slot(m, m)] += y;
+    }
+    if let (Some(p), Some(m)) = (p, m) {
+        values[slot(p, m)] -= y;
+        values[slot(m, p)] -= y;
     }
 }
 
-fn stamp_ac(
-    circuit: &Circuit,
-    layout: &MnaLayout,
-    op: &DcSolution,
-    omega: f64,
-    matrix: &mut DenseMatrix<Complex>,
-    rhs: &mut [Complex],
-) -> Result<()> {
-    matrix.clear();
-    rhs.iter_mut().for_each(|v| *v = Complex::ZERO);
-    // Small conductance to ground keeps purely capacitive nodes well conditioned.
-    for row in 0..layout.node_count() {
-        matrix.add(row, row, Complex::from_real(1e-12));
-    }
-    let node_row = |node: NodeId| layout.node_row(node);
-
-    for inst in circuit.instances() {
-        match &inst.device {
-            Device::Resistor(r) => {
-                add_admittance(
-                    matrix,
-                    layout,
-                    r.plus,
-                    r.minus,
-                    Complex::from_real(1.0 / r.resistance),
-                );
-            }
-            Device::Capacitor(c) => {
-                add_admittance(
-                    matrix,
-                    layout,
-                    c.plus,
-                    c.minus,
-                    Complex::new(0.0, omega * c.capacitance),
-                );
-            }
-            Device::VoltageSource(v) => {
-                let br = layout
-                    .branch_row(&inst.name)
-                    .expect("voltage source has a branch row");
-                if let Some(p) = node_row(v.plus) {
-                    matrix.add(p, br, Complex::ONE);
-                    matrix.add(br, p, Complex::ONE);
+impl AcSystem {
+    /// Symbolic + one-time numeric phase: derive the union pattern of `G`
+    /// and `C`, then stamp both value arrays and the right-hand side once.
+    fn new(circuit: &Circuit, layout: &MnaLayout, op: &DcSolution) -> Result<AcSystem> {
+        let n = layout.size();
+        let node_row = |node: NodeId| layout.node_row(node);
+        let mut builder = PatternBuilder::new(n);
+        // Small conductance to ground keeps purely capacitive nodes well
+        // conditioned.
+        for row in 0..layout.node_count() {
+            builder.entry(row, row);
+        }
+        for inst in circuit.instances() {
+            match &inst.device {
+                Device::Resistor(r) => mark_quad(&mut builder, node_row(r.plus), node_row(r.minus)),
+                Device::Capacitor(c) => {
+                    mark_quad(&mut builder, node_row(c.plus), node_row(c.minus))
                 }
-                if let Some(m) = node_row(v.minus) {
-                    matrix.add(m, br, -Complex::ONE);
-                    matrix.add(br, m, -Complex::ONE);
-                }
-                rhs[br] += Complex::from_polar(v.ac.magnitude, v.ac.phase_deg.to_radians());
-            }
-            Device::CurrentSource(i) => {
-                let value = Complex::from_polar(i.ac.magnitude, i.ac.phase_deg.to_radians());
-                if let Some(p) = node_row(i.plus) {
-                    rhs[p] -= value;
-                }
-                if let Some(m) = node_row(i.minus) {
-                    rhs[m] += value;
-                }
-            }
-            Device::Vccs(g) => {
-                add_transconductance(
-                    matrix,
-                    node_row(g.out_plus),
-                    node_row(g.out_minus),
-                    node_row(g.ctrl_plus),
-                    node_row(g.ctrl_minus),
-                    g.gm,
-                );
-            }
-            Device::Vcvs(e) => {
-                let br = layout
-                    .branch_row(&inst.name)
-                    .expect("vcvs has a branch row");
-                if let Some(p) = node_row(e.out_plus) {
-                    matrix.add(p, br, Complex::ONE);
-                    matrix.add(br, p, Complex::ONE);
-                }
-                if let Some(m) = node_row(e.out_minus) {
-                    matrix.add(m, br, -Complex::ONE);
-                    matrix.add(br, m, -Complex::ONE);
-                }
-                if let Some(cp) = node_row(e.ctrl_plus) {
-                    matrix.add(br, cp, Complex::from_real(-e.gain));
-                }
-                if let Some(cm) = node_row(e.ctrl_minus) {
-                    matrix.add(br, cm, Complex::from_real(e.gain));
-                }
-            }
-            Device::Mosfet(m) => {
-                let eval = op.mosfet_op(&inst.name).ok_or_else(|| {
-                    SimError::InvalidAnalysis(format!(
-                        "operating point is missing MOSFET `{}` (was it computed on the same circuit?)",
-                        inst.name
-                    ))
-                })?;
-                // Conductive small-signal model: stamp the exact Jacobian of the
-                // drain current (same values the final DC iteration used).
-                let derivs = [
-                    (m.drain, eval.did_dvd),
-                    (m.gate, eval.did_dvg),
-                    (m.source, eval.did_dvs),
-                    (m.bulk, eval.did_dvb),
-                ];
-                if let Some(d) = node_row(m.drain) {
-                    for (node, g) in derivs {
-                        if let Some(col) = node_row(node) {
-                            matrix.add(d, col, Complex::from_real(g));
+                Device::VoltageSource(v) => {
+                    let br = layout
+                        .branch_row(&inst.name)
+                        .expect("voltage source has a branch row");
+                    for node in [v.plus, v.minus] {
+                        if let Some(p) = node_row(node) {
+                            builder.entry(p, br);
+                            builder.entry(br, p);
                         }
                     }
                 }
-                if let Some(s) = node_row(m.source) {
-                    for (node, g) in derivs {
-                        if let Some(col) = node_row(node) {
-                            matrix.add(s, col, Complex::from_real(-g));
+                Device::CurrentSource(_) => {}
+                Device::Vccs(g) => {
+                    for out in [node_row(g.out_plus), node_row(g.out_minus)] {
+                        for ctrl in [node_row(g.ctrl_plus), node_row(g.ctrl_minus)] {
+                            if let (Some(out), Some(ctrl)) = (out, ctrl) {
+                                builder.entry(out, ctrl);
+                            }
                         }
                     }
                 }
-                // Capacitive elements.
-                let jw = |c: f64| Complex::new(0.0, omega * c);
-                add_admittance(matrix, layout, m.gate, m.source, jw(eval.cgs));
-                add_admittance(matrix, layout, m.gate, m.drain, jw(eval.cgd));
-                add_admittance(matrix, layout, m.gate, m.bulk, jw(eval.cgb));
-                add_admittance(matrix, layout, m.drain, m.bulk, jw(eval.cdb));
-                add_admittance(matrix, layout, m.source, m.bulk, jw(eval.csb));
-            }
-            Device::BehavioralOta(o) => {
-                if let Some(out) = node_row(o.out) {
-                    if let Some(p) = node_row(o.in_plus) {
-                        matrix.add(out, p, Complex::from_real(-o.gm));
+                Device::Vcvs(e) => {
+                    let br = layout
+                        .branch_row(&inst.name)
+                        .expect("vcvs has a branch row");
+                    for node in [e.out_plus, e.out_minus] {
+                        if let Some(p) = node_row(node) {
+                            builder.entry(p, br);
+                            builder.entry(br, p);
+                        }
                     }
-                    if let Some(m) = node_row(o.in_minus) {
-                        matrix.add(out, m, Complex::from_real(o.gm));
+                    for node in [e.ctrl_plus, e.ctrl_minus] {
+                        if let Some(c) = node_row(node) {
+                            builder.entry(br, c);
+                        }
                     }
                 }
-                add_admittance(
-                    matrix,
-                    layout,
-                    o.out,
-                    NodeId::GROUND,
-                    Complex::new(1.0 / o.rout, omega * o.cout),
-                );
+                Device::Mosfet(m) => {
+                    let terminals = [m.drain, m.gate, m.source, m.bulk];
+                    for row in [node_row(m.drain), node_row(m.source)]
+                        .into_iter()
+                        .flatten()
+                    {
+                        for node in terminals {
+                            if let Some(col) = node_row(node) {
+                                builder.entry(row, col);
+                            }
+                        }
+                    }
+                    for (a, b) in [
+                        (m.gate, m.source),
+                        (m.gate, m.drain),
+                        (m.gate, m.bulk),
+                        (m.drain, m.bulk),
+                        (m.source, m.bulk),
+                    ] {
+                        mark_quad(&mut builder, node_row(a), node_row(b));
+                    }
+                }
+                Device::BehavioralOta(o) => {
+                    if let Some(out) = node_row(o.out) {
+                        for node in [o.in_plus, o.in_minus] {
+                            if let Some(c) = node_row(node) {
+                                builder.entry(out, c);
+                            }
+                        }
+                    }
+                    mark_quad(&mut builder, node_row(o.out), None);
+                }
             }
         }
+        let pattern = builder.build();
+
+        let mut g = vec![0.0; pattern.nnz()];
+        let mut c = vec![0.0; pattern.nnz()];
+        let mut rhs = vec![Complex::ZERO; n];
+        let slot = |r: usize, col: usize| pattern.position(r, col).expect("marked in pattern");
+        for row in 0..layout.node_count() {
+            g[slot(row, row)] += 1e-12;
+        }
+        for inst in circuit.instances() {
+            match &inst.device {
+                Device::Resistor(r) => add_quad(
+                    &pattern,
+                    &mut g,
+                    node_row(r.plus),
+                    node_row(r.minus),
+                    1.0 / r.resistance,
+                ),
+                Device::Capacitor(cap) => add_quad(
+                    &pattern,
+                    &mut c,
+                    node_row(cap.plus),
+                    node_row(cap.minus),
+                    cap.capacitance,
+                ),
+                Device::VoltageSource(v) => {
+                    let br = layout
+                        .branch_row(&inst.name)
+                        .expect("voltage source has a branch row");
+                    if let Some(p) = node_row(v.plus) {
+                        g[slot(p, br)] += 1.0;
+                        g[slot(br, p)] += 1.0;
+                    }
+                    if let Some(m) = node_row(v.minus) {
+                        g[slot(m, br)] -= 1.0;
+                        g[slot(br, m)] -= 1.0;
+                    }
+                    rhs[br] += Complex::from_polar(v.ac.magnitude, v.ac.phase_deg.to_radians());
+                }
+                Device::CurrentSource(i) => {
+                    let value = Complex::from_polar(i.ac.magnitude, i.ac.phase_deg.to_radians());
+                    if let Some(p) = node_row(i.plus) {
+                        rhs[p] -= value;
+                    }
+                    if let Some(m) = node_row(i.minus) {
+                        rhs[m] += value;
+                    }
+                }
+                Device::Vccs(gsrc) => {
+                    let (op_, om) = (node_row(gsrc.out_plus), node_row(gsrc.out_minus));
+                    let (cp, cm) = (node_row(gsrc.ctrl_plus), node_row(gsrc.ctrl_minus));
+                    if let Some(op_) = op_ {
+                        if let Some(cp) = cp {
+                            g[slot(op_, cp)] += gsrc.gm;
+                        }
+                        if let Some(cm) = cm {
+                            g[slot(op_, cm)] -= gsrc.gm;
+                        }
+                    }
+                    if let Some(om) = om {
+                        if let Some(cp) = cp {
+                            g[slot(om, cp)] -= gsrc.gm;
+                        }
+                        if let Some(cm) = cm {
+                            g[slot(om, cm)] += gsrc.gm;
+                        }
+                    }
+                }
+                Device::Vcvs(e) => {
+                    let br = layout
+                        .branch_row(&inst.name)
+                        .expect("vcvs has a branch row");
+                    if let Some(p) = node_row(e.out_plus) {
+                        g[slot(p, br)] += 1.0;
+                        g[slot(br, p)] += 1.0;
+                    }
+                    if let Some(m) = node_row(e.out_minus) {
+                        g[slot(m, br)] -= 1.0;
+                        g[slot(br, m)] -= 1.0;
+                    }
+                    if let Some(cp) = node_row(e.ctrl_plus) {
+                        g[slot(br, cp)] -= e.gain;
+                    }
+                    if let Some(cm) = node_row(e.ctrl_minus) {
+                        g[slot(br, cm)] += e.gain;
+                    }
+                }
+                Device::Mosfet(m) => {
+                    let eval = op.mosfet_op(&inst.name).ok_or_else(|| {
+                        SimError::InvalidAnalysis(format!(
+                            "operating point is missing MOSFET `{}` (was it computed on the same circuit?)",
+                            inst.name
+                        ))
+                    })?;
+                    // Conductive small-signal model: stamp the exact Jacobian
+                    // of the drain current (same values the final DC
+                    // iteration used).
+                    let derivs = [
+                        (m.drain, eval.did_dvd),
+                        (m.gate, eval.did_dvg),
+                        (m.source, eval.did_dvs),
+                        (m.bulk, eval.did_dvb),
+                    ];
+                    if let Some(d) = node_row(m.drain) {
+                        for (node, gd) in derivs {
+                            if let Some(col) = node_row(node) {
+                                g[slot(d, col)] += gd;
+                            }
+                        }
+                    }
+                    if let Some(s) = node_row(m.source) {
+                        for (node, gd) in derivs {
+                            if let Some(col) = node_row(node) {
+                                g[slot(s, col)] -= gd;
+                            }
+                        }
+                    }
+                    // Capacitive elements.
+                    for ((a, b), cap) in [
+                        ((m.gate, m.source), eval.cgs),
+                        ((m.gate, m.drain), eval.cgd),
+                        ((m.gate, m.bulk), eval.cgb),
+                        ((m.drain, m.bulk), eval.cdb),
+                        ((m.source, m.bulk), eval.csb),
+                    ] {
+                        add_quad(&pattern, &mut c, node_row(a), node_row(b), cap);
+                    }
+                }
+                Device::BehavioralOta(o) => {
+                    if let Some(out) = node_row(o.out) {
+                        if let Some(p) = node_row(o.in_plus) {
+                            g[slot(out, p)] -= o.gm;
+                        }
+                        if let Some(m) = node_row(o.in_minus) {
+                            g[slot(out, m)] += o.gm;
+                        }
+                    }
+                    add_quad(&pattern, &mut g, node_row(o.out), None, 1.0 / o.rout);
+                    add_quad(&pattern, &mut c, node_row(o.out), None, o.cout);
+                }
+            }
+        }
+
+        Ok(AcSystem {
+            matrix: CsrMatrix::new(Arc::clone(&pattern)),
+            g,
+            c,
+            rhs,
+        })
     }
-    Ok(())
+
+    fn pattern(&self) -> &Arc<SparsityPattern> {
+        self.matrix.pattern()
+    }
+
+    /// Numeric phase per frequency: `O(nnz)` value merge `G + jωC`.
+    fn merge(&mut self, omega: f64) {
+        for ((value, &g), &c) in self
+            .matrix
+            .values_mut()
+            .iter_mut()
+            .zip(&self.g)
+            .zip(&self.c)
+        {
+            *value = Complex::new(g, omega * c);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -301,7 +438,7 @@ mod tests {
     use super::*;
     use crate::dc::{dc_operating_point, DcOptions};
     use crate::sweep::FrequencySweep;
-    use ayb_circuit::{AcSpec, Circuit};
+    use ayb_circuit::{AcSpec, Circuit, Mosfet};
 
     fn rc_lowpass(r: f64, c: f64) -> Circuit {
         let mut ckt = Circuit::new("rc");
@@ -366,5 +503,36 @@ mod tests {
         let op = dc_operating_point(&ckt, &DcOptions::new()).unwrap();
         let sweep = FrequencySweep::list(Vec::new());
         assert!(ac_analysis(&ckt, &op, &sweep).is_err());
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense_across_a_mosfet_sweep() {
+        let mut ckt = Circuit::new("cs-ac");
+        ckt.add_default_models();
+        let vdd = ckt.node("vdd");
+        let g = ckt.node("g");
+        let d = ckt.node("d");
+        let gnd = ckt.gnd();
+        ckt.add_vsource("vdd", vdd, gnd, 3.3).unwrap();
+        ckt.add_vsource_ac("vg", g, gnd, 0.9, AcSpec::unit())
+            .unwrap();
+        ckt.add_resistor("rd", vdd, d, 10e3).unwrap();
+        ckt.add_capacitor("cl", d, gnd, 1e-12).unwrap();
+        ckt.add_mosfet("m1", Mosfet::new(d, g, gnd, gnd, "nmos", 20e-6, 1e-6))
+            .unwrap();
+        let layout = MnaLayout::new(&ckt);
+        let op = dc_operating_point(&ckt, &DcOptions::new()).unwrap();
+        let sweep = FrequencySweep::logarithmic(10.0, 1e9, 5);
+        let dense = ac_analysis_with(&ckt, &layout, &op, &sweep, SolverKind::Dense).unwrap();
+        let sparse = ac_analysis_with(&ckt, &layout, &op, &sweep, SolverKind::Sparse).unwrap();
+        let out = ckt.find_node("d").unwrap();
+        for idx in 0..dense.len() {
+            let a = dense.phasor_at(idx, out);
+            let b = sparse.phasor_at(idx, out);
+            assert!(
+                (a - b).abs() < 1e-9,
+                "point {idx}: dense {a:?} vs sparse {b:?}"
+            );
+        }
     }
 }

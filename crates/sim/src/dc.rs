@@ -8,12 +8,15 @@
 //! 100 %).
 
 use crate::error::{Result, SimError};
-use crate::linalg::{solve_in_place, DenseMatrix};
+use crate::linalg::{
+    backend_of, CsrMatrix, DenseMatrix, PatternBuilder, SolverBackend, SolverKind, SparsityPattern,
+};
 use crate::mna::MnaLayout;
 use crate::mosfet::{evaluate, MosfetEval};
-use ayb_circuit::{Circuit, Device, NodeId};
+use ayb_circuit::{Circuit, Device, Mosfet as MosfetInstance, MosfetModelCard, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Options controlling the DC operating-point solver.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -88,7 +91,8 @@ impl DcSolution {
     }
 }
 
-/// Computes the DC operating point of a circuit.
+/// Computes the DC operating point of a circuit with the default dense
+/// solver backend, deriving the MNA layout internally.
 ///
 /// # Errors
 ///
@@ -96,13 +100,48 @@ impl DcSolution {
 /// singular, or Newton iteration fails to converge even with gmin and source
 /// stepping.
 pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> Result<DcSolution> {
-    circuit.validate()?;
     let layout = MnaLayout::new(circuit);
+    dc_operating_point_with(circuit, &layout, options, SolverKind::Dense)
+}
+
+/// Computes the DC operating point over a caller-supplied [`MnaLayout`] and
+/// solver backend.
+///
+/// The sparsity pattern and per-device stamp plan are derived once (the
+/// symbolic phase); every Newton iteration — across all continuation rungs —
+/// is then a numeric value-fill plus one backend solve over reused
+/// workspaces.
+///
+/// # Errors
+///
+/// As [`dc_operating_point`]. A structurally singular matrix is reported as
+/// [`SimError::SingularMatrix`] naming the offending unknown rather than
+/// being ground through the continuation ladder.
+pub fn dc_operating_point_with(
+    circuit: &Circuit,
+    layout: &MnaLayout,
+    options: &DcOptions,
+    solver: SolverKind,
+) -> Result<DcSolution> {
+    circuit.validate()?;
+    let mut system = DcSystem::new(circuit, layout);
+    let mut backend = backend_of::<f64>(solver);
+    backend.prepare(system.pattern());
+    let backend = backend.as_mut();
     let mut x = vec![0.0; layout.size()];
     let mut total_iterations = 0usize;
 
     // 1. Plain Newton from a zero initial guess.
-    let direct = newton(circuit, &layout, &mut x, options.gmin, 1.0, options, 60);
+    let direct = newton(
+        &mut system,
+        backend,
+        layout,
+        &mut x,
+        options.gmin,
+        1.0,
+        options,
+        60,
+    );
     match direct {
         Ok(iters) => total_iterations += iters,
         Err(_) => {
@@ -111,8 +150,9 @@ pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> Result<DcSo
             let mut ladder_ok = true;
             for &gmin in &[1e-2, 1e-3, 1e-4, 1e-6, 1e-8, 1e-10] {
                 match newton(
-                    circuit,
-                    &layout,
+                    &mut system,
+                    backend,
+                    layout,
                     &mut x,
                     gmin,
                     1.0,
@@ -120,6 +160,10 @@ pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> Result<DcSo
                     options.max_iterations,
                 ) {
                     Ok(iters) => total_iterations += iters,
+                    // A singular pivot with the heavy ladder gmin on the
+                    // diagonal is structural — continuation cannot fix it,
+                    // so surface the named unknown instead of grinding on.
+                    Err(error @ SimError::SingularMatrix { .. }) => return Err(error),
                     Err(_) => {
                         ladder_ok = false;
                         break;
@@ -128,8 +172,9 @@ pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> Result<DcSo
             }
             if ladder_ok {
                 total_iterations += newton(
-                    circuit,
-                    &layout,
+                    &mut system,
+                    backend,
+                    layout,
                     &mut x,
                     options.gmin,
                     1.0,
@@ -142,8 +187,9 @@ pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> Result<DcSo
                 for step in 1..=20 {
                     let scale = step as f64 / 20.0;
                     total_iterations += newton(
-                        circuit,
-                        &layout,
+                        &mut system,
+                        backend,
+                        layout,
                         &mut x,
                         1e-9,
                         scale,
@@ -157,8 +203,9 @@ pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> Result<DcSo
                     })?;
                 }
                 total_iterations += newton(
-                    circuit,
-                    &layout,
+                    &mut system,
+                    backend,
+                    layout,
                     &mut x,
                     options.gmin,
                     1.0,
@@ -169,7 +216,466 @@ pub fn dc_operating_point(circuit: &Circuit, options: &DcOptions) -> Result<DcSo
         }
     }
 
-    Ok(assemble_solution(circuit, &layout, &x, total_iterations))
+    Ok(assemble_solution(circuit, layout, &x, total_iterations))
+}
+
+/// Pre-resolved slots of a two-terminal conductance stamp (the classic
+/// `(p,p) (m,m) (p,m) (m,p)` quad; entries involving ground are absent).
+#[derive(Debug, Clone, Copy)]
+struct CondQuad {
+    pp: Option<usize>,
+    mm: Option<usize>,
+    pm: Option<usize>,
+    mp: Option<usize>,
+}
+
+impl CondQuad {
+    fn mark(builder: &mut PatternBuilder, p: Option<usize>, m: Option<usize>) {
+        if let Some(p) = p {
+            builder.entry(p, p);
+        }
+        if let Some(m) = m {
+            builder.entry(m, m);
+        }
+        if let (Some(p), Some(m)) = (p, m) {
+            builder.entry(p, m);
+            builder.entry(m, p);
+        }
+    }
+
+    fn resolve(pattern: &SparsityPattern, p: Option<usize>, m: Option<usize>) -> CondQuad {
+        let pos = |r: Option<usize>, c: Option<usize>| match (r, c) {
+            (Some(r), Some(c)) => pattern.position(r, c),
+            _ => None,
+        };
+        CondQuad {
+            pp: pos(p, p),
+            mm: pos(m, m),
+            pm: pos(p, m),
+            mp: pos(m, p),
+        }
+    }
+
+    /// Adds `g` with the same per-cell ordering the dense stamp used.
+    #[inline]
+    fn add(&self, matrix: &mut CsrMatrix<f64>, g: f64) {
+        if let Some(pp) = self.pp {
+            matrix.add_slot(pp, g);
+        }
+        if let Some(mm) = self.mm {
+            matrix.add_slot(mm, g);
+        }
+        if let Some(pm) = self.pm {
+            matrix.add_slot(pm, -g);
+        }
+        if let Some(mp) = self.mp {
+            matrix.add_slot(mp, -g);
+        }
+    }
+}
+
+/// One device's pre-planned numeric stamp: every matrix slot and right-hand
+/// side row is resolved at symbolic time, so the per-iteration fill touches
+/// no names, hashes or allocations.
+#[derive(Debug)]
+enum DcOp {
+    /// Resistor (value pre-inverted to a conductance).
+    Conductance { quad: CondQuad, conductance: f64 },
+    /// Independent voltage source: `(node→branch, branch→node)` slot pairs.
+    VoltageSource {
+        plus: Option<(usize, usize)>,
+        minus: Option<(usize, usize)>,
+        branch: usize,
+        dc: f64,
+    },
+    /// Independent current source (right-hand side only).
+    CurrentSource {
+        plus: Option<usize>,
+        minus: Option<usize>,
+        dc: f64,
+    },
+    /// Voltage-controlled current source.
+    Vccs {
+        op_cp: Option<usize>,
+        op_cm: Option<usize>,
+        om_cp: Option<usize>,
+        om_cm: Option<usize>,
+        gm: f64,
+    },
+    /// Voltage-controlled voltage source.
+    Vcvs {
+        plus: Option<(usize, usize)>,
+        minus: Option<(usize, usize)>,
+        ctrl_plus: Option<usize>,
+        ctrl_minus: Option<usize>,
+        gain: f64,
+    },
+    /// Nonlinear MOSFET: re-evaluated at `x` every fill.
+    Mosfet(Box<MosfetOp>),
+    /// Behavioural OTA.
+    Ota {
+        out_plus: Option<usize>,
+        out_minus: Option<usize>,
+        load: CondQuad,
+        gm: f64,
+        gout: f64,
+    },
+}
+
+/// Pre-planned MOSFET stamp: cloned model card + instance for evaluation,
+/// node rows for voltage reads, and resolved Jacobian / leak slots.
+#[derive(Debug)]
+struct MosfetOp {
+    card: MosfetModelCard,
+    device: MosfetInstance,
+    /// Node rows of (drain, gate, source, bulk); `None` for ground.
+    rows: [Option<usize>; 4],
+    /// Drain-row Jacobian slots versus (drain, gate, source, bulk).
+    drain_slots: [Option<usize>; 4],
+    /// Source-row Jacobian slots versus (drain, gate, source, bulk).
+    source_slots: [Option<usize>; 4],
+    /// Weak drain–source leakage quad.
+    leak: CondQuad,
+}
+
+/// The DC MNA system after the symbolic phase: sparsity pattern, per-device
+/// stamp plan, and the reusable value matrix / right-hand side.
+pub(crate) struct DcSystem {
+    diag_slots: Vec<usize>,
+    ops: Vec<DcOp>,
+    matrix: CsrMatrix<f64>,
+    rhs: Vec<f64>,
+}
+
+impl DcSystem {
+    /// Runs the symbolic phase: derive the sparsity pattern and resolve
+    /// every device stamp to value slots.
+    pub(crate) fn new(circuit: &Circuit, layout: &MnaLayout) -> Self {
+        let n = layout.size();
+        let node_row = |node: NodeId| layout.node_row(node);
+        let mut builder = PatternBuilder::new(n);
+        for row in 0..layout.node_count() {
+            builder.entry(row, row);
+        }
+        for inst in circuit.instances() {
+            match &inst.device {
+                Device::Resistor(r) => {
+                    CondQuad::mark(&mut builder, node_row(r.plus), node_row(r.minus));
+                }
+                Device::Capacitor(_) => {}
+                Device::VoltageSource(v) => {
+                    let br = layout
+                        .branch_row(&inst.name)
+                        .expect("voltage source has a branch row");
+                    for node in [v.plus, v.minus] {
+                        if let Some(p) = node_row(node) {
+                            builder.entry(p, br);
+                            builder.entry(br, p);
+                        }
+                    }
+                }
+                Device::CurrentSource(_) => {}
+                Device::Vccs(g) => {
+                    for out in [node_row(g.out_plus), node_row(g.out_minus)] {
+                        for ctrl in [node_row(g.ctrl_plus), node_row(g.ctrl_minus)] {
+                            if let (Some(out), Some(ctrl)) = (out, ctrl) {
+                                builder.entry(out, ctrl);
+                            }
+                        }
+                    }
+                }
+                Device::Vcvs(e) => {
+                    let br = layout
+                        .branch_row(&inst.name)
+                        .expect("vcvs has a branch row");
+                    for node in [e.out_plus, e.out_minus] {
+                        if let Some(p) = node_row(node) {
+                            builder.entry(p, br);
+                            builder.entry(br, p);
+                        }
+                    }
+                    for node in [e.ctrl_plus, e.ctrl_minus] {
+                        if let Some(c) = node_row(node) {
+                            builder.entry(br, c);
+                        }
+                    }
+                }
+                Device::Mosfet(m) => {
+                    let terminals = [m.drain, m.gate, m.source, m.bulk];
+                    for row in [node_row(m.drain), node_row(m.source)]
+                        .into_iter()
+                        .flatten()
+                    {
+                        for node in terminals {
+                            if let Some(col) = node_row(node) {
+                                builder.entry(row, col);
+                            }
+                        }
+                    }
+                    CondQuad::mark(&mut builder, node_row(m.drain), node_row(m.source));
+                }
+                Device::BehavioralOta(o) => {
+                    if let Some(out) = node_row(o.out) {
+                        for node in [o.in_plus, o.in_minus] {
+                            if let Some(c) = node_row(node) {
+                                builder.entry(out, c);
+                            }
+                        }
+                    }
+                    CondQuad::mark(&mut builder, node_row(o.out), None);
+                }
+            }
+        }
+        let pattern = builder.build();
+
+        let diag_slots = (0..layout.node_count())
+            .map(|row| pattern.position(row, row).expect("diagonal is in pattern"))
+            .collect();
+        let pos = |r: Option<usize>, c: Option<usize>| match (r, c) {
+            (Some(r), Some(c)) => pattern.position(r, c),
+            _ => None,
+        };
+        let pair = |a: Option<usize>, b: usize| {
+            a.map(|a| {
+                (
+                    pattern.position(a, b).expect("marked in pattern"),
+                    pattern.position(b, a).expect("marked in pattern"),
+                )
+            })
+        };
+
+        let mut ops = Vec::with_capacity(circuit.instances().len());
+        for inst in circuit.instances() {
+            match &inst.device {
+                Device::Resistor(r) => ops.push(DcOp::Conductance {
+                    quad: CondQuad::resolve(&pattern, node_row(r.plus), node_row(r.minus)),
+                    conductance: 1.0 / r.resistance,
+                }),
+                Device::Capacitor(_) => {}
+                Device::VoltageSource(v) => {
+                    let br = layout
+                        .branch_row(&inst.name)
+                        .expect("voltage source has a branch row");
+                    ops.push(DcOp::VoltageSource {
+                        plus: pair(node_row(v.plus), br),
+                        minus: pair(node_row(v.minus), br),
+                        branch: br,
+                        dc: v.dc,
+                    });
+                }
+                Device::CurrentSource(i) => ops.push(DcOp::CurrentSource {
+                    plus: node_row(i.plus),
+                    minus: node_row(i.minus),
+                    dc: i.dc,
+                }),
+                Device::Vccs(g) => {
+                    let (op_, om) = (node_row(g.out_plus), node_row(g.out_minus));
+                    let (cp, cm) = (node_row(g.ctrl_plus), node_row(g.ctrl_minus));
+                    ops.push(DcOp::Vccs {
+                        op_cp: pos(op_, cp),
+                        op_cm: pos(op_, cm),
+                        om_cp: pos(om, cp),
+                        om_cm: pos(om, cm),
+                        gm: g.gm,
+                    });
+                }
+                Device::Vcvs(e) => {
+                    let br = layout
+                        .branch_row(&inst.name)
+                        .expect("vcvs has a branch row");
+                    ops.push(DcOp::Vcvs {
+                        plus: pair(node_row(e.out_plus), br),
+                        minus: pair(node_row(e.out_minus), br),
+                        ctrl_plus: pos(Some(br), node_row(e.ctrl_plus)),
+                        ctrl_minus: pos(Some(br), node_row(e.ctrl_minus)),
+                        gain: e.gain,
+                    });
+                }
+                Device::Mosfet(m) => {
+                    let rows = [
+                        node_row(m.drain),
+                        node_row(m.gate),
+                        node_row(m.source),
+                        node_row(m.bulk),
+                    ];
+                    let slots_for = |row: Option<usize>| {
+                        [
+                            pos(row, rows[0]),
+                            pos(row, rows[1]),
+                            pos(row, rows[2]),
+                            pos(row, rows[3]),
+                        ]
+                    };
+                    ops.push(DcOp::Mosfet(Box::new(MosfetOp {
+                        card: circuit.models()[&m.model].clone(),
+                        device: m.clone(),
+                        rows,
+                        drain_slots: slots_for(rows[0]),
+                        source_slots: slots_for(rows[2]),
+                        leak: CondQuad::resolve(&pattern, rows[0], rows[2]),
+                    })));
+                }
+                Device::BehavioralOta(o) => ops.push(DcOp::Ota {
+                    out_plus: pos(node_row(o.out), node_row(o.in_plus)),
+                    out_minus: pos(node_row(o.out), node_row(o.in_minus)),
+                    load: CondQuad::resolve(&pattern, node_row(o.out), None),
+                    gm: o.gm,
+                    gout: 1.0 / o.rout,
+                }),
+            }
+        }
+
+        let matrix = CsrMatrix::new(Arc::clone(&pattern));
+        DcSystem {
+            diag_slots,
+            ops,
+            matrix,
+            rhs: vec![0.0; n],
+        }
+    }
+
+    pub(crate) fn pattern(&self) -> &Arc<SparsityPattern> {
+        self.matrix.pattern()
+    }
+
+    /// Numeric phase: value-fill of the linearised system `A·x = b` at the
+    /// operating point `x`, preserving the dense stamp's per-cell
+    /// accumulation order bit-for-bit.
+    pub(crate) fn fill(&mut self, x: &[f64], gmin: f64, source_scale: f64) {
+        self.matrix.clear();
+        self.rhs.iter_mut().for_each(|v| *v = 0.0);
+        // gmin from every node to ground keeps the matrix non-singular while
+        // devices are cut off.
+        for &slot in &self.diag_slots {
+            self.matrix.add_slot(slot, gmin);
+        }
+        let matrix = &mut self.matrix;
+        let rhs = &mut self.rhs;
+        for op in &self.ops {
+            match op {
+                DcOp::Conductance { quad, conductance } => quad.add(matrix, *conductance),
+                DcOp::VoltageSource {
+                    plus,
+                    minus,
+                    branch,
+                    dc,
+                } => {
+                    if let Some((pb, bp)) = plus {
+                        matrix.add_slot(*pb, 1.0);
+                        matrix.add_slot(*bp, 1.0);
+                    }
+                    if let Some((mb, bm)) = minus {
+                        matrix.add_slot(*mb, -1.0);
+                        matrix.add_slot(*bm, -1.0);
+                    }
+                    rhs[*branch] += dc * source_scale;
+                }
+                DcOp::CurrentSource { plus, minus, dc } => {
+                    let value = dc * source_scale;
+                    if let Some(p) = plus {
+                        rhs[*p] -= value;
+                    }
+                    if let Some(m) = minus {
+                        rhs[*m] += value;
+                    }
+                }
+                DcOp::Vccs {
+                    op_cp,
+                    op_cm,
+                    om_cp,
+                    om_cm,
+                    gm,
+                } => {
+                    if let Some(slot) = op_cp {
+                        matrix.add_slot(*slot, *gm);
+                    }
+                    if let Some(slot) = op_cm {
+                        matrix.add_slot(*slot, -gm);
+                    }
+                    if let Some(slot) = om_cp {
+                        matrix.add_slot(*slot, -gm);
+                    }
+                    if let Some(slot) = om_cm {
+                        matrix.add_slot(*slot, *gm);
+                    }
+                }
+                DcOp::Vcvs {
+                    plus,
+                    minus,
+                    ctrl_plus,
+                    ctrl_minus,
+                    gain,
+                } => {
+                    if let Some((pb, bp)) = plus {
+                        matrix.add_slot(*pb, 1.0);
+                        matrix.add_slot(*bp, 1.0);
+                    }
+                    if let Some((mb, bm)) = minus {
+                        matrix.add_slot(*mb, -1.0);
+                        matrix.add_slot(*bm, -1.0);
+                    }
+                    if let Some(slot) = ctrl_plus {
+                        matrix.add_slot(*slot, -gain);
+                    }
+                    if let Some(slot) = ctrl_minus {
+                        matrix.add_slot(*slot, *gain);
+                    }
+                }
+                DcOp::Mosfet(m) => {
+                    let read = |row: Option<usize>| row.map_or(0.0, |r| x[r]);
+                    let (vd, vg, vs, vb) = (
+                        read(m.rows[0]),
+                        read(m.rows[1]),
+                        read(m.rows[2]),
+                        read(m.rows[3]),
+                    );
+                    let eval = evaluate(&m.card, &m.device, vd, vg, vs, vb);
+                    let derivs = [eval.did_dvd, eval.did_dvg, eval.did_dvs, eval.did_dvb];
+                    let ieq = eval.id
+                        - (eval.did_dvd * vd
+                            + eval.did_dvg * vg
+                            + eval.did_dvs * vs
+                            + eval.did_dvb * vb);
+                    if let Some(d) = m.rows[0] {
+                        for (slot, g) in m.drain_slots.iter().zip(derivs) {
+                            if let Some(slot) = slot {
+                                matrix.add_slot(*slot, g);
+                            }
+                        }
+                        rhs[d] -= ieq;
+                    }
+                    if let Some(s) = m.rows[2] {
+                        for (slot, g) in m.source_slots.iter().zip(derivs) {
+                            if let Some(slot) = slot {
+                                matrix.add_slot(*slot, -g);
+                            }
+                        }
+                        rhs[s] += ieq;
+                    }
+                    // Weak drain-source leakage aids convergence deep in cutoff.
+                    m.leak.add(matrix, gmin);
+                }
+                DcOp::Ota {
+                    out_plus,
+                    out_minus,
+                    load,
+                    gm,
+                    gout,
+                } => {
+                    // Current *into* the output node is gm·(v+ − v−); in the
+                    // "currents leaving the node" formulation this contributes
+                    // −gm·(v+ − v−) to the output row.
+                    if let Some(slot) = out_plus {
+                        matrix.add_slot(*slot, -gm);
+                    }
+                    if let Some(slot) = out_minus {
+                        matrix.add_slot(*slot, *gm);
+                    }
+                    load.add(matrix, *gout);
+                }
+            }
+        }
+    }
 }
 
 fn assemble_solution(
@@ -211,8 +717,14 @@ fn assemble_solution(
 
 /// Runs damped Newton iteration at fixed `gmin` and source scaling,
 /// updating `x` in place. Returns the number of iterations used.
+///
+/// Every iteration is a numeric value-fill over the pre-derived pattern
+/// followed by one backend solve; the solution workspace is the only
+/// per-iteration vector and lives in `system`.
+#[allow(clippy::too_many_arguments)]
 fn newton(
-    circuit: &Circuit,
+    system: &mut DcSystem,
+    backend: &mut dyn SolverBackend<f64>,
     layout: &MnaLayout,
     x: &mut [f64],
     gmin: f64,
@@ -221,22 +733,15 @@ fn newton(
     max_iterations: usize,
 ) -> Result<usize> {
     let n = layout.size();
-    let mut matrix = DenseMatrix::zeros(n, n);
-    let mut rhs = vec![0.0; n];
+    let mut solution = vec![0.0; n];
     let mut last_delta = f64::INFINITY;
 
     for iteration in 1..=max_iterations {
-        stamp_dc(
-            circuit,
-            layout,
-            x,
-            gmin,
-            source_scale,
-            &mut matrix,
-            &mut rhs,
-        );
-        let mut solution = rhs.clone();
-        solve_in_place(&mut matrix, &mut solution)?;
+        system.fill(x, gmin, source_scale);
+        solution.copy_from_slice(&system.rhs);
+        backend
+            .solve(&system.matrix, &mut solution)
+            .map_err(|e| layout.describe_singular(e))?;
         if solution.iter().any(|v| !v.is_finite()) {
             return Err(SimError::NoConvergence {
                 analysis: "dc operating point (non-finite update)".into(),
@@ -572,5 +1077,77 @@ mod tests {
     fn unconnected_circuit_is_rejected() {
         let ckt = Circuit::new("empty");
         assert!(dc_operating_point(&ckt, &DcOptions::new()).is_err());
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense_operating_point() {
+        let mut ckt = Circuit::new("cs");
+        ckt.add_default_models();
+        let vdd = ckt.node("vdd");
+        let g = ckt.node("g");
+        let d = ckt.node("d");
+        let gnd = ckt.gnd();
+        ckt.add_vsource("vdd", vdd, gnd, 3.3).unwrap();
+        ckt.add_vsource("vg", g, gnd, 0.9).unwrap();
+        ckt.add_resistor("rd", vdd, d, 10e3).unwrap();
+        ckt.add_mosfet("m1", Mosfet::new(d, g, gnd, gnd, "nmos", 20e-6, 1e-6))
+            .unwrap();
+        let layout = MnaLayout::new(&ckt);
+        let dense =
+            dc_operating_point_with(&ckt, &layout, &DcOptions::new(), SolverKind::Dense).unwrap();
+        let sparse =
+            dc_operating_point_with(&ckt, &layout, &DcOptions::new(), SolverKind::Sparse).unwrap();
+        for (a, b) in dense
+            .node_voltages()
+            .iter()
+            .zip(sparse.node_voltages().iter())
+        {
+            assert!((a - b).abs() < 1e-9, "dense {a} vs sparse {b}");
+        }
+        for (name, i) in &dense.branch_currents {
+            let j = sparse.branch_current(name).unwrap();
+            assert!((i - j).abs() < 1e-9, "{name}: dense {i} vs sparse {j}");
+        }
+    }
+
+    #[test]
+    fn dense_wrapper_matches_dense_backend_exactly() {
+        // The default entry point must be bit-identical to the explicit
+        // dense-backend path (same layout, same stamp order, same LU).
+        let mut ckt = Circuit::new("divider");
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        let gnd = ckt.gnd();
+        ckt.add_vsource("v1", vin, gnd, 2.0).unwrap();
+        ckt.add_resistor("r1", vin, out, 1e3).unwrap();
+        ckt.add_resistor("r2", out, gnd, 1e3).unwrap();
+        let layout = MnaLayout::new(&ckt);
+        let a = dc_operating_point(&ckt, &DcOptions::new()).unwrap();
+        let b =
+            dc_operating_point_with(&ckt, &layout, &DcOptions::new(), SolverKind::Dense).unwrap();
+        assert_eq!(a.node_voltages(), b.node_voltages());
+    }
+
+    #[test]
+    fn singular_system_names_the_offending_unknown() {
+        // Two ideal voltage sources in parallel with conflicting values give
+        // a structurally singular MNA system.
+        let mut ckt = Circuit::new("conflict");
+        let a = ckt.node("a");
+        let gnd = ckt.gnd();
+        ckt.add_vsource("v1", a, gnd, 1.0).unwrap();
+        ckt.add_vsource("v2", a, gnd, 2.0).unwrap();
+        ckt.add_resistor("r1", a, gnd, 1e3).unwrap();
+        let err = dc_operating_point(&ckt, &DcOptions::new()).unwrap_err();
+        match err {
+            SimError::SingularMatrix { unknown, .. } => {
+                let unknown = unknown.expect("singular error is annotated with the unknown");
+                assert!(
+                    unknown.contains("branch current"),
+                    "expected a branch-current label, got {unknown}"
+                );
+            }
+            other => panic!("expected SingularMatrix, got {other}"),
+        }
     }
 }

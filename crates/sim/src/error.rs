@@ -11,6 +11,10 @@ pub enum SimError {
     SingularMatrix {
         /// Row/column at which elimination failed.
         pivot: usize,
+        /// Description of the MNA unknown behind the pivot row (e.g.
+        /// ``node `out` `` or ``branch current of `v1` ``), when the caller
+        /// had a layout to name it with.
+        unknown: Option<String>,
     },
     /// The Newton-Raphson iteration failed to converge.
     NoConvergence {
@@ -31,8 +35,12 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Circuit(reason) => write!(f, "circuit error: {reason}"),
-            SimError::SingularMatrix { pivot } => {
-                write!(f, "singular MNA matrix at pivot {pivot}")
+            SimError::SingularMatrix { pivot, unknown } => {
+                write!(f, "singular MNA matrix at pivot {pivot}")?;
+                if let Some(unknown) = unknown {
+                    write!(f, " ({unknown})")?;
+                }
+                Ok(())
             }
             SimError::NoConvergence {
                 analysis,
@@ -72,6 +80,23 @@ mod tests {
         };
         let msg = err.to_string();
         assert!(msg.contains("150") && msg.contains("dc operating point"));
+    }
+
+    #[test]
+    fn singular_matrix_names_the_unknown_when_known() {
+        let bare = SimError::SingularMatrix {
+            pivot: 3,
+            unknown: None,
+        };
+        assert_eq!(bare.to_string(), "singular MNA matrix at pivot 3");
+        let named = SimError::SingularMatrix {
+            pivot: 3,
+            unknown: Some("node `out`".to_string()),
+        };
+        assert_eq!(
+            named.to_string(),
+            "singular MNA matrix at pivot 3 (node `out`)"
+        );
     }
 
     #[test]

@@ -7,12 +7,19 @@
 //! * [`dc::dc_operating_point`] — damped Newton–Raphson operating point with
 //!   gmin and source stepping,
 //! * [`ac::ac_analysis`] — small-signal frequency sweeps over the linearised
-//!   circuit,
+//!   circuit, assembled once and re-merged as `G + jωC` per frequency,
 //! * [`transient::transient_analysis`] — fixed-step backward-Euler transient,
 //! * [`measure`] — open-loop gain, phase margin, unity-gain frequency and
 //!   bandwidth extraction,
 //! * [`mosfet`] — a Level-1 (square-law) MOSFET model with body effect,
 //!   channel-length modulation and bias-dependent capacitances.
+//!
+//! Matrix assembly is split into a symbolic phase (a per-layout
+//! [`linalg::SparsityPattern`]) and a numeric value-fill; linear solves go
+//! through the pluggable [`linalg::SolverBackend`] seam ([`SolverKind::Dense`]
+//! is the default, [`SolverKind::Sparse`] a left-looking sparse LU). Use
+//! [`dc::dc_operating_point_with`] / [`ac::ac_analysis_with`] to pick a
+//! backend and share one [`mna::MnaLayout`] across analyses.
 //!
 //! # Examples
 //!
@@ -54,11 +61,12 @@ pub mod mosfet;
 pub mod sweep;
 pub mod transient;
 
-pub use ac::{ac_analysis, AcSolution};
-pub use dc::{dc_operating_point, DcOptions, DcSolution};
+pub use ac::{ac_analysis, ac_analysis_with, AcSolution};
+pub use dc::{dc_operating_point, dc_operating_point_with, DcOptions, DcSolution};
 pub use error::{Result, SimError};
-pub use linalg::Complex;
+pub use linalg::{Complex, SolverBackend, SolverKind};
 pub use measure::AcMeasurements;
+pub use mna::MnaLayout;
 pub use mosfet::{MosfetEval, Region};
 pub use sweep::FrequencySweep;
 pub use transient::{transient_analysis, TransientOptions, TransientSolution};

@@ -31,7 +31,10 @@ pub fn solve_in_place<T: Scalar>(a: &mut DenseMatrix<T>, b: &mut [T]) -> Result<
             }
         }
         if pivot_norm < 1e-300 || !pivot_norm.is_finite() {
-            return Err(SimError::SingularMatrix { pivot: k });
+            return Err(SimError::SingularMatrix {
+                pivot: k,
+                unknown: None,
+            });
         }
         if pivot_row != k {
             a.swap_rows(k, pivot_row);

@@ -1,16 +1,24 @@
-//! Dense linear algebra used by the MNA solver.
+//! Linear algebra used by the MNA solver.
 //!
-//! Circuits in this workspace are small (tens of nodes), so a dense LU
-//! factorisation with partial pivoting is both simpler and faster than a
-//! sparse solver would be at this scale.
+//! Assembly is split into a symbolic phase ([`sparse::SparsityPattern`],
+//! derived once per MNA layout) and a numeric value-fill over the shared CSR
+//! structure ([`sparse::CsrMatrix`]). Solving goes through the pluggable
+//! [`SolverBackend`] seam: [`backend::DenseLuBackend`] scatters into a dense
+//! matrix and runs the classic partial-pivot LU (the default — bit-identical
+//! to the historical dense path), while [`backend::SparseLuBackend`] is a
+//! left-looking sparse LU that skips the dense scatter entirely.
 
+pub mod backend;
 pub mod complex;
 pub mod lu;
 pub mod matrix;
+pub mod sparse;
 
+pub use backend::{backend_of, DenseLuBackend, SolverBackend, SolverKind, SparseLuBackend};
 pub use complex::Complex;
 pub use lu::solve_in_place;
 pub use matrix::DenseMatrix;
+pub use sparse::{CsrMatrix, PatternBuilder, SparsityPattern};
 
 /// Scalar field abstraction letting the same LU routine factor real (DC) and
 /// complex (AC) MNA systems.

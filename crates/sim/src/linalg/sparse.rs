@@ -1,0 +1,246 @@
+//! Sparse (CSR) matrix storage and the symbolic sparsity pattern.
+//!
+//! MNA assembly is split into a *symbolic* phase — walk the circuit once and
+//! record which `(row, col)` cells can ever be non-zero — and a *numeric*
+//! phase that only writes values into the pre-computed slots. The pattern is
+//! shared (via [`Arc`]) between the value matrix and whichever
+//! [`SolverBackend`](super::SolverBackend) factors it, so repeated solves
+//! (Newton iterations, AC frequency points) never re-derive structure or
+//! re-allocate.
+
+use super::{DenseMatrix, Scalar};
+use std::sync::Arc;
+
+/// The symbolic structure of a sparse matrix in compressed-sparse-row form.
+///
+/// A pattern is immutable once built; numeric matrices ([`CsrMatrix`]) and
+/// solver backends share it by reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsityPattern {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+}
+
+impl SparsityPattern {
+    /// Matrix dimension (the pattern is always square).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of structurally non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Value-array range of `row`'s entries.
+    pub fn row_range(&self, row: usize) -> std::ops::Range<usize> {
+        self.row_ptr[row]..self.row_ptr[row + 1]
+    }
+
+    /// Column indices of `row`'s entries (ascending).
+    pub fn row_cols(&self, row: usize) -> &[usize] {
+        &self.col_idx[self.row_range(row)]
+    }
+
+    /// Value-array slot of cell `(row, col)`, or `None` if the cell is
+    /// structurally zero.
+    pub fn position(&self, row: usize, col: usize) -> Option<usize> {
+        let range = self.row_range(row);
+        self.col_idx[range.clone()]
+            .binary_search(&col)
+            .ok()
+            .map(|offset| range.start + offset)
+    }
+}
+
+/// Accumulates `(row, col)` cells during the symbolic phase and freezes them
+/// into a [`SparsityPattern`].
+#[derive(Debug)]
+pub struct PatternBuilder {
+    rows: Vec<Vec<usize>>,
+}
+
+impl PatternBuilder {
+    /// Starts a builder for an `n × n` pattern.
+    pub fn new(n: usize) -> Self {
+        PatternBuilder {
+            rows: vec![Vec::new(); n],
+        }
+    }
+
+    /// Marks cell `(row, col)` as structurally non-zero (duplicates are fine).
+    pub fn entry(&mut self, row: usize, col: usize) {
+        self.rows[row].push(col);
+    }
+
+    /// Sorts, deduplicates and freezes the pattern.
+    pub fn build(mut self) -> Arc<SparsityPattern> {
+        let n = self.rows.len();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        row_ptr.push(0);
+        for row in &mut self.rows {
+            row.sort_unstable();
+            row.dedup();
+            col_idx.extend_from_slice(row);
+            row_ptr.push(col_idx.len());
+        }
+        Arc::new(SparsityPattern {
+            n,
+            row_ptr,
+            col_idx,
+        })
+    }
+}
+
+/// Numeric values over a shared [`SparsityPattern`].
+///
+/// The MNA "stamp" operation becomes [`CsrMatrix::add_slot`] on a
+/// pre-resolved slot index — no hashing, no searching, no allocation on the
+/// per-iteration path.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix<T> {
+    pattern: Arc<SparsityPattern>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Creates a zero-valued matrix over `pattern`.
+    pub fn new(pattern: Arc<SparsityPattern>) -> Self {
+        let nnz = pattern.nnz();
+        CsrMatrix {
+            pattern,
+            values: vec![T::zero(); nnz],
+        }
+    }
+
+    /// The shared symbolic pattern.
+    pub fn pattern(&self) -> &Arc<SparsityPattern> {
+        &self.pattern
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.pattern.n()
+    }
+
+    /// Resets every value to zero without touching the structure.
+    pub fn clear(&mut self) {
+        for value in &mut self.values {
+            *value = T::zero();
+        }
+    }
+
+    /// Adds `value` at a pre-resolved slot (from [`SparsityPattern::position`]).
+    #[inline]
+    pub fn add_slot(&mut self, slot: usize, value: T) {
+        self.values[slot] = self.values[slot] + value;
+    }
+
+    /// Adds `value` at cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is structurally zero — the symbolic phase must have
+    /// recorded every cell the numeric phase writes.
+    pub fn add(&mut self, row: usize, col: usize, value: T) {
+        let slot = self
+            .pattern
+            .position(row, col)
+            .expect("cell is outside the sparsity pattern");
+        self.add_slot(slot, value);
+    }
+
+    /// The value array, indexed by slot.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Mutable value array, indexed by slot.
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Scatters the values into a dense matrix (clearing it first).
+    pub fn scatter_into(&self, dense: &mut DenseMatrix<T>) {
+        dense.clear();
+        for row in 0..self.pattern.n() {
+            let range = self.pattern.row_range(row);
+            for (offset, &col) in self.pattern.row_cols(row).iter().enumerate() {
+                dense[(row, col)] = self.values[range.start + offset];
+            }
+        }
+    }
+
+    /// Matrix–vector product `A·x` (used by tests and residual checks).
+    pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.pattern.n(), "dimension mismatch in mul_vec");
+        (0..self.pattern.n())
+            .map(|row| {
+                let range = self.pattern.row_range(row);
+                let mut acc = T::zero();
+                for (offset, &col) in self.pattern.row_cols(row).iter().enumerate() {
+                    acc = acc + self.values[range.start + offset] * x[col];
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pattern() -> Arc<SparsityPattern> {
+        let mut builder = PatternBuilder::new(3);
+        builder.entry(0, 0);
+        builder.entry(0, 2);
+        builder.entry(1, 1);
+        builder.entry(2, 0);
+        builder.entry(2, 2);
+        builder.entry(0, 0); // duplicate collapses
+        builder.build()
+    }
+
+    #[test]
+    fn builder_sorts_and_dedups() {
+        let pattern = small_pattern();
+        assert_eq!(pattern.n(), 3);
+        assert_eq!(pattern.nnz(), 5);
+        assert_eq!(pattern.row_cols(0), &[0, 2]);
+        assert_eq!(pattern.row_cols(1), &[1]);
+        assert!(pattern.position(0, 2).is_some());
+        assert!(pattern.position(0, 1).is_none());
+    }
+
+    #[test]
+    fn add_accumulates_and_scatter_matches_dense() {
+        let pattern = small_pattern();
+        let mut m: CsrMatrix<f64> = CsrMatrix::new(Arc::clone(&pattern));
+        m.add(0, 0, 2.0);
+        m.add(0, 0, 1.0);
+        m.add(0, 2, -1.0);
+        m.add(1, 1, 4.0);
+        m.add(2, 0, 5.0);
+        m.add(2, 2, 6.0);
+        let mut dense: DenseMatrix<f64> = DenseMatrix::zeros(3, 3);
+        m.scatter_into(&mut dense);
+        assert_eq!(dense[(0, 0)], 3.0);
+        assert_eq!(dense[(0, 2)], -1.0);
+        assert_eq!(dense[(1, 1)], 4.0);
+        assert_eq!(dense[(0, 1)], 0.0);
+        assert_eq!(m.mul_vec(&[1.0, 1.0, 1.0]), dense.mul_vec(&[1.0, 1.0, 1.0]));
+        m.clear();
+        assert!(m.values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the sparsity pattern")]
+    fn writing_outside_the_pattern_panics() {
+        let pattern = small_pattern();
+        let mut m: CsrMatrix<f64> = CsrMatrix::new(pattern);
+        m.add(1, 0, 1.0);
+    }
+}

@@ -14,17 +14,25 @@ pub struct MnaLayout {
     node_count: usize,
     branch_rows: HashMap<String, usize>,
     size: usize,
+    row_labels: Vec<String>,
 }
 
 impl MnaLayout {
     /// Builds the layout for a circuit.
     pub fn new(circuit: &Circuit) -> Self {
         let node_count = circuit.nodes().unknown_count();
+        let mut row_labels = vec![String::new(); node_count];
+        for node in circuit.nodes().iter() {
+            if !node.is_ground() {
+                row_labels[node.index() - 1] = format!("node `{}`", circuit.nodes().name(node));
+            }
+        }
         let mut branch_rows = HashMap::new();
         let mut next = node_count;
         for inst in circuit.instances() {
             if inst.device.needs_branch_current() {
                 branch_rows.insert(inst.name.clone(), next);
+                row_labels.push(format!("branch current of `{}`", inst.name));
                 next += 1;
             }
         }
@@ -32,6 +40,7 @@ impl MnaLayout {
             node_count,
             branch_rows,
             size: next,
+            row_labels,
         }
     }
 
@@ -66,6 +75,29 @@ impl MnaLayout {
             None => 0.0,
         }
     }
+
+    /// Human-readable description of the unknown behind a matrix row, e.g.
+    /// ``node `out` `` or ``branch current of `v1` `` — used to name the
+    /// offending unknown when elimination finds a singular pivot.
+    pub fn row_label(&self, row: usize) -> Option<&str> {
+        self.row_labels.get(row).map(String::as_str)
+    }
+
+    /// Attaches this layout's row label to a
+    /// [`SimError::SingularMatrix`](crate::error::SimError::SingularMatrix),
+    /// leaving any other error untouched.
+    pub fn describe_singular(&self, error: crate::error::SimError) -> crate::error::SimError {
+        match error {
+            crate::error::SimError::SingularMatrix {
+                pivot,
+                unknown: None,
+            } => crate::error::SimError::SingularMatrix {
+                pivot,
+                unknown: self.row_label(pivot).map(str::to_string),
+            },
+            other => other,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +124,34 @@ mod tests {
         assert_eq!(layout.branch_row("v1"), Some(2));
         assert_eq!(layout.branch_row("e1"), Some(3));
         assert_eq!(layout.branch_row("r1"), None);
+    }
+
+    #[test]
+    fn row_labels_name_nodes_and_branches() {
+        let mut ckt = Circuit::new("t");
+        let a = ckt.node("a");
+        let b = ckt.node("out");
+        let gnd = ckt.gnd();
+        ckt.add_vsource("v1", a, gnd, 1.0).unwrap();
+        ckt.add_resistor("r1", a, b, 1e3).unwrap();
+        ckt.add_resistor("r2", b, gnd, 1e3).unwrap();
+        let layout = MnaLayout::new(&ckt);
+        assert_eq!(layout.row_label(0), Some("node `a`"));
+        assert_eq!(layout.row_label(1), Some("node `out`"));
+        assert_eq!(layout.row_label(2), Some("branch current of `v1`"));
+        assert_eq!(layout.row_label(3), None);
+        let err = layout.describe_singular(crate::error::SimError::SingularMatrix {
+            pivot: 1,
+            unknown: None,
+        });
+        assert_eq!(
+            err,
+            crate::error::SimError::SingularMatrix {
+                pivot: 1,
+                unknown: Some("node `out`".to_string()),
+            }
+        );
+        assert!(err.to_string().contains("node `out`"));
     }
 
     #[test]

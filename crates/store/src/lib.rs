@@ -92,7 +92,7 @@ pub mod shards;
 
 pub use shards::{
     ShardDataPlane, ShardOutcome, ShardSummary, ShardTask, ShardWork, ShardWorkKind,
-    VariationOutcome,
+    VariationOutcome, VariationPointWork,
 };
 
 use ayb_moo::{Checkpoint, OptimizerConfig};

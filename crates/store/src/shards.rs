@@ -166,6 +166,24 @@ pub enum ShardWork {
         /// analysing this point draws the identical sample sequence).
         mc_seed: u64,
     },
+    /// Run the Monte Carlo variation analysis of several Pareto points in
+    /// one task (the batched form of [`ShardWork::Variation`]: larger tasks
+    /// amortise claim/commit overhead without changing any result — each
+    /// point still carries its own derived seed).
+    VariationBatch {
+        /// The points of this batch, in submitter order.
+        points: Vec<VariationPointWork>,
+    },
+}
+
+/// One point of a [`ShardWork::VariationBatch`] task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationPointWork {
+    /// The point's normalised parameter vector.
+    pub parameters: Vec<f64>,
+    /// The point's own Monte Carlo seed (same derivation as
+    /// [`ShardWork::Variation`]).
+    pub mc_seed: u64,
 }
 
 impl ShardWork {
@@ -173,7 +191,9 @@ impl ShardWork {
     pub fn kind(&self) -> ShardWorkKind {
         match self {
             ShardWork::Eval { .. } => ShardWorkKind::Eval,
-            ShardWork::Variation { .. } => ShardWorkKind::Variation,
+            ShardWork::Variation { .. } | ShardWork::VariationBatch { .. } => {
+                ShardWorkKind::Variation
+            }
         }
     }
 }
@@ -204,6 +224,12 @@ pub enum ShardOutcome {
     },
     /// One analysed Pareto point.
     Variation(VariationOutcome),
+    /// The analysed points of a [`ShardWork::VariationBatch`] task, in task
+    /// order (one entry per point of the batch).
+    VariationBatch {
+        /// The per-point outcomes.
+        points: Vec<VariationOutcome>,
+    },
 }
 
 fn transport_error(error: StoreError) -> ShardError {
@@ -492,7 +518,9 @@ impl ShardTransport for ShardDataPlane {
             // A non-evaluation outcome under an evaluation fetch cannot
             // happen in a well-formed epoch; treat it as "not ready" so the
             // shard is simply re-evaluated.
-            Some(ShardOutcome::Variation(_)) | None => Ok(None),
+            Some(ShardOutcome::Variation(_) | ShardOutcome::VariationBatch { .. }) | None => {
+                Ok(None)
+            }
         }
     }
 

@@ -4,12 +4,14 @@
 //! ```text
 //! ayb run    [--store DIR] [--id RUN_ID] [--scale reduced|demo|paper]
 //!            [--seed N] [--optimizer wbga|nsga2|random] [--threads N]
-//!            [--early-stop K] [--sharded] [--shard-size N]
+//!            [--early-stop K] [--solver dense|sparse] [--sharded]
+//!            [--shard-size N] [--variation-batch N]
 //!            [--transport tcp://HOST:PORT] [--halt-after N] [--quiet]
 //! ayb resume [--store DIR] RUN_ID [--halt-after N] [--quiet]
 //! ayb submit [--store DIR] [--id RUN_ID] [--scale S] [--seed N]
 //!            [--optimizer O] [--threads N] [--early-stop K]
-//!            [--sharded] [--shard-size N] [--transport tcp://HOST:PORT]
+//!            [--solver dense|sparse] [--sharded] [--shard-size N]
+//!            [--variation-batch N] [--transport tcp://HOST:PORT]
 //! ayb serve  [--store DIR] [--workers N] [--drain] [--shards-only]
 //!            [--transport tcp://HOST:PORT] [--poll-ms MS] [--quiet]
 //! ayb coordinate [--bind ADDR] [--poll-ms MS] [--quiet]
@@ -69,12 +71,14 @@ ayb — durable, resumable model-generation runs (DATE'08 flow)
 USAGE:
     ayb run    [--store DIR] [--id RUN_ID] [--scale reduced|demo|paper]
                [--seed N] [--optimizer wbga|nsga2|random] [--threads N]
-               [--early-stop K] [--sharded] [--shard-size N]
+               [--early-stop K] [--solver dense|sparse] [--sharded]
+               [--shard-size N] [--variation-batch N]
                [--transport tcp://HOST:PORT] [--halt-after N] [--quiet]
     ayb resume [--store DIR] RUN_ID [--halt-after N] [--quiet]
     ayb submit [--store DIR] [--id RUN_ID] [--scale S] [--seed N]
                [--optimizer O] [--threads N] [--early-stop K]
-               [--sharded] [--shard-size N] [--transport tcp://HOST:PORT]
+               [--solver dense|sparse] [--sharded] [--shard-size N]
+               [--variation-batch N] [--transport tcp://HOST:PORT]
     ayb serve  [--store DIR] [--workers N] [--drain] [--shards-only]
                [--transport tcp://HOST:PORT] [--poll-ms MS] [--quiet]
     ayb coordinate [--bind ADDR] [--poll-ms MS] [--quiet]
@@ -93,9 +97,13 @@ OPTIONS:
     --optimizer O         wbga (default, the paper's), nsga2, random
     --threads N           Worker threads for batch circuit evaluation
     --early-stop K        Stop after K generations without front improvement
+    --solver S            Linear-solver backend for the sim kernel: dense
+                          (default) or sparse; recorded in the run manifest
     --sharded             Evaluate populations through the store's shard data
                           plane (any `ayb serve` process sharing the store helps)
     --shard-size N        Candidates per shard (default: scale-dependent)
+    --variation-batch N   Monte Carlo points per variation shard task
+                          (default: scale-dependent; digest-neutral)
     --transport URL       tcp://HOST:PORT of an `ayb coordinate` process: run
                           and submit publish their shards there (no shared
                           filesystem needed); serve also services them
@@ -177,6 +185,8 @@ struct CliArgs {
     optimizer: Option<String>,
     threads: Option<usize>,
     early_stop: Option<usize>,
+    solver: Option<String>,
+    variation_batch: Option<usize>,
     halt_after: Option<usize>,
     workers: Option<usize>,
     drain: bool,
@@ -216,6 +226,13 @@ impl CliArgs {
                 "--early-stop" => {
                     parsed.early_stop =
                         Some(parse_number(&value_of("--early-stop")?, "--early-stop")?)
+                }
+                "--solver" => parsed.solver = Some(value_of("--solver")?),
+                "--variation-batch" => {
+                    parsed.variation_batch = Some(parse_number(
+                        &value_of("--variation-batch")?,
+                        "--variation-batch",
+                    )?)
                 }
                 "--halt-after" => {
                     parsed.halt_after =
@@ -348,6 +365,12 @@ fn build_flow_setup(args: &CliArgs) -> Result<(FlowConfig, OptimizerConfig), Str
     }
     if let Some(shard_size) = args.shard_size {
         config.shard_size = shard_size.max(1);
+    }
+    if let Some(solver) = &args.solver {
+        config.solver = solver.parse()?;
+    }
+    if let Some(batch) = args.variation_batch {
+        config.variation_batch = batch.max(1);
     }
     if let Some(url) = &args.transport {
         // Fail malformed URLs here, not minutes later inside the flow (a

@@ -164,7 +164,10 @@ fn temp_store(label: &str) -> (PathBuf, Store) {
 
 /// A small sharded configuration whose wall clock is split between the
 /// optimisation (4 generations) and the variation stage (8 points), so both
-/// families of kill-points land in live code.
+/// families of kill-points land in live code. Variation points travel in
+/// batches of 3 (8 points → batches of 3, 3 and 2), so result-write
+/// kill-points can land *inside* a batch, between its per-point
+/// checkpoints.
 fn chaos_config() -> FlowConfig {
     let mut config = FlowConfig::reduced();
     config.ga.generations = 4;
@@ -173,6 +176,7 @@ fn chaos_config() -> FlowConfig {
     config.max_pareto_points = 8;
     config.sharded = true;
     config.shard_size = 3;
+    config.variation_batch = 3;
     config
 }
 
@@ -224,6 +228,47 @@ fn explicit_crash_schedules_converge_to_the_reference_digest() {
             handle.shard_summary().unwrap(),
             ShardSummary::default(),
             "no shard debris survives schedule {schedule:?}"
+        );
+        let _ = std::fs::remove_dir_all(root);
+    }
+}
+
+/// Crashes landing *inside* a variation batch: with batches of 3, the 2nd
+/// result-write boundary is mid-way through the first batch (one point
+/// checkpointed, two still pending in the same claimed task), and the 5th
+/// is mid-way through the second. A crash there abandons the rest of the
+/// batch; the resume must re-chunk only the unfinished points, keep every
+/// already-checkpointed point, and still converge to the serial digest.
+#[test]
+fn crashes_inside_a_variation_batch_converge_to_the_reference_digest() {
+    let expected = reference_digest();
+    let schedules: &[&[KillPoint]] = &[
+        // Mid-first-batch, then mid-second-batch of the re-chunked remainder.
+        &[
+            KillPoint::AtVariationBoundary(BoundaryKind::ResultWrite, 2),
+            KillPoint::AtVariationBoundary(BoundaryKind::ResultWrite, 2),
+        ],
+        // Crash between claiming a batch and its first result write.
+        &[
+            KillPoint::AtVariationBoundary(BoundaryKind::Claim, 2),
+            KillPoint::AtVariationBoundary(BoundaryKind::ResultWrite, 5),
+        ],
+    ];
+    for (index, schedule) in schedules.iter().enumerate() {
+        let (root, store) = temp_store("mid-batch");
+        let run_id = format!("chaos-batch-{index}");
+        let result = run_with_chaos(&store, &run_id, &chaos_config(), CHAOS_SEED, schedule);
+        assert_eq!(
+            result.determinism_digest(),
+            expected,
+            "mid-batch schedule {schedule:?} perturbed the result"
+        );
+        let handle = store.run(&run_id).unwrap();
+        assert_eq!(handle.status().unwrap(), RunStatus::Completed);
+        assert_eq!(
+            handle.shard_summary().unwrap(),
+            ShardSummary::default(),
+            "no shard debris survives mid-batch schedule {schedule:?}"
         );
         let _ = std::fs::remove_dir_all(root);
     }

@@ -342,10 +342,13 @@ fn variation_stage_shards_across_processes_and_survives_a_sigkilled_worker() {
     let (root, store) = temp_store("varproc");
 
     // Variation-heavy configuration: a short optimisation, then eight
-    // 60-sample Monte Carlo points — most of the wall clock is stage 4.
+    // 240-sample Monte Carlo points shipped as four two-point batches —
+    // most of the wall clock is stage 4, and each batch takes many worker
+    // poll intervals, so the external workers provably claim some.
     let mut config = sharded_config();
     config.ga.generations = 3;
-    config.monte_carlo.samples = 60;
+    config.monte_carlo.samples = 240;
+    config.variation_batch = 2;
     let expected = {
         let mut serial = config.clone();
         serial.sharded = false;

@@ -85,6 +85,10 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod sched;
+
+pub use sched::{Priority, QueuePolicy, RunQueue, TenantPolicy, WrrQueue};
+
 use ayb_core::{AybError, FlowBuilder, FlowConfig, FlowObserver, OtaSizingProblem};
 use ayb_moo::{CheckpointError, OptimizerConfig, SizingProblem};
 use ayb_net::{ClaimPulse, NetShardTask, TcpTransport};
@@ -94,7 +98,7 @@ use ayb_store::{
     VariationOutcome,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::{HashSet, VecDeque};
+use std::collections::HashSet;
 use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -179,6 +183,13 @@ pub struct JobServerConfig {
     /// filesystem shared with the submitter (`ayb serve --transport
     /// tcp://…`). `None` (the default) services the on-disk plane only.
     pub transport: Option<String>,
+    /// How queued runs are ordered for dispatch: the historical global FIFO
+    /// ([`QueuePolicy::Fifo`], the default), or weighted round-robin across
+    /// tenants with priority lanes ([`QueuePolicy::WeightedTenant`], used by
+    /// the `ayb-svc` service plane). Tenant and priority come from the
+    /// optional `tenant`/`priority` keys of each run's manifest; runs
+    /// without them dispatch as tenant `default` at normal priority.
+    pub queue_policy: QueuePolicy,
 }
 
 impl Default for JobServerConfig {
@@ -193,6 +204,7 @@ impl Default for JobServerConfig {
             service_shards: true,
             shards_only: false,
             transport: None,
+            queue_policy: QueuePolicy::Fifo,
         }
     }
 }
@@ -428,8 +440,9 @@ impl ShutdownHandle {
 type EventHook = Box<dyn Fn(&JobEvent) + Send + Sync>;
 
 struct QueueState {
-    /// Run ids waiting for a worker, FIFO.
-    queue: VecDeque<String>,
+    /// Run ids waiting for a worker, ordered by the configured
+    /// [`QueuePolicy`].
+    queue: RunQueue,
     /// Every id this server has ever enqueued (so the poll scan never
     /// enqueues a run twice, including runs another process is executing).
     seen: HashSet<String>,
@@ -508,11 +521,19 @@ impl JobServer {
     /// Creates a server over `store` (no threads start until
     /// [`JobServer::run`]).
     pub fn new(store: Store, config: JobServerConfig) -> Self {
+        JobServer::new_with_recorder(store, config, Recorder::new())
+    }
+
+    /// [`JobServer::new`] recording into a caller-supplied [`Recorder`]
+    /// instead of a fresh one — an embedding layer (the `ayb-svc` HTTP
+    /// front-end) shares one metrics registry and event ring across its own
+    /// plane and the job server's.
+    pub fn new_with_recorder(store: Store, config: JobServerConfig, recorder: Recorder) -> Self {
         JobServer {
             shared: Arc::new(Shared {
                 store,
                 queue: Mutex::new(QueueState {
-                    queue: VecDeque::new(),
+                    queue: RunQueue::from_policy(&config.queue_policy),
                     seen: HashSet::new(),
                     busy: 0,
                 }),
@@ -520,7 +541,7 @@ impl JobServer {
                 stop_workers: AtomicBool::new(false),
                 halt_runs: Arc::new(AtomicBool::new(false)),
                 events: Mutex::new(None),
-                recorder: Recorder::new(),
+                recorder,
             }),
             config,
         }
@@ -567,6 +588,29 @@ impl JobServer {
     ) -> Result<String, JobError> {
         let handle = self.shared.store.enqueue_run(seed, optimizer, flow)?;
         Ok(handle.id().to_string())
+    }
+
+    /// Withdraws a run from this server's dispatch queue so no worker will
+    /// ever execute it, returning `true` when that is now guaranteed: the
+    /// run was removed from the in-memory queue, or it had not been scanned
+    /// in yet and is now permanently excluded. Returns `false` when a worker
+    /// already dispatched it (it may be executing right now) — the caller
+    /// decides what an in-flight cancellation means.
+    ///
+    /// The caller is responsible for the run's *durable* state (e.g. marking
+    /// it [`RunStatus::Failed`] in the store); this method only controls
+    /// this server's scheduling. Only call it for runs known to be queued:
+    /// for an id this server never saw *and* never will (a completed
+    /// stranger), the exclusion is recorded but meaningless.
+    pub fn cancel_queued(&self, run_id: &str) -> bool {
+        let mut state = self.shared.queue.lock().expect("queue lock");
+        if state.queue.remove(run_id) {
+            return true;
+        }
+        // Not in the queue: either never scanned in (insert returns true —
+        // the `seen` entry blocks any future enqueue) or already dispatched
+        // (insert returns false — too late to cancel the dispatch).
+        state.seen.insert(run_id.to_string())
     }
 
     /// Runs the server: recovery pass, then worker pool + queue polling.
@@ -660,13 +704,37 @@ impl JobServer {
                 (true, state.busy)
             } else {
                 let scan = self.shared.store.poll_queued(&mut terminal)?;
+                // Tenant/priority metadata lives in each run's manifest;
+                // read it *outside* the queue lock (the first scan of a
+                // loaded store may carry thousands of fresh runs, and
+                // workers must not stall on that file I/O). The FIFO policy
+                // is tenant-blind and skips the reads entirely.
+                let needs_meta =
+                    matches!(self.config.queue_policy, QueuePolicy::WeightedTenant { .. });
+                let unseen: Vec<String> = {
+                    let state = self.shared.queue.lock().expect("queue lock");
+                    scan.into_iter()
+                        .filter(|id| !state.seen.contains(id))
+                        .collect()
+                };
+                let annotated: Vec<(String, String, Priority)> = unseen
+                    .into_iter()
+                    .map(|id| {
+                        let (tenant, priority) = if needs_meta {
+                            run_dispatch_meta(&self.shared.store, &id)
+                        } else {
+                            (String::new(), Priority::Normal)
+                        };
+                        (id, tenant, priority)
+                    })
+                    .collect();
                 let mut fresh = Vec::new();
                 let snapshot = {
                     let mut state = self.shared.queue.lock().expect("queue lock");
-                    for id in &scan {
+                    for (id, tenant, priority) in annotated {
                         if state.seen.insert(id.clone()) {
-                            state.queue.push_back(id.clone());
-                            fresh.push(id.clone());
+                            state.queue.push(id.clone(), &tenant, priority);
+                            fresh.push(id);
                         }
                     }
                     let metrics = self.shared.recorder.metrics();
@@ -787,6 +855,30 @@ impl JobServer {
     }
 }
 
+/// The tenant and priority a queued run dispatches under, from the optional
+/// `tenant`/`priority` extras of its manifest (written by the service plane
+/// at submission). Runs without them — every directly `ayb submit`ted run —
+/// dispatch as tenant `default` at normal priority; an unreadable manifest
+/// does too, so a torn write degrades scheduling, never dispatch.
+fn run_dispatch_meta(store: &Store, run_id: &str) -> (String, Priority) {
+    let value = store
+        .run(run_id)
+        .ok()
+        .and_then(|handle| handle.manifest_value().ok());
+    let tenant = value
+        .as_ref()
+        .and_then(|v| v.get("tenant"))
+        .and_then(|v| String::from_value(v).ok())
+        .unwrap_or_else(|| "default".to_string());
+    let priority = value
+        .as_ref()
+        .and_then(|v| v.get("priority"))
+        .and_then(|v| String::from_value(v).ok())
+        .and_then(|name| Priority::parse(&name).ok())
+        .unwrap_or_default();
+    (tenant, priority)
+}
+
 /// Seconds since the run's manifest was last updated (0 when unreadable, so
 /// unreadable manifests are treated as fresh and left alone).
 fn manifest_age_secs(handle: &RunHandle) -> u64 {
@@ -839,7 +931,7 @@ fn worker_loop(
             let id = if config.shards_only {
                 None
             } else {
-                state.queue.pop_front()
+                state.queue.pop()
             };
             match id {
                 Some(id) => {
@@ -861,6 +953,9 @@ fn worker_loop(
         let outcome = execute_run(shared, config, worker, &run_id);
         {
             let mut state = shared.queue.lock().expect("queue lock");
+            // Release the WRR running slot whatever the outcome — a skipped
+            // or failed run must not pin its tenant's cap forever.
+            state.queue.finished(&run_id);
             state.busy -= 1;
         }
         shared.wake.notify_all();

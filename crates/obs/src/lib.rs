@@ -147,6 +147,20 @@ pub mod kind {
     /// A job-server lifecycle event (`job_enqueued`, `job_started`, …);
     /// see `ayb_jobs` for the mapping from `JobEvent`.
     pub const JOB_PREFIX: &str = "job_";
+    /// The service plane accepted a submission; `run` is the created run,
+    /// `detail` names the tenant.
+    pub const SVC_SUBMIT: &str = "svc_submit";
+    /// A submission was answered from the content-addressed dedup index;
+    /// `run` is the canonical run it was folded into.
+    pub const SVC_DEDUP_HIT: &str = "svc_dedup_hit";
+    /// A submission was rejected by a per-tenant quota; `detail` names the
+    /// tenant and the exhausted limit.
+    pub const SVC_QUOTA_REJECTED: &str = "svc_quota_rejected";
+    /// A queued run was cancelled through the service plane.
+    pub const SVC_CANCELLED: &str = "svc_cancelled";
+    /// A malformed or oversized HTTP request was refused (`detail` carries
+    /// the parser's reason) — the connection was answered or closed cleanly.
+    pub const SVC_BAD_REQUEST: &str = "svc_bad_request";
 }
 
 /// One structured telemetry record.

@@ -503,6 +503,16 @@ fn run_id_sort_key(id: &str) -> (&str, Option<u64>, &str) {
     (stem, suffix.parse::<u64>().ok(), id)
 }
 
+/// Whether `key` is one of the core `Manifest` fields, which extras may
+/// never shadow (a `status` "extra" silently diverging from the real status
+/// would corrupt the lifecycle).
+fn manifest_core_key(key: &str) -> bool {
+    matches!(
+        key,
+        "run_id" | "status" | "seed" | "created_unix" | "updated_unix" | "optimizer" | "flow"
+    )
+}
+
 fn valid_run_id(id: &str) -> bool {
     !id.is_empty()
         && id.len() <= 64
@@ -620,7 +630,49 @@ impl Store {
         optimizer: &OptimizerConfig,
         flow: &C,
     ) -> Result<RunHandle, StoreError> {
-        self.create_sequential(seed, optimizer, flow, RunStatus::Queued)
+        self.enqueue_run_with_extras(seed, optimizer, flow, &[])
+    }
+
+    /// [`Store::enqueue_run`] with additional manifest keys written
+    /// atomically alongside the core manifest — there is no window in which
+    /// the run is visible to a polling job server without them. The service
+    /// plane uses this for its `tenant`/`priority`/`submission_digest`
+    /// annotations; [`RunHandle::set_status`] and every other manifest
+    /// rewrite preserve such extra keys. Extras shadowing a core manifest
+    /// key (`run_id`, `status`, `seed`, `created_unix`, `updated_unix`,
+    /// `optimizer`, `flow`) are ignored.
+    ///
+    /// # Errors
+    ///
+    /// As [`Store::enqueue_run`].
+    pub fn enqueue_run_with_extras<C: Serialize>(
+        &self,
+        seed: u64,
+        optimizer: &OptimizerConfig,
+        flow: &C,
+        extras: &[(String, Value)],
+    ) -> Result<RunHandle, StoreError> {
+        let mut id = self.next_run_id()?;
+        for _ in 0..CREATE_RUN_ATTEMPTS {
+            match self.create_with_status_and_extras(
+                &id,
+                seed,
+                optimizer,
+                flow,
+                RunStatus::Queued,
+                extras,
+            ) {
+                Err(StoreError::RunExists(taken)) => {
+                    let n = taken
+                        .strip_prefix("run-")
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or(0);
+                    id = format!("run-{:04}", n + 1);
+                }
+                other => return other,
+            }
+        }
+        Err(StoreError::RunExists(id))
     }
 
     /// Creates a run under a caller-chosen id with status
@@ -690,6 +742,18 @@ impl Store {
         flow: &C,
         status: RunStatus,
     ) -> Result<RunHandle, StoreError> {
+        self.create_with_status_and_extras(id, seed, optimizer, flow, status, &[])
+    }
+
+    fn create_with_status_and_extras<C: Serialize>(
+        &self,
+        id: &str,
+        seed: u64,
+        optimizer: &OptimizerConfig,
+        flow: &C,
+        status: RunStatus,
+        extras: &[(String, Value)],
+    ) -> Result<RunHandle, StoreError> {
         if !valid_run_id(id) {
             return Err(StoreError::InvalidRunId(id.to_string()));
         }
@@ -718,7 +782,20 @@ impl Store {
             run_id: id.to_string(),
             dir,
         };
-        write_json(&handle.manifest_path(), &manifest)?;
+        if extras.is_empty() {
+            write_json(&handle.manifest_path(), &manifest)?;
+        } else {
+            let mut value = manifest.to_value();
+            if let Value::Object(pairs) = &mut value {
+                for (key, extra) in extras {
+                    if manifest_core_key(key) || pairs.iter().any(|(k, _)| k == key) {
+                        continue;
+                    }
+                    pairs.push((key.clone(), extra.clone()));
+                }
+            }
+            write_json(&handle.manifest_path(), &value)?;
+        }
         Ok(handle)
     }
 
@@ -970,6 +1047,49 @@ impl RunHandle {
             }
         }
         write_json(&self.manifest_path(), &value)
+    }
+
+    /// Upserts extra (non-core) keys into the manifest, atomically and
+    /// without disturbing the typed fields — the read-modify-rewrite
+    /// counterpart of [`Store::enqueue_run_with_extras`] for annotations
+    /// that change after creation (the service plane's `dedup_hits` counter,
+    /// a `cancelled` marker). Keys shadowing a core manifest field are
+    /// ignored. Existing extra keys are replaced, new ones appended.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] when the manifest
+    /// cannot be read back or rewritten.
+    pub fn merge_manifest_extras(&self, extras: &[(String, Value)]) -> Result<(), StoreError> {
+        let mut value = self.manifest_value()?;
+        let Value::Object(pairs) = &mut value else {
+            return Err(json_error(
+                &self.manifest_path(),
+                "manifest is not an object",
+            ));
+        };
+        for (key, extra) in extras {
+            if manifest_core_key(key) {
+                continue;
+            }
+            match pairs.iter_mut().find(|(k, _)| k == key) {
+                Some((_, field)) => *field = extra.clone(),
+                None => pairs.push((key.clone(), extra.clone())),
+            }
+        }
+        write_json(&self.manifest_path(), &value)
+    }
+
+    /// Reads one extra manifest key (as written by
+    /// [`Store::enqueue_run_with_extras`] or
+    /// [`RunHandle::merge_manifest_extras`]), or `None` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`]/[`StoreError::Json`] when the manifest is
+    /// missing or malformed.
+    pub fn manifest_extra(&self, key: &str) -> Result<Option<Value>, StoreError> {
+        Ok(self.manifest_value()?.get(key).cloned())
     }
 
     /// Persists one checkpoint as `checkpoints/gen_NNNN.json` (atomically),
@@ -1631,6 +1751,58 @@ mod tests {
             stall_generations: 0,
             senses: vec![Sense::Maximize, Sense::Maximize],
         }
+    }
+
+    #[test]
+    fn manifest_extras_are_atomic_and_survive_every_rewrite() {
+        let (root, store) = temp_store();
+        let extras = vec![
+            ("tenant".to_string(), Value::Str("acme".to_string())),
+            ("submission_digest".to_string(), Value::Str("abc".into())),
+            // Core keys may not be shadowed; this one must be dropped.
+            ("status".to_string(), Value::Str("completed".into())),
+        ];
+        let handle = store
+            .enqueue_run_with_extras(7, &optimizer(), &fake_flow(), &extras)
+            .unwrap();
+        assert_eq!(handle.status().unwrap(), RunStatus::Queued);
+        assert_eq!(
+            handle.manifest_extra("tenant").unwrap(),
+            Some(Value::Str("acme".into()))
+        );
+        assert_eq!(handle.manifest_extra("absent").unwrap(), None);
+
+        // The typed manifest still parses (extras are invisible to it).
+        let manifest: Manifest<FakeFlowConfig> = handle.manifest().unwrap();
+        assert_eq!(manifest.seed, 7);
+        assert_eq!(manifest.flow, fake_flow());
+
+        // A status flip preserves the extras...
+        handle.set_status(RunStatus::Running).unwrap();
+        assert_eq!(
+            handle.manifest_extra("tenant").unwrap(),
+            Some(Value::Str("acme".into()))
+        );
+        // ...and merges upsert without disturbing core fields.
+        handle
+            .merge_manifest_extras(&[
+                ("dedup_hits".to_string(), 3u64.to_value()),
+                ("tenant".to_string(), Value::Str("acme-2".into())),
+                ("seed".to_string(), 999u64.to_value()),
+            ])
+            .unwrap();
+        assert_eq!(
+            handle.manifest_extra("dedup_hits").unwrap(),
+            Some(3u64.to_value())
+        );
+        assert_eq!(
+            handle.manifest_extra("tenant").unwrap(),
+            Some(Value::Str("acme-2".into()))
+        );
+        let manifest: Manifest<FakeFlowConfig> = handle.manifest().unwrap();
+        assert_eq!(manifest.seed, 7, "core keys are never shadowed");
+        assert_eq!(manifest.status, RunStatus::Running);
+        let _ = fs::remove_dir_all(root);
     }
 
     #[test]

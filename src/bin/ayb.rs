@@ -14,6 +14,10 @@
 //!            [--variation-batch N] [--transport tcp://HOST:PORT]
 //! ayb serve  [--store DIR] [--workers N] [--drain] [--shards-only]
 //!            [--transport tcp://HOST:PORT] [--poll-ms MS] [--quiet]
+//! ayb serve-http [--store DIR] [--bind ADDR] [--workers N]
+//!            [--max-connections N] [--default-quota QUEUED:RUNNING]
+//!            [--tenant-quota NAME=QUEUED:RUNNING] [--tenant-weight NAME=W]
+//!            [--poll-ms MS] [--quiet]
 //! ayb coordinate [--bind ADDR] [--poll-ms MS] [--quiet]
 //! ayb status [--store DIR] [RUN_ID]
 //! ayb trace  [--store DIR] RUN_ID
@@ -36,6 +40,15 @@
 //! nothing: restart it and the interrupted runs resume from their latest
 //! checkpoints. `ayb status` shows the queue, `ayb gc` sweeps stale temp
 //! files and prunes old checkpoints.
+//!
+//! `ayb serve-http` is the service plane (the `ayb_svc` crate): a
+//! multi-tenant HTTP/JSON front door over the same store. Clients submit
+//! runs with `POST /v1/runs` (tenant from the `x-ayb-tenant` header), poll
+//! `GET /v1/runs/{id}`, fetch results, cancel queued runs, and scrape
+//! `GET /v1/metrics`. Identical submissions deduplicate to one run
+//! (content-addressed digests), per-tenant quotas answer 429, and the
+//! embedded worker pool dispatches weighted round-robin across tenants
+//! instead of global FIFO. The `ayb-load` binary drives it for scale tests.
 //!
 //! `ayb coordinate` runs the network shard coordinator (the `ayb_net`
 //! crate): a sharded flow submitted with `--transport tcp://HOST:PORT`
@@ -61,6 +74,7 @@ use ayb_moo::{CheckpointError, EarlyStop, OptimizerConfig};
 use ayb_net::{Coordinator, CoordinatorConfig, TcpTransport};
 use ayb_obs::{kind as event_kind, log_to_stderr, Event, Histogram, Severity, StderrSink};
 use ayb_store::{ClaimHealth, Manifest, RunStatus, Store};
+use ayb_svc::{SvcConfig, SvcServer, TenantQuota};
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -81,6 +95,10 @@ USAGE:
                [--variation-batch N] [--transport tcp://HOST:PORT]
     ayb serve  [--store DIR] [--workers N] [--drain] [--shards-only]
                [--transport tcp://HOST:PORT] [--poll-ms MS] [--quiet]
+    ayb serve-http [--store DIR] [--bind ADDR] [--workers N]
+               [--max-connections N] [--default-quota QUEUED:RUNNING]
+               [--tenant-quota NAME=QUEUED:RUNNING] [--tenant-weight NAME=W]
+               [--poll-ms MS] [--quiet]
     ayb coordinate [--bind ADDR] [--poll-ms MS] [--quiet]
     ayb status [--store DIR] [RUN_ID]
     ayb trace  [--store DIR] RUN_ID
@@ -108,7 +126,17 @@ OPTIONS:
                           and submit publish their shards there (no shared
                           filesystem needed); serve also services them
     --bind ADDR           coordinate: address to listen on (default
-                          127.0.0.1:4710; port 0 picks an ephemeral port)
+                          127.0.0.1:4710; port 0 picks an ephemeral port);
+                          serve-http: likewise (default 127.0.0.1:4780)
+    --max-connections N   serve-http: open-connection cap; further clients
+                          get an immediate 503 (default 256)
+    --default-quota Q:R   serve-http: per-tenant quota for tenants without an
+                          override — Q max queued runs (429 beyond it), R max
+                          concurrently running (0 = unlimited; default 0:0)
+    --tenant-quota NAME=Q:R  serve-http: quota override for tenant NAME
+                          (repeatable)
+    --tenant-weight NAME=W   serve-http: scheduler weight for tenant NAME in
+                          the weighted round-robin (default 1; repeatable)
     --halt-after N        Interrupt the run after N checkpoints (simulated crash)
     --workers N           Job-server worker threads (default 2)
     --drain               Serve until the queue is empty, then exit
@@ -149,6 +177,7 @@ fn main() -> ExitCode {
         "resume" => cmd_resume(&parsed),
         "submit" => cmd_submit(&parsed),
         "serve" => cmd_serve(&parsed),
+        "serve-http" => cmd_serve_http(&parsed),
         "coordinate" => cmd_coordinate(&parsed),
         "status" => cmd_status(&parsed),
         "trace" => cmd_trace(&parsed),
@@ -195,6 +224,10 @@ struct CliArgs {
     shards_only: bool,
     transport: Option<String>,
     bind: Option<String>,
+    max_connections: Option<usize>,
+    default_quota: Option<String>,
+    tenant_quotas: Vec<String>,
+    tenant_weights: Vec<String>,
     poll_ms: Option<u64>,
     keep_checkpoints: Option<usize>,
     sweep_all: bool,
@@ -250,6 +283,15 @@ impl CliArgs {
                 "--shards-only" => parsed.shards_only = true,
                 "--transport" => parsed.transport = Some(value_of("--transport")?),
                 "--bind" => parsed.bind = Some(value_of("--bind")?),
+                "--max-connections" => {
+                    parsed.max_connections = Some(parse_number(
+                        &value_of("--max-connections")?,
+                        "--max-connections",
+                    )?)
+                }
+                "--default-quota" => parsed.default_quota = Some(value_of("--default-quota")?),
+                "--tenant-quota" => parsed.tenant_quotas.push(value_of("--tenant-quota")?),
+                "--tenant-weight" => parsed.tenant_weights.push(value_of("--tenant-weight")?),
                 "--poll-ms" => {
                     parsed.poll_ms = Some(parse_number(&value_of("--poll-ms")?, "--poll-ms")?)
                 }
@@ -513,6 +555,96 @@ fn cmd_serve(args: &CliArgs) -> Result<(), String> {
     }
 }
 
+/// Parses a `QUEUED:RUNNING` quota spec.
+fn parse_quota_spec(spec: &str, flag: &str) -> Result<TenantQuota, String> {
+    let (queued, running) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("{flag} expects QUEUED:RUNNING, got `{spec}`"))?;
+    Ok(TenantQuota {
+        max_queued: parse_number(queued, flag)?,
+        max_running: parse_number(running, flag)?,
+    })
+}
+
+/// Parses a `NAME=VALUE` tenant override, handing VALUE to `parse_value`.
+fn parse_tenant_spec<T>(
+    spec: &str,
+    flag: &str,
+    parse_value: impl Fn(&str) -> Result<T, String>,
+) -> Result<(String, T), String> {
+    let (name, value) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("{flag} expects NAME=VALUE, got `{spec}`"))?;
+    if name.is_empty() {
+        return Err(format!("{flag}: empty tenant name in `{spec}`"));
+    }
+    Ok((name.to_string(), parse_value(value)?))
+}
+
+/// Runs the HTTP/JSON service plane until killed: admission (dedup, quotas)
+/// in front of an embedded worker pool dispatching weighted round-robin
+/// across tenants. All durable state is the run store itself — restart the
+/// process and the dedup index and quota ledger rebuild from manifests.
+fn cmd_serve_http(args: &CliArgs) -> Result<(), String> {
+    if !args.positional.is_empty() {
+        return Err("`ayb serve-http` takes no positional arguments".to_string());
+    }
+    let store = args.open_store()?;
+    let mut config = SvcConfig {
+        bind: args
+            .bind
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:4780".to_string()),
+        ..SvcConfig::default()
+    };
+    if let Some(workers) = args.workers {
+        config.workers = workers; // 0 = admission-only, execution elsewhere
+    }
+    if let Some(cap) = args.max_connections {
+        config.max_connections = cap.max(1);
+    }
+    if let Some(poll_ms) = args.poll_ms {
+        config.poll_interval = Duration::from_millis(poll_ms.max(10));
+    }
+    if let Some(spec) = &args.default_quota {
+        config.default_quota = parse_quota_spec(spec, "--default-quota")?;
+    }
+    for spec in &args.tenant_quotas {
+        config
+            .quotas
+            .push(parse_tenant_spec(spec, "--tenant-quota", |v| {
+                parse_quota_spec(v, "--tenant-quota")
+            })?);
+    }
+    for spec in &args.tenant_weights {
+        config
+            .weights
+            .push(parse_tenant_spec(spec, "--tenant-weight", |v| {
+                parse_number::<u32>(v, "--tenant-weight")
+            })?);
+    }
+
+    let workers = config.workers;
+    let server =
+        SvcServer::start(store, config).map_err(|e| format!("cannot start service: {e}"))?;
+    // The URL line is the machine-readable hand-off (scripts and the CI
+    // smoke test scrape it for the resolved port when binding port 0).
+    println!("service: {}", server.url());
+    if !args.quiet {
+        cli_note(
+            Severity::Info,
+            format!(
+                "serving {} over http (workers: {workers})",
+                server.store().root().display()
+            ),
+        );
+        server.recorder().add_sink(Box::new(StderrSink::from_env()));
+    }
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
 /// Runs the network shard coordinator until killed. All its state is in
 /// memory: killing and restarting it is the crash-recovery story (flows
 /// degrade the lost shards to local evaluation; workers find no tasks until
@@ -676,6 +808,28 @@ fn status_of_run(store: &Store, id: &str) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     if !variation.is_empty() {
         println!("variation_checkpoints: {}", variation.len());
+    }
+    // Service-plane annotations (runs admitted through `ayb serve-http`):
+    // tenant, dedup key and hit count, priority lane, cancellation marker.
+    for key in [
+        "tenant",
+        "priority",
+        "submission_digest",
+        "dedup_hits",
+        "cancelled",
+    ] {
+        if let Ok(Some(value)) = handle.manifest_extra(key) {
+            match value {
+                serde::Value::Str(text) => println!("{key}: {text}"),
+                serde::Value::Int(n) => println!("{key}: {n}"),
+                serde::Value::UInt(n) => println!("{key}: {n}"),
+                serde::Value::Bool(b) => println!("{key}: {b}"),
+                other => println!(
+                    "{key}: {}",
+                    serde_json::to_string(&other).unwrap_or_default()
+                ),
+            }
+        }
     }
     if let Ok(Some(value)) = handle.transport_report_value() {
         use serde::Deserialize;

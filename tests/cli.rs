@@ -1,0 +1,106 @@
+//! CLI regression tests: exit codes and error surfaces of the `ayb` binary.
+//!
+//! The service plane maps failures onto distinct HTTP statuses; the shell
+//! contract is the same idea — `ayb status <unknown run>` must *fail* (exit
+//! non-zero with a diagnostic), not print an empty table, because scripts
+//! branch on the exit code.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_store(label: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let root = std::env::temp_dir().join(format!(
+        "ayb-cli-{label}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::SeqCst)
+    ));
+    std::fs::create_dir_all(&root).expect("create temp store");
+    root
+}
+
+fn ayb(store: &std::path::Path, args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ayb"))
+        .arg(args[0])
+        .args(["--store", store.to_str().expect("utf-8 store path")])
+        .args(&args[1..])
+        .output()
+        .expect("ayb binary runs")
+}
+
+#[test]
+fn status_of_an_unknown_run_exits_non_zero_with_a_diagnostic() {
+    let root = temp_store("status-unknown");
+    let output = ayb(&root, &["status", "run-9999"]);
+    assert!(
+        !output.status.success(),
+        "`ayb status run-9999` must exit non-zero for an unknown run"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("run-9999"),
+        "diagnostic must name the missing run, got: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn status_with_no_runs_succeeds_and_says_so() {
+    let root = temp_store("status-empty");
+    let output = ayb(&root, &["status"]);
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("no runs"), "got: {stdout}");
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn status_of_a_service_submitted_run_shows_the_svc_annotations() {
+    let root = temp_store("status-extras");
+    let store = ayb_store::Store::open(&root).expect("open store");
+    let config = ayb_core::FlowConfig::reduced();
+    let optimizer = ayb_moo::OptimizerConfig::Wbga(config.ga);
+    let extras = vec![
+        ("tenant".to_string(), serde::Value::Str("acme".to_string())),
+        (
+            "submission_digest".to_string(),
+            serde::Value::Str("00deadbeef00f00d".to_string()),
+        ),
+        ("dedup_hits".to_string(), serde::Value::Int(3)),
+    ];
+    let run_id = store
+        .enqueue_run_with_extras(7, &optimizer, &config, &extras)
+        .expect("enqueue run")
+        .id()
+        .to_string();
+
+    let output = ayb(&root, &["status", &run_id]);
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("tenant: acme"), "got: {stdout}");
+    assert!(
+        stdout.contains("submission_digest: 00deadbeef00f00d"),
+        "got: {stdout}"
+    );
+    assert!(stdout.contains("dedup_hits: 3"), "got: {stdout}");
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn serve_http_rejects_malformed_quota_and_weight_specs() {
+    let root = temp_store("serve-http-flags");
+    for bad in [
+        ["serve-http", "--default-quota", "nope"],
+        ["serve-http", "--tenant-quota", "acme"],
+        ["serve-http", "--tenant-weight", "=3"],
+    ] {
+        let output = ayb(&root, &bad);
+        assert!(
+            !output.status.success(),
+            "`ayb {}` must exit non-zero",
+            bad.join(" ")
+        );
+    }
+    let _ = std::fs::remove_dir_all(root);
+}

@@ -616,3 +616,136 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Wire robustness: both network listeners — the coordinator's length-framed
+// TCP plane and the service plane's HTTP/1.1 listener — face sockets they do
+// not control. Arbitrary garbage, truncated frames, and hostile length
+// announcements must never wedge or kill a listener: the abusive connection
+// is rejected or dropped, and the *next* well-formed request on a fresh
+// connection is answered normally.
+
+/// Writes `bytes`, half-closes, then drains whatever the peer says until it
+/// hangs up. Read timeouts are treated as the peer's (acceptable) silence.
+fn abuse_socket(addr: std::net::SocketAddr, bytes: &[u8]) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("abuse connection");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .expect("read timeout");
+    // The listener may already have dropped us mid-write; that is fine.
+    let _ = stream.write_all(bytes);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = Vec::new();
+    let _ = stream.read_to_end(&mut sink);
+}
+
+proptest! {
+    // Each case binds a fresh listener; a handful of cases keeps the suite
+    // fast while still sampling structurally different garbage.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The coordinator survives raw garbage, a truncated frame, and a frame
+    /// header announcing an absurd length — and still answers a well-formed
+    /// `Stats` request afterwards.
+    #[test]
+    fn coordinator_survives_hostile_bytes_on_the_wire(
+        raw in proptest::collection::vec(0u32..256, 0usize..512),
+        announced in (ayb_net::wire::MAX_FRAME_BYTES as u32 + 1)..u32::MAX,
+    ) {
+        use ayb_net::wire::{read_frame, write_frame, Request, Response};
+        use ayb_net::{Coordinator, CoordinatorConfig};
+
+        let garbage: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+
+        let coordinator = Coordinator::bind("127.0.0.1:0", CoordinatorConfig::default())
+            .expect("coordinator binds");
+        let addr = coordinator.local_addr();
+
+        // Raw garbage: the first 4 bytes parse as some length; the body
+        // never arrives in full.
+        abuse_socket(addr, &garbage);
+        // Hostile announcement: a header promising more than the frame
+        // bound must be rejected before any allocation.
+        abuse_socket(addr, &announced.to_be_bytes());
+        // Truncated frame: announce a modest length, deliver half.
+        let mut truncated = 64u32.to_be_bytes().to_vec();
+        truncated.extend_from_slice(&garbage[..garbage.len().min(32)]);
+        abuse_socket(addr, &truncated);
+
+        // A fresh, well-formed connection is served as if nothing happened.
+        let mut stream = std::net::TcpStream::connect(addr).expect("stats connection");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .expect("read timeout");
+        write_frame(&mut stream, &Request::Stats).expect("stats request writes");
+        let response: Response = read_frame(&mut stream).expect("stats response arrives");
+        prop_assert!(
+            matches!(response, Response::Stats { .. }),
+            "coordinator answered {response:?} after wire abuse"
+        );
+        coordinator.shutdown();
+    }
+
+    /// The HTTP listener survives garbage request lines, header floods, and
+    /// oversized content-length announcements — each abusive connection gets
+    /// a 4xx or a clean close, and `GET /v1/metrics` still answers afterwards.
+    #[test]
+    fn http_listener_survives_hostile_bytes_on_the_wire(
+        raw in proptest::collection::vec(0u32..256, 0usize..512),
+        flood_lines in 70usize..120,
+    ) {
+        use ayb_svc::{SvcClient, SvcConfig, SvcServer};
+
+        let garbage: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+
+        let root = std::env::temp_dir().join(format!(
+            "ayb-prop-http-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .as_nanos()
+        ));
+        let store = ayb_store::Store::open(&root).expect("store opens");
+        let mut server = SvcServer::start(
+            store,
+            SvcConfig {
+                workers: 0,
+                ..SvcConfig::default()
+            },
+        )
+        .expect("service starts");
+        let addr = server.local_addr();
+
+        // Raw garbage where a request line belongs.
+        abuse_socket(addr, &garbage);
+        // A header flood beyond the per-request header cap.
+        let mut flood = b"GET /v1/metrics HTTP/1.1\r\n".to_vec();
+        for line in 0..flood_lines {
+            flood.extend_from_slice(format!("x-flood-{line}: y\r\n").as_bytes());
+        }
+        flood.extend_from_slice(b"\r\n");
+        abuse_socket(addr, &flood);
+        // An announced body far beyond the body cap, with no body sent.
+        abuse_socket(
+            addr,
+            b"POST /v1/runs HTTP/1.1\r\ncontent-length: 999999999\r\n\r\n",
+        );
+        // A truncated body: promise 100 bytes, deliver a handful, hang up.
+        abuse_socket(
+            addr,
+            b"POST /v1/runs HTTP/1.1\r\ncontent-length: 100\r\n\r\n{\"seed\"",
+        );
+
+        // The listener still serves well-formed traffic.
+        let client = SvcClient::new(&server.url()).expect("client url");
+        let metrics = client.metrics_text().expect("metrics still served");
+        prop_assert!(
+            metrics.contains("ayb_svc_requests_total"),
+            "metrics page lost its counters after wire abuse"
+        );
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

@@ -6,7 +6,8 @@
 //! flow, and writes a schema-versioned JSON report:
 //!
 //! ```text
-//! bench [--quick] [--out FILE] [--check BASELINE] [--tolerance FRACTION]
+//! bench [--quick] [--out FILE] [--check BASELINE | --check-latest DIR]
+//!       [--tolerance FRACTION]
 //! ```
 //!
 //! * `--quick` — CI mode: fewer outer iterations per kernel. The *work per
@@ -18,15 +19,20 @@
 //!   the tolerance (default 0.30, i.e. 30%). Kernels present on only one
 //!   side are reported but never fail the check, so kernels can be added
 //!   without re-baselining in the same commit.
+//! * `--check-latest DIR` — like `--check`, but selects the newest
+//!   `BENCH_*.json` in `DIR` by each report's own `generated_unix` stamp
+//!   (filename order only breaks ties), so a misnamed baseline can never
+//!   shadow a newer one.
 //!
 //! The committed baselines (`BENCH_<date>.json` at the repo root) are the
 //! performance trajectory: each entry is one machine's quick-mode run, and
 //! CI's `bench-smoke` leg gates pull requests against the newest one.
 
+use ayb_bench::{load_newest_baseline, BenchReport, KernelReport, BENCH_SCHEMA_VERSION};
 use ayb_circuit::ota::{build_open_loop_testbench, OtaParameters, OtaTestbenchConfig};
 use ayb_circuit::{Mosfet, MosfetModelCard, NodeId};
 use ayb_core::{FlowBuilder, FlowConfig, OtaSizingProblem};
-use ayb_moo::{ShardTransport, SizingProblem};
+use ayb_moo::{CachedProblem, ShardTransport, SizingProblem};
 use ayb_net::{Coordinator, CoordinatorConfig, TcpTransport};
 use ayb_sim::linalg::{backend_of, solve_in_place, CsrMatrix, DenseMatrix, PatternBuilder};
 use ayb_sim::{
@@ -36,39 +42,14 @@ use ayb_sim::{
 use ayb_store::{
     ShardDataPlane, ShardOutcome, ShardWork, ShardWorkKind, VariationOutcome, VariationPointWork,
 };
-use serde::{Deserialize, Serialize};
 use std::hint::black_box;
 use std::process::ExitCode;
-use std::time::{Duration, Instant};
-
-/// Report format version; bump when the JSON shape changes.
-const SCHEMA_VERSION: u64 = 1;
+use std::time::{Duration, Instant, SystemTime};
 
 /// Default regression tolerance for `--check`: a kernel may be up to 30%
 /// slower than the baseline before the check fails (CI machines are noisy;
 /// the committed trajectory is for catching step changes, not 5% drift).
 const DEFAULT_TOLERANCE: f64 = 0.30;
-
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct KernelReport {
-    /// Stable kernel name; the unit `--check` compares across reports.
-    name: String,
-    /// Outer (timed) iterations.
-    iters: u64,
-    /// Mean seconds per iteration.
-    mean_seconds: f64,
-    /// Best (minimum) seconds per iteration — what `--check` compares,
-    /// being the least noise-sensitive statistic.
-    min_seconds: f64,
-}
-
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct BenchReport {
-    schema_version: u64,
-    /// `quick` or `full`.
-    mode: String,
-    kernels: Vec<KernelReport>,
-}
 
 /// Times `work` for `iters` iterations (after `warmup` untimed ones),
 /// recording each iteration separately so the report can carry both the
@@ -253,6 +234,47 @@ fn bench_batch_evaluate(iters: u64) -> KernelReport {
     })
 }
 
+/// A revisit-heavy synthetic batch: 16 distinct candidates, each appearing
+/// 8 times (128 evaluations, 16 unique) — the shape a converging optimiser
+/// produces once elites recur generation after generation.
+fn revisit_batch(problem: &OtaSizingProblem) -> Vec<Vec<f64>> {
+    let unique = gene_batch(16, problem.parameter_count());
+    (0..8).flat_map(|_| unique.iter().cloned()).collect()
+}
+
+/// The revisit-heavy batch solved straight: all 128 evaluations pay a full
+/// circuit solve. The uncached half of the eval-cache trajectory pair.
+fn bench_batch_evaluate_revisit(iters: u64) -> KernelReport {
+    let problem = OtaSizingProblem::new(
+        OtaTestbenchConfig::new(),
+        FrequencySweep::logarithmic(10.0, 1e9, 8),
+    )
+    .with_threads(2);
+    let batch = revisit_batch(&problem);
+    time_kernel("batch_evaluate_16x8_uncached", iters, 1, || {
+        black_box(problem.evaluate_batch(black_box(&batch)));
+    })
+}
+
+/// The same 128-evaluation batch through the in-process evaluation cache
+/// (`FlowConfig::eval_cache` machinery): 16 solves, 112 served as hits. A
+/// fresh cache per iteration keeps every iteration's work identical. The
+/// committed trajectory expects this kernel at least ~2× faster than
+/// `batch_evaluate_16x8_uncached` — the revisit speedup the cache exists
+/// for, with the determinism digest unchanged (hits are exact-bits only).
+fn bench_batch_evaluate_revisit_cached(iters: u64) -> KernelReport {
+    let problem = OtaSizingProblem::new(
+        OtaTestbenchConfig::new(),
+        FrequencySweep::logarithmic(10.0, 1e9, 8),
+    )
+    .with_threads(2);
+    let batch = revisit_batch(&problem);
+    time_kernel("batch_evaluate_16x8_cached", iters, 1, || {
+        let cached = CachedProblem::new(&problem, 1e-9);
+        black_box(cached.evaluate_batch(black_box(&batch)));
+    })
+}
+
 /// One complete shard conversation — open epoch, publish, claim, submit,
 /// fetch, close — through the store's on-disk plane.
 fn bench_shard_roundtrip_disk(iters: u64) -> KernelReport {
@@ -364,9 +386,14 @@ fn run_all(quick: bool) -> BenchReport {
     // Quick mode trims outer iterations only — per-iteration work is
     // identical, keeping quick runs comparable to the quick baseline.
     let (micro, macro_, flow) = if quick { (5, 3, 1) } else { (20, 10, 3) };
+    let generated_unix = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
     BenchReport {
-        schema_version: SCHEMA_VERSION,
+        schema_version: BENCH_SCHEMA_VERSION,
         mode: if quick { "quick" } else { "full" }.to_string(),
+        generated_unix,
         kernels: vec![
             bench_mna_lu_solve(micro),
             bench_sparse_lu_solve(micro),
@@ -375,6 +402,8 @@ fn run_all(quick: bool) -> BenchReport {
             bench_ac_sweep(micro),
             bench_ac_sweep_sparse(micro),
             bench_batch_evaluate(macro_),
+            bench_batch_evaluate_revisit(macro_),
+            bench_batch_evaluate_revisit_cached(macro_),
             bench_shard_roundtrip_disk(macro_),
             bench_variation_batch_roundtrip_disk(macro_),
             bench_shard_roundtrip_tcp(macro_),
@@ -435,7 +464,14 @@ fn check_against(current: &BenchReport, baseline: &BenchReport, tolerance: f64) 
     regressions
 }
 
-fn parse_args() -> Result<(bool, Option<String>, Option<String>, f64), String> {
+/// How `--check` finds its baseline: an explicit file, or the newest
+/// stamped `BENCH_*.json` in a directory.
+enum CheckSource {
+    File(String),
+    Latest(String),
+}
+
+fn parse_args() -> Result<(bool, Option<String>, Option<CheckSource>, f64), String> {
     let mut quick = false;
     let mut out = None;
     let mut check = None;
@@ -445,7 +481,16 @@ fn parse_args() -> Result<(bool, Option<String>, Option<String>, f64), String> {
         match arg.as_str() {
             "--quick" => quick = true,
             "--out" => out = Some(iter.next().ok_or("--out expects a file path")?),
-            "--check" => check = Some(iter.next().ok_or("--check expects a baseline path")?),
+            "--check" => {
+                check = Some(CheckSource::File(
+                    iter.next().ok_or("--check expects a baseline path")?,
+                ))
+            }
+            "--check-latest" => {
+                check = Some(CheckSource::Latest(
+                    iter.next().ok_or("--check-latest expects a directory")?,
+                ))
+            }
             "--tolerance" => {
                 let text = iter.next().ok_or("--tolerance expects a fraction")?;
                 tolerance = text
@@ -464,7 +509,8 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!(
-                "usage: bench [--quick] [--out FILE] [--check BASELINE] [--tolerance FRACTION]"
+                "usage: bench [--quick] [--out FILE] [--check BASELINE | --check-latest DIR] \
+                 [--tolerance FRACTION]"
             );
             return ExitCode::from(2);
         }
@@ -481,16 +527,37 @@ fn main() -> ExitCode {
         }
         None => println!("{json}"),
     }
-    if let Some(path) = check {
-        let baseline: BenchReport = match std::fs::read_to_string(&path)
-            .map_err(|e| e.to_string())
-            .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
-        {
-            Ok(baseline) => baseline,
-            Err(error) => {
-                eprintln!("error: cannot load baseline {path}: {error}");
-                return ExitCode::FAILURE;
+    if let Some(source) = check {
+        let baseline: BenchReport = match source {
+            CheckSource::File(path) => {
+                match std::fs::read_to_string(&path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
+                {
+                    Ok(baseline) => baseline,
+                    Err(error) => {
+                        eprintln!("error: cannot load baseline {path}: {error}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
+            CheckSource::Latest(dir) => match load_newest_baseline(std::path::Path::new(&dir)) {
+                Ok(Some((name, baseline))) => {
+                    eprintln!(
+                        "[bench] newest baseline: {name} (generated_unix {})",
+                        baseline.generated_unix
+                    );
+                    baseline
+                }
+                Ok(None) => {
+                    eprintln!("error: no BENCH_*.json baselines in {dir}");
+                    return ExitCode::FAILURE;
+                }
+                Err(error) => {
+                    eprintln!("error: {error}");
+                    return ExitCode::FAILURE;
+                }
+            },
         };
         let regressions = check_against(&report, &baseline, tolerance);
         if !regressions.is_empty() {

@@ -72,6 +72,14 @@ pub struct FlowConfig {
     /// overhead; per-point checkpoints are preserved, so batching never
     /// changes results or resumability.
     pub variation_batch: usize,
+    /// Quantization step of the in-process evaluation cache
+    /// ([`ayb_moo::CachedProblem`]). `None` (the default) disables the
+    /// cache; `Some(step)` memoises evaluations keyed by the parameter
+    /// vector quantized at `step`, serving a hit only on bit-identical raw
+    /// parameters — so the cache skips repeated solves without ever
+    /// changing results or the determinism digest. Hits are reported in
+    /// [`FlowTimings::eval_cache_hits`](crate::FlowTimings).
+    pub eval_cache: Option<f64>,
 }
 
 impl FlowConfig {
@@ -92,6 +100,7 @@ impl FlowConfig {
             transport: None,
             solver: SolverKind::Dense,
             variation_batch: 8,
+            eval_cache: None,
         }
     }
 
@@ -123,6 +132,7 @@ impl FlowConfig {
             transport: None,
             solver: SolverKind::Dense,
             variation_batch: 3,
+            eval_cache: None,
         }
     }
 
@@ -187,6 +197,12 @@ impl Deserialize for FlowConfig {
             Some(field) => Deserialize::from_value(field)?,
             None => 1,
         };
+        // The evaluation cache postdates everything above; absent (or
+        // explicit null) means "cache off", the historical behaviour.
+        let eval_cache = match value.get("eval_cache") {
+            Some(field) => Deserialize::from_value(field)?,
+            None => None,
+        };
         Ok(FlowConfig {
             ga: Deserialize::from_value(serde::__field(value, "ga")?)?,
             monte_carlo: Deserialize::from_value(serde::__field(value, "monte_carlo")?)?,
@@ -204,6 +220,7 @@ impl Deserialize for FlowConfig {
             transport,
             solver,
             variation_batch,
+            eval_cache,
         })
     }
 }
@@ -247,6 +264,7 @@ mod tests {
         config.transport = Some("tcp://127.0.0.1:4710".to_string());
         config.solver = SolverKind::Sparse;
         config.variation_batch = 5;
+        config.eval_cache = Some(1e-9);
         let serde::Value::Object(mut pairs) = serde::Serialize::to_value(&config) else {
             panic!("FlowConfig serializes to an object");
         };
@@ -256,6 +274,7 @@ mod tests {
                 && key != "transport"
                 && key != "solver"
                 && key != "variation_batch"
+                && key != "eval_cache"
         });
         let legacy = serde::Value::Object(pairs);
         let back: FlowConfig = serde::Deserialize::from_value(&legacy).expect("legacy loads");
@@ -264,6 +283,7 @@ mod tests {
         assert_eq!(back.transport, None);
         assert_eq!(back.solver, SolverKind::Dense);
         assert_eq!(back.variation_batch, 1);
+        assert_eq!(back.eval_cache, None);
         assert_eq!(back.ga, config.ga);
         assert_eq!(back.threads, config.threads);
 

@@ -43,8 +43,8 @@ use crate::ota_problem::{measure_testbench_with, OtaSizingProblem};
 use ayb_behavioral::{CombinedOtaModel, ModelError, ParetoPointData};
 use ayb_circuit::ota::{build_open_loop_testbench, OtaParameters};
 use ayb_moo::{
-    drive_epoch, Checkpoint, CheckpointControl, CheckpointError, EpochWork, Evaluation,
-    OptimizationResult, OptimizerConfig, ShardError, ShardTransport, ShardedEvaluator,
+    drive_epoch, CachedProblem, Checkpoint, CheckpointControl, CheckpointError, EpochWork,
+    Evaluation, OptimizationResult, OptimizerConfig, ShardError, ShardTransport, ShardedEvaluator,
     ShardingOptions, SizingProblem, WithEvaluator,
 };
 use ayb_net::TcpTransport;
@@ -135,6 +135,13 @@ pub struct FlowTimings {
     /// Shards that degraded from the data plane to local production (each
     /// one also lands in the run's transport report with its cause).
     pub shards_degraded: usize,
+    /// Optimiser evaluations answered by the in-process evaluation cache
+    /// (0 when [`FlowConfig::eval_cache`](crate::FlowConfig::eval_cache) is
+    /// off). Timing-only accounting: served values are bit-identical to
+    /// recomputation, so the determinism digest never depends on this.
+    pub eval_cache_hits: u64,
+    /// Optimiser evaluations that consulted the cache (hits + misses).
+    pub eval_cache_lookups: u64,
 }
 
 impl FlowTimings {
@@ -172,6 +179,14 @@ impl Deserialize for FlowTimings {
             Some(field) => Deserialize::from_value(field)?,
             None => 0,
         };
+        let eval_cache_hits = match value.get("eval_cache_hits") {
+            Some(field) => Deserialize::from_value(field)?,
+            None => 0,
+        };
+        let eval_cache_lookups = match value.get("eval_cache_lookups") {
+            Some(field) => Deserialize::from_value(field)?,
+            None => 0,
+        };
         Ok(FlowTimings {
             optimization: Deserialize::from_value(serde::__field(value, "optimization")?)?,
             monte_carlo: Deserialize::from_value(serde::__field(value, "monte_carlo")?)?,
@@ -182,6 +197,8 @@ impl Deserialize for FlowTimings {
             shard_request_seconds,
             shards_fenced,
             shards_degraded,
+            eval_cache_hits,
+            eval_cache_lookups,
         })
     }
 }
@@ -940,13 +957,25 @@ impl FlowBuilder {
         // holds the observers) and drained into the observers at every exit
         // from this stage.
         let degraded_events: Arc<Mutex<Vec<(usize, String)>>> = Arc::default();
-        // The wrapper borrows `problem`, so the optimisation runs in its own
-        // scope; results are identical sharded or not (see
-        // `ayb_moo::sharding`).
+        // Optional cross-generation evaluation cache under the optimiser:
+        // repeated candidates skip the solve. A hit is served only for
+        // bit-identical raw parameters, so enabling the cache never changes
+        // results or the determinism digest (see `ayb_moo::evalcache`).
+        let eval_cache = self
+            .config
+            .eval_cache
+            .map(|step| CachedProblem::new(&problem, step));
+        let base: &dyn SizingProblem = match &eval_cache {
+            Some(cached) => cached,
+            None => &problem,
+        };
+        // The wrapper borrows `problem` (through the cache, when enabled),
+        // so the optimisation runs in its own scope; results are identical
+        // sharded or not (see `ayb_moo::sharding`).
         let sharded = shard_plane.as_ref().map(|plane| {
             let sink = Arc::clone(&degraded_events);
             WithEvaluator::new(
-                &problem,
+                base,
                 ShardedEvaluator::new(
                     plane.boxed_transport(),
                     ShardingOptions::with_shard_size(self.config.shard_size),
@@ -961,7 +990,7 @@ impl FlowBuilder {
         });
         let sizing: &dyn SizingProblem = match &sharded {
             Some(wrapped) => wrapped,
-            None => &problem,
+            None => base,
         };
 
         let t0 = Instant::now();
@@ -1038,7 +1067,12 @@ impl FlowBuilder {
             }
         };
         let optimization_time = t0.elapsed();
-        drop(sharded); // ends the wrapper's borrow of `problem`
+        drop(sharded); // ends the wrapper's borrow of the (cached) problem
+        let (eval_cache_hits, eval_cache_lookups) = eval_cache
+            .as_ref()
+            .map(|cache| (cache.hits(), cache.lookups()))
+            .unwrap_or((0, 0));
+        drop(eval_cache); // ends the cache's borrow of `problem`
         drain_degraded(
             &mut self.observers,
             &degraded_events,
@@ -1077,6 +1111,8 @@ impl FlowBuilder {
             events_guard,
             timings: FlowTimings {
                 optimization: optimization_time,
+                eval_cache_hits,
+                eval_cache_lookups,
                 ..FlowTimings::default()
             },
         })
@@ -2149,6 +2185,8 @@ mod tests {
             shard_request_seconds: 0.5,
             shards_fenced: 1,
             shards_degraded: 2,
+            eval_cache_hits: 12,
+            eval_cache_lookups: 30,
         };
         let serde::Value::Object(mut pairs) = serde::Serialize::to_value(&timings) else {
             panic!("FlowTimings serializes to an object");
@@ -2160,6 +2198,8 @@ mod tests {
                 && key != "shard_request_seconds"
                 && key != "shards_fenced"
                 && key != "shards_degraded"
+                && key != "eval_cache_hits"
+                && key != "eval_cache_lookups"
         });
         let legacy = serde::Value::Object(pairs);
         let back: FlowTimings = serde::Deserialize::from_value(&legacy).expect("legacy loads");
@@ -2169,6 +2209,8 @@ mod tests {
         assert_eq!(back.shard_request_seconds, 0.0);
         assert_eq!(back.shards_fenced, 0);
         assert_eq!(back.shards_degraded, 0);
+        assert_eq!(back.eval_cache_hits, 0);
+        assert_eq!(back.eval_cache_lookups, 0);
         assert_eq!(back.monte_carlo, timings.monte_carlo);
 
         // And the current shape round-trips unchanged.
@@ -2219,6 +2261,37 @@ mod tests {
         assert_eq!(reseeded.optimizer().seed(), 0xabcd);
         assert_eq!(reseeded.config().monte_carlo.seed, 0xabcd);
         assert_eq!(reseeded.optimizer().name(), "random_search");
+    }
+
+    #[test]
+    fn eval_cache_is_digest_neutral_and_observable_in_timings() {
+        let mut config = FlowConfig::reduced();
+        config.ga.generations = 3;
+        config.sweep = ayb_sim::FrequencySweep::logarithmic(10.0, 1e9, 4);
+        config.monte_carlo.samples = 4;
+        config.max_pareto_points = 4;
+
+        let off = FlowBuilder::new(config.clone())
+            .with_seed(5)
+            .run()
+            .expect("uncached flow completes");
+        config.eval_cache = Some(1e-9);
+        let on = FlowBuilder::new(config)
+            .with_seed(5)
+            .run()
+            .expect("cached flow completes");
+
+        assert_eq!(
+            off.determinism_digest(),
+            on.determinism_digest(),
+            "the evaluation cache must never change results"
+        );
+        // The cache is off by default (no lookups recorded)…
+        assert_eq!(off.timings.eval_cache_lookups, 0);
+        assert_eq!(off.timings.eval_cache_hits, 0);
+        // …and on when configured: every optimiser evaluation consults it.
+        assert!(on.timings.eval_cache_lookups > 0);
+        assert!(on.timings.eval_cache_hits <= on.timings.eval_cache_lookups);
     }
 
     #[test]

@@ -124,7 +124,6 @@ pub enum QueuePolicy {
     },
 }
 
-
 /// One tenant's queue state inside a [`WrrQueue`].
 #[derive(Debug, Default)]
 struct TenantLanes {

@@ -1,0 +1,331 @@
+//! An in-process, cross-generation **evaluation cache**.
+//!
+//! GA populations revisit points: elitism carries individuals across
+//! generations verbatim, archives are re-evaluated by variation studies, and
+//! converged populations cluster. [`CachedProblem`] wraps any
+//! [`SizingProblem`] and answers repeated evaluations from memory, so a
+//! revisited point skips the expensive solve (the MNA factorisation, for the
+//! circuit problems) entirely.
+//!
+//! ## Digest neutrality, by construction
+//!
+//! The cache is keyed by a *quantized* copy of the parameter vector — each
+//! coordinate is divided by the configured step and rounded, so one map
+//! entry covers a whole bucket of near-identical points and memory stays
+//! bounded. A hit, however, is served **only when the stored raw parameters
+//! are bit-for-bit equal** to the queried ones. Evaluation is a pure
+//! function of the raw parameters, so a served hit is exactly the value the
+//! wrapped problem would have recomputed: enabling the cache can never
+//! change an optimiser's trajectory or a flow's determinism digest. The
+//! quantization step only tunes how buckets (and therefore collisions —
+//! which are misses, not wrong answers) are laid out.
+//!
+//! Infeasible outcomes (`None`) are cached too: a diverging bias point is
+//! just as expensive to rediscover as a converging one.
+//!
+//! Batch evaluation additionally de-duplicates *within* the batch: identical
+//! candidates in one population are solved once and fanned out, while the
+//! distinct remainder still goes through the wrapped problem's own
+//! `evaluate_batch` (keeping its thread pool or shard plane in play).
+
+use crate::problem::{Evaluation, ObjectiveSpec, SizingProblem};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default bound on cached entries; when reached the cache stops inserting
+/// (deterministically) but keeps serving existing entries.
+const DEFAULT_MAX_ENTRIES: usize = 262_144;
+
+/// A cached outcome: the exact raw parameters it was computed from, plus
+/// the objective values (`None` = infeasible).
+type Cached = (Vec<f64>, Option<Vec<f64>>);
+
+/// A [`SizingProblem`] wrapper that memoises evaluations.
+///
+/// See the [module docs](self) for the exactness guarantee. Hit/lookup
+/// counters are exposed so flows can report cache effectiveness without
+/// perturbing results.
+pub struct CachedProblem<P> {
+    inner: P,
+    step: f64,
+    max_entries: usize,
+    map: Mutex<HashMap<Vec<u64>, Cached>>,
+    hits: AtomicU64,
+    lookups: AtomicU64,
+}
+
+/// Whether two vectors are bit-for-bit identical (the hit condition).
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+impl<P: SizingProblem> CachedProblem<P> {
+    /// Wraps `inner` with a cache using quantization step `step` (values
+    /// `<= 0` or non-finite fall back to a fine default of `1e-12`).
+    pub fn new(inner: P, step: f64) -> CachedProblem<P> {
+        let step = if step.is_finite() && step > 0.0 {
+            step
+        } else {
+            1e-12
+        };
+        CachedProblem {
+            inner,
+            step,
+            max_entries: DEFAULT_MAX_ENTRIES,
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+        }
+    }
+
+    /// Caps the number of cached entries (insertions stop at the cap; hits
+    /// keep being served).
+    #[must_use]
+    pub fn with_max_entries(mut self, max_entries: usize) -> CachedProblem<P> {
+        self.max_entries = max_entries.max(1);
+        self
+    }
+
+    /// Evaluations answered from the cache (including in-batch duplicates).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total evaluations requested through this wrapper.
+    pub fn lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("eval cache lock").len()
+    }
+
+    /// Whether the cache holds no entries yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bucket key of `parameters`: each coordinate divided by the step
+    /// and rounded. One entry per bucket bounds memory; a bucket collision
+    /// with different raw bits is a miss (and the newer point takes the
+    /// bucket over), never a wrong answer.
+    fn bucket(&self, parameters: &[f64]) -> Vec<u64> {
+        parameters
+            .iter()
+            .map(|&p| ((p / self.step).round() as i64) as u64)
+            .collect()
+    }
+
+    /// Inserts unless the cap is reached (replacing an existing bucket
+    /// entry is always allowed).
+    fn store(
+        &self,
+        map: &mut HashMap<Vec<u64>, Cached>,
+        key: Vec<u64>,
+        parameters: &[f64],
+        objectives: Option<Vec<f64>>,
+    ) {
+        if map.len() < self.max_entries || map.contains_key(&key) {
+            map.insert(key, (parameters.to_vec(), objectives));
+        }
+    }
+}
+
+impl<P: SizingProblem> SizingProblem for CachedProblem<P> {
+    fn parameter_count(&self) -> usize {
+        self.inner.parameter_count()
+    }
+
+    fn objectives(&self) -> &[ObjectiveSpec] {
+        self.inner.objectives()
+    }
+
+    fn evaluate(&self, parameters: &[f64]) -> Option<Vec<f64>> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let key = self.bucket(parameters);
+        {
+            let map = self.map.lock().expect("eval cache lock");
+            if let Some((stored, outcome)) = map.get(&key) {
+                if bits_equal(stored, parameters) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return outcome.clone();
+                }
+            }
+        }
+        let outcome = self.inner.evaluate(parameters);
+        let mut map = self.map.lock().expect("eval cache lock");
+        self.store(&mut map, key, parameters, outcome.clone());
+        outcome
+    }
+
+    fn evaluate_batch(&self, batch: &[Vec<f64>]) -> Vec<Option<Evaluation>> {
+        self.lookups
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+
+        /// Where slot `i`'s answer comes from.
+        enum Slot {
+            /// Served from the cross-generation cache.
+            Hit(Option<Evaluation>),
+            /// Index into the de-duplicated miss list.
+            Miss(usize),
+        }
+
+        let mut slots: Vec<Slot> = Vec::with_capacity(batch.len());
+        let mut misses: Vec<Vec<f64>> = Vec::new();
+        let mut miss_keys: Vec<Vec<u64>> = Vec::new();
+        // Raw-bits key → miss index: identical candidates inside one batch
+        // are solved once and fanned out.
+        let mut in_batch: HashMap<Vec<u64>, usize> = HashMap::new();
+        {
+            let map = self.map.lock().expect("eval cache lock");
+            for parameters in batch {
+                let key = self.bucket(parameters);
+                if let Some((stored, outcome)) = map.get(&key) {
+                    if bits_equal(stored, parameters) {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        slots.push(Slot::Hit(
+                            outcome
+                                .clone()
+                                .map(|objectives| Evaluation::new(parameters.clone(), objectives)),
+                        ));
+                        continue;
+                    }
+                }
+                let bits: Vec<u64> = parameters.iter().map(|p| p.to_bits()).collect();
+                match in_batch.get(&bits) {
+                    Some(&index) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        slots.push(Slot::Miss(index));
+                    }
+                    None => {
+                        let index = misses.len();
+                        in_batch.insert(bits, index);
+                        misses.push(parameters.clone());
+                        miss_keys.push(key);
+                        slots.push(Slot::Miss(index));
+                    }
+                }
+            }
+        }
+
+        // The distinct misses go through the wrapped problem's own batch
+        // path — its parallelism (or shard plane) stays in effect.
+        let results = if misses.is_empty() {
+            Vec::new()
+        } else {
+            self.inner.evaluate_batch(&misses)
+        };
+
+        {
+            let mut map = self.map.lock().expect("eval cache lock");
+            for ((key, parameters), result) in miss_keys.into_iter().zip(&misses).zip(&results) {
+                let objectives = result.as_ref().map(|e| e.objectives.clone());
+                self.store(&mut map, key, parameters, objectives);
+            }
+        }
+
+        slots
+            .into_iter()
+            .zip(batch)
+            .map(|(slot, parameters)| match slot {
+                Slot::Hit(evaluation) => evaluation,
+                Slot::Miss(index) => results[index]
+                    .as_ref()
+                    .map(|e| Evaluation::new(parameters.clone(), e.objectives.clone())),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnProblem;
+    use std::sync::atomic::AtomicUsize;
+
+    fn counted_problem(
+        calls: &AtomicUsize,
+    ) -> FnProblem<impl Fn(&[f64]) -> Option<Vec<f64>> + Sync + '_> {
+        FnProblem::new(
+            2,
+            vec![ObjectiveSpec::maximize("f1"), ObjectiveSpec::minimize("f2")],
+            move |x: &[f64]| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                if x[0] > 0.9 {
+                    None
+                } else {
+                    Some(vec![x[0] + x[1], x[0] * x[1]])
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn cached_results_match_uncached_including_infeasible_points() {
+        let calls = AtomicUsize::new(0);
+        let plain = counted_problem(&calls);
+        let cached = CachedProblem::new(counted_problem(&calls), 1e-6);
+        let batch: Vec<Vec<f64>> = (0..24)
+            .map(|i| vec![(i as f64) / 24.0, ((i * 5) % 24) as f64 / 24.0])
+            .collect();
+        assert_eq!(cached.evaluate_batch(&batch), plain.evaluate_batch(&batch));
+        for parameters in &batch {
+            assert_eq!(cached.evaluate(parameters), plain.evaluate(parameters));
+        }
+    }
+
+    #[test]
+    fn a_repeated_batch_is_served_entirely_from_the_cache() {
+        let calls = AtomicUsize::new(0);
+        let cached = CachedProblem::new(counted_problem(&calls), 1e-6);
+        let batch: Vec<Vec<f64>> = (0..8).map(|i| vec![(i as f64) / 10.0, 0.5]).collect();
+        let first = cached.evaluate_batch(&batch);
+        let solves = calls.load(Ordering::Relaxed);
+        assert_eq!(solves, 8);
+        let second = cached.evaluate_batch(&batch);
+        assert_eq!(first, second);
+        assert_eq!(calls.load(Ordering::Relaxed), solves, "no new solves");
+        assert_eq!(cached.hits(), 8);
+        assert_eq!(cached.lookups(), 16);
+    }
+
+    #[test]
+    fn in_batch_duplicates_are_solved_once_and_fanned_out() {
+        let calls = AtomicUsize::new(0);
+        let cached = CachedProblem::new(counted_problem(&calls), 1e-6);
+        let point = vec![0.25, 0.75];
+        let batch = vec![point.clone(), point.clone(), point.clone(), point];
+        let results = cached.evaluate_batch(&batch);
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "one solve for four slots");
+        assert_eq!(cached.hits(), 3);
+        assert!(results.iter().all(|r| r == &results[0]));
+    }
+
+    #[test]
+    fn near_identical_points_in_one_bucket_are_never_served_stale() {
+        // Two points inside the same (coarse) quantization bucket must each
+        // get their own exact objectives — a collision is a miss, not an
+        // approximation.
+        let calls = AtomicUsize::new(0);
+        let cached = CachedProblem::new(counted_problem(&calls), 0.1);
+        let a = vec![0.500, 0.500];
+        let b = vec![0.501, 0.500];
+        let ra = cached.evaluate(&a).unwrap();
+        let rb = cached.evaluate(&b).unwrap();
+        assert_ne!(ra, rb, "each point gets its exact value");
+        assert_eq!(cached.hits(), 0);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn the_entry_cap_stops_insertions_but_not_correctness() {
+        let calls = AtomicUsize::new(0);
+        let cached = CachedProblem::new(counted_problem(&calls), 1e-6).with_max_entries(2);
+        let batch: Vec<Vec<f64>> = (0..6).map(|i| vec![(i as f64) / 10.0, 0.1]).collect();
+        let plain = counted_problem(&calls);
+        assert_eq!(cached.evaluate_batch(&batch), plain.evaluate_batch(&batch));
+        assert!(cached.len() <= 2);
+    }
+}

@@ -69,6 +69,7 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod evalcache;
 pub mod nsga2;
 pub mod operators;
 pub mod optimizer;
@@ -83,6 +84,7 @@ pub use checkpoint::{
     DiscardCheckpoints,
 };
 pub use config::{EarlyStop, GaConfig, GenerationStats};
+pub use evalcache::CachedProblem;
 pub use nsga2::{Nsga2, Nsga2Result};
 pub use optimizer::{OptimizationResult, Optimizer, OptimizerConfig};
 pub use pareto::{

@@ -153,6 +153,10 @@ pub mod kind {
     /// A submission was answered from the content-addressed dedup index;
     /// `run` is the canonical run it was folded into.
     pub const SVC_DEDUP_HIT: &str = "svc_dedup_hit";
+    /// A submission was answered from the persistent result cache (the run
+    /// had already completed, possibly in a previous server life); `run` is
+    /// the completed run whose result was served.
+    pub const SVC_CACHE_HIT: &str = "svc_cache_hit";
     /// A submission was rejected by a per-tenant quota; `detail` names the
     /// tenant and the exhausted limit.
     pub const SVC_QUOTA_REJECTED: &str = "svc_quota_rejected";

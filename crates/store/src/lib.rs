@@ -88,8 +88,10 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod shards;
 
+pub use cache::{CacheEntry, CacheGcReport, ResultCache};
 pub use shards::{
     ShardDataPlane, ShardOutcome, ShardSummary, ShardTask, ShardWork, ShardWorkKind,
     VariationOutcome, VariationPointWork,

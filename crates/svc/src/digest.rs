@@ -216,6 +216,7 @@ mod tests {
         assert_eq!(
             keys,
             vec![
+                "eval_cache",
                 "ga",
                 "max_pareto_points",
                 "monte_carlo",

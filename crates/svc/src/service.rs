@@ -7,9 +7,12 @@
 //! ```text
 //!            POST /v1/runs
 //!                 │
-//!      ┌──────────▼──────────┐   dedup hit → 200 (existing run)
+//!      ┌──────────▼──────────┐   dedup hit → 200 (existing live run)
 //!      │  dedup index        │
-//!      │  (submission digest)│
+//!      │  (live submissions) │
+//!      ├─────────────────────┤   cache hit → 200 (served_from_cache)
+//!      │  result cache       │
+//!      │  (completed digests)│
 //!      ├─────────────────────┤   over quota → 429 (nothing written)
 //!      │  per-tenant quotas  │
 //!      │  (queued / running) │
@@ -35,6 +38,13 @@
 //! `default`). Cancellation of a still-queued run frees its quota slot and
 //! drops its dedup-index entry, so an identical submission executes fresh.
 //!
+//! The in-memory dedup index covers *live* (non-terminal) runs only. When a
+//! run completes, its digest graduates to the store's persistent
+//! [`ResultCache`] (`cache/digest_index.json`), which survives restarts and
+//! run-directory garbage collection — so a byte-identical resubmission of
+//! any completed digest answers 200 with `served_from_cache: true` and never
+//! re-executes, even on a freshly started server with an empty dedup index.
+//!
 //! With `workers: 0` the server is *admission-only*: it accepts, dedups,
 //! quota-checks and records runs but executes nothing — the deterministic
 //! mode the scheduler tests drive (a separate `ayb serve` fleet sharing the
@@ -48,7 +58,7 @@ use ayb_jobs::{
 };
 use ayb_moo::OptimizerConfig;
 use ayb_obs::{kind, Event, Recorder, Severity};
-use ayb_store::{RunStatus, Store, StoreError};
+use ayb_store::{ClaimHealth, ResultCache, RunStatus, Store, StoreError};
 use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::io::{self, BufReader};
@@ -65,6 +75,9 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 /// The single optimisation problem the service currently exposes; part of
 /// the dedup key so a second problem can never collide with the first.
 const PROBLEM_ID: &str = "ota";
+/// Heartbeat age past which a run claim no longer proves a live holder when
+/// the admission ledger is rebuilt (matches the CLI's recovery threshold).
+const CLAIM_ALIVE_MAX_HEARTBEAT_AGE: Duration = Duration::from_secs(30);
 
 /// Queued/running admission limits for one tenant (`0` = unlimited).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -75,7 +88,6 @@ pub struct TenantQuota {
     /// per-tenant running cap, not by rejecting submissions).
     pub max_running: usize,
 }
-
 
 /// Configuration of a [`SvcServer`].
 #[derive(Debug, Clone)]
@@ -180,7 +192,8 @@ struct TenantCounts {
 /// dispatch, and lock-ordering discipline is what keeps that deadlock-free).
 #[derive(Debug, Default)]
 struct Admission {
-    /// Submission digest → canonical run id.
+    /// Submission digest → canonical run id, for *live* (non-terminal) runs
+    /// only; completed digests live in the persistent [`ResultCache`].
     dedup: HashMap<u64, String>,
     /// Tenant → live counters.
     tenants: HashMap<String, TenantCounts>,
@@ -194,6 +207,7 @@ struct Admission {
 /// State shared by every connection handler thread.
 struct SvcShared {
     store: Store,
+    cache: ResultCache,
     recorder: Recorder,
     admission: Arc<Mutex<Admission>>,
     config: SvcConfig,
@@ -352,6 +366,56 @@ impl SvcShared {
             admission.dedup.remove(&digest);
         }
 
+        // Persistent result cache: a digest completed in this server life
+        // — or any previous one — answers with the finished run, consuming
+        // neither queue slot nor quota. The entry outlives restarts and run
+        // directory GC, so identical resubmissions never re-execute.
+        let hex = digest_hex(digest);
+        if let Ok(Some(entry)) = self.cache.lookup(&hex) {
+            if matches!(self.cache.load_result(&hex), Ok(Some(_))) {
+                let _ = self.cache.record_hit(&hex);
+                if let Ok(handle) = self.store.run(&entry.run_id) {
+                    let served = handle
+                        .manifest_extra("served_from_cache")
+                        .ok()
+                        .flatten()
+                        .and_then(|v| match v {
+                            Value::Int(n) => u64::try_from(n).ok(),
+                            Value::UInt(n) => Some(n),
+                            _ => None,
+                        })
+                        .unwrap_or(0)
+                        + 1;
+                    let _ = handle.merge_manifest_extras(&[(
+                        "served_from_cache".to_string(),
+                        served.to_value(),
+                    )]);
+                }
+                metrics.inc("ayb_svc_cache_hits_total");
+                drop(admission);
+                self.emit(
+                    Severity::Debug,
+                    kind::SVC_CACHE_HIT,
+                    format!("tenant={tenant} digest={hex}"),
+                    Some(&entry.run_id),
+                );
+                return Routed(
+                    200,
+                    "application/json",
+                    json_body(vec![
+                        pair("run_id", Value::Str(entry.run_id)),
+                        pair("status", Value::Str("completed".to_string())),
+                        pair("deduped", Value::Bool(true)),
+                        pair("served_from_cache", Value::Bool(true)),
+                        pair("digest", Value::Str(hex)),
+                    ]),
+                );
+            }
+            // An entry whose result vanished entirely (blob and run dir both
+            // gone) is dead weight: drop it and execute fresh.
+            let _ = self.cache.remove(&hex);
+        }
+
         // Quota: reject before anything touches the store.
         let quota = self.config.quota_for(&tenant);
         let counts = admission.tenants.entry(tenant.clone()).or_default();
@@ -380,6 +444,7 @@ impl SvcShared {
             pair("priority", Value::Str(priority.as_str().to_string())),
             pair("submission_digest", Value::Str(digest_hex(digest))),
             pair("dedup_hits", Value::Int(0)),
+            pair("served_from_cache", Value::Int(0)),
         ];
         let handle = match self
             .store
@@ -423,7 +488,23 @@ impl SvcShared {
     fn handle_status(&self, id: &str) -> Routed {
         let handle = match self.open_run(id) {
             Ok(handle) => handle,
-            Err(routed) => return routed,
+            Err(routed) => {
+                // A garbage-collected run whose result graduated to the
+                // cache is still answerable — completion outlives the dir.
+                if let Ok(Some(entry)) = self.cache.find_by_run(id) {
+                    return Routed(
+                        200,
+                        "application/json",
+                        json_body(vec![
+                            pair("run_id", Value::Str(id.to_string())),
+                            pair("status", Value::Str("completed".to_string())),
+                            pair("submission_digest", Value::Str(entry.digest)),
+                            pair("served_from_cache", Value::Bool(true)),
+                        ]),
+                    );
+                }
+                return routed;
+            }
         };
         let status = match handle.status() {
             Ok(status) => status,
@@ -444,6 +525,7 @@ impl SvcShared {
             "priority",
             "submission_digest",
             "dedup_hits",
+            "served_from_cache",
             "cancelled",
         ] {
             if let Ok(Some(value)) = handle.manifest_extra(key) {
@@ -457,7 +539,12 @@ impl SvcShared {
     fn handle_result(&self, id: &str) -> Routed {
         let handle = match self.open_run(id) {
             Ok(handle) => handle,
-            Err(routed) => return routed,
+            Err(routed) => {
+                if let Some(cached) = self.cached_result_for_run(id) {
+                    return cached;
+                }
+                return routed;
+            }
         };
         match handle.status() {
             Ok(RunStatus::Completed) => {}
@@ -485,17 +572,33 @@ impl SvcShared {
                 "application/json",
                 serde_json::to_string(&result).expect("result render"),
             ),
-            Err(StoreError::NoResult(_)) => Routed(
-                409,
-                "application/json",
-                error_body("not_completed", "result not yet on disk"),
-            ),
+            Err(StoreError::NoResult(_)) => match self.cached_result_for_run(id) {
+                Some(cached) => cached,
+                None => Routed(
+                    409,
+                    "application/json",
+                    error_body("not_completed", "result not yet on disk"),
+                ),
+            },
             Err(e) => Routed(
                 500,
                 "application/json",
                 error_body("store_error", e.to_string()),
             ),
         }
+    }
+
+    /// The cached result blob for `run_id`, when the cache has one — the
+    /// answer of record once the run directory (or its `result.json`) is
+    /// garbage-collected.
+    fn cached_result_for_run(&self, run_id: &str) -> Option<Routed> {
+        let entry = self.cache.find_by_run(run_id).ok().flatten()?;
+        let result = self.cache.load_result(&entry.digest).ok().flatten()?;
+        Some(Routed(
+            200,
+            "application/json",
+            serde_json::to_string(&result).expect("result render"),
+        ))
     }
 
     /// `POST /v1/runs/{id}/cancel` — only still-queued runs are
@@ -712,9 +815,14 @@ impl SvcServer {
     /// scanned.
     pub fn start(store: Store, config: SvcConfig) -> io::Result<SvcServer> {
         let recorder = Recorder::new();
+        let cache = ResultCache::open(&store).map_err(io::Error::other)?;
         let admission = Arc::new(Mutex::new(
-            rebuild_admission(&store).map_err(io::Error::other)?,
+            rebuild_admission(&store, &cache).map_err(io::Error::other)?,
         ));
+        recorder.metrics().set_gauge(
+            "ayb_svc_result_cache_entries",
+            cache.entries().map(|e| e.len()).unwrap_or(0) as f64,
+        );
 
         let listener = TcpListener::bind(&config.bind)?;
         listener.set_nonblocking(true)?;
@@ -734,29 +842,63 @@ impl SvcServer {
                 recorder.clone(),
             ));
             let hook_admission = Arc::clone(&admission);
+            let hook_store = store.clone();
+            let hook_cache = cache.clone();
+            let hook_metrics = recorder.metrics().clone();
             server.set_event_hook(move |event| {
-                let mut admission = hook_admission.lock().expect("admission lock");
                 let run_id = event.run_id().to_string();
-                let tenant = admission
-                    .run_tenants
-                    .get(&run_id)
-                    .cloned()
-                    .unwrap_or_else(|| "default".to_string());
-                match event {
-                    JobEvent::Started { .. } => {
-                        let counts = admission.tenants.entry(tenant.clone()).or_default();
-                        counts.queued = counts.queued.saturating_sub(1);
-                        counts.running += 1;
-                        admission.dispatch_log.push((tenant, run_id));
+                {
+                    let mut admission = hook_admission.lock().expect("admission lock");
+                    let tenant = admission
+                        .run_tenants
+                        .get(&run_id)
+                        .cloned()
+                        .unwrap_or_else(|| "default".to_string());
+                    match event {
+                        JobEvent::Started { .. } => {
+                            let counts = admission.tenants.entry(tenant.clone()).or_default();
+                            counts.queued = counts.queued.saturating_sub(1);
+                            counts.running += 1;
+                            admission.dispatch_log.push((tenant, run_id.clone()));
+                        }
+                        JobEvent::Completed { .. }
+                        | JobEvent::Failed { .. }
+                        | JobEvent::Interrupted { .. }
+                        | JobEvent::Skipped { .. } => {
+                            let counts = admission.tenants.entry(tenant).or_default();
+                            counts.running = counts.running.saturating_sub(1);
+                        }
+                        _ => {}
                     }
-                    JobEvent::Completed { .. }
-                    | JobEvent::Failed { .. }
-                    | JobEvent::Interrupted { .. }
-                    | JobEvent::Skipped { .. } => {
-                        let counts = admission.tenants.entry(tenant).or_default();
-                        counts.running = counts.running.saturating_sub(1);
+                }
+                // A completed run graduates from the live dedup index to the
+                // persistent result cache: insert first, *then* drop the
+                // dedup key, so a racing submission always finds the digest
+                // in one of the two.
+                if matches!(event, JobEvent::Completed { .. }) {
+                    let Ok(handle) = hook_store.run(&run_id) else {
+                        return;
+                    };
+                    let Ok(Some(Value::Str(hex))) = handle.manifest_extra("submission_digest")
+                    else {
+                        return;
+                    };
+                    if let Ok(result) = handle.load_result::<Value>() {
+                        if hook_cache.insert(&hex, &run_id, &result).is_ok() {
+                            if let Ok(entries) = hook_cache.entries() {
+                                hook_metrics.set_gauge(
+                                    "ayb_svc_result_cache_entries",
+                                    entries.len() as f64,
+                                );
+                            }
+                        }
                     }
-                    _ => {}
+                    if let Some(key) = parse_digest_hex(&hex) {
+                        let mut admission = hook_admission.lock().expect("admission lock");
+                        if admission.dedup.get(&key).map(String::as_str) == Some(run_id.as_str()) {
+                            admission.dedup.remove(&key);
+                        }
+                    }
                 }
             });
             let shutdown = server.shutdown_handle();
@@ -779,6 +921,7 @@ impl SvcServer {
 
         let shared = Arc::new(SvcShared {
             store,
+            cache,
             recorder,
             admission,
             config,
@@ -822,6 +965,23 @@ impl SvcServer {
         &self.shared.store
     }
 
+    /// The persistent result cache the admission plane consults.
+    pub fn result_cache(&self) -> &ResultCache {
+        &self.shared.cache
+    }
+
+    /// The live `(queued, running)` admission counters for `tenant` —
+    /// what the quota checks see. Restart tests assert the rebuilt ledger
+    /// through this.
+    pub fn admission_counts(&self, tenant: &str) -> (usize, usize) {
+        let admission = self.shared.admission.lock().expect("admission lock");
+        admission
+            .tenants
+            .get(tenant)
+            .map(|c| (c.queued, c.running))
+            .unwrap_or((0, 0))
+    }
+
     /// `(tenant, run_id)` pairs in worker-dispatch order — the observable
     /// the fairness tests assert the weighted round-robin bound on.
     pub fn dispatch_log(&self) -> Vec<(String, String)> {
@@ -857,7 +1017,15 @@ impl Drop for SvcServer {
 /// Rebuilds the dedup index and tenant counters from the manifests on disk,
 /// so a restarted service keeps deduplicating against (and counting) runs
 /// admitted by a previous life.
-fn rebuild_admission(store: &Store) -> Result<Admission, StoreError> {
+///
+/// Live (non-terminal) digests go back into the dedup index; completed
+/// digests are backfilled into the persistent result cache instead, so
+/// resubmissions are answered from the cache even for runs completed by an
+/// external `ayb serve` fleet (or before the cache existed). Quota is
+/// rebuilt only from runs that still hold it: queued manifests, and running
+/// manifests whose claim holder is demonstrably alive — a `Running` corpse
+/// left by a killed server must not consume a tenant's slots forever.
+fn rebuild_admission(store: &Store, cache: &ResultCache) -> Result<Admission, StoreError> {
     let mut admission = Admission::default();
     for id in store.run_ids()? {
         let Ok(handle) = store.run(&id) else { continue };
@@ -869,9 +1037,19 @@ fn rebuild_admission(store: &Store) -> Result<Admission, StoreError> {
             _ => "default".to_string(),
         };
         if let Ok(Some(Value::Str(hex))) = handle.manifest_extra("submission_digest") {
-            if status != RunStatus::Failed {
-                if let Some(key) = parse_digest_hex(&hex) {
-                    admission.dedup.insert(key, id.clone());
+            match status {
+                RunStatus::Completed => {
+                    if matches!(cache.lookup(&hex), Ok(None)) {
+                        if let Ok(result) = handle.load_result::<Value>() {
+                            let _ = cache.insert(&hex, &id, &result);
+                        }
+                    }
+                }
+                RunStatus::Failed => {}
+                _ => {
+                    if let Some(key) = parse_digest_hex(&hex) {
+                        admission.dedup.insert(key, id.clone());
+                    }
                 }
             }
         }
@@ -880,7 +1058,13 @@ fn rebuild_admission(store: &Store) -> Result<Admission, StoreError> {
                 admission.tenants.entry(tenant.clone()).or_default().queued += 1;
             }
             RunStatus::Running => {
-                admission.tenants.entry(tenant.clone()).or_default().running += 1;
+                let holder_alive = matches!(
+                    handle.claim_health(CLAIM_ALIVE_MAX_HEARTBEAT_AGE),
+                    Ok(Some((_, ClaimHealth::Alive | ClaimHealth::Hung)))
+                );
+                if holder_alive {
+                    admission.tenants.entry(tenant.clone()).or_default().running += 1;
+                }
             }
             _ => {}
         }
@@ -1164,6 +1348,138 @@ mod tests {
         // The rebuilt quota ledger still counts the queued run.
         let (status, _) = client.submit_seed(12, "reduced").unwrap();
         assert_eq!(status, 201);
+        server.shutdown();
+    }
+
+    #[test]
+    fn resubmission_after_restart_is_served_from_the_persistent_cache() {
+        let temp = TempStore::new("cache");
+        // Life 1: admit a run, then stop — the in-memory dedup index dies
+        // with the server.
+        let run_id = {
+            let mut server = admission_server(&temp, SvcConfig::default());
+            let client = SvcClient::new(&server.url()).unwrap();
+            let (status, body) = client.submit_seed(21, "reduced").unwrap();
+            assert_eq!(status, 201);
+            server.shutdown();
+            str_field(&body, "run_id")
+        };
+        // Complete it out-of-band, the way an external `ayb serve` fleet
+        // sharing the store would.
+        let store = temp.open();
+        let result: Value = serde_json::from_str("{\"answer\": 42}").unwrap();
+        {
+            let handle = store.run(&run_id).unwrap();
+            handle.save_result(&result).unwrap();
+            handle.set_status(RunStatus::Completed).unwrap();
+        }
+        let dirs_before = store.run_ids().unwrap().len();
+
+        // Life 2: empty dedup index — the persistent cache must answer,
+        // without creating any run directory.
+        {
+            let mut server = admission_server(&temp, SvcConfig::default());
+            let client = SvcClient::new(&server.url()).unwrap();
+            let (status, body) = client.submit_seed(21, "reduced").unwrap();
+            assert_eq!(status, 200, "completed digest must hit the cache");
+            assert_eq!(body.get("served_from_cache"), Some(&Value::Bool(true)));
+            assert_eq!(body.get("deduped"), Some(&Value::Bool(true)));
+            assert_eq!(str_field(&body, "run_id"), run_id);
+            assert_eq!(
+                store.run_ids().unwrap().len(),
+                dirs_before,
+                "a cache hit must not enqueue anything"
+            );
+            // The hit is counted in the manifest, dedup_hits-style.
+            let (status, info) = client.run_status(&run_id).unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(info.get("served_from_cache"), Some(&Value::Int(1)));
+            // And the result endpoint serves the stored result.
+            let (status, body) = client.run_result(&run_id).unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(body, result);
+            let metrics = client.metrics_text().unwrap();
+            assert!(metrics.contains("ayb_svc_cache_hits_total"));
+            server.shutdown();
+        }
+
+        // Life 3: the run directory itself is garbage-collected. The cache
+        // blob keeps every endpoint answering.
+        std::fs::remove_dir_all(store.root().join("runs").join(&run_id)).unwrap();
+        let mut server = admission_server(&temp, SvcConfig::default());
+        let client = SvcClient::new(&server.url()).unwrap();
+        let (status, body) = client.submit_seed(21, "reduced").unwrap();
+        assert_eq!(status, 200, "cache must outlive the run directory");
+        assert_eq!(body.get("served_from_cache"), Some(&Value::Bool(true)));
+        let (status, info) = client.run_status(&run_id).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(str_field(&info, "status"), "completed");
+        let (status, body) = client.run_result(&run_id).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, result);
+        server.shutdown();
+    }
+
+    #[test]
+    fn rebuild_releases_quota_of_dead_running_and_interrupted_runs() {
+        let temp = TempStore::new("deadquota");
+        let config = SvcConfig {
+            default_quota: TenantQuota {
+                max_queued: 3,
+                max_running: 0,
+            },
+            ..SvcConfig::default()
+        };
+        // Life 1: three distinct runs admitted for one tenant.
+        let ids: Vec<String> = {
+            let mut server = admission_server(&temp, config.clone());
+            let client = SvcClient::new(&server.url()).unwrap().with_tenant("t");
+            let ids = [31, 32, 33]
+                .iter()
+                .map(|seed| {
+                    let (status, body) = client.submit_seed(*seed, "reduced").unwrap();
+                    assert_eq!(status, 201);
+                    str_field(&body, "run_id")
+                })
+                .collect();
+            server.shutdown();
+            ids
+        };
+        // Rewrite their fates behind the server's back: one Running corpse
+        // with no claim (its server was SIGKILLed), one Interrupted, one
+        // Running legitimately claimed by a live process (this one).
+        let store = temp.open();
+        store
+            .run(&ids[0])
+            .unwrap()
+            .set_status(RunStatus::Running)
+            .unwrap();
+        store
+            .run(&ids[1])
+            .unwrap()
+            .set_status(RunStatus::Interrupted)
+            .unwrap();
+        let live = store.run(&ids[2]).unwrap();
+        live.set_status(RunStatus::Running).unwrap();
+        let _claim = live.try_claim("live-holder").unwrap();
+
+        // Life 2: the rebuilt ledger counts only runs that still hold
+        // their slot — the corpse and the interrupted run release quota,
+        // the legitimately claimed run keeps its running slot.
+        let mut server = admission_server(&temp, config);
+        assert_eq!(server.admission_counts("t"), (0, 1));
+        let client = SvcClient::new(&server.url()).unwrap().with_tenant("t");
+        // All three queued slots are free again.
+        for seed in [34, 35, 36] {
+            let (status, _) = client.submit_seed(seed, "reduced").unwrap();
+            assert_eq!(status, 201, "released quota must admit seed {seed}");
+        }
+        // The interrupted run stays dedup-addressable (it is resumable) …
+        let (status, body) = client.submit_seed(32, "reduced").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(str_field(&body, "run_id"), ids[1]);
+        // … and never re-executes as a duplicate.
+        assert_eq!(body.get("deduped"), Some(&Value::Bool(true)));
         server.shutdown();
     }
 

@@ -25,6 +25,7 @@
 //! ayb list   [--store DIR]
 //! ayb show   [--store DIR] RUN_ID [--digest]
 //! ayb gc     [--store DIR] [--keep-checkpoints K] [--sweep-all]
+//! ayb cache  [--store DIR] [status|gc] [--max-age-hours H]
 //! ```
 //!
 //! Every run lives under `<store>/runs/<run_id>/` with a manifest, one
@@ -73,7 +74,7 @@ use ayb_jobs::{JobServer, JobServerConfig};
 use ayb_moo::{CheckpointError, EarlyStop, OptimizerConfig};
 use ayb_net::{Coordinator, CoordinatorConfig, TcpTransport};
 use ayb_obs::{kind as event_kind, log_to_stderr, Event, Histogram, Severity, StderrSink};
-use ayb_store::{ClaimHealth, Manifest, RunStatus, Store};
+use ayb_store::{ClaimHealth, Manifest, ResultCache, RunStatus, Store};
 use ayb_svc::{SvcConfig, SvcServer, TenantQuota};
 use std::path::Path;
 use std::process::ExitCode;
@@ -106,6 +107,7 @@ USAGE:
     ayb list   [--store DIR]
     ayb show   [--store DIR] RUN_ID [--digest]
     ayb gc     [--store DIR] [--keep-checkpoints K] [--sweep-all]
+    ayb cache  [--store DIR] [status|gc] [--max-age-hours H]
 
 OPTIONS:
     --store DIR           Store directory (default: $AYB_STORE or ./ayb-store)
@@ -146,6 +148,8 @@ OPTIONS:
     --watch SECS          top: refresh the fleet view every SECS seconds
     --keep-checkpoints K  gc: checkpoints to keep per completed run (default 1)
     --sweep-all           gc: remove *.tmp files regardless of age
+    --max-age-hours H     cache gc: also evict entries older than H hours
+                          (default: only entries whose result is gone)
     --digest              Print only the result's determinism digest
     --quiet               Suppress progress output
 
@@ -185,6 +189,7 @@ fn main() -> ExitCode {
         "list" => cmd_list(&parsed),
         "show" => cmd_show(&parsed),
         "gc" => cmd_gc(&parsed),
+        "cache" => cmd_cache(&parsed),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -231,6 +236,7 @@ struct CliArgs {
     poll_ms: Option<u64>,
     keep_checkpoints: Option<usize>,
     sweep_all: bool,
+    max_age_hours: Option<u64>,
     watch: Option<u64>,
     digest: bool,
     quiet: bool,
@@ -302,6 +308,12 @@ impl CliArgs {
                     )?)
                 }
                 "--sweep-all" => parsed.sweep_all = true,
+                "--max-age-hours" => {
+                    parsed.max_age_hours = Some(parse_number(
+                        &value_of("--max-age-hours")?,
+                        "--max-age-hours",
+                    )?)
+                }
                 "--watch" => parsed.watch = Some(parse_number(&value_of("--watch")?, "--watch")?),
                 "--digest" => parsed.digest = true,
                 "--quiet" => parsed.quiet = true,
@@ -816,6 +828,7 @@ fn status_of_run(store: &Store, id: &str) -> Result<(), String> {
         "priority",
         "submission_digest",
         "dedup_hits",
+        "served_from_cache",
         "cancelled",
     ] {
         if let Ok(Some(value)) = handle.manifest_extra(key) {
@@ -975,6 +988,18 @@ fn top_once(store: &Store, transport: Option<&str>) -> Result<(), String> {
             }
         }
     }
+    if let Ok(cache) = ResultCache::open(store) {
+        if let Ok(entries) = cache.entries() {
+            if !entries.is_empty() {
+                let hits: u64 = entries.iter().map(|e| e.hits).sum();
+                println!(
+                    "result_cache: {} completed digests, {} resubmissions served",
+                    entries.len(),
+                    hits
+                );
+            }
+        }
+    }
     let ids = store.run_ids().map_err(|e| e.to_string())?;
     if ids.is_empty() {
         println!("no runs in {}", store.root().display());
@@ -1085,6 +1110,47 @@ fn cmd_gc(args: &CliArgs) -> Result<(), String> {
     );
     println!("shard_epochs_swept: {shard_epochs}");
     Ok(())
+}
+
+/// `ayb cache [status|gc]` — inspect or sweep the store's persistent result
+/// cache (`cache/digest_index.json`), the index the service plane consults
+/// so identical resubmissions of completed digests never re-execute.
+fn cmd_cache(args: &CliArgs) -> Result<(), String> {
+    let store = args.open_store()?;
+    let cache = ResultCache::open(&store).map_err(|e| e.to_string())?;
+    let action = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("status");
+    match action {
+        "status" => {
+            let entries = cache.entries().map_err(|e| e.to_string())?;
+            let hits: u64 = entries.iter().map(|e| e.hits).sum();
+            println!("entries: {}", entries.len());
+            println!("hits_served: {hits}");
+            for entry in &entries {
+                let result = match cache.load_result(&entry.digest) {
+                    Ok(Some(_)) => "present",
+                    _ => "missing",
+                };
+                println!(
+                    "{} -> {} ({} hits, result {result})",
+                    entry.digest, entry.run_id, entry.hits
+                );
+            }
+            Ok(())
+        }
+        "gc" => {
+            let max_age = args.max_age_hours.map(|h| Duration::from_secs(h * 3600));
+            let report = cache.gc(max_age).map_err(|e| e.to_string())?;
+            println!("entries_removed: {}", report.entries_removed);
+            println!("entries_kept: {}", report.entries_kept);
+            println!("blobs_removed: {}", report.blobs_removed);
+            Ok(())
+        }
+        other => Err(format!("unknown cache action `{other}` (status|gc)")),
+    }
 }
 
 fn cmd_resume(args: &CliArgs) -> Result<(), String> {
